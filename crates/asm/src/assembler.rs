@@ -1,0 +1,481 @@
+//! A single-pass assembler with label fixups.
+//!
+//! Instructions occupy fixed widths (4 bytes, or 2 for explicitly-emitted
+//! compressed instructions), so label addresses are known as soon as they
+//! are bound and all fixups resolve in [`Assembler::finish`].
+
+use rvdyn_codegen::imm::load_imm;
+use rvdyn_isa::build;
+use rvdyn_isa::encode::{compress, encode32, EncodeError};
+use rvdyn_isa::{Instruction, Op, Reg};
+use std::fmt;
+
+/// A code label. Created unbound ([`Assembler::label`]) and bound to the
+/// current position with [`Assembler::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// `finish` was called while a label referenced by a fixup was unbound.
+    UnboundLabel(usize),
+    /// A resolved branch/jump displacement does not fit its format.
+    OutOfRange { at: u64, target: u64, format: &'static str },
+    /// Instruction encoding failed.
+    Encode(EncodeError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(i) => write!(f, "label {i} never bound"),
+            AsmError::OutOfRange { at, target, format } => {
+                write!(f, "{format} at {at:#x} cannot reach {target:#x}")
+            }
+            AsmError::Encode(e) => write!(f, "encode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> AsmError {
+        AsmError::Encode(e)
+    }
+}
+
+enum Item {
+    /// A plain instruction (4 bytes, or 2 if `compressed`).
+    Inst(Instruction),
+    /// B-format fixup.
+    Branch { op: Op, rs1: Reg, rs2: Reg, label: Label },
+    /// `jal rd, label`.
+    Jal { rd: Reg, label: Label },
+    /// `auipc rd, %hi(label)` + `addi rd, rd, %lo(label)` (8 bytes).
+    La { rd: Reg, label: Label },
+}
+
+impl Item {
+    fn size(&self) -> u64 {
+        match self {
+            Item::Inst(i) => i.size as u64,
+            Item::Branch { .. } | Item::Jal { .. } => 4,
+            Item::La { .. } => 8,
+        }
+    }
+}
+
+/// The assembler.
+pub struct Assembler {
+    base: u64,
+    items: Vec<(u64, Item)>,
+    cursor: u64,
+    labels: Vec<Option<u64>>,
+}
+
+impl Assembler {
+    /// Start assembling at virtual address `base`.
+    pub fn new(base: u64) -> Assembler {
+        Assembler { base, items: Vec::new(), cursor: base, labels: Vec::new() }
+    }
+
+    /// Current virtual address.
+    pub fn here(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Create an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `l` to the current position.
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.cursor);
+    }
+
+    /// Create a label already bound here.
+    pub fn here_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Resolved address of a label (after binding).
+    pub fn label_addr(&self, l: Label) -> Option<u64> {
+        self.labels[l.0]
+    }
+
+    fn push(&mut self, item: Item) {
+        let at = self.cursor;
+        self.cursor += item.size();
+        self.items.push((at, item));
+    }
+
+    /// Emit a prebuilt instruction (4-byte encoding).
+    pub fn inst(&mut self, i: Instruction) {
+        debug_assert!(i.size == 4 || i.compressed.is_some());
+        self.push(Item::Inst(i));
+    }
+
+    /// Emit an instruction in compressed (2-byte) form. Panics if no
+    /// compressed encoding exists — callers choose compressible operands.
+    pub fn c_inst(&mut self, mut i: Instruction) {
+        let c = compress(&i).expect("instruction not compressible");
+        i.size = 2;
+        i.raw = c as u32;
+        // Mark the compressed identity so encode() emits 2 bytes.
+        if i.compressed.is_none() {
+            i.compressed = Some(match rvdyn_isa::decode_c::decode_compressed(c, 0) {
+                Ok(d) => d.compressed.unwrap(),
+                Err(_) => unreachable!("compress produced undecodable bits"),
+            });
+        }
+        self.push(Item::Inst(i));
+    }
+
+    // ---- label-fixup forms ----
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, op: Op, rs1: Reg, rs2: Reg, label: Label) {
+        debug_assert!(op.is_conditional_branch());
+        self.push(Item::Branch { op, rs1, rs2, label });
+    }
+
+    pub fn beq(&mut self, a: Reg, b: Reg, l: Label) {
+        self.branch(Op::Beq, a, b, l);
+    }
+
+    pub fn bne(&mut self, a: Reg, b: Reg, l: Label) {
+        self.branch(Op::Bne, a, b, l);
+    }
+
+    pub fn blt(&mut self, a: Reg, b: Reg, l: Label) {
+        self.branch(Op::Blt, a, b, l);
+    }
+
+    pub fn bge(&mut self, a: Reg, b: Reg, l: Label) {
+        self.branch(Op::Bge, a, b, l);
+    }
+
+    pub fn bltu(&mut self, a: Reg, b: Reg, l: Label) {
+        self.branch(Op::Bltu, a, b, l);
+    }
+
+    pub fn bgeu(&mut self, a: Reg, b: Reg, l: Label) {
+        self.branch(Op::Bgeu, a, b, l);
+    }
+
+    /// Unconditional jump (`jal x0`).
+    pub fn jump(&mut self, l: Label) {
+        self.push(Item::Jal { rd: Reg::X0, label: l });
+    }
+
+    /// Call (`jal ra`).
+    pub fn call(&mut self, l: Label) {
+        self.push(Item::Jal { rd: Reg::X1, label: l });
+    }
+
+    /// Tail call (`jal x0` to another function — §3.2.3).
+    pub fn tail(&mut self, l: Label) {
+        self.push(Item::Jal { rd: Reg::X0, label: l });
+    }
+
+    /// Load the address of a label (`auipc`/`addi` pair).
+    pub fn la(&mut self, rd: Reg, l: Label) {
+        self.push(Item::La { rd, label: l });
+    }
+
+    // ---- common instruction sugar ----
+
+    /// Load a 64-bit immediate (materialisation via CodeGenAPI).
+    pub fn li(&mut self, rd: Reg, v: i64) {
+        for i in load_imm(rd, v) {
+            self.inst(i);
+        }
+    }
+
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.inst(build::addi(rd, rs1, imm));
+    }
+
+    pub fn add(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.inst(build::add(rd, a, b));
+    }
+
+    pub fn sub(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.inst(build::sub(rd, a, b));
+    }
+
+    pub fn mul(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.inst(build::r_type(Op::Mul, rd, a, b));
+    }
+
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.inst(build::mv(rd, rs));
+    }
+
+    pub fn slli(&mut self, rd: Reg, rs: Reg, sh: i64) {
+        self.inst(build::i_type(Op::Slli, rd, rs, sh));
+    }
+
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.inst(build::ld(rd, base, off));
+    }
+
+    pub fn lw(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.inst(build::lw(rd, base, off));
+    }
+
+    pub fn lbu(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.inst(build::i_type(Op::Lbu, rd, base, off));
+    }
+
+    pub fn sd(&mut self, val: Reg, base: Reg, off: i64) {
+        self.inst(build::sd(val, base, off));
+    }
+
+    pub fn sw(&mut self, val: Reg, base: Reg, off: i64) {
+        self.inst(build::sw(val, base, off));
+    }
+
+    pub fn sb(&mut self, val: Reg, base: Reg, off: i64) {
+        self.inst(build::s_type(Op::Sb, base, val, off));
+    }
+
+    pub fn fld(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.inst(build::fld(rd, base, off));
+    }
+
+    pub fn fsd(&mut self, val: Reg, base: Reg, off: i64) {
+        self.inst(build::fsd(val, base, off));
+    }
+
+    pub fn fmadd_d(&mut self, rd: Reg, a: Reg, b: Reg, c: Reg) {
+        self.inst(build::fma(Op::FmaddD, rd, a, b, c));
+    }
+
+    pub fn fadd_d(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.inst(build::f_type(Op::FaddD, rd, a, b));
+    }
+
+    pub fn fmul_d(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.inst(build::f_type(Op::FmulD, rd, a, b));
+    }
+
+    pub fn fsub_d(&mut self, rd: Reg, a: Reg, b: Reg) {
+        self.inst(build::f_type(Op::FsubD, rd, a, b));
+    }
+
+    pub fn fcvt_d_l(&mut self, rd: Reg, rs: Reg) {
+        self.inst(build::f_unary(Op::FcvtDL, rd, rs));
+    }
+
+    pub fn fmv_d_x(&mut self, rd: Reg, rs: Reg) {
+        self.inst(build::f_unary(Op::FmvDX, rd, rs));
+    }
+
+    pub fn fmv_x_d(&mut self, rd: Reg, rs: Reg) {
+        self.inst(build::f_unary(Op::FmvXD, rd, rs));
+    }
+
+    pub fn jalr(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.inst(build::jalr(rd, base, off));
+    }
+
+    pub fn ret(&mut self) {
+        self.inst(build::ret());
+    }
+
+    pub fn ecall(&mut self) {
+        self.inst(build::ecall());
+    }
+
+    pub fn ebreak(&mut self) {
+        self.inst(build::ebreak());
+    }
+
+    pub fn nop(&mut self) {
+        self.inst(build::nop());
+    }
+
+    /// Resolve all fixups and encode to bytes.
+    pub fn finish(self) -> Result<Vec<u8>, AsmError> {
+        let mut out = Vec::with_capacity((self.cursor - self.base) as usize);
+        let resolve = |l: Label| -> Result<u64, AsmError> {
+            self.labels[l.0].ok_or(AsmError::UnboundLabel(l.0))
+        };
+        for (at, item) in &self.items {
+            match item {
+                Item::Inst(i) => {
+                    if i.size == 2 {
+                        out.extend_from_slice(&(i.raw as u16).to_le_bytes());
+                    } else {
+                        out.extend_from_slice(&encode32(i)?.to_le_bytes());
+                    }
+                }
+                Item::Branch { op, rs1, rs2, label } => {
+                    let target = resolve(*label)?;
+                    let delta = target.wrapping_sub(*at) as i64;
+                    if !(-4096..4096).contains(&delta) {
+                        return Err(AsmError::OutOfRange {
+                            at: *at,
+                            target,
+                            format: "B-format branch",
+                        });
+                    }
+                    let i = build::b_type(*op, *rs1, *rs2, delta);
+                    out.extend_from_slice(&encode32(&i)?.to_le_bytes());
+                }
+                Item::Jal { rd, label } => {
+                    let target = resolve(*label)?;
+                    let delta = target.wrapping_sub(*at) as i64;
+                    if !(-(1 << 20)..(1 << 20)).contains(&delta) {
+                        return Err(AsmError::OutOfRange {
+                            at: *at,
+                            target,
+                            format: "jal",
+                        });
+                    }
+                    let i = build::jal(*rd, delta);
+                    out.extend_from_slice(&encode32(&i)?.to_le_bytes());
+                }
+                Item::La { rd, label } => {
+                    let target = resolve(*label)?;
+                    let (hi, lo) = rvdyn_codegen::imm::pcrel_parts(*at, target)
+                        .ok_or(AsmError::OutOfRange {
+                            at: *at,
+                            target,
+                            format: "auipc",
+                        })?;
+                    let a = build::auipc(*rd, hi);
+                    let b = build::addi(*rd, *rd, lo);
+                    // The addi's pc is at+4 but %lo is relative to the
+                    // auipc, which is exactly how the pair composes.
+                    out.extend_from_slice(&encode32(&a)?.to_le_bytes());
+                    out.extend_from_slice(&encode32(&b)?.to_le_bytes());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvdyn_isa::decode::InstructionIter;
+    use rvdyn_isa::ControlFlow;
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut a = Assembler::new(0x1000);
+        let top = a.here_label();
+        let end = a.label();
+        a.addi(Reg::x(10), Reg::x(10), 1);
+        a.beq(Reg::x(10), Reg::x(11), end);
+        a.jump(top);
+        a.bind(end);
+        a.ret();
+        let code = a.finish().unwrap();
+        let insts: Vec<_> = InstructionIter::new(&code, 0x1000)
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(insts.len(), 4);
+        match insts[1].control_flow() {
+            ControlFlow::ConditionalBranch { target, .. } => assert_eq!(target, 0x100C),
+            cf => panic!("{cf:?}"),
+        }
+        match insts[2].control_flow() {
+            ControlFlow::DirectJump { target, .. } => assert_eq!(target, 0x1000),
+            cf => panic!("{cf:?}"),
+        }
+    }
+
+    #[test]
+    fn la_resolves_pcrel() {
+        let mut a = Assembler::new(0x1000);
+        let data = a.label();
+        a.la(Reg::x(10), data);
+        a.ret();
+        a.bind(data); // label points just past the code
+        let addr = a.label_addr(data).unwrap();
+        assert_eq!(addr, 0x100C);
+        let code = a.finish().unwrap();
+        // Execute auipc+addi via the reference evaluator.
+        use rvdyn_isa::semantics::{eval_int, FlatMemory, IntState};
+        let mut st = IntState::new(0x1000);
+        let mut mem = FlatMemory::new(0, 8);
+        let insts: Vec<_> = InstructionIter::new(&code, 0x1000)
+            .map(|r| r.unwrap())
+            .collect();
+        st.pc = insts[0].address;
+        eval_int(&insts[0], &mut st, &mut mem);
+        st.pc = insts[1].address;
+        eval_int(&insts[1], &mut st, &mut mem);
+        assert_eq!(st.get(Reg::x(10)), addr);
+    }
+
+    #[test]
+    fn unbound_label_rejected() {
+        let mut a = Assembler::new(0);
+        let l = a.label();
+        a.jump(l);
+        assert!(matches!(a.finish(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn out_of_range_branch_rejected() {
+        let mut a = Assembler::new(0);
+        let far = a.label();
+        a.beq(Reg::x(10), Reg::x(11), far);
+        for _ in 0..2000 {
+            a.nop();
+        }
+        a.bind(far);
+        a.ret();
+        assert!(matches!(a.finish(), Err(AsmError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn compressed_instructions_halve_size() {
+        let mut a = Assembler::new(0x1000);
+        a.c_inst(build::addi(Reg::x(10), Reg::x(10), 1)); // c.addi
+        a.c_inst(build::add(Reg::x(11), Reg::X0, Reg::x(10))); // c.mv
+        assert_eq!(a.here(), 0x1004);
+        a.ret();
+        let code = a.finish().unwrap();
+        assert_eq!(code.len(), 8);
+        let insts: Vec<_> = InstructionIter::new(&code, 0x1000)
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(insts[0].size, 2);
+        assert_eq!(insts[1].size, 2);
+        assert_eq!(insts[2].size, 4);
+        assert_eq!(insts[1].op, Op::Add); // c.mv expands to add
+    }
+
+    #[test]
+    fn li_various_widths() {
+        let mut a = Assembler::new(0);
+        a.li(Reg::x(10), 42);
+        a.li(Reg::x(11), 0x12345678);
+        a.li(Reg::x(12), 0x1234_5678_9ABC_DEF0);
+        let code = a.finish().unwrap();
+        use rvdyn_isa::semantics::{eval_int, FlatMemory, IntState};
+        let mut st = IntState::new(0);
+        let mut mem = FlatMemory::new(0, 8);
+        for r in InstructionIter::new(&code, 0) {
+            let i = r.unwrap();
+            st.pc = i.address;
+            eval_int(&i, &mut st, &mut mem);
+        }
+        assert_eq!(st.get(Reg::x(10)), 42);
+        assert_eq!(st.get(Reg::x(11)), 0x12345678);
+        assert_eq!(st.get(Reg::x(12)), 0x1234_5678_9ABC_DEF0);
+    }
+}

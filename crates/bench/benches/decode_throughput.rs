@@ -1,0 +1,42 @@
+//! A4: decoder throughput — the Capstone-substitute speed check ("fast
+//! and efficient … can parse a large amount of assembly code", §3.2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rvdyn_isa::decode::InstructionIter;
+
+/// A realistic instruction mix: the whole matmul application's text,
+/// tiled to ~1 MiB.
+fn code_buffer() -> (Vec<u8>, u64) {
+    let bin = rvdyn_asm::matmul_program(16, 1);
+    let text = bin.section_by_name(".text").unwrap();
+    let mut buf = Vec::with_capacity(1 << 20);
+    while buf.len() < (1 << 20) {
+        buf.extend_from_slice(&text.data);
+    }
+    (buf, text.addr)
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let (buf, base) = code_buffer();
+    let mut g = c.benchmark_group("decode_throughput");
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("rv64gc_mixed_width", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in InstructionIter::new(&buf, base) {
+                if r.is_ok() {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    g.finish();
+
+    // Report instructions/MiB for the log.
+    let n = InstructionIter::new(&buf, base).filter(|r| r.is_ok()).count();
+    eprintln!("decode_throughput: {n} instructions per MiB pass");
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

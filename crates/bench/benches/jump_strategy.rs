@@ -1,0 +1,43 @@
+//! A2: springboard strategy selection across displacement/budget classes
+//! (§3.1.2's jump-length ladder).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvdyn_isa::{IsaProfile, RegSet};
+use rvdyn_patch::{plan_springboard, SpringboardKind};
+
+fn bench_plan(c: &mut Criterion) {
+    let profile = IsaProfile::rv64gc();
+    let dead = RegSet::ALL_GPR;
+    let cases: [(&str, u64, usize); 4] = [
+        ("cj_2b", 0x1400, 8),
+        ("jal_4b", 0x8_0000, 8),
+        ("auipc_8b", 0x4000_0000, 8),
+        ("trap_2b", 0x8_0000, 2),
+    ];
+    let mut g = c.benchmark_group("springboard_planning");
+    for (label, target, avail) in cases {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(target, avail),
+            |b, &(t, a)| b.iter(|| plan_springboard(0x1_0000, t, a, profile, dead)),
+        );
+    }
+    g.finish();
+
+    // Distribution report: what strategy gets picked as displacement grows.
+    eprintln!("springboard strategy by displacement (8-byte budget):");
+    for shift in [8, 11, 12, 16, 20, 21, 24, 30] {
+        let target = 0x1_0000u64 + (1 << shift);
+        let sb = plan_springboard(0x1_0000, target, 8, profile, dead);
+        let kind = match sb.kind {
+            SpringboardKind::CompressedJump => "c.j (2B)",
+            SpringboardKind::Jal => "jal (4B)",
+            SpringboardKind::AuipcJalr(_) => "auipc+jalr (8B)",
+            SpringboardKind::Trap => "trap",
+        };
+        eprintln!("  +2^{shift:<2} → {kind}");
+    }
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

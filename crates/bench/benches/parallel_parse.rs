@@ -1,0 +1,93 @@
+//! A3: parallel parsing scalability (§2's "fast parallel algorithm").
+//!
+//! A synthetic many-function binary (call matrix with branches and loops
+//! per function) parsed with 1/2/4/8 worker threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rvdyn_asm::Assembler;
+use rvdyn_isa::Reg;
+use rvdyn_parse::{CodeObject, ParseOptions};
+use rvdyn_parse::source::RawCode;
+
+/// `funcs` functions, each with a realistic amount of parse work (~40
+/// basic blocks of branchy straight-line code) and calls to the next two.
+fn synthetic(funcs: usize) -> RawCode {
+    let mut a = Assembler::new(0x1_0000);
+    let labels: Vec<_> = (0..funcs).map(|_| a.label()).collect();
+    for i in 0..funcs {
+        a.bind(labels[i]);
+        a.addi(Reg::X2, Reg::X2, -16);
+        a.sd(Reg::X1, Reg::X2, 8);
+        // ~20 diamond-shaped regions → ~40 blocks and a few hundred
+        // instructions per function.
+        for d in 0..20 {
+            let else_ = a.label();
+            let join = a.label();
+            a.addi(Reg::x(5), Reg::X0, d);
+            a.beq(Reg::x(5), Reg::x(10), else_);
+            for _ in 0..4 {
+                a.addi(Reg::x(6), Reg::x(6), 1);
+                a.add(Reg::x(7), Reg::x(6), Reg::x(5));
+            }
+            a.jump(join);
+            a.bind(else_);
+            for _ in 0..4 {
+                a.sub(Reg::x(7), Reg::x(7), Reg::x(5));
+            }
+            a.bind(join);
+        }
+        for dd in 1..=2 {
+            if i + dd < funcs {
+                a.call(labels[i + dd]);
+            }
+        }
+        a.ld(Reg::X1, Reg::X2, 8);
+        a.addi(Reg::X2, Reg::X2, 16);
+        a.ret();
+    }
+    // All function entries are hints, as with a symbol table present —
+    // the realistic large-binary scenario ParseAPI parallelises over
+    // (discovery-only chains serialise any parallel parser).
+    let entries = labels.iter().map(|l| a.label_addr(*l).unwrap()).collect();
+    RawCode { base: 0x1_0000, bytes: a.finish().unwrap(), entries }
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let src = synthetic(600);
+    let bytes = src.bytes.len() as u64;
+    let mut g = c.benchmark_group("parallel_parse");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    // Thread counts up to the machine's available parallelism (parsing is
+    // CPU-bound; oversubscription only adds scheduler thrash).
+    let ncpu = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let mut counts = vec![1usize, 2, 4, 8];
+    counts.retain(|&t| t <= ncpu.max(2));
+    for threads in counts {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &t| {
+                let opts = ParseOptions { threads: t, ..Default::default() };
+                b.iter(|| CodeObject::parse(&src, &opts))
+            },
+        );
+    }
+    g.finish();
+
+    // Sanity: identical results across thread counts.
+    let seq = CodeObject::parse(&src, &ParseOptions::default());
+    let par = CodeObject::parse(&src, &ParseOptions { threads: 8, ..Default::default() });
+    assert_eq!(seq.functions.len(), par.functions.len());
+    assert_eq!(seq.num_blocks(), par.num_blocks());
+    eprintln!(
+        "parallel_parse: {} functions, {} blocks, {} insts over {} KiB",
+        seq.functions.len(),
+        seq.num_blocks(),
+        seq.num_insts(),
+        bytes / 1024
+    );
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! A5: the cost of software single-stepping (§3.2.6).
+//!
+//! RISC-V ptrace lacks hardware single-step, so ProcControlAPI emulates it
+//! with breakpoints; this bench quantifies the "decreases performance"
+//! claim by comparing two ways of advancing 2000 instructions:
+//!
+//! * `direct_run` — let the machine run freely to a breakpoint planted
+//!   2000 dynamic instructions ahead (the hardware-assisted equivalent);
+//! * `emulated_single_step` — 2000 × breakpoint-emulated single-steps, as
+//!   the port must do.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvdyn_asm::fib_program;
+use rvdyn_emu::load_binary;
+use rvdyn_proccontrol::{Event, Process};
+
+const STEPS: usize = 2000;
+
+fn bench_single_step(c: &mut Criterion) {
+    let bin = fib_program(20);
+
+    let mut g = c.benchmark_group("single_step");
+    g.sample_size(20);
+
+    g.bench_function("emulated_single_step", |b| {
+        b.iter(|| {
+            let mut p = Process::launch(&bin);
+            for _ in 0..STEPS {
+                match p.single_step().unwrap() {
+                    Event::Stepped(_) => {}
+                    e => panic!("unexpected {e:?}"),
+                }
+            }
+            p.pc()
+        })
+    });
+
+    // The reference: where do 500 instructions land? Find the pc, then
+    // measure running to a breakpoint there.
+    let target_pc = {
+        let mut m = load_binary(&bin);
+        for _ in 0..STEPS {
+            assert!(m.step().is_none());
+        }
+        m.pc
+    };
+    g.bench_function("direct_run_to_breakpoint", |b| {
+        b.iter(|| {
+            let mut p = Process::launch(&bin);
+            p.set_breakpoint(target_pc).unwrap();
+            match p.cont().unwrap() {
+                Event::Breakpoint(at) => at,
+                e => panic!("unexpected {e:?}"),
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_step);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! T1 under criterion: the three §4.3 configurations at a criterion-sized
+//! matrix. Regenerates the table's *ratios* continuously; the full-size
+//! run is `cargo run --release --bin table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvdyn::RegAllocMode;
+use rvdyn_bench::riscv::{measure, Config};
+
+fn bench_table1(c: &mut Criterion) {
+    let n = 20;
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for (label, config) in [
+        ("base", Config::Base),
+        ("fn_count", Config::FunctionCount),
+        ("bb_count", Config::BasicBlockCount),
+    ] {
+        g.bench_with_input(BenchmarkId::new("riscv", label), &config, |b, &cfg| {
+            b.iter(|| measure(n, 1, cfg, RegAllocMode::DeadRegisters))
+        });
+    }
+    g.finish();
+
+    // Also report the modelled-seconds ratios once, to the bench log.
+    let base = measure(n, 1, Config::Base, RegAllocMode::DeadRegisters);
+    let f = measure(n, 1, Config::FunctionCount, RegAllocMode::DeadRegisters);
+    let bb = measure(n, 1, Config::BasicBlockCount, RegAllocMode::DeadRegisters);
+    eprintln!(
+        "table1 (n={n}): base {:.6}s, fn +{:.2}%, bb +{:.2}%",
+        base.mutatee_seconds,
+        (f.mutatee_seconds / base.mutatee_seconds - 1.0) * 100.0,
+        (bb.mutatee_seconds / base.mutatee_seconds - 1.0) * 100.0
+    );
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

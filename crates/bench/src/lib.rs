@@ -1,0 +1,54 @@
+//! # rvdyn-bench — evaluation harnesses
+//!
+//! Code that regenerates every quantitative artifact of the paper's §4
+//! plus the ablations listed in DESIGN.md §4:
+//!
+//! * **T1** — the §4.3 results table (`src/bin/table1.rs` prints it;
+//!   `benches/table1_overhead.rs` tracks the same quantities under
+//!   criterion);
+//! * **A1** — dead-register allocation on/off (`benches/ablation_deadreg`);
+//! * **A2** — springboard strategy distribution (`benches/jump_strategy`);
+//! * **A3** — parallel parsing scalability (`benches/parallel_parse`);
+//! * **A4** — decoder throughput (`benches/decode_throughput`);
+//! * **A5** — software single-step cost (`benches/single_step`).
+//!
+//! The RISC-V columns are *measured on the emulator substrate* with its
+//! deterministic P550-flavoured cycle model; the x86 column is measured
+//! natively on the host (see [`x86`]), with the pre-optimisation Dyninst
+//! trampoline modelled by explicit spill traffic — see DESIGN.md §2 for
+//! why each substitution preserves the paper's comparison.
+
+pub mod riscv;
+pub mod x86;
+
+/// One row of the §4.3 table.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    pub label: &'static str,
+    pub x86_seconds: f64,
+    pub x86_overhead: Option<f64>,
+    pub riscv_seconds: f64,
+    pub riscv_overhead: Option<f64>,
+}
+
+/// Render rows in the paper's format.
+pub fn render_table(rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("|                | x86      |        | RISC-V   |        |\n");
+    s.push_str("|----------------|----------|--------|----------|--------|\n");
+    for r in rows {
+        let xo = r
+            .x86_overhead
+            .map(|v| format!("{:.1}%", v * 100.0))
+            .unwrap_or_default();
+        let ro = r
+            .riscv_overhead
+            .map(|v| format!("{:.1}%", v * 100.0))
+            .unwrap_or_default();
+        s.push_str(&format!(
+            "| {:<14} | {:>8.4} | {:>6} | {:>8.4} | {:>6} |\n",
+            r.label, r.x86_seconds, xo, r.riscv_seconds, ro
+        ));
+    }
+    s
+}

@@ -1,0 +1,123 @@
+//! RISC-V measurement harness: build the §4.1 application, instrument it
+//! three ways, execute on the emulator, read modelled seconds.
+
+use rvdyn::{BinaryEditor, PointKind, RegAllocMode, Snippet};
+use rvdyn_asm::matmul_program;
+
+/// Which instrumentation configuration to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// Uninstrumented baseline.
+    Base,
+    /// Counter at the entry of the multiply function.
+    FunctionCount,
+    /// Counter at the start of each of its 11 basic blocks.
+    BasicBlockCount,
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Modelled wall-clock seconds of the *whole program* (what §4.3
+    /// reports: the mutatee's own elapsed-time measurement).
+    pub seconds: f64,
+    /// Modelled seconds as measured by the mutatee itself via
+    /// `clock_gettime` around the call loop.
+    pub mutatee_seconds: f64,
+    /// Retired instructions.
+    pub icount: u64,
+    /// Final counter value (0 for the base configuration).
+    pub counter: u64,
+    /// Registers spilled by instrumentation codegen.
+    pub spills: usize,
+}
+
+/// Build, (optionally) instrument, and run `matmul(n)` called `reps`
+/// times; return the measurement.
+pub fn measure(n: usize, reps: usize, config: Config, mode: RegAllocMode) -> Measurement {
+    let bin = matmul_program(n, reps);
+    let fuel = 4_000_000_000;
+
+    if config == Config::Base {
+        let r = rvdyn::editor::run_binary(&bin, fuel).expect("base run");
+        assert_eq!(r.exit_code, 0);
+        return Measurement {
+            seconds: r.seconds,
+            mutatee_seconds: mutatee_elapsed(&r),
+            icount: r.icount,
+            counter: 0,
+            spills: 0,
+        };
+    }
+
+    let mut ed = BinaryEditor::from_binary(bin);
+    ed.set_mode(mode);
+    let counter = ed.alloc_var(8);
+    let kind = match config {
+        Config::FunctionCount => PointKind::FuncEntry,
+        Config::BasicBlockCount => PointKind::BlockEntry,
+        Config::Base => unreachable!(),
+    };
+    let pts = ed.find_points("matmul", kind).expect("points");
+    ed.insert(&pts, Snippet::increment(counter));
+    let patched = ed.instrumented().expect("instrumentation");
+    let r = rvdyn::editor::run_binary(&patched.binary, fuel).expect("instrumented run");
+    assert_eq!(r.exit_code, 0);
+    Measurement {
+        seconds: r.seconds,
+        mutatee_seconds: mutatee_elapsed(&r),
+        icount: r.icount,
+        counter: r.read_u64(counter.addr).unwrap_or(0),
+        spills: patched.spill_count,
+    }
+}
+
+/// The elapsed nanoseconds the mutatee itself reported on stdout.
+fn mutatee_elapsed(r: &rvdyn::editor::RunOutput) -> f64 {
+    if r.stdout.len() >= 8 {
+        let ns = u64::from_le_bytes(r.stdout[..8].try_into().unwrap());
+        ns as f64 / 1e9
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_are_deterministic_and_ordered() {
+        let base = measure(10, 1, Config::Base, RegAllocMode::DeadRegisters);
+        let base2 = measure(10, 1, Config::Base, RegAllocMode::DeadRegisters);
+        assert_eq!(base.icount, base2.icount);
+        let f = measure(10, 1, Config::FunctionCount, RegAllocMode::DeadRegisters);
+        let bb = measure(10, 1, Config::BasicBlockCount, RegAllocMode::DeadRegisters);
+        assert!(base.seconds < f.seconds);
+        assert!(f.seconds < bb.seconds);
+        assert_eq!(f.counter, 1);
+        assert!(bb.counter > 2000); // ~2.3k blocks at n=10
+        assert_eq!(f.spills, 0);
+        assert_eq!(bb.spills, 0);
+    }
+
+    #[test]
+    fn force_spill_costs_more() {
+        let dead = measure(8, 1, Config::BasicBlockCount, RegAllocMode::DeadRegisters);
+        let spill = measure(8, 1, Config::BasicBlockCount, RegAllocMode::ForceSpill);
+        assert!(spill.seconds > dead.seconds);
+        assert!(spill.spills > 0);
+        assert_eq!(dead.counter, spill.counter, "same dynamic block count");
+    }
+
+    #[test]
+    fn mutatee_observes_its_own_slowdown() {
+        // The mutatee measures the call loop with clock_gettime; the
+        // instrumented version must report a longer elapsed time — the
+        // exact mechanism of the paper's table.
+        let base = measure(10, 2, Config::Base, RegAllocMode::DeadRegisters);
+        let bb = measure(10, 2, Config::BasicBlockCount, RegAllocMode::DeadRegisters);
+        assert!(base.mutatee_seconds > 0.0);
+        assert!(bb.mutatee_seconds > base.mutatee_seconds);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests: immediate materialisation is exact for every i64, and
+//! generated snippet code always encodes and preserves non-scratch state.
+
+use proptest::prelude::*;
+use rvdyn_codegen::emitter::generate;
+use rvdyn_codegen::imm::{load_imm, pcrel_parts};
+use rvdyn_codegen::regalloc::RegAllocMode;
+use rvdyn_codegen::snippet::{Snippet, Var};
+use rvdyn_isa::semantics::{eval_int, FlatMemory, IntState};
+use rvdyn_isa::{IsaProfile, Reg, RegSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn load_imm_exact_for_any_value(v in any::<i64>()) {
+        let rd = Reg::x(10);
+        let seq = load_imm(rd, v);
+        prop_assert!(seq.len() <= 8, "sequence too long for {v:#x}: {}", seq.len());
+        let mut st = IntState::new(0);
+        let mut mem = FlatMemory::new(0, 8);
+        for i in &seq {
+            rvdyn_isa::encode::encode32(i).unwrap();
+            eval_int(i, &mut st, &mut mem);
+        }
+        prop_assert_eq!(st.get(rd) as i64, v);
+    }
+
+    #[test]
+    fn pcrel_parts_exact(pc in any::<u32>(), target in any::<u32>()) {
+        let (pc, target) = (pc as u64, target as u64);
+        match pcrel_parts(pc, target) {
+            Some((hi, lo)) => {
+                prop_assert_eq!(pc.wrapping_add(hi as u64).wrapping_add(lo as u64), target);
+                prop_assert_eq!(hi & 0xFFF, 0);
+                prop_assert!((-2048..=2047).contains(&lo));
+            }
+            None => {
+                // Only the asymmetric edge of the window may be rejected.
+                let off = target.wrapping_sub(pc) as i64;
+                prop_assert!(off >= (1i64 << 31) - 2048 || off < -(1i64 << 31) - 2048);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_snippet_exact_for_any_count(n in 1usize..50, addr in 0x8000u64..0x8800) {
+        let addr = addr & !7;
+        let var = Var { addr, size: 8 };
+        let (code, _) = generate(
+            &Snippet::increment(var),
+            RegSet::ALL_GPR,
+            RegAllocMode::DeadRegisters,
+            IsaProfile::rv64gc(),
+        ).unwrap();
+        let mut st = IntState::new(0);
+        let mut mem = FlatMemory::new(0x8000, 0x1000);
+        for _ in 0..n {
+            for i in &code {
+                eval_int(i, &mut st, &mut mem);
+            }
+        }
+        prop_assert_eq!(mem.bytes[(addr - 0x8000) as usize] as usize, n);
+    }
+}

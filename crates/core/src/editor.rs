@@ -1,0 +1,264 @@
+//! Static binary rewriting: the `BinaryEditor` (BPatch_binaryEdit).
+
+use rvdyn_codegen::regalloc::RegAllocMode;
+use rvdyn_codegen::snippet::{Snippet, Var};
+use rvdyn_parse::{CodeObject, ParseOptions};
+use rvdyn_patch::{find_points, InstrumentError, Instrumenter, PatchLayout, Point, PointKind};
+use rvdyn_symtab::{Binary, SymtabError};
+use std::fmt;
+
+/// Editor errors.
+#[derive(Debug)]
+pub enum EditorError {
+    /// The input is not a loadable RISC-V ELF.
+    Symtab(SymtabError),
+    /// No function with the requested name.
+    NoSuchFunction(String),
+    /// Instrumentation failed.
+    Instrument(InstrumentError),
+}
+
+impl fmt::Display for EditorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditorError::Symtab(e) => write!(f, "{e}"),
+            EditorError::NoSuchFunction(n) => write!(f, "no function named {n:?}"),
+            EditorError::Instrument(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EditorError {}
+
+impl From<SymtabError> for EditorError {
+    fn from(e: SymtabError) -> Self {
+        EditorError::Symtab(e)
+    }
+}
+
+impl From<InstrumentError> for EditorError {
+    fn from(e: InstrumentError) -> Self {
+        EditorError::Instrument(e)
+    }
+}
+
+/// Open a binary, analyze it, queue snippet insertions, write a new
+/// binary — the static-instrumentation workflow of Figure 1.
+pub struct BinaryEditor {
+    binary: Binary,
+    code: CodeObject,
+    layout: PatchLayout,
+    mode: RegAllocMode,
+    pending: Vec<(Point, Snippet)>,
+    var_bytes: u64,
+}
+
+impl BinaryEditor {
+    /// Parse and analyze an ELF image.
+    pub fn open(elf: &[u8]) -> Result<BinaryEditor, EditorError> {
+        let binary = Binary::parse(elf)?;
+        Ok(Self::from_binary(binary))
+    }
+
+    /// Use an in-memory binary model directly.
+    pub fn from_binary(binary: Binary) -> BinaryEditor {
+        Self::from_binary_with(binary, &ParseOptions::default())
+    }
+
+    /// As [`BinaryEditor::from_binary`] with parse options (gap parsing,
+    /// parallelism).
+    pub fn from_binary_with(binary: Binary, opts: &ParseOptions) -> BinaryEditor {
+        let code = CodeObject::parse(&binary, opts);
+        BinaryEditor {
+            binary,
+            code,
+            layout: PatchLayout::default(),
+            mode: RegAllocMode::DeadRegisters,
+            pending: Vec::new(),
+            var_bytes: 0,
+        }
+    }
+
+    /// The underlying binary model.
+    pub fn binary(&self) -> &Binary {
+        &self.binary
+    }
+
+    /// The parsed CFG.
+    pub fn code(&self) -> &CodeObject {
+        &self.code
+    }
+
+    /// The mutatee's ISA profile (§3.2.1).
+    pub fn profile(&self) -> rvdyn_isa::IsaProfile {
+        self.binary.profile()
+    }
+
+    /// Select the register-allocation mode for generated snippets.
+    pub fn set_mode(&mut self, mode: RegAllocMode) {
+        self.mode = mode;
+    }
+
+    /// Override the patch-area layout.
+    pub fn set_layout(&mut self, layout: PatchLayout) {
+        self.layout = layout;
+    }
+
+    /// Function entry address by symbol name.
+    pub fn function_addr(&self, name: &str) -> Result<u64, EditorError> {
+        self.code
+            .functions
+            .values()
+            .find(|f| f.name.as_deref() == Some(name))
+            .map(|f| f.entry)
+            .ok_or_else(|| EditorError::NoSuchFunction(name.to_string()))
+    }
+
+    /// Enumerate points of `kind` in the named function.
+    pub fn find_points(
+        &self,
+        func: &str,
+        kind: PointKind,
+    ) -> Result<Vec<Point>, EditorError> {
+        let addr = self.function_addr(func)?;
+        Ok(find_points(&self.code.functions[&addr], kind))
+    }
+
+    /// Allocate an instrumentation variable.
+    pub fn alloc_var(&mut self, size: u8) -> Var {
+        let addr = self.layout.patch_data + self.var_bytes;
+        self.var_bytes += ((size as u64) + 7) & !7;
+        Var { addr, size }
+    }
+
+    /// Queue `snippet` at each point.
+    pub fn insert(&mut self, points: &[Point], snippet: Snippet) {
+        for p in points {
+            self.pending.push((*p, snippet.clone()));
+        }
+    }
+
+    /// Apply all queued insertions and produce the rewritten binary model.
+    pub fn instrumented(&self) -> Result<rvdyn_patch::instrument::PatchResult, EditorError> {
+        let mut ins = Instrumenter::new(&self.binary, &self.code)
+            .with_layout(self.layout)
+            .with_mode(self.mode);
+        // Pre-advance the instrumenter's variable cursor to keep its own
+        // allocations (if any) clear of ours.
+        for _ in 0..(self.var_bytes / 8) {
+            let _ = ins.alloc_var(8);
+        }
+        for (p, s) in &self.pending {
+            ins.insert(*p, s.clone());
+        }
+        ins.apply().map_err(EditorError::Instrument)
+    }
+
+    /// Apply all queued insertions and serialise the new ELF.
+    pub fn rewrite(&self) -> Result<Vec<u8>, EditorError> {
+        Ok(self.instrumented()?.binary.to_bytes()?)
+    }
+}
+
+/// Result of a convenience run on the emulator substrate.
+pub struct RunOutput {
+    pub exit_code: i64,
+    pub stdout: Vec<u8>,
+    pub cycles: u64,
+    pub icount: u64,
+    pub seconds: f64,
+    machine: rvdyn_emu::Machine,
+}
+
+impl RunOutput {
+    /// Read a u64 from the final memory image (e.g. a counter variable).
+    pub fn read_u64(&self, addr: u64) -> Option<u64> {
+        self.machine.mem.load(addr, 8).ok()
+    }
+
+    /// The final machine state.
+    pub fn machine(&self) -> &rvdyn_emu::Machine {
+        &self.machine
+    }
+}
+
+/// Load an ELF image into the execution substrate and run it to exit.
+pub fn run_elf(elf: &[u8], fuel: u64) -> Result<RunOutput, EditorError> {
+    let bin = Binary::parse(elf)?;
+    run_binary(&bin, fuel)
+}
+
+/// As [`run_elf`] for an in-memory binary model.
+pub fn run_binary(bin: &Binary, fuel: u64) -> Result<RunOutput, EditorError> {
+    let mut m = rvdyn_emu::load_binary(bin);
+    m.fuel = Some(fuel);
+    let stop = m.run();
+    let exit_code = match stop {
+        rvdyn_emu::StopReason::Exited(c) => c,
+        other => panic!("mutatee did not exit cleanly: {other:?}"),
+    };
+    Ok(RunOutput {
+        exit_code,
+        stdout: m.stdout.clone(),
+        cycles: m.cycles,
+        icount: m.icount,
+        seconds: m.now_seconds(),
+        machine: m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_static_workflow() {
+        let elf = rvdyn_asm::matmul_program(6, 3).to_bytes().unwrap();
+        let mut ed = BinaryEditor::open(&elf).unwrap();
+        assert_eq!(ed.profile(), rvdyn_isa::IsaProfile::rv64gc());
+        let counter = ed.alloc_var(8);
+        let pts = ed.find_points("matmul", PointKind::FuncEntry).unwrap();
+        ed.insert(&pts, Snippet::increment(counter));
+        let out = ed.rewrite().unwrap();
+        let r = run_elf(&out, 500_000_000).unwrap();
+        assert_eq!(r.exit_code, 0);
+        assert_eq!(r.read_u64(counter.addr), Some(3));
+        assert_eq!(r.stdout.len(), 8); // the mutatee's own timing output
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let elf = rvdyn_asm::fib_program(3).to_bytes().unwrap();
+        let ed = BinaryEditor::open(&elf).unwrap();
+        assert!(matches!(
+            ed.find_points("nonexistent", PointKind::FuncEntry),
+            Err(EditorError::NoSuchFunction(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_input_is_an_error() {
+        assert!(matches!(
+            BinaryEditor::open(b"definitely not an elf"),
+            Err(EditorError::Symtab(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_vars_do_not_collide() {
+        let elf = rvdyn_asm::fib_program(5).to_bytes().unwrap();
+        let mut ed = BinaryEditor::open(&elf).unwrap();
+        let v1 = ed.alloc_var(8);
+        let v2 = ed.alloc_var(8);
+        assert_ne!(v1.addr, v2.addr);
+        let entry = ed.find_points("fib", PointKind::FuncEntry).unwrap();
+        let exit = ed.find_points("fib", PointKind::FuncExit).unwrap();
+        ed.insert(&entry, Snippet::increment(v1));
+        ed.insert(&exit, Snippet::increment(v2));
+        let out = ed.rewrite().unwrap();
+        let r = run_elf(&out, 100_000_000).unwrap();
+        // Every call returns exactly once.
+        assert_eq!(r.read_u64(v1.addr), r.read_u64(v2.addr));
+        assert_eq!(r.read_u64(v1.addr), Some(15)); // fib(5) call-tree size
+    }
+}

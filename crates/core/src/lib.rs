@@ -1,0 +1,70 @@
+//! # rvdyn — binary analysis and instrumentation for RISC-V
+//!
+//! A from-scratch Rust reproduction of the system described in *"Dyninst
+//! on the RISC-V: Binary Instrumentation in Support of Performance,
+//! Debugging, and Other Tools"* (He, Chauhan, Kupsch, Wu, Miller — SC
+//! Workshops '25): the Dyninst toolkit suite ported to RV64GC.
+//!
+//! This crate is the machine-independent facade (Dyninst's `BPatch`
+//! layer). The component crates mirror Figure 2:
+//!
+//! | paper component  | crate              |
+//! |------------------|--------------------|
+//! | SymtabAPI        | `rvdyn-symtab`     |
+//! | InstructionAPI   | `rvdyn-isa`        |
+//! | ParseAPI         | `rvdyn-parse`      |
+//! | DataflowAPI      | `rvdyn-dataflow`   |
+//! | CodeGenAPI       | `rvdyn-codegen`    |
+//! | PatchAPI         | `rvdyn-patch`      |
+//! | ProcControlAPI   | `rvdyn-proccontrol`|
+//! | StackwalkerAPI   | `rvdyn-stackwalker`|
+//!
+//! plus the substrates this reproduction had to build (DESIGN.md §2):
+//! `rvdyn-emu` (an RV64GC machine standing in for RISC-V hardware) and
+//! `rvdyn-asm` (an assembler + mutatee suite standing in for gcc).
+//!
+//! ## Quickstart: static binary rewriting (Figure 1, left)
+//!
+//! ```
+//! use rvdyn::{BinaryEditor, PointKind, Snippet};
+//!
+//! // A RISC-V ELF image (here: the paper's matmul application).
+//! let elf = rvdyn_asm::matmul_program(8, 2).to_bytes().unwrap();
+//!
+//! // Open → analyze → instrument → write.
+//! let mut editor = BinaryEditor::open(&elf).unwrap();
+//! let counter = editor.alloc_var(8);
+//! let points = editor.find_points("matmul", PointKind::FuncEntry).unwrap();
+//! editor.insert(&points, Snippet::increment(counter));
+//! let rewritten: Vec<u8> = editor.rewrite().unwrap();
+//!
+//! // Run the instrumented binary on the execution substrate.
+//! let out = rvdyn::run_elf(&rewritten, 100_000_000).unwrap();
+//! assert_eq!(out.exit_code, 0);
+//! assert_eq!(out.read_u64(counter.addr), Some(2)); // two matmul calls
+//! ```
+//!
+//! ## Dynamic instrumentation (Figure 1, right)
+//!
+//! See [`DynamicInstrumenter`]: create or attach to a process, insert the
+//! same snippets at the same abstract points, and continue execution —
+//! the patch is applied through the process-control interface instead of
+//! being written to a file.
+
+pub mod dynamic;
+pub mod editor;
+
+pub use dynamic::DynamicInstrumenter;
+pub use editor::{BinaryEditor, EditorError, RunOutput, run_elf};
+
+// Re-export the component APIs under their Dyninst-flavoured names.
+pub use rvdyn_codegen::regalloc::RegAllocMode;
+pub use rvdyn_codegen::snippet::{BinaryOp, Snippet, UnaryOp, Var};
+pub use rvdyn_dataflow::{backward_slice, forward_slice, Liveness, StackHeight};
+pub use rvdyn_emu::{CostModel, Machine, StopReason};
+pub use rvdyn_isa::{decode, IsaProfile, Reg};
+pub use rvdyn_parse::{CodeObject, EdgeKind, Function, ParseOptions};
+pub use rvdyn_patch::{find_points, PatchLayout, Point, PointKind};
+pub use rvdyn_proccontrol::{Event, Process};
+pub use rvdyn_stackwalker::{Frame, StackWalker};
+pub use rvdyn_symtab::Binary;

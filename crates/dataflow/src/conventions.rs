@@ -1,0 +1,59 @@
+//! Calling-convention register sets (RISC-V psABI) used as boundary
+//! conditions by the interprocedural-aware analyses.
+
+use rvdyn_isa::{Reg, RegSet};
+
+/// Integer + FP argument registers: `a0`–`a7`, `fa0`–`fa7`.
+pub fn arg_regs() -> RegSet {
+    let mut s = RegSet::empty();
+    for n in 10..=17 {
+        s.insert(Reg::x(n));
+        s.insert(Reg::f(n));
+    }
+    s
+}
+
+/// Return-value registers: `a0`, `a1`, `fa0`, `fa1`.
+pub fn ret_regs() -> RegSet {
+    RegSet::of(&[Reg::x(10), Reg::x(11), Reg::f(10), Reg::f(11)])
+}
+
+/// Callee-saved registers: `sp`, `s0`–`s11`, `fs0`–`fs11`.
+pub fn callee_saved() -> RegSet {
+    let mut s = RegSet::empty();
+    for i in 0..64u8 {
+        let r = Reg::from_index(i);
+        if r.is_callee_saved() {
+            s.insert(r);
+        }
+    }
+    s
+}
+
+/// Caller-saved (call-clobbered) registers: everything a call may destroy
+/// (`ra`, `t*`, `a*`, `ft*`, `fa*`).
+pub fn caller_saved() -> RegSet {
+    callee_saved().complement().minus(RegSet::of(&[Reg::x(3), Reg::x(4)]))
+    // gp/tp are neither: they are platform registers, never reallocated.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_sane() {
+        let callee = callee_saved();
+        let caller = caller_saved();
+        assert!(callee.intersect(caller).is_empty());
+        // ra is caller-saved; sp callee-saved; gp/tp neither.
+        assert!(caller.contains(Reg::x(1)));
+        assert!(callee.contains(Reg::x(2)));
+        assert!(!caller.contains(Reg::x(3)));
+        assert!(!callee.contains(Reg::x(3)));
+        // fa0 is an arg and caller-saved.
+        assert!(arg_regs().contains(Reg::f(10)));
+        assert!(caller.contains(Reg::f(10)));
+        assert!(ret_regs().contains(Reg::x(10)));
+    }
+}

@@ -1,0 +1,170 @@
+//! Sparse paged memory for the emulated process.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Byte-addressed little-endian sparse memory. Pages materialise
+/// zero-filled on first write; reads of unmapped memory fault unless the
+/// page was mapped (matching a process whose loader mapped its segments).
+#[derive(Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+/// An access fault: address and whether it was a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    pub addr: u64,
+    pub write: bool,
+}
+
+impl Memory {
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    #[inline]
+    fn page_of(addr: u64) -> (u64, usize) {
+        (addr >> PAGE_SHIFT, (addr as usize) & (PAGE_SIZE - 1))
+    }
+
+    /// Map (zero-fill) the pages covering `[addr, addr+len)`.
+    pub fn map(&mut self, addr: u64, len: u64) {
+        let first = addr >> PAGE_SHIFT;
+        let last = (addr + len.max(1) - 1) >> PAGE_SHIFT;
+        for p in first..=last {
+            self.pages.entry(p).or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        }
+    }
+
+    /// Is the page containing `addr` mapped?
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.pages.contains_key(&(addr >> PAGE_SHIFT))
+    }
+
+    /// Copy `data` to `addr`, mapping as needed.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        self.map(addr, data.len() as u64);
+        let mut off = 0usize;
+        while off < data.len() {
+            let (pno, poff) = Self::page_of(addr + off as u64);
+            let n = (PAGE_SIZE - poff).min(data.len() - off);
+            let page = self.pages.get_mut(&pno).expect("mapped above");
+            page[poff..poff + n].copy_from_slice(&data[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Read `len` bytes at `addr` (fault if any page unmapped).
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemFault> {
+        let mut out = Vec::with_capacity(len);
+        let mut off = 0usize;
+        while off < len {
+            let (pno, poff) = Self::page_of(addr + off as u64);
+            let page = self
+                .pages
+                .get(&pno)
+                .ok_or(MemFault { addr: addr + off as u64, write: false })?;
+            let n = (PAGE_SIZE - poff).min(len - off);
+            out.extend_from_slice(&page[poff..poff + n]);
+            off += n;
+        }
+        Ok(out)
+    }
+
+    /// Load a `size`-byte little-endian scalar (1/2/4/8), zero-extended.
+    #[inline]
+    pub fn load(&self, addr: u64, size: u8) -> Result<u64, MemFault> {
+        let (pno, poff) = Self::page_of(addr);
+        let page = self.pages.get(&pno).ok_or(MemFault { addr, write: false })?;
+        let size = size as usize;
+        if poff + size <= PAGE_SIZE {
+            let mut buf = [0u8; 8];
+            buf[..size].copy_from_slice(&page[poff..poff + size]);
+            Ok(u64::from_le_bytes(buf))
+        } else {
+            // Crosses a page boundary — slow path.
+            let bytes = self.read_bytes(addr, size)?;
+            let mut buf = [0u8; 8];
+            buf[..size].copy_from_slice(&bytes);
+            Ok(u64::from_le_bytes(buf))
+        }
+    }
+
+    /// Store the low `size` bytes of `val` (page must be mapped).
+    #[inline]
+    pub fn store(&mut self, addr: u64, size: u8, val: u64) -> Result<(), MemFault> {
+        let (pno, poff) = Self::page_of(addr);
+        let size_us = size as usize;
+        if poff + size_us <= PAGE_SIZE {
+            let page = self.pages.get_mut(&pno).ok_or(MemFault { addr, write: true })?;
+            page[poff..poff + size_us].copy_from_slice(&val.to_le_bytes()[..size_us]);
+            Ok(())
+        } else {
+            // Page-crossing store: both pages must exist.
+            let bytes = val.to_le_bytes();
+            for (i, b) in bytes[..size_us].iter().enumerate() {
+                let a = addr + i as u64;
+                let (pno, poff) = Self::page_of(a);
+                let page = self
+                    .pages
+                    .get_mut(&pno)
+                    .ok_or(MemFault { addr: a, write: true })?;
+                page[poff] = *b;
+            }
+            Ok(())
+        }
+    }
+
+    /// Total mapped bytes (diagnostics).
+    pub fn mapped_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_fault() {
+        let m = Memory::new();
+        assert_eq!(m.load(0x1000, 8), Err(MemFault { addr: 0x1000, write: false }));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = Memory::new();
+        m.write_bytes(0x1000, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.load(0x1000, 8).unwrap(), 0x0807060504030201);
+        assert_eq!(m.load(0x1004, 4).unwrap(), 0x08070605);
+        assert_eq!(m.load(0x1007, 1).unwrap(), 8);
+    }
+
+    #[test]
+    fn page_crossing_access() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x2000);
+        m.store(0x1FFC, 8, 0x1122334455667788).unwrap();
+        assert_eq!(m.load(0x1FFC, 8).unwrap(), 0x1122334455667788);
+        assert_eq!(m.load(0x2000, 4).unwrap(), 0x11223344);
+    }
+
+    #[test]
+    fn store_to_unmapped_faults() {
+        let mut m = Memory::new();
+        assert!(m.store(0x5000, 4, 1).is_err());
+        m.map(0x5000, 1);
+        assert!(m.store(0x5000, 4, 1).is_ok());
+    }
+
+    #[test]
+    fn bulk_round_trip_across_pages() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        m.write_bytes(0xFF0, &data);
+        assert_eq!(m.read_bytes(0xFF0, data.len()).unwrap(), data);
+    }
+}

@@ -1,0 +1,190 @@
+//! Convenience constructors for synthesising [`Instruction`] values.
+//!
+//! Shared by CodeGenAPI, the assembler and PatchAPI. All constructors
+//! produce position-independent instruction *values*; addresses are
+//! assigned (and PC-relative immediates checked) at encode/layout time.
+
+use crate::inst::Instruction;
+use crate::op::Op;
+use crate::reg::Reg;
+
+fn base(op: Op) -> Instruction {
+    Instruction::new(0, 0, 4, op)
+}
+
+/// R-format: `op rd, rs1, rs2`.
+pub fn r_type(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction {
+    let mut i = base(op);
+    i.rd = Some(rd);
+    i.rs1 = Some(rs1);
+    i.rs2 = Some(rs2);
+    i
+}
+
+/// I-format: `op rd, rs1, imm` (also loads: `op rd, imm(rs1)`).
+pub fn i_type(op: Op, rd: Reg, rs1: Reg, imm: i64) -> Instruction {
+    let mut i = base(op);
+    i.rd = Some(rd);
+    i.rs1 = Some(rs1);
+    i.imm = imm;
+    i
+}
+
+/// S-format store: `op rs2, imm(rs1)`.
+pub fn s_type(op: Op, rs1: Reg, rs2: Reg, imm: i64) -> Instruction {
+    let mut i = base(op);
+    i.rs1 = Some(rs1);
+    i.rs2 = Some(rs2);
+    i.imm = imm;
+    i
+}
+
+/// B-format branch: `op rs1, rs2, ±offset`.
+pub fn b_type(op: Op, rs1: Reg, rs2: Reg, offset: i64) -> Instruction {
+    let mut i = base(op);
+    i.rs1 = Some(rs1);
+    i.rs2 = Some(rs2);
+    i.imm = offset;
+    i
+}
+
+/// U-format: `op rd, imm` where `imm` is the already-shifted value.
+pub fn u_type(op: Op, rd: Reg, imm: i64) -> Instruction {
+    let mut i = base(op);
+    i.rd = Some(rd);
+    i.imm = imm;
+    i
+}
+
+/// `jal rd, ±offset`.
+pub fn jal(rd: Reg, offset: i64) -> Instruction {
+    let mut i = base(Op::Jal);
+    i.rd = Some(rd);
+    i.imm = offset;
+    i
+}
+
+/// `jalr rd, imm(rs1)`.
+pub fn jalr(rd: Reg, rs1: Reg, imm: i64) -> Instruction {
+    i_type(Op::Jalr, rd, rs1, imm)
+}
+
+pub fn addi(rd: Reg, rs1: Reg, imm: i64) -> Instruction {
+    i_type(Op::Addi, rd, rs1, imm)
+}
+
+pub fn add(rd: Reg, rs1: Reg, rs2: Reg) -> Instruction {
+    r_type(Op::Add, rd, rs1, rs2)
+}
+
+pub fn sub(rd: Reg, rs1: Reg, rs2: Reg) -> Instruction {
+    r_type(Op::Sub, rd, rs1, rs2)
+}
+
+pub fn mv(rd: Reg, rs: Reg) -> Instruction {
+    addi(rd, rs, 0)
+}
+
+pub fn nop() -> Instruction {
+    addi(Reg::X0, Reg::X0, 0)
+}
+
+pub fn lui(rd: Reg, imm: i64) -> Instruction {
+    u_type(Op::Lui, rd, imm)
+}
+
+pub fn auipc(rd: Reg, imm: i64) -> Instruction {
+    u_type(Op::Auipc, rd, imm)
+}
+
+pub fn ld(rd: Reg, rs1: Reg, imm: i64) -> Instruction {
+    i_type(Op::Ld, rd, rs1, imm)
+}
+
+pub fn lw(rd: Reg, rs1: Reg, imm: i64) -> Instruction {
+    i_type(Op::Lw, rd, rs1, imm)
+}
+
+pub fn sd(rs2: Reg, rs1: Reg, imm: i64) -> Instruction {
+    s_type(Op::Sd, rs1, rs2, imm)
+}
+
+pub fn sw(rs2: Reg, rs1: Reg, imm: i64) -> Instruction {
+    s_type(Op::Sw, rs1, rs2, imm)
+}
+
+pub fn fld(rd: Reg, rs1: Reg, imm: i64) -> Instruction {
+    i_type(Op::Fld, rd, rs1, imm)
+}
+
+pub fn fsd(rs2: Reg, rs1: Reg, imm: i64) -> Instruction {
+    s_type(Op::Fsd, rs1, rs2, imm)
+}
+
+/// `ret` = `jalr x0, 0(ra)`.
+pub fn ret() -> Instruction {
+    jalr(Reg::X0, Reg::X1, 0)
+}
+
+pub fn ecall() -> Instruction {
+    base(Op::Ecall)
+}
+
+pub fn ebreak() -> Instruction {
+    base(Op::Ebreak)
+}
+
+/// FP three-operand with dynamic rounding mode.
+pub fn f_type(op: Op, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction {
+    let mut i = r_type(op, rd, rs1, rs2);
+    i.rm = 0b111;
+    i
+}
+
+/// FMA: `op rd, rs1, rs2, rs3` with dynamic rounding mode.
+pub fn fma(op: Op, rd: Reg, rs1: Reg, rs2: Reg, rs3: Reg) -> Instruction {
+    let mut i = f_type(op, rd, rs1, rs2);
+    i.rs3 = Some(rs3);
+    i
+}
+
+/// FP unary (fsqrt, fcvt, fmv, fclass) with dynamic rounding mode.
+pub fn f_unary(op: Op, rd: Reg, rs1: Reg) -> Instruction {
+    let mut i = base(op);
+    i.rd = Some(rd);
+    i.rs1 = Some(rs1);
+    i.rm = 0b111;
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode32;
+
+    #[test]
+    fn builders_encode() {
+        for i in [
+            addi(Reg::x(10), Reg::x(2), 16),
+            add(Reg::x(10), Reg::x(11), Reg::x(12)),
+            ld(Reg::x(1), Reg::X2, 8),
+            sd(Reg::x(1), Reg::X2, 8),
+            jal(Reg::X1, 0x1000),
+            jalr(Reg::X0, Reg::X1, 0),
+            ret(),
+            nop(),
+            ecall(),
+            fld(Reg::f(10), Reg::x(10), 0),
+            f_type(Op::FaddD, Reg::f(0), Reg::f(1), Reg::f(2)),
+            fma(Op::FmaddD, Reg::f(0), Reg::f(1), Reg::f(2), Reg::f(3)),
+            f_unary(Op::FcvtDL, Reg::f(0), Reg::x(10)),
+        ] {
+            encode32(&i).unwrap_or_else(|e| panic!("{}: {e}", i.mnemonic()));
+        }
+    }
+
+    #[test]
+    fn ret_is_canonical_return() {
+        assert!(ret().is_canonical_return());
+    }
+}

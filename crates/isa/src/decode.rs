@@ -1,0 +1,857 @@
+//! RV64GC instruction decoder.
+//!
+//! Entry points: [`decode`] (one instruction from bytes), [`decode_at`]
+//! (convenience taking a full buffer plus offset), and [`InstructionIter`]
+//! (stream decoding, skipping nothing). 16-bit encodings are handled by
+//! [`crate::decode_c`]; this module covers the 32-bit space.
+
+use crate::decode_c::decode_compressed;
+use crate::error::DecodeError;
+use crate::inst::Instruction;
+use crate::op::Op;
+use crate::reg::Reg;
+
+// Major opcode values (bits 6:0 of a 32-bit encoding).
+pub(crate) const OPC_LOAD: u32 = 0b000_0011;
+pub(crate) const OPC_LOAD_FP: u32 = 0b000_0111;
+pub(crate) const OPC_MISC_MEM: u32 = 0b000_1111;
+pub(crate) const OPC_OP_IMM: u32 = 0b001_0011;
+pub(crate) const OPC_AUIPC: u32 = 0b001_0111;
+pub(crate) const OPC_OP_IMM_32: u32 = 0b001_1011;
+pub(crate) const OPC_STORE: u32 = 0b010_0011;
+pub(crate) const OPC_STORE_FP: u32 = 0b010_0111;
+pub(crate) const OPC_AMO: u32 = 0b010_1111;
+pub(crate) const OPC_OP: u32 = 0b011_0011;
+pub(crate) const OPC_LUI: u32 = 0b011_0111;
+pub(crate) const OPC_OP_32: u32 = 0b011_1011;
+pub(crate) const OPC_MADD: u32 = 0b100_0011;
+pub(crate) const OPC_MSUB: u32 = 0b100_0111;
+pub(crate) const OPC_NMSUB: u32 = 0b100_1011;
+pub(crate) const OPC_NMADD: u32 = 0b100_1111;
+pub(crate) const OPC_OP_FP: u32 = 0b101_0011;
+pub(crate) const OPC_BRANCH: u32 = 0b110_0011;
+pub(crate) const OPC_JALR: u32 = 0b110_0111;
+pub(crate) const OPC_JAL: u32 = 0b110_1111;
+pub(crate) const OPC_SYSTEM: u32 = 0b111_0011;
+
+#[inline]
+fn bits(raw: u32, hi: u32, lo: u32) -> u32 {
+    (raw >> lo) & ((1u32 << (hi - lo + 1)) - 1)
+}
+
+#[inline]
+fn rd_x(raw: u32) -> Reg {
+    Reg::x(bits(raw, 11, 7) as u8)
+}
+#[inline]
+fn rs1_x(raw: u32) -> Reg {
+    Reg::x(bits(raw, 19, 15) as u8)
+}
+#[inline]
+fn rs2_x(raw: u32) -> Reg {
+    Reg::x(bits(raw, 24, 20) as u8)
+}
+#[inline]
+fn rd_f(raw: u32) -> Reg {
+    Reg::f(bits(raw, 11, 7) as u8)
+}
+#[inline]
+fn rs1_f(raw: u32) -> Reg {
+    Reg::f(bits(raw, 19, 15) as u8)
+}
+#[inline]
+fn rs2_f(raw: u32) -> Reg {
+    Reg::f(bits(raw, 24, 20) as u8)
+}
+#[inline]
+fn rs3_f(raw: u32) -> Reg {
+    Reg::f(bits(raw, 31, 27) as u8)
+}
+
+/// Sign-extend the low `width` bits of `v`.
+#[inline]
+pub(crate) fn sext(v: u32, width: u32) -> i64 {
+    let shift = 64 - width;
+    (((v as u64) << shift) as i64) >> shift
+}
+
+#[inline]
+fn imm_i(raw: u32) -> i64 {
+    sext(bits(raw, 31, 20), 12)
+}
+
+#[inline]
+fn imm_s(raw: u32) -> i64 {
+    sext((bits(raw, 31, 25) << 5) | bits(raw, 11, 7), 12)
+}
+
+#[inline]
+fn imm_b(raw: u32) -> i64 {
+    let v = (bits(raw, 31, 31) << 12)
+        | (bits(raw, 7, 7) << 11)
+        | (bits(raw, 30, 25) << 5)
+        | (bits(raw, 11, 8) << 1);
+    sext(v, 13)
+}
+
+#[inline]
+fn imm_u(raw: u32) -> i64 {
+    // Kept as the full shifted 32-bit value, sign-extended (RV64 semantics).
+    sext(raw & 0xFFFF_F000, 32)
+}
+
+#[inline]
+fn imm_j(raw: u32) -> i64 {
+    let v = (bits(raw, 31, 31) << 20)
+        | (bits(raw, 19, 12) << 12)
+        | (bits(raw, 20, 20) << 11)
+        | (bits(raw, 30, 21) << 1);
+    sext(v, 21)
+}
+
+/// Decode a single instruction starting at `bytes[0]`, which the caller
+/// asserts lives at `address`. Returns the instruction; its `size` tells
+/// the caller how far to advance (2 or 4).
+pub fn decode(bytes: &[u8], address: u64) -> Result<Instruction, DecodeError> {
+    if bytes.len() < 2 {
+        return Err(DecodeError::Truncated { address, have: bytes.len(), need: 2 });
+    }
+    let lo = u16::from_le_bytes([bytes[0], bytes[1]]);
+    if lo & 0b11 != 0b11 {
+        // 16-bit (compressed) encoding.
+        return decode_compressed(lo, address);
+    }
+    if lo & 0b11100 == 0b11100 {
+        // 48-bit+ encodings are reserved; we do not support them.
+        return Err(DecodeError::Invalid { address, raw: lo as u32 });
+    }
+    if bytes.len() < 4 {
+        return Err(DecodeError::Truncated { address, have: bytes.len(), need: 4 });
+    }
+    let raw = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if raw == 0 || raw == 0xFFFF_FFFF {
+        return Err(DecodeError::DefinedIllegal { address });
+    }
+    decode32(raw, address)
+}
+
+/// Decode at `offset` within `buf`, where `buf[0]` lives at `base`.
+pub fn decode_at(buf: &[u8], base: u64, offset: usize) -> Result<Instruction, DecodeError> {
+    decode(&buf[offset..], base + offset as u64)
+}
+
+/// Decode a 32-bit encoding.
+pub fn decode32(raw: u32, address: u64) -> Result<Instruction, DecodeError> {
+    let invalid = || DecodeError::Invalid { address, raw };
+    let opcode = raw & 0x7F;
+    let f3 = bits(raw, 14, 12);
+    let f7 = bits(raw, 31, 25);
+    let mut i;
+    match opcode {
+        OPC_LUI | OPC_AUIPC => {
+            let op = if opcode == OPC_LUI { Op::Lui } else { Op::Auipc };
+            i = Instruction::new(address, raw, 4, op);
+            i.rd = Some(rd_x(raw));
+            i.imm = imm_u(raw);
+        }
+        OPC_JAL => {
+            i = Instruction::new(address, raw, 4, Op::Jal);
+            i.rd = Some(rd_x(raw));
+            i.imm = imm_j(raw);
+        }
+        OPC_JALR => {
+            if f3 != 0 {
+                return Err(invalid());
+            }
+            i = Instruction::new(address, raw, 4, Op::Jalr);
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_x(raw));
+            i.imm = imm_i(raw);
+        }
+        OPC_BRANCH => {
+            let op = match f3 {
+                0b000 => Op::Beq,
+                0b001 => Op::Bne,
+                0b100 => Op::Blt,
+                0b101 => Op::Bge,
+                0b110 => Op::Bltu,
+                0b111 => Op::Bgeu,
+                _ => return Err(invalid()),
+            };
+            i = Instruction::new(address, raw, 4, op);
+            i.rs1 = Some(rs1_x(raw));
+            i.rs2 = Some(rs2_x(raw));
+            i.imm = imm_b(raw);
+        }
+        OPC_LOAD => {
+            let op = match f3 {
+                0b000 => Op::Lb,
+                0b001 => Op::Lh,
+                0b010 => Op::Lw,
+                0b011 => Op::Ld,
+                0b100 => Op::Lbu,
+                0b101 => Op::Lhu,
+                0b110 => Op::Lwu,
+                _ => return Err(invalid()),
+            };
+            i = Instruction::new(address, raw, 4, op);
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_x(raw));
+            i.imm = imm_i(raw);
+        }
+        OPC_STORE => {
+            let op = match f3 {
+                0b000 => Op::Sb,
+                0b001 => Op::Sh,
+                0b010 => Op::Sw,
+                0b011 => Op::Sd,
+                _ => return Err(invalid()),
+            };
+            i = Instruction::new(address, raw, 4, op);
+            i.rs1 = Some(rs1_x(raw));
+            i.rs2 = Some(rs2_x(raw));
+            i.imm = imm_s(raw);
+        }
+        OPC_OP_IMM => {
+            i = Instruction::new(address, raw, 4, Op::Addi);
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_x(raw));
+            match f3 {
+                0b000 => i.op = Op::Addi,
+                0b010 => i.op = Op::Slti,
+                0b011 => i.op = Op::Sltiu,
+                0b100 => i.op = Op::Xori,
+                0b110 => i.op = Op::Ori,
+                0b111 => i.op = Op::Andi,
+                0b001 => {
+                    // RV64: 6-bit shamt, funct6 must be 0.
+                    if bits(raw, 31, 26) != 0 {
+                        return Err(invalid());
+                    }
+                    i.op = Op::Slli;
+                    i.imm = bits(raw, 25, 20) as i64;
+                    return Ok(i);
+                }
+                0b101 => {
+                    match bits(raw, 31, 26) {
+                        0b000000 => i.op = Op::Srli,
+                        0b010000 => i.op = Op::Srai,
+                        _ => return Err(invalid()),
+                    }
+                    i.imm = bits(raw, 25, 20) as i64;
+                    return Ok(i);
+                }
+                _ => return Err(invalid()),
+            }
+            i.imm = imm_i(raw);
+        }
+        OPC_OP_IMM_32 => {
+            i = Instruction::new(address, raw, 4, Op::Addiw);
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_x(raw));
+            match f3 {
+                0b000 => {
+                    i.op = Op::Addiw;
+                    i.imm = imm_i(raw);
+                }
+                0b001 => {
+                    if f7 != 0 {
+                        return Err(invalid());
+                    }
+                    i.op = Op::Slliw;
+                    i.imm = bits(raw, 24, 20) as i64;
+                }
+                0b101 => {
+                    match f7 {
+                        0b0000000 => i.op = Op::Srliw,
+                        0b0100000 => i.op = Op::Sraiw,
+                        _ => return Err(invalid()),
+                    }
+                    i.imm = bits(raw, 24, 20) as i64;
+                }
+                _ => return Err(invalid()),
+            }
+        }
+        OPC_OP => {
+            let op = match (f7, f3) {
+                (0b0000000, 0b000) => Op::Add,
+                (0b0100000, 0b000) => Op::Sub,
+                (0b0000000, 0b001) => Op::Sll,
+                (0b0000000, 0b010) => Op::Slt,
+                (0b0000000, 0b011) => Op::Sltu,
+                (0b0000000, 0b100) => Op::Xor,
+                (0b0000000, 0b101) => Op::Srl,
+                (0b0100000, 0b101) => Op::Sra,
+                (0b0000000, 0b110) => Op::Or,
+                (0b0000000, 0b111) => Op::And,
+                (0b0000001, 0b000) => Op::Mul,
+                (0b0000001, 0b001) => Op::Mulh,
+                (0b0000001, 0b010) => Op::Mulhsu,
+                (0b0000001, 0b011) => Op::Mulhu,
+                (0b0000001, 0b100) => Op::Div,
+                (0b0000001, 0b101) => Op::Divu,
+                (0b0000001, 0b110) => Op::Rem,
+                (0b0000001, 0b111) => Op::Remu,
+                _ => return Err(invalid()),
+            };
+            i = Instruction::new(address, raw, 4, op);
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_x(raw));
+            i.rs2 = Some(rs2_x(raw));
+        }
+        OPC_OP_32 => {
+            let op = match (f7, f3) {
+                (0b0000000, 0b000) => Op::Addw,
+                (0b0100000, 0b000) => Op::Subw,
+                (0b0000000, 0b001) => Op::Sllw,
+                (0b0000000, 0b101) => Op::Srlw,
+                (0b0100000, 0b101) => Op::Sraw,
+                (0b0000001, 0b000) => Op::Mulw,
+                (0b0000001, 0b100) => Op::Divw,
+                (0b0000001, 0b101) => Op::Divuw,
+                (0b0000001, 0b110) => Op::Remw,
+                (0b0000001, 0b111) => Op::Remuw,
+                _ => return Err(invalid()),
+            };
+            i = Instruction::new(address, raw, 4, op);
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_x(raw));
+            i.rs2 = Some(rs2_x(raw));
+        }
+        OPC_MISC_MEM => {
+            let op = match f3 {
+                0b000 => Op::Fence,
+                0b001 => Op::FenceI,
+                _ => return Err(invalid()),
+            };
+            i = Instruction::new(address, raw, 4, op);
+            // The pred/succ sets live in imm, and the (reserved, hint-only)
+            // rd/rs1 fields are preserved so re-encoding is exact.
+            i.imm = bits(raw, 31, 20) as i64;
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_x(raw));
+        }
+        OPC_SYSTEM => {
+            match f3 {
+                0b000 => {
+                    let op = match bits(raw, 31, 20) {
+                        0 => Op::Ecall,
+                        1 => Op::Ebreak,
+                        _ => return Err(invalid()),
+                    };
+                    if bits(raw, 19, 7) != 0 {
+                        return Err(invalid());
+                    }
+                    i = Instruction::new(address, raw, 4, op);
+                }
+                0b001 | 0b010 | 0b011 | 0b101 | 0b110 | 0b111 => {
+                    let op = match f3 {
+                        0b001 => Op::Csrrw,
+                        0b010 => Op::Csrrs,
+                        0b011 => Op::Csrrc,
+                        0b101 => Op::Csrrwi,
+                        0b110 => Op::Csrrsi,
+                        _ => Op::Csrrci,
+                    };
+                    i = Instruction::new(address, raw, 4, op);
+                    i.rd = Some(rd_x(raw));
+                    i.csr = Some(bits(raw, 31, 20) as u16);
+                    if f3 & 0b100 == 0 {
+                        i.rs1 = Some(rs1_x(raw));
+                    } else {
+                        // zimm: 5-bit unsigned immediate in the rs1 field.
+                        i.imm = bits(raw, 19, 15) as i64;
+                    }
+                }
+                _ => return Err(invalid()),
+            }
+        }
+        OPC_AMO => {
+            let width_d = match f3 {
+                0b010 => false,
+                0b011 => true,
+                _ => return Err(invalid()),
+            };
+            let f5 = bits(raw, 31, 27);
+            let op = match (f5, width_d) {
+                (0b00010, false) => Op::LrW,
+                (0b00011, false) => Op::ScW,
+                (0b00001, false) => Op::AmoSwapW,
+                (0b00000, false) => Op::AmoAddW,
+                (0b00100, false) => Op::AmoXorW,
+                (0b01100, false) => Op::AmoAndW,
+                (0b01000, false) => Op::AmoOrW,
+                (0b10000, false) => Op::AmoMinW,
+                (0b10100, false) => Op::AmoMaxW,
+                (0b11000, false) => Op::AmoMinuW,
+                (0b11100, false) => Op::AmoMaxuW,
+                (0b00010, true) => Op::LrD,
+                (0b00011, true) => Op::ScD,
+                (0b00001, true) => Op::AmoSwapD,
+                (0b00000, true) => Op::AmoAddD,
+                (0b00100, true) => Op::AmoXorD,
+                (0b01100, true) => Op::AmoAndD,
+                (0b01000, true) => Op::AmoOrD,
+                (0b10000, true) => Op::AmoMinD,
+                (0b10100, true) => Op::AmoMaxD,
+                (0b11000, true) => Op::AmoMinuD,
+                (0b11100, true) => Op::AmoMaxuD,
+                _ => return Err(invalid()),
+            };
+            if matches!(op, Op::LrW | Op::LrD) && bits(raw, 24, 20) != 0 {
+                return Err(invalid());
+            }
+            i = Instruction::new(address, raw, 4, op);
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_x(raw));
+            if !matches!(op, Op::LrW | Op::LrD) {
+                i.rs2 = Some(rs2_x(raw));
+            }
+            i.aq = bits(raw, 26, 26) != 0;
+            i.rl = bits(raw, 25, 25) != 0;
+        }
+        OPC_LOAD_FP => {
+            let op = match f3 {
+                0b010 => Op::Flw,
+                0b011 => Op::Fld,
+                _ => return Err(invalid()),
+            };
+            i = Instruction::new(address, raw, 4, op);
+            i.rd = Some(rd_f(raw));
+            i.rs1 = Some(rs1_x(raw));
+            i.imm = imm_i(raw);
+        }
+        OPC_STORE_FP => {
+            let op = match f3 {
+                0b010 => Op::Fsw,
+                0b011 => Op::Fsd,
+                _ => return Err(invalid()),
+            };
+            i = Instruction::new(address, raw, 4, op);
+            i.rs1 = Some(rs1_x(raw));
+            i.rs2 = Some(rs2_f(raw));
+            i.imm = imm_s(raw);
+        }
+        OPC_MADD | OPC_MSUB | OPC_NMSUB | OPC_NMADD => {
+            let fmt = bits(raw, 26, 25);
+            let op = match (opcode, fmt) {
+                (OPC_MADD, 0b00) => Op::FmaddS,
+                (OPC_MSUB, 0b00) => Op::FmsubS,
+                (OPC_NMSUB, 0b00) => Op::FnmsubS,
+                (OPC_NMADD, 0b00) => Op::FnmaddS,
+                (OPC_MADD, 0b01) => Op::FmaddD,
+                (OPC_MSUB, 0b01) => Op::FmsubD,
+                (OPC_NMSUB, 0b01) => Op::FnmsubD,
+                (OPC_NMADD, 0b01) => Op::FnmaddD,
+                _ => return Err(invalid()),
+            };
+            i = Instruction::new(address, raw, 4, op);
+            i.rd = Some(rd_f(raw));
+            i.rs1 = Some(rs1_f(raw));
+            i.rs2 = Some(rs2_f(raw));
+            i.rs3 = Some(rs3_f(raw));
+            i.rm = f3 as u8;
+        }
+        OPC_OP_FP => return decode_fp(raw, address),
+        _ => return Err(invalid()),
+    }
+    Ok(i)
+}
+
+/// OP-FP major opcode: computational, conversion, move, compare, classify.
+fn decode_fp(raw: u32, address: u64) -> Result<Instruction, DecodeError> {
+    let invalid = || DecodeError::Invalid { address, raw };
+    let f7 = bits(raw, 31, 25);
+    let f3 = bits(raw, 14, 12);
+    let rs2n = bits(raw, 24, 20);
+    let dbl = f7 & 1 == 1; // fmt bit: 0 = S, 1 = D
+    let mut i = Instruction::new(address, raw, 4, Op::FaddS);
+    i.rm = f3 as u8;
+    let sel = f7 >> 2; // drop fmt bits
+    match sel {
+        0b00000 => {
+            i.op = if dbl { Op::FaddD } else { Op::FaddS };
+        }
+        0b00001 => {
+            i.op = if dbl { Op::FsubD } else { Op::FsubS };
+        }
+        0b00010 => {
+            i.op = if dbl { Op::FmulD } else { Op::FmulS };
+        }
+        0b00011 => {
+            i.op = if dbl { Op::FdivD } else { Op::FdivS };
+        }
+        0b01011 => {
+            if rs2n != 0 {
+                return Err(invalid());
+            }
+            i.op = if dbl { Op::FsqrtD } else { Op::FsqrtS };
+            i.rd = Some(rd_f(raw));
+            i.rs1 = Some(rs1_f(raw));
+            return Ok(i);
+        }
+        0b00100 => {
+            i.op = match (f3, dbl) {
+                (0b000, false) => Op::FsgnjS,
+                (0b001, false) => Op::FsgnjnS,
+                (0b010, false) => Op::FsgnjxS,
+                (0b000, true) => Op::FsgnjD,
+                (0b001, true) => Op::FsgnjnD,
+                (0b010, true) => Op::FsgnjxD,
+                _ => return Err(invalid()),
+            };
+        }
+        0b00101 => {
+            i.op = match (f3, dbl) {
+                (0b000, false) => Op::FminS,
+                (0b001, false) => Op::FmaxS,
+                (0b000, true) => Op::FminD,
+                (0b001, true) => Op::FmaxD,
+                _ => return Err(invalid()),
+            };
+        }
+        0b01000 => {
+            // fcvt.s.d / fcvt.d.s
+            i.op = match (dbl, rs2n) {
+                (false, 1) => Op::FcvtSD,
+                (true, 0) => Op::FcvtDS,
+                _ => return Err(invalid()),
+            };
+            i.rd = Some(rd_f(raw));
+            i.rs1 = Some(rs1_f(raw));
+            return Ok(i);
+        }
+        0b11000 => {
+            // fcvt.{w,wu,l,lu}.{s,d}: FP -> int
+            i.op = match (dbl, rs2n) {
+                (false, 0) => Op::FcvtWS,
+                (false, 1) => Op::FcvtWuS,
+                (false, 2) => Op::FcvtLS,
+                (false, 3) => Op::FcvtLuS,
+                (true, 0) => Op::FcvtWD,
+                (true, 1) => Op::FcvtWuD,
+                (true, 2) => Op::FcvtLD,
+                (true, 3) => Op::FcvtLuD,
+                _ => return Err(invalid()),
+            };
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_f(raw));
+            return Ok(i);
+        }
+        0b11010 => {
+            // fcvt.{s,d}.{w,wu,l,lu}: int -> FP
+            i.op = match (dbl, rs2n) {
+                (false, 0) => Op::FcvtSW,
+                (false, 1) => Op::FcvtSWu,
+                (false, 2) => Op::FcvtSL,
+                (false, 3) => Op::FcvtSLu,
+                (true, 0) => Op::FcvtDW,
+                (true, 1) => Op::FcvtDWu,
+                (true, 2) => Op::FcvtDL,
+                (true, 3) => Op::FcvtDLu,
+                _ => return Err(invalid()),
+            };
+            i.rd = Some(rd_f(raw));
+            i.rs1 = Some(rs1_x(raw));
+            return Ok(i);
+        }
+        0b11100 => {
+            // fmv.x.{w,d} (f3=0) / fclass (f3=1): FP -> int
+            if rs2n != 0 {
+                return Err(invalid());
+            }
+            i.op = match (f3, dbl) {
+                (0b000, false) => Op::FmvXW,
+                (0b001, false) => Op::FclassS,
+                (0b000, true) => Op::FmvXD,
+                (0b001, true) => Op::FclassD,
+                _ => return Err(invalid()),
+            };
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_f(raw));
+            return Ok(i);
+        }
+        0b11110 => {
+            // fmv.{w,d}.x: int -> FP
+            if rs2n != 0 || f3 != 0 {
+                return Err(invalid());
+            }
+            i.op = if dbl { Op::FmvDX } else { Op::FmvWX };
+            i.rd = Some(rd_f(raw));
+            i.rs1 = Some(rs1_x(raw));
+            return Ok(i);
+        }
+        0b10100 => {
+            // comparisons: FP,FP -> int
+            i.op = match (f3, dbl) {
+                (0b010, false) => Op::FeqS,
+                (0b001, false) => Op::FltS,
+                (0b000, false) => Op::FleS,
+                (0b010, true) => Op::FeqD,
+                (0b001, true) => Op::FltD,
+                (0b000, true) => Op::FleD,
+                _ => return Err(invalid()),
+            };
+            i.rd = Some(rd_x(raw));
+            i.rs1 = Some(rs1_f(raw));
+            i.rs2 = Some(rs2_f(raw));
+            return Ok(i);
+        }
+        _ => return Err(invalid()),
+    }
+    // Common F/F/F three-operand form.
+    i.rd = Some(rd_f(raw));
+    i.rs1 = Some(rs1_f(raw));
+    i.rs2 = Some(rs2_f(raw));
+    Ok(i)
+}
+
+/// Iterator over a contiguous code buffer, yielding instructions (or decode
+/// errors) in address order. On an error it advances by the minimum unit
+/// (2 bytes) so the stream can resynchronise — the behaviour ParseAPI's gap
+/// parsing relies on.
+pub struct InstructionIter<'a> {
+    buf: &'a [u8],
+    base: u64,
+    pos: usize,
+}
+
+impl<'a> InstructionIter<'a> {
+    pub fn new(buf: &'a [u8], base: u64) -> InstructionIter<'a> {
+        InstructionIter { buf, base, pos: 0 }
+    }
+
+    /// Byte offset of the next decode position.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Iterator for InstructionIter<'_> {
+    type Item = Result<Instruction, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let r = decode(&self.buf[self.pos..], self.base + self.pos as u64);
+        match &r {
+            Ok(i) => self.pos += i.size as usize,
+            Err(_) => self.pos += 2,
+        }
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::ControlFlow;
+
+    fn d32(raw: u32) -> Instruction {
+        decode32(raw, 0x1000).unwrap()
+    }
+
+    #[test]
+    fn decode_addi() {
+        // addi a0, a1, -3  => imm=0xffd rs1=11(01011) f3=000 rd=10 op=0010011
+        let raw = 0xFFD5_8513;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::Addi);
+        assert_eq!(i.rd, Some(Reg::x(10)));
+        assert_eq!(i.rs1, Some(Reg::x(11)));
+        assert_eq!(i.imm, -3);
+    }
+
+    #[test]
+    fn decode_lui_auipc() {
+        // lui a0, 0x12345
+        let i = d32(0x1234_5537);
+        assert_eq!(i.op, Op::Lui);
+        assert_eq!(i.imm, 0x1234_5000);
+        // auipc a0 with negative-looking upper imm sign-extends on RV64
+        let i = d32(0x8000_0517);
+        assert_eq!(i.op, Op::Auipc);
+        assert_eq!(i.imm, -0x8000_0000);
+    }
+
+    #[test]
+    fn decode_jal_and_target() {
+        // jal ra, +8 : imm[20|10:1|11|19:12] -> 0x008000EF
+        let i = decode32(0x0080_00EF, 0x1000).unwrap();
+        assert_eq!(i.op, Op::Jal);
+        assert_eq!(i.rd, Some(Reg::x(1)));
+        assert_eq!(i.imm, 8);
+        match i.control_flow() {
+            ControlFlow::DirectJump { target, link } => {
+                assert_eq!(target, 0x1008);
+                assert_eq!(link, Reg::x(1));
+            }
+            cf => panic!("{cf:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_jal_negative() {
+        // jal x0, -4
+        // imm=-4: bit20=1, bits10:1 = 0x3FE, bit11=1, bits19:12=0xFF
+        let raw = (1 << 31) | (0x3FE << 21) | (1 << 20) | (0xFF << 12) | 0x6F;
+        let i = decode32(raw, 0x1000).unwrap();
+        assert_eq!(i.imm, -4);
+    }
+
+    #[test]
+    fn decode_branch() {
+        // beq a0, a1, +16
+        // imm_b(16): bit4:1=1000 -> bits 11:8; rest zero
+        let raw = (0b0 << 31)
+            | (11 << 20)
+            | (10 << 15)
+            | (0b000 << 12)
+            | (0b1000 << 8)
+            | 0x63;
+        let i = decode32(raw, 0).unwrap();
+        assert_eq!(i.op, Op::Beq);
+        assert_eq!(i.imm, 16);
+    }
+
+    #[test]
+    fn decode_loads_stores() {
+        // ld a0, 16(sp)
+        let raw = (16 << 20) | (2 << 15) | (0b011 << 12) | (10 << 7) | 0x03;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::Ld);
+        assert_eq!(i.mem_access().unwrap().size, 8);
+        // sd a0, -8(sp): imm=-8 = 0xFF8 -> hi 0b1111111, lo 0b11000
+        let raw = (0b1111111 << 25) | (10 << 20) | (2 << 15) | (0b011 << 12) | (0b11000 << 7) | 0x23;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::Sd);
+        assert_eq!(i.imm, -8);
+    }
+
+    #[test]
+    fn decode_shifts_rv64() {
+        // slli a0, a0, 63
+        let raw = (63 << 20) | (10 << 15) | (0b001 << 12) | (10 << 7) | 0x13;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::Slli);
+        assert_eq!(i.imm, 63);
+        // srai a0, a0, 63
+        let raw = (0b010000 << 26) | (63 << 20) | (10 << 15) | (0b101 << 12) | (10 << 7) | 0x13;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::Srai);
+        assert_eq!(i.imm, 63);
+    }
+
+    #[test]
+    fn decode_m_extension() {
+        // mul a0, a1, a2
+        let raw = (1 << 25) | (12 << 20) | (11 << 15) | (0b000 << 12) | (10 << 7) | 0x33;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::Mul);
+        // divw a0, a1, a2
+        let raw = (1 << 25) | (12 << 20) | (11 << 15) | (0b100 << 12) | (10 << 7) | 0x3B;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::Divw);
+    }
+
+    #[test]
+    fn decode_amo() {
+        // amoadd.w.aq a0, a1, (a2)
+        let raw = (0b00000 << 27) | (1 << 26) | (11 << 20) | (12 << 15) | (0b010 << 12) | (10 << 7) | 0x2F;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::AmoAddW);
+        assert!(i.aq);
+        assert!(!i.rl);
+        // lr.d (a1)
+        let raw = (0b00010 << 27) | (11 << 15) | (0b011 << 12) | (10 << 7) | 0x2F;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::LrD);
+        assert_eq!(i.rs2, None);
+    }
+
+    #[test]
+    fn decode_fp_ops() {
+        // fadd.d fa0, fa1, fa2
+        let raw = (0b0000001 << 25) | (12 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x53;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::FaddD);
+        assert_eq!(i.rd, Some(Reg::f(10)));
+        assert_eq!(i.rs1, Some(Reg::f(11)));
+        // fcvt.d.l fa0, a1
+        let raw = (0b1101001 << 25) | (2 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x53;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::FcvtDL);
+        assert_eq!(i.rs1, Some(Reg::x(11)));
+        assert_eq!(i.rd, Some(Reg::f(10)));
+        // fmv.x.d a0, fa0
+        let raw = (0b1110001 << 25) | (10 << 15) | (10 << 7) | 0x53;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::FmvXD);
+        assert_eq!(i.rd, Some(Reg::x(10)));
+        // feq.d a0, fa0, fa1
+        let raw = (0b1010001 << 25) | (11 << 20) | (10 << 15) | (0b010 << 12) | (10 << 7) | 0x53;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::FeqD);
+        assert_eq!(i.rd, Some(Reg::x(10)));
+    }
+
+    #[test]
+    fn decode_fma() {
+        // fmadd.d fa0, fa1, fa2, fa3
+        let raw = (13 << 27) | (0b01 << 25) | (12 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x43;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::FmaddD);
+        assert_eq!(i.rs3, Some(Reg::f(13)));
+        assert_eq!(i.regs_read().len(), 3);
+    }
+
+    #[test]
+    fn decode_system() {
+        let i = d32(0x0000_0073);
+        assert_eq!(i.op, Op::Ecall);
+        let i = d32(0x0010_0073);
+        assert_eq!(i.op, Op::Ebreak);
+        // csrrs a0, fcsr(0x003), x0  (frcsr)
+        let raw = (0x003 << 20) | (0 << 15) | (0b010 << 12) | (10 << 7) | 0x73;
+        let i = d32(raw);
+        assert_eq!(i.op, Op::Csrrs);
+        assert_eq!(i.csr, Some(3));
+    }
+
+    #[test]
+    fn defined_illegal_encodings() {
+        assert!(matches!(
+            decode(&[0, 0, 0, 0], 0),
+            Err(DecodeError::DefinedIllegal { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(matches!(
+            decode(&[0x13], 0),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // A 32-bit encoding with only 2 bytes available.
+        assert!(matches!(
+            decode(&[0x13, 0x05], 0),
+            Err(DecodeError::Truncated { need: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn iterator_advances_and_resyncs() {
+        // addi a0,a1,-3 ; then garbage 0xffff (invalid 16-bit), then c.nop
+        let mut buf = vec![];
+        buf.extend_from_slice(&0xFFD5_8513u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFF]); // defined-illegal 16-bit
+        buf.extend_from_slice(&0x0001u16.to_le_bytes()); // c.nop
+        let items: Vec<_> = InstructionIter::new(&buf, 0x1000).collect();
+        assert_eq!(items.len(), 3);
+        assert!(items[0].is_ok());
+        assert!(items[1].is_err());
+        assert!(items[2].is_ok());
+        assert_eq!(items[2].as_ref().unwrap().address, 0x1006);
+    }
+}

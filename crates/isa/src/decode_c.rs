@@ -1,0 +1,605 @@
+//! C-extension (compressed, 16-bit) instruction decoder (§3.1.2).
+//!
+//! Every compressed instruction expands to a standard RV64 operation; the
+//! decoder produces the expanded [`Op`] with `size == 2` and records the
+//! original [`CompressedOp`] so PatchAPI can reason about 2-byte patch
+//! footprints.
+
+use crate::decode::sext;
+use crate::error::DecodeError;
+use crate::inst::Instruction;
+use crate::op::{CompressedOp, Op};
+use crate::reg::Reg;
+
+#[inline]
+fn bits16(raw: u16, hi: u16, lo: u16) -> u16 {
+    (raw >> lo) & ((1u16 << (hi - lo + 1)) - 1)
+}
+
+/// `x8 + n` — the 3-bit "prime" register encoding used by most compressed
+/// formats (maps to the most frequently used registers s0–a5).
+#[inline]
+fn xp(n: u16) -> Reg {
+    Reg::x(8 + n as u8)
+}
+
+#[inline]
+fn fp(n: u16) -> Reg {
+    Reg::f(8 + n as u8)
+}
+
+/// Decode a 16-bit encoding at `address`.
+pub fn decode_compressed(raw: u16, address: u64) -> Result<Instruction, DecodeError> {
+    let invalid = || DecodeError::Invalid { address, raw: raw as u32 };
+    if raw == 0 {
+        return Err(DecodeError::DefinedIllegal { address });
+    }
+    let quadrant = raw & 0b11;
+    let f3 = bits16(raw, 15, 13);
+    let mut i = Instruction::new(address, raw as u32, 2, Op::Addi);
+
+    match (quadrant, f3) {
+        // ---------------- Quadrant 0 ----------------
+        (0b00, 0b000) => {
+            // c.addi4spn rd', sp, nzuimm
+            let nzuimm = (bits16(raw, 12, 11) << 4)
+                | (bits16(raw, 10, 7) << 6)
+                | (bits16(raw, 6, 6) << 2)
+                | (bits16(raw, 5, 5) << 3);
+            if nzuimm == 0 {
+                return Err(invalid());
+            }
+            i.op = Op::Addi;
+            i.compressed = Some(CompressedOp::CAddi4spn);
+            i.rd = Some(xp(bits16(raw, 4, 2)));
+            i.rs1 = Some(Reg::X2);
+            i.imm = nzuimm as i64;
+        }
+        (0b00, 0b001) => {
+            // c.fld rd', uimm(rs1')
+            let uimm = (bits16(raw, 12, 10) << 3) | (bits16(raw, 6, 5) << 6);
+            i.op = Op::Fld;
+            i.compressed = Some(CompressedOp::CFld);
+            i.rd = Some(fp(bits16(raw, 4, 2)));
+            i.rs1 = Some(xp(bits16(raw, 9, 7)));
+            i.imm = uimm as i64;
+        }
+        (0b00, 0b010) => {
+            let uimm = (bits16(raw, 12, 10) << 3)
+                | (bits16(raw, 6, 6) << 2)
+                | (bits16(raw, 5, 5) << 6);
+            i.op = Op::Lw;
+            i.compressed = Some(CompressedOp::CLw);
+            i.rd = Some(xp(bits16(raw, 4, 2)));
+            i.rs1 = Some(xp(bits16(raw, 9, 7)));
+            i.imm = uimm as i64;
+        }
+        (0b00, 0b011) => {
+            // c.ld (RV64)
+            let uimm = (bits16(raw, 12, 10) << 3) | (bits16(raw, 6, 5) << 6);
+            i.op = Op::Ld;
+            i.compressed = Some(CompressedOp::CLd);
+            i.rd = Some(xp(bits16(raw, 4, 2)));
+            i.rs1 = Some(xp(bits16(raw, 9, 7)));
+            i.imm = uimm as i64;
+        }
+        (0b00, 0b101) => {
+            let uimm = (bits16(raw, 12, 10) << 3) | (bits16(raw, 6, 5) << 6);
+            i.op = Op::Fsd;
+            i.compressed = Some(CompressedOp::CFsd);
+            i.rs1 = Some(xp(bits16(raw, 9, 7)));
+            i.rs2 = Some(fp(bits16(raw, 4, 2)));
+            i.imm = uimm as i64;
+        }
+        (0b00, 0b110) => {
+            let uimm = (bits16(raw, 12, 10) << 3)
+                | (bits16(raw, 6, 6) << 2)
+                | (bits16(raw, 5, 5) << 6);
+            i.op = Op::Sw;
+            i.compressed = Some(CompressedOp::CSw);
+            i.rs1 = Some(xp(bits16(raw, 9, 7)));
+            i.rs2 = Some(xp(bits16(raw, 4, 2)));
+            i.imm = uimm as i64;
+        }
+        (0b00, 0b111) => {
+            let uimm = (bits16(raw, 12, 10) << 3) | (bits16(raw, 6, 5) << 6);
+            i.op = Op::Sd;
+            i.compressed = Some(CompressedOp::CSd);
+            i.rs1 = Some(xp(bits16(raw, 9, 7)));
+            i.rs2 = Some(xp(bits16(raw, 4, 2)));
+            i.imm = uimm as i64;
+        }
+
+        // ---------------- Quadrant 1 ----------------
+        (0b01, 0b000) => {
+            // c.addi / c.nop
+            let rd = bits16(raw, 11, 7) as u8;
+            let imm = sext(((bits16(raw, 12, 12) << 5) | bits16(raw, 6, 2)) as u32, 6);
+            i.op = Op::Addi;
+            i.compressed = Some(if rd == 0 && imm == 0 {
+                CompressedOp::CNop
+            } else {
+                CompressedOp::CAddi
+            });
+            i.rd = Some(Reg::x(rd));
+            i.rs1 = Some(Reg::x(rd));
+            i.imm = imm;
+        }
+        (0b01, 0b001) => {
+            // c.addiw (RV64; rd != 0)
+            let rd = bits16(raw, 11, 7) as u8;
+            if rd == 0 {
+                return Err(invalid());
+            }
+            i.op = Op::Addiw;
+            i.compressed = Some(CompressedOp::CAddiw);
+            i.rd = Some(Reg::x(rd));
+            i.rs1 = Some(Reg::x(rd));
+            i.imm = sext(((bits16(raw, 12, 12) << 5) | bits16(raw, 6, 2)) as u32, 6);
+        }
+        (0b01, 0b010) => {
+            // c.li rd, imm  => addi rd, x0, imm
+            let rd = bits16(raw, 11, 7) as u8;
+            i.op = Op::Addi;
+            i.compressed = Some(CompressedOp::CLi);
+            i.rd = Some(Reg::x(rd));
+            i.rs1 = Some(Reg::X0);
+            i.imm = sext(((bits16(raw, 12, 12) << 5) | bits16(raw, 6, 2)) as u32, 6);
+        }
+        (0b01, 0b011) => {
+            let rd = bits16(raw, 11, 7) as u8;
+            if rd == 2 {
+                // c.addi16sp
+                let imm = sext(
+                    ((bits16(raw, 12, 12) << 9)
+                        | (bits16(raw, 6, 6) << 4)
+                        | (bits16(raw, 5, 5) << 6)
+                        | (bits16(raw, 4, 3) << 7)
+                        | (bits16(raw, 2, 2) << 5)) as u32,
+                    10,
+                );
+                if imm == 0 {
+                    return Err(invalid());
+                }
+                i.op = Op::Addi;
+                i.compressed = Some(CompressedOp::CAddi16sp);
+                i.rd = Some(Reg::X2);
+                i.rs1 = Some(Reg::X2);
+                i.imm = imm;
+            } else {
+                // c.lui (rd != 0, 2; nzimm != 0)
+                let imm = sext(
+                    ((bits16(raw, 12, 12) as u32) << 17)
+                        | ((bits16(raw, 6, 2) as u32) << 12),
+                    18,
+                );
+                if rd == 0 || imm == 0 {
+                    return Err(invalid());
+                }
+                i.op = Op::Lui;
+                i.compressed = Some(CompressedOp::CLui);
+                i.rd = Some(Reg::x(rd));
+                i.imm = imm;
+            }
+        }
+        (0b01, 0b100) => {
+            let f2 = bits16(raw, 11, 10);
+            let rd = xp(bits16(raw, 9, 7));
+            match f2 {
+                0b00 | 0b01 => {
+                    let shamt = ((bits16(raw, 12, 12) << 5) | bits16(raw, 6, 2)) as i64;
+                    i.op = if f2 == 0 { Op::Srli } else { Op::Srai };
+                    i.compressed = Some(if f2 == 0 {
+                        CompressedOp::CSrli
+                    } else {
+                        CompressedOp::CSrai
+                    });
+                    i.rd = Some(rd);
+                    i.rs1 = Some(rd);
+                    i.imm = shamt;
+                }
+                0b10 => {
+                    i.op = Op::Andi;
+                    i.compressed = Some(CompressedOp::CAndi);
+                    i.rd = Some(rd);
+                    i.rs1 = Some(rd);
+                    i.imm = sext(
+                        ((bits16(raw, 12, 12) << 5) | bits16(raw, 6, 2)) as u32,
+                        6,
+                    );
+                }
+                _ => {
+                    let rs2 = xp(bits16(raw, 4, 2));
+                    let (op, c) = match (bits16(raw, 12, 12), bits16(raw, 6, 5)) {
+                        (0, 0b00) => (Op::Sub, CompressedOp::CSub),
+                        (0, 0b01) => (Op::Xor, CompressedOp::CXor),
+                        (0, 0b10) => (Op::Or, CompressedOp::COr),
+                        (0, 0b11) => (Op::And, CompressedOp::CAnd),
+                        (1, 0b00) => (Op::Subw, CompressedOp::CSubw),
+                        (1, 0b01) => (Op::Addw, CompressedOp::CAddw),
+                        _ => return Err(invalid()),
+                    };
+                    i.op = op;
+                    i.compressed = Some(c);
+                    i.rd = Some(rd);
+                    i.rs1 = Some(rd);
+                    i.rs2 = Some(rs2);
+                }
+            }
+        }
+        (0b01, 0b101) => {
+            // c.j => jal x0, imm
+            let imm = sext(
+                ((bits16(raw, 12, 12) << 11)
+                    | (bits16(raw, 11, 11) << 4)
+                    | (bits16(raw, 10, 9) << 8)
+                    | (bits16(raw, 8, 8) << 10)
+                    | (bits16(raw, 7, 7) << 6)
+                    | (bits16(raw, 6, 6) << 7)
+                    | (bits16(raw, 5, 3) << 1)
+                    | (bits16(raw, 2, 2) << 5)) as u32,
+                12,
+            );
+            i.op = Op::Jal;
+            i.compressed = Some(CompressedOp::CJ);
+            i.rd = Some(Reg::X0);
+            i.imm = imm;
+        }
+        (0b01, 0b110) | (0b01, 0b111) => {
+            // c.beqz / c.bnez rs1', imm
+            let imm = sext(
+                ((bits16(raw, 12, 12) << 8)
+                    | (bits16(raw, 11, 10) << 3)
+                    | (bits16(raw, 6, 5) << 6)
+                    | (bits16(raw, 4, 3) << 1)
+                    | (bits16(raw, 2, 2) << 5)) as u32,
+                9,
+            );
+            i.op = if f3 == 0b110 { Op::Beq } else { Op::Bne };
+            i.compressed = Some(if f3 == 0b110 {
+                CompressedOp::CBeqz
+            } else {
+                CompressedOp::CBnez
+            });
+            i.rs1 = Some(xp(bits16(raw, 9, 7)));
+            i.rs2 = Some(Reg::X0);
+            i.imm = imm;
+        }
+
+        // ---------------- Quadrant 2 ----------------
+        (0b10, 0b000) => {
+            // c.slli rd, shamt (rd != 0)
+            let rd = bits16(raw, 11, 7) as u8;
+            if rd == 0 {
+                return Err(invalid());
+            }
+            i.op = Op::Slli;
+            i.compressed = Some(CompressedOp::CSlli);
+            i.rd = Some(Reg::x(rd));
+            i.rs1 = Some(Reg::x(rd));
+            i.imm = ((bits16(raw, 12, 12) << 5) | bits16(raw, 6, 2)) as i64;
+        }
+        (0b10, 0b001) => {
+            // c.fldsp
+            let uimm = (bits16(raw, 12, 12) << 5)
+                | (bits16(raw, 6, 5) << 3)
+                | (bits16(raw, 4, 2) << 6);
+            i.op = Op::Fld;
+            i.compressed = Some(CompressedOp::CFldsp);
+            i.rd = Some(Reg::f(bits16(raw, 11, 7) as u8));
+            i.rs1 = Some(Reg::X2);
+            i.imm = uimm as i64;
+        }
+        (0b10, 0b010) => {
+            // c.lwsp (rd != 0)
+            let rd = bits16(raw, 11, 7) as u8;
+            if rd == 0 {
+                return Err(invalid());
+            }
+            let uimm = (bits16(raw, 12, 12) << 5)
+                | (bits16(raw, 6, 4) << 2)
+                | (bits16(raw, 3, 2) << 6);
+            i.op = Op::Lw;
+            i.compressed = Some(CompressedOp::CLwsp);
+            i.rd = Some(Reg::x(rd));
+            i.rs1 = Some(Reg::X2);
+            i.imm = uimm as i64;
+        }
+        (0b10, 0b011) => {
+            // c.ldsp (RV64; rd != 0)
+            let rd = bits16(raw, 11, 7) as u8;
+            if rd == 0 {
+                return Err(invalid());
+            }
+            let uimm = (bits16(raw, 12, 12) << 5)
+                | (bits16(raw, 6, 5) << 3)
+                | (bits16(raw, 4, 2) << 6);
+            i.op = Op::Ld;
+            i.compressed = Some(CompressedOp::CLdsp);
+            i.rd = Some(Reg::x(rd));
+            i.rs1 = Some(Reg::X2);
+            i.imm = uimm as i64;
+        }
+        (0b10, 0b100) => {
+            let rs1 = bits16(raw, 11, 7) as u8;
+            let rs2 = bits16(raw, 6, 2) as u8;
+            match (bits16(raw, 12, 12), rs1, rs2) {
+                (0, r, 0) => {
+                    // c.jr (rs1 != 0)
+                    if r == 0 {
+                        return Err(invalid());
+                    }
+                    i.op = Op::Jalr;
+                    i.compressed = Some(CompressedOp::CJr);
+                    i.rd = Some(Reg::X0);
+                    i.rs1 = Some(Reg::x(r));
+                    i.imm = 0;
+                }
+                (0, r, s) => {
+                    // c.mv rd, rs2 => add rd, x0, rs2 (rd != 0 per spec;
+                    // rd == 0 encodings are HINTs — reject as invalid here)
+                    if r == 0 {
+                        return Err(invalid());
+                    }
+                    i.op = Op::Add;
+                    i.compressed = Some(CompressedOp::CMv);
+                    i.rd = Some(Reg::x(r));
+                    i.rs1 = Some(Reg::X0);
+                    i.rs2 = Some(Reg::x(s));
+                }
+                (1, 0, 0) => {
+                    i.op = Op::Ebreak;
+                    i.compressed = Some(CompressedOp::CEbreak);
+                }
+                (1, r, 0) => {
+                    // c.jalr => jalr ra, 0(rs1)
+                    i.op = Op::Jalr;
+                    i.compressed = Some(CompressedOp::CJalr);
+                    i.rd = Some(Reg::X1);
+                    i.rs1 = Some(Reg::x(r));
+                    i.imm = 0;
+                }
+                (1, r, s) => {
+                    // c.add rd, rs2 => add rd, rd, rs2 (rd != 0)
+                    if r == 0 {
+                        return Err(invalid());
+                    }
+                    i.op = Op::Add;
+                    i.compressed = Some(CompressedOp::CAdd);
+                    i.rd = Some(Reg::x(r));
+                    i.rs1 = Some(Reg::x(r));
+                    i.rs2 = Some(Reg::x(s));
+                }
+                _ => unreachable!(),
+            }
+        }
+        (0b10, 0b101) => {
+            // c.fsdsp
+            let uimm = (bits16(raw, 12, 10) << 3) | (bits16(raw, 9, 7) << 6);
+            i.op = Op::Fsd;
+            i.compressed = Some(CompressedOp::CFsdsp);
+            i.rs1 = Some(Reg::X2);
+            i.rs2 = Some(Reg::f(bits16(raw, 6, 2) as u8));
+            i.imm = uimm as i64;
+        }
+        (0b10, 0b110) => {
+            // c.swsp
+            let uimm = (bits16(raw, 12, 9) << 2) | (bits16(raw, 8, 7) << 6);
+            i.op = Op::Sw;
+            i.compressed = Some(CompressedOp::CSwsp);
+            i.rs1 = Some(Reg::X2);
+            i.rs2 = Some(Reg::x(bits16(raw, 6, 2) as u8));
+            i.imm = uimm as i64;
+        }
+        (0b10, 0b111) => {
+            // c.sdsp
+            let uimm = (bits16(raw, 12, 10) << 3) | (bits16(raw, 9, 7) << 6);
+            i.op = Op::Sd;
+            i.compressed = Some(CompressedOp::CSdsp);
+            i.rs1 = Some(Reg::X2);
+            i.rs2 = Some(Reg::x(bits16(raw, 6, 2) as u8));
+            i.imm = uimm as i64;
+        }
+        _ => return Err(invalid()),
+    }
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::ControlFlow;
+
+    fn dc(raw: u16) -> Instruction {
+        decode_compressed(raw, 0x2000).unwrap()
+    }
+
+    #[test]
+    fn c_nop_and_addi() {
+        let i = dc(0x0001);
+        assert_eq!(i.compressed, Some(CompressedOp::CNop));
+        assert_eq!(i.op, Op::Addi);
+        assert_eq!(i.size, 2);
+        // c.addi a0, -1 : rd=10, imm=-1 (bit12=1, bits6:2=11111)
+        let raw = 0x0001 | (1 << 12) | (10 << 7) | (0x1F << 2);
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CAddi));
+        assert_eq!(i.rd, Some(Reg::x(10)));
+        assert_eq!(i.imm, -1);
+    }
+
+    #[test]
+    fn c_li() {
+        // c.li a0, 31
+        let raw = 0b010_0_00000_00000_01u16 | (10 << 7) | (31 << 2);
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CLi));
+        assert_eq!(i.op, Op::Addi);
+        assert_eq!(i.rs1, Some(Reg::X0));
+        assert_eq!(i.imm, 31);
+    }
+
+    #[test]
+    fn c_lui_and_addi16sp() {
+        // c.lui a1, 1 => imm = 0x1000
+        let raw = 0b011_0_00000_00000_01u16 | (11 << 7) | (1 << 2);
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CLui));
+        assert_eq!(i.imm, 0x1000);
+        // c.addi16sp -16: imm=-16 => bits: imm[9]=1...
+        // -16 = 0b11_1111_0000 (10 bits). imm[9]=1,imm[8:7]=11,imm[6]=1,imm[5]=1,imm[4]=1
+        let raw = 0b011_0_00010_00000_01u16
+            | (1 << 12)   // imm[9]
+            | (1 << 6)    // imm[4]
+            | (1 << 5)    // imm[6]
+            | (0b11 << 3) // imm[8:7]
+            | (1 << 2); // imm[5]
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CAddi16sp));
+        assert_eq!(i.rd, Some(Reg::X2));
+        assert_eq!(i.imm, -16);
+    }
+
+    #[test]
+    fn c_addi4spn() {
+        // c.addi4spn a0 (x10 = xp(2)), nzuimm=8 -> uimm[3]=1 (bit5)
+        let raw = (1u16 << 5) | (2 << 2);
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CAddi4spn));
+        assert_eq!(i.rd, Some(Reg::x(10)));
+        assert_eq!(i.rs1, Some(Reg::X2));
+        assert_eq!(i.imm, 8);
+    }
+
+    #[test]
+    fn c_memory_forms() {
+        // c.ld a2(xp(4)=x12 dest... careful: xp mapping), from 16(a0):
+        // rd'=4 -> x12, rs1'=2 -> x10, uimm=16 -> uimm[4]=1 -> bit 11
+        let raw = 0b011_0_00000_00000_00u16 | (1 << 11) | (2 << 7) | (4 << 2);
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CLd));
+        assert_eq!(i.op, Op::Ld);
+        assert_eq!(i.rd, Some(Reg::x(12)));
+        assert_eq!(i.rs1, Some(Reg::x(10)));
+        assert_eq!(i.imm, 16);
+        // c.sdsp: sd s0, 0(sp)
+        let raw = 0b111_0_00000_00000_10u16 | (8 << 2);
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CSdsp));
+        assert_eq!(i.rs2, Some(Reg::x(8)));
+        assert_eq!(i.rs1, Some(Reg::X2));
+        // c.ldsp: ld ra, 8(sp): uimm[3]=1 -> bit 5
+        let raw = 0b011_0_00000_00000_10u16 | (1 << 7) | (1 << 5);
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CLdsp));
+        assert_eq!(i.rd, Some(Reg::X1));
+        assert_eq!(i.imm, 8);
+    }
+
+    #[test]
+    fn c_control_flow() {
+        // c.j +4 : imm[3:1] bits 5:3 -> imm=4 => bit 4 (imm[2] is bit at
+        // position 4 within 5:3 group). imm bits [3:1] at raw bits 5:3.
+        let raw = 0b101_00000000010_01u16 | (0b010 << 3);
+        let i = decode_compressed(raw & !0b10, 0x2000);
+        // Construct properly: quadrant 01, f3=101, imm=4 -> bits5:3 = 010
+        let raw = (0b101u16 << 13) | (0b010 << 3) | 0b01;
+        let i2 = dc(raw);
+        assert_eq!(i2.compressed, Some(CompressedOp::CJ));
+        match i2.control_flow() {
+            ControlFlow::DirectJump { target, link } => {
+                assert_eq!(target, 0x2004);
+                assert_eq!(link, Reg::X0);
+            }
+            cf => panic!("{cf:?}"),
+        }
+        let _ = i;
+        // c.jr ra
+        let raw = (0b100u16 << 13) | (1 << 7) | 0b10;
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CJr));
+        assert!(i.is_canonical_return());
+        // c.jalr a0
+        let raw = (0b100u16 << 13) | (1 << 12) | (10 << 7) | 0b10;
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CJalr));
+        assert!(i.is_call_shaped());
+        // c.ebreak
+        let raw = (0b100u16 << 13) | (1 << 12) | 0b10;
+        let i = dc(raw);
+        assert_eq!(i.op, Op::Ebreak);
+    }
+
+    #[test]
+    fn c_beqz_negative_offset() {
+        // c.bnez a0(xp(2)), -2 : imm=-2 -> 9-bit -2 = 0b1_1111_1110:
+        // imm[8]=1 bit12, imm[7:6]=11 bits6:5, imm[5]=1 bit2, imm[4:3]=11 bits11:10, imm[2:1]=11 bits4:3
+        let raw = (0b111u16 << 13)
+            | (1 << 12)
+            | (0b11 << 10)
+            | (2 << 7)
+            | (0b11 << 5)
+            | (0b11 << 3)
+            | (1 << 2)
+            | 0b01;
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CBnez));
+        assert_eq!(i.op, Op::Bne);
+        assert_eq!(i.imm, -2);
+        assert_eq!(i.rs2, Some(Reg::X0));
+    }
+
+    #[test]
+    fn c_arith() {
+        // c.sub s0, s1: rd'=0 (x8), rs2'=1 (x9)
+        let raw = (0b100u16 << 13) | (0b11 << 10) | (0 << 7) | (0b00 << 5) | (1 << 2) | 0b01;
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CSub));
+        assert_eq!(i.op, Op::Sub);
+        assert_eq!(i.rd, Some(Reg::x(8)));
+        assert_eq!(i.rs2, Some(Reg::x(9)));
+        // c.addw
+        let raw = (0b100u16 << 13) | (1 << 12) | (0b11 << 10) | (0b01 << 5) | 0b01;
+        let i = dc(raw);
+        assert_eq!(i.op, Op::Addw);
+        assert_eq!(i.compressed, Some(CompressedOp::CAddw));
+        // c.mv a0, a1
+        let raw = (0b100u16 << 13) | (10 << 7) | (11 << 2) | 0b10;
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CMv));
+        assert_eq!(i.rs2, Some(Reg::x(11)));
+        // c.add a0, a1
+        let raw = (0b100u16 << 13) | (1 << 12) | (10 << 7) | (11 << 2) | 0b10;
+        let i = dc(raw);
+        assert_eq!(i.compressed, Some(CompressedOp::CAdd));
+        assert_eq!(i.rs1, Some(Reg::x(10)));
+    }
+
+    #[test]
+    fn c_shifts() {
+        // c.slli a0, 32: bit12 = shamt[5]
+        let raw = (0b000u16 << 13) | (1 << 12) | (10 << 7) | 0b10;
+        let i = dc(raw);
+        assert_eq!(i.op, Op::Slli);
+        assert_eq!(i.imm, 32);
+        // c.srai s0, 1
+        let raw = (0b100u16 << 13) | (0b01 << 10) | (0 << 7) | (1 << 2) | 0b01;
+        let i = dc(raw);
+        assert_eq!(i.op, Op::Srai);
+        assert_eq!(i.imm, 1);
+    }
+
+    #[test]
+    fn rejects_reserved() {
+        // c.addi4spn with nzuimm == 0
+        assert!(decode_compressed(0x0004, 0).is_err());
+        // all-zero
+        assert!(matches!(
+            decode_compressed(0, 0),
+            Err(DecodeError::DefinedIllegal { .. })
+        ));
+        // c.lwsp with rd == 0
+        let raw = (0b010u16 << 13) | (1 << 12) | 0b10;
+        assert!(decode_compressed(raw, 0).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Textual disassembly, in the style of `objdump -d` with ABI register
+//! names. Used by the examples and for diagnostics throughout rvdyn.
+
+use crate::inst::Instruction;
+use crate::op::Op;
+use std::fmt::Write as _;
+
+/// Human name of a CSR number, when standard (used by the CSR forms).
+pub fn csr_name(csr: u16) -> Option<&'static str> {
+    Some(match csr {
+        0x001 => "fflags",
+        0x002 => "frm",
+        0x003 => "fcsr",
+        0xC00 => "cycle",
+        0xC01 => "time",
+        0xC02 => "instret",
+        _ => return None,
+    })
+}
+
+/// Render `inst` as assembler text (e.g. `addi a0, sp, 16` or
+/// `bne a1, zero, 0x10432`). PC-relative targets are shown resolved.
+pub fn format_instruction(inst: &Instruction) -> String {
+    let mut s = String::with_capacity(32);
+    s.push_str(inst.mnemonic());
+    let pad = s.len().max(8);
+    while s.len() < pad + 1 {
+        s.push(' ');
+    }
+
+    let rd = inst.rd.map(|r| r.abi_name());
+    let rs1 = inst.rs1.map(|r| r.abi_name());
+    let rs2 = inst.rs2.map(|r| r.abi_name());
+
+    match inst.op {
+        Op::Lui | Op::Auipc => {
+            let _ = write!(s, "{}, {:#x}", rd.unwrap(), (inst.imm as u64 >> 12) & 0xFFFFF);
+        }
+        Op::Jal => {
+            let target = inst.address.wrapping_add(inst.imm as u64);
+            let _ = write!(s, "{}, {:#x}", rd.unwrap(), target);
+        }
+        Op::Jalr => {
+            let _ = write!(s, "{}, {}({})", rd.unwrap(), inst.imm, rs1.unwrap());
+        }
+        op if op.is_conditional_branch() => {
+            let target = inst.address.wrapping_add(inst.imm as u64);
+            let _ = write!(s, "{}, {}, {:#x}", rs1.unwrap(), rs2.unwrap(), target);
+        }
+        op if op.is_load() && !op.is_atomic() => {
+            let _ = write!(s, "{}, {}({})", rd.unwrap(), inst.imm, rs1.unwrap());
+        }
+        op if op.is_store() && !op.is_atomic() => {
+            let _ = write!(s, "{}, {}({})", rs2.unwrap(), inst.imm, rs1.unwrap());
+        }
+        op if op.is_atomic() => {
+            match (rd, rs2) {
+                (Some(d), Some(v)) => {
+                    let _ = write!(s, "{}, {}, ({})", d, v, rs1.unwrap());
+                }
+                (Some(d), None) => {
+                    let _ = write!(s, "{}, ({})", d, rs1.unwrap());
+                }
+                _ => {}
+            }
+        }
+        Op::Ecall | Op::Ebreak | Op::Fence | Op::FenceI => {
+            // no operands shown
+            while s.ends_with(' ') {
+                s.pop();
+            }
+        }
+        Op::Csrrw | Op::Csrrs | Op::Csrrc => {
+            let c = inst.csr.unwrap_or(0);
+            match csr_name(c) {
+                Some(n) => {
+                    let _ = write!(s, "{}, {}, {}", rd.unwrap(), n, rs1.unwrap());
+                }
+                None => {
+                    let _ = write!(s, "{}, {:#x}, {}", rd.unwrap(), c, rs1.unwrap());
+                }
+            }
+        }
+        Op::Csrrwi | Op::Csrrsi | Op::Csrrci => {
+            let c = inst.csr.unwrap_or(0);
+            match csr_name(c) {
+                Some(n) => {
+                    let _ = write!(s, "{}, {}, {}", rd.unwrap(), n, inst.imm);
+                }
+                None => {
+                    let _ = write!(s, "{}, {:#x}, {}", rd.unwrap(), c, inst.imm);
+                }
+            }
+        }
+        Op::Slli | Op::Srli | Op::Srai | Op::Slliw | Op::Srliw | Op::Sraiw => {
+            let _ = write!(s, "{}, {}, {}", rd.unwrap(), rs1.unwrap(), inst.imm);
+        }
+        Op::Addi | Op::Slti | Op::Sltiu | Op::Xori | Op::Ori | Op::Andi | Op::Addiw => {
+            let _ = write!(s, "{}, {}, {}", rd.unwrap(), rs1.unwrap(), inst.imm);
+        }
+        _ => {
+            // register-register forms (including FP)
+            let mut parts: Vec<&str> = Vec::with_capacity(4);
+            if let Some(r) = rd {
+                parts.push(r);
+            }
+            if let Some(r) = rs1 {
+                parts.push(r);
+            }
+            if let Some(r) = rs2 {
+                parts.push(r);
+            }
+            let rs3 = inst.rs3.map(|r| r.abi_name());
+            if let Some(r) = rs3 {
+                parts.push(r);
+            }
+            let _ = write!(s, "{}", parts.join(", "));
+        }
+    }
+    s
+}
+
+/// Disassemble a buffer to one line per instruction:
+/// `address:  raw-bytes  mnemonic operands`.
+pub fn disassemble(buf: &[u8], base: u64) -> String {
+    let mut out = String::new();
+    for item in crate::decode::InstructionIter::new(buf, base) {
+        match item {
+            Ok(i) => {
+                let rawtxt = if i.size == 2 {
+                    format!("{:04x}    ", i.raw as u16)
+                } else {
+                    format!("{:08x}", i.raw)
+                };
+                let _ = writeln!(
+                    out,
+                    "{:#10x}:  {}  {}",
+                    i.address,
+                    rawtxt,
+                    format_instruction(&i)
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:#10x}:  <invalid: {}>", e.address(), e);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode32;
+
+    #[test]
+    fn formats_common_forms() {
+        let i = decode32(0xFFD5_8513, 0x1000).unwrap();
+        assert_eq!(format_instruction(&i), "addi     a0, a1, -3");
+        let i = decode32(0x0080_00EF, 0x1000).unwrap();
+        assert_eq!(format_instruction(&i), "jal      ra, 0x1008");
+        let i = decode32(0x0000_0073, 0).unwrap();
+        assert_eq!(format_instruction(&i), "ecall");
+    }
+
+    #[test]
+    fn formats_memory_ops() {
+        let raw = (16 << 20) | (2 << 15) | (0b011 << 12) | (10 << 7) | 0x03; // ld a0,16(sp)
+        let i = decode32(raw, 0).unwrap();
+        assert_eq!(format_instruction(&i), "ld       a0, 16(sp)");
+    }
+
+    #[test]
+    fn compressed_mnemonics_shown() {
+        let i = crate::decode::decode(&0x0001u16.to_le_bytes(), 0).unwrap();
+        assert!(format_instruction(&i).starts_with("c.nop"));
+    }
+
+    #[test]
+    fn disassemble_stream() {
+        let mut buf = vec![];
+        buf.extend_from_slice(&0xFFD5_8513u32.to_le_bytes());
+        buf.extend_from_slice(&0x0001u16.to_le_bytes());
+        let text = disassemble(&buf, 0x1000);
+        assert!(text.contains("addi"));
+        assert!(text.contains("c.nop"));
+        assert!(text.contains("0x1004"));
+    }
+}

@@ -1,0 +1,896 @@
+//! RV64GC instruction encoder — the code-emission substrate of CodeGenAPI.
+//!
+//! [`encode32`] produces the standard 4-byte encoding of an instruction;
+//! [`compress`] opportunistically produces the 2-byte C-extension form when
+//! one exists (§3.1.2). `decode ∘ encode = id` is enforced by property tests.
+
+use crate::inst::Instruction;
+use crate::op::Op;
+use crate::reg::{Reg, RegClass};
+use std::fmt;
+
+/// Encoding failure: an operand does not fit the instruction format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// Immediate/displacement outside the format's range.
+    ImmOutOfRange { op: Op, imm: i64, bits: u32 },
+    /// Immediate has alignment the format cannot express (e.g. odd branch
+    /// offsets).
+    Misaligned { op: Op, imm: i64 },
+    /// Required operand missing from the instruction value.
+    MissingOperand { op: Op, which: &'static str },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { op, imm, bits } => write!(
+                f,
+                "immediate {imm} does not fit in {bits} bits for {}",
+                op.mnemonic()
+            ),
+            EncodeError::Misaligned { op, imm } => {
+                write!(f, "immediate {imm} misaligned for {}", op.mnemonic())
+            }
+            EncodeError::MissingOperand { op, which } => {
+                write!(f, "missing operand {which} for {}", op.mnemonic())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+type R = Result<u32, EncodeError>;
+
+fn need(r: Option<Reg>, op: Op, which: &'static str) -> Result<u32, EncodeError> {
+    r.map(|x| x.num() as u32)
+        .ok_or(EncodeError::MissingOperand { op, which })
+}
+
+fn check_simm(op: Op, imm: i64, bits: u32) -> Result<u64, EncodeError> {
+    let lo = -(1i64 << (bits - 1));
+    let hi = (1i64 << (bits - 1)) - 1;
+    if imm < lo || imm > hi {
+        return Err(EncodeError::ImmOutOfRange { op, imm, bits });
+    }
+    Ok((imm as u64) & ((1u64 << bits) - 1))
+}
+
+fn enc_r(opc: u32, f3: u32, f7: u32, rd: u32, rs1: u32, rs2: u32) -> u32 {
+    (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opc
+}
+
+fn enc_i(opc: u32, f3: u32, rd: u32, rs1: u32, imm12: u64) -> u32 {
+    ((imm12 as u32) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opc
+}
+
+fn enc_s(opc: u32, f3: u32, rs1: u32, rs2: u32, imm12: u64) -> u32 {
+    let imm = imm12 as u32;
+    ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | ((imm & 0x1F) << 7) | opc
+}
+
+fn enc_b(opc: u32, f3: u32, rs1: u32, rs2: u32, imm13: u64) -> u32 {
+    let imm = imm13 as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opc
+}
+
+fn enc_u(opc: u32, rd: u32, imm: u32) -> u32 {
+    (imm & 0xFFFF_F000) | (rd << 7) | opc
+}
+
+fn enc_j(opc: u32, rd: u32, imm21: u64) -> u32 {
+    let imm = imm21 as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | opc
+}
+
+/// Encode the standard 32-bit form of `inst`.
+pub fn encode32(inst: &Instruction) -> R {
+    use crate::decode::*;
+    use Op::*;
+    let op = inst.op;
+    let rd = || need(inst.rd, op, "rd");
+    let rs1 = || need(inst.rs1, op, "rs1");
+    let rs2 = || need(inst.rs2, op, "rs2");
+    let rs3 = || need(inst.rs3, op, "rs3");
+    let imm = inst.imm;
+
+    let aligned2 = |imm: i64| -> Result<(), EncodeError> {
+        if imm & 1 != 0 {
+            Err(EncodeError::Misaligned { op, imm })
+        } else {
+            Ok(())
+        }
+    };
+
+    Ok(match op {
+        Lui | Auipc => {
+            if imm & 0xFFF != 0 {
+                return Err(EncodeError::Misaligned { op, imm });
+            }
+            if !(-(1i64 << 31)..(1i64 << 31)).contains(&imm) {
+                return Err(EncodeError::ImmOutOfRange { op, imm, bits: 32 });
+            }
+            let opc = if op == Lui { OPC_LUI } else { OPC_AUIPC };
+            enc_u(opc, rd()?, imm as u32)
+        }
+        Jal => {
+            aligned2(imm)?;
+            enc_j(OPC_JAL, rd()?, check_simm(op, imm, 21)?)
+        }
+        Jalr => enc_i(OPC_JALR, 0, rd()?, rs1()?, check_simm(op, imm, 12)?),
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+            aligned2(imm)?;
+            let f3 = match op {
+                Beq => 0b000,
+                Bne => 0b001,
+                Blt => 0b100,
+                Bge => 0b101,
+                Bltu => 0b110,
+                _ => 0b111,
+            };
+            enc_b(OPC_BRANCH, f3, rs1()?, rs2()?, check_simm(op, imm, 13)?)
+        }
+        Lb | Lh | Lw | Ld | Lbu | Lhu | Lwu => {
+            let f3 = match op {
+                Lb => 0b000,
+                Lh => 0b001,
+                Lw => 0b010,
+                Ld => 0b011,
+                Lbu => 0b100,
+                Lhu => 0b101,
+                _ => 0b110,
+            };
+            enc_i(OPC_LOAD, f3, rd()?, rs1()?, check_simm(op, imm, 12)?)
+        }
+        Sb | Sh | Sw | Sd => {
+            let f3 = match op {
+                Sb => 0b000,
+                Sh => 0b001,
+                Sw => 0b010,
+                _ => 0b011,
+            };
+            enc_s(OPC_STORE, f3, rs1()?, rs2()?, check_simm(op, imm, 12)?)
+        }
+        Addi | Slti | Sltiu | Xori | Ori | Andi => {
+            let f3 = match op {
+                Addi => 0b000,
+                Slti => 0b010,
+                Sltiu => 0b011,
+                Xori => 0b100,
+                Ori => 0b110,
+                _ => 0b111,
+            };
+            enc_i(OPC_OP_IMM, f3, rd()?, rs1()?, check_simm(op, imm, 12)?)
+        }
+        Slli | Srli | Srai => {
+            if !(0..64).contains(&imm) {
+                return Err(EncodeError::ImmOutOfRange { op, imm, bits: 6 });
+            }
+            let (f3, hi) = match op {
+                Slli => (0b001, 0),
+                Srli => (0b101, 0),
+                _ => (0b101, 0b010000u32),
+            };
+            enc_i(OPC_OP_IMM, f3, rd()?, rs1()?, ((hi << 6) | imm as u32) as u64)
+        }
+        Addiw => enc_i(OPC_OP_IMM_32, 0b000, rd()?, rs1()?, check_simm(op, imm, 12)?),
+        Slliw | Srliw | Sraiw => {
+            if !(0..32).contains(&imm) {
+                return Err(EncodeError::ImmOutOfRange { op, imm, bits: 5 });
+            }
+            let (f3, f7) = match op {
+                Slliw => (0b001, 0),
+                Srliw => (0b101, 0),
+                _ => (0b101, 0b0100000u32),
+            };
+            enc_i(OPC_OP_IMM_32, f3, rd()?, rs1()?, ((f7 << 5) | imm as u32) as u64)
+        }
+        Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Mul
+        | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu => {
+            let (f7, f3) = match op {
+                Add => (0b0000000, 0b000),
+                Sub => (0b0100000, 0b000),
+                Sll => (0b0000000, 0b001),
+                Slt => (0b0000000, 0b010),
+                Sltu => (0b0000000, 0b011),
+                Xor => (0b0000000, 0b100),
+                Srl => (0b0000000, 0b101),
+                Sra => (0b0100000, 0b101),
+                Or => (0b0000000, 0b110),
+                And => (0b0000000, 0b111),
+                Mul => (0b0000001, 0b000),
+                Mulh => (0b0000001, 0b001),
+                Mulhsu => (0b0000001, 0b010),
+                Mulhu => (0b0000001, 0b011),
+                Div => (0b0000001, 0b100),
+                Divu => (0b0000001, 0b101),
+                Rem => (0b0000001, 0b110),
+                _ => (0b0000001, 0b111),
+            };
+            enc_r(OPC_OP, f3, f7, rd()?, rs1()?, rs2()?)
+        }
+        Addw | Subw | Sllw | Srlw | Sraw | Mulw | Divw | Divuw | Remw | Remuw => {
+            let (f7, f3) = match op {
+                Addw => (0b0000000, 0b000),
+                Subw => (0b0100000, 0b000),
+                Sllw => (0b0000000, 0b001),
+                Srlw => (0b0000000, 0b101),
+                Sraw => (0b0100000, 0b101),
+                Mulw => (0b0000001, 0b000),
+                Divw => (0b0000001, 0b100),
+                Divuw => (0b0000001, 0b101),
+                Remw => (0b0000001, 0b110),
+                _ => (0b0000001, 0b111),
+            };
+            enc_r(OPC_OP_32, f3, f7, rd()?, rs1()?, rs2()?)
+        }
+        Fence | FenceI => {
+            let f3 = if op == FenceI { 0b001 } else { 0b000 };
+            let rdv = inst.rd.map(|r| r.num() as u32).unwrap_or(0);
+            let rs1v = inst.rs1.map(|r| r.num() as u32).unwrap_or(0);
+            ((inst.imm as u32 & 0xFFF) << 20)
+                | (rs1v << 15)
+                | (f3 << 12)
+                | (rdv << 7)
+                | OPC_MISC_MEM
+        }
+        Ecall => OPC_SYSTEM,
+        Ebreak => (1 << 20) | OPC_SYSTEM,
+        Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => {
+            let f3 = match op {
+                Csrrw => 0b001,
+                Csrrs => 0b010,
+                Csrrc => 0b011,
+                Csrrwi => 0b101,
+                Csrrsi => 0b110,
+                _ => 0b111,
+            };
+            let csr = inst
+                .csr
+                .ok_or(EncodeError::MissingOperand { op, which: "csr" })? as u32;
+            let src = if f3 & 0b100 == 0 {
+                rs1()?
+            } else {
+                if !(0..32).contains(&imm) {
+                    return Err(EncodeError::ImmOutOfRange { op, imm, bits: 5 });
+                }
+                imm as u32
+            };
+            (csr << 20) | (src << 15) | (f3 << 12) | (rd()? << 7) | OPC_SYSTEM
+        }
+        LrW | ScW | AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW | AmoMinW
+        | AmoMaxW | AmoMinuW | AmoMaxuW | LrD | ScD | AmoSwapD | AmoAddD
+        | AmoXorD | AmoAndD | AmoOrD | AmoMinD | AmoMaxD | AmoMinuD
+        | AmoMaxuD => {
+            let (f5, f3) = match op {
+                LrW => (0b00010, 0b010),
+                ScW => (0b00011, 0b010),
+                AmoSwapW => (0b00001, 0b010),
+                AmoAddW => (0b00000, 0b010),
+                AmoXorW => (0b00100, 0b010),
+                AmoAndW => (0b01100, 0b010),
+                AmoOrW => (0b01000, 0b010),
+                AmoMinW => (0b10000, 0b010),
+                AmoMaxW => (0b10100, 0b010),
+                AmoMinuW => (0b11000, 0b010),
+                AmoMaxuW => (0b11100, 0b010),
+                LrD => (0b00010, 0b011),
+                ScD => (0b00011, 0b011),
+                AmoSwapD => (0b00001, 0b011),
+                AmoAddD => (0b00000, 0b011),
+                AmoXorD => (0b00100, 0b011),
+                AmoAndD => (0b01100, 0b011),
+                AmoOrD => (0b01000, 0b011),
+                AmoMinD => (0b10000, 0b011),
+                AmoMaxD => (0b10100, 0b011),
+                AmoMinuD => (0b11000, 0b011),
+                _ => (0b11100, 0b011),
+            };
+            let rs2v = if matches!(op, LrW | LrD) { 0 } else { rs2()? };
+            let f7 = (f5 << 2) | ((inst.aq as u32) << 1) | inst.rl as u32;
+            enc_r(OPC_AMO, f3, f7, rd()?, rs1()?, rs2v)
+        }
+        Flw | Fld => {
+            let f3 = if op == Flw { 0b010 } else { 0b011 };
+            enc_i(OPC_LOAD_FP, f3, rd()?, rs1()?, check_simm(op, imm, 12)?)
+        }
+        Fsw | Fsd => {
+            let f3 = if op == Fsw { 0b010 } else { 0b011 };
+            enc_s(OPC_STORE_FP, f3, rs1()?, rs2()?, check_simm(op, imm, 12)?)
+        }
+        FmaddS | FmsubS | FnmsubS | FnmaddS | FmaddD | FmsubD | FnmsubD
+        | FnmaddD => {
+            let opc = match op {
+                FmaddS | FmaddD => OPC_MADD,
+                FmsubS | FmsubD => OPC_MSUB,
+                FnmsubS | FnmsubD => OPC_NMSUB,
+                _ => OPC_NMADD,
+            };
+            let fmt = if op.extension() == crate::ext::Extension::D {
+                0b01
+            } else {
+                0b00
+            };
+            (rs3()? << 27)
+                | (fmt << 25)
+                | (rs2()? << 20)
+                | (rs1()? << 15)
+                | ((inst.rm as u32) << 12)
+                | (rd()? << 7)
+                | opc
+        }
+        _ => return encode_fp(inst),
+    })
+}
+
+/// OP-FP major opcode encodings.
+fn encode_fp(inst: &Instruction) -> R {
+    use crate::decode::OPC_OP_FP;
+    use Op::*;
+    let op = inst.op;
+    let rd = need(inst.rd, op, "rd")?;
+    let rs1 = need(inst.rs1, op, "rs1")?;
+    let rm = inst.rm as u32;
+    // (sel, fmt, f3: None => rm, rs2: None => register operand)
+    let (sel, dbl, f3, rs2sel): (u32, bool, Option<u32>, Option<u32>) = match op {
+        FaddS => (0b00000, false, None, None),
+        FsubS => (0b00001, false, None, None),
+        FmulS => (0b00010, false, None, None),
+        FdivS => (0b00011, false, None, None),
+        FaddD => (0b00000, true, None, None),
+        FsubD => (0b00001, true, None, None),
+        FmulD => (0b00010, true, None, None),
+        FdivD => (0b00011, true, None, None),
+        FsqrtS => (0b01011, false, None, Some(0)),
+        FsqrtD => (0b01011, true, None, Some(0)),
+        FsgnjS => (0b00100, false, Some(0b000), None),
+        FsgnjnS => (0b00100, false, Some(0b001), None),
+        FsgnjxS => (0b00100, false, Some(0b010), None),
+        FsgnjD => (0b00100, true, Some(0b000), None),
+        FsgnjnD => (0b00100, true, Some(0b001), None),
+        FsgnjxD => (0b00100, true, Some(0b010), None),
+        FminS => (0b00101, false, Some(0b000), None),
+        FmaxS => (0b00101, false, Some(0b001), None),
+        FminD => (0b00101, true, Some(0b000), None),
+        FmaxD => (0b00101, true, Some(0b001), None),
+        FcvtSD => (0b01000, false, None, Some(1)),
+        FcvtDS => (0b01000, true, None, Some(0)),
+        FcvtWS => (0b11000, false, None, Some(0)),
+        FcvtWuS => (0b11000, false, None, Some(1)),
+        FcvtLS => (0b11000, false, None, Some(2)),
+        FcvtLuS => (0b11000, false, None, Some(3)),
+        FcvtWD => (0b11000, true, None, Some(0)),
+        FcvtWuD => (0b11000, true, None, Some(1)),
+        FcvtLD => (0b11000, true, None, Some(2)),
+        FcvtLuD => (0b11000, true, None, Some(3)),
+        FcvtSW => (0b11010, false, None, Some(0)),
+        FcvtSWu => (0b11010, false, None, Some(1)),
+        FcvtSL => (0b11010, false, None, Some(2)),
+        FcvtSLu => (0b11010, false, None, Some(3)),
+        FcvtDW => (0b11010, true, None, Some(0)),
+        FcvtDWu => (0b11010, true, None, Some(1)),
+        FcvtDL => (0b11010, true, None, Some(2)),
+        FcvtDLu => (0b11010, true, None, Some(3)),
+        FmvXW => (0b11100, false, Some(0b000), Some(0)),
+        FclassS => (0b11100, false, Some(0b001), Some(0)),
+        FmvXD => (0b11100, true, Some(0b000), Some(0)),
+        FclassD => (0b11100, true, Some(0b001), Some(0)),
+        FmvWX => (0b11110, false, Some(0b000), Some(0)),
+        FmvDX => (0b11110, true, Some(0b000), Some(0)),
+        FeqS => (0b10100, false, Some(0b010), None),
+        FltS => (0b10100, false, Some(0b001), None),
+        FleS => (0b10100, false, Some(0b000), None),
+        FeqD => (0b10100, true, Some(0b010), None),
+        FltD => (0b10100, true, Some(0b001), None),
+        FleD => (0b10100, true, Some(0b000), None),
+        _ => {
+            return Err(EncodeError::MissingOperand { op, which: "unsupported op" })
+        }
+    };
+    let f7 = (sel << 2) | if dbl { 1 } else { 0 };
+    let f3v = f3.unwrap_or(rm);
+    let rs2v = match rs2sel {
+        Some(s) => s,
+        None => need(inst.rs2, op, "rs2")?,
+    };
+    Ok((f7 << 25) | (rs2v << 20) | (rs1 << 15) | (f3v << 12) | (rd << 7) | OPC_OP_FP)
+}
+
+/// Encode `inst` as bytes: the compressed form if `inst.compressed` is set
+/// (error if the operands no longer fit), otherwise the 32-bit form.
+pub fn encode(inst: &Instruction) -> Result<Vec<u8>, EncodeError> {
+    if inst.compressed.is_some() {
+        if let Some(c) = compress(inst) {
+            return Ok(c.to_le_bytes().to_vec());
+        }
+        // Operands no longer fit the compressed form: fall back to 32-bit.
+    }
+    Ok(encode32(inst)?.to_le_bytes().to_vec())
+}
+
+/// Attempt to produce a 2-byte C-extension encoding of `inst`.
+///
+/// Returns `None` when no compressed form exists for its operands. Used by
+/// CodeGenAPI when the target profile includes the C extension.
+pub fn compress(inst: &Instruction) -> Option<u16> {
+    use Op::*;
+    let rdn = inst.rd.map(|r| r.num() as u16);
+    let rs1n = inst.rs1.map(|r| r.num() as u16);
+    let rs2n = inst.rs2.map(|r| r.num() as u16);
+    let imm = inst.imm;
+    let prime = |r: Option<Reg>| -> Option<u16> {
+        let r = r?;
+        let n = r.num();
+        if (8..16).contains(&n) {
+            Some((n - 8) as u16)
+        } else {
+            None
+        }
+    };
+    let fits = |v: i64, bits: u32| -> bool {
+        v >= -(1i64 << (bits - 1)) && v < (1i64 << (bits - 1))
+    };
+
+    match inst.op {
+        Addi => {
+            let rd = rdn?;
+            let rs1 = rs1n?;
+            // Canonical sp-adjustment form first: `c.addi sp, imm` also
+            // exists when imm fits 6 bits, but compilers emit c.addi16sp.
+            if rd == 2 && rs1 == 2 && imm != 0 && imm % 16 == 0 && fits(imm, 10) {
+                let u = (imm as u16) & 0x3FF;
+                return Some(
+                    (0b011 << 13)
+                        | (((u >> 9) & 1) << 12)
+                        | (2 << 7)
+                        | (((u >> 4) & 1) << 6)
+                        | (((u >> 6) & 1) << 5)
+                        | (((u >> 7) & 3) << 3)
+                        | (((u >> 5) & 1) << 2)
+                        | 0b01,
+                );
+            }
+            if rd == rs1 && fits(imm, 6) && (rd != 0 || imm == 0) {
+                // c.addi (c.nop when rd==0, imm==0)
+                let u = (imm as u16) & 0x3F;
+                return Some(
+                    (((u >> 5) & 1) << 12) | (rd << 7) | ((u & 0x1F) << 2) | 0b01,
+                );
+            }
+            if rs1 == 0 && rd != 0 && fits(imm, 6) {
+                // c.li
+                let u = (imm as u16) & 0x3F;
+                return Some(
+                    (0b010 << 13) | (((u >> 5) & 1) << 12) | (rd << 7) | ((u & 0x1F) << 2) | 0b01,
+                );
+            }
+            if rs1 == 2 && imm > 0 && imm % 4 == 0 && imm < 1024 {
+                if let Some(rdp) = prime(inst.rd) {
+                    // c.addi4spn
+                    let u = imm as u16;
+                    return Some(
+                        (((u >> 4) & 3) << 11)
+                            | (((u >> 6) & 0xF) << 7)
+                            | (((u >> 2) & 1) << 6)
+                            | (((u >> 3) & 1) << 5)
+                            | (rdp << 2),
+                    );
+                }
+            }
+            None
+        }
+        Addiw => {
+            let rd = rdn?;
+            if rd != 0 && rd == rs1n? && fits(imm, 6) {
+                let u = (imm as u16) & 0x3F;
+                return Some(
+                    (0b001 << 13) | (((u >> 5) & 1) << 12) | (rd << 7) | ((u & 0x1F) << 2) | 0b01,
+                );
+            }
+            None
+        }
+        Lui => {
+            let rd = rdn?;
+            // imm is the full shifted value; c.lui expresses imm[17:12].
+            if rd != 0 && rd != 2 && imm != 0 && imm % 0x1000 == 0 && fits(imm, 18) {
+                let hi = ((imm >> 12) as u16) & 0x3F;
+                return Some(
+                    (0b011 << 13)
+                        | (((hi >> 5) & 1) << 12)
+                        | (rd << 7)
+                        | ((hi & 0x1F) << 2)
+                        | 0b01,
+                );
+            }
+            None
+        }
+        Add => {
+            let rd = rdn?;
+            let rs2 = rs2n?;
+            if rd != 0 && rs2 != 0 {
+                if rs1n? == 0 {
+                    // c.mv
+                    return Some((0b100 << 13) | (rd << 7) | (rs2 << 2) | 0b10);
+                }
+                if rs1n? == rd {
+                    // c.add
+                    return Some((0b100 << 13) | (1 << 12) | (rd << 7) | (rs2 << 2) | 0b10);
+                }
+            }
+            None
+        }
+        Sub | Xor | Or | And | Subw | Addw => {
+            let rdp = prime(inst.rd)?;
+            if inst.rs1 != inst.rd {
+                return None;
+            }
+            let rs2p = prime(inst.rs2)?;
+            let (hi, f2) = match inst.op {
+                Sub => (0, 0b00),
+                Xor => (0, 0b01),
+                Or => (0, 0b10),
+                And => (0, 0b11),
+                Subw => (1, 0b00),
+                _ => (1, 0b01),
+            };
+            Some(
+                (0b100u16 << 13)
+                    | (hi << 12)
+                    | (0b11 << 10)
+                    | (rdp << 7)
+                    | (f2 << 5)
+                    | (rs2p << 2)
+                    | 0b01,
+            )
+        }
+        Andi => {
+            let rdp = prime(inst.rd)?;
+            if inst.rs1 != inst.rd || !fits(imm, 6) {
+                return None;
+            }
+            let u = (imm as u16) & 0x3F;
+            Some(
+                (0b100u16 << 13)
+                    | (((u >> 5) & 1) << 12)
+                    | (0b10 << 10)
+                    | (rdp << 7)
+                    | ((u & 0x1F) << 2)
+                    | 0b01,
+            )
+        }
+        Slli => {
+            let rd = rdn?;
+            if rd != 0 && rs1n? == rd && (0..64).contains(&imm) && imm != 0 {
+                let u = imm as u16;
+                return Some(
+                    (((u >> 5) & 1) << 12) | (rd << 7) | ((u & 0x1F) << 2) | 0b10,
+                );
+            }
+            None
+        }
+        Srli | Srai => {
+            let rdp = prime(inst.rd)?;
+            if inst.rs1 != inst.rd || !(0..64).contains(&imm) || imm == 0 {
+                return None;
+            }
+            let f2 = if inst.op == Srli { 0b00 } else { 0b01 };
+            let u = imm as u16;
+            Some(
+                (0b100u16 << 13)
+                    | (((u >> 5) & 1) << 12)
+                    | (f2 << 10)
+                    | (rdp << 7)
+                    | ((u & 0x1F) << 2)
+                    | 0b01,
+            )
+        }
+        Jal => {
+            if rdn? != 0 || !fits(imm, 12) || imm & 1 != 0 {
+                return None;
+            }
+            let u = (imm as u16) & 0xFFF;
+            Some(
+                (0b101u16 << 13)
+                    | (((u >> 11) & 1) << 12)
+                    | (((u >> 4) & 1) << 11)
+                    | (((u >> 8) & 3) << 9)
+                    | (((u >> 10) & 1) << 8)
+                    | (((u >> 6) & 1) << 7)
+                    | (((u >> 7) & 1) << 6)
+                    | (((u >> 1) & 7) << 3)
+                    | (((u >> 5) & 1) << 2)
+                    | 0b01,
+            )
+        }
+        Jalr => {
+            let rs1 = rs1n?;
+            if imm != 0 || rs1 == 0 {
+                return None;
+            }
+            match rdn? {
+                0 => Some((0b100u16 << 13) | (rs1 << 7) | 0b10), // c.jr
+                1 => Some((0b100u16 << 13) | (1 << 12) | (rs1 << 7) | 0b10), // c.jalr
+                _ => None,
+            }
+        }
+        Beq | Bne => {
+            let rs1p = prime(inst.rs1)?;
+            if inst.rs2 != Some(Reg::X0) || !fits(imm, 9) || imm & 1 != 0 {
+                return None;
+            }
+            let f3 = if inst.op == Beq { 0b110u16 } else { 0b111 };
+            let u = (imm as u16) & 0x1FF;
+            Some(
+                (f3 << 13)
+                    | (((u >> 8) & 1) << 12)
+                    | (((u >> 3) & 3) << 10)
+                    | (rs1p << 7)
+                    | (((u >> 6) & 3) << 5)
+                    | (((u >> 1) & 3) << 3)
+                    | (((u >> 5) & 1) << 2)
+                    | 0b01,
+            )
+        }
+        Ebreak => Some((0b100u16 << 13) | (1 << 12) | 0b10),
+        Lw | Ld | Fld | Sw | Sd | Fsd => compress_mem(inst),
+        _ => None,
+    }
+}
+
+/// Compressed load/store forms (both the sp-relative and "prime register"
+/// variants).
+fn compress_mem(inst: &Instruction) -> Option<u16> {
+    use Op::*;
+    let imm = inst.imm;
+    let is_load = inst.op.is_load();
+    let data = if is_load { inst.rd? } else { inst.rs2? };
+    let base = inst.rs1?;
+    let datan = data.num() as u16;
+
+    // sp-relative forms require an x-class data register for lw/ld and work
+    // for any register number.
+    if base == Reg::X2 {
+        match (inst.op, is_load) {
+            (Lw, true) if datan != 0 && imm % 4 == 0 && (0..256).contains(&imm) => {
+                let u = imm as u16;
+                return Some(
+                    (0b010u16 << 13)
+                        | (((u >> 5) & 1) << 12)
+                        | (datan << 7)
+                        | (((u >> 2) & 7) << 4)
+                        | (((u >> 6) & 3) << 2)
+                        | 0b10,
+                );
+            }
+            (Ld, true) | (Fld, true) if imm % 8 == 0 && (0..512).contains(&imm) => {
+                if inst.op == Ld && datan == 0 {
+                    return None;
+                }
+                let f3 = if inst.op == Ld { 0b011u16 } else { 0b001 };
+                let u = imm as u16;
+                return Some(
+                    (f3 << 13)
+                        | (((u >> 5) & 1) << 12)
+                        | (datan << 7)
+                        | (((u >> 3) & 3) << 5)
+                        | (((u >> 6) & 7) << 2)
+                        | 0b10,
+                );
+            }
+            (Sw, false) if imm % 4 == 0 && (0..256).contains(&imm) => {
+                let u = imm as u16;
+                return Some(
+                    (0b110u16 << 13)
+                        | (((u >> 2) & 0xF) << 9)
+                        | (((u >> 6) & 3) << 7)
+                        | (datan << 2)
+                        | 0b10,
+                );
+            }
+            (Sd, false) | (Fsd, false) if imm % 8 == 0 && (0..512).contains(&imm) => {
+                let f3 = if inst.op == Sd { 0b111u16 } else { 0b101 };
+                let u = imm as u16;
+                return Some(
+                    (f3 << 13)
+                        | (((u >> 3) & 7) << 10)
+                        | (((u >> 6) & 7) << 7)
+                        | (datan << 2)
+                        | 0b10,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Prime-register forms.
+    let basen = base.num();
+    if !(8..16).contains(&basen) || !(8..16).contains(&data.num()) {
+        return None;
+    }
+    let bp = (basen - 8) as u16;
+    let dp = (data.num() - 8) as u16;
+    match inst.op {
+        Lw | Sw if imm % 4 == 0 && (0..128).contains(&imm) => {
+            let f3 = if is_load { 0b010u16 } else { 0b110 };
+            let u = imm as u16;
+            Some(
+                (f3 << 13)
+                    | (((u >> 3) & 7) << 10)
+                    | (bp << 7)
+                    | (((u >> 2) & 1) << 6)
+                    | (((u >> 6) & 1) << 5)
+                    | (dp << 2),
+            )
+        }
+        Ld | Sd | Fld | Fsd if imm % 8 == 0 && (0..256).contains(&imm) => {
+            let f3 = match inst.op {
+                Ld => 0b011u16,
+                Sd => 0b111,
+                Fld => 0b001,
+                _ => 0b101,
+            };
+            // Fld/Fsd data registers are FPRs; the check above used num()
+            // which is class-agnostic, as the compressed format requires.
+            if matches!(inst.op, Ld | Sd) && data.class() != RegClass::Gpr {
+                return None;
+            }
+            let u = imm as u16;
+            Some(
+                (f3 << 13)
+                    | (((u >> 3) & 7) << 10)
+                    | (bp << 7)
+                    | (((u >> 6) & 3) << 5)
+                    | (dp << 2),
+            )
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode32, decode};
+    use crate::decode_c::decode_compressed;
+
+    fn round_trip32(raw: u32) {
+        let i = decode32(raw, 0x1000).unwrap();
+        let re = encode32(&i).unwrap();
+        assert_eq!(re, raw, "round-trip failed for {}", i.mnemonic());
+    }
+
+    #[test]
+    fn round_trip_core_encodings() {
+        for raw in [
+            0xFFD5_8513u32, // addi a0, a1, -3
+            0x1234_5537,    // lui a0, 0x12345
+            0x8000_0517,    // auipc a0, -0x80000
+            0x0080_00EF,    // jal ra, +8
+            0x0000_0073,    // ecall
+            0x0010_0073,    // ebreak
+        ] {
+            round_trip32(raw);
+        }
+    }
+
+    #[test]
+    fn compress_decompress_identity() {
+        // Build addi a0, a0, 5 and verify the compressed round trip.
+        let mut i = Instruction::new(0, 0, 4, Op::Addi);
+        i.rd = Some(Reg::x(10));
+        i.rs1 = Some(Reg::x(10));
+        i.imm = 5;
+        let c = compress(&i).expect("compressible");
+        let d = decode_compressed(c, 0).unwrap();
+        assert_eq!(d.op, Op::Addi);
+        assert_eq!(d.rd, i.rd);
+        assert_eq!(d.rs1, i.rs1);
+        assert_eq!(d.imm, 5);
+    }
+
+    #[test]
+    fn compress_cj_range() {
+        let mut i = Instruction::new(0, 0, 4, Op::Jal);
+        i.rd = Some(Reg::X0);
+        i.imm = 2046;
+        assert!(compress(&i).is_some());
+        i.imm = 2048; // out of ±2 KiB
+        assert!(compress(&i).is_none());
+        i.imm = -2048;
+        assert!(compress(&i).is_some());
+        i.rd = Some(Reg::X1); // RV64 has no c.jal
+        i.imm = 4;
+        assert!(compress(&i).is_none());
+    }
+
+    #[test]
+    fn compress_sp_loads() {
+        let mut i = Instruction::new(0, 0, 4, Op::Ld);
+        i.rd = Some(Reg::x(1));
+        i.rs1 = Some(Reg::X2);
+        i.imm = 504;
+        let c = compress(&i).unwrap();
+        let d = decode_compressed(c, 0).unwrap();
+        assert_eq!(d.op, Op::Ld);
+        assert_eq!(d.imm, 504);
+        i.imm = 512;
+        assert!(compress(&i).is_none());
+    }
+
+    #[test]
+    fn compress_fsd_prime() {
+        let mut i = Instruction::new(0, 0, 4, Op::Fsd);
+        i.rs1 = Some(Reg::x(10));
+        i.rs2 = Some(Reg::f(10));
+        i.imm = 0;
+        let c = compress(&i).unwrap();
+        let d = decode_compressed(c, 0).unwrap();
+        assert_eq!(d.op, Op::Fsd);
+        assert_eq!(d.rs2, Some(Reg::f(10)));
+    }
+
+    #[test]
+    fn branch_encoding_range_checks() {
+        let mut i = Instruction::new(0, 0, 4, Op::Beq);
+        i.rs1 = Some(Reg::x(10));
+        i.rs2 = Some(Reg::x(11));
+        i.imm = 4096; // beyond ±4 KiB
+        assert!(matches!(
+            encode32(&i),
+            Err(EncodeError::ImmOutOfRange { .. })
+        ));
+        i.imm = 3; // misaligned
+        assert!(matches!(encode32(&i), Err(EncodeError::Misaligned { .. })));
+        i.imm = 4094;
+        assert!(encode32(&i).is_ok());
+    }
+
+    #[test]
+    fn jal_range_checks() {
+        let mut i = Instruction::new(0, 0, 4, Op::Jal);
+        i.rd = Some(Reg::X0);
+        i.imm = 1 << 20; // beyond ±1 MiB
+        assert!(encode32(&i).is_err());
+        i.imm = (1 << 20) - 2;
+        assert!(encode32(&i).is_ok());
+    }
+
+    #[test]
+    fn encode_honours_compressed_fallback() {
+        // An instruction decoded as compressed but edited out of range must
+        // re-encode as 32-bit.
+        let mut i = decode(&0x0001u16.to_le_bytes(), 0).unwrap(); // c.nop
+        i.imm = 1000; // no longer fits c.addi
+        let bytes = encode(&i).unwrap();
+        assert_eq!(bytes.len(), 4);
+        let d = decode(&bytes, 0).unwrap();
+        assert_eq!(d.op, Op::Addi);
+        assert_eq!(d.imm, 1000);
+    }
+
+    #[test]
+    fn fp_round_trips() {
+        // fadd.d fa0, fa1, fa2 (rm=dyn)
+        let raw = (0b0000001 << 25) | (12 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x53;
+        round_trip32(raw);
+        // fmadd.d
+        let raw = (13 << 27) | (0b01 << 25) | (12 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x43;
+        round_trip32(raw);
+        // fcvt.d.l
+        let raw = (0b1101001 << 25) | (2 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x53;
+        round_trip32(raw);
+    }
+}

@@ -1,0 +1,43 @@
+//! Decode errors.
+
+use std::fmt;
+
+/// Why a byte sequence failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes available than the instruction length requires.
+    Truncated { address: u64, have: usize, need: usize },
+    /// The encoding does not correspond to any supported RV64GC instruction.
+    Invalid { address: u64, raw: u32 },
+    /// The all-zero / all-ones guard encodings, defined illegal by the spec.
+    DefinedIllegal { address: u64 },
+}
+
+impl DecodeError {
+    pub fn address(&self) -> u64 {
+        match *self {
+            DecodeError::Truncated { address, .. }
+            | DecodeError::Invalid { address, .. }
+            | DecodeError::DefinedIllegal { address } => address,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::Truncated { address, have, need } => write!(
+                f,
+                "truncated instruction at {address:#x}: have {have} bytes, need {need}"
+            ),
+            DecodeError::Invalid { address, raw } => {
+                write!(f, "invalid encoding {raw:#010x} at {address:#x}")
+            }
+            DecodeError::DefinedIllegal { address } => {
+                write!(f, "defined-illegal encoding at {address:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

@@ -1,0 +1,392 @@
+//! ISA extensions and profiles (§3.1.1).
+//!
+//! RISC-V is extension-based: a *profile* is the set of extensions a
+//! processor (or a binary) supports. rvdyn discovers the profile of a
+//! mutatee from the ELF `e_flags` and the `.riscv.attributes` arch string
+//! (SymtabAPI, §3.2.1), and CodeGenAPI consults it so instrumentation never
+//! uses instructions the mutatee's processor may lack (§3.2.5).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Base integer register width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Xlen {
+    Rv32,
+    Rv64,
+}
+
+impl Xlen {
+    pub fn bits(self) -> u32 {
+        match self {
+            Xlen::Rv32 => 32,
+            Xlen::Rv64 => 64,
+        }
+    }
+}
+
+/// A standard RISC-V extension relevant to RV64GC and its successors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Extension {
+    /// Base integer instruction set.
+    I = 0,
+    /// Integer multiplication and division.
+    M,
+    /// Atomic instructions.
+    A,
+    /// Single-precision floating point.
+    F,
+    /// Double-precision floating point.
+    D,
+    /// Compressed (16-bit) instructions.
+    C,
+    /// Control and status register instructions.
+    Zicsr,
+    /// Instruction-fetch fence.
+    Zifencei,
+    /// Vector extension (RVA23; future work in the paper, recognised but not
+    /// yet generated).
+    V,
+    /// Integer conditional operations (RVA23; recognised only).
+    Zicond,
+}
+
+impl Extension {
+    pub const ALL: [Extension; 10] = [
+        Extension::I,
+        Extension::M,
+        Extension::A,
+        Extension::F,
+        Extension::D,
+        Extension::C,
+        Extension::Zicsr,
+        Extension::Zifencei,
+        Extension::V,
+        Extension::Zicond,
+    ];
+
+    /// Canonical lower-case name used in arch strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Extension::I => "i",
+            Extension::M => "m",
+            Extension::A => "a",
+            Extension::F => "f",
+            Extension::D => "d",
+            Extension::C => "c",
+            Extension::Zicsr => "zicsr",
+            Extension::Zifencei => "zifencei",
+            Extension::V => "v",
+            Extension::Zicond => "zicond",
+        }
+    }
+}
+
+/// A set of extensions, as a small bitset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ExtensionSet(u16);
+
+impl ExtensionSet {
+    pub const fn empty() -> ExtensionSet {
+        ExtensionSet(0)
+    }
+
+    pub fn of(exts: &[Extension]) -> ExtensionSet {
+        let mut s = ExtensionSet::empty();
+        for &e in exts {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// The G ("general") shorthand: IMAFD + Zicsr + Zifencei.
+    pub fn g() -> ExtensionSet {
+        ExtensionSet::of(&[
+            Extension::I,
+            Extension::M,
+            Extension::A,
+            Extension::F,
+            Extension::D,
+            Extension::Zicsr,
+            Extension::Zifencei,
+        ])
+    }
+
+    /// GC: the profile Capstone (and this crate) fully supports (§3.2.2).
+    pub fn gc() -> ExtensionSet {
+        let mut s = ExtensionSet::g();
+        s.insert(Extension::C);
+        s
+    }
+
+    #[inline]
+    pub fn insert(&mut self, e: Extension) {
+        self.0 |= 1 << e as u8;
+    }
+
+    #[inline]
+    pub fn remove(&mut self, e: Extension) {
+        self.0 &= !(1 << e as u8);
+    }
+
+    #[inline]
+    pub fn contains(self, e: Extension) -> bool {
+        self.0 & (1 << e as u8) != 0
+    }
+
+    #[inline]
+    pub fn is_superset_of(self, other: ExtensionSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    pub fn iter(self) -> impl Iterator<Item = Extension> {
+        Extension::ALL.into_iter().filter(move |&e| self.contains(e))
+    }
+}
+
+impl fmt::Debug for ExtensionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// A full ISA profile: base width plus extension set.
+///
+/// Parsed from/to canonical arch strings such as
+/// `rv64imafdc_zicsr_zifencei` (which is RV64GC) as found in the
+/// `.riscv.attributes` section's `Tag_RISCV_arch` attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IsaProfile {
+    pub xlen: Xlen,
+    pub extensions: ExtensionSet,
+}
+
+impl IsaProfile {
+    /// RV64GC — the profile the paper's port targets.
+    pub fn rv64gc() -> IsaProfile {
+        IsaProfile {
+            xlen: Xlen::Rv64,
+            extensions: ExtensionSet::gc(),
+        }
+    }
+
+    /// RV64G (no compressed instructions) — used to exercise the
+    /// standard-jump-only code paths of PatchAPI.
+    pub fn rv64g() -> IsaProfile {
+        IsaProfile {
+            xlen: Xlen::Rv64,
+            extensions: ExtensionSet::g(),
+        }
+    }
+
+    pub fn has(self, e: Extension) -> bool {
+        self.extensions.contains(e)
+    }
+
+    /// Canonical arch string (`rv64imafdc_zicsr_zifencei` style). Single
+    /// letter extensions are concatenated in canonical order; multi-letter
+    /// (`z*`) extensions are appended with `_` separators, each with the
+    /// standard `2p0`-style version suffix omitted for readability of our
+    /// own output but accepted on input.
+    pub fn arch_string(self) -> String {
+        let mut s = match self.xlen {
+            Xlen::Rv32 => String::from("rv32"),
+            Xlen::Rv64 => String::from("rv64"),
+        };
+        for e in [
+            Extension::I,
+            Extension::M,
+            Extension::A,
+            Extension::F,
+            Extension::D,
+            Extension::C,
+            Extension::V,
+        ] {
+            if self.extensions.contains(e) {
+                s.push_str(e.name());
+            }
+        }
+        for e in [Extension::Zicsr, Extension::Zifencei, Extension::Zicond] {
+            if self.extensions.contains(e) {
+                s.push('_');
+                s.push_str(e.name());
+            }
+        }
+        s
+    }
+}
+
+/// Error parsing an arch string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchStringError(pub String);
+
+impl fmt::Display for ArchStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid RISC-V arch string: {}", self.0)
+    }
+}
+
+impl std::error::Error for ArchStringError {}
+
+impl FromStr for IsaProfile {
+    type Err = ArchStringError;
+
+    /// Parse a `Tag_RISCV_arch`-style string, e.g.
+    /// `rv64imafdc2p0_zicsr2p0_zifencei2p0` or `rv64gc`.
+    ///
+    /// Version suffixes (`2p1` etc.) are accepted and ignored; unknown
+    /// multi-letter extensions are skipped (forward compatibility with the
+    /// yearly ratification cadence the paper cites, §3.1.1); an unknown
+    /// *single-letter* extension is also skipped, because single-letter
+    /// extensions never affect decode correctness of the ones we do know.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let rest = if let Some(r) = lower.strip_prefix("rv64") {
+            r
+        } else if let Some(r) = lower.strip_prefix("rv32") {
+            r
+        } else {
+            return Err(ArchStringError(s.to_string()));
+        };
+        let xlen = if lower.starts_with("rv64") {
+            Xlen::Rv64
+        } else {
+            Xlen::Rv32
+        };
+
+        let mut exts = ExtensionSet::empty();
+        for (i, part) in rest.split('_').enumerate() {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if i == 0 {
+                // Single-letter extension run: "imafdc2p0" / "gc" ...
+                let mut chars = part.chars().peekable();
+                while let Some(ch) = chars.next() {
+                    match ch {
+                        'i' => exts.insert(Extension::I),
+                        'e' => exts.insert(Extension::I), // RV32E base: treat as I
+                        'g' => {
+                            for e in ExtensionSet::g().iter() {
+                                exts.insert(e);
+                            }
+                        }
+                        'm' => exts.insert(Extension::M),
+                        'a' => exts.insert(Extension::A),
+                        'f' => exts.insert(Extension::F),
+                        'd' => exts.insert(Extension::D),
+                        'c' => exts.insert(Extension::C),
+                        'v' => exts.insert(Extension::V),
+                        '0'..='9' | 'p' => {
+                            // version digits like "2p1": consume greedily
+                        }
+                        _ => {}
+                    }
+                    // Skip a full version suffix (digits 'p' digits) if next.
+                    while matches!(chars.peek(), Some('0'..='9')) {
+                        chars.next();
+                        if chars.peek() == Some(&'p') {
+                            chars.next();
+                        }
+                    }
+                }
+            } else {
+                // Multi-letter extension, strip trailing version.
+                let name: String = part
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphabetic())
+                    .collect();
+                match name.as_str() {
+                    "zicsr" => exts.insert(Extension::Zicsr),
+                    "zifencei" => exts.insert(Extension::Zifencei),
+                    "zicond" => exts.insert(Extension::Zicond),
+                    // GCC emits each single-letter extension as its own
+                    // underscore-separated, versioned part ("_m2p0").
+                    "i" | "e" => exts.insert(Extension::I),
+                    "g" => {
+                        for e in ExtensionSet::g().iter() {
+                            exts.insert(e);
+                        }
+                    }
+                    "m" => exts.insert(Extension::M),
+                    "a" => exts.insert(Extension::A),
+                    "f" => exts.insert(Extension::F),
+                    "d" => exts.insert(Extension::D),
+                    "c" => exts.insert(Extension::C),
+                    "v" => exts.insert(Extension::V),
+                    _ => {} // unknown extension: ignore (forward compat)
+                }
+            }
+        }
+        if !exts.contains(Extension::I) {
+            return Err(ArchStringError(format!("{s}: missing base ISA")));
+        }
+        Ok(IsaProfile { xlen, extensions: exts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rv64gc_canonical() {
+        let p: IsaProfile = "rv64imafdc_zicsr_zifencei".parse().unwrap();
+        assert_eq!(p, IsaProfile::rv64gc());
+    }
+
+    #[test]
+    fn parse_gcc_style_with_versions() {
+        let p: IsaProfile = "rv64i2p1_m2p0_a2p1_f2p2_d2p2_c2p0_zicsr2p0_zifencei2p0"
+            .parse()
+            .unwrap();
+        assert!(p.has(Extension::I));
+        assert!(p.has(Extension::M));
+        assert!(p.has(Extension::A));
+        assert!(p.has(Extension::F));
+        assert!(p.has(Extension::D));
+        assert!(p.has(Extension::C));
+        assert!(p.has(Extension::Zicsr));
+        assert!(p.has(Extension::Zifencei));
+        assert_eq!(p.xlen, Xlen::Rv64);
+    }
+
+    #[test]
+    fn parse_g_shorthand() {
+        let p: IsaProfile = "rv64gc".parse().unwrap();
+        assert_eq!(p, IsaProfile::rv64gc());
+        let p: IsaProfile = "rv64g".parse().unwrap();
+        assert_eq!(p, IsaProfile::rv64g());
+    }
+
+    #[test]
+    fn unknown_extensions_ignored() {
+        let p: IsaProfile = "rv64imac_zba_zbb_zbc".parse().unwrap();
+        assert!(p.has(Extension::M));
+        assert!(p.has(Extension::C));
+        assert!(!p.has(Extension::F));
+    }
+
+    #[test]
+    fn arch_string_round_trip() {
+        let p = IsaProfile::rv64gc();
+        let s = p.arch_string();
+        assert_eq!(s, "rv64imafdc_zicsr_zifencei");
+        let q: IsaProfile = s.parse().unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!("x86_64".parse::<IsaProfile>().is_err());
+        assert!("rv64".parse::<IsaProfile>().is_err()); // no base ISA
+    }
+
+    #[test]
+    fn superset_check() {
+        assert!(ExtensionSet::gc().is_superset_of(ExtensionSet::g()));
+        assert!(!ExtensionSet::g().is_superset_of(ExtensionSet::gc()));
+    }
+}

@@ -1,0 +1,354 @@
+//! The decoded [`Instruction`] and its operand/classification queries.
+
+use crate::op::{CompressedOp, Op};
+use crate::reg::{Reg, RegSet};
+use crate::{ALT_LINK_REG, LINK_REG};
+
+/// A fully decoded RISC-V instruction.
+///
+/// Compressed instructions are decoded to the uniform expanded operand model
+/// (`size == 2`, [`Instruction::compressed`] set); all analyses treat both
+/// widths identically except where the byte footprint matters (PatchAPI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instruction {
+    /// Address this instruction was decoded at.
+    pub address: u64,
+    /// Original encoding bits (low 16 bits for compressed instructions).
+    pub raw: u32,
+    /// Encoded length in bytes: 2 or 4.
+    pub size: u8,
+    /// The (expanded) operation.
+    pub op: Op,
+    /// Destination register.
+    pub rd: Option<Reg>,
+    /// First source register.
+    pub rs1: Option<Reg>,
+    /// Second source register.
+    pub rs2: Option<Reg>,
+    /// Third source register (FMA only).
+    pub rs3: Option<Reg>,
+    /// Immediate operand, sign-extended to i64 where the format sign-extends.
+    /// For shifts this is the shamt; for CSR-immediate forms the zimm.
+    pub imm: i64,
+    /// CSR number for Zicsr operations.
+    pub csr: Option<u16>,
+    /// FP rounding mode field (0b111 = dynamic).
+    pub rm: u8,
+    /// Atomic acquire bit.
+    pub aq: bool,
+    /// Atomic release bit.
+    pub rl: bool,
+    /// Original compressed identity, if this was a 16-bit encoding.
+    pub compressed: Option<CompressedOp>,
+}
+
+impl Instruction {
+    /// A blank instruction value with no operands set. Used by the decoder
+    /// and by code generators that synthesise instructions field-by-field.
+    pub fn new(address: u64, raw: u32, size: u8, op: Op) -> Instruction {
+        Instruction {
+            address,
+            raw,
+            size,
+            op,
+            rd: None,
+            rs1: None,
+            rs2: None,
+            rs3: None,
+            imm: 0,
+            csr: None,
+            rm: 0,
+            aq: false,
+            rl: false,
+            compressed: None,
+        }
+    }
+
+    /// Address of the next sequential instruction.
+    #[inline]
+    pub fn next_pc(&self) -> u64 {
+        self.address.wrapping_add(self.size as u64)
+    }
+
+    /// Mnemonic honouring the compressed form if present.
+    pub fn mnemonic(&self) -> &'static str {
+        match self.compressed {
+            Some(c) => c.mnemonic(),
+            None => self.op.mnemonic(),
+        }
+    }
+
+    /// Registers read by this instruction, including implicit operands.
+    ///
+    /// `ecall` reads the syscall argument registers `a0`–`a7` (Linux
+    /// convention) so liveness remains sound across system calls.
+    pub fn regs_read(&self) -> RegSet {
+        let mut s = RegSet::empty();
+        match self.op {
+            Op::Ecall => {
+                for n in 10..=17 {
+                    s.insert(Reg::x(n));
+                }
+                return s;
+            }
+            Op::Csrrwi | Op::Csrrsi | Op::Csrrci => return s,
+            // fence rd/rs1 are reserved hint fields (preserved only for
+            // exact re-encoding) — not architectural operands.
+            Op::Fence | Op::FenceI => return s,
+            _ => {}
+        }
+        if let Some(r) = self.rs1 {
+            s.insert(r);
+        }
+        if let Some(r) = self.rs2 {
+            s.insert(r);
+        }
+        if let Some(r) = self.rs3 {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Registers written by this instruction, including implicit operands.
+    ///
+    /// `ecall` writes the syscall return register `a0`.
+    pub fn regs_written(&self) -> RegSet {
+        let mut s = RegSet::empty();
+        match self.op {
+            Op::Ecall => {
+                s.insert(Reg::x(10));
+                return s;
+            }
+            Op::Fence | Op::FenceI => return s, // hint fields only
+            _ => {}
+        }
+        if let Some(r) = self.rd {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// The memory access performed, if any.
+    pub fn mem_access(&self) -> Option<MemAccess> {
+        let kind = if self.op.is_atomic() && !matches!(self.op, Op::LrW | Op::LrD) {
+            if matches!(self.op, Op::ScW | Op::ScD) {
+                MemAccessKind::Write
+            } else {
+                MemAccessKind::ReadWrite
+            }
+        } else if self.op.is_load() {
+            MemAccessKind::Read
+        } else if self.op.is_store() {
+            MemAccessKind::Write
+        } else {
+            return None;
+        };
+        let size = match self.op {
+            Op::Lb | Op::Lbu | Op::Sb => 1,
+            Op::Lh | Op::Lhu | Op::Sh => 2,
+            Op::Lw | Op::Lwu | Op::Sw | Op::Flw | Op::Fsw => 4,
+            Op::Ld | Op::Sd | Op::Fld | Op::Fsd => 8,
+            o if o.is_atomic() => {
+                if o.mnemonic().ends_with(".w") {
+                    4
+                } else {
+                    8
+                }
+            }
+            _ => return None,
+        };
+        // AMO/LR/SC address is rs1 with zero displacement.
+        let offset = if self.op.is_atomic() { 0 } else { self.imm };
+        Some(MemAccess {
+            base: self.rs1.expect("memory op has a base register"),
+            offset,
+            size,
+            kind,
+        })
+    }
+
+    /// Abstract control-flow classification (ParseAPI refines this using
+    /// context — §3.2.3's six rules — because `jal`/`jalr` are multi-use).
+    pub fn control_flow(&self) -> ControlFlow {
+        match self.op {
+            Op::Jal => ControlFlow::DirectJump {
+                target: self.address.wrapping_add(self.imm as u64),
+                link: self.rd.unwrap_or(Reg::X0),
+            },
+            Op::Jalr => ControlFlow::IndirectJump {
+                base: self.rs1.unwrap_or(Reg::X0),
+                offset: self.imm,
+                link: self.rd.unwrap_or(Reg::X0),
+            },
+            op if op.is_conditional_branch() => ControlFlow::ConditionalBranch {
+                target: self.address.wrapping_add(self.imm as u64),
+                fallthrough: self.next_pc(),
+            },
+            Op::Ecall => ControlFlow::Syscall,
+            Op::Ebreak => ControlFlow::Trap,
+            _ => ControlFlow::None,
+        }
+    }
+
+    /// Does this instruction end a basic block?
+    pub fn is_block_terminator(&self) -> bool {
+        !matches!(self.control_flow(), ControlFlow::None | ControlFlow::Syscall)
+    }
+
+    /// True if the link register of a `jal`/`jalr` marks this as
+    /// call-shaped (rd is `ra` or the alternate link register `t0`).
+    pub fn is_call_shaped(&self) -> bool {
+        match self.control_flow() {
+            ControlFlow::DirectJump { link, .. }
+            | ControlFlow::IndirectJump { link, .. } => {
+                link == LINK_REG || link == ALT_LINK_REG
+            }
+            _ => false,
+        }
+    }
+
+    /// True if this looks like the canonical `ret` (`jalr x0, 0(ra)`).
+    pub fn is_canonical_return(&self) -> bool {
+        self.op == Op::Jalr
+            && self.rd == Some(Reg::X0)
+            && self.rs1 == Some(LINK_REG)
+            && self.imm == 0
+    }
+}
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccessKind {
+    Read,
+    Write,
+    /// Atomic read-modify-write.
+    ReadWrite,
+}
+
+/// A memory operand: `offset(base)` with an access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    pub base: Reg,
+    pub offset: i64,
+    pub size: u8,
+    pub kind: MemAccessKind,
+}
+
+/// Abstract control-flow effect of an instruction.
+///
+/// Deliberately *not* call/return/tail-call: RISC-V overloads `jal`/`jalr`
+/// for all of those (§3.1.3), so the higher-level purpose is assigned by
+/// ParseAPI's context-sensitive classification, not by the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlFlow {
+    /// Falls through.
+    None,
+    /// B-format conditional branch.
+    ConditionalBranch { target: u64, fallthrough: u64 },
+    /// `jal`: pc-relative jump, writing `link` (possibly `x0`).
+    DirectJump { target: u64, link: Reg },
+    /// `jalr`: register-indirect jump, writing `link` (possibly `x0`).
+    IndirectJump { base: Reg, offset: i64, link: Reg },
+    /// `ecall` — control returns after the kernel services the call.
+    Syscall,
+    /// `ebreak` — debugger trap.
+    Trap,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(op: Op) -> Instruction {
+        Instruction::new(0x1000, 0, 4, op)
+    }
+
+    #[test]
+    fn ecall_implicit_operands() {
+        let i = mk(Op::Ecall);
+        let reads = i.regs_read();
+        assert_eq!(reads.len(), 8);
+        assert!(reads.contains(Reg::x(10)));
+        assert!(reads.contains(Reg::x(17)));
+        let writes = i.regs_written();
+        assert_eq!(writes.len(), 1);
+        assert!(writes.contains(Reg::x(10)));
+    }
+
+    #[test]
+    fn store_reads_both() {
+        let mut i = mk(Op::Sd);
+        i.rs1 = Some(Reg::x(2));
+        i.rs2 = Some(Reg::x(10));
+        i.imm = -16;
+        assert_eq!(i.regs_read().len(), 2);
+        assert!(i.regs_written().is_empty());
+        let m = i.mem_access().unwrap();
+        assert_eq!(m.base, Reg::x(2));
+        assert_eq!(m.offset, -16);
+        assert_eq!(m.size, 8);
+        assert_eq!(m.kind, MemAccessKind::Write);
+    }
+
+    #[test]
+    fn amo_is_read_write() {
+        let mut i = mk(Op::AmoAddW);
+        i.rd = Some(Reg::x(10));
+        i.rs1 = Some(Reg::x(11));
+        i.rs2 = Some(Reg::x(12));
+        let m = i.mem_access().unwrap();
+        assert_eq!(m.kind, MemAccessKind::ReadWrite);
+        assert_eq!(m.size, 4);
+        assert_eq!(m.offset, 0);
+    }
+
+    #[test]
+    fn jal_classification() {
+        let mut i = mk(Op::Jal);
+        i.rd = Some(Reg::X1);
+        i.imm = 0x100;
+        assert!(i.is_call_shaped());
+        assert!(i.is_block_terminator());
+        match i.control_flow() {
+            ControlFlow::DirectJump { target, link } => {
+                assert_eq!(target, 0x1100);
+                assert_eq!(link, Reg::X1);
+            }
+            cf => panic!("wrong classification: {cf:?}"),
+        }
+    }
+
+    #[test]
+    fn canonical_return() {
+        let mut i = mk(Op::Jalr);
+        i.rd = Some(Reg::X0);
+        i.rs1 = Some(Reg::X1);
+        i.imm = 0;
+        assert!(i.is_canonical_return());
+        assert!(!i.is_call_shaped());
+    }
+
+    #[test]
+    fn branch_targets() {
+        let mut i = mk(Op::Beq);
+        i.rs1 = Some(Reg::x(10));
+        i.rs2 = Some(Reg::x(11));
+        i.imm = -8;
+        match i.control_flow() {
+            ControlFlow::ConditionalBranch { target, fallthrough } => {
+                assert_eq!(target, 0x0FF8);
+                assert_eq!(fallthrough, 0x1004);
+            }
+            cf => panic!("wrong classification: {cf:?}"),
+        }
+    }
+
+    #[test]
+    fn writes_to_x0_are_invisible() {
+        let mut i = mk(Op::Jal);
+        i.rd = Some(Reg::X0);
+        i.imm = 16;
+        assert!(i.regs_written().is_empty());
+        assert!(!i.is_call_shaped());
+    }
+}

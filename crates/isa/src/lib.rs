@@ -1,0 +1,56 @@
+//! # rvdyn-isa — RISC-V instruction representation (InstructionAPI)
+//!
+//! This crate is the rvdyn equivalent of Dyninst's *InstructionAPI* together
+//! with the instruction-level parts of *CodeGenAPI*: a from-scratch RV64GC
+//! decoder, encoder, and machine-readable semantics for the I, M, A, F, D,
+//! Zicsr, Zifencei and C extensions.
+//!
+//! The paper bases instruction parsing on Capstone ≥ v6.0.0-Alpha, which it
+//! needed specifically for *operand read/write information*. This crate
+//! provides the same facts natively:
+//!
+//! * [`Instruction::regs_read`] / [`Instruction::regs_written`] — exact
+//!   register read/write sets, including implicit operands;
+//! * [`Instruction::mem_access`] — memory operand with base register,
+//!   displacement, access width and direction;
+//! * [`Instruction::control_flow`] — abstract classification (branch, jump,
+//!   call-shaped `jal`/`jalr`, trap) consumed by ParseAPI;
+//! * [`semantics::micro_ops`] — a per-instruction micro-op list, the
+//!   equivalent of the paper's SAIL → JSON → C++ semantics pipeline
+//!   (§3.2.4), consumed by DataflowAPI and cross-validated against the
+//!   emulator by property tests.
+//!
+//! Compressed (C-extension) instructions decode to the same uniform
+//! [`Op`]/operand model as their 32-bit expansions, with the original
+//! compressed identity retained in [`Instruction::compressed`] so that
+//! instrumentation code can reason about the 2-byte footprint (§3.1.2).
+
+pub mod build;
+pub mod decode;
+pub mod decode_c;
+pub mod disasm;
+pub mod encode;
+pub mod error;
+pub mod ext;
+pub mod inst;
+pub mod op;
+pub mod reg;
+pub mod semantics;
+
+pub use decode::{decode, decode_at, InstructionIter};
+pub use error::DecodeError;
+pub use ext::{Extension, ExtensionSet, IsaProfile, Xlen};
+pub use inst::{ControlFlow, Instruction, MemAccess, MemAccessKind};
+pub use op::{CompressedOp, Op};
+pub use reg::{Reg, RegClass, RegSet};
+
+/// ABI link register (`ra` / `x1`).
+pub const LINK_REG: Reg = Reg::X1;
+/// Alternate link register (`t0` / `x5`), also recognised as a link register
+/// by the RISC-V calling convention for millicode routines.
+pub const ALT_LINK_REG: Reg = Reg::X5;
+/// Stack pointer (`sp` / `x2`).
+pub const SP: Reg = Reg::X2;
+/// Frame pointer (`s0`/`fp` / `x8`) — note §3.2.7: many compilers use it as a
+/// plain callee-saved register instead.
+pub const FP: Reg = Reg::X8;

@@ -1,0 +1,530 @@
+//! Operation enumeration for RV64GC.
+//!
+//! Compressed instructions decode to the same [`Op`] as their 32-bit
+//! expansion (e.g. `c.addi` → [`Op::Addi`]); the original compressed
+//! identity is kept in [`CompressedOp`] on the instruction.
+
+use crate::ext::Extension;
+
+/// The uniform (expanded) operation of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Op {
+    // ---- RV64I ----
+    Lui,
+    Auipc,
+    Jal,
+    Jalr,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    Lb,
+    Lh,
+    Lw,
+    Ld,
+    Lbu,
+    Lhu,
+    Lwu,
+    Sb,
+    Sh,
+    Sw,
+    Sd,
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Addiw,
+    Slliw,
+    Srliw,
+    Sraiw,
+    Addw,
+    Subw,
+    Sllw,
+    Srlw,
+    Sraw,
+    Fence,
+    Ecall,
+    Ebreak,
+    // ---- Zifencei ----
+    FenceI,
+    // ---- Zicsr ----
+    Csrrw,
+    Csrrs,
+    Csrrc,
+    Csrrwi,
+    Csrrsi,
+    Csrrci,
+    // ---- M ----
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Mulw,
+    Divw,
+    Divuw,
+    Remw,
+    Remuw,
+    // ---- A (W then D forms) ----
+    LrW,
+    ScW,
+    AmoSwapW,
+    AmoAddW,
+    AmoXorW,
+    AmoAndW,
+    AmoOrW,
+    AmoMinW,
+    AmoMaxW,
+    AmoMinuW,
+    AmoMaxuW,
+    LrD,
+    ScD,
+    AmoSwapD,
+    AmoAddD,
+    AmoXorD,
+    AmoAndD,
+    AmoOrD,
+    AmoMinD,
+    AmoMaxD,
+    AmoMinuD,
+    AmoMaxuD,
+    // ---- F ----
+    Flw,
+    Fsw,
+    FmaddS,
+    FmsubS,
+    FnmsubS,
+    FnmaddS,
+    FaddS,
+    FsubS,
+    FmulS,
+    FdivS,
+    FsqrtS,
+    FsgnjS,
+    FsgnjnS,
+    FsgnjxS,
+    FminS,
+    FmaxS,
+    FcvtWS,
+    FcvtWuS,
+    FcvtLS,
+    FcvtLuS,
+    FmvXW,
+    FeqS,
+    FltS,
+    FleS,
+    FclassS,
+    FcvtSW,
+    FcvtSWu,
+    FcvtSL,
+    FcvtSLu,
+    FmvWX,
+    // ---- D ----
+    Fld,
+    Fsd,
+    FmaddD,
+    FmsubD,
+    FnmsubD,
+    FnmaddD,
+    FaddD,
+    FsubD,
+    FmulD,
+    FdivD,
+    FsqrtD,
+    FsgnjD,
+    FsgnjnD,
+    FsgnjxD,
+    FminD,
+    FmaxD,
+    FcvtSD,
+    FcvtDS,
+    FcvtWD,
+    FcvtWuD,
+    FcvtLD,
+    FcvtLuD,
+    FmvXD,
+    FeqD,
+    FltD,
+    FleD,
+    FclassD,
+    FcvtDW,
+    FcvtDWu,
+    FcvtDL,
+    FcvtDLu,
+    FmvDX,
+}
+
+impl Op {
+    /// Assembler mnemonic of the expanded (32-bit) form.
+    pub fn mnemonic(self) -> &'static str {
+        use Op::*;
+        match self {
+            Lui => "lui",
+            Auipc => "auipc",
+            Jal => "jal",
+            Jalr => "jalr",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            Lb => "lb",
+            Lh => "lh",
+            Lw => "lw",
+            Ld => "ld",
+            Lbu => "lbu",
+            Lhu => "lhu",
+            Lwu => "lwu",
+            Sb => "sb",
+            Sh => "sh",
+            Sw => "sw",
+            Sd => "sd",
+            Addi => "addi",
+            Slti => "slti",
+            Sltiu => "sltiu",
+            Xori => "xori",
+            Ori => "ori",
+            Andi => "andi",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Add => "add",
+            Sub => "sub",
+            Sll => "sll",
+            Slt => "slt",
+            Sltu => "sltu",
+            Xor => "xor",
+            Srl => "srl",
+            Sra => "sra",
+            Or => "or",
+            And => "and",
+            Addiw => "addiw",
+            Slliw => "slliw",
+            Srliw => "srliw",
+            Sraiw => "sraiw",
+            Addw => "addw",
+            Subw => "subw",
+            Sllw => "sllw",
+            Srlw => "srlw",
+            Sraw => "sraw",
+            Fence => "fence",
+            Ecall => "ecall",
+            Ebreak => "ebreak",
+            FenceI => "fence.i",
+            Csrrw => "csrrw",
+            Csrrs => "csrrs",
+            Csrrc => "csrrc",
+            Csrrwi => "csrrwi",
+            Csrrsi => "csrrsi",
+            Csrrci => "csrrci",
+            Mul => "mul",
+            Mulh => "mulh",
+            Mulhsu => "mulhsu",
+            Mulhu => "mulhu",
+            Div => "div",
+            Divu => "divu",
+            Rem => "rem",
+            Remu => "remu",
+            Mulw => "mulw",
+            Divw => "divw",
+            Divuw => "divuw",
+            Remw => "remw",
+            Remuw => "remuw",
+            LrW => "lr.w",
+            ScW => "sc.w",
+            AmoSwapW => "amoswap.w",
+            AmoAddW => "amoadd.w",
+            AmoXorW => "amoxor.w",
+            AmoAndW => "amoand.w",
+            AmoOrW => "amoor.w",
+            AmoMinW => "amomin.w",
+            AmoMaxW => "amomax.w",
+            AmoMinuW => "amominu.w",
+            AmoMaxuW => "amomaxu.w",
+            LrD => "lr.d",
+            ScD => "sc.d",
+            AmoSwapD => "amoswap.d",
+            AmoAddD => "amoadd.d",
+            AmoXorD => "amoxor.d",
+            AmoAndD => "amoand.d",
+            AmoOrD => "amoor.d",
+            AmoMinD => "amomin.d",
+            AmoMaxD => "amomax.d",
+            AmoMinuD => "amominu.d",
+            AmoMaxuD => "amomaxu.d",
+            Flw => "flw",
+            Fsw => "fsw",
+            FmaddS => "fmadd.s",
+            FmsubS => "fmsub.s",
+            FnmsubS => "fnmsub.s",
+            FnmaddS => "fnmadd.s",
+            FaddS => "fadd.s",
+            FsubS => "fsub.s",
+            FmulS => "fmul.s",
+            FdivS => "fdiv.s",
+            FsqrtS => "fsqrt.s",
+            FsgnjS => "fsgnj.s",
+            FsgnjnS => "fsgnjn.s",
+            FsgnjxS => "fsgnjx.s",
+            FminS => "fmin.s",
+            FmaxS => "fmax.s",
+            FcvtWS => "fcvt.w.s",
+            FcvtWuS => "fcvt.wu.s",
+            FcvtLS => "fcvt.l.s",
+            FcvtLuS => "fcvt.lu.s",
+            FmvXW => "fmv.x.w",
+            FeqS => "feq.s",
+            FltS => "flt.s",
+            FleS => "fle.s",
+            FclassS => "fclass.s",
+            FcvtSW => "fcvt.s.w",
+            FcvtSWu => "fcvt.s.wu",
+            FcvtSL => "fcvt.s.l",
+            FcvtSLu => "fcvt.s.lu",
+            FmvWX => "fmv.w.x",
+            Fld => "fld",
+            Fsd => "fsd",
+            FmaddD => "fmadd.d",
+            FmsubD => "fmsub.d",
+            FnmsubD => "fnmsub.d",
+            FnmaddD => "fnmadd.d",
+            FaddD => "fadd.d",
+            FsubD => "fsub.d",
+            FmulD => "fmul.d",
+            FdivD => "fdiv.d",
+            FsqrtD => "fsqrt.d",
+            FsgnjD => "fsgnj.d",
+            FsgnjnD => "fsgnjn.d",
+            FsgnjxD => "fsgnjx.d",
+            FminD => "fmin.d",
+            FmaxD => "fmax.d",
+            FcvtSD => "fcvt.s.d",
+            FcvtDS => "fcvt.d.s",
+            FcvtWD => "fcvt.w.d",
+            FcvtWuD => "fcvt.wu.d",
+            FcvtLD => "fcvt.l.d",
+            FcvtLuD => "fcvt.lu.d",
+            FmvXD => "fmv.x.d",
+            FeqD => "feq.d",
+            FltD => "flt.d",
+            FleD => "fle.d",
+            FclassD => "fclass.d",
+            FcvtDW => "fcvt.d.w",
+            FcvtDWu => "fcvt.d.wu",
+            FcvtDL => "fcvt.d.l",
+            FcvtDLu => "fcvt.d.lu",
+            FmvDX => "fmv.d.x",
+        }
+    }
+
+    /// Which extension defines this operation.
+    pub fn extension(self) -> Extension {
+        use Op::*;
+        match self {
+            FenceI => Extension::Zifencei,
+            Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => Extension::Zicsr,
+            Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu | Mulw
+            | Divw | Divuw | Remw | Remuw => Extension::M,
+            LrW | ScW | AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW
+            | AmoMinW | AmoMaxW | AmoMinuW | AmoMaxuW | LrD | ScD | AmoSwapD
+            | AmoAddD | AmoXorD | AmoAndD | AmoOrD | AmoMinD | AmoMaxD
+            | AmoMinuD | AmoMaxuD => Extension::A,
+            Flw | Fsw | FmaddS | FmsubS | FnmsubS | FnmaddS | FaddS | FsubS
+            | FmulS | FdivS | FsqrtS | FsgnjS | FsgnjnS | FsgnjxS | FminS
+            | FmaxS | FcvtWS | FcvtWuS | FcvtLS | FcvtLuS | FmvXW | FeqS
+            | FltS | FleS | FclassS | FcvtSW | FcvtSWu | FcvtSL | FcvtSLu
+            | FmvWX => Extension::F,
+            Fld | Fsd | FmaddD | FmsubD | FnmsubD | FnmaddD | FaddD | FsubD
+            | FmulD | FdivD | FsqrtD | FsgnjD | FsgnjnD | FsgnjxD | FminD
+            | FmaxD | FcvtSD | FcvtDS | FcvtWD | FcvtWuD | FcvtLD | FcvtLuD
+            | FmvXD | FeqD | FltD | FleD | FclassD | FcvtDW | FcvtDWu
+            | FcvtDL | FcvtDLu | FmvDX => Extension::D,
+            _ => Extension::I,
+        }
+    }
+
+    /// Conditional branch (B-format)?
+    pub fn is_conditional_branch(self) -> bool {
+        matches!(
+            self,
+            Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu
+        )
+    }
+
+    /// Memory load (into an integer or FP register)?
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            Op::Lb
+                | Op::Lh
+                | Op::Lw
+                | Op::Ld
+                | Op::Lbu
+                | Op::Lhu
+                | Op::Lwu
+                | Op::Flw
+                | Op::Fld
+                | Op::LrW
+                | Op::LrD
+        )
+    }
+
+    /// Memory store?
+    pub fn is_store(self) -> bool {
+        matches!(
+            self,
+            Op::Sb | Op::Sh | Op::Sw | Op::Sd | Op::Fsw | Op::Fsd | Op::ScW | Op::ScD
+        )
+    }
+
+    /// Atomic read-modify-write (AMO, LR or SC)?
+    pub fn is_atomic(self) -> bool {
+        self.extension() == Extension::A
+    }
+}
+
+/// The original identity of a compressed (16-bit) instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CompressedOp {
+    CAddi4spn,
+    CFld,
+    CLw,
+    CLd,
+    CFsd,
+    CSw,
+    CSd,
+    CNop,
+    CAddi,
+    CAddiw,
+    CLi,
+    CAddi16sp,
+    CLui,
+    CSrli,
+    CSrai,
+    CAndi,
+    CSub,
+    CXor,
+    COr,
+    CAnd,
+    CSubw,
+    CAddw,
+    CJ,
+    CBeqz,
+    CBnez,
+    CSlli,
+    CFldsp,
+    CLwsp,
+    CLdsp,
+    CJr,
+    CMv,
+    CEbreak,
+    CJalr,
+    CAdd,
+    CFsdsp,
+    CSwsp,
+    CSdsp,
+}
+
+impl CompressedOp {
+    /// Assembler mnemonic of the compressed form.
+    pub fn mnemonic(self) -> &'static str {
+        use CompressedOp::*;
+        match self {
+            CAddi4spn => "c.addi4spn",
+            CFld => "c.fld",
+            CLw => "c.lw",
+            CLd => "c.ld",
+            CFsd => "c.fsd",
+            CSw => "c.sw",
+            CSd => "c.sd",
+            CNop => "c.nop",
+            CAddi => "c.addi",
+            CAddiw => "c.addiw",
+            CLi => "c.li",
+            CAddi16sp => "c.addi16sp",
+            CLui => "c.lui",
+            CSrli => "c.srli",
+            CSrai => "c.srai",
+            CAndi => "c.andi",
+            CSub => "c.sub",
+            CXor => "c.xor",
+            COr => "c.or",
+            CAnd => "c.and",
+            CSubw => "c.subw",
+            CAddw => "c.addw",
+            CJ => "c.j",
+            CBeqz => "c.beqz",
+            CBnez => "c.bnez",
+            CSlli => "c.slli",
+            CFldsp => "c.fldsp",
+            CLwsp => "c.lwsp",
+            CLdsp => "c.ldsp",
+            CJr => "c.jr",
+            CMv => "c.mv",
+            CEbreak => "c.ebreak",
+            CJalr => "c.jalr",
+            CAdd => "c.add",
+            CFsdsp => "c.fsdsp",
+            CSwsp => "c.swsp",
+            CSdsp => "c.sdsp",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_assignment() {
+        assert_eq!(Op::Add.extension(), Extension::I);
+        assert_eq!(Op::Mul.extension(), Extension::M);
+        assert_eq!(Op::LrW.extension(), Extension::A);
+        assert_eq!(Op::FaddS.extension(), Extension::F);
+        assert_eq!(Op::FaddD.extension(), Extension::D);
+        assert_eq!(Op::Csrrw.extension(), Extension::Zicsr);
+        assert_eq!(Op::FenceI.extension(), Extension::Zifencei);
+    }
+
+    #[test]
+    fn load_store_classification() {
+        assert!(Op::Ld.is_load());
+        assert!(Op::Fld.is_load());
+        assert!(Op::LrD.is_load());
+        assert!(!Op::Sd.is_load());
+        assert!(Op::Sd.is_store());
+        assert!(Op::Fsd.is_store());
+        assert!(Op::ScW.is_store());
+        assert!(!Op::Add.is_store());
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Op::Beq.is_conditional_branch());
+        assert!(Op::Bgeu.is_conditional_branch());
+        assert!(!Op::Jal.is_conditional_branch());
+    }
+}

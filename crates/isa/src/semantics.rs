@@ -1,0 +1,811 @@
+//! Machine-readable instruction semantics (§3.2.4).
+//!
+//! The paper derives DataflowAPI's instruction semantics from the official
+//! SAIL specification through a two-stage pipeline (SAIL → simplified JSON IR
+//! → C++ semantic classes), deliberately stripping the error-handling detail
+//! that matters to emulators but not to dataflow analysis.
+//!
+//! This module is the same architecture realised natively: every decoded
+//! instruction maps to a list of [`MicroOp`]s over a small expression IR
+//! ([`SemExpr`]) — the equivalent of the paper's simplified JSON layer.
+//! Consumers:
+//!
+//! * DataflowAPI's backward slicing and constant propagation interpret the
+//!   expressions symbolically;
+//! * [`eval_int`] executes the integer subset concretely, and property tests
+//!   cross-validate it against the independent fast interpreter in
+//!   `rvdyn-emu` — the same role the SAIL-derived emulator plays for the
+//!   paper's pipeline.
+//!
+//! Floating-point operations appear as opaque [`MicroOp::FpCompute`] nodes:
+//! dataflow only needs their register def/use sets, which are exact.
+
+use crate::inst::Instruction;
+use crate::op::Op;
+use crate::reg::Reg;
+
+/// Binary operators of the semantic IR. All operate on 64-bit values;
+/// `*W` variants narrow to 32 bits and sign-extend the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    SltS,
+    SltU,
+    Mul,
+    MulH,
+    MulHSU,
+    MulHU,
+    DivS,
+    DivU,
+    RemS,
+    RemU,
+    AddW,
+    SubW,
+    SllW,
+    SrlW,
+    SraW,
+    MulW,
+    DivSW,
+    DivUW,
+    RemSW,
+    RemUW,
+    MinS,
+    MaxS,
+    MinU,
+    MaxU,
+    MinSW,
+    MaxSW,
+    MinUW,
+    MaxUW,
+    SwapSecond,
+}
+
+/// Comparison operators for conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    LtS,
+    GeS,
+    LtU,
+    GeU,
+}
+
+/// A value expression over the pre-state of the instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SemExpr {
+    /// Value of a GPR in the pre-state (x0 reads as 0).
+    Gpr(Reg),
+    /// The instruction's own address.
+    Pc,
+    /// Constant.
+    Imm(i64),
+    /// Binary operation.
+    Bin(BinOp, Box<SemExpr>, Box<SemExpr>),
+}
+
+impl SemExpr {
+    pub fn gpr(r: Reg) -> SemExpr {
+        SemExpr::Gpr(r)
+    }
+
+    pub fn imm(v: i64) -> SemExpr {
+        SemExpr::Imm(v)
+    }
+
+    pub fn bin(op: BinOp, a: SemExpr, b: SemExpr) -> SemExpr {
+        SemExpr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Registers this expression depends on.
+    pub fn uses(&self, out: &mut crate::reg::RegSet) {
+        match self {
+            SemExpr::Gpr(r) => out.insert(*r),
+            SemExpr::Bin(_, a, b) => {
+                a.uses(out);
+                b.uses(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One architectural effect of an instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MicroOp {
+    /// `rd <- expr` over integer state.
+    Write { rd: Reg, val: SemExpr },
+    /// `rd <- sign/zero-extended load of `size` bytes at `addr``.
+    Load {
+        rd: Reg,
+        addr: SemExpr,
+        size: u8,
+        sign_extend: bool,
+    },
+    /// Store `size` low bytes of `val` at `addr`.
+    Store { addr: SemExpr, val: SemExpr, size: u8 },
+    /// Transfer control to `target` (unconditionally if `cond` is `None`).
+    SetPc {
+        target: SemExpr,
+        cond: Option<(CmpOp, SemExpr, SemExpr)>,
+    },
+    /// Atomic read-modify-write: `rd <- M[addr]; M[addr] <- rd ⊕ rs2`.
+    Amo {
+        rd: Reg,
+        addr: SemExpr,
+        src: SemExpr,
+        op: BinOp,
+        size: u8,
+    },
+    /// Opaque floating-point computation (exact def/use, abstract value).
+    FpCompute { writes_gpr: Option<Reg> },
+    /// Environment call.
+    Syscall,
+    /// Debug trap.
+    Break,
+    /// Memory ordering / CSR side effects we model as opaque.
+    Opaque,
+}
+
+/// Produce the micro-op list for `inst`.
+///
+/// The list is a *complete* description of the architectural effect for the
+/// integer subset (I, M, A address/AMO arithmetic, Zicsr modelled opaquely),
+/// and a def/use-exact opaque node for F/D computations.
+pub fn micro_ops(inst: &Instruction) -> Vec<MicroOp> {
+    use BinOp as B;
+    use Op as O;
+    let rd = inst.rd;
+    let rs1 = || SemExpr::gpr(inst.rs1.expect("rs1"));
+    let rs2 = || SemExpr::gpr(inst.rs2.expect("rs2"));
+    let imm = || SemExpr::imm(inst.imm);
+    let wr = |val: SemExpr| -> Vec<MicroOp> {
+        match rd {
+            Some(r) if !r.is_zero() => vec![MicroOp::Write { rd: r, val }],
+            _ => vec![],
+        }
+    };
+    let alu_i = |op: BinOp| wr(SemExpr::bin(op, rs1(), imm()));
+    let alu_r = |op: BinOp| wr(SemExpr::bin(op, rs1(), rs2()));
+
+    match inst.op {
+        O::Lui => wr(imm()),
+        O::Auipc => wr(SemExpr::bin(B::Add, SemExpr::Pc, imm())),
+        O::Addi => alu_i(B::Add),
+        O::Slti => alu_i(B::SltS),
+        O::Sltiu => alu_i(B::SltU),
+        O::Xori => alu_i(B::Xor),
+        O::Ori => alu_i(B::Or),
+        O::Andi => alu_i(B::And),
+        O::Slli => alu_i(B::Sll),
+        O::Srli => alu_i(B::Srl),
+        O::Srai => alu_i(B::Sra),
+        O::Addiw => alu_i(B::AddW),
+        O::Slliw => alu_i(B::SllW),
+        O::Srliw => alu_i(B::SrlW),
+        O::Sraiw => alu_i(B::SraW),
+        O::Add => alu_r(B::Add),
+        O::Sub => alu_r(B::Sub),
+        O::Sll => alu_r(B::Sll),
+        O::Slt => alu_r(B::SltS),
+        O::Sltu => alu_r(B::SltU),
+        O::Xor => alu_r(B::Xor),
+        O::Srl => alu_r(B::Srl),
+        O::Sra => alu_r(B::Sra),
+        O::Or => alu_r(B::Or),
+        O::And => alu_r(B::And),
+        O::Addw => alu_r(B::AddW),
+        O::Subw => alu_r(B::SubW),
+        O::Sllw => alu_r(B::SllW),
+        O::Srlw => alu_r(B::SrlW),
+        O::Sraw => alu_r(B::SraW),
+        O::Mul => alu_r(B::Mul),
+        O::Mulh => alu_r(B::MulH),
+        O::Mulhsu => alu_r(B::MulHSU),
+        O::Mulhu => alu_r(B::MulHU),
+        O::Div => alu_r(B::DivS),
+        O::Divu => alu_r(B::DivU),
+        O::Rem => alu_r(B::RemS),
+        O::Remu => alu_r(B::RemU),
+        O::Mulw => alu_r(B::MulW),
+        O::Divw => alu_r(B::DivSW),
+        O::Divuw => alu_r(B::DivUW),
+        O::Remw => alu_r(B::RemSW),
+        O::Remuw => alu_r(B::RemUW),
+        O::Jal => {
+            let mut v = wr(SemExpr::imm(inst.next_pc() as i64));
+            v.push(MicroOp::SetPc {
+                target: SemExpr::bin(B::Add, SemExpr::Pc, imm()),
+                cond: None,
+            });
+            v
+        }
+        O::Jalr => {
+            // The target must read the *pre-state* rs1 (rd may alias rs1,
+            // as in `jalr ra, 0(ra)`), so the SetPc micro-op — which only
+            // records the transfer — is emitted before the link write.
+            let mut v = vec![MicroOp::SetPc {
+                // target = (rs1 + imm) & !1
+                target: SemExpr::bin(
+                    B::And,
+                    SemExpr::bin(B::Add, rs1(), imm()),
+                    SemExpr::imm(!1),
+                ),
+                cond: None,
+            }];
+            v.extend(wr(SemExpr::imm(inst.next_pc() as i64)));
+            v
+        }
+        O::Beq | O::Bne | O::Blt | O::Bge | O::Bltu | O::Bgeu => {
+            let cmp = match inst.op {
+                O::Beq => CmpOp::Eq,
+                O::Bne => CmpOp::Ne,
+                O::Blt => CmpOp::LtS,
+                O::Bge => CmpOp::GeS,
+                O::Bltu => CmpOp::LtU,
+                _ => CmpOp::GeU,
+            };
+            vec![MicroOp::SetPc {
+                target: SemExpr::bin(B::Add, SemExpr::Pc, imm()),
+                cond: Some((cmp, rs1(), rs2())),
+            }]
+        }
+        O::Lb | O::Lh | O::Lw | O::Ld | O::Lbu | O::Lhu | O::Lwu => {
+            let (size, sx) = match inst.op {
+                O::Lb => (1, true),
+                O::Lh => (2, true),
+                O::Lw => (4, true),
+                O::Ld => (8, false),
+                O::Lbu => (1, false),
+                O::Lhu => (2, false),
+                _ => (4, false),
+            };
+            match rd {
+                Some(r) if !r.is_zero() => vec![MicroOp::Load {
+                    rd: r,
+                    addr: SemExpr::bin(B::Add, rs1(), imm()),
+                    size,
+                    sign_extend: sx,
+                }],
+                _ => vec![],
+            }
+        }
+        O::Sb | O::Sh | O::Sw | O::Sd => {
+            let size = match inst.op {
+                O::Sb => 1,
+                O::Sh => 2,
+                O::Sw => 4,
+                _ => 8,
+            };
+            vec![MicroOp::Store {
+                addr: SemExpr::bin(B::Add, rs1(), imm()),
+                val: rs2(),
+                size,
+            }]
+        }
+        O::LrW | O::LrD => {
+            let size = if inst.op == O::LrW { 4 } else { 8 };
+            match rd {
+                Some(r) if !r.is_zero() => vec![MicroOp::Load {
+                    rd: r,
+                    addr: rs1(),
+                    size,
+                    sign_extend: size == 4,
+                }],
+                _ => vec![],
+            }
+        }
+        O::ScW | O::ScD => {
+            let size = if inst.op == O::ScW { 4 } else { 8 };
+            // Single-threaded model: SC always succeeds (writes 0 to rd).
+            let mut v = vec![MicroOp::Store { addr: rs1(), val: rs2(), size }];
+            if let Some(r) = rd {
+                if !r.is_zero() {
+                    v.push(MicroOp::Write { rd: r, val: SemExpr::imm(0) });
+                }
+            }
+            v
+        }
+        O::AmoSwapW | O::AmoAddW | O::AmoXorW | O::AmoAndW | O::AmoOrW
+        | O::AmoMinW | O::AmoMaxW | O::AmoMinuW | O::AmoMaxuW | O::AmoSwapD
+        | O::AmoAddD | O::AmoXorD | O::AmoAndD | O::AmoOrD | O::AmoMinD
+        | O::AmoMaxD | O::AmoMinuD | O::AmoMaxuD => {
+            let size = if inst.op.mnemonic().ends_with(".w") { 4 } else { 8 };
+            let op = match inst.op {
+                O::AmoSwapW | O::AmoSwapD => B::SwapSecond,
+                O::AmoAddW | O::AmoAddD => B::Add,
+                O::AmoXorW | O::AmoXorD => B::Xor,
+                O::AmoAndW | O::AmoAndD => B::And,
+                O::AmoOrW | O::AmoOrD => B::Or,
+                O::AmoMinW => B::MinSW,
+                O::AmoMinD => B::MinS,
+                O::AmoMaxW => B::MaxSW,
+                O::AmoMaxD => B::MaxS,
+                O::AmoMinuW => B::MinUW,
+                O::AmoMinuD => B::MinU,
+                O::AmoMaxuW => B::MaxUW,
+                _ => B::MaxU,
+            };
+            vec![MicroOp::Amo {
+                rd: rd.unwrap_or(Reg::X0),
+                addr: rs1(),
+                src: rs2(),
+                op,
+                size,
+            }]
+        }
+        O::Ecall => vec![MicroOp::Syscall],
+        O::Ebreak => vec![MicroOp::Break],
+        O::Fence | O::FenceI => vec![MicroOp::Opaque],
+        O::Csrrw | O::Csrrs | O::Csrrc | O::Csrrwi | O::Csrrsi | O::Csrrci => {
+            // CSR state is outside the dataflow register model; the GPR
+            // write is the observable effect.
+            match rd {
+                Some(r) if !r.is_zero() => {
+                    vec![MicroOp::FpCompute { writes_gpr: Some(r) }, MicroOp::Opaque]
+                }
+                _ => vec![MicroOp::Opaque],
+            }
+        }
+        // Loads/stores of FP registers move bits, not values — they are
+        // load/store micro-ops from dataflow's perspective, but the data
+        // register is an FPR, outside the integer IR: model the address
+        // dependency exactly and the data as opaque.
+        O::Flw | O::Fld => vec![
+            MicroOp::Load {
+                rd: rd.expect("fp load rd"),
+                addr: SemExpr::bin(B::Add, rs1(), imm()),
+                size: if inst.op == O::Flw { 4 } else { 8 },
+                sign_extend: false,
+            },
+        ],
+        O::Fsw | O::Fsd => vec![MicroOp::Store {
+            addr: SemExpr::bin(B::Add, rs1(), imm()),
+            val: SemExpr::gpr(inst.rs2.expect("fp store rs2")),
+            size: if inst.op == O::Fsw { 4 } else { 8 },
+        }],
+        // All remaining F/D computations: exact def/use, opaque value.
+        _ => {
+            let writes_gpr = match rd {
+                Some(r) if r.class() == crate::reg::RegClass::Gpr && !r.is_zero() => {
+                    Some(r)
+                }
+                _ => None,
+            };
+            vec![MicroOp::FpCompute { writes_gpr }]
+        }
+    }
+}
+
+/// Concrete integer state for [`eval_int`].
+#[derive(Debug, Clone)]
+pub struct IntState {
+    pub pc: u64,
+    pub gpr: [u64; 32],
+}
+
+impl IntState {
+    pub fn new(pc: u64) -> IntState {
+        IntState { pc, gpr: [0; 32] }
+    }
+
+    #[inline]
+    pub fn get(&self, r: Reg) -> u64 {
+        debug_assert_eq!(r.class(), crate::reg::RegClass::Gpr);
+        if r.is_zero() {
+            0
+        } else {
+            self.gpr[r.num() as usize]
+        }
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() && r.class() == crate::reg::RegClass::Gpr {
+            self.gpr[r.num() as usize] = v;
+        }
+    }
+}
+
+/// Apply a binary operator. Shared by the micro-op evaluator and usable by
+/// constant folding in DataflowAPI.
+#[allow(clippy::manual_checked_ops)] // spec-mandated div-by-zero results
+pub fn apply_bin(op: BinOp, a: u64, b: u64) -> u64 {
+    let sw = |v: u64| v as i32 as i64 as u64; // sign-extend low 32
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Sll => a.wrapping_shl((b & 63) as u32),
+        BinOp::Srl => a.wrapping_shr((b & 63) as u32),
+        BinOp::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        BinOp::SltS => ((a as i64) < (b as i64)) as u64,
+        BinOp::SltU => (a < b) as u64,
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::MulH => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        BinOp::MulHSU => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+        BinOp::MulHU => (((a as u128) * (b as u128)) >> 64) as u64,
+        BinOp::DivS => {
+            if b == 0 {
+                u64::MAX
+            } else if a as i64 == i64::MIN && b as i64 == -1 {
+                a
+            } else {
+                ((a as i64) / (b as i64)) as u64
+            }
+        }
+        BinOp::DivU => {
+            if b == 0 {
+                u64::MAX
+            } else {
+                a / b
+            }
+        }
+        BinOp::RemS => {
+            if b == 0 {
+                a
+            } else if a as i64 == i64::MIN && b as i64 == -1 {
+                0
+            } else {
+                ((a as i64) % (b as i64)) as u64
+            }
+        }
+        BinOp::RemU => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        BinOp::AddW => sw(a.wrapping_add(b)),
+        BinOp::SubW => sw(a.wrapping_sub(b)),
+        BinOp::SllW => sw((a as u32).wrapping_shl((b & 31) as u32) as u64),
+        BinOp::SrlW => sw((a as u32).wrapping_shr((b & 31) as u32) as u64),
+        BinOp::SraW => sw(((a as i32).wrapping_shr((b & 31) as u32)) as u32 as u64),
+        BinOp::MulW => sw(a.wrapping_mul(b)),
+        BinOp::DivSW => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                u64::MAX
+            } else if a == i32::MIN && b == -1 {
+                a as i64 as u64
+            } else {
+                (a / b) as i64 as u64
+            }
+        }
+        BinOp::DivUW => {
+            let (a, b) = (a as u32, b as u32);
+            if b == 0 {
+                u64::MAX
+            } else {
+                sw((a / b) as u64)
+            }
+        }
+        BinOp::RemSW => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                a as i64 as u64
+            } else if a == i32::MIN && b == -1 {
+                0
+            } else {
+                (a % b) as i64 as u64
+            }
+        }
+        BinOp::RemUW => {
+            let (a, b) = (a as u32, b as u32);
+            if b == 0 {
+                a as i64 as u64
+            } else {
+                sw((a % b) as u64)
+            }
+        }
+        BinOp::MinS => (a as i64).min(b as i64) as u64,
+        BinOp::MaxS => (a as i64).max(b as i64) as u64,
+        BinOp::MinU => a.min(b),
+        BinOp::MaxU => a.max(b),
+        BinOp::MinSW => sw(((a as i32).min(b as i32)) as u32 as u64),
+        BinOp::MaxSW => sw(((a as i32).max(b as i32)) as u32 as u64),
+        BinOp::MinUW => sw(((a as u32).min(b as u32)) as u64),
+        BinOp::MaxUW => sw(((a as u32).max(b as u32)) as u64),
+        BinOp::SwapSecond => b,
+    }
+}
+
+/// Evaluate a comparison.
+pub fn apply_cmp(op: CmpOp, a: u64, b: u64) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::LtS => (a as i64) < (b as i64),
+        CmpOp::GeS => (a as i64) >= (b as i64),
+        CmpOp::LtU => a < b,
+        CmpOp::GeU => a >= b,
+    }
+}
+
+/// Evaluate an expression over a concrete state.
+pub fn eval_expr(e: &SemExpr, st: &IntState) -> u64 {
+    match e {
+        SemExpr::Gpr(r) => st.get(*r),
+        SemExpr::Pc => st.pc,
+        SemExpr::Imm(v) => *v as u64,
+        SemExpr::Bin(op, a, b) => apply_bin(*op, eval_expr(a, st), eval_expr(b, st)),
+    }
+}
+
+/// Outcome of evaluating one instruction's micro-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalOutcome {
+    /// Fall through to the next instruction.
+    Next,
+    /// Control transferred to this address.
+    Jump(u64),
+    /// Environment call.
+    Syscall,
+    /// Debug trap.
+    Break,
+    /// Instruction touches state outside the integer model (F/D value
+    /// computation, CSR) — the caller must handle it natively.
+    OutsideModel,
+}
+
+/// Execute the integer subset of an instruction via its micro-ops against a
+/// concrete state and byte-addressed memory closure.
+///
+/// This is the reference interpreter derived from the semantics spec; the
+/// fast interpreter in `rvdyn-emu` is validated against it.
+pub fn eval_int(
+    inst: &Instruction,
+    st: &mut IntState,
+    mem: &mut dyn MemoryBus,
+) -> EvalOutcome {
+    let ops = micro_ops(inst);
+    let mut outcome = EvalOutcome::Next;
+    for op in &ops {
+        match op {
+            MicroOp::Write { rd, val } => {
+                let v = eval_expr(val, st);
+                st.set(*rd, v);
+            }
+            MicroOp::Load { rd, addr, size, sign_extend } => {
+                if rd.class() != crate::reg::RegClass::Gpr {
+                    return EvalOutcome::OutsideModel;
+                }
+                let a = eval_expr(addr, st);
+                let raw = mem.load(a, *size);
+                let v = if *sign_extend {
+                    let shift = 64 - (*size as u32) * 8;
+                    (((raw << shift) as i64) >> shift) as u64
+                } else {
+                    raw
+                };
+                st.set(*rd, v);
+            }
+            MicroOp::Store { addr, val, size } => {
+                if let SemExpr::Gpr(r) = val {
+                    if r.class() != crate::reg::RegClass::Gpr {
+                        return EvalOutcome::OutsideModel;
+                    }
+                }
+                let a = eval_expr(addr, st);
+                let v = eval_expr(val, st);
+                mem.store(a, *size, v);
+            }
+            MicroOp::Amo { rd, addr, src, op, size } => {
+                let a = eval_expr(addr, st);
+                let old_raw = mem.load(a, *size);
+                let old = if *size == 4 {
+                    old_raw as u32 as i32 as i64 as u64
+                } else {
+                    old_raw
+                };
+                let srcv = eval_expr(src, st);
+                let newv = apply_bin(*op, old, srcv);
+                mem.store(a, *size, newv);
+                st.set(*rd, old);
+            }
+            MicroOp::SetPc { target, cond } => {
+                let take = match cond {
+                    None => true,
+                    Some((c, a, b)) => {
+                        apply_cmp(*c, eval_expr(a, st), eval_expr(b, st))
+                    }
+                };
+                if take {
+                    outcome = EvalOutcome::Jump(eval_expr(target, st));
+                }
+            }
+            MicroOp::Syscall => return EvalOutcome::Syscall,
+            MicroOp::Break => return EvalOutcome::Break,
+            MicroOp::FpCompute { .. } | MicroOp::Opaque => {
+                return EvalOutcome::OutsideModel
+            }
+        }
+    }
+    outcome
+}
+
+/// Byte-addressed little-endian memory used by [`eval_int`].
+pub trait MemoryBus {
+    /// Load `size` (1/2/4/8) bytes at `addr`, zero-extended into a u64.
+    fn load(&mut self, addr: u64, size: u8) -> u64;
+    /// Store the low `size` bytes of `val` at `addr`.
+    fn store(&mut self, addr: u64, size: u8, val: u64);
+}
+
+/// A trivial flat memory for tests.
+pub struct FlatMemory {
+    pub base: u64,
+    pub bytes: Vec<u8>,
+}
+
+impl FlatMemory {
+    pub fn new(base: u64, len: usize) -> FlatMemory {
+        FlatMemory { base, bytes: vec![0; len] }
+    }
+}
+
+impl MemoryBus for FlatMemory {
+    fn load(&mut self, addr: u64, size: u8) -> u64 {
+        let off = (addr - self.base) as usize;
+        let mut v = [0u8; 8];
+        v[..size as usize].copy_from_slice(&self.bytes[off..off + size as usize]);
+        u64::from_le_bytes(v)
+    }
+
+    fn store(&mut self, addr: u64, size: u8, val: u64) {
+        let off = (addr - self.base) as usize;
+        self.bytes[off..off + size as usize]
+            .copy_from_slice(&val.to_le_bytes()[..size as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode32;
+
+    fn run1(raw: u32, setup: impl FnOnce(&mut IntState)) -> (IntState, EvalOutcome) {
+        let inst = decode32(raw, 0x1000).unwrap();
+        let mut st = IntState::new(0x1000);
+        setup(&mut st);
+        let mut mem = FlatMemory::new(0x8000, 256);
+        let out = eval_int(&inst, &mut st, &mut mem);
+        (st, out)
+    }
+
+    #[test]
+    fn addi_semantics() {
+        let (st, out) = run1(0xFFD5_8513, |st| st.set(Reg::x(11), 10)); // addi a0,a1,-3
+        assert_eq!(st.get(Reg::x(10)), 7);
+        assert_eq!(out, EvalOutcome::Next);
+    }
+
+    #[test]
+    fn auipc_semantics() {
+        let (st, _) = run1(0x8000_0517, |_| {}); // auipc a0, -0x80000
+        assert_eq!(st.get(Reg::x(10)), 0x1000u64.wrapping_sub(0x8000_0000));
+    }
+
+    #[test]
+    fn branch_taken_and_not() {
+        // beq a0, a1, +16
+        let raw = (11 << 20) | (10 << 15) | (0b1000 << 8) | 0x63;
+        let (_, out) = run1(raw, |st| {
+            st.set(Reg::x(10), 5);
+            st.set(Reg::x(11), 5);
+        });
+        assert_eq!(out, EvalOutcome::Jump(0x1010));
+        let (_, out) = run1(raw, |st| {
+            st.set(Reg::x(10), 5);
+            st.set(Reg::x(11), 6);
+        });
+        assert_eq!(out, EvalOutcome::Next);
+    }
+
+    #[test]
+    fn jalr_clears_low_bit_and_links() {
+        // jalr ra, 3(a0)
+        let raw = (3 << 20) | (10 << 15) | (1 << 7) | 0x67;
+        let (st, out) = run1(raw, |st| st.set(Reg::x(10), 0x2000));
+        assert_eq!(out, EvalOutcome::Jump(0x2002));
+        assert_eq!(st.get(Reg::x(1)), 0x1004);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let inst_sd = decode32(
+            (10 << 20) | (11 << 15) | (0b011 << 12) | 0x23, // sd a0, 0(a1)
+            0,
+        )
+        .unwrap();
+        let inst_ld = decode32(
+            (11 << 15) | (0b011 << 12) | (12 << 7) | 0x03, // ld a2, 0(a1)
+            0,
+        )
+        .unwrap();
+        let mut st = IntState::new(0);
+        st.set(Reg::x(10), 0xDEAD_BEEF_CAFE_F00D);
+        st.set(Reg::x(11), 0x8010);
+        let mut mem = FlatMemory::new(0x8000, 256);
+        eval_int(&inst_sd, &mut st, &mut mem);
+        eval_int(&inst_ld, &mut st, &mut mem);
+        assert_eq!(st.get(Reg::x(12)), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn sign_extending_load() {
+        let inst_sb = decode32((10 << 20) | (11 << 15) | 0x23, 0).unwrap(); // sb
+        let inst_lb = decode32((11 << 15) | (12 << 7) | 0x03, 0).unwrap(); // lb
+        let mut st = IntState::new(0);
+        st.set(Reg::x(10), 0x80);
+        st.set(Reg::x(11), 0x8000);
+        let mut mem = FlatMemory::new(0x8000, 16);
+        eval_int(&inst_sb, &mut st, &mut mem);
+        eval_int(&inst_lb, &mut st, &mut mem);
+        assert_eq!(st.get(Reg::x(12)) as i64, -128);
+    }
+
+    #[test]
+    fn division_edge_cases_follow_spec() {
+        assert_eq!(apply_bin(BinOp::DivS, 7, 0), u64::MAX);
+        assert_eq!(apply_bin(BinOp::RemS, 7, 0), 7);
+        assert_eq!(
+            apply_bin(BinOp::DivS, i64::MIN as u64, (-1i64) as u64),
+            i64::MIN as u64
+        );
+        assert_eq!(apply_bin(BinOp::RemS, i64::MIN as u64, (-1i64) as u64), 0);
+        assert_eq!(apply_bin(BinOp::DivUW, 10, 0), u64::MAX);
+    }
+
+    #[test]
+    fn mulh_correctness() {
+        assert_eq!(
+            apply_bin(BinOp::MulH, (-1i64) as u64, (-1i64) as u64),
+            0 // (-1 * -1) >> 64 == 0
+        );
+        assert_eq!(apply_bin(BinOp::MulHU, u64::MAX, u64::MAX) as u128, {
+            ((u64::MAX as u128 * u64::MAX as u128) >> 64) as u128
+        });
+    }
+
+    #[test]
+    fn amo_add_word() {
+        // amoadd.w a0, a1, (a2)
+        let raw = (11 << 20) | (12 << 15) | (0b010 << 12) | (10 << 7) | 0x2F;
+        let inst = decode32(raw, 0).unwrap();
+        let mut st = IntState::new(0);
+        st.set(Reg::x(11), 5);
+        st.set(Reg::x(12), 0x8000);
+        let mut mem = FlatMemory::new(0x8000, 16);
+        mem.store(0x8000, 4, 0xFFFF_FFFF); // -1 as i32
+        let out = eval_int(&inst, &mut st, &mut mem);
+        assert_eq!(out, EvalOutcome::Next);
+        assert_eq!(st.get(Reg::x(10)) as i64, -1); // old value, sign-extended
+        assert_eq!(mem.load(0x8000, 4) as u32, 4); // -1 + 5
+    }
+
+    #[test]
+    fn writes_of_jal_happen_before_jump_target_uses_old_rs1() {
+        // jalr ra, 0(ra): the jump target must use the *old* ra.
+        let raw = (1 << 15) | (1 << 7) | 0x67;
+        let inst = decode32(raw, 0x1000).unwrap();
+        let mut st = IntState::new(0x1000);
+        st.set(Reg::x(1), 0x4000);
+        let mut mem = FlatMemory::new(0, 16);
+        let out = eval_int(&inst, &mut st, &mut mem);
+        assert_eq!(out, EvalOutcome::Jump(0x4000));
+        assert_eq!(st.get(Reg::x(1)), 0x1004);
+    }
+}

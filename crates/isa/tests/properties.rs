@@ -1,0 +1,194 @@
+//! Property-based tests for the decoder/encoder/semantics triangle.
+//!
+//! The key invariants:
+//! 1. `decode ∘ encode ∘ decode = decode` over the whole 32-bit space
+//!    (semantic round-trip — re-encoding a decoded instruction preserves
+//!    its meaning even when the original encoding was non-canonical).
+//! 2. Compressed encodings round-trip through `compress`.
+//! 3. The operand read/write sets reported by InstructionAPI agree with the
+//!    def/use sets derivable from the semantics micro-ops (the fact the
+//!    paper needed Capstone ≥ 6.0.0-Alpha for).
+
+use proptest::prelude::*;
+use rvdyn_isa::decode::{decode, decode32};
+use rvdyn_isa::decode_c::decode_compressed;
+use rvdyn_isa::encode::{compress, encode, encode32};
+use rvdyn_isa::semantics::{micro_ops, MicroOp, SemExpr};
+use rvdyn_isa::{Instruction, Op, Reg, RegSet};
+
+/// Compare two instructions for semantic equality (ignoring raw bits, size
+/// and compressed identity).
+fn sem_eq(a: &Instruction, b: &Instruction) -> bool {
+    a.op == b.op
+        && a.rd == b.rd
+        && a.rs1 == b.rs1
+        && a.rs2 == b.rs2
+        && a.rs3 == b.rs3
+        && a.imm == b.imm
+        && a.csr == b.csr
+        && a.aq == b.aq
+        && a.rl == b.rl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn decode_encode_decode_is_decode_32bit(raw in any::<u32>()) {
+        // Force a 32-bit encoding shape.
+        let raw = (raw | 0b11) & !0b11100 | (raw & !0b11111) | 0b11;
+        if let Ok(i) = decode32(raw, 0x1000) {
+            let re = encode32(&i).unwrap_or_else(|e| {
+                panic!("decoded {} but failed to re-encode: {e}", i.mnemonic())
+            });
+            let i2 = decode32(re, 0x1000)
+                .unwrap_or_else(|e| panic!("re-encoding of {} undecodable: {e}", i.mnemonic()));
+            prop_assert!(sem_eq(&i, &i2), "{:?} != {:?}", i, i2);
+        }
+    }
+
+    #[test]
+    fn compressed_round_trip(raw in any::<u16>()) {
+        if raw & 0b11 == 0b11 {
+            return Ok(()); // not a compressed encoding
+        }
+        if let Ok(i) = decode_compressed(raw, 0x2000) {
+            // Either the canonical compressor reproduces the bits, or the
+            // instruction was a HINT-adjacent form: then the 32-bit encoding
+            // must carry identical semantics.
+            match compress(&i) {
+                Some(c) => {
+                    // The compressor is canonical, but a few encodings have
+                    // equally-valid compressed aliases (e.g. `c.addi sp,-16`
+                    // vs `c.addi16sp -16`); require semantic equality.
+                    let i2 = decode_compressed(c, 0x2000).unwrap();
+                    prop_assert!(sem_eq(&i, &i2), "compress alias mismatch for {}", i.mnemonic());
+                }
+                None => {
+                    let re = encode32(&i).unwrap();
+                    let i2 = decode32(re, 0x2000).unwrap();
+                    prop_assert!(sem_eq(&i, &i2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_any_decoded_instruction(raw in any::<u32>()) {
+        if let Ok(i) = decode(&raw.to_le_bytes(), 0x1000) {
+            let bytes = encode(&i).unwrap();
+            // Compressed instructions stay 2 bytes when a canonical
+            // compressed form exists (HINT forms legitimately widen to 4).
+            let expect = if i.compressed.is_some() && compress(&i).is_some() { 2 } else { 4 };
+            prop_assert_eq!(bytes.len(), expect);
+            let i2 = decode(&bytes, 0x1000).unwrap();
+            prop_assert!(sem_eq(&i, &i2));
+        }
+    }
+
+    #[test]
+    fn reported_rw_sets_agree_with_semantics(raw in any::<u32>()) {
+        let Ok(i) = decode(&raw.to_le_bytes(), 0x1000) else { return Ok(()) };
+        // Skip ops whose semantics are modelled opaquely.
+        let ops = micro_ops(&i);
+        let opaque = ops.iter().any(|o| matches!(o, MicroOp::FpCompute { .. } | MicroOp::Opaque | MicroOp::Syscall | MicroOp::Break));
+        if opaque {
+            return Ok(());
+        }
+        let mut sem_reads = RegSet::empty();
+        let mut sem_writes = RegSet::empty();
+        for op in &ops {
+            match op {
+                MicroOp::Write { rd, val } => {
+                    val.uses(&mut sem_reads);
+                    sem_writes.insert(*rd);
+                }
+                MicroOp::Load { rd, addr, .. } => {
+                    addr.uses(&mut sem_reads);
+                    sem_writes.insert(*rd);
+                }
+                MicroOp::Store { addr, val, .. } => {
+                    addr.uses(&mut sem_reads);
+                    val.uses(&mut sem_reads);
+                }
+                MicroOp::SetPc { target, cond } => {
+                    target.uses(&mut sem_reads);
+                    if let Some((_, a, b)) = cond {
+                        a.uses(&mut sem_reads);
+                        b.uses(&mut sem_reads);
+                    }
+                }
+                MicroOp::Amo { rd, addr, src, .. } => {
+                    addr.uses(&mut sem_reads);
+                    src.uses(&mut sem_reads);
+                    sem_writes.insert(*rd);
+                }
+                _ => {}
+            }
+        }
+        // The decoder's sets must cover the semantic sets; they may
+        // over-report reads only when the write target is x0 (the whole
+        // instruction is architecturally a no-op then).
+        prop_assert_eq!(sem_reads.minus(i.regs_read()), RegSet::empty(),
+            "semantic reads not reported for {}", i.mnemonic());
+        if i.rd != Some(Reg::X0) {
+            prop_assert_eq!(i.regs_read(), sem_reads, "read set mismatch for {}", i.mnemonic());
+        }
+        prop_assert_eq!(i.regs_written(), sem_writes, "write set mismatch for {}", i.mnemonic());
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..8)) {
+        let _ = decode(&bytes, 0xFFFF_FFFF_FFFF_FFF0);
+    }
+
+    #[test]
+    fn jal_targets_match_imm(addr in any::<u32>().prop_map(|a| (a as u64) & !1), off in -(1i64 << 20)..(1i64 << 20)) {
+        let off = off & !1;
+        let mut i = Instruction::new(addr, 0, 4, Op::Jal);
+        i.rd = Some(Reg::X1);
+        i.imm = off;
+        let raw = encode32(&i).unwrap();
+        let d = decode32(raw, addr).unwrap();
+        prop_assert_eq!(d.imm, off);
+        match d.control_flow() {
+            rvdyn_isa::ControlFlow::DirectJump { target, .. } => {
+                prop_assert_eq!(target, addr.wrapping_add(off as u64));
+            }
+            _ => prop_assert!(false),
+        }
+    }
+}
+
+#[test]
+fn sem_expr_uses_collects_all() {
+    let e = SemExpr::bin(
+        rvdyn_isa::semantics::BinOp::Add,
+        SemExpr::gpr(Reg::x(5)),
+        SemExpr::bin(
+            rvdyn_isa::semantics::BinOp::Xor,
+            SemExpr::gpr(Reg::x(6)),
+            SemExpr::imm(3),
+        ),
+    );
+    let mut s = RegSet::empty();
+    e.uses(&mut s);
+    assert_eq!(s, RegSet::of(&[Reg::x(5), Reg::x(6)]));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// The disassembler must render every decodable encoding without
+    /// panicking, and never produce an empty string.
+    #[test]
+    fn disassembly_total_over_decodable_space(raw in any::<u32>()) {
+        for bytes in [&raw.to_le_bytes()[..], &raw.to_le_bytes()[..2]] {
+            if let Ok(i) = decode(bytes, 0x1000) {
+                let text = rvdyn_isa::disasm::format_instruction(&i);
+                prop_assert!(!text.is_empty());
+                prop_assert!(text.starts_with(i.mnemonic()));
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Basic blocks and CFG edges.
+
+use rvdyn_isa::Instruction;
+
+/// The kind of a CFG edge (Dyninst's edge taxonomy, RISC-V flavoured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Sequential flow into the next block.
+    Fallthrough,
+    /// Conditional branch, taken side.
+    Taken,
+    /// Conditional branch, not-taken side.
+    NotTaken,
+    /// Unconditional intra-function jump.
+    Jump,
+    /// Call to a function entry (interprocedural).
+    Call,
+    /// Flow from a call site to the instruction after it.
+    CallFallthrough,
+    /// Function return (no static target).
+    Return,
+    /// Tail call: a jump that is semantically a call (§3.2.3).
+    TailCall,
+    /// One resolved target of an indirect jump (jump table).
+    IndirectJump,
+    /// Indirect transfer whose target could not be resolved.
+    Unresolved,
+}
+
+impl EdgeKind {
+    /// Does this edge stay within the current function?
+    pub fn is_intraprocedural(self) -> bool {
+        matches!(
+            self,
+            EdgeKind::Fallthrough
+                | EdgeKind::Taken
+                | EdgeKind::NotTaken
+                | EdgeKind::Jump
+                | EdgeKind::CallFallthrough
+                | EdgeKind::IndirectJump
+        )
+    }
+}
+
+/// A CFG edge: kind plus target address (`None` for returns/unresolved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub kind: EdgeKind,
+    pub target: Option<u64>,
+}
+
+impl Edge {
+    pub fn to(kind: EdgeKind, target: u64) -> Edge {
+        Edge { kind, target: Some(target) }
+    }
+
+    pub fn out(kind: EdgeKind) -> Edge {
+        Edge { kind, target: None }
+    }
+}
+
+/// A basic block: a maximal single-entry straight-line instruction run.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u64,
+    /// Address one past the last instruction.
+    pub end: u64,
+    /// Decoded instructions, in address order.
+    pub insts: Vec<Instruction>,
+    /// Outgoing edges.
+    pub edges: Vec<Edge>,
+}
+
+impl BasicBlock {
+    pub fn len_bytes(&self) -> u64 {
+        self.end - self.start
+    }
+
+    pub fn last_inst(&self) -> Option<&Instruction> {
+        self.insts.last()
+    }
+
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end
+    }
+
+    /// Is `addr` the address of one of this block's instructions?
+    pub fn is_inst_boundary(&self, addr: u64) -> bool {
+        self.insts.iter().any(|i| i.address == addr)
+    }
+
+    /// Split at `addr` (which must be an instruction boundary strictly
+    /// inside the block). `self` keeps the head and gains a fallthrough
+    /// edge; the tail is returned.
+    pub fn split_at(&mut self, addr: u64) -> BasicBlock {
+        debug_assert!(addr > self.start && addr < self.end);
+        let idx = self
+            .insts
+            .iter()
+            .position(|i| i.address == addr)
+            .expect("split at non-boundary");
+        let tail_insts = self.insts.split_off(idx);
+        let tail = BasicBlock {
+            start: addr,
+            end: self.end,
+            insts: tail_insts,
+            edges: std::mem::take(&mut self.edges),
+        };
+        self.end = addr;
+        self.edges = vec![Edge::to(EdgeKind::Fallthrough, addr)];
+        tail
+    }
+
+    /// Intraprocedural successor block addresses.
+    pub fn successors(&self) -> impl Iterator<Item = u64> + '_ {
+        self.edges
+            .iter()
+            .filter(|e| e.kind.is_intraprocedural())
+            .filter_map(|e| e.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvdyn_isa::build;
+
+    fn block_of(addrs: &[u64]) -> BasicBlock {
+        let insts: Vec<_> = addrs
+            .iter()
+            .map(|&a| {
+                let mut i = build::nop();
+                i.address = a;
+                i
+            })
+            .collect();
+        BasicBlock {
+            start: addrs[0],
+            end: addrs.last().unwrap() + 4,
+            insts,
+            edges: vec![Edge::out(EdgeKind::Return)],
+        }
+    }
+
+    #[test]
+    fn split_moves_edges_to_tail() {
+        let mut b = block_of(&[0x100, 0x104, 0x108]);
+        let tail = b.split_at(0x104);
+        assert_eq!(b.start, 0x100);
+        assert_eq!(b.end, 0x104);
+        assert_eq!(b.insts.len(), 1);
+        assert_eq!(b.edges, vec![Edge::to(EdgeKind::Fallthrough, 0x104)]);
+        assert_eq!(tail.start, 0x104);
+        assert_eq!(tail.end, 0x10C);
+        assert_eq!(tail.insts.len(), 2);
+        assert_eq!(tail.edges, vec![Edge::out(EdgeKind::Return)]);
+    }
+
+    #[test]
+    fn edge_kind_classification() {
+        assert!(EdgeKind::Fallthrough.is_intraprocedural());
+        assert!(EdgeKind::CallFallthrough.is_intraprocedural());
+        assert!(!EdgeKind::Call.is_intraprocedural());
+        assert!(!EdgeKind::TailCall.is_intraprocedural());
+        assert!(!EdgeKind::Return.is_intraprocedural());
+    }
+}

@@ -1,0 +1,299 @@
+//! Context-sensitive classification of `jal`/`jalr` (§3.2.3).
+//!
+//! "Given a jal or jalr instruction without any context, ParseAPI cannot
+//! determine what type of high-level operation it represents only by the
+//! instruction opcode" — classification needs the link register, the
+//! (possibly slice-resolved) target, and the set of known function
+//! entries. This module implements the paper's six rules.
+
+use crate::source::CodeSource;
+use rvdyn_isa::{Instruction, Op, Reg, ALT_LINK_REG, LINK_REG};
+use std::collections::BTreeSet;
+
+/// The resolved high-level purpose of an unconditional control transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BranchPurpose {
+    /// Intra-function unconditional jump.
+    Jump { target: u64 },
+    /// Function call (link register captured the return address).
+    Call { target: u64 },
+    /// Indirect call with unresolvable target.
+    IndirectCall,
+    /// Function return.
+    Return,
+    /// Tail call to another function.
+    TailCall { target: u64 },
+    /// Jump-table dispatch with fully resolved targets.
+    JumpTable { targets: Vec<u64> },
+    /// Indirect jump whose target could not be determined symbolically.
+    Unresolved,
+}
+
+/// Attempt to resolve the value of `reg` immediately before instruction
+/// index `at` of `insts` by walking the definition chain backwards — the
+/// backward slice of §3.2.3, restricted to the constant-computable subset
+/// (`lui`, `auipc`, `addi`, `add`, `slli`, and loads from read-only
+/// memory). `depth` bounds chain length.
+pub fn resolve_register<S: CodeSource + ?Sized>(
+    insts: &[Instruction],
+    at: usize,
+    reg: Reg,
+    src: &S,
+    depth: u32,
+) -> Option<u64> {
+    if reg.is_zero() {
+        return Some(0);
+    }
+    if depth == 0 {
+        return None;
+    }
+    for idx in (0..at).rev() {
+        let i = &insts[idx];
+        if !i.regs_written().contains(reg) {
+            // A call clobbers everything caller-saved in principle; stop
+            // the slice at calls for non-callee-saved registers.
+            if i.is_call_shaped() && !reg.is_callee_saved() {
+                return None;
+            }
+            continue;
+        }
+        // `reg` is defined here.
+        return match i.op {
+            Op::Lui => Some(i.imm as u64),
+            Op::Auipc => Some(i.address.wrapping_add(i.imm as u64)),
+            Op::Addi => {
+                let base = resolve_register(insts, idx, i.rs1?, src, depth - 1)?;
+                Some(base.wrapping_add(i.imm as u64))
+            }
+            Op::Addiw => {
+                // The second half of `li` for 32-bit values (lui+addiw):
+                // 32-bit add, sign-extended.
+                let base = resolve_register(insts, idx, i.rs1?, src, depth - 1)?;
+                Some(base.wrapping_add(i.imm as u64) as i32 as i64 as u64)
+            }
+            Op::Add => {
+                let a = resolve_register(insts, idx, i.rs1?, src, depth - 1)?;
+                let b = resolve_register(insts, idx, i.rs2?, src, depth - 1)?;
+                Some(a.wrapping_add(b))
+            }
+            Op::Slli => {
+                let v = resolve_register(insts, idx, i.rs1?, src, depth - 1)?;
+                Some(v.wrapping_shl(i.imm as u32))
+            }
+            Op::Ld => {
+                let base = resolve_register(insts, idx, i.rs1?, src, depth - 1)?;
+                src.read_const_u64(base.wrapping_add(i.imm as u64))
+            }
+            _ => None,
+        };
+    }
+    None
+}
+
+/// Classify the `jal`/`jalr` at index `at` (the last instruction of its
+/// block). `func_entry` is the containing function's entry;
+/// `known_entries` the set of discovered/symbol function entries;
+/// `func_extent` the address range currently attributed to the function.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_branch<S: CodeSource + ?Sized>(
+    insts: &[Instruction],
+    at: usize,
+    src: &S,
+    func_entry: u64,
+    func_extent: (u64, u64),
+    known_entries: &BTreeSet<u64>,
+) -> BranchPurpose {
+    let inst = &insts[at];
+    let link = inst.rd.unwrap_or(Reg::X0);
+    let is_link_reg = link == LINK_REG || link == ALT_LINK_REG;
+
+    match inst.op {
+        Op::Jal => {
+            let target = inst.address.wrapping_add(inst.imm as u64);
+            if link != Reg::X0 {
+                return BranchPurpose::Call { target };
+            }
+            // Rule: jump to another known function's entry == tail call.
+            if target != func_entry && known_entries.contains(&target) {
+                return BranchPurpose::TailCall { target };
+            }
+            BranchPurpose::Jump { target }
+        }
+        Op::Jalr => {
+            let rs1 = inst.rs1.unwrap_or(Reg::X0);
+            // Backward slice on the target register (rule: "ParseAPI tries
+            // to determine the exact value of the target register by
+            // performing a backward slice on it").
+            if let Some(base) = resolve_register(insts, at, rs1, src, 8) {
+                let target = base.wrapping_add(inst.imm as u64) & !1;
+                if src.is_code(target) {
+                    let in_function =
+                        target >= func_extent.0 && target < func_extent.1
+                            && !known_entries.contains(&target)
+                            || target == func_entry;
+                    return if link == Reg::X0 {
+                        if in_function {
+                            BranchPurpose::Jump { target }
+                        } else {
+                            BranchPurpose::TailCall { target }
+                        }
+                    } else {
+                        BranchPurpose::Call { target }
+                    };
+                }
+                // Constant target outside code: fall through to the other
+                // rules (could still be a mis-slice).
+            }
+            // Rule: link-register jalr with x0 destination == return.
+            // (The canonical `ret`; also `jalr x0, 0(t0)` for millicode.)
+            if link == Reg::X0 && inst.imm == 0 && (rs1 == LINK_REG || rs1 == ALT_LINK_REG) {
+                return BranchPurpose::Return;
+            }
+            // Rule: jump-table analysis.
+            if link == Reg::X0 {
+                if let Some(targets) = crate::jumptable::analyze(insts, at, src) {
+                    return BranchPurpose::JumpTable { targets };
+                }
+                return BranchPurpose::Unresolved;
+            }
+            // rd keeps a return address: it is a call through a register
+            // (function pointer / PLT-style); target unknown.
+            if is_link_reg || link != Reg::X0 {
+                return BranchPurpose::IndirectCall;
+            }
+            BranchPurpose::Unresolved
+        }
+        _ => unreachable!("classify_branch on non-jump"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::RawCode;
+    use rvdyn_isa::build;
+
+    fn with_addrs(mut insts: Vec<Instruction>, base: u64) -> Vec<Instruction> {
+        let mut a = base;
+        for i in &mut insts {
+            i.address = a;
+            a += i.size as u64;
+        }
+        insts
+    }
+
+    fn raw() -> RawCode {
+        // Code region 0x1000..0x3000 so cross-function targets near
+        // 0x2000 count as valid code.
+        RawCode { base: 0x1000, bytes: vec![0x13; 0x2000], entries: vec![] }
+    }
+
+    #[test]
+    fn resolve_lui_addi_chain() {
+        let insts = with_addrs(
+            vec![
+                build::lui(Reg::x(5), 0x2000),
+                build::addi(Reg::x(5), Reg::x(5), 0x10),
+                build::jalr(Reg::X0, Reg::x(5), 0),
+            ],
+            0x1000,
+        );
+        let v = resolve_register(&insts, 2, Reg::x(5), &raw(), 8);
+        assert_eq!(v, Some(0x2010));
+    }
+
+    #[test]
+    fn resolve_auipc_pair() {
+        // The §3.2.3 example: auipc t0 + jalr through it.
+        let insts = with_addrs(
+            vec![build::auipc(Reg::X5, 0x1000), build::jalr(Reg::X0, Reg::X5, 0x20)],
+            0x1000,
+        );
+        let v = resolve_register(&insts, 1, Reg::X5, &raw(), 8);
+        assert_eq!(v, Some(0x2000));
+        let p = classify_branch(&insts, 1, &raw(), 0x1000, (0x1000, 0x2000), &BTreeSet::new());
+        // Target 0x2020 = outside [0x1000, 0x2000) extent, x0 link, valid
+        // code → tail call.
+        assert_eq!(p, BranchPurpose::TailCall { target: 0x2020 });
+    }
+
+    #[test]
+    fn slice_stops_at_calls_for_caller_saved() {
+        let insts = with_addrs(
+            vec![
+                build::lui(Reg::x(5), 0x2000),
+                build::jal(Reg::X1, 0x100), // call clobbers t0
+                build::jalr(Reg::X0, Reg::x(5), 0),
+            ],
+            0x1000,
+        );
+        assert_eq!(resolve_register(&insts, 2, Reg::x(5), &raw(), 8), None);
+    }
+
+    #[test]
+    fn canonical_return() {
+        let insts = with_addrs(vec![build::ret()], 0x1000);
+        let p = classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1004), &BTreeSet::new());
+        assert_eq!(p, BranchPurpose::Return);
+    }
+
+    #[test]
+    fn alternate_link_register_return() {
+        let insts = with_addrs(vec![build::jalr(Reg::X0, ALT_LINK_REG, 0)], 0x1000);
+        let p = classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1004), &BTreeSet::new());
+        assert_eq!(p, BranchPurpose::Return);
+    }
+
+    #[test]
+    fn jal_call_vs_jump_vs_tailcall() {
+        let mut entries = BTreeSet::new();
+        entries.insert(0x1100);
+        // jal ra → call
+        let insts = with_addrs(vec![build::jal(Reg::X1, 0x100)], 0x1000);
+        assert_eq!(
+            classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1200), &entries),
+            BranchPurpose::Call { target: 0x1100 }
+        );
+        // jal x0 to known entry → tail call
+        let insts = with_addrs(vec![build::jal(Reg::X0, 0x100)], 0x1000);
+        assert_eq!(
+            classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1200), &entries),
+            BranchPurpose::TailCall { target: 0x1100 }
+        );
+        // jal x0 to non-entry → plain jump
+        let insts = with_addrs(vec![build::jal(Reg::X0, 0x80)], 0x1000);
+        assert_eq!(
+            classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1200), &entries),
+            BranchPurpose::Jump { target: 0x1080 }
+        );
+    }
+
+    #[test]
+    fn unresolvable_jalr_with_link_is_indirect_call() {
+        let insts = with_addrs(vec![build::jalr(Reg::X1, Reg::x(10), 0)], 0x1000);
+        let p = classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1100), &BTreeSet::new());
+        assert_eq!(p, BranchPurpose::IndirectCall);
+    }
+
+    #[test]
+    fn unresolvable_jalr_without_link_is_unresolved() {
+        let insts = with_addrs(vec![build::jalr(Reg::X0, Reg::x(10), 0)], 0x1000);
+        let p = classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1100), &BTreeSet::new());
+        assert_eq!(p, BranchPurpose::Unresolved);
+    }
+
+    #[test]
+    fn resolved_jalr_call_to_function_entry() {
+        let mut entries = BTreeSet::new();
+        entries.insert(0x2010);
+        let insts = with_addrs(
+            vec![
+                build::lui(Reg::x(6), 0x2000),
+                build::jalr(Reg::X1, Reg::x(6), 0x10),
+            ],
+            0x1000,
+        );
+        let p = classify_branch(&insts, 1, &raw(), 0x1000, (0x1000, 0x1100), &entries);
+        assert_eq!(p, BranchPurpose::Call { target: 0x2010 });
+    }
+}

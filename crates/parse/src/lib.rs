@@ -1,0 +1,42 @@
+//! # rvdyn-parse — control-flow analysis (ParseAPI)
+//!
+//! The rvdyn equivalent of Dyninst's *ParseAPI* (§3.2.3): traversal
+//! ("recursive descent") construction of an annotated CFG — functions,
+//! basic blocks, edges and natural loops — from the machine code of a
+//! mutatee.
+//!
+//! RISC-V specific machinery reproduced from the paper:
+//!
+//! * **Multi-use `jal`/`jalr` classification.** RISC-V has only two
+//!   unconditional control-transfer instructions, used for jumps, calls,
+//!   returns, tail calls and jump tables alike (§3.1.3). [`classify`]
+//!   implements the six context rules of §3.2.3, including the backward
+//!   slice that resolves `auipc`+`jalr` pairs and `lui`/`addi` chains to
+//!   constant targets.
+//! * **Jump-table analysis** ([`jumptable`]): bounded-index dispatch
+//!   through a table in a read-only section is recognised and its edge set
+//!   fully resolved.
+//! * **Traversal + gap parsing** ([`parser`], [`gaps`]): parsing starts
+//!   from known entry points and follows control flow; unreached
+//!   executable gaps are then scanned for function prologues and parsed
+//!   speculatively — the stripped-binary path.
+//! * **Parallel parsing** ([`parallel`]): independent functions are parsed
+//!   concurrently (crossbeam), the "fast parallel algorithm" §2 credits
+//!   for gigabyte-scale binaries.
+
+pub mod block;
+pub mod classify;
+pub mod function;
+pub mod gaps;
+pub mod jumptable;
+pub mod loops;
+pub mod parallel;
+pub mod parser;
+pub mod source;
+
+pub use block::{BasicBlock, Edge, EdgeKind};
+pub use classify::BranchPurpose;
+pub use function::Function;
+pub use loops::{dominators, natural_loops, Loop};
+pub use parser::{CodeObject, ParseOptions};
+pub use source::CodeSource;

@@ -1,0 +1,252 @@
+//! Dominator and natural-loop analysis over function CFGs.
+//!
+//! Loops are instrumentation points in their own right (loop back edges,
+//! §2's point taxonomy) and feed DataflowAPI's loop analysis.
+
+use crate::function::Function;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A natural loop: header block plus body (block start addresses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    pub header: u64,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<u64>,
+    /// Source blocks of back edges into the header.
+    pub latches: Vec<u64>,
+}
+
+impl Loop {
+    pub fn contains(&self, block: u64) -> bool {
+        self.body.contains(&block)
+    }
+}
+
+/// Immediate dominator map via the classic iterative data-flow algorithm
+/// (Cooper–Harvey–Kennedy) over reverse postorder.
+pub fn dominators(f: &Function) -> BTreeMap<u64, u64> {
+    let rpo = reverse_postorder(f);
+    let index: BTreeMap<u64, usize> =
+        rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let preds = f.predecessors();
+    let mut idom: BTreeMap<u64, u64> = BTreeMap::new();
+    idom.insert(f.entry, f.entry);
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let Some(ps) = preds.get(&b) else { continue };
+            // First processed predecessor.
+            let mut new_idom: Option<u64> = None;
+            for &p in ps {
+                if !idom.contains_key(&p) {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(p, cur, &idom, &index),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom.get(&b) != Some(&ni) {
+                    idom.insert(b, ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    mut a: u64,
+    mut b: u64,
+    idom: &BTreeMap<u64, u64>,
+    index: &BTreeMap<u64, usize>,
+) -> u64 {
+    while a != b {
+        while index.get(&a) > index.get(&b) {
+            a = idom[&a];
+        }
+        while index.get(&b) > index.get(&a) {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Does `a` dominate `b`?
+pub fn dominates(a: u64, b: u64, idom: &BTreeMap<u64, u64>) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom.get(&cur) {
+            Some(&d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+/// Reverse postorder over intraprocedural edges from the entry.
+pub fn reverse_postorder(f: &Function) -> Vec<u64> {
+    let mut visited = BTreeSet::new();
+    let mut post = Vec::new();
+    // Iterative DFS with explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(u64, Vec<u64>, usize)> = Vec::new();
+    if f.blocks.contains_key(&f.entry) {
+        visited.insert(f.entry);
+        let succs: Vec<u64> = f.blocks[&f.entry].successors().collect();
+        stack.push((f.entry, succs, 0));
+    }
+    while let Some((b, succs, idx)) = stack.last_mut() {
+        if *idx < succs.len() {
+            let s = succs[*idx];
+            *idx += 1;
+            if f.blocks.contains_key(&s) && visited.insert(s) {
+                let ss: Vec<u64> = f.blocks[&s].successors().collect();
+                stack.push((s, ss, 0));
+            }
+        } else {
+            post.push(*b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Natural loops: one per header, merging bodies of back edges that share
+/// a header.
+pub fn natural_loops(f: &Function) -> Vec<Loop> {
+    let idom = dominators(f);
+    let preds = f.predecessors();
+    let mut loops: BTreeMap<u64, Loop> = BTreeMap::new();
+
+    for b in f.blocks.values() {
+        for succ in b.successors() {
+            // Back edge: successor dominates the source.
+            if f.blocks.contains_key(&succ)
+                && idom.contains_key(&b.start)
+                && dominates(succ, b.start, &idom)
+            {
+                let l = loops.entry(succ).or_insert_with(|| Loop {
+                    header: succ,
+                    body: BTreeSet::from([succ]),
+                    latches: Vec::new(),
+                });
+                l.latches.push(b.start);
+                // Collect body: reverse reachability from the latch,
+                // stopping at the header.
+                let mut work = VecDeque::from([b.start]);
+                while let Some(n) = work.pop_front() {
+                    if l.body.insert(n) {
+                        if let Some(ps) = preds.get(&n) {
+                            for &p in ps {
+                                if p != succ {
+                                    work.push_back(p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    loops.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BasicBlock, Edge, EdgeKind};
+
+    /// Build a synthetic function from (start, successors) pairs; each
+    /// block is 4 bytes.
+    fn mk(entry: u64, shape: &[(u64, &[u64])]) -> Function {
+        let mut f = Function::new(entry);
+        for &(start, succs) in shape {
+            let edges = succs
+                .iter()
+                .map(|&t| Edge::to(EdgeKind::Jump, t))
+                .collect();
+            f.blocks.insert(
+                start,
+                BasicBlock { start, end: start + 4, insts: vec![], edges },
+            );
+        }
+        f
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        //    1
+        //   / \
+        //  2   3
+        //   \ /
+        //    4
+        let f = mk(1, &[(1, &[2, 3]), (2, &[4]), (3, &[4]), (4, &[])]);
+        let idom = dominators(&f);
+        assert_eq!(idom[&2], 1);
+        assert_eq!(idom[&3], 1);
+        assert_eq!(idom[&4], 1);
+        assert!(dominates(1, 4, &idom));
+        assert!(!dominates(2, 4, &idom));
+    }
+
+    #[test]
+    fn simple_loop_detected() {
+        // 1 → 2 → 3 → 2 (back edge), 3 → 4
+        let f = mk(1, &[(1, &[2]), (2, &[3]), (3, &[2, 4]), (4, &[])]);
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, 2);
+        assert_eq!(l.body, BTreeSet::from([2, 3]));
+        assert_eq!(l.latches, vec![3]);
+    }
+
+    #[test]
+    fn nested_loops() {
+        // outer: 2..5 ; inner: 3..4
+        let f = mk(
+            1,
+            &[
+                (1, &[2]),
+                (2, &[3]),
+                (3, &[4]),
+                (4, &[3, 5]), // inner back edge 4→3
+                (5, &[2, 6]), // outer back edge 5→2
+                (6, &[]),
+            ],
+        );
+        let loops = natural_loops(&f);
+        assert_eq!(loops.len(), 2);
+        let outer = loops.iter().find(|l| l.header == 2).unwrap();
+        let inner = loops.iter().find(|l| l.header == 3).unwrap();
+        assert!(outer.body.is_superset(&inner.body));
+        assert_eq!(inner.body, BTreeSet::from([3, 4]));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let f = mk(1, &[(1, &[2, 3]), (2, &[4]), (3, &[4]), (4, &[])]);
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], 1);
+        assert_eq!(rpo.len(), 4);
+        // 4 must come after both 2 and 3.
+        let pos = |x: u64| rpo.iter().position(|&b| b == x).unwrap();
+        assert!(pos(4) > pos(2));
+        assert!(pos(4) > pos(3));
+    }
+
+    #[test]
+    fn unreachable_blocks_ignored() {
+        let f = mk(1, &[(1, &[]), (99, &[1])]);
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo, vec![1]);
+        assert!(natural_loops(&f).is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! The traversal parser (§3.2.3): worklist-driven CFG construction.
+
+use crate::block::{BasicBlock, Edge, EdgeKind};
+use crate::classify::{classify_branch, BranchPurpose};
+use crate::function::Function;
+use crate::source::CodeSource;
+use rvdyn_isa::decode::decode;
+use rvdyn_isa::{ControlFlow, Instruction};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Parser configuration.
+#[derive(Debug, Clone)]
+pub struct ParseOptions {
+    /// After traversal parsing, scan unclaimed executable ranges for
+    /// function prologues and parse them speculatively (§2: gap parsing).
+    pub parse_gaps: bool,
+    /// Threads for parallel function parsing (1 = sequential).
+    pub threads: usize,
+    /// Upper bound on instructions per function (runaway guard).
+    pub max_insts_per_function: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> ParseOptions {
+        ParseOptions { parse_gaps: false, threads: 1, max_insts_per_function: 1 << 20 }
+    }
+}
+
+/// The parsed program: Dyninst's `CodeObject` analogue.
+#[derive(Debug, Default)]
+pub struct CodeObject {
+    /// Functions keyed by entry address.
+    pub functions: BTreeMap<u64, Function>,
+    /// Entries discovered only by gap parsing (diagnostics).
+    pub gap_functions: Vec<u64>,
+}
+
+impl CodeObject {
+    /// Parse `src` starting from its entry hints.
+    pub fn parse<S: CodeSource + ?Sized>(src: &S, opts: &ParseOptions) -> CodeObject {
+        let hints = src.entry_hints();
+        let mut names: BTreeMap<u64, String> = BTreeMap::new();
+        let mut entries: BTreeSet<u64> = BTreeSet::new();
+        for (addr, name) in hints {
+            entries.insert(addr);
+            if let Some(n) = name {
+                names.insert(addr, n);
+            }
+        }
+
+        let mut co = if opts.threads > 1 {
+            crate::parallel::parse_parallel(src, entries.clone(), opts)
+        } else {
+            Self::parse_sequential(src, entries.clone(), opts)
+        };
+
+        for (addr, name) in names {
+            if let Some(f) = co.functions.get_mut(&addr) {
+                f.name = Some(name);
+            }
+        }
+
+        if opts.parse_gaps {
+            let candidates = crate::gaps::scan(src, &co);
+            for c in candidates {
+                if !co.functions.contains_key(&c) {
+                    let known: BTreeSet<u64> = co.functions.keys().copied().collect();
+                    let (f, _callees) = parse_function(src, c, &known, opts);
+                    if !f.blocks.is_empty() {
+                        co.gap_functions.push(c);
+                        co.functions.insert(c, f);
+                    }
+                }
+            }
+        }
+
+        // Loop analysis over the final CFGs.
+        for f in co.functions.values_mut() {
+            f.loops = crate::loops::natural_loops(f);
+        }
+        co
+    }
+
+    fn parse_sequential<S: CodeSource + ?Sized>(
+        src: &S,
+        seed: BTreeSet<u64>,
+        opts: &ParseOptions,
+    ) -> CodeObject {
+        let mut co = CodeObject::default();
+        let mut known = seed.clone();
+        let mut worklist: VecDeque<u64> = seed.into_iter().collect();
+        while let Some(entry) = worklist.pop_front() {
+            if co.functions.contains_key(&entry) {
+                continue;
+            }
+            if !src.is_code(entry) {
+                continue;
+            }
+            let (f, callees) = parse_function(src, entry, &known, opts);
+            for c in callees {
+                if known.insert(c) {
+                    worklist.push_back(c);
+                }
+            }
+            co.functions.insert(entry, f);
+        }
+        co
+    }
+
+    /// The function containing `addr` (by extent).
+    pub fn function_containing(&self, addr: u64) -> Option<&Function> {
+        self.functions.values().find(|f| {
+            let (lo, hi) = f.extent();
+            addr >= lo && addr < hi && f.block_containing(addr).is_some()
+        })
+    }
+
+    /// Total basic-block count.
+    pub fn num_blocks(&self) -> usize {
+        self.functions.values().map(|f| f.blocks.len()).sum()
+    }
+
+    /// Total decoded instructions.
+    pub fn num_insts(&self) -> usize {
+        self.functions.values().map(|f| f.num_insts()).sum()
+    }
+}
+
+/// Parse one function by traversal from `entry`. Returns the function and
+/// the call/tail-call targets discovered (new parse candidates).
+pub fn parse_function<S: CodeSource + ?Sized>(
+    src: &S,
+    entry: u64,
+    known_entries: &BTreeSet<u64>,
+    opts: &ParseOptions,
+) -> (Function, Vec<u64>) {
+    let mut f = Function::new(entry);
+    let mut callees: BTreeSet<u64> = BTreeSet::new();
+    let mut worklist: VecDeque<u64> = VecDeque::new();
+    worklist.push_back(entry);
+    let mut inst_budget = opts.max_insts_per_function;
+
+    // Linear instruction history (address-sorted) for slicing. Rebuilt
+    // lazily from blocks; we keep it incrementally sorted.
+    while let Some(start) = worklist.pop_front() {
+        if f.blocks.contains_key(&start) {
+            continue;
+        }
+        // Target inside an existing block at an instruction boundary →
+        // split the block.
+        let enclosing = f
+            .blocks
+            .range(..start)
+            .next_back()
+            .filter(|(_, b)| b.contains(start))
+            .map(|(&s, _)| s);
+        if let Some(bs) = enclosing {
+            let b = f.blocks.get_mut(&bs).unwrap();
+            if b.is_inst_boundary(start) {
+                let tail = b.split_at(start);
+                f.blocks.insert(start, tail);
+                continue;
+            }
+            // Misaligned target into the middle of an instruction:
+            // overlapping code — parse it as its own block below.
+        }
+        if !src.is_code(start) {
+            continue;
+        }
+
+        // Decode a new block.
+        let mut insts: Vec<Instruction> = Vec::new();
+        let mut pc = start;
+        let mut edges: Vec<Edge> = Vec::new();
+        loop {
+            if f.blocks.contains_key(&pc) && pc != start {
+                // Ran into an existing block: end with fallthrough.
+                edges.push(Edge::to(EdgeKind::Fallthrough, pc));
+                break;
+            }
+            if pc != entry && known_entries.contains(&pc) {
+                // Straight-line flow reached another function's entry
+                // (e.g. decoding past a non-returning `exit` ecall): treat
+                // as an interprocedural fallthrough — a tail transfer —
+                // and do not claim the other function's code.
+                edges.push(Edge::to(EdgeKind::TailCall, pc));
+                callees.insert(pc);
+                break;
+            }
+            if inst_budget == 0 {
+                f.has_unresolved = true;
+                break;
+            }
+            let Some(bytes) = src.bytes_at(pc, 4) else {
+                f.has_unresolved = true;
+                break;
+            };
+            let inst = match decode(&bytes, pc) {
+                Ok(i) => i,
+                Err(_) => {
+                    // Undecodable: end the block; mark unresolved.
+                    f.has_unresolved = true;
+                    break;
+                }
+            };
+            inst_budget -= 1;
+            let next = inst.next_pc();
+            insts.push(inst);
+            match inst.control_flow() {
+                ControlFlow::None | ControlFlow::Syscall => {
+                    pc = next;
+                    continue;
+                }
+                ControlFlow::ConditionalBranch { target, fallthrough } => {
+                    edges.push(Edge::to(EdgeKind::Taken, target));
+                    edges.push(Edge::to(EdgeKind::NotTaken, fallthrough));
+                    worklist.push_back(target);
+                    worklist.push_back(fallthrough);
+                    break;
+                }
+                ControlFlow::Trap => {
+                    // ebreak: a debugger trap; execution resumes after it.
+                    edges.push(Edge::to(EdgeKind::Fallthrough, next));
+                    worklist.push_back(next);
+                    break;
+                }
+                ControlFlow::DirectJump { target, link } => {
+                    // jal: classification needs only the link register and
+                    // the known-entry set (no slicing) — cheap inline path.
+                    if link != rvdyn_isa::Reg::X0 {
+                        edges.push(Edge::to(EdgeKind::Call, target));
+                        edges.push(Edge::to(EdgeKind::CallFallthrough, next));
+                        callees.insert(target);
+                        worklist.push_back(next);
+                    } else if target != entry && known_entries.contains(&target) {
+                        edges.push(Edge::to(EdgeKind::TailCall, target));
+                        callees.insert(target);
+                    } else {
+                        edges.push(Edge::to(EdgeKind::Jump, target));
+                        worklist.push_back(target);
+                    }
+                    break;
+                }
+                ControlFlow::IndirectJump { .. } => {
+                    // jalr: the six-rule classification with backward
+                    // slicing needs the function's linear history.
+                    let mut history: Vec<Instruction> = f
+                        .blocks
+                        .values()
+                        .flat_map(|b| b.insts.iter().copied())
+                        .chain(insts.iter().copied())
+                        .collect();
+                    history.sort_by_key(|i| i.address);
+                    history.dedup_by_key(|i| i.address);
+                    let at = history
+                        .iter()
+                        .position(|i| i.address == inst.address)
+                        .expect("terminator present in history");
+                    let extent = {
+                        let (lo, hi) = f.extent();
+                        (lo.min(start), hi.max(next))
+                    };
+                    match classify_branch(&history, at, src, entry, extent, known_entries)
+                    {
+                        BranchPurpose::Jump { target } => {
+                            edges.push(Edge::to(EdgeKind::Jump, target));
+                            worklist.push_back(target);
+                        }
+                        BranchPurpose::Call { target } => {
+                            edges.push(Edge::to(EdgeKind::Call, target));
+                            edges.push(Edge::to(EdgeKind::CallFallthrough, next));
+                            callees.insert(target);
+                            worklist.push_back(next);
+                        }
+                        BranchPurpose::IndirectCall => {
+                            edges.push(Edge::out(EdgeKind::Call));
+                            edges.push(Edge::to(EdgeKind::CallFallthrough, next));
+                            worklist.push_back(next);
+                        }
+                        BranchPurpose::Return => {
+                            edges.push(Edge::out(EdgeKind::Return));
+                        }
+                        BranchPurpose::TailCall { target } => {
+                            edges.push(Edge::to(EdgeKind::TailCall, target));
+                            callees.insert(target);
+                        }
+                        BranchPurpose::JumpTable { targets } => {
+                            for t in targets {
+                                edges.push(Edge::to(EdgeKind::IndirectJump, t));
+                                worklist.push_back(t);
+                            }
+                        }
+                        BranchPurpose::Unresolved => {
+                            edges.push(Edge::out(EdgeKind::Unresolved));
+                            f.has_unresolved = true;
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        if insts.is_empty() {
+            continue;
+        }
+        let end = insts.last().map(|i| i.next_pc()).unwrap_or(start);
+        f.blocks.insert(
+            start,
+            BasicBlock { start, end, insts, edges },
+        );
+    }
+    f.callees = callees.iter().copied().collect();
+    (f, callees.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::RawCode;
+    use rvdyn_asm::Assembler;
+    use rvdyn_isa::Reg;
+
+    fn parse_raw(code: Vec<u8>, base: u64, entries: Vec<u64>) -> CodeObject {
+        let src = RawCode { base, bytes: code, entries };
+        CodeObject::parse(&src, &ParseOptions::default())
+    }
+
+    #[test]
+    fn straight_line_with_branch() {
+        // entry: beq a0, x0, +8 ; addi ; ret  /  target: ret
+        let mut a = Assembler::new(0x1000);
+        let skip = a.label();
+        a.beq(Reg::x(10), Reg::X0, skip);
+        a.addi(Reg::x(10), Reg::x(10), 1);
+        a.bind(skip);
+        a.ret();
+        let co = parse_raw(a.finish().unwrap(), 0x1000, vec![0x1000]);
+        let f = &co.functions[&0x1000];
+        assert_eq!(f.blocks.len(), 3);
+        let b0 = &f.blocks[&0x1000];
+        assert_eq!(b0.edges.len(), 2);
+        assert!(b0.edges.iter().any(|e| e.kind == EdgeKind::Taken && e.target == Some(0x1008)));
+        let b2 = &f.blocks[&0x1008];
+        assert_eq!(b2.edges, vec![Edge::out(EdgeKind::Return)]);
+    }
+
+    #[test]
+    fn call_discovers_callee_function() {
+        let mut a = Assembler::new(0x1000);
+        let callee = a.label();
+        a.call(callee);
+        a.ret();
+        a.bind(callee);
+        a.addi(Reg::x(10), Reg::X0, 7);
+        a.ret();
+        let co = parse_raw(a.finish().unwrap(), 0x1000, vec![0x1000]);
+        assert_eq!(co.functions.len(), 2);
+        let main = &co.functions[&0x1000];
+        assert_eq!(main.callees, vec![0x1008]);
+        assert!(co.functions.contains_key(&0x1008));
+        // The call block has Call + CallFallthrough edges.
+        let b = &main.blocks[&0x1000];
+        assert!(b.edges.iter().any(|e| e.kind == EdgeKind::Call && e.target == Some(0x1008)));
+        assert!(b.edges.iter().any(|e| e.kind == EdgeKind::CallFallthrough && e.target == Some(0x1004)));
+    }
+
+    #[test]
+    fn block_splitting_on_back_edge() {
+        // A loop whose back edge targets the middle of the initial run.
+        let mut a = Assembler::new(0x1000);
+        a.addi(Reg::x(5), Reg::X0, 10); // setup
+        let head = a.here_label();
+        a.addi(Reg::x(5), Reg::x(5), -1);
+        a.bne(Reg::x(5), Reg::X0, head);
+        a.ret();
+        let co = parse_raw(a.finish().unwrap(), 0x1000, vec![0x1000]);
+        let f = &co.functions[&0x1000];
+        // Blocks: [setup], [head..bne], [ret]
+        assert_eq!(f.blocks.len(), 3);
+        assert!(f.blocks.contains_key(&0x1004));
+        let setup = &f.blocks[&0x1000];
+        assert_eq!(setup.edges, vec![Edge::to(EdgeKind::Fallthrough, 0x1004)]);
+        // And the function has one natural loop with header 0x1004.
+        assert_eq!(f.loops.len(), 1);
+        assert_eq!(f.loops[0].header, 0x1004);
+    }
+
+    #[test]
+    fn unresolved_indirect_marks_function() {
+        let mut a = Assembler::new(0x1000);
+        a.jalr(Reg::X0, Reg::x(10), 0); // unknowable target
+        let co = parse_raw(a.finish().unwrap(), 0x1000, vec![0x1000]);
+        let f = &co.functions[&0x1000];
+        assert!(f.has_unresolved);
+        assert_eq!(f.blocks[&0x1000].edges, vec![Edge::out(EdgeKind::Unresolved)]);
+    }
+
+    #[test]
+    fn undecodable_bytes_stop_block() {
+        let mut code = Vec::new();
+        code.extend_from_slice(&rvdyn_isa::encode::encode32(&rvdyn_isa::build::nop()).unwrap().to_le_bytes());
+        code.extend_from_slice(&[0x00, 0x00, 0x00, 0x00]); // defined-illegal
+        let co = parse_raw(code, 0x1000, vec![0x1000]);
+        let f = &co.functions[&0x1000];
+        assert!(f.has_unresolved);
+        assert_eq!(f.blocks[&0x1000].insts.len(), 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! The instrumenter: points + snippets → a rewritten binary.
+//!
+//! This is the user-facing PatchAPI operation (§2): "code snippet
+//! insertion … takes a tuple (P, AST) … Dyninst will convert the AST to
+//! native code, optimize the code when possible, generate new versions of
+//! the blocks or functions that have been modified, and patch a branch
+//! into the original code to jump to the modified code."
+
+use crate::points::{Point, PointKind};
+use crate::relocate::{relocate_function, Insertions, RelocateError};
+use crate::springboard::plan_springboard;
+use rvdyn_codegen::emitter::{generate, CodeGenError};
+use rvdyn_codegen::regalloc::RegAllocMode;
+use rvdyn_codegen::snippet::{Snippet, Var};
+use rvdyn_dataflow::Liveness;
+use rvdyn_parse::{CodeObject, EdgeKind};
+use rvdyn_symtab::{Binary, Section, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where instrumented code and data land in the mutatee's address space.
+#[derive(Debug, Clone, Copy)]
+pub struct PatchLayout {
+    /// Base of the patch code area (`.rvdyn.text`).
+    pub patch_text: u64,
+    /// Base of the instrumentation data area (`.rvdyn.data` — counters,
+    /// variables, spill slots).
+    pub patch_data: u64,
+}
+
+impl Default for PatchLayout {
+    fn default() -> PatchLayout {
+        PatchLayout { patch_text: 0x8_0000, patch_data: 0xC_0000 }
+    }
+}
+
+/// Instrumentation failure.
+#[derive(Debug)]
+pub enum InstrumentError {
+    /// The point's function was not found in the parse.
+    UnknownFunction(u64),
+    /// Snippet lowering failed.
+    CodeGen(CodeGenError),
+    /// Function relocation failed.
+    Relocate(RelocateError),
+}
+
+impl fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrumentError::UnknownFunction(a) => {
+                write!(f, "no parsed function at {a:#x}")
+            }
+            InstrumentError::CodeGen(e) => write!(f, "snippet codegen: {e}"),
+            InstrumentError::Relocate(e) => write!(f, "relocation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
+
+impl From<CodeGenError> for InstrumentError {
+    fn from(e: CodeGenError) -> Self {
+        InstrumentError::CodeGen(e)
+    }
+}
+
+impl From<RelocateError> for InstrumentError {
+    fn from(e: RelocateError) -> Self {
+        InstrumentError::Relocate(e)
+    }
+}
+
+/// Maps relocated (patch-area) instruction addresses back to their
+/// original addresses — what debuggers and stack walkers need to reason
+/// about instrumented code in source terms (Dyninst keeps the same
+/// mapping for its `BPatch` address translation).
+#[derive(Debug, Clone, Default)]
+pub struct RelocationIndex {
+    /// new instruction address → original instruction address.
+    reverse: BTreeMap<u64, u64>,
+}
+
+impl RelocationIndex {
+    /// Translate a patch-area pc to its original address. Addresses
+    /// outside any relocated range map to themselves. A pc inside snippet
+    /// code maps to the instruction the snippet was attached to.
+    pub fn to_original(&self, pc: u64) -> u64 {
+        match self.reverse.range(..=pc).next_back() {
+            // Within 64 bytes of a mapped instruction start: attribute to
+            // it (covers multi-instruction expansions and snippet bodies).
+            Some((&new, &old)) if pc - new < 64 => old,
+            _ => pc,
+        }
+    }
+
+    /// Is `pc` inside relocated code?
+    pub fn is_relocated(&self, pc: u64) -> bool {
+        matches!(self.reverse.range(..=pc).next_back(), Some((&new, _)) if pc - new < 64)
+    }
+
+    fn absorb(&mut self, addr_map: &BTreeMap<u64, u64>) {
+        for (&old, &new) in addr_map {
+            self.reverse.insert(new, old);
+        }
+    }
+
+    /// Merge another index (e.g. from a later commit).
+    pub fn merge(&mut self, other: &RelocationIndex) {
+        self.reverse.extend(other.reverse.iter());
+    }
+}
+
+/// The output of [`Instrumenter::apply`].
+#[derive(Debug, Clone)]
+pub struct PatchResult {
+    /// The rewritten binary (new `.rvdyn.*` sections, springboards patched
+    /// into `.text`). Serialise with [`Binary::to_bytes`] for the static
+    /// path; or apply [`PatchResult::memory_writes`] to a live process for
+    /// the dynamic path.
+    pub binary: Binary,
+    /// Trap-table entries used by worst-case springboards.
+    pub trap_table: Vec<(u64, u64)>,
+    /// Diagnostics: total registers spilled across all snippets (0 when
+    /// dead-register allocation succeeded everywhere — the §4.3 claim).
+    pub spill_count: usize,
+    /// Raw (address, bytes) writes for dynamic instrumentation.
+    writes: Vec<(u64, Vec<u8>)>,
+    /// The original bytes each springboard overwrote, for removal.
+    undo: Vec<(u64, Vec<u8>)>,
+    /// Patch-area → original address translation.
+    pub reloc_index: RelocationIndex,
+}
+
+impl PatchResult {
+    /// The memory writes that implement this instrumentation on a live
+    /// process (patch area content + springboards).
+    pub fn memory_writes(&self) -> &[(u64, Vec<u8>)] {
+        &self.writes
+    }
+
+    /// The inverse writes: restoring these bytes removes every
+    /// springboard, returning the mutatee to uninstrumented execution
+    /// (the patch area becomes unreachable dead code). This is Dyninst's
+    /// "remove instrumentation" operation.
+    pub fn undo_writes(&self) -> &[(u64, Vec<u8>)] {
+        &self.undo
+    }
+}
+
+/// Requested snippets for one function, split by placement semantics.
+#[derive(Default)]
+struct FuncInsertions {
+    /// Before the instruction at the address.
+    before: BTreeMap<u64, Vec<Snippet>>,
+    /// On the taken edge of the conditional branch at the address.
+    taken: BTreeMap<u64, Vec<Snippet>>,
+    /// On the not-taken edge of the conditional branch at the address.
+    not_taken: BTreeMap<u64, Vec<Snippet>>,
+}
+
+/// Builder for an instrumentation pass over one binary.
+pub struct Instrumenter<'b> {
+    binary: &'b Binary,
+    co: &'b CodeObject,
+    layout: PatchLayout,
+    mode: RegAllocMode,
+    insertions: BTreeMap<u64, FuncInsertions>,
+    var_cursor: u64,
+}
+
+impl<'b> Instrumenter<'b> {
+    pub fn new(binary: &'b Binary, co: &'b CodeObject) -> Instrumenter<'b> {
+        Instrumenter {
+            binary,
+            co,
+            layout: PatchLayout::default(),
+            mode: RegAllocMode::DeadRegisters,
+            insertions: BTreeMap::new(),
+            var_cursor: 0,
+        }
+    }
+
+    /// Override the patch-area layout.
+    pub fn with_layout(mut self, layout: PatchLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Select the register-allocation mode (ablation A1 uses
+    /// [`RegAllocMode::ForceSpill`]).
+    pub fn with_mode(mut self, mode: RegAllocMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Allocate an instrumentation variable in the patch data area.
+    pub fn alloc_var(&mut self, size: u8) -> Var {
+        // 8-byte align every slot.
+        let addr = self.layout.patch_data + self.var_cursor;
+        self.var_cursor += ((size as u64) + 7) & !7;
+        Var { addr, size }
+    }
+
+    /// Request `snippet` at `point`. Edge points ([`PointKind::BranchTaken`]
+    /// / [`PointKind::BranchNotTaken`]) attach to the branch's edge rather
+    /// than the instruction stream.
+    pub fn insert(&mut self, point: Point, snippet: Snippet) {
+        let fi = self.insertions.entry(point.func).or_default();
+        let map = match point.kind {
+            PointKind::BranchTaken => &mut fi.taken,
+            PointKind::BranchNotTaken => &mut fi.not_taken,
+            _ => &mut fi.before,
+        };
+        map.entry(point.addr).or_default().push(snippet);
+    }
+
+    /// Request `snippet` at every point in `points`.
+    pub fn insert_at_points(&mut self, points: &[Point], snippet: &Snippet) {
+        for p in points {
+            self.insert(*p, snippet.clone());
+        }
+    }
+
+    /// Generate code, relocate the instrumented functions, plant
+    /// springboards, and produce the rewritten binary.
+    pub fn apply(&self) -> Result<PatchResult, InstrumentError> {
+        let profile = self.binary.profile();
+        let mut out = self.binary.clone();
+        let mut patch_code: Vec<u8> = Vec::new();
+        let mut trap_table: Vec<(u64, u64)> = Vec::new();
+        let mut spill_count = 0usize;
+        let mut writes: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut undo: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut springs: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut reloc_index = RelocationIndex::default();
+
+        for (&fe, fi) in &self.insertions {
+            let f = self
+                .co
+                .functions
+                .get(&fe)
+                .ok_or(InstrumentError::UnknownFunction(fe))?;
+            let lv = Liveness::analyze(f);
+
+            // Lower each point's snippets with its dead-register pool.
+            // Edge snippets use the dead set before the branch, which is a
+            // safe under-approximation of the edge's own dead set.
+            let mut lowered = Insertions::default();
+            for (src_map, dst) in [
+                (&fi.before, &mut lowered.before),
+                (&fi.taken, &mut lowered.taken_edge),
+                (&fi.not_taken, &mut lowered.not_taken_edge),
+            ] {
+                for (&addr, snippets) in src_map {
+                    let dead = lv.dead_before(f, addr);
+                    let seq = Snippet::Seq(snippets.clone());
+                    let (code, spills) = generate(&seq, dead, self.mode, profile)?;
+                    spill_count += spills;
+                    dst.insert(addr, code);
+                }
+            }
+
+            // Relocate the function with the snippets spliced in.
+            let new_base = self.layout.patch_text + patch_code.len() as u64;
+            let reloc = relocate_function(f, &lowered, new_base)?;
+            reloc_index.absorb(&reloc.addr_map);
+            patch_code.extend_from_slice(&reloc.code);
+            // Align the next function.
+            while !patch_code.len().is_multiple_of(8) {
+                patch_code.push(0);
+            }
+
+            // Springboard at the function entry.
+            let (lo, hi) = f.extent();
+            let avail = (hi - lo) as usize;
+            let dead_entry = lv.dead_before(f, fe);
+            let sb = plan_springboard(fe, reloc.new_entry, avail, profile, dead_entry);
+            if let Some(t) = sb.trap_entry {
+                trap_table.push(t);
+            }
+            springs.push((fe, sb.bytes.clone()));
+
+            // Springboards at indirect-jump targets: execution re-enters
+            // original code through jump tables; bounce it back into the
+            // instrumented copy (§3.2.3 jump tables + code patching).
+            for b in f.blocks.values() {
+                for e in &b.edges {
+                    if e.kind == EdgeKind::IndirectJump {
+                        if let Some(t) = e.target {
+                            if let Some(&nt) = reloc.addr_map.get(&t) {
+                                let tb = &f.blocks[&t];
+                                let avail = tb.len_bytes() as usize;
+                                let dead = lv.dead_before(f, t);
+                                let sb =
+                                    plan_springboard(t, nt, avail, profile, dead);
+                                if let Some(tt) = sb.trap_entry {
+                                    trap_table.push(tt);
+                                }
+                                springs.push((t, sb.bytes.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        springs.sort_by_key(|(a, _)| *a);
+        springs.dedup_by_key(|(a, _)| *a);
+        trap_table.sort();
+        trap_table.dedup();
+
+        // Patch springboards into the text section image, recording the
+        // bytes they replace for uninstrumentation.
+        for (addr, bytes) in &springs {
+            let sec = out
+                .sections
+                .iter_mut()
+                .find(|s| s.is_code() && s.contains(*addr))
+                .expect("springboard inside a code section");
+            let off = (*addr - sec.addr) as usize;
+            undo.push((*addr, sec.data[off..off + bytes.len()].to_vec()));
+            sec.data[off..off + bytes.len()].copy_from_slice(bytes);
+            writes.push((*addr, bytes.clone()));
+        }
+
+        // New sections.
+        if !patch_code.is_empty() {
+            writes.push((self.layout.patch_text, patch_code.clone()));
+            out.sections.push(Section::progbits(
+                ".rvdyn.text",
+                self.layout.patch_text,
+                SHF_ALLOC | SHF_EXECINSTR,
+                patch_code,
+            ));
+        }
+        let data_size = self.var_cursor.max(8);
+        out.sections.push(Section::progbits(
+            ".rvdyn.data",
+            self.layout.patch_data,
+            SHF_ALLOC | SHF_WRITE,
+            vec![0; data_size as usize],
+        ));
+        if !trap_table.is_empty() {
+            let mut t = Vec::with_capacity(trap_table.len() * 16);
+            for (from, to) in &trap_table {
+                t.extend_from_slice(&from.to_le_bytes());
+                t.extend_from_slice(&to.to_le_bytes());
+            }
+            out.sections.push(Section::progbits(
+                ".rvdyn.traps",
+                0,
+                0, // non-alloc metadata; the emulator's loader reads it
+                t,
+            ));
+        }
+
+        Ok(PatchResult { binary: out, trap_table, spill_count, writes, undo, reloc_index })
+    }
+}

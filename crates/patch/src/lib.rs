@@ -1,0 +1,36 @@
+//! # rvdyn-patch — snippet insertion (PatchAPI)
+//!
+//! The rvdyn equivalent of Dyninst's *PatchAPI*: given a parsed mutatee, a
+//! set of instrumentation **points** and machine-independent **snippets**,
+//! produce a safely transformed binary (static rewriting) or a patch plan
+//! applied to a live process (dynamic instrumentation).
+//!
+//! rvdyn uses the *code patching* strategy the paper describes for Dyninst
+//! (§1): instrumented functions are **relocated** — a new version with the
+//! snippets inlined is placed in a patch area, and the original entry (plus
+//! every indirect-jump target) is overwritten with a **springboard** jump
+//! to the new version. The springboard planner implements §3.1.2's
+//! size/range ladder:
+//!
+//! | form            | size | reach       |
+//! |-----------------|------|-------------|
+//! | `c.j`           | 2 B  | ±2 KiB      |
+//! | `jal x0`        | 4 B  | ±1 MiB      |
+//! | `auipc`+`jalr`  | 8 B  | ±2 GiB (needs a dead register) |
+//! | `ebreak` trap   | 2 B  | anywhere (slow; "worst case")  |
+//!
+//! Relocation rewrites PC-relative material for its new home: branches and
+//! `jal`s are retargeted (with automatic inverted-branch + `jal` widening
+//! when displacements outgrow B-format), and every `auipc` is replaced by
+//! an exact materialisation of the value it produced at its *original*
+//! address — immune to the pairing ambiguity of `auipc`/`lo12` sequences.
+
+pub mod instrument;
+pub mod points;
+pub mod relocate;
+pub mod springboard;
+
+pub use instrument::{InstrumentError, Instrumenter, PatchLayout, RelocationIndex};
+pub use points::{find_points, Point, PointKind};
+pub use relocate::{relocate_function, Insertions, RelocatedFunction};
+pub use springboard::{plan_springboard, Springboard, SpringboardKind};

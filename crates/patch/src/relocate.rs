@@ -1,0 +1,585 @@
+//! Function relocation: produce an instrumented copy of a function for the
+//! patch area, preserving semantics at a new address.
+//!
+//! CFG-safe transformation (in the spirit of Bernat & Miller's structured
+//! binary editing, which the paper cites): blocks are laid out in original
+//! order with snippet code spliced in front of instrumented instructions;
+//! all PC-relative material is re-derived:
+//!
+//! * intra-function branch/jump targets follow the address map (branch
+//!   targets land on the snippet code of their target point, so e.g.
+//!   loop-head counters observe every iteration);
+//! * interprocedural `jal` calls/tail-calls keep their original absolute
+//!   targets (re-encoded for the new pc; springboards at the callee decide
+//!   whether the call enters instrumented code);
+//! * every `auipc rd, imm` is replaced by an exact materialisation of the
+//!   value it produced at its original address, sidestepping the
+//!   `auipc`/`lo12` pairing problem entirely;
+//! * branch displacements that outgrow their format are relaxed
+//!   (inverted branch + `jal`, or `auipc`+`jalr` for far jumps) by an
+//!   iterative size-relaxation pass, exactly like an assembler.
+
+use rvdyn_codegen::imm::load_imm;
+use rvdyn_isa::encode::{compress, encode32};
+use rvdyn_isa::{build, Instruction, Op, Reg};
+use rvdyn_parse::{EdgeKind, Function};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Relocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelocateError {
+    /// A far unconditional jump had no way to reach its target (no
+    /// register to spare for `auipc`).
+    JumpOutOfRange { at: u64, target: u64 },
+    /// An instruction failed to re-encode.
+    Encode(String),
+    /// A branch target was not an instruction the relocation mapped.
+    UnmappedTarget { at: u64, target: u64 },
+}
+
+impl fmt::Display for RelocateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelocateError::JumpOutOfRange { at, target } => {
+                write!(f, "jump at {at:#x} cannot reach {target:#x}")
+            }
+            RelocateError::Encode(e) => write!(f, "re-encoding failed: {e}"),
+            RelocateError::UnmappedTarget { at, target } => {
+                write!(f, "branch at {at:#x} targets unmapped address {target:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelocateError {}
+
+/// The relocated function image.
+#[derive(Debug, Clone)]
+pub struct RelocatedFunction {
+    /// Encoded bytes, based at `new_base`.
+    pub code: Vec<u8>,
+    /// New address of the (instrumented) function entry.
+    pub new_entry: u64,
+    /// Map from original instruction address to its relocated address
+    /// (pointing at the snippet code when one is attached to the
+    /// instruction).
+    pub addr_map: BTreeMap<u64, u64>,
+}
+
+enum Item {
+    /// Snippet code attached before the original instruction at `for_old`.
+    Snippet { insts: Vec<Instruction> },
+    /// An original instruction copied (re-encoded) verbatim.
+    Verbatim { inst: Instruction },
+    /// Conditional branch with a (possibly intra-function) target. When
+    /// `stub_slot` is set, the branch routes through a taken-edge stub
+    /// instead of its real target.
+    CondBranch {
+        inst: Instruction,
+        old_target: u64,
+        intra: bool,
+        stub_slot: Option<usize>,
+    },
+    /// `jal` with a target: intra-function or absolute (call/tail-call).
+    Jump { rd: Reg, old_target: u64, intra: bool },
+    /// Replacement for `auipc rd`: materialise the original value.
+    AuipcValue { insts: Vec<Instruction> },
+}
+
+/// Snippet placement requests for one function's relocation.
+#[derive(Debug, Default, Clone)]
+pub struct Insertions {
+    /// Run before the instruction at the key address (block-entry points
+    /// map to the block's first instruction).
+    pub before: BTreeMap<u64, Vec<Instruction>>,
+    /// Run only when the conditional branch at the key address is taken
+    /// (implemented as an out-of-line stub the branch is retargeted to).
+    pub taken_edge: BTreeMap<u64, Vec<Instruction>>,
+    /// Run only on the fallthrough of the conditional branch at the key
+    /// address (implemented inline after the branch — only the
+    /// fallthrough path passes there).
+    pub not_taken_edge: BTreeMap<u64, Vec<Instruction>>,
+}
+
+impl Insertions {
+    /// Only before-instruction insertions (the common case).
+    pub fn before_only(before: BTreeMap<u64, Vec<Instruction>>) -> Insertions {
+        Insertions { before, ..Default::default() }
+    }
+}
+
+struct Slot {
+    old_addr: Option<u64>, // original instruction this slot represents
+    item: Item,
+    size: u64,
+}
+
+fn invert(op: Op) -> Op {
+    match op {
+        Op::Beq => Op::Bne,
+        Op::Bne => Op::Beq,
+        Op::Blt => Op::Bge,
+        Op::Bge => Op::Blt,
+        Op::Bltu => Op::Bgeu,
+        Op::Bgeu => Op::Bltu,
+        _ => unreachable!("not a conditional branch"),
+    }
+}
+
+/// Relocate `f` to `new_base`, splicing `insertions`.
+pub fn relocate_function(
+    f: &Function,
+    insertions: &Insertions,
+    new_base: u64,
+) -> Result<RelocatedFunction, RelocateError> {
+    // ---- build the item list in block address order ----
+    let mut slots: Vec<Slot> = Vec::new();
+    // Conditional branches that need a taken-edge stub: (slot index of the
+    // branch, branch old address).
+    let mut want_stub: Vec<(usize, u64)> = Vec::new();
+    let blocks: Vec<_> = f.blocks.values().collect();
+    for (bi, b) in blocks.iter().enumerate() {
+        let is_last_inst =
+            |inst: &Instruction| Some(inst.address) == b.last_inst().map(|l| l.address);
+        for inst in &b.insts {
+            if let Some(snip) = insertions.before.get(&inst.address) {
+                if !snip.is_empty() {
+                    slots.push(Slot {
+                        old_addr: Some(inst.address),
+                        item: Item::Snippet { insts: snip.clone() },
+                        size: snip.len() as u64 * 4,
+                    });
+                }
+            }
+            // Classify the instruction for relocation purposes.
+            let slot = if inst.op == Op::Auipc {
+                let value = inst.address.wrapping_add(inst.imm as u64);
+                let insts = load_imm(inst.rd.unwrap(), value as i64);
+                let size = insts.len() as u64 * 4;
+                Slot {
+                    old_addr: Some(inst.address),
+                    item: Item::AuipcValue { insts },
+                    size,
+                }
+            } else if inst.op.is_conditional_branch() {
+                let old_target = inst.address.wrapping_add(inst.imm as u64);
+                if insertions.taken_edge.contains_key(&inst.address) {
+                    want_stub.push((slots.len(), inst.address));
+                }
+                let slot = Slot {
+                    old_addr: Some(inst.address),
+                    item: Item::CondBranch {
+                        inst: *inst,
+                        old_target,
+                        intra: true,
+                        stub_slot: None,
+                    },
+                    size: 4,
+                };
+                slots.push(slot);
+                // Not-taken edge snippet: inline right after the branch —
+                // only the fallthrough path executes it.
+                if let Some(snip) = insertions.not_taken_edge.get(&inst.address) {
+                    if !snip.is_empty() {
+                        slots.push(Slot {
+                            old_addr: None,
+                            item: Item::Snippet { insts: snip.clone() },
+                            size: snip.len() as u64 * 4,
+                        });
+                    }
+                }
+                continue;
+            } else if inst.op == Op::Jal {
+                let old_target = inst.address.wrapping_add(inst.imm as u64);
+                // Edge kinds decide whether the target moves with us.
+                let intra = if is_last_inst(inst) {
+                    b.edges
+                        .iter()
+                        .any(|e| e.kind == EdgeKind::Jump && e.target == Some(old_target))
+                } else {
+                    true
+                };
+                Slot {
+                    old_addr: Some(inst.address),
+                    item: Item::Jump { rd: inst.rd.unwrap_or(Reg::X0), old_target, intra },
+                    size: 4,
+                }
+            } else {
+                // Verbatim: keep compressed width when possible.
+                let size = if inst.compressed.is_some() && compress(inst).is_some() {
+                    2
+                } else {
+                    4
+                };
+                Slot { old_addr: Some(inst.address), item: Item::Verbatim { inst: *inst }, size }
+            };
+            slots.push(slot);
+        }
+        // Explicit jump if the fallthrough successor is not laid out next.
+        let ft = b.edges.iter().find_map(|e| {
+            matches!(
+                e.kind,
+                EdgeKind::Fallthrough | EdgeKind::NotTaken | EdgeKind::CallFallthrough
+            )
+            .then_some(e.target)
+            .flatten()
+        });
+        if let Some(t) = ft {
+            let next_start = blocks.get(bi + 1).map(|nb| nb.start);
+            if next_start != Some(t) && f.blocks.contains_key(&t) {
+                slots.push(Slot {
+                    old_addr: None,
+                    item: Item::Jump { rd: Reg::X0, old_target: t, intra: true },
+                    size: 4,
+                });
+            }
+        }
+    }
+
+    // ---- taken-edge stubs ----
+    // Appended after the function body: snippet, then a jump to the real
+    // taken target. The branch is retargeted to the stub.
+    for (branch_slot, branch_addr) in want_stub {
+        let stub_idx = slots.len();
+        let snip = &insertions.taken_edge[&branch_addr];
+        slots.push(Slot {
+            old_addr: None,
+            item: Item::Snippet { insts: snip.clone() },
+            size: snip.len() as u64 * 4,
+        });
+        let Item::CondBranch { old_target, ref mut stub_slot, .. } =
+            slots[branch_slot].item
+        else {
+            unreachable!("want_stub records only CondBranch slots")
+        };
+        *stub_slot = Some(stub_idx);
+        slots.push(Slot {
+            old_addr: None,
+            item: Item::Jump { rd: Reg::X0, old_target, intra: true },
+            size: 4,
+        });
+    }
+
+    // ---- size relaxation to a fixpoint ----
+    let mut addr_map: BTreeMap<u64, u64> = BTreeMap::new();
+    loop {
+        // Assign addresses.
+        addr_map.clear();
+        let mut pc = new_base;
+        let mut slot_addr = Vec::with_capacity(slots.len());
+        for s in &slots {
+            slot_addr.push(pc);
+            if let Some(old) = s.old_addr {
+                // First slot for an old address wins (the snippet slot
+                // precedes the instruction slot).
+                addr_map.entry(old).or_insert(pc);
+            }
+            pc += s.size;
+        }
+
+        // Check sizes.
+        let mut changed = false;
+        for (i, s) in slots.iter_mut().enumerate() {
+            let at = slot_addr[i];
+            match &s.item {
+                Item::CondBranch { old_target, intra, stub_slot, .. } => {
+                    let t = if let Some(idx) = stub_slot {
+                        slot_addr[*idx]
+                    } else if *intra {
+                        *addr_map.get(old_target).unwrap_or(old_target)
+                    } else {
+                        *old_target
+                    };
+                    let delta = t.wrapping_sub(at) as i64;
+                    let need: u64 = if (-4096..4096).contains(&delta) { 4 } else { 8 };
+                    if need > s.size {
+                        s.size = need;
+                        changed = true;
+                    }
+                }
+                Item::Jump { old_target, intra, .. } => {
+                    let t = if *intra {
+                        *addr_map.get(old_target).unwrap_or(old_target)
+                    } else {
+                        *old_target
+                    };
+                    let delta = t.wrapping_sub(at) as i64;
+                    let need: u64 =
+                        if (-(1 << 20)..(1 << 20)).contains(&delta) { 4 } else { 8 };
+                    if need > s.size {
+                        s.size = need;
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- emission ----
+    // Final slot addresses (sizes are stable after relaxation).
+    let emit_slot_addr: Vec<u64> = {
+        let mut v = Vec::with_capacity(slots.len());
+        let mut pc = new_base;
+        for s in &slots {
+            v.push(pc);
+            pc += s.size;
+        }
+        v
+    };
+    let mut code: Vec<u8> = Vec::new();
+    let mut pc = new_base;
+    let enc_err = |e: rvdyn_isa::encode::EncodeError| RelocateError::Encode(e.to_string());
+    for s in &slots {
+        let at = pc;
+        match &s.item {
+            Item::Snippet { insts } | Item::AuipcValue { insts } => {
+                for i in insts {
+                    code.extend_from_slice(&encode32(i).map_err(enc_err)?.to_le_bytes());
+                }
+            }
+            Item::Verbatim { inst } => {
+                if s.size == 2 {
+                    let c = compress(inst).expect("size-2 slot must compress");
+                    code.extend_from_slice(&c.to_le_bytes());
+                } else {
+                    code.extend_from_slice(
+                        &encode32(inst).map_err(enc_err)?.to_le_bytes(),
+                    );
+                }
+            }
+            Item::CondBranch { inst, old_target, intra, stub_slot } => {
+                let t = if let Some(idx) = stub_slot {
+                    emit_slot_addr[*idx]
+                } else if *intra {
+                    *addr_map
+                        .get(old_target)
+                        .ok_or(RelocateError::UnmappedTarget {
+                            at,
+                            target: *old_target,
+                        })?
+                } else {
+                    *old_target
+                };
+                let delta = t.wrapping_sub(at) as i64;
+                if s.size == 4 {
+                    let b = build::b_type(inst.op, inst.rs1.unwrap(), inst.rs2.unwrap(), delta);
+                    code.extend_from_slice(&encode32(&b).map_err(enc_err)?.to_le_bytes());
+                } else {
+                    // Inverted branch over a jal.
+                    let skip = build::b_type(
+                        invert(inst.op),
+                        inst.rs1.unwrap(),
+                        inst.rs2.unwrap(),
+                        8,
+                    );
+                    let j = build::jal(Reg::X0, delta - 4);
+                    code.extend_from_slice(&encode32(&skip).map_err(enc_err)?.to_le_bytes());
+                    code.extend_from_slice(&encode32(&j).map_err(enc_err)?.to_le_bytes());
+                }
+            }
+            Item::Jump { rd, old_target, intra } => {
+                let t = if *intra {
+                    *addr_map
+                        .get(old_target)
+                        .ok_or(RelocateError::UnmappedTarget {
+                            at,
+                            target: *old_target,
+                        })?
+                } else {
+                    *old_target
+                };
+                let delta = t.wrapping_sub(at) as i64;
+                if s.size == 4 {
+                    let j = build::jal(*rd, delta);
+                    code.extend_from_slice(&encode32(&j).map_err(enc_err)?.to_le_bytes());
+                } else {
+                    // Far jump: auipc + jalr through rd (works only for a
+                    // linking jump, which has a register to clobber).
+                    if rd.is_zero() {
+                        return Err(RelocateError::JumpOutOfRange { at, target: t });
+                    }
+                    let (hi, lo) = rvdyn_codegen::imm::pcrel_parts(at, t)
+                        .ok_or(RelocateError::JumpOutOfRange { at, target: t })?;
+                    let a = build::auipc(*rd, hi);
+                    let j = build::jalr(*rd, *rd, lo);
+                    code.extend_from_slice(&encode32(&a).map_err(enc_err)?.to_le_bytes());
+                    code.extend_from_slice(&encode32(&j).map_err(enc_err)?.to_le_bytes());
+                }
+            }
+        }
+        pc += s.size;
+        debug_assert_eq!(code.len() as u64, pc - new_base, "size accounting drift");
+    }
+
+    let new_entry = *addr_map.get(&f.entry).unwrap_or(&new_base);
+    Ok(RelocatedFunction { code, new_entry, addr_map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvdyn_asm::Assembler;
+    use rvdyn_parse::{CodeObject, ParseOptions};
+
+    fn parse_one(build_fn: impl FnOnce(&mut Assembler)) -> Function {
+        let mut a = Assembler::new(0x1000);
+        build_fn(&mut a);
+        let code = a.finish().unwrap();
+        let src = rvdyn_parse::source::RawCode {
+            base: 0x1000,
+            bytes: code,
+            entries: vec![0x1000],
+        };
+        CodeObject::parse(&src, &ParseOptions::default()).functions[&0x1000].clone()
+    }
+
+    #[test]
+    fn plain_relocation_preserves_instruction_count() {
+        let f = parse_one(|a| {
+            a.addi(Reg::x(10), Reg::X0, 1);
+            a.addi(Reg::x(10), Reg::x(10), 2);
+            a.ret();
+        });
+        let r = relocate_function(&f, &Insertions::default(), 0x8_0000).unwrap();
+        assert_eq!(r.new_entry, 0x8_0000);
+        assert_eq!(r.code.len(), 12);
+        // Every original instruction is mapped.
+        assert_eq!(r.addr_map.len(), 3);
+    }
+
+    #[test]
+    fn loop_branches_retarget_into_relocation() {
+        let f = parse_one(|a| {
+            a.addi(Reg::x(5), Reg::X0, 3);
+            let head = a.here_label();
+            a.addi(Reg::x(5), Reg::x(5), -1);
+            a.bne(Reg::x(5), Reg::X0, head);
+            a.ret();
+        });
+        let r = relocate_function(&f, &Insertions::default(), 0x8_0000).unwrap();
+        // Decode the relocated code; the bne target must equal the new
+        // address of the loop head.
+        let insts: Vec<_> = rvdyn_isa::decode::InstructionIter::new(&r.code, 0x8_0000)
+            .map(|x| x.unwrap())
+            .collect();
+        let bne = insts.iter().find(|i| i.op == Op::Bne).unwrap();
+        let target = bne.address.wrapping_add(bne.imm as u64);
+        assert_eq!(target, r.addr_map[&0x1004]);
+    }
+
+    #[test]
+    fn snippet_insertion_lands_before_instruction_and_branches_hit_it() {
+        let f = parse_one(|a| {
+            a.addi(Reg::x(5), Reg::X0, 3);
+            let head = a.here_label();
+            a.addi(Reg::x(5), Reg::x(5), -1);
+            a.bne(Reg::x(5), Reg::X0, head);
+            a.ret();
+        });
+        // Insert two nops before the loop head (0x1004).
+        let mut ins = Insertions::default();
+        ins.before.insert(0x1004, vec![build::nop(), build::nop()]);
+        let r = relocate_function(&f, &ins, 0x8_0000).unwrap();
+        // The map for 0x1004 points at the snippet.
+        let snippet_at = r.addr_map[&0x1004];
+        let insts: Vec<_> = rvdyn_isa::decode::InstructionIter::new(&r.code, 0x8_0000)
+            .map(|x| x.unwrap())
+            .collect();
+        let at_snippet = insts.iter().find(|i| i.address == snippet_at).unwrap();
+        assert_eq!(at_snippet.op, Op::Addi); // nop
+        // The back edge lands on the snippet, not past it.
+        let bne = insts.iter().find(|i| i.op == Op::Bne).unwrap();
+        assert_eq!(bne.address.wrapping_add(bne.imm as u64), snippet_at);
+    }
+
+    #[test]
+    fn auipc_replaced_with_exact_value() {
+        let f = parse_one(|a| {
+            let l = a.label();
+            a.la(Reg::x(10), l); // auipc+addi pair
+            a.ret();
+            a.bind(l);
+        });
+        let r = relocate_function(&f, &Insertions::default(), 0x8_0000).unwrap();
+        // Execute the relocated code's first instructions; x10 must equal
+        // the ORIGINAL la target (0x100C).
+        use rvdyn_isa::semantics::{eval_int, FlatMemory, IntState};
+        let insts: Vec<_> = rvdyn_isa::decode::InstructionIter::new(&r.code, 0x8_0000)
+            .map(|x| x.unwrap())
+            .collect();
+        let mut st = IntState::new(0x8_0000);
+        let mut mem = FlatMemory::new(0, 8);
+        for i in &insts {
+            if i.is_canonical_return() {
+                break;
+            }
+            st.pc = i.address;
+            eval_int(i, &mut st, &mut mem);
+        }
+        assert_eq!(st.get(Reg::x(10)), 0x100C);
+    }
+
+    #[test]
+    fn call_keeps_absolute_callee() {
+        let f = parse_one(|a| {
+            let callee = a.label();
+            a.call(callee);
+            a.ret();
+            a.bind(callee);
+            a.ret();
+        });
+        let r = relocate_function(&f, &Insertions::default(), 0x8_0000).unwrap();
+        let insts: Vec<_> = rvdyn_isa::decode::InstructionIter::new(&r.code, 0x8_0000)
+            .map(|x| x.unwrap())
+            .collect();
+        let call = insts
+            .iter()
+            .find(|i| i.op == Op::Jal && i.rd == Some(Reg::X1))
+            .unwrap();
+        assert_eq!(call.address.wrapping_add(call.imm as u64), 0x1008);
+    }
+
+    #[test]
+    fn compressed_instructions_stay_compressed() {
+        let f = parse_one(|a| {
+            a.c_inst(build::addi(Reg::x(10), Reg::x(10), 1));
+            a.ret();
+        });
+        let r = relocate_function(&f, &Insertions::default(), 0x8_0000).unwrap();
+        assert_eq!(r.code.len(), 2 + 4);
+    }
+
+    #[test]
+    fn big_snippet_forces_branch_relaxation() {
+        // A conditional branch whose target moves > 4 KiB away because of
+        // a giant snippet in between.
+        let f = parse_one(|a| {
+            let end = a.label();
+            a.beq(Reg::x(10), Reg::X0, end);
+            a.addi(Reg::x(5), Reg::X0, 1);
+            a.bind(end);
+            a.ret();
+        });
+        let big: Vec<Instruction> = (0..2000).map(|_| build::nop()).collect();
+        let mut ins = Insertions::default();
+        // The snippet sits on the not-taken path (before 0x1004), pushing
+        // the branch target > 4 KiB away from the branch itself.
+        ins.before.insert(0x1004, big);
+        let r = relocate_function(&f, &ins, 0x8_0000).unwrap();
+        // The first emitted instruction is now an INVERTED branch (bne).
+        let first = rvdyn_isa::decode(&r.code, 0x8_0000).unwrap();
+        assert_eq!(first.op, Op::Bne, "branch must be inverted for relaxation");
+        // Executing: beq-taken path must land on the snippet start.
+        let second = rvdyn_isa::decode(&r.code[4..], 0x8_0004).unwrap();
+        assert_eq!(second.op, Op::Jal);
+        assert_eq!(
+            second.address.wrapping_add(second.imm as u64),
+            r.addr_map[&0x1008]
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Edge instrumentation end-to-end (§2's branch-taken / branch-not-taken
+//! point classes): counters attached to branch *edges* must count exactly
+//! the executions of those edges — and their sum must equal the branch's
+//! dynamic execution count.
+
+use rvdyn_asm::{matmul_program, memcpy_program};
+use rvdyn_codegen::snippet::Snippet;
+use rvdyn_emu::{load_binary, StopReason};
+use rvdyn_parse::{CodeObject, ParseOptions};
+use rvdyn_patch::{find_points, Instrumenter, PointKind};
+use rvdyn_symtab::Binary;
+
+fn run(bin: &Binary, fuel: u64) -> rvdyn_emu::Machine {
+    let mut m = load_binary(bin);
+    m.fuel = Some(fuel);
+    assert_eq!(m.run(), StopReason::Exited(0));
+    m
+}
+
+#[test]
+fn taken_plus_not_taken_equals_branch_executions() {
+    // memcpy's copy loop: `bge idx, len, done` executes len+1 times —
+    // not-taken len times (loop continues), taken once (exit).
+    let bin = memcpy_program();
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let copy = bin.symbol_by_name("copy").unwrap().value;
+    let f = &co.functions[&copy];
+    let msg_len = bin.symbol_by_name("message").unwrap().size;
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let c_taken = ins.alloc_var(8);
+    let c_not = ins.alloc_var(8);
+    let taken_pts = find_points(f, PointKind::BranchTaken);
+    let not_pts = find_points(f, PointKind::BranchNotTaken);
+    assert_eq!(taken_pts.len(), 1, "copy has one conditional branch");
+    assert_eq!(not_pts.len(), 1);
+    ins.insert_at_points(&taken_pts, &Snippet::increment(c_taken));
+    ins.insert_at_points(&not_pts, &Snippet::increment(c_not));
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 10_000_000);
+
+    let taken = m.mem.load(c_taken.addr, 8).unwrap();
+    let not_taken = m.mem.load(c_not.addr, 8).unwrap();
+    assert_eq!(taken, 1, "loop exits once");
+    assert_eq!(not_taken, msg_len, "loop body runs len times");
+    // And the program output is unharmed.
+    assert_eq!(m.stdout, b"rvdyn: binary instrumentation on RISC-V\n");
+}
+
+#[test]
+fn matmul_loop_branch_edges_count_iterations_exactly() {
+    let n = 7u64;
+    let bin = matmul_program(n as usize, 1);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let f = &co.functions[&mm];
+
+    // matmul has 3 conditional branches (the three loop heads).
+    let taken_pts = find_points(f, PointKind::BranchTaken);
+    assert_eq!(taken_pts.len(), 3);
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let c_taken = ins.alloc_var(8);
+    let c_not = ins.alloc_var(8);
+    ins.insert_at_points(&taken_pts, &Snippet::increment(c_taken));
+    ins.insert_at_points(
+        &find_points(f, PointKind::BranchNotTaken),
+        &Snippet::increment(c_not),
+    );
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 500_000_000);
+
+    // Loop-head `bge i/j/k, N` branches: each is taken exactly when its
+    // loop exits: i-loop 1, j-loop n, k-loop n².
+    let expect_taken = 1 + n + n * n;
+    // Not-taken = loop body entries: i-loop n, j-loop n², k-loop n³.
+    let expect_not = n + n * n + n * n * n;
+    assert_eq!(m.mem.load(c_taken.addr, 8).unwrap(), expect_taken);
+    assert_eq!(m.mem.load(c_not.addr, 8).unwrap(), expect_not);
+
+    // Result matrix must be intact.
+    let c_addr = bin.symbol_by_name("mat_c").unwrap().value;
+    let n = n as usize;
+    for i in 0..n {
+        for j in 0..n {
+            let mut expect = 0.0f64;
+            for k in 0..n {
+                expect += (i + k) as f64 * (k as f64 - j as f64);
+            }
+            let got =
+                f64::from_bits(m.mem.load(c_addr + ((i * n + j) * 8) as u64, 8).unwrap());
+            assert_eq!(got, expect, "C[{i}][{j}]");
+        }
+    }
+}
+
+#[test]
+fn edge_counters_compose_with_block_counters() {
+    // All three point classes on the same function simultaneously.
+    let n = 5u64;
+    let bin = matmul_program(n as usize, 1);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let f = &co.functions[&mm];
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let c_blocks = ins.alloc_var(8);
+    let c_taken = ins.alloc_var(8);
+    let c_not = ins.alloc_var(8);
+    ins.insert_at_points(&find_points(f, PointKind::BlockEntry), &Snippet::increment(c_blocks));
+    ins.insert_at_points(&find_points(f, PointKind::BranchTaken), &Snippet::increment(c_taken));
+    ins.insert_at_points(&find_points(f, PointKind::BranchNotTaken), &Snippet::increment(c_not));
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 500_000_000);
+
+    let blocks = m.mem.load(c_blocks.addr, 8).unwrap();
+    let taken = m.mem.load(c_taken.addr, 8).unwrap();
+    let not_taken = m.mem.load(c_not.addr, 8).unwrap();
+    // Branch executions = taken + not-taken = executions of the three
+    // loop-head blocks (B2, B4, B6).
+    let heads = (n + 1) + n * (n + 1) + n * n * (n + 1);
+    assert_eq!(taken + not_taken, heads);
+    // Block counter: the closed form.
+    let expect_blocks = 1 + (n + 1) + n + n * (n + 1) + n * n + n * n * (n + 1)
+        + n * n * n
+        + 3 * n * n
+        - n * n
+        + n
+        + 1;
+    assert_eq!(blocks, expect_blocks);
+}

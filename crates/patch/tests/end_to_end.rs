@@ -1,0 +1,368 @@
+//! End-to-end static rewriting (Figure 1, left path): build mutatee →
+//! parse → instrument → rewrite ELF → execute in the emulator → check that
+//! (a) the program still computes the right answers and (b) the inserted
+//! counters match closed-form dynamic counts exactly.
+
+use rvdyn_asm::{matmul_program, switch_program};
+use rvdyn_codegen::regalloc::RegAllocMode;
+use rvdyn_codegen::snippet::Snippet;
+use rvdyn_emu::{load_binary, StopReason};
+use rvdyn_parse::{CodeObject, ParseOptions};
+use rvdyn_patch::{find_points, Instrumenter, PointKind};
+use rvdyn_symtab::Binary;
+
+fn run(bin: &Binary, fuel: u64) -> rvdyn_emu::Machine {
+    let mut m = load_binary(bin);
+    m.fuel = Some(fuel);
+    let r = m.run();
+    assert_eq!(r, StopReason::Exited(0), "mutatee must exit cleanly");
+    m
+}
+
+/// Closed-form dynamic basic-block count of one `matmul(n)` call for the
+/// 11-block structure (see rvdyn-asm::programs).
+fn matmul_blocks(n: u64) -> u64 {
+    1 + (n + 1) + n + n * (n + 1) + n * n + n * n * (n + 1) + n * n * n
+        + n * n
+        + n * n
+        + n
+        + 1
+}
+
+#[test]
+fn function_entry_counter_counts_calls() {
+    let n = 8usize;
+    let reps = 5usize;
+    let bin = matmul_program(n, reps);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let f = &co.functions[&mm];
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let counter = ins.alloc_var(8);
+    let pts = find_points(f, PointKind::FuncEntry);
+    ins.insert_at_points(&pts, &Snippet::increment(counter));
+    let patched = ins.apply().unwrap();
+    assert_eq!(patched.spill_count, 0, "dead registers must suffice (§4.3)");
+
+    // Static path: serialise to a real ELF and reparse before running.
+    let elf = patched.binary.to_bytes().unwrap();
+    let rebin = Binary::parse(&elf).unwrap();
+    let m = run(&rebin, 200_000_000);
+    assert_eq!(
+        m.mem.load(counter.addr, 8).unwrap(),
+        reps as u64,
+        "entry counter must equal the number of calls"
+    );
+}
+
+#[test]
+fn basic_block_counter_matches_closed_form() {
+    let n = 6usize;
+    let reps = 2usize;
+    let bin = matmul_program(n, reps);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let f = &co.functions[&mm];
+    assert_eq!(f.blocks.len(), 11);
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let counter = ins.alloc_var(8);
+    let pts = find_points(f, PointKind::BlockEntry);
+    assert_eq!(pts.len(), 11);
+    ins.insert_at_points(&pts, &Snippet::increment(counter));
+    let patched = ins.apply().unwrap();
+
+    let m = run(&patched.binary, 200_000_000);
+    let expect = matmul_blocks(n as u64) * reps as u64;
+    assert_eq!(
+        m.mem.load(counter.addr, 8).unwrap(),
+        expect,
+        "per-block counter must match the closed-form dynamic block count"
+    );
+}
+
+#[test]
+fn instrumented_matmul_still_computes_correct_product() {
+    let n = 5usize;
+    let bin = matmul_program(n, 1);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let f = &co.functions[&mm];
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let counter = ins.alloc_var(8);
+    ins.insert_at_points(&find_points(f, PointKind::BlockEntry), &Snippet::increment(counter));
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 100_000_000);
+
+    let c_addr = bin.symbol_by_name("mat_c").unwrap().value;
+    for i in 0..n {
+        for j in 0..n {
+            let mut expect = 0.0f64;
+            for k in 0..n {
+                expect += (i + k) as f64 * (k as f64 - j as f64);
+            }
+            let got = f64::from_bits(
+                m.mem.load(c_addr + ((i * n + j) * 8) as u64, 8).unwrap(),
+            );
+            assert_eq!(got, expect, "C[{i}][{j}] corrupted by instrumentation");
+        }
+    }
+}
+
+#[test]
+fn overhead_ordering_matches_paper() {
+    // base < function-entry < per-block, and force-spill > dead-register
+    // per-block — the qualitative content of the §4.3 table.
+    let n = 12usize;
+    let bin = matmul_program(n, 1);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let f = &co.functions[&mm];
+
+    let base = run(&bin, 500_000_000).cycles;
+
+    let cycles_for = |kind: PointKind, mode: RegAllocMode| {
+        let mut ins = Instrumenter::new(&bin, &co).with_mode(mode);
+        let counter = ins.alloc_var(8);
+        ins.insert_at_points(&find_points(f, kind), &Snippet::increment(counter));
+        let patched = ins.apply().unwrap();
+        run(&patched.binary, 500_000_000).cycles
+    };
+
+    let fn_count = cycles_for(PointKind::FuncEntry, RegAllocMode::DeadRegisters);
+    let bb_count = cycles_for(PointKind::BlockEntry, RegAllocMode::DeadRegisters);
+    let bb_spill = cycles_for(PointKind::BlockEntry, RegAllocMode::ForceSpill);
+
+    assert!(base < fn_count, "entry instrumentation must cost something");
+    assert!(fn_count < bb_count, "per-block must cost more than per-function");
+    assert!(
+        bb_count < bb_spill,
+        "dead-register allocation must beat forced spills: {bb_count} vs {bb_spill}"
+    );
+    // Function-entry overhead should be tiny (paper: 0.8%).
+    let fn_overhead = (fn_count - base) as f64 / base as f64;
+    assert!(fn_overhead < 0.05, "fn-entry overhead too high: {fn_overhead}");
+}
+
+#[test]
+fn jump_table_function_instrumentable() {
+    let iters = 16u64;
+    let bin = switch_program(iters);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let sel = bin.symbol_by_name("selector").unwrap().value;
+    let f = &co.functions[&sel];
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let counter = ins.alloc_var(8);
+    ins.insert_at_points(&find_points(f, PointKind::FuncEntry), &Snippet::increment(counter));
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 10_000_000);
+    assert_eq!(m.mem.load(counter.addr, 8).unwrap(), iters);
+
+    // The program's own result must be unchanged.
+    let result = bin.symbol_by_name("result").unwrap().value;
+    let expect: u64 = (0..iters)
+        .map(|i| match i & 7 {
+            0 => 10,
+            1 => 20,
+            2 => 30,
+            3 => 40,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(m.mem.load(result, 8).unwrap(), expect);
+}
+
+#[test]
+fn jump_table_case_blocks_counted_via_springboards() {
+    // Per-block counters on the selector: the case blocks are reached
+    // through the ORIGINAL jump table, so springboards at the case blocks
+    // must bounce execution into the instrumented copy.
+    let iters = 8u64;
+    let bin = switch_program(iters);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let sel = bin.symbol_by_name("selector").unwrap().value;
+    let f = &co.functions[&sel];
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let counter = ins.alloc_var(8);
+    ins.insert_at_points(&find_points(f, PointKind::BlockEntry), &Snippet::increment(counter));
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 10_000_000);
+
+    // Per call: entry block + (dispatch-or-default path). For i&7 in 0..4:
+    // entry + dispatch + case = 3 blocks; for 4..8: entry + default = 2.
+    // Count blocks precisely: selector blocks are entry (ends bgeu),
+    // dispatch (ends jalr), 4 cases, default.
+    let expect: u64 = (0..iters)
+        .map(|i| if (i & 7) < 4 { 3 } else { 2 })
+        .sum();
+    assert_eq!(
+        m.mem.load(counter.addr, 8).unwrap(),
+        expect,
+        "case blocks must be counted despite the original jump table"
+    );
+}
+
+#[test]
+fn exit_point_counter() {
+    let n = 4usize;
+    let reps = 3usize;
+    let bin = matmul_program(n, reps);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let f = &co.functions[&mm];
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let counter = ins.alloc_var(8);
+    ins.insert_at_points(&find_points(f, PointKind::FuncExit), &Snippet::increment(counter));
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 100_000_000);
+    assert_eq!(m.mem.load(counter.addr, 8).unwrap(), reps as u64);
+}
+
+#[test]
+fn loop_backedge_counter() {
+    let n = 5usize;
+    let bin = matmul_program(n, 1);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let f = &co.functions[&mm];
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let counter = ins.alloc_var(8);
+    ins.insert_at_points(&find_points(f, PointKind::LoopBackEdge), &Snippet::increment(counter));
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 100_000_000);
+    // Latch executions: i-loop N (B10), j-loop N² (B9), k-loop N³ (B7).
+    let n = n as u64;
+    assert_eq!(m.mem.load(counter.addr, 8).unwrap(), n + n * n + n * n * n);
+}
+
+#[test]
+fn multiple_functions_instrumented_together() {
+    let bin = matmul_program(4, 2);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let init = bin.symbol_by_name("init_arrays").unwrap().value;
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let c_mm = ins.alloc_var(8);
+    let c_init = ins.alloc_var(8);
+    ins.insert_at_points(
+        &find_points(&co.functions[&mm], PointKind::FuncEntry),
+        &Snippet::increment(c_mm),
+    );
+    ins.insert_at_points(
+        &find_points(&co.functions[&init], PointKind::FuncEntry),
+        &Snippet::increment(c_init),
+    );
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 100_000_000);
+    assert_eq!(m.mem.load(c_mm.addr, 8).unwrap(), 2);
+    assert_eq!(m.mem.load(c_init.addr, 8).unwrap(), 1);
+}
+
+#[test]
+fn pre_and_post_call_counters() {
+    let reps = 4usize;
+    let bin = matmul_program(4, reps);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let main = bin.symbol_by_name("main").unwrap().value;
+    let f = &co.functions[&main];
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let pre = ins.alloc_var(8);
+    let post = ins.alloc_var(8);
+    ins.insert_at_points(&find_points(f, PointKind::PreCall), &Snippet::increment(pre));
+    ins.insert_at_points(&find_points(f, PointKind::PostCall), &Snippet::increment(post));
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 100_000_000);
+    // main calls init_arrays once + matmul `reps` times.
+    let expect = (1 + reps) as u64;
+    assert_eq!(m.mem.load(pre.addr, 8).unwrap(), expect);
+    assert_eq!(
+        m.mem.load(post.addr, 8).unwrap(),
+        expect,
+        "every call returns exactly once"
+    );
+}
+
+#[test]
+fn inst_before_point_counts_one_instruction() {
+    // Pick the fmadd.d inside matmul's k-body: its dynamic count is n³.
+    let n = 6u64;
+    let bin = matmul_program(n as usize, 1);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let f = &co.functions[&mm];
+    let fmadd_addr = f
+        .blocks
+        .values()
+        .flat_map(|b| b.insts.iter())
+        .find(|i| i.op == rvdyn_isa::Op::FmaddD)
+        .map(|i| i.address)
+        .expect("matmul has an fmadd.d");
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let c = ins.alloc_var(8);
+    let pts = find_points(f, PointKind::InstBefore(fmadd_addr));
+    assert_eq!(pts.len(), 1);
+    ins.insert_at_points(&pts, &Snippet::increment(c));
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 200_000_000);
+    assert_eq!(m.mem.load(c.addr, 8).unwrap(), n * n * n);
+}
+
+#[test]
+fn argument_and_return_value_recording() {
+    // Snippet::param / Snippet::return_value — BPatch_paramExpr-style.
+    let bin = matmul_program(9, 1);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let mm = bin.symbol_by_name("matmul").unwrap().value;
+    let f = &co.functions[&mm];
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let n_arg = ins.alloc_var(8);
+    // Record a3 (the N argument) at entry.
+    ins.insert_at_points(
+        &find_points(f, PointKind::FuncEntry),
+        &Snippet::WriteVar(n_arg, Box::new(Snippet::param(3))),
+    );
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 200_000_000);
+    assert_eq!(m.mem.load(n_arg.addr, 8).unwrap(), 9);
+}
+
+#[test]
+fn relative_jump_table_program_instrumentable() {
+    // Per-block counters on the relative-table selector; springboards at
+    // case blocks must bounce the lw/add/jalr dispatch as well.
+    let iters = 8u64;
+    let bin = rvdyn_asm::switch_rel_program(iters);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let sel = bin.symbol_by_name("selector").unwrap().value;
+    let f = &co.functions[&sel];
+
+    let mut ins = Instrumenter::new(&bin, &co);
+    let counter = ins.alloc_var(8);
+    ins.insert_at_points(&find_points(f, PointKind::BlockEntry), &Snippet::increment(counter));
+    let patched = ins.apply().unwrap();
+    let m = run(&patched.binary, 10_000_000);
+
+    let expect: u64 = (0..iters).map(|i| if (i & 7) < 4 { 3 } else { 2 }).sum();
+    assert_eq!(m.mem.load(counter.addr, 8).unwrap(), expect);
+    let result = bin.symbol_by_name("result").unwrap().value;
+    let expect_sum: u64 = (0..iters)
+        .map(|i| match i & 7 {
+            0 => 10,
+            1 => 20,
+            2 => 30,
+            3 => 40,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(m.mem.load(result, 8).unwrap(), expect_sum);
+}

@@ -1,0 +1,26 @@
+//! # rvdyn-proccontrol — process control (ProcControlAPI)
+//!
+//! The rvdyn equivalent of Dyninst's *ProcControlAPI* (§3.2.6): an
+//! OS-independent, debugger-like interface to a running mutatee — launch
+//! or attach, read and write memory and registers, insert breakpoints,
+//! continue, and catch events.
+//!
+//! On Linux/RISC-V the paper implements this over `ptrace`, and reports a
+//! key gap: **the RISC-V `ptrace` has no hardware single-step**, so
+//! "single-stepping must be emulated by a series of breakpoints created by
+//! ProcControlAPI, which decreases performance." This crate reproduces
+//! that constraint faithfully: the underlying [`rvdyn_emu::Machine`] debug
+//! interface offers only run-until-stop plus memory/register access (the
+//! ptrace surface), and [`Process::single_step`] is implemented exactly as
+//! described — decode the current instruction, plant temporary breakpoints
+//! on every possible successor, continue, and clean up. Benchmark A5
+//! quantifies the cost.
+//!
+//! Breakpoints are byte-patched `ebreak`s matching the footprint of the
+//! instruction they replace (a 2-byte `c.ebreak` over compressed
+//! instructions — overwriting 4 bytes would corrupt the following
+//! instruction, §3.1.2's space problem in miniature).
+
+pub mod process;
+
+pub use process::{Event, ProcError, Process};

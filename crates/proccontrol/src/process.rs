@@ -1,0 +1,468 @@
+//! The controlled process.
+
+use rvdyn_emu::{load_binary, Machine, StopReason};
+use rvdyn_isa::encode::{compress, encode32};
+use rvdyn_isa::{build, decode, ControlFlow, Reg};
+use rvdyn_symtab::Binary;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Debug events delivered to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Stopped at a user breakpoint.
+    Breakpoint(u64),
+    /// One emulated single-step completed; stopped at this pc.
+    Stepped(u64),
+    /// The mutatee executed its own `ebreak` (not one of ours).
+    Trap(u64),
+    /// Process exited with this code.
+    Exited(i64),
+    /// The mutatee faulted.
+    Fault { pc: u64, addr: u64 },
+}
+
+/// Process-control errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcError {
+    /// The process has already exited.
+    NotRunning,
+    /// Address not readable/writable.
+    BadAddress(u64),
+    /// A breakpoint already exists at the address.
+    BreakpointExists(u64),
+    /// No breakpoint at the address.
+    NoBreakpoint(u64),
+    /// The current instruction could not be decoded.
+    Undecodable(u64),
+}
+
+impl fmt::Display for ProcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcError::NotRunning => write!(f, "process has exited"),
+            ProcError::BadAddress(a) => write!(f, "bad address {a:#x}"),
+            ProcError::BreakpointExists(a) => {
+                write!(f, "breakpoint already at {a:#x}")
+            }
+            ProcError::NoBreakpoint(a) => write!(f, "no breakpoint at {a:#x}"),
+            ProcError::Undecodable(a) => write!(f, "undecodable instruction at {a:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+struct Breakpoint {
+    original: Vec<u8>,
+}
+
+/// A mutatee under debugger-style control.
+///
+/// All interaction flows through the ptrace-like surface of the emulated
+/// machine: byte-level memory access, register access, and
+/// run-until-stop. In particular there is **no** hardware single-step —
+/// see [`Process::single_step`].
+pub struct Process {
+    machine: Machine,
+    breakpoints: BTreeMap<u64, Breakpoint>,
+    exited: Option<i64>,
+}
+
+impl Process {
+    /// Launch a new process from a binary (Figure 1: "process is spawned").
+    pub fn launch(bin: &Binary) -> Process {
+        Process {
+            machine: load_binary(bin),
+            breakpoints: BTreeMap::new(),
+            exited: None,
+        }
+    }
+
+    /// Attach to an already-running machine (Figure 1: "already running
+    /// process is attached to").
+    pub fn attach(machine: Machine) -> Process {
+        Process { machine, breakpoints: BTreeMap::new(), exited: None }
+    }
+
+    /// Detach, returning the underlying machine (breakpoints removed).
+    pub fn detach(mut self) -> Machine {
+        let addrs: Vec<u64> = self.breakpoints.keys().copied().collect();
+        for a in addrs {
+            let _ = self.remove_breakpoint(a);
+        }
+        self.machine
+    }
+
+    pub fn pc(&self) -> u64 {
+        self.machine.pc
+    }
+
+    pub fn set_pc(&mut self, pc: u64) {
+        self.machine.pc = pc;
+    }
+
+    pub fn get_reg(&self, r: Reg) -> u64 {
+        self.machine.get(r)
+    }
+
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.machine.set(r, v);
+    }
+
+    /// Read mutatee memory.
+    pub fn read_mem(&self, addr: u64, len: usize) -> Result<Vec<u8>, ProcError> {
+        self.machine
+            .read_mem(addr, len)
+            .map_err(|f| ProcError::BadAddress(f.addr))
+    }
+
+    /// Write mutatee memory (code writes invalidate its decoded cache).
+    pub fn write_mem(&mut self, addr: u64, bytes: &[u8]) {
+        self.machine.write_mem(addr, bytes);
+    }
+
+    /// The machine, for inspection (cycle counts, stdout, …).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Has the process exited?
+    pub fn exit_code(&self) -> Option<i64> {
+        self.exited
+    }
+
+    /// Insert a breakpoint at `addr`, honouring the footprint of the
+    /// instruction being replaced (2-byte `c.ebreak` over compressed
+    /// instructions).
+    pub fn set_breakpoint(&mut self, addr: u64) -> Result<(), ProcError> {
+        if self.breakpoints.contains_key(&addr) {
+            return Err(ProcError::BreakpointExists(addr));
+        }
+        let bytes = self.read_mem(addr, 2)?;
+        let size = if bytes[0] & 0b11 == 0b11 { 4 } else { 2 };
+        let original = self.read_mem(addr, size)?;
+        let patch = if size == 2 {
+            compress(&build::ebreak()).expect("c.ebreak").to_le_bytes().to_vec()
+        } else {
+            encode32(&build::ebreak()).unwrap().to_le_bytes().to_vec()
+        };
+        self.machine.write_mem(addr, &patch);
+        self.breakpoints.insert(addr, Breakpoint { original });
+        Ok(())
+    }
+
+    /// Remove the breakpoint at `addr`, restoring the original bytes.
+    pub fn remove_breakpoint(&mut self, addr: u64) -> Result<(), ProcError> {
+        let bp = self
+            .breakpoints
+            .remove(&addr)
+            .ok_or(ProcError::NoBreakpoint(addr))?;
+        self.machine.write_mem(addr, &bp.original);
+        Ok(())
+    }
+
+    pub fn has_breakpoint(&self, addr: u64) -> bool {
+        self.breakpoints.contains_key(&addr)
+    }
+
+    /// Continue execution until the next event.
+    pub fn cont(&mut self) -> Result<Event, ProcError> {
+        if self.exited.is_some() {
+            return Err(ProcError::NotRunning);
+        }
+        // If we're parked on one of our breakpoints, step over it first.
+        if self.breakpoints.contains_key(&self.machine.pc) {
+            match self.step_over_current()? {
+                Event::Stepped(_) => {}
+                other => return Ok(other),
+            }
+        }
+        self.run_until_event()
+    }
+
+    /// Emulated single-step (§3.2.6): temporary breakpoints on every
+    /// possible successor of the current instruction, continue, clean up.
+    pub fn single_step(&mut self) -> Result<Event, ProcError> {
+        if self.exited.is_some() {
+            return Err(ProcError::NotRunning);
+        }
+        self.step_over_current()
+    }
+
+    /// Step over the instruction at the current pc using the
+    /// breakpoint-emulation scheme.
+    fn step_over_current(&mut self) -> Result<Event, ProcError> {
+        let pc = self.machine.pc;
+        // If a user breakpoint covers pc, temporarily restore it.
+        let had_bp = self.breakpoints.contains_key(&pc);
+        if had_bp {
+            let orig = self.breakpoints[&pc].original.clone();
+            self.machine.write_mem(pc, &orig);
+        }
+
+        let insn_bytes = self.read_mem(pc, 4).or_else(|_| self.read_mem(pc, 2))?;
+        let inst = decode(&insn_bytes, pc).map_err(|_| ProcError::Undecodable(pc))?;
+
+        // Possible successors.
+        let succs: Vec<u64> = match inst.control_flow() {
+            ControlFlow::None | ControlFlow::Syscall => vec![inst.next_pc()],
+            ControlFlow::ConditionalBranch { target, fallthrough } => {
+                vec![target, fallthrough]
+            }
+            ControlFlow::DirectJump { target, .. } => vec![target],
+            ControlFlow::IndirectJump { base, offset, .. } => {
+                let t = self.machine.get(base).wrapping_add(offset as u64) & !1;
+                vec![t]
+            }
+            ControlFlow::Trap => {
+                // A genuine mutatee ebreak: report it, don't execute it.
+                if had_bp {
+                    // Re-arm our breakpoint before reporting.
+                    self.rearm(pc);
+                }
+                return Ok(Event::Trap(pc));
+            }
+        };
+
+        // Plant temporary breakpoints (skipping any that collide with
+        // user breakpoints — those are already trap bytes).
+        let mut temps: Vec<(u64, Vec<u8>)> = Vec::new();
+        for &s in &succs {
+            if s == pc || self.breakpoints.contains_key(&s) {
+                continue;
+            }
+            if let Ok(b2) = self.read_mem(s, 2) {
+                let size = if b2[0] & 0b11 == 0b11 { 4 } else { 2 };
+                if let Ok(orig) = self.read_mem(s, size) {
+                    let patch = if size == 2 {
+                        compress(&build::ebreak()).unwrap().to_le_bytes().to_vec()
+                    } else {
+                        encode32(&build::ebreak()).unwrap().to_le_bytes().to_vec()
+                    };
+                    self.machine.write_mem(s, &patch);
+                    temps.push((s, orig));
+                }
+            }
+        }
+
+        // Run until the trap at a successor.
+        let stop = self.machine.run();
+
+        // Remove temporary breakpoints.
+        for (a, orig) in &temps {
+            self.machine.write_mem(*a, orig);
+        }
+        // Re-arm the user breakpoint we lifted.
+        if had_bp {
+            self.rearm(pc);
+        }
+
+        match stop {
+            StopReason::Break(at) => {
+                if self.breakpoints.contains_key(&at) {
+                    Ok(Event::Breakpoint(at))
+                } else if temps.iter().any(|(a, _)| *a == at) {
+                    Ok(Event::Stepped(at))
+                } else {
+                    Ok(Event::Trap(at))
+                }
+            }
+            StopReason::Exited(c) => {
+                self.exited = Some(c);
+                Ok(Event::Exited(c))
+            }
+            StopReason::MemFault { pc, addr, .. } => Ok(Event::Fault { pc, addr }),
+            StopReason::FetchFault { pc } => Ok(Event::Fault { pc, addr: pc }),
+            StopReason::IllegalInstruction(pc) => Ok(Event::Fault { pc, addr: pc }),
+            StopReason::FuelExhausted => Err(ProcError::NotRunning),
+        }
+    }
+
+    fn rearm(&mut self, addr: u64) {
+        let size = self.breakpoints[&addr].original.len();
+        let patch = if size == 2 {
+            compress(&build::ebreak()).unwrap().to_le_bytes().to_vec()
+        } else {
+            encode32(&build::ebreak()).unwrap().to_le_bytes().to_vec()
+        };
+        self.machine.write_mem(addr, &patch);
+    }
+
+    fn run_until_event(&mut self) -> Result<Event, ProcError> {
+        match self.machine.run() {
+            StopReason::Break(at) => {
+                if self.breakpoints.contains_key(&at) {
+                    Ok(Event::Breakpoint(at))
+                } else {
+                    Ok(Event::Trap(at))
+                }
+            }
+            StopReason::Exited(c) => {
+                self.exited = Some(c);
+                Ok(Event::Exited(c))
+            }
+            StopReason::MemFault { pc, addr, .. } => Ok(Event::Fault { pc, addr }),
+            StopReason::FetchFault { pc } => Ok(Event::Fault { pc, addr: pc }),
+            StopReason::IllegalInstruction(pc) => Ok(Event::Fault { pc, addr: pc }),
+            StopReason::FuelExhausted => Err(ProcError::NotRunning),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvdyn_asm::{deep_call_program, fib_program, matmul_program};
+
+    #[test]
+    fn breakpoint_at_function_entry_fires_per_call() {
+        let bin = fib_program(6);
+        let fib = bin.symbol_by_name("fib").unwrap().value;
+        let mut p = Process::launch(&bin);
+        p.set_breakpoint(fib).unwrap();
+        let mut hits = 0;
+        loop {
+            match p.cont().unwrap() {
+                Event::Breakpoint(at) => {
+                    assert_eq!(at, fib);
+                    assert_eq!(p.pc(), fib);
+                    hits += 1;
+                }
+                Event::Exited(0) => break,
+                e => panic!("unexpected event {e:?}"),
+            }
+        }
+        // fib(6) makes 25 calls (2*fib(n) - 1 where fib(6)=13 invocations
+        // counted as call tree nodes).
+        assert_eq!(hits, 25);
+    }
+
+    #[test]
+    fn single_step_walks_instructions() {
+        let bin = fib_program(2);
+        let mut p = Process::launch(&bin);
+        // Step 10 instructions from the entry.
+        let mut pcs = vec![p.pc()];
+        for _ in 0..10 {
+            match p.single_step().unwrap() {
+                Event::Stepped(at) => pcs.push(at),
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+        // All pcs distinct addresses executed in order; the first step
+        // enters main via the call.
+        assert_eq!(pcs.len(), 11);
+        assert!(pcs.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn single_step_through_branch_both_ways() {
+        let bin = fib_program(3);
+        let fib = bin.symbol_by_name("fib").unwrap().value;
+        let mut p = Process::launch(&bin);
+        p.set_breakpoint(fib).unwrap();
+        assert!(matches!(p.cont().unwrap(), Event::Breakpoint(_)));
+        p.remove_breakpoint(fib).unwrap();
+        // Step until we exit fib's prologue and take the blt.
+        for _ in 0..12 {
+            match p.single_step().unwrap() {
+                Event::Stepped(_) => {}
+                Event::Exited(_) => break,
+                e => panic!("unexpected {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mutatee_trap_reported_distinctly() {
+        let bin = deep_call_program(3);
+        let mut p = Process::launch(&bin);
+        match p.cont().unwrap() {
+            Event::Trap(pc) => {
+                let d = bin.symbol_by_name("descend").unwrap();
+                assert!(pc >= d.value && pc < d.value + d.size);
+            }
+            e => panic!("expected mutatee trap, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_and_register_access() {
+        let bin = fib_program(4);
+        let mut p = Process::launch(&bin);
+        // Write a recognizable value into memory and read it back.
+        p.write_mem(0x2_0000, &[1, 2, 3, 4]);
+        assert_eq!(p.read_mem(0x2_0000, 4).unwrap(), vec![1, 2, 3, 4]);
+        p.set_reg(Reg::x(10), 0xABCD);
+        assert_eq!(p.get_reg(Reg::x(10)), 0xABCD);
+        // Registers actually affect execution: overwrite fib's argument.
+        let fib = bin.symbol_by_name("fib").unwrap().value;
+        p.set_breakpoint(fib).unwrap();
+        assert!(matches!(p.cont().unwrap(), Event::Breakpoint(_)));
+        p.set_reg(Reg::x(10), 1); // fib(1) = 1, immediately returns
+        p.remove_breakpoint(fib).unwrap();
+        assert!(matches!(p.cont().unwrap(), Event::Exited(0)));
+        let result = bin.symbol_by_name("result").unwrap().value;
+        let v = u64::from_le_bytes(p.read_mem(result, 8).unwrap().try_into().unwrap());
+        assert_eq!(v, 1, "modified argument must change the result");
+    }
+
+    #[test]
+    fn breakpoint_on_compressed_instruction_uses_2_bytes() {
+        let bin = matmul_program(4, 1);
+        // Find a compressed instruction inside matmul.
+        let text = bin.section_by_name(".text").unwrap();
+        let c_addr = rvdyn_isa::decode::InstructionIter::new(&text.data, text.addr)
+            .filter_map(|r| r.ok())
+            .find(|i| i.size == 2)
+            .map(|i| i.address)
+            .expect("program has compressed instructions");
+        let mut p = Process::launch(&bin);
+        let before = p.read_mem(c_addr, 4).unwrap();
+        p.set_breakpoint(c_addr).unwrap();
+        let after = p.read_mem(c_addr, 4).unwrap();
+        assert_ne!(before[..2], after[..2], "c.ebreak must be written");
+        assert_eq!(before[2..], after[2..], "next instruction untouched");
+        // Execution stops there and resumes correctly.
+        match p.cont().unwrap() {
+            Event::Breakpoint(at) => assert_eq!(at, c_addr),
+            e => panic!("{e:?}"),
+        }
+        p.remove_breakpoint(c_addr).unwrap();
+        assert!(matches!(p.cont().unwrap(), Event::Exited(0)));
+    }
+
+    #[test]
+    fn detach_restores_all_breakpoints() {
+        let bin = fib_program(5);
+        let fib = bin.symbol_by_name("fib").unwrap().value;
+        let original = Process::launch(&bin).read_mem(fib, 4).unwrap();
+        let mut p = Process::launch(&bin);
+        p.set_breakpoint(fib).unwrap();
+        let mut m = p.detach();
+        // Original bytes restored; the machine runs to completion.
+        assert_eq!(m.read_mem(fib, 4).unwrap(), original);
+        assert_eq!(m.run(), StopReason::Exited(0));
+    }
+
+    #[test]
+    fn errors_on_double_breakpoint_and_missing_removal() {
+        let bin = fib_program(3);
+        let fib = bin.symbol_by_name("fib").unwrap().value;
+        let mut p = Process::launch(&bin);
+        p.set_breakpoint(fib).unwrap();
+        assert!(matches!(
+            p.set_breakpoint(fib),
+            Err(ProcError::BreakpointExists(_))
+        ));
+        assert!(matches!(
+            p.remove_breakpoint(fib + 4),
+            Err(ProcError::NoBreakpoint(_))
+        ));
+    }
+}

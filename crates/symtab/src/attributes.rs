@@ -1,0 +1,304 @@
+//! `.riscv.attributes` section parsing and emission (§3.2.1).
+//!
+//! The RISC-V psABI defines a vendor attribute section carrying the
+//! compatibility information a loader (or, here, an instrumenter) needs —
+//! most importantly `Tag_RISCV_arch`, the canonical arch string listing
+//! every extension the binary uses. SymtabAPI parses this section to learn
+//! the mutatee's profile so CodeGenAPI never emits instructions the target
+//! may not support.
+//!
+//! Wire format (same framing as ARM build attributes):
+//!
+//! ```text
+//! 'A' (format version)
+//! ┌ u32 subsection-length │ "riscv\0" vendor │
+//! │  ┌ uleb tag=Tag_File(1) │ u32 sub-subsection-length │
+//! │  │   (uleb tag, uleb value)      -- even tags
+//! │  │   (uleb tag, NUL-terminated)  -- odd tags
+//! ```
+
+use crate::error::SymtabError;
+use rvdyn_isa::IsaProfile;
+
+/// Known attribute tags.
+pub const TAG_FILE: u64 = 1;
+pub const TAG_RISCV_STACK_ALIGN: u64 = 4;
+pub const TAG_RISCV_ARCH: u64 = 5;
+pub const TAG_RISCV_UNALIGNED_ACCESS: u64 = 6;
+
+/// Parsed contents of `.riscv.attributes`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RiscvAttributes {
+    /// `Tag_RISCV_arch` — canonical arch string, e.g.
+    /// `rv64i2p1_m2p0_a2p1_f2p2_d2p2_c2p0`.
+    pub arch: Option<String>,
+    /// `Tag_RISCV_stack_align` in bytes (16 for the standard ABI).
+    pub stack_align: Option<u64>,
+    /// `Tag_RISCV_unaligned_access` — whether unaligned accesses are used.
+    pub unaligned_access: Option<bool>,
+    /// Tags we do not interpret, preserved for round-tripping.
+    pub other: Vec<(u64, AttrValue)>,
+}
+
+/// An attribute value: integer (even tags) or string (odd tags).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    Int(u64),
+    Str(String),
+}
+
+/// Decode a ULEB128 value, returning (value, bytes consumed).
+pub fn uleb_decode(b: &[u8]) -> Result<(u64, usize), SymtabError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in b.iter().enumerate() {
+        if shift >= 64 {
+            return Err(SymtabError::BadAttributes("uleb128 overflow".into()));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(SymtabError::BadAttributes("unterminated uleb128".into()))
+}
+
+/// Encode a value as ULEB128.
+pub fn uleb_encode(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let mut byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v != 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+impl RiscvAttributes {
+    /// Build the standard attributes for a profile (what our writer emits).
+    pub fn for_profile(profile: IsaProfile) -> RiscvAttributes {
+        RiscvAttributes {
+            arch: Some(profile.arch_string()),
+            stack_align: Some(16),
+            unaligned_access: Some(false),
+            other: Vec::new(),
+        }
+    }
+
+    /// The ISA profile from the arch string, if present and parseable.
+    pub fn profile(&self) -> Option<IsaProfile> {
+        self.arch.as_deref()?.parse().ok()
+    }
+
+    /// Parse a `.riscv.attributes` section body.
+    pub fn parse(data: &[u8]) -> Result<RiscvAttributes, SymtabError> {
+        let bad = |m: &str| SymtabError::BadAttributes(m.to_string());
+        if data.is_empty() {
+            return Err(bad("empty section"));
+        }
+        if data[0] != b'A' {
+            return Err(bad("bad format version byte"));
+        }
+        let mut attrs = RiscvAttributes::default();
+        let mut pos = 1usize;
+        while pos < data.len() {
+            let len = crate::elf::r_u32(data, pos)? as usize;
+            if len < 4 || pos + len > data.len() {
+                return Err(bad("subsection length out of range"));
+            }
+            let sub = &data[pos..pos + len];
+            // Vendor string follows the length.
+            let vendor_end = sub[4..]
+                .iter()
+                .position(|&c| c == 0)
+                .ok_or_else(|| bad("unterminated vendor name"))?;
+            let vendor = &sub[4..4 + vendor_end];
+            let mut body = &sub[4 + vendor_end + 1..];
+            if vendor == b"riscv" {
+                // Sub-subsections: tag uleb, u32 length (covering both).
+                while !body.is_empty() {
+                    let (tag, n) = uleb_decode(body)?;
+                    if body.len() < n + 4 {
+                        return Err(bad("truncated sub-subsection header"));
+                    }
+                    let sslen = u32::from_le_bytes([
+                        body[n],
+                        body[n + 1],
+                        body[n + 2],
+                        body[n + 3],
+                    ]) as usize;
+                    let hdr = n + 4;
+                    if sslen < hdr || sslen > body.len() {
+                        return Err(bad("sub-subsection length out of range"));
+                    }
+                    if tag == TAG_FILE {
+                        attrs.parse_file_attrs(&body[hdr..sslen])?;
+                    }
+                    body = &body[sslen..];
+                }
+            }
+            pos += len;
+        }
+        Ok(attrs)
+    }
+
+    fn parse_file_attrs(&mut self, mut b: &[u8]) -> Result<(), SymtabError> {
+        while !b.is_empty() {
+            let (tag, n) = uleb_decode(b)?;
+            b = &b[n..];
+            if tag & 1 == 1 {
+                // Odd tags: NUL-terminated string.
+                let end = b
+                    .iter()
+                    .position(|&c| c == 0)
+                    .ok_or_else(|| SymtabError::BadAttributes("unterminated string attr".into()))?;
+                let s = String::from_utf8_lossy(&b[..end]).into_owned();
+                b = &b[end + 1..];
+                match tag {
+                    TAG_RISCV_ARCH => self.arch = Some(s),
+                    _ => self.other.push((tag, AttrValue::Str(s))),
+                }
+            } else {
+                let (v, n) = uleb_decode(b)?;
+                b = &b[n..];
+                match tag {
+                    TAG_RISCV_STACK_ALIGN => self.stack_align = Some(v),
+                    TAG_RISCV_UNALIGNED_ACCESS => {
+                        self.unaligned_access = Some(v != 0)
+                    }
+                    _ => self.other.push((tag, AttrValue::Int(v))),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialise to section bytes.
+    pub fn emit(&self) -> Vec<u8> {
+        // File-scope attribute body.
+        let mut body = Vec::new();
+        if let Some(a) = self.stack_align {
+            uleb_encode(TAG_RISCV_STACK_ALIGN, &mut body);
+            uleb_encode(a, &mut body);
+        }
+        if let Some(arch) = &self.arch {
+            uleb_encode(TAG_RISCV_ARCH, &mut body);
+            body.extend_from_slice(arch.as_bytes());
+            body.push(0);
+        }
+        if let Some(u) = self.unaligned_access {
+            uleb_encode(TAG_RISCV_UNALIGNED_ACCESS, &mut body);
+            uleb_encode(u as u64, &mut body);
+        }
+        for (tag, val) in &self.other {
+            uleb_encode(*tag, &mut body);
+            match val {
+                AttrValue::Int(v) => uleb_encode(*v, &mut body),
+                AttrValue::Str(s) => {
+                    body.extend_from_slice(s.as_bytes());
+                    body.push(0);
+                }
+            }
+        }
+
+        // Tag_File sub-subsection wrapping the body.
+        let mut file_ss = Vec::new();
+        uleb_encode(TAG_FILE, &mut file_ss);
+        let ss_len = (file_ss.len() + 4 + body.len()) as u32;
+        file_ss.extend_from_slice(&ss_len.to_le_bytes());
+        file_ss.extend_from_slice(&body);
+
+        // "riscv" vendor subsection.
+        let sub_len = (4 + b"riscv\0".len() + file_ss.len()) as u32;
+        let mut out = Vec::with_capacity(1 + sub_len as usize);
+        out.push(b'A');
+        out.extend_from_slice(&sub_len.to_le_bytes());
+        out.extend_from_slice(b"riscv\0");
+        out.extend_from_slice(&file_ss);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvdyn_isa::{Extension, IsaProfile};
+
+    #[test]
+    fn uleb_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            uleb_encode(v, &mut buf);
+            let (d, n) = uleb_decode(&buf).unwrap();
+            assert_eq!(d, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let a = RiscvAttributes::for_profile(IsaProfile::rv64gc());
+        let bytes = a.emit();
+        let b = RiscvAttributes::parse(&bytes).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.profile(), Some(IsaProfile::rv64gc()));
+        assert_eq!(b.stack_align, Some(16));
+    }
+
+    #[test]
+    fn parses_gcc_style_arch_strings() {
+        let a = RiscvAttributes {
+            arch: Some("rv64i2p1_m2p0_a2p1_f2p2_d2p2_c2p0_zicsr2p0_zifencei2p0".into()),
+            ..Default::default()
+        };
+        let bytes = a.emit();
+        let b = RiscvAttributes::parse(&bytes).unwrap();
+        let p = b.profile().unwrap();
+        assert!(p.has(Extension::C));
+        assert!(p.has(Extension::D));
+    }
+
+    #[test]
+    fn unknown_tags_preserved() {
+        let a = RiscvAttributes {
+            arch: Some("rv64gc".into()),
+            other: vec![(8, AttrValue::Int(2)), (77, AttrValue::Str("x".into()))],
+            ..Default::default()
+        };
+        let b = RiscvAttributes::parse(&a.emit()).unwrap();
+        assert_eq!(b.other, a.other);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(RiscvAttributes::parse(&[]).is_err());
+        assert!(RiscvAttributes::parse(b"B").is_err());
+        // Truncated subsection length.
+        assert!(RiscvAttributes::parse(b"A\xFF\x00\x00\x00riscv\x00").is_err());
+        // Unterminated uleb.
+        let mut good = RiscvAttributes::for_profile(IsaProfile::rv64gc()).emit();
+        let n = good.len();
+        good[n - 1] |= 0x80;
+        assert!(RiscvAttributes::parse(&good).is_err());
+    }
+
+    #[test]
+    fn foreign_vendor_subsections_skipped() {
+        let riscv = RiscvAttributes::for_profile(IsaProfile::rv64g());
+        let inner = riscv.emit();
+        // Prepend a foreign-vendor subsection.
+        let mut out = vec![b'A'];
+        let foreign_body = b"acme\0junkdata";
+        let len = (4 + foreign_body.len()) as u32;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(foreign_body);
+        out.extend_from_slice(&inner[1..]); // skip its 'A'
+        let b = RiscvAttributes::parse(&out).unwrap();
+        assert_eq!(b.profile(), Some(IsaProfile::rv64g()));
+    }
+}

@@ -1,0 +1,389 @@
+//! Raw ELF64 little-endian structures and RISC-V specific constants.
+//!
+//! Only the subset needed for executables and relocatable RISC-V objects is
+//! modelled; everything is implemented directly over byte slices (no
+//! external parsing crates — the file-format layer is part of the port).
+
+use crate::error::SymtabError;
+
+pub const ELF_MAGIC: [u8; 4] = [0x7F, b'E', b'L', b'F'];
+pub const ELFCLASS64: u8 = 2;
+pub const ELFDATA2LSB: u8 = 1;
+pub const EV_CURRENT: u8 = 1;
+pub const ET_EXEC: u16 = 2;
+pub const ET_DYN: u16 = 3;
+pub const EM_RISCV: u16 = 243;
+
+// RISC-V e_flags (psABI).
+pub const EF_RISCV_RVC: u32 = 0x0001;
+pub const EF_RISCV_FLOAT_ABI_MASK: u32 = 0x0006;
+pub const EF_RISCV_FLOAT_ABI_SOFT: u32 = 0x0000;
+pub const EF_RISCV_FLOAT_ABI_SINGLE: u32 = 0x0002;
+pub const EF_RISCV_FLOAT_ABI_DOUBLE: u32 = 0x0004;
+
+// Section types.
+pub const SHT_NULL: u32 = 0;
+pub const SHT_PROGBITS: u32 = 1;
+pub const SHT_SYMTAB: u32 = 2;
+pub const SHT_STRTAB: u32 = 3;
+pub const SHT_NOBITS: u32 = 8;
+pub const SHT_RISCV_ATTRIBUTES: u32 = 0x7000_0003;
+
+// Program header types / flags.
+pub const PT_LOAD: u32 = 1;
+pub const PF_X: u32 = 1;
+pub const PF_W: u32 = 2;
+pub const PF_R: u32 = 4;
+
+// Symbol info.
+pub const STB_LOCAL: u8 = 0;
+pub const STB_GLOBAL: u8 = 1;
+pub const STB_WEAK: u8 = 2;
+pub const STT_NOTYPE: u8 = 0;
+pub const STT_OBJECT: u8 = 1;
+pub const STT_FUNC: u8 = 2;
+pub const STT_SECTION: u8 = 3;
+pub const SHN_UNDEF: u16 = 0;
+pub const SHN_ABS: u16 = 0xFFF1;
+
+pub const EHDR_SIZE: usize = 64;
+pub const PHDR_SIZE: usize = 56;
+pub const SHDR_SIZE: usize = 64;
+pub const SYM_SIZE: usize = 24;
+
+/// ELF64 file header.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ehdr {
+    pub e_type: u16,
+    pub e_machine: u16,
+    pub e_entry: u64,
+    pub e_phoff: u64,
+    pub e_shoff: u64,
+    pub e_flags: u32,
+    pub e_phnum: u16,
+    pub e_shnum: u16,
+    pub e_shstrndx: u16,
+}
+
+/// Read a little-endian scalar at `off`.
+pub(crate) fn r_u16(b: &[u8], off: usize) -> Result<u16, SymtabError> {
+    b.get(off..off + 2)
+        .map(|s| u16::from_le_bytes([s[0], s[1]]))
+        .ok_or(SymtabError::Truncated { offset: off })
+}
+
+pub(crate) fn r_u32(b: &[u8], off: usize) -> Result<u32, SymtabError> {
+    b.get(off..off + 4)
+        .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        .ok_or(SymtabError::Truncated { offset: off })
+}
+
+pub(crate) fn r_u64(b: &[u8], off: usize) -> Result<u64, SymtabError> {
+    b.get(off..off + 8)
+        .map(|s| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
+        .ok_or(SymtabError::Truncated { offset: off })
+}
+
+impl Ehdr {
+    /// Parse and validate the file header: magic, 64-bit, little-endian,
+    /// RISC-V machine.
+    pub fn parse(b: &[u8]) -> Result<Ehdr, SymtabError> {
+        if b.len() < EHDR_SIZE {
+            return Err(SymtabError::Truncated { offset: 0 });
+        }
+        if b[0..4] != ELF_MAGIC {
+            return Err(SymtabError::NotElf);
+        }
+        if b[4] != ELFCLASS64 {
+            return Err(SymtabError::UnsupportedClass(b[4]));
+        }
+        if b[5] != ELFDATA2LSB {
+            return Err(SymtabError::UnsupportedEndianness(b[5]));
+        }
+        let e_machine = r_u16(b, 18)?;
+        if e_machine != EM_RISCV {
+            return Err(SymtabError::WrongMachine(e_machine));
+        }
+        Ok(Ehdr {
+            e_type: r_u16(b, 16)?,
+            e_machine,
+            e_entry: r_u64(b, 24)?,
+            e_phoff: r_u64(b, 32)?,
+            e_shoff: r_u64(b, 40)?,
+            e_flags: r_u32(b, 48)?,
+            e_phnum: r_u16(b, 56)?,
+            e_shnum: r_u16(b, 60)?,
+            e_shstrndx: r_u16(b, 62)?,
+        })
+    }
+
+    /// Serialise to the 64-byte header.
+    pub fn emit(&self) -> [u8; EHDR_SIZE] {
+        let mut b = [0u8; EHDR_SIZE];
+        b[0..4].copy_from_slice(&ELF_MAGIC);
+        b[4] = ELFCLASS64;
+        b[5] = ELFDATA2LSB;
+        b[6] = EV_CURRENT;
+        // EI_OSABI = SYSV (0), padding zeroed.
+        b[16..18].copy_from_slice(&self.e_type.to_le_bytes());
+        b[18..20].copy_from_slice(&self.e_machine.to_le_bytes());
+        b[20..24].copy_from_slice(&1u32.to_le_bytes()); // e_version
+        b[24..32].copy_from_slice(&self.e_entry.to_le_bytes());
+        b[32..40].copy_from_slice(&self.e_phoff.to_le_bytes());
+        b[40..48].copy_from_slice(&self.e_shoff.to_le_bytes());
+        b[48..52].copy_from_slice(&self.e_flags.to_le_bytes());
+        b[52..54].copy_from_slice(&(EHDR_SIZE as u16).to_le_bytes()); // e_ehsize
+        b[54..56].copy_from_slice(&(PHDR_SIZE as u16).to_le_bytes());
+        b[56..58].copy_from_slice(&self.e_phnum.to_le_bytes());
+        b[58..60].copy_from_slice(&(SHDR_SIZE as u16).to_le_bytes());
+        b[60..62].copy_from_slice(&self.e_shnum.to_le_bytes());
+        b[62..64].copy_from_slice(&self.e_shstrndx.to_le_bytes());
+        b
+    }
+}
+
+/// ELF64 program header.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Phdr {
+    pub p_type: u32,
+    pub p_flags: u32,
+    pub p_offset: u64,
+    pub p_vaddr: u64,
+    pub p_filesz: u64,
+    pub p_memsz: u64,
+    pub p_align: u64,
+}
+
+impl Phdr {
+    pub fn parse(b: &[u8], off: usize) -> Result<Phdr, SymtabError> {
+        Ok(Phdr {
+            p_type: r_u32(b, off)?,
+            p_flags: r_u32(b, off + 4)?,
+            p_offset: r_u64(b, off + 8)?,
+            p_vaddr: r_u64(b, off + 16)?,
+            // p_paddr at +24 ignored
+            p_filesz: r_u64(b, off + 32)?,
+            p_memsz: r_u64(b, off + 40)?,
+            p_align: r_u64(b, off + 48)?,
+        })
+    }
+
+    pub fn emit(&self) -> [u8; PHDR_SIZE] {
+        let mut b = [0u8; PHDR_SIZE];
+        b[0..4].copy_from_slice(&self.p_type.to_le_bytes());
+        b[4..8].copy_from_slice(&self.p_flags.to_le_bytes());
+        b[8..16].copy_from_slice(&self.p_offset.to_le_bytes());
+        b[16..24].copy_from_slice(&self.p_vaddr.to_le_bytes());
+        b[24..32].copy_from_slice(&self.p_vaddr.to_le_bytes()); // p_paddr
+        b[32..40].copy_from_slice(&self.p_filesz.to_le_bytes());
+        b[40..48].copy_from_slice(&self.p_memsz.to_le_bytes());
+        b[48..56].copy_from_slice(&self.p_align.to_le_bytes());
+        b
+    }
+}
+
+/// ELF64 section header.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Shdr {
+    pub sh_name: u32,
+    pub sh_type: u32,
+    pub sh_flags: u64,
+    pub sh_addr: u64,
+    pub sh_offset: u64,
+    pub sh_size: u64,
+    pub sh_link: u32,
+    pub sh_info: u32,
+    pub sh_addralign: u64,
+    pub sh_entsize: u64,
+}
+
+impl Shdr {
+    pub fn parse(b: &[u8], off: usize) -> Result<Shdr, SymtabError> {
+        Ok(Shdr {
+            sh_name: r_u32(b, off)?,
+            sh_type: r_u32(b, off + 4)?,
+            sh_flags: r_u64(b, off + 8)?,
+            sh_addr: r_u64(b, off + 16)?,
+            sh_offset: r_u64(b, off + 24)?,
+            sh_size: r_u64(b, off + 32)?,
+            sh_link: r_u32(b, off + 40)?,
+            sh_info: r_u32(b, off + 44)?,
+            sh_addralign: r_u64(b, off + 48)?,
+            sh_entsize: r_u64(b, off + 56)?,
+        })
+    }
+
+    pub fn emit(&self) -> [u8; SHDR_SIZE] {
+        let mut b = [0u8; SHDR_SIZE];
+        b[0..4].copy_from_slice(&self.sh_name.to_le_bytes());
+        b[4..8].copy_from_slice(&self.sh_type.to_le_bytes());
+        b[8..16].copy_from_slice(&self.sh_flags.to_le_bytes());
+        b[16..24].copy_from_slice(&self.sh_addr.to_le_bytes());
+        b[24..32].copy_from_slice(&self.sh_offset.to_le_bytes());
+        b[32..40].copy_from_slice(&self.sh_size.to_le_bytes());
+        b[40..44].copy_from_slice(&self.sh_link.to_le_bytes());
+        b[44..48].copy_from_slice(&self.sh_info.to_le_bytes());
+        b[48..56].copy_from_slice(&self.sh_addralign.to_le_bytes());
+        b[56..64].copy_from_slice(&self.sh_entsize.to_le_bytes());
+        b
+    }
+}
+
+/// ELF64 symbol table entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElfSym {
+    pub st_name: u32,
+    pub st_info: u8,
+    pub st_other: u8,
+    pub st_shndx: u16,
+    pub st_value: u64,
+    pub st_size: u64,
+}
+
+impl ElfSym {
+    pub fn parse(b: &[u8], off: usize) -> Result<ElfSym, SymtabError> {
+        if b.len() < off + SYM_SIZE {
+            return Err(SymtabError::Truncated { offset: off });
+        }
+        Ok(ElfSym {
+            st_name: r_u32(b, off)?,
+            st_info: b[off + 4],
+            st_other: b[off + 5],
+            st_shndx: r_u16(b, off + 6)?,
+            st_value: r_u64(b, off + 8)?,
+            st_size: r_u64(b, off + 16)?,
+        })
+    }
+
+    pub fn emit(&self) -> [u8; SYM_SIZE] {
+        let mut b = [0u8; SYM_SIZE];
+        b[0..4].copy_from_slice(&self.st_name.to_le_bytes());
+        b[4] = self.st_info;
+        b[5] = self.st_other;
+        b[6..8].copy_from_slice(&self.st_shndx.to_le_bytes());
+        b[8..16].copy_from_slice(&self.st_value.to_le_bytes());
+        b[16..24].copy_from_slice(&self.st_size.to_le_bytes());
+        b
+    }
+
+    pub fn binding(&self) -> u8 {
+        self.st_info >> 4
+    }
+
+    pub fn sym_type(&self) -> u8 {
+        self.st_info & 0xF
+    }
+
+    pub fn info(binding: u8, typ: u8) -> u8 {
+        (binding << 4) | (typ & 0xF)
+    }
+}
+
+/// Read a NUL-terminated string from a string table.
+pub(crate) fn read_strz(tab: &[u8], off: usize) -> Result<String, SymtabError> {
+    let rest = tab.get(off..).ok_or(SymtabError::Truncated { offset: off })?;
+    let end = rest
+        .iter()
+        .position(|&c| c == 0)
+        .ok_or(SymtabError::Truncated { offset: off })?;
+    Ok(String::from_utf8_lossy(&rest[..end]).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ehdr_round_trip() {
+        let h = Ehdr {
+            e_type: ET_EXEC,
+            e_machine: EM_RISCV,
+            e_entry: 0x10000,
+            e_phoff: 64,
+            e_shoff: 4096,
+            e_flags: EF_RISCV_RVC | EF_RISCV_FLOAT_ABI_DOUBLE,
+            e_phnum: 2,
+            e_shnum: 7,
+            e_shstrndx: 6,
+        };
+        let bytes = h.emit();
+        let p = Ehdr::parse(&bytes).unwrap();
+        assert_eq!(p, h);
+    }
+
+    #[test]
+    fn ehdr_rejects_non_riscv() {
+        let mut h = Ehdr { e_machine: EM_RISCV, ..Default::default() };
+        h.e_machine = 62; // x86-64
+        let bytes = h.emit();
+        assert!(matches!(
+            Ehdr::parse(&bytes),
+            Err(SymtabError::WrongMachine(62))
+        ));
+    }
+
+    #[test]
+    fn ehdr_rejects_garbage() {
+        assert!(matches!(Ehdr::parse(b"not an elf file, sorry......."), Err(_)));
+        let mut b = [0u8; 64];
+        b[0..4].copy_from_slice(&ELF_MAGIC);
+        b[4] = 1; // 32-bit
+        assert!(matches!(
+            Ehdr::parse(&b),
+            Err(SymtabError::UnsupportedClass(1))
+        ));
+    }
+
+    #[test]
+    fn phdr_shdr_sym_round_trip() {
+        let p = Phdr {
+            p_type: PT_LOAD,
+            p_flags: PF_R | PF_X,
+            p_offset: 0x1000,
+            p_vaddr: 0x10000,
+            p_filesz: 0x400,
+            p_memsz: 0x400,
+            p_align: 0x1000,
+        };
+        let b = p.emit();
+        assert_eq!(Phdr::parse(&b, 0).unwrap(), p);
+
+        let s = Shdr {
+            sh_name: 11,
+            sh_type: SHT_PROGBITS,
+            sh_flags: 6,
+            sh_addr: 0x10000,
+            sh_offset: 0x1000,
+            sh_size: 0x400,
+            sh_link: 0,
+            sh_info: 0,
+            sh_addralign: 4,
+            sh_entsize: 0,
+        };
+        let b = s.emit();
+        assert_eq!(Shdr::parse(&b, 0).unwrap(), s);
+
+        let y = ElfSym {
+            st_name: 1,
+            st_info: ElfSym::info(STB_GLOBAL, STT_FUNC),
+            st_other: 0,
+            st_shndx: 1,
+            st_value: 0x10080,
+            st_size: 0x40,
+        };
+        let b = y.emit();
+        let py = ElfSym::parse(&b, 0).unwrap();
+        assert_eq!(py, y);
+        assert_eq!(py.binding(), STB_GLOBAL);
+        assert_eq!(py.sym_type(), STT_FUNC);
+    }
+
+    #[test]
+    fn strz_reading() {
+        let tab = b"\0main\0matmul\0";
+        assert_eq!(read_strz(tab, 1).unwrap(), "main");
+        assert_eq!(read_strz(tab, 6).unwrap(), "matmul");
+        assert_eq!(read_strz(tab, 0).unwrap(), "");
+        assert!(read_strz(tab, 100).is_err());
+    }
+}

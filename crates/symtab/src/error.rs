@@ -1,0 +1,53 @@
+//! SymtabAPI error type.
+
+use std::fmt;
+
+/// Errors raised while parsing or emitting ELF binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymtabError {
+    /// File does not start with the ELF magic.
+    NotElf,
+    /// Not a 64-bit ELF.
+    UnsupportedClass(u8),
+    /// Not little-endian.
+    UnsupportedEndianness(u8),
+    /// `e_machine` is not EM_RISCV.
+    WrongMachine(u16),
+    /// File ends before a structure that should be present.
+    Truncated { offset: usize },
+    /// A header references a range outside the file.
+    BadReference { what: &'static str, offset: u64, size: u64 },
+    /// `.riscv.attributes` is present but malformed.
+    BadAttributes(String),
+    /// The binary has no loadable code.
+    NoCode,
+}
+
+impl fmt::Display for SymtabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymtabError::NotElf => write!(f, "not an ELF file"),
+            SymtabError::UnsupportedClass(c) => {
+                write!(f, "unsupported ELF class {c} (need ELFCLASS64)")
+            }
+            SymtabError::UnsupportedEndianness(e) => {
+                write!(f, "unsupported ELF endianness {e} (need little-endian)")
+            }
+            SymtabError::WrongMachine(m) => {
+                write!(f, "e_machine {m} is not RISC-V (243)")
+            }
+            SymtabError::Truncated { offset } => {
+                write!(f, "file truncated at offset {offset:#x}")
+            }
+            SymtabError::BadReference { what, offset, size } => {
+                write!(f, "{what} references out-of-file range {offset:#x}+{size:#x}")
+            }
+            SymtabError::BadAttributes(msg) => {
+                write!(f, "malformed .riscv.attributes: {msg}")
+            }
+            SymtabError::NoCode => write!(f, "binary contains no executable code"),
+        }
+    }
+}
+
+impl std::error::Error for SymtabError {}

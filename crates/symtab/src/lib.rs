@@ -1,0 +1,34 @@
+//! # rvdyn-symtab — binary file format layer (SymtabAPI)
+//!
+//! The rvdyn equivalent of Dyninst's *SymtabAPI* (§3.2.1): an abstract
+//! representation of how a program is structured and stored in an ELF file,
+//! implemented from scratch for little-endian ELF64/RISC-V.
+//!
+//! RISC-V specific behaviour reproduced from the paper:
+//!
+//! * **`e_flags`** — `EF_RISCV_RVC` (compressed instructions present) and
+//!   the float-ABI bits are extracted and exposed via
+//!   [`Binary::profile`]. These are present in every RISC-V ELF.
+//! * **`.riscv.attributes`** — the vendor attribute section is parsed (and
+//!   emitted by the writer); its `Tag_RISCV_arch` string is the primary
+//!   source of the mutatee's extension set. When the section is missing,
+//!   the profile falls back to the `e_flags` heuristic, exactly as §3.2.1
+//!   describes.
+//!
+//! The writer half ([`Binary::to_bytes`]) is what makes *static binary
+//! rewriting* possible: PatchAPI produces a modified [`Binary`] and this
+//! crate serialises it back to a loadable executable.
+
+pub mod attributes;
+pub mod elf;
+pub mod error;
+pub mod model;
+pub mod reader;
+pub mod writer;
+
+pub use attributes::RiscvAttributes;
+pub use error::SymtabError;
+pub use model::{
+    Binary, Section, Segment, Symbol, SymbolBinding, SymbolKind, SHF_ALLOC,
+    SHF_EXECINSTR, SHF_WRITE,
+};

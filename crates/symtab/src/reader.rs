@@ -1,0 +1,172 @@
+//! ELF reader: bytes → [`Binary`].
+
+use crate::attributes::RiscvAttributes;
+use crate::elf::{self, Ehdr, ElfSym, Shdr};
+use crate::error::SymtabError;
+use crate::model::{Binary, Section, Symbol, SymbolBinding, SymbolKind};
+
+impl Binary {
+    /// Parse an ELF64/RISC-V image.
+    pub fn parse(bytes: &[u8]) -> Result<Binary, SymtabError> {
+        let ehdr = Ehdr::parse(bytes)?;
+
+        // Section headers.
+        let mut shdrs = Vec::with_capacity(ehdr.e_shnum as usize);
+        for i in 0..ehdr.e_shnum as usize {
+            let off = ehdr.e_shoff as usize + i * elf::SHDR_SIZE;
+            if off + elf::SHDR_SIZE > bytes.len() {
+                return Err(SymtabError::Truncated { offset: off });
+            }
+            shdrs.push(Shdr::parse(bytes, off)?);
+        }
+
+        // Section name string table.
+        let shstr: &[u8] = match shdrs.get(ehdr.e_shstrndx as usize) {
+            Some(h) => section_bytes(bytes, h)?,
+            None => &[],
+        };
+
+        let mut bin = Binary {
+            entry: ehdr.e_entry,
+            e_flags: ehdr.e_flags,
+            e_type: ehdr.e_type,
+            ..Default::default()
+        };
+
+        // Sections (skip index 0, the NULL section).
+        let mut symtab_idx = None;
+        for (idx, h) in shdrs.iter().enumerate() {
+            if idx == 0 {
+                continue;
+            }
+            let name = elf::read_strz(shstr, h.sh_name as usize).unwrap_or_default();
+            let data = if h.sh_type == elf::SHT_NOBITS {
+                vec![0u8; h.sh_size as usize]
+            } else {
+                section_bytes(bytes, h)?.to_vec()
+            };
+            if h.sh_type == elf::SHT_SYMTAB {
+                symtab_idx = Some(idx);
+            }
+            if h.sh_type == elf::SHT_RISCV_ATTRIBUTES || name == ".riscv.attributes" {
+                bin.attributes = Some(RiscvAttributes::parse(&data)?);
+            }
+            bin.sections.push(Section {
+                name,
+                sh_type: h.sh_type,
+                flags: h.sh_flags,
+                addr: h.sh_addr,
+                data,
+                addralign: h.sh_addralign,
+            });
+        }
+
+        // Symbols.
+        if let Some(si) = symtab_idx {
+            let sh = &shdrs[si];
+            let symdata = section_bytes(bytes, sh)?;
+            let strtab = shdrs
+                .get(sh.sh_link as usize)
+                .map(|h| section_bytes(bytes, h))
+                .transpose()?
+                .unwrap_or(&[]);
+            let count = symdata.len() / elf::SYM_SIZE;
+            for i in 0..count {
+                let sym = ElfSym::parse(symdata, i * elf::SYM_SIZE)?;
+                if sym.st_name == 0 && sym.st_value == 0 && sym.st_size == 0 {
+                    continue; // null / anonymous symbol
+                }
+                let name = elf::read_strz(strtab, sym.st_name as usize)
+                    .unwrap_or_default();
+                let kind = match sym.sym_type() {
+                    elf::STT_FUNC => SymbolKind::Function,
+                    elf::STT_OBJECT => SymbolKind::Object,
+                    elf::STT_SECTION => SymbolKind::Section,
+                    _ => SymbolKind::NoType,
+                };
+                let binding = match sym.binding() {
+                    elf::STB_GLOBAL => SymbolBinding::Global,
+                    elf::STB_WEAK => SymbolBinding::Weak,
+                    _ => SymbolBinding::Local,
+                };
+                bin.symbols.push(Symbol {
+                    name,
+                    value: sym.st_value,
+                    size: sym.st_size,
+                    kind,
+                    binding,
+                });
+            }
+        }
+
+        Ok(bin)
+    }
+}
+
+fn section_bytes<'a>(bytes: &'a [u8], h: &Shdr) -> Result<&'a [u8], SymtabError> {
+    if h.sh_type == elf::SHT_NOBITS {
+        return Ok(&[]);
+    }
+    let start = h.sh_offset as usize;
+    let end = start.checked_add(h.sh_size as usize).ok_or(
+        SymtabError::BadReference {
+            what: "section",
+            offset: h.sh_offset,
+            size: h.sh_size,
+        },
+    )?;
+    bytes.get(start..end).ok_or(SymtabError::BadReference {
+        what: "section",
+        offset: h.sh_offset,
+        size: h.sh_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_truncated_headers() {
+        let mut h = Ehdr {
+            e_type: elf::ET_EXEC,
+            e_machine: elf::EM_RISCV,
+            e_shoff: 64,
+            e_shnum: 4,
+            ..Default::default()
+        };
+        h.e_shstrndx = 0;
+        let bytes = h.emit().to_vec();
+        // Section headers point past EOF.
+        assert!(matches!(
+            Binary::parse(&bytes),
+            Err(SymtabError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_section_data() {
+        // Header + one shdr whose data is out of range.
+        let ehdr = Ehdr {
+            e_type: elf::ET_EXEC,
+            e_machine: elf::EM_RISCV,
+            e_shoff: 64,
+            e_shnum: 2,
+            e_shstrndx: 0,
+            ..Default::default()
+        };
+        let mut bytes = ehdr.emit().to_vec();
+        bytes.extend_from_slice(&Shdr::default().emit()); // null
+        let bad = Shdr {
+            sh_type: elf::SHT_PROGBITS,
+            sh_offset: 0x10_0000,
+            sh_size: 16,
+            ..Default::default()
+        };
+        bytes.extend_from_slice(&bad.emit());
+        assert!(matches!(
+            Binary::parse(&bytes),
+            Err(SymtabError::BadReference { .. })
+        ));
+    }
+}

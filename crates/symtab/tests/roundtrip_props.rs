@@ -1,0 +1,134 @@
+//! Property tests: every well-formed binary model survives
+//! `to_bytes ∘ parse` with its analysis-relevant content intact.
+
+use proptest::prelude::*;
+use rvdyn_symtab::{
+    Binary, RiscvAttributes, Section, Symbol, SymbolBinding, SymbolKind,
+    SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE,
+};
+
+fn arb_symbol(max_addr: u64) -> impl Strategy<Value = Symbol> {
+    (
+        "[a-z_][a-z0-9_]{0,18}",
+        0..max_addr,
+        0u64..128,
+        prop_oneof![
+            Just(SymbolKind::Function),
+            Just(SymbolKind::Object),
+            Just(SymbolKind::NoType)
+        ],
+        prop_oneof![
+            Just(SymbolBinding::Local),
+            Just(SymbolBinding::Global),
+            Just(SymbolBinding::Weak)
+        ],
+    )
+        .prop_map(|(name, value, size, kind, binding)| Symbol {
+            name,
+            value: 0x1_0000 + (value & !1),
+            size,
+            kind,
+            binding,
+        })
+}
+
+fn arb_binary() -> impl Strategy<Value = Binary> {
+    (
+        proptest::collection::vec(any::<u8>(), 4..512),
+        proptest::collection::vec(any::<u8>(), 0..256),
+        proptest::collection::vec(arb_symbol(0x4000), 0..12),
+        proptest::bool::ANY,
+        0usize..4096,
+    )
+        .prop_map(|(text, data, symbols, with_attrs, bss)| {
+            let mut sections = vec![Section::progbits(
+                ".text",
+                0x1_0000,
+                SHF_ALLOC | SHF_EXECINSTR,
+                text,
+            )];
+            if !data.is_empty() {
+                sections.push(Section::progbits(
+                    ".data",
+                    0x2_0000,
+                    SHF_ALLOC | SHF_WRITE,
+                    data,
+                ));
+            }
+            if bss > 0 {
+                let mut b = Section::progbits(
+                    ".bss",
+                    0x3_0000,
+                    SHF_ALLOC | SHF_WRITE,
+                    vec![0; bss],
+                );
+                b.sh_type = rvdyn_symtab::elf::SHT_NOBITS;
+                sections.push(b);
+            }
+            Binary {
+                entry: 0x1_0000,
+                e_flags: 0x5, // RVC | FLOAT_ABI_DOUBLE
+                e_type: rvdyn_symtab::elf::ET_EXEC,
+                sections,
+                symbols,
+                attributes: with_attrs
+                    .then(|| RiscvAttributes::for_profile(rvdyn_isa::IsaProfile::rv64gc())),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binary_round_trip(bin in arb_binary()) {
+        let bytes = bin.to_bytes().unwrap();
+        let re = Binary::parse(&bytes).unwrap();
+        prop_assert_eq!(re.entry, bin.entry);
+        prop_assert_eq!(re.e_flags, bin.e_flags);
+        prop_assert_eq!(re.attributes.is_some(), bin.attributes.is_some());
+        // Sections: every original allocatable section survives with its
+        // address and content (NOBITS keeps size, loses no zeros).
+        for s in &bin.sections {
+            let rs = re.section_by_name(&s.name).unwrap();
+            prop_assert_eq!(rs.addr, s.addr, "{}", &s.name);
+            prop_assert_eq!(rs.data.len(), s.data.len(), "{}", &s.name);
+            if s.sh_type != rvdyn_symtab::elf::SHT_NOBITS {
+                prop_assert_eq!(&rs.data, &s.data, "{}", &s.name);
+            }
+        }
+        // Symbols: same multiset of (name, value, size, kind, binding).
+        let key = |s: &Symbol| {
+            (s.name.clone(), s.value, s.size, format!("{:?}{:?}", s.kind, s.binding))
+        };
+        let mut a: Vec<_> = bin.symbols.iter().map(key).collect();
+        let mut b: Vec<_> = re.symbols.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        // And the rewritten image re-serialises identically (fixpoint).
+        let bytes2 = re.to_bytes().unwrap();
+        let re2 = Binary::parse(&bytes2).unwrap();
+        prop_assert_eq!(re2.sections.len(), re.sections.len());
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_elves(
+        bin in arb_binary(),
+        flips in proptest::collection::vec((any::<u32>(), any::<u8>()), 1..12),
+    ) {
+        // Bit-flip fuzzing of a valid ELF: parse must return Ok or Err,
+        // never panic or hang.
+        let mut bytes = bin.to_bytes().unwrap();
+        for (pos, val) in flips {
+            let n = bytes.len() as u32;
+            bytes[(pos % n) as usize] ^= val;
+        }
+        let _ = Binary::parse(&bytes);
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Binary::parse(&bytes);
+    }
+}

@@ -1,0 +1,56 @@
+//! Dynamic function tracer (Figure 1, dynamic path; the TAU/HPCToolkit
+//! use case from §2).
+//!
+//! ```sh
+//! cargo run --example dynamic_tracer
+//! ```
+//!
+//! Creates the mutatee process, inserts entry/exit counters into `fib`
+//! *through the process-control interface* (no file is written), resumes
+//! it, and reports call/return counts plus the modelled runtime.
+
+use rvdyn::{DynamicInstrumenter, PointKind, Snippet};
+
+fn main() {
+    let n = 12u64;
+    let bin = rvdyn_asm::fib_program(n);
+
+    // Figure 1, variant 1: create the process (stopped at entry).
+    let mut dy = DynamicInstrumenter::create(bin);
+
+    // Instrumentation variables live in the patch data area of the live
+    // process.
+    let calls = dy.alloc_var(8);
+    let returns = dy.alloc_var(8);
+
+    let entries = dy.find_points("fib", PointKind::FuncEntry).unwrap();
+    let exits = dy.find_points("fib", PointKind::FuncExit).unwrap();
+    dy.insert(&entries, Snippet::increment(calls));
+    dy.insert(&exits, Snippet::increment(returns));
+
+    // Apply the patch to the live process and let it run.
+    dy.commit().expect("dynamic instrumentation applies");
+    let code = dy.run_to_exit().expect("mutatee runs");
+
+    let calls_n = dy.read_var(calls).unwrap();
+    let returns_n = dy.read_var(returns).unwrap();
+    println!("fib({n}) exited with {code}");
+    println!("fib was entered {calls_n} times and returned {returns_n} times");
+    println!(
+        "modelled runtime: {:.6}s, {} instructions",
+        dy.process().machine().now_seconds(),
+        dy.process().machine().icount
+    );
+    assert_eq!(calls_n, returns_n);
+    // The call-tree size of naive fib: 2*fib(n+1)-1.
+    let fib = |k: u64| -> u64 {
+        let (mut a, mut b) = (0u64, 1u64);
+        for _ in 0..k {
+            let t = a + b;
+            a = b;
+            b = t;
+        }
+        a
+    };
+    assert_eq!(calls_n, 2 * fib(n + 1) - 1);
+}

@@ -1,0 +1,190 @@
+//! A small command-line front end over the rvdyn toolkits, working on
+//! RISC-V ELF *files* — the shape of tool a downstream user builds first.
+//!
+//! ```sh
+//! cargo run --release --example rvdyn_cli -- gen matmul /tmp/mm.elf 50 2
+//! cargo run --release --example rvdyn_cli -- info /tmp/mm.elf
+//! cargo run --release --example rvdyn_cli -- disasm /tmp/mm.elf matmul
+//! cargo run --release --example rvdyn_cli -- cfg /tmp/mm.elf matmul
+//! cargo run --release --example rvdyn_cli -- count /tmp/mm.elf matmul blocks /tmp/mm-instr.elf
+//! cargo run --release --example rvdyn_cli -- run /tmp/mm-instr.elf
+//! ```
+
+use rvdyn::{BinaryEditor, PointKind, Snippet};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rvdyn_cli <command> ...\n\
+         \n\
+         gen <matmul|fib|switch|memcpy|atomics> <out.elf> [args…]\n\
+         info <elf>\n\
+         disasm <elf> [function]\n\
+         cfg <elf> <function> [--dot]\n\
+         count <elf> <function> <entry|blocks|edges> <out.elf>\n\
+         run <elf>   (prints exit code, modelled time, and the counter at\n\
+                      the patch-data base if the binary was instrumented)"
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "gen" => {
+            let (prog, out) = (arg(&args, 1), arg(&args, 2));
+            let bin = match prog.as_str() {
+                "matmul" => rvdyn_asm::matmul_program(
+                    num(&args, 3).unwrap_or(100) as usize,
+                    num(&args, 4).unwrap_or(1) as usize,
+                ),
+                "fib" => rvdyn_asm::fib_program(num(&args, 3).unwrap_or(20)),
+                "switch" => rvdyn_asm::switch_program(num(&args, 3).unwrap_or(64)),
+                "switch_rel" => rvdyn_asm::switch_rel_program(num(&args, 3).unwrap_or(64)),
+                "deep" => rvdyn_asm::deep_call_program(num(&args, 3).unwrap_or(16)),
+                "memcpy" => rvdyn_asm::memcpy_program(),
+                "atomics" => rvdyn_asm::atomics_program(num(&args, 3).unwrap_or(100)),
+                other => {
+                    eprintln!("unknown program {other:?}");
+                    usage()
+                }
+            };
+            std::fs::write(&out, bin.to_bytes().expect("serialise")).expect("write");
+            println!("wrote {out}");
+        }
+        "info" => {
+            let ed = open(&arg(&args, 1));
+            let b = ed.binary();
+            println!("entry:   {:#x}", b.entry);
+            println!("profile: {}", ed.profile().arch_string());
+            println!("sections:");
+            for s in &b.sections {
+                println!(
+                    "  {:<18} {:#10x}  {:>7} bytes  flags {:#x}",
+                    s.name,
+                    s.addr,
+                    s.data.len(),
+                    s.flags
+                );
+            }
+            println!("functions:");
+            for f in ed.code().functions.values() {
+                let (lo, hi) = f.extent();
+                println!(
+                    "  {:#10x}  {:<16} {:>5} bytes, {} blocks, {} loops",
+                    f.entry,
+                    f.name.as_deref().unwrap_or("?"),
+                    hi - lo,
+                    f.blocks.len(),
+                    f.loops.len()
+                );
+            }
+        }
+        "disasm" => {
+            let ed = open(&arg(&args, 1));
+            match args.get(2) {
+                Some(name) => {
+                    let addr = ed.function_addr(name).unwrap_or_else(die);
+                    let f = &ed.code().functions[&addr];
+                    for b in f.blocks.values() {
+                        for i in &b.insts {
+                            println!(
+                                "{:#10x}:  {}",
+                                i.address,
+                                rvdyn_isa::disasm::format_instruction(i)
+                            );
+                        }
+                    }
+                }
+                None => {
+                    for s in ed.binary().code_sections() {
+                        print!("{}", rvdyn_isa::disasm::disassemble(&s.data, s.addr));
+                    }
+                }
+            }
+        }
+        "cfg" => {
+            let ed = open(&arg(&args, 1));
+            let addr = ed.function_addr(&arg(&args, 2)).unwrap_or_else(die);
+            let f = &ed.code().functions[&addr];
+            if args.get(3).map(String::as_str) == Some("--dot") {
+                print!("{}", f.to_dot());
+                return;
+            }
+            for b in f.blocks.values() {
+                println!("block {:#x}..{:#x}", b.start, b.end);
+                for e in &b.edges {
+                    match e.target {
+                        Some(t) => println!("  {:?} → {:#x}", e.kind, t),
+                        None => println!("  {:?}", e.kind),
+                    }
+                }
+            }
+            for l in &f.loops {
+                println!("loop header {:#x}: {} blocks", l.header, l.body.len());
+            }
+        }
+        "count" => {
+            let mut ed = open(&arg(&args, 1));
+            let func = arg(&args, 2);
+            let kind = match arg(&args, 3).as_str() {
+                "entry" => PointKind::FuncEntry,
+                "blocks" => PointKind::BlockEntry,
+                "edges" => PointKind::BranchTaken,
+                other => {
+                    eprintln!("unknown point class {other:?}");
+                    usage()
+                }
+            };
+            let counter = ed.alloc_var(8);
+            let pts = ed.find_points(&func, kind).unwrap_or_else(die);
+            println!("instrumenting {} point(s) in {func}", pts.len());
+            ed.insert(&pts, Snippet::increment(counter));
+            let out = arg(&args, 4);
+            std::fs::write(&out, ed.rewrite().unwrap_or_else(die)).expect("write");
+            println!("wrote {out} (counter lives at {:#x})", counter.addr);
+        }
+        "run" => {
+            let elf = std::fs::read(arg(&args, 1)).expect("read");
+            let r = rvdyn::run_elf(&elf, 10_000_000_000).unwrap_or_else(die);
+            println!("exit code:     {}", r.exit_code);
+            println!("instructions:  {}", r.icount);
+            println!("modelled time: {:.6}s @1.4GHz", r.seconds);
+            if !r.stdout.is_empty() {
+                match std::str::from_utf8(&r.stdout) {
+                    Ok(s) if s.chars().all(|c| !c.is_control() || c == '\n') => {
+                        println!("stdout:        {s:?}")
+                    }
+                    _ => println!("stdout:        {} raw bytes", r.stdout.len()),
+                }
+            }
+            // Counter convention: the first slot of the patch data area.
+            if let Some(v) = r.read_u64(rvdyn::PatchLayout::default().patch_data) {
+                println!("counter[0]:    {v}");
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn arg(args: &[String], i: usize) -> String {
+    args.get(i).cloned().unwrap_or_else(|| usage())
+}
+
+fn num(args: &[String], i: usize) -> Option<u64> {
+    args.get(i).and_then(|s| s.parse().ok())
+}
+
+fn open(path: &str) -> BinaryEditor {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    BinaryEditor::open(&bytes).unwrap_or_else(die)
+}
+
+fn die<T>(e: impl std::fmt::Display) -> T {
+    eprintln!("error: {e}");
+    exit(1)
+}

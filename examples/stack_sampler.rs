@@ -1,0 +1,57 @@
+//! Stack sampler: the STAT-style debugging workflow (§2 cites Stack Trace
+//! Analysis for large-scale debugging as a flagship Dyninst consumer).
+//!
+//! ```sh
+//! cargo run --example stack_sampler
+//! ```
+//!
+//! Attaches to the mutatee, plants a breakpoint inside the recursion,
+//! and on each of several hits walks the call stack with the RISC-V
+//! frame steppers (§3.2.7) — no frame pointer required.
+
+use rvdyn::{CodeObject, Event, ParseOptions, Process, StackWalker};
+
+fn main() {
+    let bin = rvdyn_asm::fib_program(8);
+    let co = CodeObject::parse(&bin, &ParseOptions::default());
+    let fib = bin.symbol_by_name("fib").unwrap().value;
+
+    let mut p = Process::launch(&bin);
+    p.set_breakpoint(fib).unwrap();
+
+    let walker = StackWalker::new();
+    let mut samples = 0;
+    let mut deepest = 0usize;
+    loop {
+        match p.cont().expect("process control") {
+            Event::Breakpoint(_) => {
+                samples += 1;
+                let frames = walker.walk_process(&p, &co);
+                if samples <= 5 || frames.len() > deepest {
+                    println!("sample {samples}: {} frames", frames.len());
+                    for (i, fr) in frames.iter().enumerate() {
+                        println!(
+                            "  #{i} pc={:#x} sp={:#x} {}",
+                            fr.pc,
+                            fr.sp,
+                            fr.func_name.as_deref().unwrap_or("??")
+                        );
+                    }
+                }
+                deepest = deepest.max(frames.len());
+            }
+            Event::Exited(code) => {
+                println!("\nmutatee exited with {code}");
+                break;
+            }
+            e => panic!("unexpected event {e:?}"),
+        }
+        // Only sample the first handful plus track the deepest stack.
+        if samples > 200 {
+            p.remove_breakpoint(fib).unwrap();
+        }
+    }
+    println!("{samples} samples; deepest stack: {deepest} frames");
+    // fib(8) recurses 8 deep → 8 fib frames + main + _start.
+    assert_eq!(deepest, 8 + 2);
+}

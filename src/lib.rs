@@ -1,0 +1,1 @@
+//! Root package: hosts workspace-level integration tests and examples.
