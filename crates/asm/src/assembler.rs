@@ -21,7 +21,11 @@ pub enum AsmError {
     /// `finish` was called while a label referenced by a fixup was unbound.
     UnboundLabel(usize),
     /// A resolved branch/jump displacement does not fit its format.
-    OutOfRange { at: u64, target: u64, format: &'static str },
+    OutOfRange {
+        at: u64,
+        target: u64,
+        format: &'static str,
+    },
     /// Instruction encoding failed.
     Encode(EncodeError),
 }
@@ -50,7 +54,12 @@ enum Item {
     /// A plain instruction (4 bytes, or 2 if `compressed`).
     Inst(Instruction),
     /// B-format fixup.
-    Branch { op: Op, rs1: Reg, rs2: Reg, label: Label },
+    Branch {
+        op: Op,
+        rs1: Reg,
+        rs2: Reg,
+        label: Label,
+    },
     /// `jal rd, label`.
     Jal { rd: Reg, label: Label },
     /// `auipc rd, %hi(label)` + `addi rd, rd, %lo(label)` (8 bytes).
@@ -78,7 +87,12 @@ pub struct Assembler {
 impl Assembler {
     /// Start assembling at virtual address `base`.
     pub fn new(base: u64) -> Assembler {
-        Assembler { base, items: Vec::new(), cursor: base, labels: Vec::new() }
+        Assembler {
+            base,
+            items: Vec::new(),
+            cursor: base,
+            labels: Vec::new(),
+        }
     }
 
     /// Current virtual address.
@@ -143,7 +157,12 @@ impl Assembler {
     /// Conditional branch to a label.
     pub fn branch(&mut self, op: Op, rs1: Reg, rs2: Reg, label: Label) {
         debug_assert!(op.is_conditional_branch());
-        self.push(Item::Branch { op, rs1, rs2, label });
+        self.push(Item::Branch {
+            op,
+            rs1,
+            rs2,
+            label,
+        });
     }
 
     pub fn beq(&mut self, a: Reg, b: Reg, l: Label) {
@@ -172,17 +191,26 @@ impl Assembler {
 
     /// Unconditional jump (`jal x0`).
     pub fn jump(&mut self, l: Label) {
-        self.push(Item::Jal { rd: Reg::X0, label: l });
+        self.push(Item::Jal {
+            rd: Reg::X0,
+            label: l,
+        });
     }
 
     /// Call (`jal ra`).
     pub fn call(&mut self, l: Label) {
-        self.push(Item::Jal { rd: Reg::X1, label: l });
+        self.push(Item::Jal {
+            rd: Reg::X1,
+            label: l,
+        });
     }
 
     /// Tail call (`jal x0` to another function — §3.2.3).
     pub fn tail(&mut self, l: Label) {
-        self.push(Item::Jal { rd: Reg::X0, label: l });
+        self.push(Item::Jal {
+            rd: Reg::X0,
+            label: l,
+        });
     }
 
     /// Load the address of a label (`auipc`/`addi` pair).
@@ -318,7 +346,12 @@ impl Assembler {
                         out.extend_from_slice(&encode32(i)?.to_le_bytes());
                     }
                 }
-                Item::Branch { op, rs1, rs2, label } => {
+                Item::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let target = resolve(*label)?;
                     let delta = target.wrapping_sub(*at) as i64;
                     if !(-4096..4096).contains(&delta) {
@@ -346,12 +379,13 @@ impl Assembler {
                 }
                 Item::La { rd, label } => {
                     let target = resolve(*label)?;
-                    let (hi, lo) = rvdyn_codegen::imm::pcrel_parts(*at, target)
-                        .ok_or(AsmError::OutOfRange {
+                    let (hi, lo) = rvdyn_codegen::imm::pcrel_parts(*at, target).ok_or(
+                        AsmError::OutOfRange {
                             at: *at,
                             target,
                             format: "auipc",
-                        })?;
+                        },
+                    )?;
                     let a = build::auipc(*rd, hi);
                     let b = build::addi(*rd, *rd, lo);
                     // The addi's pc is at+4 but %lo is relative to the

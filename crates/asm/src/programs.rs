@@ -11,8 +11,8 @@
 use crate::assembler::{AsmError, Assembler};
 use rvdyn_isa::{build, IsaProfile, Op, Reg};
 use rvdyn_symtab::{
-    Binary, RiscvAttributes, Section, Symbol, SymbolBinding, SymbolKind,
-    SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE,
+    Binary, RiscvAttributes, Section, Symbol, SymbolBinding, SymbolKind, SHF_ALLOC, SHF_EXECINSTR,
+    SHF_WRITE,
 };
 
 /// Address-space layout shared by all mutatee programs.
@@ -26,7 +26,12 @@ pub struct Layout {
 
 impl Default for Layout {
     fn default() -> Layout {
-        Layout { text: 0x1_0000, rodata: 0x1_8000, data: 0x2_0000, bss: 0x3_0000 }
+        Layout {
+            text: 0x1_0000,
+            rodata: 0x1_8000,
+            data: 0x2_0000,
+            bss: 0x3_0000,
+        }
     }
 }
 
@@ -82,7 +87,12 @@ fn finish_binary(
         code,
     )];
     if !rodata.is_empty() {
-        sections.push(Section::progbits(".rodata", layout.rodata, SHF_ALLOC, rodata));
+        sections.push(Section::progbits(
+            ".rodata",
+            layout.rodata,
+            SHF_ALLOC,
+            rodata,
+        ));
     }
     if !data.is_empty() {
         sections.push(Section::progbits(
@@ -93,12 +103,8 @@ fn finish_binary(
         ));
     }
     if bss_size > 0 {
-        let mut bss = Section::progbits(
-            ".bss",
-            layout.bss,
-            SHF_ALLOC | SHF_WRITE,
-            vec![0; bss_size],
-        );
+        let mut bss =
+            Section::progbits(".bss", layout.bss, SHF_ALLOC | SHF_WRITE, vec![0; bss_size]);
         bss.sh_type = rvdyn_symtab::elf::SHT_NOBITS;
         sections.push(bss);
     }
@@ -362,16 +368,66 @@ pub fn matmul_program(n: usize, reps: usize) -> Binary {
     let mm_size = a.here() - mm_addr;
 
     let syms = vec![
-        Sym { name: "_start", addr: start_addr, size: start_size, kind: SymbolKind::Function },
-        Sym { name: "main", addr: main_addr, size: main_size, kind: SymbolKind::Function },
-        Sym { name: "init_arrays", addr: init_addr, size: init_size, kind: SymbolKind::Function },
-        Sym { name: "matmul", addr: mm_addr, size: mm_size, kind: SymbolKind::Function },
-        Sym { name: "ts0", addr: ts0, size: 16, kind: SymbolKind::Object },
-        Sym { name: "ts1", addr: ts1, size: 16, kind: SymbolKind::Object },
-        Sym { name: "result", addr: result, size: 8, kind: SymbolKind::Object },
-        Sym { name: "mat_a", addr: addr_a, size: elems as u64, kind: SymbolKind::Object },
-        Sym { name: "mat_b", addr: addr_b, size: elems as u64, kind: SymbolKind::Object },
-        Sym { name: "mat_c", addr: addr_c, size: elems as u64, kind: SymbolKind::Object },
+        Sym {
+            name: "_start",
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main",
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "init_arrays",
+            addr: init_addr,
+            size: init_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "matmul",
+            addr: mm_addr,
+            size: mm_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "ts0",
+            addr: ts0,
+            size: 16,
+            kind: SymbolKind::Object,
+        },
+        Sym {
+            name: "ts1",
+            addr: ts1,
+            size: 16,
+            kind: SymbolKind::Object,
+        },
+        Sym {
+            name: "result",
+            addr: result,
+            size: 8,
+            kind: SymbolKind::Object,
+        },
+        Sym {
+            name: "mat_a",
+            addr: addr_a,
+            size: elems as u64,
+            kind: SymbolKind::Object,
+        },
+        Sym {
+            name: "mat_b",
+            addr: addr_b,
+            size: elems as u64,
+            kind: SymbolKind::Object,
+        },
+        Sym {
+            name: "mat_c",
+            addr: addr_c,
+            size: elems as u64,
+            kind: SymbolKind::Object,
+        },
     ];
     finish_binary(
         a,
@@ -438,13 +494,41 @@ pub fn fib_program(n: u64) -> Binary {
     let fib_size = a.here() - fib_addr;
 
     let syms = vec![
-        Sym { name: "_start", addr: start_addr, size: start_size, kind: SymbolKind::Function },
-        Sym { name: "main", addr: main_addr, size: main_size, kind: SymbolKind::Function },
-        Sym { name: "fib", addr: fib_addr, size: fib_size, kind: SymbolKind::Function },
-        Sym { name: "result", addr: result, size: 8, kind: SymbolKind::Object },
+        Sym {
+            name: "_start",
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main",
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "fib",
+            addr: fib_addr,
+            size: fib_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "result",
+            addr: result,
+            size: 8,
+            kind: SymbolKind::Object,
+        },
     ];
-    finish_binary(a, layout, syms, Vec::new(), vec![0; 8], 0, IsaProfile::rv64gc())
-        .expect("fib program assembles")
+    finish_binary(
+        a,
+        layout,
+        syms,
+        Vec::new(),
+        vec![0; 8],
+        0,
+        IsaProfile::rv64gc(),
+    )
+    .expect("fib program assembles")
 }
 
 /// A switch implemented through a `.rodata` jump table reached by an
@@ -523,11 +607,36 @@ pub fn switch_program(iters: u64) -> Binary {
     }
 
     let syms = vec![
-        Sym { name: "_start", addr: start_addr, size: start_size, kind: SymbolKind::Function },
-        Sym { name: "main", addr: main_addr, size: main_size, kind: SymbolKind::Function },
-        Sym { name: "selector", addr: sel_addr, size: sel_size, kind: SymbolKind::Function },
-        Sym { name: "jump_table", addr: table, size: 32, kind: SymbolKind::Object },
-        Sym { name: "result", addr: result, size: 8, kind: SymbolKind::Object },
+        Sym {
+            name: "_start",
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main",
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "selector",
+            addr: sel_addr,
+            size: sel_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "jump_table",
+            addr: table,
+            size: 32,
+            kind: SymbolKind::Object,
+        },
+        Sym {
+            name: "result",
+            addr: result,
+            size: 8,
+            kind: SymbolKind::Object,
+        },
     ];
     finish_binary(a, layout, syms, rodata, vec![0; 8], 0, IsaProfile::rv64gc())
         .expect("switch program assembles")
@@ -576,14 +685,47 @@ pub fn tailcall_program() -> Binary {
     let g_size = a.here() - g_addr;
 
     let syms = vec![
-        Sym { name: "_start", addr: start_addr, size: start_size, kind: SymbolKind::Function },
-        Sym { name: "main", addr: main_addr, size: main_size, kind: SymbolKind::Function },
-        Sym { name: "twice_plus1", addr: f_addr, size: f_size, kind: SymbolKind::Function },
-        Sym { name: "double_it", addr: g_addr, size: g_size, kind: SymbolKind::Function },
-        Sym { name: "result", addr: result, size: 8, kind: SymbolKind::Object },
+        Sym {
+            name: "_start",
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main",
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "twice_plus1",
+            addr: f_addr,
+            size: f_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "double_it",
+            addr: g_addr,
+            size: g_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "result",
+            addr: result,
+            size: 8,
+            kind: SymbolKind::Object,
+        },
     ];
-    finish_binary(a, layout, syms, Vec::new(), vec![0; 8], 0, IsaProfile::rv64gc())
-        .expect("tailcall program assembles")
+    finish_binary(
+        a,
+        layout,
+        syms,
+        Vec::new(),
+        vec![0; 8],
+        0,
+        IsaProfile::rv64gc(),
+    )
+    .expect("tailcall program assembles")
 }
 
 /// Byte-wise memcpy of a `.rodata` string into `.bss`, returning a
@@ -646,11 +788,36 @@ pub fn memcpy_program() -> Binary {
     let copy_size = a.here() - copy_addr;
 
     let syms = vec![
-        Sym { name: "_start", addr: start_addr, size: start_size, kind: SymbolKind::Function },
-        Sym { name: "main", addr: main_addr, size: main_size, kind: SymbolKind::Function },
-        Sym { name: "copy", addr: copy_addr, size: copy_size, kind: SymbolKind::Function },
-        Sym { name: "message", addr: src, size: msg.len() as u64, kind: SymbolKind::Object },
-        Sym { name: "result", addr: result, size: 8, kind: SymbolKind::Object },
+        Sym {
+            name: "_start",
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main",
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "copy",
+            addr: copy_addr,
+            size: copy_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "message",
+            addr: src,
+            size: msg.len() as u64,
+            kind: SymbolKind::Object,
+        },
+        Sym {
+            name: "result",
+            addr: result,
+            size: 8,
+            kind: SymbolKind::Object,
+        },
     ];
     finish_binary(
         a,
@@ -708,84 +875,35 @@ pub fn deep_call_program(depth: u64) -> Binary {
     let desc_size = a.here() - desc_addr;
 
     let syms = vec![
-        Sym { name: "_start", addr: start_addr, size: start_size, kind: SymbolKind::Function },
-        Sym { name: "main", addr: main_addr, size: main_size, kind: SymbolKind::Function },
-        Sym { name: "descend", addr: desc_addr, size: desc_size, kind: SymbolKind::Function },
+        Sym {
+            name: "_start",
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main",
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "descend",
+            addr: desc_addr,
+            size: desc_size,
+            kind: SymbolKind::Function,
+        },
     ];
-    finish_binary(a, layout, syms, Vec::new(), Vec::new(), 0, IsaProfile::rv64gc())
-        .expect("deep call program assembles")
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rvdyn_isa::decode::InstructionIter;
-
-    fn decodes_cleanly(bin: &Binary) -> usize {
-        let text = bin.section_by_name(".text").unwrap();
-        let mut n = 0;
-        for r in InstructionIter::new(&text.data, text.addr) {
-            r.unwrap_or_else(|e| panic!("undecodable instruction in mutatee: {e}"));
-            n += 1;
-        }
-        n
-    }
-
-    #[test]
-    fn matmul_program_is_wellformed() {
-        let bin = matmul_program(8, 1);
-        assert!(decodes_cleanly(&bin) > 50);
-        assert_eq!(bin.entry, 0x1_0000);
-        assert!(bin.symbol_by_name("matmul").is_some());
-        assert!(bin.symbol_by_name("main").is_some());
-        // ELF round-trip.
-        let bytes = bin.to_bytes().unwrap();
-        let re = Binary::parse(&bytes).unwrap();
-        assert_eq!(re.profile(), IsaProfile::rv64gc());
-        assert_eq!(
-            re.symbol_by_name("matmul").unwrap().value,
-            bin.symbol_by_name("matmul").unwrap().value
-        );
-    }
-
-    #[test]
-    fn matmul_contains_compressed_instructions() {
-        let bin = matmul_program(8, 1);
-        let text = bin.section_by_name(".text").unwrap();
-        let has_c = InstructionIter::new(&text.data, text.addr)
-            .any(|r| r.map(|i| i.size == 2).unwrap_or(false));
-        assert!(has_c, "mutatee should exercise the C extension");
-    }
-
-    #[test]
-    fn all_programs_build_and_decode() {
-        for bin in [
-            matmul_program(4, 1),
-            fib_program(5),
-            switch_program(16),
-            tailcall_program(),
-            memcpy_program(),
-            deep_call_program(10),
-        ] {
-            assert!(decodes_cleanly(&bin) > 5);
-            let bytes = bin.to_bytes().unwrap();
-            Binary::parse(&bytes).unwrap();
-        }
-    }
-
-    #[test]
-    fn switch_table_entries_point_into_selector() {
-        let bin = switch_program(4);
-        let table = bin.section_by_name(".rodata").unwrap();
-        let sel = bin.symbol_by_name("selector").unwrap();
-        for chunk in table.data.chunks(8) {
-            let addr = u64::from_le_bytes(chunk.try_into().unwrap());
-            assert!(
-                addr >= sel.value && addr < sel.value + sel.size,
-                "table entry {addr:#x} outside selector"
-            );
-        }
-    }
+    finish_binary(
+        a,
+        layout,
+        syms,
+        Vec::new(),
+        Vec::new(),
+        0,
+        IsaProfile::rv64gc(),
+    )
+    .expect("deep call program assembles")
 }
 
 /// Atomic-operations mutatee: exercises the A extension end to end
@@ -828,7 +946,7 @@ pub fn atomics_program(iters: u64) -> Binary {
     a.addi(T3, T3, 1);
     a.inst(build::r_type(Op::ScD, T4, T1, T3));
     a.bne(T4, Reg::X0, l_retry); // sc failed → retry
-    // max = max(max, i*7) (amomax.d)
+                                 // max = max(max, i*7) (amomax.d)
     a.li(T5, 7);
     a.mul(T5, T5, S1);
     a.inst(build::r_type(Op::AmoMaxD, Reg::X0, T2, T5));
@@ -849,12 +967,35 @@ pub fn atomics_program(iters: u64) -> Binary {
     let main_size = a.here() - main_addr;
 
     let syms = vec![
-        Sym { name: "_start", addr: start_addr, size: start_size, kind: SymbolKind::Function },
-        Sym { name: "main", addr: main_addr, size: main_size, kind: SymbolKind::Function },
-        Sym { name: "result", addr: result, size: 32, kind: SymbolKind::Object },
+        Sym {
+            name: "_start",
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main",
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "result",
+            addr: result,
+            size: 32,
+            kind: SymbolKind::Object,
+        },
     ];
-    finish_binary(a, layout, syms, Vec::new(), vec![0; 32], 0, IsaProfile::rv64gc())
-        .expect("atomics program assembles")
+    finish_binary(
+        a,
+        layout,
+        syms,
+        Vec::new(),
+        vec![0; 32],
+        0,
+        IsaProfile::rv64gc(),
+    )
+    .expect("atomics program assembles")
 }
 
 /// As [`switch_program`] but with a gcc-style *relative* jump table:
@@ -932,12 +1073,109 @@ pub fn switch_rel_program(iters: u64) -> Binary {
     }
 
     let syms = vec![
-        Sym { name: "_start", addr: start_addr, size: start_size, kind: SymbolKind::Function },
-        Sym { name: "main", addr: main_addr, size: main_size, kind: SymbolKind::Function },
-        Sym { name: "selector", addr: sel_addr, size: sel_size, kind: SymbolKind::Function },
-        Sym { name: "jump_table", addr: table, size: 16, kind: SymbolKind::Object },
-        Sym { name: "result", addr: result, size: 8, kind: SymbolKind::Object },
+        Sym {
+            name: "_start",
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main",
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "selector",
+            addr: sel_addr,
+            size: sel_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "jump_table",
+            addr: table,
+            size: 16,
+            kind: SymbolKind::Object,
+        },
+        Sym {
+            name: "result",
+            addr: result,
+            size: 8,
+            kind: SymbolKind::Object,
+        },
     ];
     finish_binary(a, layout, syms, rodata, vec![0; 8], 0, IsaProfile::rv64gc())
         .expect("relative switch program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvdyn_isa::decode::InstructionIter;
+
+    fn decodes_cleanly(bin: &Binary) -> usize {
+        let text = bin.section_by_name(".text").unwrap();
+        let mut n = 0;
+        for r in InstructionIter::new(&text.data, text.addr) {
+            r.unwrap_or_else(|e| panic!("undecodable instruction in mutatee: {e}"));
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn matmul_program_is_wellformed() {
+        let bin = matmul_program(8, 1);
+        assert!(decodes_cleanly(&bin) > 50);
+        assert_eq!(bin.entry, 0x1_0000);
+        assert!(bin.symbol_by_name("matmul").is_some());
+        assert!(bin.symbol_by_name("main").is_some());
+        // ELF round-trip.
+        let bytes = bin.to_bytes().unwrap();
+        let re = Binary::parse(&bytes).unwrap();
+        assert_eq!(re.profile(), IsaProfile::rv64gc());
+        assert_eq!(
+            re.symbol_by_name("matmul").unwrap().value,
+            bin.symbol_by_name("matmul").unwrap().value
+        );
+    }
+
+    #[test]
+    fn matmul_contains_compressed_instructions() {
+        let bin = matmul_program(8, 1);
+        let text = bin.section_by_name(".text").unwrap();
+        let has_c = InstructionIter::new(&text.data, text.addr)
+            .any(|r| r.map(|i| i.size == 2).unwrap_or(false));
+        assert!(has_c, "mutatee should exercise the C extension");
+    }
+
+    #[test]
+    fn all_programs_build_and_decode() {
+        for bin in [
+            matmul_program(4, 1),
+            fib_program(5),
+            switch_program(16),
+            tailcall_program(),
+            memcpy_program(),
+            deep_call_program(10),
+        ] {
+            assert!(decodes_cleanly(&bin) > 5);
+            let bytes = bin.to_bytes().unwrap();
+            Binary::parse(&bytes).unwrap();
+        }
+    }
+
+    #[test]
+    fn switch_table_entries_point_into_selector() {
+        let bin = switch_program(4);
+        let table = bin.section_by_name(".rodata").unwrap();
+        let sel = bin.symbol_by_name("selector").unwrap();
+        for chunk in table.data.chunks(8) {
+            let addr = u64::from_le_bytes(chunk.try_into().unwrap());
+            assert!(
+                addr >= sel.value && addr < sel.value + sel.size,
+                "table entry {addr:#x} outside selector"
+            );
+        }
+    }
 }

@@ -34,7 +34,9 @@ fn bench_decode(c: &mut Criterion) {
     g.finish();
 
     // Report instructions/MiB for the log.
-    let n = InstructionIter::new(&buf, base).filter(|r| r.is_ok()).count();
+    let n = InstructionIter::new(&buf, base)
+        .filter(|r| r.is_ok())
+        .count();
     eprintln!("decode_throughput: {n} instructions per MiB pass");
 }
 

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rvdyn_asm::Assembler;
 use rvdyn_isa::Reg;
-use rvdyn_parse::{CodeObject, ParseOptions};
 use rvdyn_parse::source::RawCode;
+use rvdyn_parse::{CodeObject, ParseOptions};
 
 /// `funcs` functions, each with a realistic amount of parse work (~40
 /// basic blocks of branchy straight-line code) and calls to the next two.
@@ -49,7 +49,11 @@ fn synthetic(funcs: usize) -> RawCode {
     // the realistic large-binary scenario ParseAPI parallelises over
     // (discovery-only chains serialise any parallel parser).
     let entries = labels.iter().map(|l| a.label_addr(*l).unwrap()).collect();
-    RawCode { base: 0x1_0000, bytes: a.finish().unwrap(), entries }
+    RawCode {
+        base: 0x1_0000,
+        bytes: a.finish().unwrap(),
+        entries,
+    }
 }
 
 fn bench_parallel(c: &mut Criterion) {
@@ -60,24 +64,31 @@ fn bench_parallel(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(bytes));
     // Thread counts up to the machine's available parallelism (parsing is
     // CPU-bound; oversubscription only adds scheduler thrash).
-    let ncpu = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let mut counts = vec![1usize, 2, 4, 8];
     counts.retain(|&t| t <= ncpu.max(2));
     for threads in counts {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &t| {
-                let opts = ParseOptions { threads: t, ..Default::default() };
-                b.iter(|| CodeObject::parse(&src, &opts))
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let opts = ParseOptions {
+                threads: t,
+                ..Default::default()
+            };
+            b.iter(|| CodeObject::parse(&src, &opts))
+        });
     }
     g.finish();
 
     // Sanity: identical results across thread counts.
     let seq = CodeObject::parse(&src, &ParseOptions::default());
-    let par = CodeObject::parse(&src, &ParseOptions { threads: 8, ..Default::default() });
+    let par = CodeObject::parse(
+        &src,
+        &ParseOptions {
+            threads: 8,
+            ..Default::default()
+        },
+    );
     assert_eq!(seq.functions.len(), par.functions.len());
     assert_eq!(seq.num_blocks(), par.num_blocks());
     eprintln!(

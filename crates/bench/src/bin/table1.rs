@@ -25,7 +25,12 @@ fn main() {
     // RISC-V side (emulator + cycle model).
     let rv_base = riscv::measure(n, reps, Config::Base, RegAllocMode::DeadRegisters);
     let rv_fn = riscv::measure(n, reps, Config::FunctionCount, RegAllocMode::DeadRegisters);
-    let rv_bb = riscv::measure(n, reps, Config::BasicBlockCount, RegAllocMode::DeadRegisters);
+    let rv_bb = riscv::measure(
+        n,
+        reps,
+        Config::BasicBlockCount,
+        RegAllocMode::DeadRegisters,
+    );
 
     // x86 side (native host; spill-modelled trampolines).
     // Scale the native reps up so the timings are measurable.
@@ -73,8 +78,7 @@ fn main() {
     );
 
     // A1 sidebar: the dead-register ablation at the same size.
-    let rv_bb_spill =
-        riscv::measure(n, reps, Config::BasicBlockCount, RegAllocMode::ForceSpill);
+    let rv_bb_spill = riscv::measure(n, reps, Config::BasicBlockCount, RegAllocMode::ForceSpill);
     println!(
         "\nA1 ablation (per-block counter): dead-register {:.4}s vs \
          force-spill {:.4}s ({:+.1}% if spilling)",

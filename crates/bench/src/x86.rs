@@ -184,7 +184,12 @@ mod tests {
         matmul(&a, &b, &mut c, n, Probe::PerBlock);
         let count = unsafe { std::ptr::read_volatile(&raw const COUNTER) };
         let n = n as u64;
-        let expect = 1 + (n + 1) + n + n * (n + 1) + n * n + n * n * (n + 1)
+        let expect = 1
+            + (n + 1)
+            + n
+            + n * (n + 1)
+            + n * n
+            + n * n * (n + 1)
             + n * n * n
             + n * n
             + n * n

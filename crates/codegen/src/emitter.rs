@@ -62,9 +62,16 @@ pub struct CodeBuffer {
 enum Instrs {
     Inst(rvdyn_isa::Instruction),
     /// Conditional branch to `label` when `rs1 op rs2` (encoded as the Op).
-    Branch { op: Op, rs1: Reg, rs2: Reg, label: u32 },
+    Branch {
+        op: Op,
+        rs1: Reg,
+        rs2: Reg,
+        label: u32,
+    },
     /// Unconditional jump to `label`.
-    Jump { label: u32 },
+    Jump {
+        label: u32,
+    },
     /// Label definition.
     Label(u32),
 }
@@ -111,7 +118,12 @@ impl CodeBuffer {
         for (e, &off) in self.insts.iter().zip(&offsets) {
             match e {
                 Instrs::Inst(i) => out.push(*i),
-                Instrs::Branch { op, rs1, rs2, label } => {
+                Instrs::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let delta = label_off[label] - off;
                     if !(-4096..4096).contains(&delta) {
                         return Err(CodeGenError::BranchOutOfRange);
@@ -139,7 +151,12 @@ pub struct Emitter<'a> {
 
 impl<'a> Emitter<'a> {
     pub fn new(alloc: &'a mut RegAllocator, profile: IsaProfile) -> Emitter<'a> {
-        Emitter { buf: CodeBuffer::new(), alloc, profile, uses_call: false }
+        Emitter {
+            buf: CodeBuffer::new(),
+            alloc,
+            profile,
+            uses_call: false,
+        }
     }
 
     /// Lower a snippet (as a statement).
@@ -253,9 +270,7 @@ impl<'a> Emitter<'a> {
                 let r = self.expr(a)?;
                 match op {
                     UnaryOp::Neg => self.buf.push(build::sub(r, Reg::X0, r)),
-                    UnaryOp::Not => {
-                        self.buf.push(build::i_type(Op::Xori, r, r, -1))
-                    }
+                    UnaryOp::Not => self.buf.push(build::i_type(Op::Xori, r, r, -1)),
                 }
                 Ok(r)
             }
@@ -313,7 +328,11 @@ impl<'a> Emitter<'a> {
                 }
                 push(
                     &mut self.buf,
-                    if op == BinaryOp::Mul { Op::Mul } else { Op::Div },
+                    if op == BinaryOp::Mul {
+                        Op::Mul
+                    } else {
+                        Op::Div
+                    },
                 );
             }
             BinaryOp::LtS => push(&mut self.buf, Op::Slt),
@@ -340,7 +359,14 @@ impl<'a> Emitter<'a> {
         Ok(())
     }
 
-    fn load(&mut self, rd: Reg, base: Reg, off: i64, size: u8, signed: bool) -> Result<(), CodeGenError> {
+    fn load(
+        &mut self,
+        rd: Reg,
+        base: Reg,
+        off: i64,
+        size: u8,
+        signed: bool,
+    ) -> Result<(), CodeGenError> {
         let op = match (size, signed) {
             (1, false) => Op::Lbu,
             (1, true) => Op::Lb,
@@ -550,7 +576,10 @@ mod tests {
 
     #[test]
     fn increment_var_counts() {
-        let var = Var { addr: 0x8000, size: 8 };
+        let var = Var {
+            addr: 0x8000,
+            size: 8,
+        };
         let (code, spills) = generate(
             &Snippet::increment(var),
             dead_all(),
@@ -570,7 +599,10 @@ mod tests {
     #[test]
     fn arithmetic_expression_value() {
         // v = (7 + 3) * 4 - 1 → 39 stored to var
-        let var = Var { addr: 0x8000, size: 8 };
+        let var = Var {
+            addr: 0x8000,
+            size: 8,
+        };
         let e = Snippet::WriteVar(
             var,
             Box::new(Snippet::bin(
@@ -583,7 +615,13 @@ mod tests {
                 Snippet::Const(1),
             )),
         );
-        let (code, _) = generate(&e, dead_all(), RegAllocMode::DeadRegisters, IsaProfile::rv64gc()).unwrap();
+        let (code, _) = generate(
+            &e,
+            dead_all(),
+            RegAllocMode::DeadRegisters,
+            IsaProfile::rv64gc(),
+        )
+        .unwrap();
         let mut st = IntState::new(0);
         let mut mem = FlatMemory::new(0x8000, 64);
         run(&code, &mut st, &mut mem);
@@ -593,7 +631,10 @@ mod tests {
     #[test]
     fn conditional_both_arms() {
         // if (reg a0 < 10) var = 1 else var = 2
-        let var = Var { addr: 0x8000, size: 8 };
+        let var = Var {
+            addr: 0x8000,
+            size: 8,
+        };
         let s = Snippet::If {
             cond: Box::new(Snippet::bin(
                 BinaryOp::LtS,
@@ -601,12 +642,16 @@ mod tests {
                 Snippet::Const(10),
             )),
             then_: Box::new(Snippet::WriteVar(var, Box::new(Snippet::Const(1)))),
-            else_: Some(Box::new(Snippet::WriteVar(var, Box::new(Snippet::Const(2))))),
+            else_: Some(Box::new(Snippet::WriteVar(
+                var,
+                Box::new(Snippet::Const(2)),
+            ))),
         };
         // Exclude a0 from the dead set: the snippet reads it.
         let mut dead = dead_all();
         dead.remove(Reg::x(10));
-        let (code, _) = generate(&s, dead, RegAllocMode::DeadRegisters, IsaProfile::rv64gc()).unwrap();
+        let (code, _) =
+            generate(&s, dead, RegAllocMode::DeadRegisters, IsaProfile::rv64gc()).unwrap();
 
         let mut st = IntState::new(0);
         st.set(Reg::x(10), 5);
@@ -623,7 +668,10 @@ mod tests {
 
     #[test]
     fn force_spill_creates_frame_and_preserves_values() {
-        let var = Var { addr: 0x8000, size: 8 };
+        let var = Var {
+            addr: 0x8000,
+            size: 8,
+        };
         let (code, spills) = generate(
             &Snippet::increment(var),
             dead_all(),
@@ -638,8 +686,7 @@ mod tests {
         // Execute and verify the scratch registers are preserved.
         let mut st = IntState::new(0);
         st.set(Reg::X2, 0x9000);
-        let saved: Vec<(Reg, u64)> =
-            (5..8).map(|n| (Reg::x(n), 0x1111 * n as u64)).collect();
+        let saved: Vec<(Reg, u64)> = (5..8).map(|n| (Reg::x(n), 0x1111 * n as u64)).collect();
         for &(r, v) in &saved {
             st.set(r, v);
         }
@@ -657,12 +704,21 @@ mod tests {
         let e = Snippet::bin(BinaryOp::Div, Snippet::Const(10), Snippet::Const(2));
         let profile: IsaProfile = "rv64ic".parse().unwrap();
         let err = generate(&e, dead_all(), RegAllocMode::DeadRegisters, profile).unwrap_err();
-        assert!(matches!(err, CodeGenError::ExtensionUnavailable { ext: Extension::M, .. }));
+        assert!(matches!(
+            err,
+            CodeGenError::ExtensionUnavailable {
+                ext: Extension::M,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn comparison_operators() {
-        let var = Var { addr: 0x8000, size: 8 };
+        let var = Var {
+            addr: 0x8000,
+            size: 8,
+        };
         for (op, a, b, expect) in [
             (BinaryOp::Eq, 4i64, 4i64, 1u64),
             (BinaryOp::Eq, 4, 5, 0),
@@ -676,8 +732,13 @@ mod tests {
                 var,
                 Box::new(Snippet::bin(op, Snippet::Const(a), Snippet::Const(b))),
             );
-            let (code, _) =
-                generate(&s, dead_all(), RegAllocMode::DeadRegisters, IsaProfile::rv64gc()).unwrap();
+            let (code, _) = generate(
+                &s,
+                dead_all(),
+                RegAllocMode::DeadRegisters,
+                IsaProfile::rv64gc(),
+            )
+            .unwrap();
             let mut st = IntState::new(0);
             let mut mem = FlatMemory::new(0x8000, 64);
             run(&code, &mut st, &mut mem);
@@ -687,7 +748,10 @@ mod tests {
 
     #[test]
     fn all_generated_code_encodes() {
-        let var = Var { addr: 0xDEAD_BEEF_0000, size: 4 };
+        let var = Var {
+            addr: 0xDEAD_BEEF_0000,
+            size: 4,
+        };
         let s = Snippet::Seq(vec![
             Snippet::increment(var),
             Snippet::WriteMem {
@@ -696,7 +760,13 @@ mod tests {
                 size: 4,
             },
         ]);
-        let (code, _) = generate(&s, RegSet::EMPTY, RegAllocMode::DeadRegisters, IsaProfile::rv64gc()).unwrap();
+        let (code, _) = generate(
+            &s,
+            RegSet::EMPTY,
+            RegAllocMode::DeadRegisters,
+            IsaProfile::rv64gc(),
+        )
+        .unwrap();
         for i in &code {
             rvdyn_isa::encode::encode32(i).unwrap();
         }

@@ -183,8 +183,52 @@ mod tests {
     fn boundary_carries() {
         // Values whose low 12 bits have bit 11 set force the signed-chunk
         // compensation — the exact case the paper flags as error-prone.
-        for v in [0x800i64, 0xFFF, 0x7FF_FFF, 0x800_0800, -0x800, 0xFFFF_F800u32 as i64] {
+        for v in [
+            0x800i64,
+            0xFFF,
+            0x7FF_FFF,
+            0x800_0800,
+            -0x800,
+            0xFFFF_F800u32 as i64,
+        ] {
             check(v);
+        }
+    }
+
+    #[test]
+    fn pcrel_window_boundaries() {
+        // The reachable window is asymmetric: [-2^31 - 2^11, 2^31 - 2^11),
+        // because the low 12-bit chunk is signed. Pin all four edges
+        // (these cover the proptest-regressions seed `pc = 0,
+        // target = 2147481600`, i.e. off = 2^31 - 2^11).
+        let hi_in = (1i64 << 31) - (1 << 11) - 1; // largest reachable
+        let hi_out = (1i64 << 31) - (1 << 11); // first unreachable above
+        let lo_in = -(1i64 << 31) - (1 << 11); // smallest reachable
+        let lo_out = -(1i64 << 31) - (1 << 11) - 1; // first unreachable below
+        for (off, expect_some) in [
+            (hi_in, true),
+            (hi_out, false),
+            (lo_in, true),
+            (lo_out, false),
+        ] {
+            let pc = 0x4000_0000_0000u64;
+            let target = pc.wrapping_add(off as u64);
+            match pcrel_parts(pc, target) {
+                Some((hi, lo)) => {
+                    assert!(expect_some, "off={off:#x} should be rejected");
+                    assert_eq!(hi & 0xFFF, 0);
+                    assert!((-2048..=2047).contains(&lo));
+                    assert!((i32::MIN as i64..=i32::MAX as i64).contains(&hi));
+                    assert_eq!(
+                        pc.wrapping_add(hi as u64).wrapping_add(lo as u64),
+                        target,
+                        "off={off:#x}"
+                    );
+                }
+                None => {
+                    assert!(!expect_some, "off={off:#x} should be reachable");
+                }
+            }
         }
     }
 

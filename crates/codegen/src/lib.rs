@@ -26,5 +26,5 @@ pub mod regalloc;
 pub mod snippet;
 
 pub use emitter::{CodeBuffer, CodeGenError, Emitter};
-pub use regalloc::{RegAllocator, RegAllocMode};
+pub use regalloc::{RegAllocMode, RegAllocator};
 pub use snippet::{BinaryOp, Snippet, UnaryOp, Var};

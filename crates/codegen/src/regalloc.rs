@@ -53,7 +53,12 @@ impl RegAllocator {
                 .collect(),
             RegAllocMode::ForceSpill => Vec::new(),
         };
-        RegAllocator { dead_pool, spilled: Vec::new(), in_use: Vec::new(), mode }
+        RegAllocator {
+            dead_pool,
+            spilled: Vec::new(),
+            in_use: Vec::new(),
+            mode,
+        }
     }
 
     /// Number of registers that had to be spilled so far.

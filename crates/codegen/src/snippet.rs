@@ -70,7 +70,11 @@ pub enum Snippet {
     /// `*(addr)` — load from a computed address.
     ReadMem { addr: Box<Snippet>, size: u8 },
     /// `*(addr) = val` — store to a computed address.
-    WriteMem { addr: Box<Snippet>, val: Box<Snippet>, size: u8 },
+    WriteMem {
+        addr: Box<Snippet>,
+        val: Box<Snippet>,
+        size: u8,
+    },
     /// Binary operation.
     Bin(BinaryOp, Box<Snippet>, Box<Snippet>),
     /// Unary operation.
@@ -162,9 +166,7 @@ impl Snippet {
                 v.contains_call()
             }
             Snippet::ReadMem { addr, .. } => addr.contains_call(),
-            Snippet::WriteMem { addr, val, .. } => {
-                addr.contains_call() || val.contains_call()
-            }
+            Snippet::WriteMem { addr, val, .. } => addr.contains_call() || val.contains_call(),
             Snippet::Bin(_, a, b) => a.contains_call() || b.contains_call(),
             Snippet::If { cond, then_, else_ } => {
                 cond.contains_call()
@@ -204,7 +206,10 @@ mod tests {
 
     #[test]
     fn scratch_needs_bounds() {
-        let v = Var { addr: 0x30000, size: 8 };
+        let v = Var {
+            addr: 0x30000,
+            size: 8,
+        };
         assert_eq!(Snippet::increment(v).scratch_needs(), 2);
         // (a + b) * (c + d): needs 3 by Sethi–Ullman.
         let e = Snippet::bin(
@@ -228,7 +233,10 @@ mod tests {
             Snippet::Nop,
             Snippet::If {
                 cond: Box::new(Snippet::Const(1)),
-                then_: Box::new(Snippet::Call { target: 0x1000, args: vec![] }),
+                then_: Box::new(Snippet::Call {
+                    target: 0x1000,
+                    args: vec![],
+                }),
                 else_: None,
             },
         ]);
@@ -238,7 +246,10 @@ mod tests {
 
     #[test]
     fn mutation_detection() {
-        let v = Var { addr: 0x30000, size: 8 };
+        let v = Var {
+            addr: 0x30000,
+            size: 8,
+        };
         assert!(!Snippet::increment(v).mutates_registers());
         let w = Snippet::WriteReg(rvdyn_isa::Reg::x(10), Box::new(Snippet::Const(0)));
         assert!(w.mutates_registers());

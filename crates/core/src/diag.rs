@@ -1,0 +1,112 @@
+//! Pipeline diagnostics: one struct of counters threaded through
+//! open→parse→instrument→run, so a tool (and `rvdyn_cli`) can report
+//! *what the toolkit actually did* — how much code it decoded, how it
+//! planted springboards, whether dead-register allocation held up, and
+//! what the mutatee executed. The categories follow the paper's own
+//! evaluation axes: parse coverage (§3.2.3), springboard strategy
+//! (§3.1.2), dead registers vs. spills (§4.3), and the emulator's
+//! instret/cycle model (§4).
+
+use rvdyn_parse::{CodeObject, EdgeKind};
+use rvdyn_patch::instrument::PatchResult;
+use rvdyn_patch::springboard::SpringboardStats;
+use std::fmt;
+
+/// Counters for one instrumentation pipeline, grouped by stage. Stages
+/// that have not run yet report zeros.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Diagnostics {
+    // -- parse stage --
+    /// Functions discovered by ParseAPI.
+    pub functions_parsed: usize,
+    /// Basic blocks across all functions.
+    pub blocks_parsed: usize,
+    /// Instructions decoded into those blocks.
+    pub instructions_decoded: u64,
+    /// Indirect transfers whose targets could not be resolved (each one a
+    /// soundness hazard instrumentation must treat conservatively).
+    pub unresolved_indirects: usize,
+
+    // -- instrument stage --
+    /// Points that received snippets.
+    pub points_instrumented: usize,
+    /// Points lowered entirely from dead registers (no spill frame).
+    pub dead_register_points: usize,
+    /// Total registers spilled across all snippets.
+    pub spills: usize,
+    /// Springboard strategy histogram.
+    pub springboards: SpringboardStats,
+
+    // -- run stage --
+    /// Instructions the mutatee retired.
+    pub instret: u64,
+    /// Modelled cycles the mutatee consumed.
+    pub cycles: u64,
+}
+
+impl Diagnostics {
+    /// Fill the parse-stage counters from a parsed code object.
+    pub(crate) fn record_parse(&mut self, co: &CodeObject) {
+        self.functions_parsed = co.functions.len();
+        self.blocks_parsed = 0;
+        self.instructions_decoded = 0;
+        self.unresolved_indirects = 0;
+        for f in co.functions.values() {
+            self.blocks_parsed += f.blocks.len();
+            for b in f.blocks.values() {
+                self.instructions_decoded += b.insts.len() as u64;
+                self.unresolved_indirects += b
+                    .edges
+                    .iter()
+                    .filter(|e| e.kind == EdgeKind::Unresolved)
+                    .count();
+            }
+        }
+    }
+
+    /// Fill the instrument-stage counters from a patch result.
+    pub(crate) fn record_patch(&mut self, r: &PatchResult) {
+        self.points_instrumented = r.points_instrumented;
+        self.dead_register_points = r.dead_register_points;
+        self.spills = r.spill_count;
+        self.springboards = r.springboards;
+    }
+
+    /// Fill the run-stage counters from the mutatee's final machine state.
+    pub fn record_run(&mut self, icount: u64, cycles: u64) {
+        self.instret = icount;
+        self.cycles = cycles;
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "parse:      {} functions, {} blocks, {} instructions, \
+             {} unresolved indirects",
+            self.functions_parsed,
+            self.blocks_parsed,
+            self.instructions_decoded,
+            self.unresolved_indirects
+        )?;
+        writeln!(
+            f,
+            "instrument: {} points ({} dead-register, {} spilled registers)",
+            self.points_instrumented, self.dead_register_points, self.spills
+        )?;
+        writeln!(
+            f,
+            "springboards: {} c.j, {} jal, {} auipc+jalr, {} trap",
+            self.springboards.compressed_jump,
+            self.springboards.jal,
+            self.springboards.auipc_jalr,
+            self.springboards.trap
+        )?;
+        write!(
+            f,
+            "run:        {} instret, {} cycles",
+            self.instret, self.cycles
+        )
+    }
+}

@@ -8,7 +8,8 @@
 //! create-and-instrument ([`DynamicInstrumenter::create`]) and
 //! attach-to-running ([`DynamicInstrumenter::attach`]).
 
-use crate::editor::EditorError;
+use crate::diag::Diagnostics;
+use crate::error::Error;
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
 use rvdyn_parse::{CodeObject, ParseOptions};
@@ -29,6 +30,7 @@ pub struct DynamicInstrumenter {
     undo: Vec<(u64, Vec<u8>)>,
     /// Accumulated patch-area → original pc translation.
     reloc_index: rvdyn_patch::RelocationIndex,
+    diag: Diagnostics,
 }
 
 impl DynamicInstrumenter {
@@ -37,6 +39,8 @@ impl DynamicInstrumenter {
     pub fn create(binary: Binary) -> DynamicInstrumenter {
         let code = CodeObject::parse(&binary, &ParseOptions::default());
         let process = Process::launch(&binary);
+        let mut diag = Diagnostics::default();
+        diag.record_parse(&code);
         DynamicInstrumenter {
             binary,
             code,
@@ -47,6 +51,7 @@ impl DynamicInstrumenter {
             var_bytes: 0,
             undo: Vec::new(),
             reloc_index: Default::default(),
+            diag,
         }
     }
 
@@ -55,6 +60,8 @@ impl DynamicInstrumenter {
     /// from `/proc/pid/exe`).
     pub fn attach(binary: Binary, process: Process) -> DynamicInstrumenter {
         let code = CodeObject::parse(&binary, &ParseOptions::default());
+        let mut diag = Diagnostics::default();
+        diag.record_parse(&code);
         DynamicInstrumenter {
             binary,
             code,
@@ -65,6 +72,7 @@ impl DynamicInstrumenter {
             var_bytes: 0,
             undo: Vec::new(),
             reloc_index: Default::default(),
+            diag,
         }
     }
 
@@ -80,6 +88,13 @@ impl DynamicInstrumenter {
         &mut self.process
     }
 
+    /// Counters for what the pipeline has done so far: parse totals after
+    /// `create`/`attach`, instrument totals after [`Self::commit`], run
+    /// totals after [`Self::run_to_exit`].
+    pub fn diagnostics(&self) -> Diagnostics {
+        self.diag
+    }
+
     pub fn set_mode(&mut self, mode: RegAllocMode) {
         self.mode = mode;
     }
@@ -93,17 +108,15 @@ impl DynamicInstrumenter {
     }
 
     /// Points of `kind` in the named function.
-    pub fn find_points(
-        &self,
-        func: &str,
-        kind: PointKind,
-    ) -> Result<Vec<Point>, EditorError> {
+    pub fn find_points(&self, func: &str, kind: PointKind) -> Result<Vec<Point>, Error> {
         let f = self
             .code
             .functions
             .values()
             .find(|f| f.name.as_deref() == Some(func))
-            .ok_or_else(|| EditorError::NoSuchFunction(func.to_string()))?;
+            .ok_or_else(|| Error::NoSuchFunction {
+                name: func.to_string(),
+            })?;
         Ok(find_points(f, kind))
     }
 
@@ -117,7 +130,7 @@ impl DynamicInstrumenter {
     /// Apply all queued insertions to the live process: write the patch
     /// area, zero the data area, plant springboards, register trap-table
     /// redirects.
-    pub fn commit(&mut self) -> Result<(), EditorError> {
+    pub fn commit(&mut self) -> Result<(), Error> {
         let mut ins = Instrumenter::new(&self.binary, &self.code)
             .with_layout(self.layout)
             .with_mode(self.mode);
@@ -127,7 +140,8 @@ impl DynamicInstrumenter {
         for (p, s) in &self.pending {
             ins.insert(*p, s.clone());
         }
-        let result = ins.apply().map_err(EditorError::Instrument)?;
+        let result = ins.apply()?;
+        self.diag.record_patch(&result);
         self.pending.clear();
 
         // Zero-fill the instrumentation data area.
@@ -176,19 +190,31 @@ impl DynamicInstrumenter {
 
     /// Run the instrumented process to completion, returning the exit
     /// code.
-    pub fn run_to_exit(&mut self) -> Result<i64, EditorError> {
-        loop {
+    ///
+    /// A faulting mutatee or a refused process-control operation comes
+    /// back as a typed error carrying the mutatee's pc — never a panic:
+    /// crashing mutatees are data the mutator's tool needs to report.
+    pub fn run_to_exit(&mut self) -> Result<i64, Error> {
+        let result = loop {
             match self.process.cont() {
-                Ok(rvdyn_proccontrol::Event::Exited(c)) => return Ok(c),
+                Ok(rvdyn_proccontrol::Event::Exited(c)) => break Ok(c),
                 Ok(rvdyn_proccontrol::Event::Breakpoint(_))
                 | Ok(rvdyn_proccontrol::Event::Stepped(_))
                 | Ok(rvdyn_proccontrol::Event::Trap(_)) => continue,
                 Ok(rvdyn_proccontrol::Event::Fault { pc, addr }) => {
-                    panic!("mutatee faulted at {pc:#x} touching {addr:#x}")
+                    break Err(Error::MutateeFault { pc, addr });
                 }
-                Err(e) => panic!("process control error: {e}"),
+                Err(source) => {
+                    break Err(Error::Proc {
+                        source,
+                        pc: Some(self.process.pc()),
+                    });
+                }
             }
-        }
+        };
+        let m = self.process.machine();
+        self.diag.record_run(m.icount, m.cycles);
+        result
     }
 
     /// Read an instrumentation variable from the live process.
@@ -237,7 +263,12 @@ mod tests {
         assert_eq!(dy.run_to_exit().unwrap(), 0);
         // Same closed form as the static test.
         let n = 5u64;
-        let per_call = 1 + (n + 1) + n + n * (n + 1) + n * n + n * n * (n + 1)
+        let per_call = 1
+            + (n + 1)
+            + n
+            + n * (n + 1)
+            + n * n
+            + n * n * (n + 1)
             + n * n * n
             + n * n
             + n * n

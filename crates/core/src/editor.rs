@@ -1,46 +1,16 @@
 //! Static binary rewriting: the `BinaryEditor` (BPatch_binaryEdit).
 
+use crate::diag::Diagnostics;
+use crate::error::{Error, Stage};
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
 use rvdyn_parse::{CodeObject, ParseOptions};
-use rvdyn_patch::{find_points, InstrumentError, Instrumenter, PatchLayout, Point, PointKind};
-use rvdyn_symtab::{Binary, SymtabError};
-use std::fmt;
+use rvdyn_patch::{find_points, Instrumenter, PatchLayout, Point, PointKind};
+use rvdyn_symtab::Binary;
 
-/// Editor errors.
-#[derive(Debug)]
-pub enum EditorError {
-    /// The input is not a loadable RISC-V ELF.
-    Symtab(SymtabError),
-    /// No function with the requested name.
-    NoSuchFunction(String),
-    /// Instrumentation failed.
-    Instrument(InstrumentError),
-}
-
-impl fmt::Display for EditorError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EditorError::Symtab(e) => write!(f, "{e}"),
-            EditorError::NoSuchFunction(n) => write!(f, "no function named {n:?}"),
-            EditorError::Instrument(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for EditorError {}
-
-impl From<SymtabError> for EditorError {
-    fn from(e: SymtabError) -> Self {
-        EditorError::Symtab(e)
-    }
-}
-
-impl From<InstrumentError> for EditorError {
-    fn from(e: InstrumentError) -> Self {
-        EditorError::Instrument(e)
-    }
-}
+/// The editor's error type — an alias for the unified pipeline
+/// [`Error`] taxonomy (kept so pre-taxonomy call sites still name it).
+pub type EditorError = Error;
 
 /// Open a binary, analyze it, queue snippet insertions, write a new
 /// binary — the static-instrumentation workflow of Figure 1.
@@ -51,11 +21,12 @@ pub struct BinaryEditor {
     mode: RegAllocMode,
     pending: Vec<(Point, Snippet)>,
     var_bytes: u64,
+    diag: Diagnostics,
 }
 
 impl BinaryEditor {
     /// Parse and analyze an ELF image.
-    pub fn open(elf: &[u8]) -> Result<BinaryEditor, EditorError> {
+    pub fn open(elf: &[u8]) -> Result<BinaryEditor, Error> {
         let binary = Binary::parse(elf)?;
         Ok(Self::from_binary(binary))
     }
@@ -69,6 +40,8 @@ impl BinaryEditor {
     /// parallelism).
     pub fn from_binary_with(binary: Binary, opts: &ParseOptions) -> BinaryEditor {
         let code = CodeObject::parse(&binary, opts);
+        let mut diag = Diagnostics::default();
+        diag.record_parse(&code);
         BinaryEditor {
             binary,
             code,
@@ -76,6 +49,7 @@ impl BinaryEditor {
             mode: RegAllocMode::DeadRegisters,
             pending: Vec::new(),
             var_bytes: 0,
+            diag,
         }
     }
 
@@ -87,6 +61,13 @@ impl BinaryEditor {
     /// The parsed CFG.
     pub fn code(&self) -> &CodeObject {
         &self.code
+    }
+
+    /// Counters for what the pipeline has done so far: parse totals are
+    /// available after `open`, instrument totals after
+    /// [`BinaryEditor::instrumented`] / [`BinaryEditor::rewrite`].
+    pub fn diagnostics(&self) -> Diagnostics {
+        self.diag
     }
 
     /// The mutatee's ISA profile (§3.2.1).
@@ -105,21 +86,19 @@ impl BinaryEditor {
     }
 
     /// Function entry address by symbol name.
-    pub fn function_addr(&self, name: &str) -> Result<u64, EditorError> {
+    pub fn function_addr(&self, name: &str) -> Result<u64, Error> {
         self.code
             .functions
             .values()
             .find(|f| f.name.as_deref() == Some(name))
             .map(|f| f.entry)
-            .ok_or_else(|| EditorError::NoSuchFunction(name.to_string()))
+            .ok_or_else(|| Error::NoSuchFunction {
+                name: name.to_string(),
+            })
     }
 
     /// Enumerate points of `kind` in the named function.
-    pub fn find_points(
-        &self,
-        func: &str,
-        kind: PointKind,
-    ) -> Result<Vec<Point>, EditorError> {
+    pub fn find_points(&self, func: &str, kind: PointKind) -> Result<Vec<Point>, Error> {
         let addr = self.function_addr(func)?;
         Ok(find_points(&self.code.functions[&addr], kind))
     }
@@ -139,7 +118,7 @@ impl BinaryEditor {
     }
 
     /// Apply all queued insertions and produce the rewritten binary model.
-    pub fn instrumented(&self) -> Result<rvdyn_patch::instrument::PatchResult, EditorError> {
+    pub fn instrumented(&mut self) -> Result<rvdyn_patch::instrument::PatchResult, Error> {
         let mut ins = Instrumenter::new(&self.binary, &self.code)
             .with_layout(self.layout)
             .with_mode(self.mode);
@@ -151,12 +130,20 @@ impl BinaryEditor {
         for (p, s) in &self.pending {
             ins.insert(*p, s.clone());
         }
-        ins.apply().map_err(EditorError::Instrument)
+        let result = ins.apply()?;
+        self.diag.record_patch(&result);
+        Ok(result)
     }
 
     /// Apply all queued insertions and serialise the new ELF.
-    pub fn rewrite(&self) -> Result<Vec<u8>, EditorError> {
-        Ok(self.instrumented()?.binary.to_bytes()?)
+    pub fn rewrite(&mut self) -> Result<Vec<u8>, Error> {
+        self.instrumented()?
+            .binary
+            .to_bytes()
+            .map_err(|source| Error::Symtab {
+                stage: Stage::Rewrite,
+                source,
+            })
     }
 }
 
@@ -183,19 +170,49 @@ impl RunOutput {
 }
 
 /// Load an ELF image into the execution substrate and run it to exit.
-pub fn run_elf(elf: &[u8], fuel: u64) -> Result<RunOutput, EditorError> {
+pub fn run_elf(elf: &[u8], fuel: u64) -> Result<RunOutput, Error> {
     let bin = Binary::parse(elf)?;
     run_binary(&bin, fuel)
 }
 
 /// As [`run_elf`] for an in-memory binary model.
-pub fn run_binary(bin: &Binary, fuel: u64) -> Result<RunOutput, EditorError> {
+///
+/// A mutatee that faults or stops without exiting is reported as a typed
+/// error carrying the faulting pc (and address, for memory faults) — the
+/// mutator never aborts on mutatee behaviour.
+pub fn run_binary(bin: &Binary, fuel: u64) -> Result<RunOutput, Error> {
     let mut m = rvdyn_emu::load_binary(bin);
     m.fuel = Some(fuel);
     let stop = m.run();
     let exit_code = match stop {
         rvdyn_emu::StopReason::Exited(c) => c,
-        other => panic!("mutatee did not exit cleanly: {other:?}"),
+        rvdyn_emu::StopReason::MemFault { pc, addr, .. } => {
+            return Err(Error::MutateeFault { pc, addr });
+        }
+        rvdyn_emu::StopReason::FetchFault { pc } => {
+            return Err(Error::MutateeFault { pc, addr: pc });
+        }
+        rvdyn_emu::StopReason::Break(pc) => {
+            return Err(Error::UncleanExit {
+                reason: format!("unexpected breakpoint trap at {pc:#x}"),
+                pc: m.pc,
+                icount: m.icount,
+            });
+        }
+        rvdyn_emu::StopReason::IllegalInstruction(pc) => {
+            return Err(Error::UncleanExit {
+                reason: format!("illegal instruction at {pc:#x}"),
+                pc: m.pc,
+                icount: m.icount,
+            });
+        }
+        rvdyn_emu::StopReason::FuelExhausted => {
+            return Err(Error::UncleanExit {
+                reason: format!("fuel exhausted after {} instructions", m.icount),
+                pc: m.pc,
+                icount: m.icount,
+            });
+        }
     };
     Ok(RunOutput {
         exit_code,
@@ -230,18 +247,56 @@ mod tests {
     fn unknown_function_is_an_error() {
         let elf = rvdyn_asm::fib_program(3).to_bytes().unwrap();
         let ed = BinaryEditor::open(&elf).unwrap();
-        assert!(matches!(
-            ed.find_points("nonexistent", PointKind::FuncEntry),
-            Err(EditorError::NoSuchFunction(_))
-        ));
+        let err = ed
+            .find_points("nonexistent", PointKind::FuncEntry)
+            .unwrap_err();
+        assert!(matches!(err, Error::NoSuchFunction { .. }));
+        assert_eq!(err.stage(), Stage::Parse);
     }
 
     #[test]
     fn garbage_input_is_an_error() {
+        let err = match BinaryEditor::open(b"definitely not an elf") {
+            Err(e) => e,
+            Ok(_) => panic!("garbage parsed as an ELF"),
+        };
         assert!(matches!(
-            BinaryEditor::open(b"definitely not an elf"),
-            Err(EditorError::Symtab(_))
+            err,
+            Error::Symtab {
+                stage: Stage::Open,
+                ..
+            }
         ));
+        assert_eq!(err.stage(), Stage::Open);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_an_unclean_exit() {
+        let elf = rvdyn_asm::fib_program(20).to_bytes().unwrap();
+        match run_elf(&elf, 10) {
+            Err(Error::UncleanExit { icount, .. }) => assert_eq!(icount, 10),
+            Err(other) => panic!("expected UncleanExit, got {other:?}"),
+            Ok(_) => panic!("expected UncleanExit, got a clean exit"),
+        }
+    }
+
+    #[test]
+    fn diagnostics_track_parse_and_patch() {
+        let elf = rvdyn_asm::matmul_program(4, 2).to_bytes().unwrap();
+        let mut ed = BinaryEditor::open(&elf).unwrap();
+        let d = ed.diagnostics();
+        assert!(d.functions_parsed > 0);
+        assert!(d.blocks_parsed >= d.functions_parsed);
+        assert!(d.instructions_decoded as usize >= d.blocks_parsed);
+        assert_eq!(d.points_instrumented, 0); // nothing instrumented yet
+
+        let counter = ed.alloc_var(8);
+        let pts = ed.find_points("matmul", PointKind::FuncEntry).unwrap();
+        ed.insert(&pts, Snippet::increment(counter));
+        ed.rewrite().unwrap();
+        let d = ed.diagnostics();
+        assert_eq!(d.points_instrumented, pts.len());
+        assert_eq!(d.springboards.total(), 1); // one function relocated
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! The unified error taxonomy for the instrumentation pipeline.
+//!
+//! Every component crate reports failures through its own typed error
+//! (`SymtabError`, `DecodeError`, `CodeGenError`, `InstrumentError`,
+//! `RelocateError`, `ProcError`); this module folds them into one
+//! [`Error`] so a tool built on the facade can match on a single enum,
+//! ask [`Error::stage`] where in open→parse→instrument→run the failure
+//! happened, and read the faulting pc/address without string parsing.
+//!
+//! The design rule (ROADMAP north star: survive production binaries): a
+//! mutatee that faults, traps unexpectedly, or exits uncleanly is *data*,
+//! not a reason for the mutator to abort — those conditions surface as
+//! [`Error::MutateeFault`] / [`Error::UncleanExit`], never as panics.
+
+use rvdyn_codegen::emitter::CodeGenError;
+use rvdyn_isa::DecodeError;
+use rvdyn_patch::relocate::RelocateError;
+use rvdyn_patch::InstrumentError;
+use rvdyn_proccontrol::ProcError;
+use rvdyn_symtab::SymtabError;
+use std::fmt;
+
+/// Pipeline stage an error was raised in (Figure 1's workflow steps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Reading and modelling the input ELF (SymtabAPI).
+    Open,
+    /// Decoding and CFG construction (InstructionAPI / ParseAPI).
+    Parse,
+    /// Snippet lowering, relocation, springboard planting (CodeGen/Patch).
+    Instrument,
+    /// Serialising the rewritten binary (static path).
+    Rewrite,
+    /// Executing or controlling the mutatee (ProcControl / emulator).
+    Run,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Open => "open",
+            Stage::Parse => "parse",
+            Stage::Instrument => "instrument",
+            Stage::Rewrite => "rewrite",
+            Stage::Run => "run",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A pipeline failure, with stage and (where known) pc/address context.
+#[derive(Debug)]
+pub enum Error {
+    /// ELF / symbol-table failure while opening or re-serialising.
+    Symtab { stage: Stage, source: SymtabError },
+    /// An instruction failed to decode during analysis.
+    Decode { source: DecodeError },
+    /// No function with the requested name in the parse.
+    NoSuchFunction { name: String },
+    /// Snippet lowering, relocation or springboard planting failed.
+    Instrument { source: InstrumentError },
+    /// The debug interface refused an operation; `pc` is the mutatee's
+    /// program counter at the time, when a process was attached.
+    Proc { source: ProcError, pc: Option<u64> },
+    /// The mutatee took a memory / fetch / illegal-instruction fault at
+    /// `pc` while touching `addr`.
+    MutateeFault { pc: u64, addr: u64 },
+    /// The mutatee stopped without exiting cleanly (fuel exhaustion, an
+    /// unexpected trap, …); `pc`/`icount` locate how far it got.
+    UncleanExit {
+        reason: String,
+        pc: u64,
+        icount: u64,
+    },
+}
+
+impl Error {
+    /// The pipeline stage the error belongs to.
+    pub fn stage(&self) -> Stage {
+        match self {
+            Error::Symtab { stage, .. } => *stage,
+            Error::Decode { .. } => Stage::Parse,
+            Error::NoSuchFunction { .. } => Stage::Parse,
+            Error::Instrument { .. } => Stage::Instrument,
+            Error::Proc { .. } | Error::MutateeFault { .. } | Error::UncleanExit { .. } => {
+                Stage::Run
+            }
+        }
+    }
+
+    /// The mutatee/analysis address most relevant to the error, if any:
+    /// the faulting pc, the undecodable instruction, the bad address.
+    pub fn pc(&self) -> Option<u64> {
+        match self {
+            Error::Decode { source } => Some(source.address()),
+            Error::Proc { pc, .. } => *pc,
+            Error::MutateeFault { pc, .. } | Error::UncleanExit { pc, .. } => Some(*pc),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Symtab { stage, source } => write!(f, "[{stage}] {source}"),
+            Error::Decode { source } => write!(f, "[parse] {source}"),
+            Error::NoSuchFunction { name } => {
+                write!(f, "[parse] no function named {name:?}")
+            }
+            Error::Instrument { source } => write!(f, "[instrument] {source}"),
+            Error::Proc {
+                source,
+                pc: Some(pc),
+            } => {
+                write!(f, "[run] {source} (mutatee pc {pc:#x})")
+            }
+            Error::Proc { source, pc: None } => write!(f, "[run] {source}"),
+            Error::MutateeFault { pc, addr } => {
+                write!(f, "[run] mutatee faulted at {pc:#x} touching {addr:#x}")
+            }
+            Error::UncleanExit { reason, pc, icount } => write!(
+                f,
+                "[run] mutatee did not exit cleanly: {reason} \
+                 (pc {pc:#x} after {icount} instructions)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Symtab { source, .. } => Some(source),
+            Error::Decode { source } => Some(source),
+            Error::Instrument { source } => Some(source),
+            Error::Proc { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<SymtabError> for Error {
+    fn from(source: SymtabError) -> Error {
+        Error::Symtab {
+            stage: Stage::Open,
+            source,
+        }
+    }
+}
+
+impl From<DecodeError> for Error {
+    fn from(source: DecodeError) -> Error {
+        Error::Decode { source }
+    }
+}
+
+impl From<InstrumentError> for Error {
+    fn from(source: InstrumentError) -> Error {
+        Error::Instrument { source }
+    }
+}
+
+impl From<CodeGenError> for Error {
+    fn from(source: CodeGenError) -> Error {
+        Error::Instrument {
+            source: InstrumentError::CodeGen(source),
+        }
+    }
+}
+
+impl From<RelocateError> for Error {
+    fn from(source: RelocateError) -> Error {
+        Error::Instrument {
+            source: InstrumentError::Relocate(source),
+        }
+    }
+}
+
+impl From<ProcError> for Error {
+    fn from(source: ProcError) -> Error {
+        Error::Proc { source, pc: None }
+    }
+}

@@ -51,11 +51,15 @@
 //! the patch is applied through the process-control interface instead of
 //! being written to a file.
 
+pub mod diag;
 pub mod dynamic;
 pub mod editor;
+pub mod error;
 
+pub use diag::Diagnostics;
 pub use dynamic::DynamicInstrumenter;
-pub use editor::{BinaryEditor, EditorError, RunOutput, run_elf};
+pub use editor::{run_elf, BinaryEditor, EditorError, RunOutput};
+pub use error::{Error, Stage};
 
 // Re-export the component APIs under their Dyninst-flavoured names.
 pub use rvdyn_codegen::regalloc::RegAllocMode;

@@ -33,7 +33,9 @@ pub fn callee_saved() -> RegSet {
 /// Caller-saved (call-clobbered) registers: everything a call may destroy
 /// (`ra`, `t*`, `a*`, `ft*`, `fa*`).
 pub fn caller_saved() -> RegSet {
-    callee_saved().complement().minus(RegSet::of(&[Reg::x(3), Reg::x(4)]))
+    callee_saved()
+        .complement()
+        .minus(RegSet::of(&[Reg::x(3), Reg::x(4)]))
     // gp/tp are neither: they are platform registers, never reallocated.
 }
 

@@ -61,7 +61,14 @@ fn terminator_kind(f: &Function, inst: &Instruction) -> Option<EdgeKind> {
         return None;
     }
     // Priority: Call > Return > TailCall > Unresolved.
-    [EdgeKind::Call, EdgeKind::Return, EdgeKind::TailCall, EdgeKind::Unresolved].into_iter().find(|&k| b.edges.iter().any(|e| e.kind == k))
+    [
+        EdgeKind::Call,
+        EdgeKind::Return,
+        EdgeKind::TailCall,
+        EdgeKind::Unresolved,
+    ]
+    .into_iter()
+    .find(|&k| b.edges.iter().any(|e| e.kind == k))
 }
 
 /// The liveness solution for one function.
@@ -82,9 +89,7 @@ impl Liveness {
             let mut u = RegSet::empty();
             let mut d = RegSet::empty();
             for inst in &b.insts {
-                let kind = if Some(inst.address)
-                    == b.last_inst().map(|l| l.address)
-                {
+                let kind = if Some(inst.address) == b.last_inst().map(|l| l.address) {
                     terminator_kind(f, inst)
                 } else {
                     None
@@ -318,7 +323,7 @@ mod tests {
         let mm = bin.symbol_by_name("matmul").unwrap().value;
         let f = &co.functions[&mm];
         let lv = Liveness::analyze(f);
-        for (&s, _) in &f.blocks {
+        for &s in f.blocks.keys() {
             let dead = lv.live_in(s).complement();
             assert!(
                 dead.len() >= 2,

@@ -28,7 +28,9 @@ fn locate(f: &Function, addr: u64) -> Option<(u64, usize)> {
 /// Backward slice from the instruction at `addr` on its *read* set (or a
 /// specific register subset if `regs` is non-empty).
 pub fn backward_slice(f: &Function, addr: u64, regs: RegSet) -> BTreeSet<SliceNode> {
-    let Some((bs, idx)) = locate(f, addr) else { return BTreeSet::new() };
+    let Some((bs, idx)) = locate(f, addr) else {
+        return BTreeSet::new();
+    };
     let start_inst = &f.blocks[&bs].insts[idx];
     let wanted = if regs.is_empty() {
         start_inst.regs_read()
@@ -77,7 +79,9 @@ pub fn backward_slice(f: &Function, addr: u64, regs: RegSet) -> BTreeSet<SliceNo
 /// Forward slice from the definition at `addr`: all instructions whose
 /// values are (transitively) data-dependent on it.
 pub fn forward_slice(f: &Function, addr: u64) -> BTreeSet<SliceNode> {
-    let Some((bs, idx)) = locate(f, addr) else { return BTreeSet::new() };
+    let Some((bs, idx)) = locate(f, addr) else {
+        return BTreeSet::new();
+    };
     let def_inst = &f.blocks[&bs].insts[idx];
     let tainted0 = def_inst.regs_written();
     if tainted0.is_empty() {

@@ -44,7 +44,9 @@ pub struct StackHeight {
 
 /// Effect of one instruction on the height.
 fn transfer(inst: &Instruction, h: Height) -> Height {
-    let Height::Known(h) = h else { return Height::Top };
+    let Height::Known(h) = h else {
+        return Height::Top;
+    };
     if inst.regs_written().contains(Reg::X2) {
         // sp-writing instruction: only `addi sp, sp, imm` (and the
         // compressed forms that expand to it) is trackable.
@@ -71,19 +73,13 @@ impl StackHeight {
             let mut h = entry[&bs];
             for inst in &b.insts {
                 // Record ra spills/reloads while heights are known.
-                if inst.op == Op::Sd
-                    && inst.rs1 == Some(Reg::X2)
-                    && inst.rs2 == Some(Reg::X1)
-                {
+                if inst.op == Op::Sd && inst.rs1 == Some(Reg::X2) && inst.rs2 == Some(Reg::X1) {
                     if let Height::Known(hk) = h {
                         // Slot relative to entry sp: sp + off = entry - h + off.
                         ra_saves.insert(inst.address, inst.imm - hk);
                     }
                 }
-                if inst.op == Op::Ld
-                    && inst.rs1 == Some(Reg::X2)
-                    && inst.rd == Some(Reg::X1)
-                {
+                if inst.op == Op::Ld && inst.rs1 == Some(Reg::X2) && inst.rd == Some(Reg::X1) {
                     ra_restores.push(inst.address);
                 }
                 h = transfer(inst, h);
@@ -99,7 +95,11 @@ impl StackHeight {
                 }
             }
         }
-        StackHeight { entry, ra_saves, ra_restores }
+        StackHeight {
+            entry,
+            ra_saves,
+            ra_restores,
+        }
     }
 
     /// Height at block entry.
@@ -109,7 +109,9 @@ impl StackHeight {
 
     /// Height immediately before the instruction at `addr`.
     pub fn before(&self, f: &Function, addr: u64) -> Height {
-        let Some(b) = f.block_containing(addr) else { return Height::Top };
+        let Some(b) = f.block_containing(addr) else {
+            return Height::Top;
+        };
         let mut h = self.entry.get(&b.start).copied().unwrap_or(Height::Top);
         for inst in &b.insts {
             if inst.address == addr {
@@ -142,7 +144,10 @@ impl StackHeight {
                 height,
                 ra_slot: Some(slot),
             },
-            _ => FrameInfo { height, ra_slot: None },
+            _ => FrameInfo {
+                height,
+                ra_slot: None,
+            },
         }
     }
 }
@@ -223,7 +228,11 @@ mod tests {
         let join = f
             .blocks
             .values()
-            .find(|b| b.insts.iter().any(|i| i.op == Op::Addi && i.imm == 16 && i.rd == Some(Reg::X2)))
+            .find(|b| {
+                b.insts
+                    .iter()
+                    .any(|i| i.op == Op::Addi && i.imm == 16 && i.rd == Some(Reg::X2))
+            })
             .unwrap();
         assert_eq!(sh.at_block_entry(join.start), Some(Height::Known(16)));
     }

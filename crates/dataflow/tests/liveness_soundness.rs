@@ -24,8 +24,14 @@ fn reg(sel: u8) -> Reg {
 
 /// One random ALU instruction.
 fn arb_inst() -> impl Strategy<Value = Instruction> {
-    (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), -2048i64..2048).prop_map(
-        |(kind, a, b, c, imm)| match kind % 6 {
+    (
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+        -2048i64..2048,
+    )
+        .prop_map(|(kind, a, b, c, imm)| match kind % 6 {
             0 => build::addi(reg(a), reg(b), imm),
             1 => build::add(reg(a), reg(b), reg(c)),
             2 => build::sub(reg(a), reg(b), reg(c)),
@@ -33,8 +39,7 @@ fn arb_inst() -> impl Strategy<Value = Instruction> {
             4 => build::r_type(Op::And, reg(a), reg(b), reg(c)),
             5 => build::i_type(Op::Slli, reg(a), reg(b), imm.rem_euclid(64)),
             _ => unreachable!(),
-        },
-    )
+        })
 }
 
 /// Execute `insts` + ret on the reference evaluator; return the observable
@@ -76,6 +81,69 @@ fn observe(insts: &[Instruction], init: &[(Reg, u64)]) -> Vec<u64> {
         obs.push(st.get(Reg::x(n)));
     }
     obs
+}
+
+/// Deterministic pin of the shrunk `.proptest-regressions` case:
+/// `body = [addi x5, x5, 0], perturb = 0`. A self-dependent first
+/// instruction reads its own destination, so the register must be live
+/// at function entry (use-before-def within the block summary), and
+/// perturbing any register liveness calls dead must leave the return
+/// observables untouched.
+#[test]
+fn self_dependent_entry_instruction_is_live() {
+    let body = vec![build::addi(Reg::x(5), Reg::x(5), 0)];
+    let mut code: Vec<u8> = Vec::new();
+    for i in &body {
+        code.extend_from_slice(&rvdyn_isa::encode::encode32(i).unwrap().to_le_bytes());
+    }
+    code.extend_from_slice(
+        &rvdyn_isa::encode::encode32(&build::ret())
+            .unwrap()
+            .to_le_bytes(),
+    );
+    let src = RawCode {
+        base: 0x1000,
+        bytes: code,
+        entries: vec![0x1000],
+    };
+    let co = CodeObject::parse(&src, &ParseOptions::default());
+    let f = &co.functions[&0x1000];
+    let lv = Liveness::analyze(f);
+
+    // `addi x5, x5, 0` reads x5 before (re)defining it: x5 is live-in.
+    assert!(
+        lv.live_in(0x1000).contains(Reg::x(5)),
+        "self-dependent x5 must be live at entry: {:?}",
+        lv.live_in(0x1000)
+    );
+
+    // Replay the perturbation oracle with perturb = 0 (flips only bit 0).
+    let dead = lv.live_in(0x1000).complement();
+    let init: Vec<(Reg, u64)> = POOL
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (Reg::x(n), 0x1000 + i as u64))
+        .collect();
+    let mut insts = body.clone();
+    insts.push(build::ret());
+    let baseline = observe(&insts, &init);
+    for &n in &POOL {
+        let r = Reg::x(n);
+        if !dead.contains(r) {
+            continue;
+        }
+        let mut init2 = init.clone();
+        for e in &mut init2 {
+            if e.0 == r {
+                e.1 ^= 1;
+            }
+        }
+        assert_eq!(
+            observe(&insts, &init2),
+            baseline,
+            "perturbing dead {r:?} changed observables"
+        );
+    }
 }
 
 proptest! {

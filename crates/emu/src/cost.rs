@@ -97,12 +97,29 @@ mod tests {
     #[test]
     fn class_weights() {
         let m = CostModel::default();
-        assert_eq!(m.cycles_for(&build::addi(rvdyn_isa::Reg::x(1), rvdyn_isa::Reg::x(1), 1), false), 1);
-        assert_eq!(m.cycles_for(&build::ld(rvdyn_isa::Reg::x(1), rvdyn_isa::Reg::X2, 0), false), 3);
+        assert_eq!(
+            m.cycles_for(
+                &build::addi(rvdyn_isa::Reg::x(1), rvdyn_isa::Reg::x(1), 1),
+                false
+            ),
+            1
+        );
+        assert_eq!(
+            m.cycles_for(
+                &build::ld(rvdyn_isa::Reg::x(1), rvdyn_isa::Reg::X2, 0),
+                false
+            ),
+            3
+        );
         let b = build::b_type(Op::Beq, rvdyn_isa::Reg::x(1), rvdyn_isa::Reg::x(2), 8);
         assert_eq!(m.cycles_for(&b, true), 3);
         assert_eq!(m.cycles_for(&b, false), 1);
-        let fd = build::f_type(Op::FdivD, rvdyn_isa::Reg::f(0), rvdyn_isa::Reg::f(1), rvdyn_isa::Reg::f(2));
+        let fd = build::f_type(
+            Op::FdivD,
+            rvdyn_isa::Reg::f(0),
+            rvdyn_isa::Reg::f(1),
+            rvdyn_isa::Reg::f(2),
+        );
         assert_eq!(m.cycles_for(&fd, false), 28);
     }
 

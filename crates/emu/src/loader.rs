@@ -10,7 +10,8 @@ use rvdyn_symtab::Binary;
 pub fn load_binary(bin: &Binary) -> Machine {
     let mut m = Machine::new();
     for seg in bin.load_segments() {
-        m.mem.map(seg.vaddr, seg.memsz.max(seg.data.len() as u64).max(1));
+        m.mem
+            .map(seg.vaddr, seg.memsz.max(seg.data.len() as u64).max(1));
         if !seg.data.is_empty() {
             m.mem.write_bytes(seg.vaddr, &seg.data);
         }
@@ -44,7 +45,9 @@ pub fn load_binary(bin: &Binary) -> Machine {
 mod tests {
     use super::*;
     use crate::machine::StopReason;
-    use rvdyn_asm::{fib_program, matmul_program, memcpy_program, switch_program, tailcall_program};
+    use rvdyn_asm::{
+        fib_program, matmul_program, memcpy_program, switch_program, tailcall_program,
+    };
 
     #[test]
     fn fib_runs_to_completion() {
@@ -94,13 +97,15 @@ mod tests {
         assert_eq!(m.run(), StopReason::Exited(0));
         let result = bin.symbol_by_name("result").unwrap().value;
         // i & 7 cycles 0..7; cases 0..3 return 10,20,30,40; 4..7 return 0.
-        let expect: u64 = (0..iters).map(|i| match i & 7 {
-            0 => 10,
-            1 => 20,
-            2 => 30,
-            3 => 40,
-            _ => 0,
-        }).sum();
+        let expect: u64 = (0..iters)
+            .map(|i| match i & 7 {
+                0 => 10,
+                1 => 20,
+                2 => 30,
+                3 => 40,
+                _ => 0,
+            })
+            .sum();
         assert_eq!(m.mem.load(result, 8).unwrap(), expect);
     }
 

@@ -257,7 +257,11 @@ impl Machine {
                     self.mem.map(f.addr & !0xFFF, 0x1000);
                     return self.step();
                 }
-                Some(StopReason::MemFault { pc, addr: f.addr, write: f.write })
+                Some(StopReason::MemFault {
+                    pc,
+                    addr: f.addr,
+                    write: f.write,
+                })
             }
         }
     }
@@ -391,7 +395,11 @@ impl Machine {
             }
             Remuw => {
                 let (a, b) = (rs1() as u32, rs2() as u32);
-                wr!(if b == 0 { a as i64 as u64 } else { sw((a % b) as u64) })
+                wr!(if b == 0 {
+                    a as i64 as u64
+                } else {
+                    sw((a % b) as u64)
+                })
             }
             Jal => {
                 let target = i.address.wrapping_add(imm as u64);
@@ -505,11 +513,19 @@ impl Machine {
         use Op::*;
         let addr = self.get(i.rs1.unwrap());
         let rd = i.rd.unwrap_or(Reg::X0);
-        let size: u8 = if i.op.mnemonic().ends_with(".w") { 4 } else { 8 };
+        let size: u8 = if i.op.mnemonic().ends_with(".w") {
+            4
+        } else {
+            8
+        };
         match i.op {
             LrW | LrD => {
                 let raw = self.mem.load(addr, size)?;
-                let v = if size == 4 { raw as u32 as i32 as i64 as u64 } else { raw };
+                let v = if size == 4 {
+                    raw as u32 as i32 as i64 as u64
+                } else {
+                    raw
+                };
                 self.set(rd, v);
             }
             ScW | ScD => {
@@ -520,7 +536,11 @@ impl Machine {
             }
             _ => {
                 let raw = self.mem.load(addr, size)?;
-                let old = if size == 4 { raw as u32 as i32 as i64 as u64 } else { raw };
+                let old = if size == 4 {
+                    raw as u32 as i32 as i64 as u64
+                } else {
+                    raw
+                };
                 let src = self.get(i.rs2.unwrap());
                 let new = match i.op {
                     AmoSwapW | AmoSwapD => src,
@@ -601,7 +621,11 @@ impl Machine {
                 Ok(Effect::Next)
             }};
         }
-        let rm = if i.rm == 7 { ((self.fcsr >> 5) & 7) as u8 } else { i.rm };
+        let rm = if i.rm == 7 {
+            ((self.fcsr >> 5) & 7) as u8
+        } else {
+            i.rm
+        };
 
         match i.op {
             FaddD => wrd!(a64() + b64()),
@@ -615,8 +639,7 @@ impl Machine {
             FdivS => wrs!(a32() / b32()),
             FsqrtS => wrs!(a32().sqrt()),
             FmaddD | FmsubD | FnmsubD | FnmaddD => {
-                let (a, b, c) =
-                    (a64(), b64(), self.f64v(i.rs3.unwrap()));
+                let (a, b, c) = (a64(), b64(), self.f64v(i.rs3.unwrap()));
                 wrd!(match i.op {
                     FmaddD => a.mul_add(b, c),
                     FmsubD => a.mul_add(b, -c),
@@ -668,7 +691,9 @@ impl Machine {
             FcvtWuD => wrx!(f2u(a64(), rm, u32::MAX as u64) as u32 as i32 as i64 as u64),
             FcvtLD => wrx!(f2i(a64(), rm, i64::MIN, i64::MAX) as u64),
             FcvtLuD => wrx!(f2u(a64(), rm, u64::MAX)),
-            FcvtWS => wrx!(f2i(a32() as f64, rm, i32::MIN as i64, i32::MAX as i64) as i32 as i64 as u64),
+            FcvtWS => {
+                wrx!(f2i(a32() as f64, rm, i32::MIN as i64, i32::MAX as i64) as i32 as i64 as u64)
+            }
             FcvtWuS => wrx!(f2u(a32() as f64, rm, u32::MAX as u64) as u32 as i32 as i64 as u64),
             FcvtLS => wrx!(f2i(a32() as f64, rm, i64::MIN, i64::MAX) as u64),
             FcvtLuS => wrx!(f2u(a32() as f64, rm, u64::MAX)),
@@ -700,12 +725,12 @@ impl Machine {
 
     fn read_csr(&self, csr: u16) -> u64 {
         match csr {
-            0x001 => self.fcsr & 0x1F,        // fflags
-            0x002 => (self.fcsr >> 5) & 0x7,  // frm
-            0x003 => self.fcsr,               // fcsr
-            0xC00 => self.cycles,             // cycle
-            0xC01 => self.now_ns() / 10,      // time (10ns ticks)
-            0xC02 => self.icount,             // instret
+            0x001 => self.fcsr & 0x1F,       // fflags
+            0x002 => (self.fcsr >> 5) & 0x7, // frm
+            0x003 => self.fcsr,              // fcsr
+            0xC00 => self.cycles,            // cycle
+            0xC01 => self.now_ns() / 10,     // time (10ns ticks)
+            0xC02 => self.icount,            // instret
             _ => 0,
         }
     }
@@ -795,11 +820,23 @@ fn fclass64(v: f64) -> u64 {
             1 << 9
         }
     } else if v.is_infinite() {
-        if sign { 1 << 0 } else { 1 << 7 }
+        if sign {
+            1 << 0
+        } else {
+            1 << 7
+        }
     } else if v == 0.0 {
-        if sign { 1 << 3 } else { 1 << 4 }
+        if sign {
+            1 << 3
+        } else {
+            1 << 4
+        }
     } else if v.is_subnormal() {
-        if sign { 1 << 2 } else { 1 << 5 }
+        if sign {
+            1 << 2
+        } else {
+            1 << 5
+        }
     } else if sign {
         1 << 1
     } else {
@@ -817,11 +854,23 @@ fn fclass32(v: f32) -> u64 {
             1 << 9
         }
     } else if v.is_infinite() {
-        if sign { 1 << 0 } else { 1 << 7 }
+        if sign {
+            1 << 0
+        } else {
+            1 << 7
+        }
     } else if v == 0.0 {
-        if sign { 1 << 3 } else { 1 << 4 }
+        if sign {
+            1 << 3
+        } else {
+            1 << 4
+        }
     } else if v.is_subnormal() {
-        if sign { 1 << 2 } else { 1 << 5 }
+        if sign {
+            1 << 2
+        } else {
+            1 << 5
+        }
     } else if sign {
         1 << 1
     } else {
@@ -837,7 +886,11 @@ fn fmin64(a: f64, b: f64) -> f64 {
         _ => {
             if a == 0.0 && b == 0.0 {
                 // fmin(-0, +0) = -0
-                if a.is_sign_negative() { a } else { b }
+                if a.is_sign_negative() {
+                    a
+                } else {
+                    b
+                }
             } else {
                 a.min(b)
             }
@@ -852,7 +905,11 @@ fn fmax64(a: f64, b: f64) -> f64 {
         (false, true) => a,
         _ => {
             if a == 0.0 && b == 0.0 {
-                if a.is_sign_positive() { a } else { b }
+                if a.is_sign_positive() {
+                    a
+                } else {
+                    b
+                }
             } else {
                 a.max(b)
             }
@@ -867,7 +924,11 @@ fn fmin32(a: f32, b: f32) -> f32 {
         (false, true) => a,
         _ => {
             if a == 0.0 && b == 0.0 {
-                if a.is_sign_negative() { a } else { b }
+                if a.is_sign_negative() {
+                    a
+                } else {
+                    b
+                }
             } else {
                 a.min(b)
             }
@@ -882,7 +943,11 @@ fn fmax32(a: f32, b: f32) -> f32 {
         (false, true) => a,
         _ => {
             if a == 0.0 && b == 0.0 {
-                if a.is_sign_positive() { a } else { b }
+                if a.is_sign_positive() {
+                    a
+                } else {
+                    b
+                }
             } else {
                 a.max(b)
             }
@@ -932,9 +997,9 @@ fn round_rm(v: f64, rm: u8) -> f64 {
                 r
             }
         }
-        1 => v.trunc(),  // RTZ
-        2 => v.floor(),  // RDN
-        3 => v.ceil(),   // RUP
+        1 => v.trunc(), // RTZ
+        2 => v.floor(), // RDN
+        3 => v.ceil(),  // RUP
         _ => v.trunc(),
     }
 }
@@ -1014,7 +1079,11 @@ mod tests {
         let mut m = machine_with(&code, 0x1000);
         assert_eq!(
             m.run(),
-            StopReason::MemFault { pc: 0x1000, addr: 0x10, write: false }
+            StopReason::MemFault {
+                pc: 0x1000,
+                addr: 0x10,
+                write: false
+            }
         );
     }
 
@@ -1169,11 +1238,12 @@ mod syscall_edge_tests {
         m.gpr[10] = a0;
         m.gpr[11] = a1;
         m.gpr[12] = a2;
-        let mut insts = vec![];
         // a7 = nr via lui/addi-free path: materialise small values only.
-        insts.push(build::addi(Reg::x(17), Reg::X0, nr));
-        insts.push(build::ecall());
-        insts.push(build::ebreak());
+        let insts = [
+            build::addi(Reg::x(17), Reg::X0, nr),
+            build::ecall(),
+            build::ebreak(),
+        ];
         let code: Vec<u8> = insts
             .iter()
             .flat_map(|i| encode32(i).unwrap().to_le_bytes())
@@ -1232,7 +1302,10 @@ mod syscall_edge_tests {
         let (mut m2, r2) = run_syscall(214, cur + 0x2000, 0, 0);
         assert!(matches!(r2, StopReason::Break(_)));
         assert_eq!(m2.gpr[10], cur + 0x2000);
-        assert!(m2.mem.store(cur + 0x1000, 8, 42).is_ok(), "grown heap usable");
+        assert!(
+            m2.mem.store(cur + 0x1000, 8, 42).is_ok(),
+            "grown heap usable"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl Memory {
         let first = addr >> PAGE_SHIFT;
         let last = (addr + len.max(1) - 1) >> PAGE_SHIFT;
         for p in first..=last {
-            self.pages.entry(p).or_insert_with(|| Box::new([0; PAGE_SIZE]));
+            self.pages
+                .entry(p)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE]));
         }
     }
 
@@ -63,10 +65,10 @@ impl Memory {
         let mut off = 0usize;
         while off < len {
             let (pno, poff) = Self::page_of(addr + off as u64);
-            let page = self
-                .pages
-                .get(&pno)
-                .ok_or(MemFault { addr: addr + off as u64, write: false })?;
+            let page = self.pages.get(&pno).ok_or(MemFault {
+                addr: addr + off as u64,
+                write: false,
+            })?;
             let n = (PAGE_SIZE - poff).min(len - off);
             out.extend_from_slice(&page[poff..poff + n]);
             off += n;
@@ -78,7 +80,10 @@ impl Memory {
     #[inline]
     pub fn load(&self, addr: u64, size: u8) -> Result<u64, MemFault> {
         let (pno, poff) = Self::page_of(addr);
-        let page = self.pages.get(&pno).ok_or(MemFault { addr, write: false })?;
+        let page = self
+            .pages
+            .get(&pno)
+            .ok_or(MemFault { addr, write: false })?;
         let size = size as usize;
         if poff + size <= PAGE_SIZE {
             let mut buf = [0u8; 8];
@@ -99,7 +104,10 @@ impl Memory {
         let (pno, poff) = Self::page_of(addr);
         let size_us = size as usize;
         if poff + size_us <= PAGE_SIZE {
-            let page = self.pages.get_mut(&pno).ok_or(MemFault { addr, write: true })?;
+            let page = self
+                .pages
+                .get_mut(&pno)
+                .ok_or(MemFault { addr, write: true })?;
             page[poff..poff + size_us].copy_from_slice(&val.to_le_bytes()[..size_us]);
             Ok(())
         } else {
@@ -108,10 +116,10 @@ impl Memory {
             for (i, b) in bytes[..size_us].iter().enumerate() {
                 let a = addr + i as u64;
                 let (pno, poff) = Self::page_of(a);
-                let page = self
-                    .pages
-                    .get_mut(&pno)
-                    .ok_or(MemFault { addr: a, write: true })?;
+                let page = self.pages.get_mut(&pno).ok_or(MemFault {
+                    addr: a,
+                    write: true,
+                })?;
                 page[poff] = *b;
             }
             Ok(())
@@ -131,7 +139,13 @@ mod tests {
     #[test]
     fn unmapped_reads_fault() {
         let m = Memory::new();
-        assert_eq!(m.load(0x1000, 8), Err(MemFault { addr: 0x1000, write: false }));
+        assert_eq!(
+            m.load(0x1000, 8),
+            Err(MemFault {
+                addr: 0x1000,
+                write: false
+            })
+        );
     }
 
     #[test]

@@ -114,7 +114,11 @@ fn imm_j(raw: u32) -> i64 {
 /// the caller how far to advance (2 or 4).
 pub fn decode(bytes: &[u8], address: u64) -> Result<Instruction, DecodeError> {
     if bytes.len() < 2 {
-        return Err(DecodeError::Truncated { address, have: bytes.len(), need: 2 });
+        return Err(DecodeError::Truncated {
+            address,
+            have: bytes.len(),
+            need: 2,
+        });
     }
     let lo = u16::from_le_bytes([bytes[0], bytes[1]]);
     if lo & 0b11 != 0b11 {
@@ -123,10 +127,17 @@ pub fn decode(bytes: &[u8], address: u64) -> Result<Instruction, DecodeError> {
     }
     if lo & 0b11100 == 0b11100 {
         // 48-bit+ encodings are reserved; we do not support them.
-        return Err(DecodeError::Invalid { address, raw: lo as u32 });
+        return Err(DecodeError::Invalid {
+            address,
+            raw: lo as u32,
+        });
     }
     if bytes.len() < 4 {
-        return Err(DecodeError::Truncated { address, have: bytes.len(), need: 4 });
+        return Err(DecodeError::Truncated {
+            address,
+            have: bytes.len(),
+            need: 4,
+        });
     }
     let raw = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
     if raw == 0 || raw == 0xFFFF_FFFF {
@@ -149,7 +160,11 @@ pub fn decode32(raw: u32, address: u64) -> Result<Instruction, DecodeError> {
     let mut i;
     match opcode {
         OPC_LUI | OPC_AUIPC => {
-            let op = if opcode == OPC_LUI { Op::Lui } else { Op::Auipc };
+            let op = if opcode == OPC_LUI {
+                Op::Lui
+            } else {
+                Op::Auipc
+            };
             i = Instruction::new(address, raw, 4, op);
             i.rd = Some(rd_x(raw));
             i.imm = imm_u(raw);
@@ -704,12 +719,7 @@ mod tests {
     fn decode_branch() {
         // beq a0, a1, +16
         // imm_b(16): bit4:1=1000 -> bits 11:8; rest zero
-        let raw = (0b0 << 31)
-            | (11 << 20)
-            | (10 << 15)
-            | (0b000 << 12)
-            | (0b1000 << 8)
-            | 0x63;
+        let raw = ((11 << 20) | (10 << 15)) | (0b1000 << 8) | 0x63;
         let i = decode32(raw, 0).unwrap();
         assert_eq!(i.op, Op::Beq);
         assert_eq!(i.imm, 16);
@@ -723,7 +733,8 @@ mod tests {
         assert_eq!(i.op, Op::Ld);
         assert_eq!(i.mem_access().unwrap().size, 8);
         // sd a0, -8(sp): imm=-8 = 0xFF8 -> hi 0b1111111, lo 0b11000
-        let raw = (0b1111111 << 25) | (10 << 20) | (2 << 15) | (0b011 << 12) | (0b11000 << 7) | 0x23;
+        let raw =
+            (0b1111111 << 25) | (10 << 20) | (2 << 15) | (0b011 << 12) | (0b11000 << 7) | 0x23;
         let i = d32(raw);
         assert_eq!(i.op, Op::Sd);
         assert_eq!(i.imm, -8);
@@ -746,7 +757,7 @@ mod tests {
     #[test]
     fn decode_m_extension() {
         // mul a0, a1, a2
-        let raw = (1 << 25) | (12 << 20) | (11 << 15) | (0b000 << 12) | (10 << 7) | 0x33;
+        let raw = ((1 << 25) | (12 << 20) | (11 << 15)) | (10 << 7) | 0x33;
         let i = d32(raw);
         assert_eq!(i.op, Op::Mul);
         // divw a0, a1, a2
@@ -758,7 +769,7 @@ mod tests {
     #[test]
     fn decode_amo() {
         // amoadd.w.aq a0, a1, (a2)
-        let raw = (0b00000 << 27) | (1 << 26) | (11 << 20) | (12 << 15) | (0b010 << 12) | (10 << 7) | 0x2F;
+        let raw = (1 << 26) | (11 << 20) | (12 << 15) | (0b010 << 12) | (10 << 7) | 0x2F;
         let i = d32(raw);
         assert_eq!(i.op, Op::AmoAddW);
         assert!(i.aq);
@@ -799,7 +810,8 @@ mod tests {
     #[test]
     fn decode_fma() {
         // fmadd.d fa0, fa1, fa2, fa3
-        let raw = (13 << 27) | (0b01 << 25) | (12 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x43;
+        let raw =
+            (13 << 27) | (0b01 << 25) | (12 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x43;
         let i = d32(raw);
         assert_eq!(i.op, Op::FmaddD);
         assert_eq!(i.rs3, Some(Reg::f(13)));
@@ -813,7 +825,7 @@ mod tests {
         let i = d32(0x0010_0073);
         assert_eq!(i.op, Op::Ebreak);
         // csrrs a0, fcsr(0x003), x0  (frcsr)
-        let raw = (0x003 << 20) | (0 << 15) | (0b010 << 12) | (10 << 7) | 0x73;
+        let raw = (0x003 << 20) | (0b010 << 12) | (10 << 7) | 0x73;
         let i = d32(raw);
         assert_eq!(i.op, Op::Csrrs);
         assert_eq!(i.csr, Some(3));

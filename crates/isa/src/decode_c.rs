@@ -30,7 +30,10 @@ fn fp(n: u16) -> Reg {
 
 /// Decode a 16-bit encoding at `address`.
 pub fn decode_compressed(raw: u16, address: u64) -> Result<Instruction, DecodeError> {
-    let invalid = || DecodeError::Invalid { address, raw: raw as u32 };
+    let invalid = || DecodeError::Invalid {
+        address,
+        raw: raw as u32,
+    };
     if raw == 0 {
         return Err(DecodeError::DefinedIllegal { address });
     }
@@ -65,9 +68,8 @@ pub fn decode_compressed(raw: u16, address: u64) -> Result<Instruction, DecodeEr
             i.imm = uimm as i64;
         }
         (0b00, 0b010) => {
-            let uimm = (bits16(raw, 12, 10) << 3)
-                | (bits16(raw, 6, 6) << 2)
-                | (bits16(raw, 5, 5) << 6);
+            let uimm =
+                (bits16(raw, 12, 10) << 3) | (bits16(raw, 6, 6) << 2) | (bits16(raw, 5, 5) << 6);
             i.op = Op::Lw;
             i.compressed = Some(CompressedOp::CLw);
             i.rd = Some(xp(bits16(raw, 4, 2)));
@@ -92,9 +94,8 @@ pub fn decode_compressed(raw: u16, address: u64) -> Result<Instruction, DecodeEr
             i.imm = uimm as i64;
         }
         (0b00, 0b110) => {
-            let uimm = (bits16(raw, 12, 10) << 3)
-                | (bits16(raw, 6, 6) << 2)
-                | (bits16(raw, 5, 5) << 6);
+            let uimm =
+                (bits16(raw, 12, 10) << 3) | (bits16(raw, 6, 6) << 2) | (bits16(raw, 5, 5) << 6);
             i.op = Op::Sw;
             i.compressed = Some(CompressedOp::CSw);
             i.rs1 = Some(xp(bits16(raw, 9, 7)));
@@ -169,8 +170,7 @@ pub fn decode_compressed(raw: u16, address: u64) -> Result<Instruction, DecodeEr
             } else {
                 // c.lui (rd != 0, 2; nzimm != 0)
                 let imm = sext(
-                    ((bits16(raw, 12, 12) as u32) << 17)
-                        | ((bits16(raw, 6, 2) as u32) << 12),
+                    ((bits16(raw, 12, 12) as u32) << 17) | ((bits16(raw, 6, 2) as u32) << 12),
                     18,
                 );
                 if rd == 0 || imm == 0 {
@@ -203,10 +203,7 @@ pub fn decode_compressed(raw: u16, address: u64) -> Result<Instruction, DecodeEr
                     i.compressed = Some(CompressedOp::CAndi);
                     i.rd = Some(rd);
                     i.rs1 = Some(rd);
-                    i.imm = sext(
-                        ((bits16(raw, 12, 12) << 5) | bits16(raw, 6, 2)) as u32,
-                        6,
-                    );
+                    i.imm = sext(((bits16(raw, 12, 12) << 5) | bits16(raw, 6, 2)) as u32, 6);
                 }
                 _ => {
                     let rs2 = xp(bits16(raw, 4, 2));
@@ -281,9 +278,8 @@ pub fn decode_compressed(raw: u16, address: u64) -> Result<Instruction, DecodeEr
         }
         (0b10, 0b001) => {
             // c.fldsp
-            let uimm = (bits16(raw, 12, 12) << 5)
-                | (bits16(raw, 6, 5) << 3)
-                | (bits16(raw, 4, 2) << 6);
+            let uimm =
+                (bits16(raw, 12, 12) << 5) | (bits16(raw, 6, 5) << 3) | (bits16(raw, 4, 2) << 6);
             i.op = Op::Fld;
             i.compressed = Some(CompressedOp::CFldsp);
             i.rd = Some(Reg::f(bits16(raw, 11, 7) as u8));
@@ -296,9 +292,8 @@ pub fn decode_compressed(raw: u16, address: u64) -> Result<Instruction, DecodeEr
             if rd == 0 {
                 return Err(invalid());
             }
-            let uimm = (bits16(raw, 12, 12) << 5)
-                | (bits16(raw, 6, 4) << 2)
-                | (bits16(raw, 3, 2) << 6);
+            let uimm =
+                (bits16(raw, 12, 12) << 5) | (bits16(raw, 6, 4) << 2) | (bits16(raw, 3, 2) << 6);
             i.op = Op::Lw;
             i.compressed = Some(CompressedOp::CLwsp);
             i.rd = Some(Reg::x(rd));
@@ -311,9 +306,8 @@ pub fn decode_compressed(raw: u16, address: u64) -> Result<Instruction, DecodeEr
             if rd == 0 {
                 return Err(invalid());
             }
-            let uimm = (bits16(raw, 12, 12) << 5)
-                | (bits16(raw, 6, 5) << 3)
-                | (bits16(raw, 4, 2) << 6);
+            let uimm =
+                (bits16(raw, 12, 12) << 5) | (bits16(raw, 6, 5) << 3) | (bits16(raw, 4, 2) << 6);
             i.op = Op::Ld;
             i.compressed = Some(CompressedOp::CLdsp);
             i.rd = Some(Reg::x(rd));
@@ -406,6 +400,9 @@ pub fn decode_compressed(raw: u16, address: u64) -> Result<Instruction, DecodeEr
 }
 
 #[cfg(test)]
+// Literals below are grouped by the C-format instruction fields
+// (funct3 | imm | rs/rd | op), not by nibbles.
+#[allow(clippy::unusual_byte_groupings)]
 mod tests {
     use super::*;
     use crate::inst::ControlFlow;
@@ -552,7 +549,7 @@ mod tests {
     #[test]
     fn c_arith() {
         // c.sub s0, s1: rd'=0 (x8), rs2'=1 (x9)
-        let raw = (0b100u16 << 13) | (0b11 << 10) | (0 << 7) | (0b00 << 5) | (1 << 2) | 0b01;
+        let raw = ((0b100u16 << 13) | (0b11 << 10)) | (1 << 2) | 0b01;
         let i = dc(raw);
         assert_eq!(i.compressed, Some(CompressedOp::CSub));
         assert_eq!(i.op, Op::Sub);
@@ -578,12 +575,12 @@ mod tests {
     #[test]
     fn c_shifts() {
         // c.slli a0, 32: bit12 = shamt[5]
-        let raw = (0b000u16 << 13) | (1 << 12) | (10 << 7) | 0b10;
+        let raw = (1 << 12) | (10 << 7) | 0b10;
         let i = dc(raw);
         assert_eq!(i.op, Op::Slli);
         assert_eq!(i.imm, 32);
         // c.srai s0, 1
-        let raw = (0b100u16 << 13) | (0b01 << 10) | (0 << 7) | (1 << 2) | 0b01;
+        let raw = ((0b100u16 << 13) | (0b01 << 10)) | (1 << 2) | 0b01;
         let i = dc(raw);
         assert_eq!(i.op, Op::Srai);
         assert_eq!(i.imm, 1);

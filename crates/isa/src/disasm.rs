@@ -34,7 +34,12 @@ pub fn format_instruction(inst: &Instruction) -> String {
 
     match inst.op {
         Op::Lui | Op::Auipc => {
-            let _ = write!(s, "{}, {:#x}", rd.unwrap(), (inst.imm as u64 >> 12) & 0xFFFFF);
+            let _ = write!(
+                s,
+                "{}, {:#x}",
+                rd.unwrap(),
+                (inst.imm as u64 >> 12) & 0xFFFFF
+            );
         }
         Op::Jal => {
             let target = inst.address.wrapping_add(inst.imm as u64);
@@ -53,17 +58,15 @@ pub fn format_instruction(inst: &Instruction) -> String {
         op if op.is_store() && !op.is_atomic() => {
             let _ = write!(s, "{}, {}({})", rs2.unwrap(), inst.imm, rs1.unwrap());
         }
-        op if op.is_atomic() => {
-            match (rd, rs2) {
-                (Some(d), Some(v)) => {
-                    let _ = write!(s, "{}, {}, ({})", d, v, rs1.unwrap());
-                }
-                (Some(d), None) => {
-                    let _ = write!(s, "{}, ({})", d, rs1.unwrap());
-                }
-                _ => {}
+        op if op.is_atomic() => match (rd, rs2) {
+            (Some(d), Some(v)) => {
+                let _ = write!(s, "{}, {}, ({})", d, v, rs1.unwrap());
             }
-        }
+            (Some(d), None) => {
+                let _ = write!(s, "{}, ({})", d, rs1.unwrap());
+            }
+            _ => {}
+        },
         Op::Ecall | Op::Ebreak | Op::Fence | Op::FenceI => {
             // no operands shown
             while s.ends_with(' ') {

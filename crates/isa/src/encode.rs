@@ -184,9 +184,21 @@ pub fn encode32(inst: &Instruction) -> R {
                 Srli => (0b101, 0),
                 _ => (0b101, 0b010000u32),
             };
-            enc_i(OPC_OP_IMM, f3, rd()?, rs1()?, ((hi << 6) | imm as u32) as u64)
+            enc_i(
+                OPC_OP_IMM,
+                f3,
+                rd()?,
+                rs1()?,
+                ((hi << 6) | imm as u32) as u64,
+            )
         }
-        Addiw => enc_i(OPC_OP_IMM_32, 0b000, rd()?, rs1()?, check_simm(op, imm, 12)?),
+        Addiw => enc_i(
+            OPC_OP_IMM_32,
+            0b000,
+            rd()?,
+            rs1()?,
+            check_simm(op, imm, 12)?,
+        ),
         Slliw | Srliw | Sraiw => {
             if !(0..32).contains(&imm) {
                 return Err(EncodeError::ImmOutOfRange { op, imm, bits: 5 });
@@ -196,10 +208,16 @@ pub fn encode32(inst: &Instruction) -> R {
                 Srliw => (0b101, 0),
                 _ => (0b101, 0b0100000u32),
             };
-            enc_i(OPC_OP_IMM_32, f3, rd()?, rs1()?, ((f7 << 5) | imm as u32) as u64)
+            enc_i(
+                OPC_OP_IMM_32,
+                f3,
+                rd()?,
+                rs1()?,
+                ((f7 << 5) | imm as u32) as u64,
+            )
         }
-        Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Mul
-        | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu => {
+        Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And | Mul | Mulh | Mulhsu | Mulhu
+        | Div | Divu | Rem | Remu => {
             let (f7, f3) = match op {
                 Add => (0b0000000, 0b000),
                 Sub => (0b0100000, 0b000),
@@ -260,7 +278,8 @@ pub fn encode32(inst: &Instruction) -> R {
             };
             let csr = inst
                 .csr
-                .ok_or(EncodeError::MissingOperand { op, which: "csr" })? as u32;
+                .ok_or(EncodeError::MissingOperand { op, which: "csr" })?
+                as u32;
             let src = if f3 & 0b100 == 0 {
                 rs1()?
             } else {
@@ -271,10 +290,9 @@ pub fn encode32(inst: &Instruction) -> R {
             };
             (csr << 20) | (src << 15) | (f3 << 12) | (rd()? << 7) | OPC_SYSTEM
         }
-        LrW | ScW | AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW | AmoMinW
-        | AmoMaxW | AmoMinuW | AmoMaxuW | LrD | ScD | AmoSwapD | AmoAddD
-        | AmoXorD | AmoAndD | AmoOrD | AmoMinD | AmoMaxD | AmoMinuD
-        | AmoMaxuD => {
+        LrW | ScW | AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW | AmoMinW | AmoMaxW
+        | AmoMinuW | AmoMaxuW | LrD | ScD | AmoSwapD | AmoAddD | AmoXorD | AmoAndD | AmoOrD
+        | AmoMinD | AmoMaxD | AmoMinuD | AmoMaxuD => {
             let (f5, f3) = match op {
                 LrW => (0b00010, 0b010),
                 ScW => (0b00011, 0b010),
@@ -311,8 +329,7 @@ pub fn encode32(inst: &Instruction) -> R {
             let f3 = if op == Fsw { 0b010 } else { 0b011 };
             enc_s(OPC_STORE_FP, f3, rs1()?, rs2()?, check_simm(op, imm, 12)?)
         }
-        FmaddS | FmsubS | FnmsubS | FnmaddS | FmaddD | FmsubD | FnmsubD
-        | FnmaddD => {
+        FmaddS | FmsubS | FnmsubS | FnmaddS | FmaddD | FmsubD | FnmsubD | FnmaddD => {
             let opc = match op {
                 FmaddS | FmaddD => OPC_MADD,
                 FmsubS | FmsubD => OPC_MSUB,
@@ -397,7 +414,10 @@ fn encode_fp(inst: &Instruction) -> R {
         FltD => (0b10100, true, Some(0b001), None),
         FleD => (0b10100, true, Some(0b000), None),
         _ => {
-            return Err(EncodeError::MissingOperand { op, which: "unsupported op" })
+            return Err(EncodeError::MissingOperand {
+                op,
+                which: "unsupported op",
+            })
         }
     };
     let f7 = (sel << 2) | if dbl { 1 } else { 0 };
@@ -440,9 +460,8 @@ pub fn compress(inst: &Instruction) -> Option<u16> {
             None
         }
     };
-    let fits = |v: i64, bits: u32| -> bool {
-        v >= -(1i64 << (bits - 1)) && v < (1i64 << (bits - 1))
-    };
+    let fits =
+        |v: i64, bits: u32| -> bool { v >= -(1i64 << (bits - 1)) && v < (1i64 << (bits - 1)) };
 
     match inst.op {
         Addi => {
@@ -466,9 +485,7 @@ pub fn compress(inst: &Instruction) -> Option<u16> {
             if rd == rs1 && fits(imm, 6) && (rd != 0 || imm == 0) {
                 // c.addi (c.nop when rd==0, imm==0)
                 let u = (imm as u16) & 0x3F;
-                return Some(
-                    (((u >> 5) & 1) << 12) | (rd << 7) | ((u & 0x1F) << 2) | 0b01,
-                );
+                return Some((((u >> 5) & 1) << 12) | (rd << 7) | ((u & 0x1F) << 2) | 0b01);
             }
             if rs1 == 0 && rd != 0 && fits(imm, 6) {
                 // c.li
@@ -508,11 +525,7 @@ pub fn compress(inst: &Instruction) -> Option<u16> {
             if rd != 0 && rd != 2 && imm != 0 && imm % 0x1000 == 0 && fits(imm, 18) {
                 let hi = ((imm >> 12) as u16) & 0x3F;
                 return Some(
-                    (0b011 << 13)
-                        | (((hi >> 5) & 1) << 12)
-                        | (rd << 7)
-                        | ((hi & 0x1F) << 2)
-                        | 0b01,
+                    (0b011 << 13) | (((hi >> 5) & 1) << 12) | (rd << 7) | ((hi & 0x1F) << 2) | 0b01,
                 );
             }
             None
@@ -575,9 +588,7 @@ pub fn compress(inst: &Instruction) -> Option<u16> {
             let rd = rdn?;
             if rd != 0 && rs1n? == rd && (0..64).contains(&imm) && imm != 0 {
                 let u = imm as u16;
-                return Some(
-                    (((u >> 5) & 1) << 12) | (rd << 7) | ((u & 0x1F) << 2) | 0b10,
-                );
+                return Some((((u >> 5) & 1) << 12) | (rd << 7) | ((u & 0x1F) << 2) | 0b10);
             }
             None
         }
@@ -749,11 +760,7 @@ fn compress_mem(inst: &Instruction) -> Option<u16> {
             }
             let u = imm as u16;
             Some(
-                (f3 << 13)
-                    | (((u >> 3) & 7) << 10)
-                    | (bp << 7)
-                    | (((u >> 6) & 3) << 5)
-                    | (dp << 2),
+                (f3 << 13) | (((u >> 3) & 7) << 10) | (bp << 7) | (((u >> 6) & 3) << 5) | (dp << 2),
             )
         }
         _ => None,
@@ -763,7 +770,7 @@ fn compress_mem(inst: &Instruction) -> Option<u16> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decode::{decode32, decode};
+    use crate::decode::{decode, decode32};
     use crate::decode_c::decode_compressed;
 
     fn round_trip32(raw: u32) {
@@ -887,7 +894,8 @@ mod tests {
         let raw = (0b0000001 << 25) | (12 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x53;
         round_trip32(raw);
         // fmadd.d
-        let raw = (13 << 27) | (0b01 << 25) | (12 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x43;
+        let raw =
+            (13 << 27) | (0b01 << 25) | (12 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x43;
         round_trip32(raw);
         // fcvt.d.l
         let raw = (0b1101001 << 25) | (2 << 20) | (11 << 15) | (0b111 << 12) | (10 << 7) | 0x53;

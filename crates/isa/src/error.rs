@@ -6,7 +6,11 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeError {
     /// Fewer bytes available than the instruction length requires.
-    Truncated { address: u64, have: usize, need: usize },
+    Truncated {
+        address: u64,
+        have: usize,
+        need: usize,
+    },
     /// The encoding does not correspond to any supported RV64GC instruction.
     Invalid { address: u64, raw: u32 },
     /// The all-zero / all-ones guard encodings, defined illegal by the spec.
@@ -26,7 +30,11 @@ impl DecodeError {
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            DecodeError::Truncated { address, have, need } => write!(
+            DecodeError::Truncated {
+                address,
+                have,
+                need,
+            } => write!(
                 f,
                 "truncated instruction at {address:#x}: have {have} bytes, need {need}"
             ),

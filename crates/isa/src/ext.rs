@@ -141,7 +141,9 @@ impl ExtensionSet {
     }
 
     pub fn iter(self) -> impl Iterator<Item = Extension> {
-        Extension::ALL.into_iter().filter(move |&e| self.contains(e))
+        Extension::ALL
+            .into_iter()
+            .filter(move |&e| self.contains(e))
     }
 }
 
@@ -323,7 +325,10 @@ impl FromStr for IsaProfile {
         if !exts.contains(Extension::I) {
             return Err(ArchStringError(format!("{s}: missing base ISA")));
         }
-        Ok(IsaProfile { xlen, extensions: exts })
+        Ok(IsaProfile {
+            xlen,
+            extensions: exts,
+        })
     }
 }
 

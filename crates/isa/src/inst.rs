@@ -192,15 +192,17 @@ impl Instruction {
 
     /// Does this instruction end a basic block?
     pub fn is_block_terminator(&self) -> bool {
-        !matches!(self.control_flow(), ControlFlow::None | ControlFlow::Syscall)
+        !matches!(
+            self.control_flow(),
+            ControlFlow::None | ControlFlow::Syscall
+        )
     }
 
     /// True if the link register of a `jal`/`jalr` marks this as
     /// call-shaped (rd is `ra` or the alternate link register `t0`).
     pub fn is_call_shaped(&self) -> bool {
         match self.control_flow() {
-            ControlFlow::DirectJump { link, .. }
-            | ControlFlow::IndirectJump { link, .. } => {
+            ControlFlow::DirectJump { link, .. } | ControlFlow::IndirectJump { link, .. } => {
                 link == LINK_REG || link == ALT_LINK_REG
             }
             _ => false,
@@ -335,7 +337,10 @@ mod tests {
         i.rs2 = Some(Reg::x(11));
         i.imm = -8;
         match i.control_flow() {
-            ControlFlow::ConditionalBranch { target, fallthrough } => {
+            ControlFlow::ConditionalBranch {
+                target,
+                fallthrough,
+            } => {
                 assert_eq!(target, 0x0FF8);
                 assert_eq!(fallthrough, 0x1004);
             }

@@ -345,22 +345,19 @@ impl Op {
         match self {
             FenceI => Extension::Zifencei,
             Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => Extension::Zicsr,
-            Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu | Mulw
-            | Divw | Divuw | Remw | Remuw => Extension::M,
-            LrW | ScW | AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW
-            | AmoMinW | AmoMaxW | AmoMinuW | AmoMaxuW | LrD | ScD | AmoSwapD
-            | AmoAddD | AmoXorD | AmoAndD | AmoOrD | AmoMinD | AmoMaxD
-            | AmoMinuD | AmoMaxuD => Extension::A,
-            Flw | Fsw | FmaddS | FmsubS | FnmsubS | FnmaddS | FaddS | FsubS
-            | FmulS | FdivS | FsqrtS | FsgnjS | FsgnjnS | FsgnjxS | FminS
-            | FmaxS | FcvtWS | FcvtWuS | FcvtLS | FcvtLuS | FmvXW | FeqS
-            | FltS | FleS | FclassS | FcvtSW | FcvtSWu | FcvtSL | FcvtSLu
-            | FmvWX => Extension::F,
-            Fld | Fsd | FmaddD | FmsubD | FnmsubD | FnmaddD | FaddD | FsubD
-            | FmulD | FdivD | FsqrtD | FsgnjD | FsgnjnD | FsgnjxD | FminD
-            | FmaxD | FcvtSD | FcvtDS | FcvtWD | FcvtWuD | FcvtLD | FcvtLuD
-            | FmvXD | FeqD | FltD | FleD | FclassD | FcvtDW | FcvtDWu
-            | FcvtDL | FcvtDLu | FmvDX => Extension::D,
+            Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu | Mulw | Divw | Divuw | Remw
+            | Remuw => Extension::M,
+            LrW | ScW | AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW | AmoMinW | AmoMaxW
+            | AmoMinuW | AmoMaxuW | LrD | ScD | AmoSwapD | AmoAddD | AmoXorD | AmoAndD | AmoOrD
+            | AmoMinD | AmoMaxD | AmoMinuD | AmoMaxuD => Extension::A,
+            Flw | Fsw | FmaddS | FmsubS | FnmsubS | FnmaddS | FaddS | FsubS | FmulS | FdivS
+            | FsqrtS | FsgnjS | FsgnjnS | FsgnjxS | FminS | FmaxS | FcvtWS | FcvtWuS | FcvtLS
+            | FcvtLuS | FmvXW | FeqS | FltS | FleS | FclassS | FcvtSW | FcvtSWu | FcvtSL
+            | FcvtSLu | FmvWX => Extension::F,
+            Fld | Fsd | FmaddD | FmsubD | FnmsubD | FnmaddD | FaddD | FsubD | FmulD | FdivD
+            | FsqrtD | FsgnjD | FsgnjnD | FsgnjxD | FminD | FmaxD | FcvtSD | FcvtDS | FcvtWD
+            | FcvtWuD | FcvtLD | FcvtLuD | FmvXD | FeqD | FltD | FleD | FclassD | FcvtDW
+            | FcvtDWu | FcvtDL | FcvtDLu | FmvDX => Extension::D,
             _ => Extension::I,
         }
     }

@@ -132,7 +132,11 @@ pub enum MicroOp {
         sign_extend: bool,
     },
     /// Store `size` low bytes of `val` at `addr`.
-    Store { addr: SemExpr, val: SemExpr, size: u8 },
+    Store {
+        addr: SemExpr,
+        val: SemExpr,
+        size: u8,
+    },
     /// Transfer control to `target` (unconditionally if `cond` is `None`).
     SetPc {
         target: SemExpr,
@@ -235,11 +239,7 @@ pub fn micro_ops(inst: &Instruction) -> Vec<MicroOp> {
             // records the transfer — is emitted before the link write.
             let mut v = vec![MicroOp::SetPc {
                 // target = (rs1 + imm) & !1
-                target: SemExpr::bin(
-                    B::And,
-                    SemExpr::bin(B::Add, rs1(), imm()),
-                    SemExpr::imm(!1),
-                ),
+                target: SemExpr::bin(B::And, SemExpr::bin(B::Add, rs1(), imm()), SemExpr::imm(!1)),
                 cond: None,
             }];
             v.extend(wr(SemExpr::imm(inst.next_pc() as i64)));
@@ -307,19 +307,44 @@ pub fn micro_ops(inst: &Instruction) -> Vec<MicroOp> {
         O::ScW | O::ScD => {
             let size = if inst.op == O::ScW { 4 } else { 8 };
             // Single-threaded model: SC always succeeds (writes 0 to rd).
-            let mut v = vec![MicroOp::Store { addr: rs1(), val: rs2(), size }];
+            let mut v = vec![MicroOp::Store {
+                addr: rs1(),
+                val: rs2(),
+                size,
+            }];
             if let Some(r) = rd {
                 if !r.is_zero() {
-                    v.push(MicroOp::Write { rd: r, val: SemExpr::imm(0) });
+                    v.push(MicroOp::Write {
+                        rd: r,
+                        val: SemExpr::imm(0),
+                    });
                 }
             }
             v
         }
-        O::AmoSwapW | O::AmoAddW | O::AmoXorW | O::AmoAndW | O::AmoOrW
-        | O::AmoMinW | O::AmoMaxW | O::AmoMinuW | O::AmoMaxuW | O::AmoSwapD
-        | O::AmoAddD | O::AmoXorD | O::AmoAndD | O::AmoOrD | O::AmoMinD
-        | O::AmoMaxD | O::AmoMinuD | O::AmoMaxuD => {
-            let size = if inst.op.mnemonic().ends_with(".w") { 4 } else { 8 };
+        O::AmoSwapW
+        | O::AmoAddW
+        | O::AmoXorW
+        | O::AmoAndW
+        | O::AmoOrW
+        | O::AmoMinW
+        | O::AmoMaxW
+        | O::AmoMinuW
+        | O::AmoMaxuW
+        | O::AmoSwapD
+        | O::AmoAddD
+        | O::AmoXorD
+        | O::AmoAndD
+        | O::AmoOrD
+        | O::AmoMinD
+        | O::AmoMaxD
+        | O::AmoMinuD
+        | O::AmoMaxuD => {
+            let size = if inst.op.mnemonic().ends_with(".w") {
+                4
+            } else {
+                8
+            };
             let op = match inst.op {
                 O::AmoSwapW | O::AmoSwapD => B::SwapSecond,
                 O::AmoAddW | O::AmoAddD => B::Add,
@@ -351,7 +376,12 @@ pub fn micro_ops(inst: &Instruction) -> Vec<MicroOp> {
             // write is the observable effect.
             match rd {
                 Some(r) if !r.is_zero() => {
-                    vec![MicroOp::FpCompute { writes_gpr: Some(r) }, MicroOp::Opaque]
+                    vec![
+                        MicroOp::FpCompute {
+                            writes_gpr: Some(r),
+                        },
+                        MicroOp::Opaque,
+                    ]
                 }
                 _ => vec![MicroOp::Opaque],
             }
@@ -360,14 +390,12 @@ pub fn micro_ops(inst: &Instruction) -> Vec<MicroOp> {
         // load/store micro-ops from dataflow's perspective, but the data
         // register is an FPR, outside the integer IR: model the address
         // dependency exactly and the data as opaque.
-        O::Flw | O::Fld => vec![
-            MicroOp::Load {
-                rd: rd.expect("fp load rd"),
-                addr: SemExpr::bin(B::Add, rs1(), imm()),
-                size: if inst.op == O::Flw { 4 } else { 8 },
-                sign_extend: false,
-            },
-        ],
+        O::Flw | O::Fld => vec![MicroOp::Load {
+            rd: rd.expect("fp load rd"),
+            addr: SemExpr::bin(B::Add, rs1(), imm()),
+            size: if inst.op == O::Flw { 4 } else { 8 },
+            sign_extend: false,
+        }],
         O::Fsw | O::Fsd => vec![MicroOp::Store {
             addr: SemExpr::bin(B::Add, rs1(), imm()),
             val: SemExpr::gpr(inst.rs2.expect("fp store rs2")),
@@ -376,9 +404,7 @@ pub fn micro_ops(inst: &Instruction) -> Vec<MicroOp> {
         // All remaining F/D computations: exact def/use, opaque value.
         _ => {
             let writes_gpr = match rd {
-                Some(r) if r.class() == crate::reg::RegClass::Gpr && !r.is_zero() => {
-                    Some(r)
-                }
+                Some(r) if r.class() == crate::reg::RegClass::Gpr && !r.is_zero() => Some(r),
                 _ => None,
             };
             vec![MicroOp::FpCompute { writes_gpr }]
@@ -565,11 +591,7 @@ pub enum EvalOutcome {
 ///
 /// This is the reference interpreter derived from the semantics spec; the
 /// fast interpreter in `rvdyn-emu` is validated against it.
-pub fn eval_int(
-    inst: &Instruction,
-    st: &mut IntState,
-    mem: &mut dyn MemoryBus,
-) -> EvalOutcome {
+pub fn eval_int(inst: &Instruction, st: &mut IntState, mem: &mut dyn MemoryBus) -> EvalOutcome {
     let ops = micro_ops(inst);
     let mut outcome = EvalOutcome::Next;
     for op in &ops {
@@ -578,7 +600,12 @@ pub fn eval_int(
                 let v = eval_expr(val, st);
                 st.set(*rd, v);
             }
-            MicroOp::Load { rd, addr, size, sign_extend } => {
+            MicroOp::Load {
+                rd,
+                addr,
+                size,
+                sign_extend,
+            } => {
                 if rd.class() != crate::reg::RegClass::Gpr {
                     return EvalOutcome::OutsideModel;
                 }
@@ -602,7 +629,13 @@ pub fn eval_int(
                 let v = eval_expr(val, st);
                 mem.store(a, *size, v);
             }
-            MicroOp::Amo { rd, addr, src, op, size } => {
+            MicroOp::Amo {
+                rd,
+                addr,
+                src,
+                op,
+                size,
+            } => {
                 let a = eval_expr(addr, st);
                 let old_raw = mem.load(a, *size);
                 let old = if *size == 4 {
@@ -618,9 +651,7 @@ pub fn eval_int(
             MicroOp::SetPc { target, cond } => {
                 let take = match cond {
                     None => true,
-                    Some((c, a, b)) => {
-                        apply_cmp(*c, eval_expr(a, st), eval_expr(b, st))
-                    }
+                    Some((c, a, b)) => apply_cmp(*c, eval_expr(a, st), eval_expr(b, st)),
                 };
                 if take {
                     outcome = EvalOutcome::Jump(eval_expr(target, st));
@@ -628,9 +659,7 @@ pub fn eval_int(
             }
             MicroOp::Syscall => return EvalOutcome::Syscall,
             MicroOp::Break => return EvalOutcome::Break,
-            MicroOp::FpCompute { .. } | MicroOp::Opaque => {
-                return EvalOutcome::OutsideModel
-            }
+            MicroOp::FpCompute { .. } | MicroOp::Opaque => return EvalOutcome::OutsideModel,
         }
     }
     outcome
@@ -652,7 +681,10 @@ pub struct FlatMemory {
 
 impl FlatMemory {
     pub fn new(base: u64, len: usize) -> FlatMemory {
-        FlatMemory { base, bytes: vec![0; len] }
+        FlatMemory {
+            base,
+            bytes: vec![0; len],
+        }
     }
 }
 
@@ -666,8 +698,7 @@ impl MemoryBus for FlatMemory {
 
     fn store(&mut self, addr: u64, size: u8, val: u64) {
         let off = (addr - self.base) as usize;
-        self.bytes[off..off + size as usize]
-            .copy_from_slice(&val.to_le_bytes()[..size as usize]);
+        self.bytes[off..off + size as usize].copy_from_slice(&val.to_le_bytes()[..size as usize]);
     }
 }
 
@@ -776,7 +807,7 @@ mod tests {
             0 // (-1 * -1) >> 64 == 0
         );
         assert_eq!(apply_bin(BinOp::MulHU, u64::MAX, u64::MAX) as u128, {
-            ((u64::MAX as u128 * u64::MAX as u128) >> 64) as u128
+            (u64::MAX as u128 * u64::MAX as u128) >> 64
         });
     }
 

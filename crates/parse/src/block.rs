@@ -51,7 +51,10 @@ pub struct Edge {
 
 impl Edge {
     pub fn to(kind: EdgeKind, target: u64) -> Edge {
-        Edge { kind, target: Some(target) }
+        Edge {
+            kind,
+            target: Some(target),
+        }
     }
 
     pub fn out(kind: EdgeKind) -> Edge {

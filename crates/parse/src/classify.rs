@@ -127,10 +127,10 @@ pub fn classify_branch<S: CodeSource + ?Sized>(
             if let Some(base) = resolve_register(insts, at, rs1, src, 8) {
                 let target = base.wrapping_add(inst.imm as u64) & !1;
                 if src.is_code(target) {
-                    let in_function =
-                        target >= func_extent.0 && target < func_extent.1
-                            && !known_entries.contains(&target)
-                            || target == func_entry;
+                    let in_function = target >= func_extent.0
+                        && target < func_extent.1
+                        && !known_entries.contains(&target)
+                        || target == func_entry;
                     return if link == Reg::X0 {
                         if in_function {
                             BranchPurpose::Jump { target }
@@ -185,7 +185,11 @@ mod tests {
     fn raw() -> RawCode {
         // Code region 0x1000..0x3000 so cross-function targets near
         // 0x2000 count as valid code.
-        RawCode { base: 0x1000, bytes: vec![0x13; 0x2000], entries: vec![] }
+        RawCode {
+            base: 0x1000,
+            bytes: vec![0x13; 0x2000],
+            entries: vec![],
+        }
     }
 
     #[test]
@@ -206,12 +210,22 @@ mod tests {
     fn resolve_auipc_pair() {
         // The §3.2.3 example: auipc t0 + jalr through it.
         let insts = with_addrs(
-            vec![build::auipc(Reg::X5, 0x1000), build::jalr(Reg::X0, Reg::X5, 0x20)],
+            vec![
+                build::auipc(Reg::X5, 0x1000),
+                build::jalr(Reg::X0, Reg::X5, 0x20),
+            ],
             0x1000,
         );
         let v = resolve_register(&insts, 1, Reg::X5, &raw(), 8);
         assert_eq!(v, Some(0x2000));
-        let p = classify_branch(&insts, 1, &raw(), 0x1000, (0x1000, 0x2000), &BTreeSet::new());
+        let p = classify_branch(
+            &insts,
+            1,
+            &raw(),
+            0x1000,
+            (0x1000, 0x2000),
+            &BTreeSet::new(),
+        );
         // Target 0x2020 = outside [0x1000, 0x2000) extent, x0 link, valid
         // code → tail call.
         assert_eq!(p, BranchPurpose::TailCall { target: 0x2020 });
@@ -233,14 +247,28 @@ mod tests {
     #[test]
     fn canonical_return() {
         let insts = with_addrs(vec![build::ret()], 0x1000);
-        let p = classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1004), &BTreeSet::new());
+        let p = classify_branch(
+            &insts,
+            0,
+            &raw(),
+            0x1000,
+            (0x1000, 0x1004),
+            &BTreeSet::new(),
+        );
         assert_eq!(p, BranchPurpose::Return);
     }
 
     #[test]
     fn alternate_link_register_return() {
         let insts = with_addrs(vec![build::jalr(Reg::X0, ALT_LINK_REG, 0)], 0x1000);
-        let p = classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1004), &BTreeSet::new());
+        let p = classify_branch(
+            &insts,
+            0,
+            &raw(),
+            0x1000,
+            (0x1000, 0x1004),
+            &BTreeSet::new(),
+        );
         assert_eq!(p, BranchPurpose::Return);
     }
 
@@ -271,14 +299,28 @@ mod tests {
     #[test]
     fn unresolvable_jalr_with_link_is_indirect_call() {
         let insts = with_addrs(vec![build::jalr(Reg::X1, Reg::x(10), 0)], 0x1000);
-        let p = classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1100), &BTreeSet::new());
+        let p = classify_branch(
+            &insts,
+            0,
+            &raw(),
+            0x1000,
+            (0x1000, 0x1100),
+            &BTreeSet::new(),
+        );
         assert_eq!(p, BranchPurpose::IndirectCall);
     }
 
     #[test]
     fn unresolvable_jalr_without_link_is_unresolved() {
         let insts = with_addrs(vec![build::jalr(Reg::X0, Reg::x(10), 0)], 0x1000);
-        let p = classify_branch(&insts, 0, &raw(), 0x1000, (0x1000, 0x1100), &BTreeSet::new());
+        let p = classify_branch(
+            &insts,
+            0,
+            &raw(),
+            0x1000,
+            (0x1000, 0x1100),
+            &BTreeSet::new(),
+        );
         assert_eq!(p, BranchPurpose::Unresolved);
     }
 

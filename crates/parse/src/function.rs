@@ -180,7 +180,12 @@ mod dot_tests {
         );
         f.blocks.insert(
             0x1008,
-            BasicBlock { start: 0x1008, end: 0x100C, insts: vec![], edges: vec![] },
+            BasicBlock {
+                start: 0x1008,
+                end: 0x100C,
+                insts: vec![],
+                edges: vec![],
+            },
         );
         let dot = f.to_dot();
         assert!(dot.starts_with("digraph \"demo\""));

@@ -36,10 +36,7 @@ pub fn scan<S: CodeSource + ?Sized>(src: &S, co: &CodeObject) -> Vec<u64> {
         let mut pos = lo;
         while pos < hi {
             // Skip claimed intervals.
-            if let Some(&(cs, ce)) = claimed
-                .iter()
-                .find(|&&(cs, ce)| pos >= cs && pos < ce)
-            {
+            if let Some(&(cs, ce)) = claimed.iter().find(|&&(cs, ce)| pos >= cs && pos < ce) {
                 let _ = cs;
                 pos = ce;
                 continue;
@@ -63,22 +60,18 @@ fn looks_like_prologue<S: CodeSource + ?Sized>(src: &S, addr: u64, limit: u64) -
         if pc >= limit {
             return false;
         }
-        let Some(bytes) = src.bytes_at(pc, 4) else { return false };
-        let Ok(i) = decode(&bytes, pc) else { return false };
+        let Some(bytes) = src.bytes_at(pc, 4) else {
+            return false;
+        };
+        let Ok(i) = decode(&bytes, pc) else {
+            return false;
+        };
         // Frame allocation: addi sp, sp, -N.
-        if i.op == Op::Addi
-            && i.rd == Some(Reg::X2)
-            && i.rs1 == Some(Reg::X2)
-            && i.imm < 0
-        {
+        if i.op == Op::Addi && i.rd == Some(Reg::X2) && i.rs1 == Some(Reg::X2) && i.imm < 0 {
             saw_frame_alloc = true;
         }
         // Link-register spill onto the stack.
-        if i.op == Op::Sd
-            && i.rs1 == Some(Reg::X2)
-            && i.rs2 == Some(Reg::X1)
-            && saw_frame_alloc
-        {
+        if i.op == Op::Sd && i.rs1 == Some(Reg::X2) && i.rs2 == Some(Reg::X1) && saw_frame_alloc {
             return true;
         }
         // First instruction must start the pattern.
@@ -92,7 +85,6 @@ fn looks_like_prologue<S: CodeSource + ?Sized>(src: &S, addr: u64, limit: u64) -
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::parser::{CodeObject, ParseOptions};
     use crate::source::RawCode;
     use rvdyn_asm::Assembler;
@@ -104,23 +96,33 @@ mod tests {
         // prologue (as if reached only through a function pointer).
         let mut a = Assembler::new(0x1000);
         a.ret(); // main (4 bytes)
-        // hidden function at 0x1004
+                 // hidden function at 0x1004
         a.addi(Reg::X2, Reg::X2, -16);
         a.sd(Reg::X1, Reg::X2, 8);
         a.addi(Reg::x(10), Reg::X0, 3);
         a.ld(Reg::X1, Reg::X2, 8);
         a.addi(Reg::X2, Reg::X2, 16);
         a.ret();
-        let src = RawCode { base: 0x1000, bytes: a.finish().unwrap(), entries: vec![0x1000] };
+        let src = RawCode {
+            base: 0x1000,
+            bytes: a.finish().unwrap(),
+            entries: vec![0x1000],
+        };
 
         let no_gaps = CodeObject::parse(&src, &ParseOptions::default());
         assert_eq!(no_gaps.functions.len(), 1);
 
         let with_gaps = CodeObject::parse(
             &src,
-            &ParseOptions { parse_gaps: true, ..Default::default() },
+            &ParseOptions {
+                parse_gaps: true,
+                ..Default::default()
+            },
         );
-        assert!(with_gaps.functions.contains_key(&0x1004), "gap function missed");
+        assert!(
+            with_gaps.functions.contains_key(&0x1004),
+            "gap function missed"
+        );
         assert_eq!(with_gaps.gap_functions, vec![0x1004]);
     }
 
@@ -131,10 +133,17 @@ mod tests {
         a.ret();
         let mut bytes = a.finish().unwrap();
         bytes.extend_from_slice(&[0u8; 64]);
-        let src = RawCode { base: 0x1000, bytes, entries: vec![0x1000] };
+        let src = RawCode {
+            base: 0x1000,
+            bytes,
+            entries: vec![0x1000],
+        };
         let co = CodeObject::parse(
             &src,
-            &ParseOptions { parse_gaps: true, ..Default::default() },
+            &ParseOptions {
+                parse_gaps: true,
+                ..Default::default()
+            },
         );
         assert_eq!(co.functions.len(), 1);
         assert!(co.gap_functions.is_empty());
@@ -160,10 +169,17 @@ mod tests {
         a.addi(Reg::X2, Reg::X2, 16);
         a.ret();
         let helper_addr = a.label_addr(helper).unwrap();
-        let src = RawCode { base: 0x1000, bytes: a.finish().unwrap(), entries: vec![0x1000] };
+        let src = RawCode {
+            base: 0x1000,
+            bytes: a.finish().unwrap(),
+            entries: vec![0x1000],
+        };
         let co = CodeObject::parse(
             &src,
-            &ParseOptions { parse_gaps: true, ..Default::default() },
+            &ParseOptions {
+                parse_gaps: true,
+                ..Default::default()
+            },
         );
         // helper found by traversal (via the call), not gaps — but a
         // stripped variant with no call still finds it by prologue scan.

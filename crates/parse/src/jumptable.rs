@@ -164,7 +164,9 @@ fn const_side<S: CodeSource + ?Sized>(
     let rs2 = add.rs2?;
     if let Some(b) = crate::classify::resolve_register(insts, add_idx, rs1, src, 8) {
         Some((b, rs2))
-    } else { crate::classify::resolve_register(insts, add_idx, rs2, src, 8).map(|b| (b, rs1)) }
+    } else {
+        crate::classify::resolve_register(insts, add_idx, rs2, src, 8).map(|b| (b, rs1))
+    }
 }
 
 /// Most recent definition of `reg` before index `at`.
@@ -265,7 +267,9 @@ mod tests {
 
     #[test]
     fn canonical_table_resolves() {
-        let src = TableSource { table: vec![0x1100, 0x1110, 0x1120, 0x1130] };
+        let src = TableSource {
+            table: vec![0x1100, 0x1110, 0x1120, 0x1130],
+        };
         let insts = dispatch_seq(Op::Bgeu);
         let t = analyze(&insts, 6, &src).expect("table should resolve");
         assert_eq!(t, vec![0x1100, 0x1110, 0x1120, 0x1130]);
@@ -273,14 +277,18 @@ mod tests {
 
     #[test]
     fn bad_entry_falsifies_table() {
-        let src = TableSource { table: vec![0x1100, 0xDEAD_0000, 0x1120, 0x1130] };
+        let src = TableSource {
+            table: vec![0x1100, 0xDEAD_0000, 0x1120, 0x1130],
+        };
         let insts = dispatch_seq(Op::Bgeu);
         assert_eq!(analyze(&insts, 6, &src), None);
     }
 
     #[test]
     fn missing_bounds_check_rejected() {
-        let src = TableSource { table: vec![0x1100; 4] };
+        let src = TableSource {
+            table: vec![0x1100; 4],
+        };
         let mut insts = dispatch_seq(Op::Bgeu);
         insts.remove(1); // drop the guard
         let at = insts.len() - 1;
@@ -317,7 +325,9 @@ mod tests {
 
     #[test]
     fn index_redefinition_between_check_and_dispatch_rejected() {
-        let src = TableSource { table: vec![0x1100; 4] };
+        let src = TableSource {
+            table: vec![0x1100; 4],
+        };
         let mut insts = dispatch_seq(Op::Bgeu);
         // Insert a redefinition of the index register after the guard.
         let mut redef = build::addi(Reg::x(10), Reg::x(10), 1);
@@ -330,8 +340,8 @@ mod tests {
     fn rel_dispatch_seq() -> Vec<Instruction> {
         // Pattern B: bound check; slli idx,2; table addr; lw off; base; add; jalr.
         let mut v = vec![
-            build::addi(Reg::x(5), Reg::X0, 4),                  // bound
-            build::b_type(Op::Bgeu, Reg::x(10), Reg::x(5), 32),  // guard
+            build::addi(Reg::x(5), Reg::X0, 4),                 // bound
+            build::b_type(Op::Bgeu, Reg::x(10), Reg::x(5), 32), // guard
             build::i_type(Op::Slli, Reg::x(6), Reg::x(10), 2),
             build::lui(Reg::x(7), 0x9000),
             build::add(Reg::x(7), Reg::x(7), Reg::x(6)),
@@ -352,7 +362,9 @@ mod tests {
     fn relative_offset_table_resolves() {
         // Offsets 0x100/0x110/0x120/0x130 from base 0x1000 (incl. a
         // negative-looking one exercised via sign extension elsewhere).
-        let src = TableSource { table: vec![0x100, 0x110, 0x120, 0x130] };
+        let src = TableSource {
+            table: vec![0x100, 0x110, 0x120, 0x130],
+        };
         let insts = rel_dispatch_seq();
         let t = analyze(&insts, insts.len() - 1, &src).expect("relative table");
         assert_eq!(t, vec![0x1100, 0x1110, 0x1120, 0x1130]);
@@ -363,7 +375,9 @@ mod tests {
         // -16 as u32 → target base-16; base 0x1000... use 0x1800 base by
         // changing the lui? keep base 0x1000: entry -16 → 0x0FF0: outside
         // code (0x1000..0x2000) → analysis must reject.
-        let src = TableSource { table: vec![(-16i32) as u32 as u64, 0x110, 0x120, 0x130] };
+        let src = TableSource {
+            table: vec![(-16i32) as u32 as u64, 0x110, 0x120, 0x130],
+        };
         let insts = rel_dispatch_seq();
         assert_eq!(analyze(&insts, insts.len() - 1, &src), None);
         // In-range negative offsets work when base is higher.
@@ -383,7 +397,9 @@ mod tests {
 
     #[test]
     fn duplicate_targets_deduped() {
-        let src = TableSource { table: vec![0x1100, 0x1100, 0x1120, 0x1120] };
+        let src = TableSource {
+            table: vec![0x1100, 0x1100, 0x1120, 0x1120],
+        };
         let insts = dispatch_seq(Op::Bltu);
         let t = analyze(&insts, 6, &src).unwrap();
         assert_eq!(t, vec![0x1100, 0x1120]);

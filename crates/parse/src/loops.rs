@@ -26,8 +26,7 @@ impl Loop {
 /// (Cooper–Harvey–Kennedy) over reverse postorder.
 pub fn dominators(f: &Function) -> BTreeMap<u64, u64> {
     let rpo = reverse_postorder(f);
-    let index: BTreeMap<u64, usize> =
-        rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let index: BTreeMap<u64, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
     let preds = f.predecessors();
     let mut idom: BTreeMap<u64, u64> = BTreeMap::new();
     idom.insert(f.entry, f.entry);
@@ -168,13 +167,15 @@ mod tests {
     fn mk(entry: u64, shape: &[(u64, &[u64])]) -> Function {
         let mut f = Function::new(entry);
         for &(start, succs) in shape {
-            let edges = succs
-                .iter()
-                .map(|&t| Edge::to(EdgeKind::Jump, t))
-                .collect();
+            let edges = succs.iter().map(|&t| Edge::to(EdgeKind::Jump, t)).collect();
             f.blocks.insert(
                 start,
-                BasicBlock { start, end: start + 4, insts: vec![], edges },
+                BasicBlock {
+                    start,
+                    end: start + 4,
+                    insts: vec![],
+                    edges,
+                },
             );
         }
         f

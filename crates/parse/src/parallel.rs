@@ -10,8 +10,8 @@
 use crate::function::Function;
 use crate::parser::{parse_function, CodeObject, ParseOptions};
 use crate::source::CodeSource;
-use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Condvar, Mutex, RwLock};
 
 struct WorkState {
     queue: VecDeque<u64>,
@@ -49,7 +49,7 @@ pub fn parse_parallel<S: CodeSource + ?Sized>(
                 loop {
                     // Grab a batch of entries (or wait).
                     let batch: Vec<u64> = {
-                        let mut st = state.lock();
+                        let mut st = state.lock().unwrap();
                         loop {
                             if !st.queue.is_empty() {
                                 let fair = st.queue.len().div_ceil(nworkers);
@@ -60,7 +60,7 @@ pub fn parse_parallel<S: CodeSource + ?Sized>(
                             if st.in_flight == 0 {
                                 break Vec::new();
                             }
-                            cv.wait(&mut st);
+                            st = cv.wait(st).unwrap();
                         }
                     };
                     if batch.is_empty() {
@@ -68,24 +68,23 @@ pub fn parse_parallel<S: CodeSource + ?Sized>(
                         break;
                     }
 
-                    let snapshot = known.read().clone();
+                    let snapshot = known.read().unwrap().clone();
                     let mut new_callees: BTreeSet<u64> = BTreeSet::new();
                     for entry in &batch {
                         if src.is_code(*entry) {
-                            let (f, callees) =
-                                parse_function(src, *entry, &snapshot, opts);
+                            let (f, callees) = parse_function(src, *entry, &snapshot, opts);
                             new_callees.extend(callees);
                             local.push((*entry, f));
                         }
                     }
                     if !new_callees.is_empty() {
-                        let mut k = known.write();
+                        let mut k = known.write().unwrap();
                         for &c in &new_callees {
                             k.insert(c);
                         }
                     }
                     {
-                        let mut st = state.lock();
+                        let mut st = state.lock().unwrap();
                         for c in new_callees {
                             if st.claimed.insert(c) {
                                 st.queue.push_back(c);
@@ -96,14 +95,14 @@ pub fn parse_parallel<S: CodeSource + ?Sized>(
                     cv.notify_all();
                 }
                 if !local.is_empty() {
-                    results.lock().extend(local);
+                    results.lock().unwrap().extend(local);
                 }
             });
         }
     });
 
     CodeObject {
-        functions: results.into_inner(),
+        functions: results.into_inner().unwrap(),
         gap_functions: Vec::new(),
     }
 }
@@ -133,7 +132,11 @@ mod tests {
             a.ret();
         }
         (
-            RawCode { base: 0x1000, bytes: a.finish().unwrap(), entries: vec![0x1000] },
+            RawCode {
+                base: 0x1000,
+                bytes: a.finish().unwrap(),
+                entries: vec![0x1000],
+            },
             entries,
         )
     }
@@ -144,7 +147,10 @@ mod tests {
         let seq = CodeObject::parse(&src, &ParseOptions::default());
         let par = CodeObject::parse(
             &src,
-            &ParseOptions { threads: 4, ..Default::default() },
+            &ParseOptions {
+                threads: 4,
+                ..Default::default()
+            },
         );
         assert_eq!(seq.functions.len(), entries.len());
         assert_eq!(
@@ -168,7 +174,10 @@ mod tests {
         let (src, _) = chain(3);
         let co = CodeObject::parse(
             &src,
-            &ParseOptions { threads: 1, ..Default::default() },
+            &ParseOptions {
+                threads: 1,
+                ..Default::default()
+            },
         );
         assert_eq!(co.functions.len(), 3);
     }

@@ -22,7 +22,11 @@ pub struct ParseOptions {
 
 impl Default for ParseOptions {
     fn default() -> ParseOptions {
-        ParseOptions { parse_gaps: false, threads: 1, max_insts_per_function: 1 << 20 }
+        ParseOptions {
+            parse_gaps: false,
+            threads: 1,
+            max_insts_per_function: 1 << 20,
+        }
     }
 }
 
@@ -211,7 +215,10 @@ pub fn parse_function<S: CodeSource + ?Sized>(
                     pc = next;
                     continue;
                 }
-                ControlFlow::ConditionalBranch { target, fallthrough } => {
+                ControlFlow::ConditionalBranch {
+                    target,
+                    fallthrough,
+                } => {
                     edges.push(Edge::to(EdgeKind::Taken, target));
                     edges.push(Edge::to(EdgeKind::NotTaken, fallthrough));
                     worklist.push_back(target);
@@ -260,8 +267,7 @@ pub fn parse_function<S: CodeSource + ?Sized>(
                         let (lo, hi) = f.extent();
                         (lo.min(start), hi.max(next))
                     };
-                    match classify_branch(&history, at, src, entry, extent, known_entries)
-                    {
+                    match classify_branch(&history, at, src, entry, extent, known_entries) {
                         BranchPurpose::Jump { target } => {
                             edges.push(Edge::to(EdgeKind::Jump, target));
                             worklist.push_back(target);
@@ -305,7 +311,12 @@ pub fn parse_function<S: CodeSource + ?Sized>(
         let end = insts.last().map(|i| i.next_pc()).unwrap_or(start);
         f.blocks.insert(
             start,
-            BasicBlock { start, end, insts, edges },
+            BasicBlock {
+                start,
+                end,
+                insts,
+                edges,
+            },
         );
     }
     f.callees = callees.iter().copied().collect();
@@ -320,7 +331,11 @@ mod tests {
     use rvdyn_isa::Reg;
 
     fn parse_raw(code: Vec<u8>, base: u64, entries: Vec<u64>) -> CodeObject {
-        let src = RawCode { base, bytes: code, entries };
+        let src = RawCode {
+            base,
+            bytes: code,
+            entries,
+        };
         CodeObject::parse(&src, &ParseOptions::default())
     }
 
@@ -338,7 +353,10 @@ mod tests {
         assert_eq!(f.blocks.len(), 3);
         let b0 = &f.blocks[&0x1000];
         assert_eq!(b0.edges.len(), 2);
-        assert!(b0.edges.iter().any(|e| e.kind == EdgeKind::Taken && e.target == Some(0x1008)));
+        assert!(b0
+            .edges
+            .iter()
+            .any(|e| e.kind == EdgeKind::Taken && e.target == Some(0x1008)));
         let b2 = &f.blocks[&0x1008];
         assert_eq!(b2.edges, vec![Edge::out(EdgeKind::Return)]);
     }
@@ -359,8 +377,14 @@ mod tests {
         assert!(co.functions.contains_key(&0x1008));
         // The call block has Call + CallFallthrough edges.
         let b = &main.blocks[&0x1000];
-        assert!(b.edges.iter().any(|e| e.kind == EdgeKind::Call && e.target == Some(0x1008)));
-        assert!(b.edges.iter().any(|e| e.kind == EdgeKind::CallFallthrough && e.target == Some(0x1004)));
+        assert!(b
+            .edges
+            .iter()
+            .any(|e| e.kind == EdgeKind::Call && e.target == Some(0x1008)));
+        assert!(b
+            .edges
+            .iter()
+            .any(|e| e.kind == EdgeKind::CallFallthrough && e.target == Some(0x1004)));
     }
 
     #[test]
@@ -391,13 +415,20 @@ mod tests {
         let co = parse_raw(a.finish().unwrap(), 0x1000, vec![0x1000]);
         let f = &co.functions[&0x1000];
         assert!(f.has_unresolved);
-        assert_eq!(f.blocks[&0x1000].edges, vec![Edge::out(EdgeKind::Unresolved)]);
+        assert_eq!(
+            f.blocks[&0x1000].edges,
+            vec![Edge::out(EdgeKind::Unresolved)]
+        );
     }
 
     #[test]
     fn undecodable_bytes_stop_block() {
         let mut code = Vec::new();
-        code.extend_from_slice(&rvdyn_isa::encode::encode32(&rvdyn_isa::build::nop()).unwrap().to_le_bytes());
+        code.extend_from_slice(
+            &rvdyn_isa::encode::encode32(&rvdyn_isa::build::nop())
+                .unwrap()
+                .to_le_bytes(),
+        );
         code.extend_from_slice(&[0x00, 0x00, 0x00, 0x00]); // defined-illegal
         let co = parse_raw(code, 0x1000, vec![0x1000]);
         let f = &co.functions[&0x1000];

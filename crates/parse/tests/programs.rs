@@ -26,7 +26,10 @@ fn matmul_has_exactly_eleven_basic_blocks() {
     let mut sizes: Vec<usize> = f.loops.iter().map(|l| l.body.len()).collect();
     sizes.sort();
     // k-loop: head+body (2); j-loop adds head/store/inc blocks; i-loop more.
-    assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "loops must nest: {sizes:?}");
+    assert!(
+        sizes[0] < sizes[1] && sizes[1] < sizes[2],
+        "loops must nest: {sizes:?}"
+    );
 }
 
 #[test]
@@ -104,7 +107,10 @@ fn fib_recursion_is_a_self_call() {
     let co = parse(&bin);
     let fib = bin.symbol_by_name("fib").unwrap().value;
     let f = &co.functions[&fib];
-    assert!(f.callees.contains(&fib), "recursive call must be a call edge");
+    assert!(
+        f.callees.contains(&fib),
+        "recursive call must be a call edge"
+    );
     // Two call sites inside fib.
     let call_edges: usize = f
         .blocks
@@ -134,7 +140,10 @@ fn parallel_parse_of_programs_matches_sequential() {
         let seq = CodeObject::parse(&bin, &ParseOptions::default());
         let par = CodeObject::parse(
             &bin,
-            &ParseOptions { threads: 4, ..Default::default() },
+            &ParseOptions {
+                threads: 4,
+                ..Default::default()
+            },
         );
         assert_eq!(
             seq.functions.keys().collect::<Vec<_>>(),
@@ -163,7 +172,12 @@ fn block_instruction_addresses_are_contiguous() {
 
 #[test]
 fn every_intraprocedural_edge_lands_on_a_block() {
-    for bin in [matmul_program(10, 1), switch_program(8), fib_program(5), tailcall_program()] {
+    for bin in [
+        matmul_program(10, 1),
+        switch_program(8),
+        fib_program(5),
+        tailcall_program(),
+    ] {
         let co = parse(&bin);
         for f in co.functions.values() {
             for b in f.blocks.values() {

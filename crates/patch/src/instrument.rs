@@ -8,7 +8,7 @@
 
 use crate::points::{Point, PointKind};
 use crate::relocate::{relocate_function, Insertions, RelocateError};
-use crate::springboard::plan_springboard;
+use crate::springboard::{plan_springboard, SpringboardStats};
 use rvdyn_codegen::emitter::{generate, CodeGenError};
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
@@ -30,7 +30,10 @@ pub struct PatchLayout {
 
 impl Default for PatchLayout {
     fn default() -> PatchLayout {
-        PatchLayout { patch_text: 0x8_0000, patch_data: 0xC_0000 }
+        PatchLayout {
+            patch_text: 0x8_0000,
+            patch_data: 0xC_0000,
+        }
     }
 }
 
@@ -43,6 +46,8 @@ pub enum InstrumentError {
     CodeGen(CodeGenError),
     /// Function relocation failed.
     Relocate(RelocateError),
+    /// A springboard address fell outside every code section.
+    SpringboardOutsideCode { addr: u64 },
 }
 
 impl fmt::Display for InstrumentError {
@@ -53,6 +58,9 @@ impl fmt::Display for InstrumentError {
             }
             InstrumentError::CodeGen(e) => write!(f, "snippet codegen: {e}"),
             InstrumentError::Relocate(e) => write!(f, "relocation: {e}"),
+            InstrumentError::SpringboardOutsideCode { addr } => {
+                write!(f, "springboard at {addr:#x} is outside every code section")
+            }
         }
     }
 }
@@ -124,6 +132,14 @@ pub struct PatchResult {
     /// Diagnostics: total registers spilled across all snippets (0 when
     /// dead-register allocation succeeded everywhere — the §4.3 claim).
     pub spill_count: usize,
+    /// Diagnostics: points whose snippets were lowered entirely from dead
+    /// registers (the zero-cost path §4.3 credits for RISC-V's overhead
+    /// advantage).
+    pub dead_register_points: usize,
+    /// Diagnostics: total points instrumented.
+    pub points_instrumented: usize,
+    /// Diagnostics: histogram of springboard strategies planted (§3.1.2).
+    pub springboards: SpringboardStats,
     /// Raw (address, bytes) writes for dynamic instrumentation.
     writes: Vec<(u64, Vec<u8>)>,
     /// The original bytes each springboard overwrote, for removal.
@@ -230,9 +246,11 @@ impl<'b> Instrumenter<'b> {
         let mut patch_code: Vec<u8> = Vec::new();
         let mut trap_table: Vec<(u64, u64)> = Vec::new();
         let mut spill_count = 0usize;
+        let mut dead_register_points = 0usize;
+        let mut points_instrumented = 0usize;
         let mut writes: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut undo: Vec<(u64, Vec<u8>)> = Vec::new();
-        let mut springs: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut springs: Vec<(u64, crate::springboard::Springboard)> = Vec::new();
         let mut reloc_index = RelocationIndex::default();
 
         for (&fe, fi) in &self.insertions {
@@ -257,6 +275,10 @@ impl<'b> Instrumenter<'b> {
                     let seq = Snippet::Seq(snippets.clone());
                     let (code, spills) = generate(&seq, dead, self.mode, profile)?;
                     spill_count += spills;
+                    points_instrumented += 1;
+                    if spills == 0 {
+                        dead_register_points += 1;
+                    }
                     dst.insert(addr, code);
                 }
             }
@@ -279,7 +301,7 @@ impl<'b> Instrumenter<'b> {
             if let Some(t) = sb.trap_entry {
                 trap_table.push(t);
             }
-            springs.push((fe, sb.bytes.clone()));
+            springs.push((fe, sb));
 
             // Springboards at indirect-jump targets: execution re-enters
             // original code through jump tables; bounce it back into the
@@ -292,12 +314,11 @@ impl<'b> Instrumenter<'b> {
                                 let tb = &f.blocks[&t];
                                 let avail = tb.len_bytes() as usize;
                                 let dead = lv.dead_before(f, t);
-                                let sb =
-                                    plan_springboard(t, nt, avail, profile, dead);
+                                let sb = plan_springboard(t, nt, avail, profile, dead);
                                 if let Some(tt) = sb.trap_entry {
                                     trap_table.push(tt);
                                 }
-                                springs.push((t, sb.bytes.clone()));
+                                springs.push((t, sb));
                             }
                         }
                     }
@@ -309,19 +330,22 @@ impl<'b> Instrumenter<'b> {
         springs.dedup_by_key(|(a, _)| *a);
         trap_table.sort();
         trap_table.dedup();
+        let mut springboards = SpringboardStats::default();
 
         // Patch springboards into the text section image, recording the
         // bytes they replace for uninstrumentation.
-        for (addr, bytes) in &springs {
+        for (addr, sb) in &springs {
             let sec = out
                 .sections
                 .iter_mut()
                 .find(|s| s.is_code() && s.contains(*addr))
-                .expect("springboard inside a code section");
+                .ok_or(InstrumentError::SpringboardOutsideCode { addr: *addr })?;
+            let bytes = &sb.bytes;
             let off = (*addr - sec.addr) as usize;
             undo.push((*addr, sec.data[off..off + bytes.len()].to_vec()));
             sec.data[off..off + bytes.len()].copy_from_slice(bytes);
             writes.push((*addr, bytes.clone()));
+            springboards.record(&sb.kind);
         }
 
         // New sections.
@@ -355,6 +379,16 @@ impl<'b> Instrumenter<'b> {
             ));
         }
 
-        Ok(PatchResult { binary: out, trap_table, spill_count, writes, undo, reloc_index })
+        Ok(PatchResult {
+            binary: out,
+            trap_table,
+            spill_count,
+            dead_register_points,
+            points_instrumented,
+            springboards,
+            writes,
+            undo,
+            reloc_index,
+        })
     }
 }

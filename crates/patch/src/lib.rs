@@ -33,4 +33,4 @@ pub mod springboard;
 pub use instrument::{InstrumentError, Instrumenter, PatchLayout, RelocationIndex};
 pub use points::{find_points, Point, PointKind};
 pub use relocate::{relocate_function, Insertions, RelocatedFunction};
-pub use springboard::{plan_springboard, Springboard, SpringboardKind};
+pub use springboard::{plan_springboard, Springboard, SpringboardKind, SpringboardStats};

@@ -40,29 +40,46 @@ pub fn find_points(f: &Function, kind: PointKind) -> Vec<Point> {
     let mut pts = Vec::new();
     match kind {
         PointKind::FuncEntry => {
-            pts.push(Point { func: f.entry, addr: f.entry, kind });
+            pts.push(Point {
+                func: f.entry,
+                addr: f.entry,
+                kind,
+            });
         }
         PointKind::FuncExit => {
             for b in f.blocks.values() {
-                let exits = b.edges.iter().any(|e| {
-                    matches!(e.kind, EdgeKind::Return | EdgeKind::TailCall)
-                });
+                let exits = b
+                    .edges
+                    .iter()
+                    .any(|e| matches!(e.kind, EdgeKind::Return | EdgeKind::TailCall));
                 if exits {
                     if let Some(last) = b.last_inst() {
-                        pts.push(Point { func: f.entry, addr: last.address, kind });
+                        pts.push(Point {
+                            func: f.entry,
+                            addr: last.address,
+                            kind,
+                        });
                     }
                 }
             }
         }
         PointKind::BlockEntry => {
             for &s in f.blocks.keys() {
-                pts.push(Point { func: f.entry, addr: s, kind });
+                pts.push(Point {
+                    func: f.entry,
+                    addr: s,
+                    kind,
+                });
             }
         }
         PointKind::PreCall => {
             for b in f.call_sites() {
                 if let Some(last) = b.last_inst() {
-                    pts.push(Point { func: f.entry, addr: last.address, kind });
+                    pts.push(Point {
+                        func: f.entry,
+                        addr: last.address,
+                        kind,
+                    });
                 }
             }
         }
@@ -71,7 +88,11 @@ pub fn find_points(f: &Function, kind: PointKind) -> Vec<Point> {
                 for e in &b.edges {
                     if e.kind == EdgeKind::CallFallthrough {
                         if let Some(t) = e.target {
-                            pts.push(Point { func: f.entry, addr: t, kind });
+                            pts.push(Point {
+                                func: f.entry,
+                                addr: t,
+                                kind,
+                            });
                         }
                     }
                 }
@@ -82,7 +103,11 @@ pub fn find_points(f: &Function, kind: PointKind) -> Vec<Point> {
                 for &latch in &l.latches {
                     if let Some(b) = f.blocks.get(&latch) {
                         if let Some(last) = b.last_inst() {
-                            pts.push(Point { func: f.entry, addr: last.address, kind });
+                            pts.push(Point {
+                                func: f.entry,
+                                addr: last.address,
+                                kind,
+                            });
                         }
                     }
                 }
@@ -96,14 +121,22 @@ pub fn find_points(f: &Function, kind: PointKind) -> Vec<Point> {
                     .unwrap_or(false);
                 if conditional {
                     if let Some(last) = b.last_inst() {
-                        pts.push(Point { func: f.entry, addr: last.address, kind });
+                        pts.push(Point {
+                            func: f.entry,
+                            addr: last.address,
+                            kind,
+                        });
                     }
                 }
             }
         }
         PointKind::InstBefore(addr) => {
             if f.block_containing(addr).is_some() {
-                pts.push(Point { func: f.entry, addr, kind });
+                pts.push(Point {
+                    func: f.entry,
+                    addr,
+                    kind,
+                });
             }
         }
     }
@@ -143,7 +176,7 @@ mod tests {
         assert_eq!(entry[0].addr, f.entry);
         let exits = find_points(&f, PointKind::FuncExit);
         assert_eq!(exits.len(), 1); // single ret
-        // Exit point is the ret instruction itself.
+                                    // Exit point is the ret instruction itself.
         let b = f.block_containing(exits[0].addr).unwrap();
         assert!(b.last_inst().unwrap().is_canonical_return());
     }

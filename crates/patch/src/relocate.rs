@@ -36,6 +36,10 @@ pub enum RelocateError {
     Encode(String),
     /// A branch target was not an instruction the relocation mapped.
     UnmappedTarget { at: u64, target: u64 },
+    /// A decoded instruction was missing an operand its format requires
+    /// (a parse the decoder should never produce — surfaced instead of
+    /// trusted).
+    MalformedInstruction { at: u64 },
 }
 
 impl fmt::Display for RelocateError {
@@ -47,6 +51,9 @@ impl fmt::Display for RelocateError {
             RelocateError::Encode(e) => write!(f, "re-encoding failed: {e}"),
             RelocateError::UnmappedTarget { at, target } => {
                 write!(f, "branch at {at:#x} targets unmapped address {target:#x}")
+            }
+            RelocateError::MalformedInstruction { at } => {
+                write!(f, "instruction at {at:#x} is missing a required operand")
             }
         }
     }
@@ -82,7 +89,11 @@ enum Item {
         stub_slot: Option<usize>,
     },
     /// `jal` with a target: intra-function or absolute (call/tail-call).
-    Jump { rd: Reg, old_target: u64, intra: bool },
+    Jump {
+        rd: Reg,
+        old_target: u64,
+        intra: bool,
+    },
     /// Replacement for `auipc rd`: materialise the original value.
     AuipcValue { insts: Vec<Instruction> },
 }
@@ -105,7 +116,10 @@ pub struct Insertions {
 impl Insertions {
     /// Only before-instruction insertions (the common case).
     pub fn before_only(before: BTreeMap<u64, Vec<Instruction>>) -> Insertions {
-        Insertions { before, ..Default::default() }
+        Insertions {
+            before,
+            ..Default::default()
+        }
     }
 }
 
@@ -115,15 +129,15 @@ struct Slot {
     size: u64,
 }
 
-fn invert(op: Op) -> Op {
+fn invert(op: Op) -> Option<Op> {
     match op {
-        Op::Beq => Op::Bne,
-        Op::Bne => Op::Beq,
-        Op::Blt => Op::Bge,
-        Op::Bge => Op::Blt,
-        Op::Bltu => Op::Bgeu,
-        Op::Bgeu => Op::Bltu,
-        _ => unreachable!("not a conditional branch"),
+        Op::Beq => Some(Op::Bne),
+        Op::Bne => Some(Op::Beq),
+        Op::Blt => Some(Op::Bge),
+        Op::Bge => Some(Op::Blt),
+        Op::Bltu => Some(Op::Bgeu),
+        Op::Bgeu => Some(Op::Bltu),
+        _ => None,
     }
 }
 
@@ -147,7 +161,9 @@ pub fn relocate_function(
                 if !snip.is_empty() {
                     slots.push(Slot {
                         old_addr: Some(inst.address),
-                        item: Item::Snippet { insts: snip.clone() },
+                        item: Item::Snippet {
+                            insts: snip.clone(),
+                        },
                         size: snip.len() as u64 * 4,
                     });
                 }
@@ -155,7 +171,10 @@ pub fn relocate_function(
             // Classify the instruction for relocation purposes.
             let slot = if inst.op == Op::Auipc {
                 let value = inst.address.wrapping_add(inst.imm as u64);
-                let insts = load_imm(inst.rd.unwrap(), value as i64);
+                let rd = inst
+                    .rd
+                    .ok_or(RelocateError::MalformedInstruction { at: inst.address })?;
+                let insts = load_imm(rd, value as i64);
                 let size = insts.len() as u64 * 4;
                 Slot {
                     old_addr: Some(inst.address),
@@ -184,7 +203,9 @@ pub fn relocate_function(
                     if !snip.is_empty() {
                         slots.push(Slot {
                             old_addr: None,
-                            item: Item::Snippet { insts: snip.clone() },
+                            item: Item::Snippet {
+                                insts: snip.clone(),
+                            },
                             size: snip.len() as u64 * 4,
                         });
                     }
@@ -202,7 +223,11 @@ pub fn relocate_function(
                 };
                 Slot {
                     old_addr: Some(inst.address),
-                    item: Item::Jump { rd: inst.rd.unwrap_or(Reg::X0), old_target, intra },
+                    item: Item::Jump {
+                        rd: inst.rd.unwrap_or(Reg::X0),
+                        old_target,
+                        intra,
+                    },
                     size: 4,
                 }
             } else {
@@ -212,7 +237,11 @@ pub fn relocate_function(
                 } else {
                     4
                 };
-                Slot { old_addr: Some(inst.address), item: Item::Verbatim { inst: *inst }, size }
+                Slot {
+                    old_addr: Some(inst.address),
+                    item: Item::Verbatim { inst: *inst },
+                    size,
+                }
             };
             slots.push(slot);
         }
@@ -230,7 +259,11 @@ pub fn relocate_function(
             if next_start != Some(t) && f.blocks.contains_key(&t) {
                 slots.push(Slot {
                     old_addr: None,
-                    item: Item::Jump { rd: Reg::X0, old_target: t, intra: true },
+                    item: Item::Jump {
+                        rd: Reg::X0,
+                        old_target: t,
+                        intra: true,
+                    },
                     size: 4,
                 });
             }
@@ -245,18 +278,27 @@ pub fn relocate_function(
         let snip = &insertions.taken_edge[&branch_addr];
         slots.push(Slot {
             old_addr: None,
-            item: Item::Snippet { insts: snip.clone() },
+            item: Item::Snippet {
+                insts: snip.clone(),
+            },
             size: snip.len() as u64 * 4,
         });
-        let Item::CondBranch { old_target, ref mut stub_slot, .. } =
-            slots[branch_slot].item
+        let Item::CondBranch {
+            old_target,
+            ref mut stub_slot,
+            ..
+        } = slots[branch_slot].item
         else {
             unreachable!("want_stub records only CondBranch slots")
         };
         *stub_slot = Some(stub_idx);
         slots.push(Slot {
             old_addr: None,
-            item: Item::Jump { rd: Reg::X0, old_target, intra: true },
+            item: Item::Jump {
+                rd: Reg::X0,
+                old_target,
+                intra: true,
+            },
             size: 4,
         });
     }
@@ -283,7 +325,12 @@ pub fn relocate_function(
         for (i, s) in slots.iter_mut().enumerate() {
             let at = slot_addr[i];
             match &s.item {
-                Item::CondBranch { old_target, intra, stub_slot, .. } => {
+                Item::CondBranch {
+                    old_target,
+                    intra,
+                    stub_slot,
+                    ..
+                } => {
                     let t = if let Some(idx) = stub_slot {
                         slot_addr[*idx]
                     } else if *intra {
@@ -298,15 +345,20 @@ pub fn relocate_function(
                         changed = true;
                     }
                 }
-                Item::Jump { old_target, intra, .. } => {
+                Item::Jump {
+                    old_target, intra, ..
+                } => {
                     let t = if *intra {
                         *addr_map.get(old_target).unwrap_or(old_target)
                     } else {
                         *old_target
                     };
                     let delta = t.wrapping_sub(at) as i64;
-                    let need: u64 =
-                        if (-(1 << 20)..(1 << 20)).contains(&delta) { 4 } else { 8 };
+                    let need: u64 = if (-(1 << 20)..(1 << 20)).contains(&delta) {
+                        4
+                    } else {
+                        8
+                    };
                     if need > s.size {
                         s.size = need;
                         changed = true;
@@ -344,15 +396,20 @@ pub fn relocate_function(
             }
             Item::Verbatim { inst } => {
                 if s.size == 2 {
-                    let c = compress(inst).expect("size-2 slot must compress");
+                    let c = compress(inst).ok_or_else(|| {
+                        RelocateError::Encode(format!("size-2 slot at {at:#x} does not compress"))
+                    })?;
                     code.extend_from_slice(&c.to_le_bytes());
                 } else {
-                    code.extend_from_slice(
-                        &encode32(inst).map_err(enc_err)?.to_le_bytes(),
-                    );
+                    code.extend_from_slice(&encode32(inst).map_err(enc_err)?.to_le_bytes());
                 }
             }
-            Item::CondBranch { inst, old_target, intra, stub_slot } => {
+            Item::CondBranch {
+                inst,
+                old_target,
+                intra,
+                stub_slot,
+            } => {
                 let t = if let Some(idx) = stub_slot {
                     emit_slot_addr[*idx]
                 } else if *intra {
@@ -366,23 +423,26 @@ pub fn relocate_function(
                     *old_target
                 };
                 let delta = t.wrapping_sub(at) as i64;
+                let malformed = RelocateError::MalformedInstruction { at: inst.address };
+                let rs1 = inst.rs1.ok_or_else(|| malformed.clone())?;
+                let rs2 = inst.rs2.ok_or_else(|| malformed.clone())?;
                 if s.size == 4 {
-                    let b = build::b_type(inst.op, inst.rs1.unwrap(), inst.rs2.unwrap(), delta);
+                    let b = build::b_type(inst.op, rs1, rs2, delta);
                     code.extend_from_slice(&encode32(&b).map_err(enc_err)?.to_le_bytes());
                 } else {
                     // Inverted branch over a jal.
-                    let skip = build::b_type(
-                        invert(inst.op),
-                        inst.rs1.unwrap(),
-                        inst.rs2.unwrap(),
-                        8,
-                    );
+                    let inv = invert(inst.op).ok_or(malformed)?;
+                    let skip = build::b_type(inv, rs1, rs2, 8);
                     let j = build::jal(Reg::X0, delta - 4);
                     code.extend_from_slice(&encode32(&skip).map_err(enc_err)?.to_le_bytes());
                     code.extend_from_slice(&encode32(&j).map_err(enc_err)?.to_le_bytes());
                 }
             }
-            Item::Jump { rd, old_target, intra } => {
+            Item::Jump {
+                rd,
+                old_target,
+                intra,
+            } => {
                 let t = if *intra {
                     *addr_map
                         .get(old_target)
@@ -417,7 +477,11 @@ pub fn relocate_function(
     }
 
     let new_entry = *addr_map.get(&f.entry).unwrap_or(&new_base);
-    Ok(RelocatedFunction { code, new_entry, addr_map })
+    Ok(RelocatedFunction {
+        code,
+        new_entry,
+        addr_map,
+    })
 }
 
 #[cfg(test)]
@@ -492,7 +556,7 @@ mod tests {
             .collect();
         let at_snippet = insts.iter().find(|i| i.address == snippet_at).unwrap();
         assert_eq!(at_snippet.op, Op::Addi); // nop
-        // The back edge lands on the snippet, not past it.
+                                             // The back edge lands on the snippet, not past it.
         let bne = insts.iter().find(|i| i.op == Op::Bne).unwrap();
         assert_eq!(bne.address.wrapping_add(bne.imm as u64), snippet_at);
     }

@@ -25,6 +25,32 @@ pub enum SpringboardKind {
     Trap,
 }
 
+/// Histogram of springboard strategies chosen across one instrumentation
+/// pass — the "springboard strategy" diagnostic the paper's worst-case
+/// discussion (§3.1.2) calls for: traps should be rare.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpringboardStats {
+    pub compressed_jump: usize,
+    pub jal: usize,
+    pub auipc_jalr: usize,
+    pub trap: usize,
+}
+
+impl SpringboardStats {
+    pub fn record(&mut self, kind: &SpringboardKind) {
+        match kind {
+            SpringboardKind::CompressedJump => self.compressed_jump += 1,
+            SpringboardKind::Jal => self.jal += 1,
+            SpringboardKind::AuipcJalr(_) => self.auipc_jalr += 1,
+            SpringboardKind::Trap => self.trap += 1,
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.compressed_jump + self.jal + self.auipc_jalr + self.trap
+    }
+}
+
 /// A planned springboard: its form and encoded bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Springboard {
@@ -90,25 +116,36 @@ pub fn plan_springboard(
             if let Some((hi, lo)) = rvdyn_codegen::imm::pcrel_parts(from, to) {
                 let a = build::auipc(s, hi);
                 let j = build::jalr(Reg::X0, s, lo);
-                let mut bytes = Vec::with_capacity(8);
-                bytes.extend_from_slice(&encode32(&a).unwrap().to_le_bytes());
-                bytes.extend_from_slice(&encode32(&j).unwrap().to_le_bytes());
-                return Springboard {
-                    kind: SpringboardKind::AuipcJalr(s),
-                    bytes,
-                    trap_entry: None,
-                };
+                // pcrel_parts guarantees encodable hi/lo; if either still
+                // refuses to encode, fall through to the trap plan rather
+                // than abort.
+                if let (Ok(ra), Ok(rj)) = (encode32(&a), encode32(&j)) {
+                    let mut bytes = Vec::with_capacity(8);
+                    bytes.extend_from_slice(&ra.to_le_bytes());
+                    bytes.extend_from_slice(&rj.to_le_bytes());
+                    return Springboard {
+                        kind: SpringboardKind::AuipcJalr(s),
+                        bytes,
+                        trap_entry: None,
+                    };
+                }
             }
         }
     }
 
     // 4. Trap (the paper's worst case, "fortunately, does not occur
-    //    often"): c.ebreak if 2 bytes and C, else ebreak.
+    //    often"): c.ebreak if 2 bytes and C, else ebreak. The spec
+    //    constants back up the encoder for these fixed instructions.
     let bytes = if profile.has(Extension::C) && avail < 4 {
-        let c = compress(&build::ebreak()).expect("c.ebreak exists");
-        c.to_le_bytes().to_vec()
+        compress(&build::ebreak())
+            .unwrap_or(0x9002) // c.ebreak
+            .to_le_bytes()
+            .to_vec()
     } else {
-        encode32(&build::ebreak()).unwrap().to_le_bytes().to_vec()
+        encode32(&build::ebreak())
+            .unwrap_or(0x0010_0073) // ebreak
+            .to_le_bytes()
+            .to_vec()
     };
     Springboard {
         kind: SpringboardKind::Trap,
@@ -147,13 +184,7 @@ mod tests {
 
     #[test]
     fn far_hop_uses_auipc_pair() {
-        let s = plan_springboard(
-            0x1_0000,
-            0x4000_0000,
-            8,
-            IsaProfile::rv64gc(),
-            dead_all(),
-        );
+        let s = plan_springboard(0x1_0000, 0x4000_0000, 8, IsaProfile::rv64gc(), dead_all());
         assert!(matches!(s.kind, SpringboardKind::AuipcJalr(_)));
         assert_eq!(s.len(), 8);
     }
@@ -181,7 +212,7 @@ mod tests {
     }
 
     #[test]
-    fn springboard_decodes_to_jump_with_right_target(){
+    fn springboard_decodes_to_jump_with_right_target() {
         for (from, to) in [(0x1000u64, 0x1800u64), (0x1_0000, 0x9_0000)] {
             let s = plan_springboard(from, to, 8, IsaProfile::rv64gc(), dead_all());
             let i = rvdyn_isa::decode(&s.bytes, from).unwrap();

@@ -87,8 +87,7 @@ fn matmul_loop_branch_edges_count_iterations_exactly() {
             for k in 0..n {
                 expect += (i + k) as f64 * (k as f64 - j as f64);
             }
-            let got =
-                f64::from_bits(m.mem.load(c_addr + ((i * n + j) * 8) as u64, 8).unwrap());
+            let got = f64::from_bits(m.mem.load(c_addr + ((i * n + j) * 8) as u64, 8).unwrap());
             assert_eq!(got, expect, "C[{i}][{j}]");
         }
     }
@@ -107,9 +106,18 @@ fn edge_counters_compose_with_block_counters() {
     let c_blocks = ins.alloc_var(8);
     let c_taken = ins.alloc_var(8);
     let c_not = ins.alloc_var(8);
-    ins.insert_at_points(&find_points(f, PointKind::BlockEntry), &Snippet::increment(c_blocks));
-    ins.insert_at_points(&find_points(f, PointKind::BranchTaken), &Snippet::increment(c_taken));
-    ins.insert_at_points(&find_points(f, PointKind::BranchNotTaken), &Snippet::increment(c_not));
+    ins.insert_at_points(
+        &find_points(f, PointKind::BlockEntry),
+        &Snippet::increment(c_blocks),
+    );
+    ins.insert_at_points(
+        &find_points(f, PointKind::BranchTaken),
+        &Snippet::increment(c_taken),
+    );
+    ins.insert_at_points(
+        &find_points(f, PointKind::BranchNotTaken),
+        &Snippet::increment(c_not),
+    );
     let patched = ins.apply().unwrap();
     let m = run(&patched.binary, 500_000_000);
 
@@ -121,11 +129,9 @@ fn edge_counters_compose_with_block_counters() {
     let heads = (n + 1) + n * (n + 1) + n * n * (n + 1);
     assert_eq!(taken + not_taken, heads);
     // Block counter: the closed form.
-    let expect_blocks = 1 + (n + 1) + n + n * (n + 1) + n * n + n * n * (n + 1)
-        + n * n * n
-        + 3 * n * n
-        - n * n
-        + n
-        + 1;
+    let expect_blocks =
+        1 + (n + 1) + n + n * (n + 1) + n * n + n * n * (n + 1) + n * n * n + 3 * n * n - n * n
+            + n
+            + 1;
     assert_eq!(blocks, expect_blocks);
 }

@@ -22,11 +22,7 @@ fn run(bin: &Binary, fuel: u64) -> rvdyn_emu::Machine {
 /// Closed-form dynamic basic-block count of one `matmul(n)` call for the
 /// 11-block structure (see rvdyn-asm::programs).
 fn matmul_blocks(n: u64) -> u64 {
-    1 + (n + 1) + n + n * (n + 1) + n * n + n * n * (n + 1) + n * n * n
-        + n * n
-        + n * n
-        + n
-        + 1
+    1 + (n + 1) + n + n * (n + 1) + n * n + n * n * (n + 1) + n * n * n + n * n + n * n + n + 1
 }
 
 #[test]
@@ -92,7 +88,10 @@ fn instrumented_matmul_still_computes_correct_product() {
 
     let mut ins = Instrumenter::new(&bin, &co);
     let counter = ins.alloc_var(8);
-    ins.insert_at_points(&find_points(f, PointKind::BlockEntry), &Snippet::increment(counter));
+    ins.insert_at_points(
+        &find_points(f, PointKind::BlockEntry),
+        &Snippet::increment(counter),
+    );
     let patched = ins.apply().unwrap();
     let m = run(&patched.binary, 100_000_000);
 
@@ -103,9 +102,7 @@ fn instrumented_matmul_still_computes_correct_product() {
             for k in 0..n {
                 expect += (i + k) as f64 * (k as f64 - j as f64);
             }
-            let got = f64::from_bits(
-                m.mem.load(c_addr + ((i * n + j) * 8) as u64, 8).unwrap(),
-            );
+            let got = f64::from_bits(m.mem.load(c_addr + ((i * n + j) * 8) as u64, 8).unwrap());
             assert_eq!(got, expect, "C[{i}][{j}] corrupted by instrumentation");
         }
     }
@@ -136,14 +133,20 @@ fn overhead_ordering_matches_paper() {
     let bb_spill = cycles_for(PointKind::BlockEntry, RegAllocMode::ForceSpill);
 
     assert!(base < fn_count, "entry instrumentation must cost something");
-    assert!(fn_count < bb_count, "per-block must cost more than per-function");
+    assert!(
+        fn_count < bb_count,
+        "per-block must cost more than per-function"
+    );
     assert!(
         bb_count < bb_spill,
         "dead-register allocation must beat forced spills: {bb_count} vs {bb_spill}"
     );
     // Function-entry overhead should be tiny (paper: 0.8%).
     let fn_overhead = (fn_count - base) as f64 / base as f64;
-    assert!(fn_overhead < 0.05, "fn-entry overhead too high: {fn_overhead}");
+    assert!(
+        fn_overhead < 0.05,
+        "fn-entry overhead too high: {fn_overhead}"
+    );
 }
 
 #[test]
@@ -156,7 +159,10 @@ fn jump_table_function_instrumentable() {
 
     let mut ins = Instrumenter::new(&bin, &co);
     let counter = ins.alloc_var(8);
-    ins.insert_at_points(&find_points(f, PointKind::FuncEntry), &Snippet::increment(counter));
+    ins.insert_at_points(
+        &find_points(f, PointKind::FuncEntry),
+        &Snippet::increment(counter),
+    );
     let patched = ins.apply().unwrap();
     let m = run(&patched.binary, 10_000_000);
     assert_eq!(m.mem.load(counter.addr, 8).unwrap(), iters);
@@ -188,7 +194,10 @@ fn jump_table_case_blocks_counted_via_springboards() {
 
     let mut ins = Instrumenter::new(&bin, &co);
     let counter = ins.alloc_var(8);
-    ins.insert_at_points(&find_points(f, PointKind::BlockEntry), &Snippet::increment(counter));
+    ins.insert_at_points(
+        &find_points(f, PointKind::BlockEntry),
+        &Snippet::increment(counter),
+    );
     let patched = ins.apply().unwrap();
     let m = run(&patched.binary, 10_000_000);
 
@@ -196,9 +205,7 @@ fn jump_table_case_blocks_counted_via_springboards() {
     // entry + dispatch + case = 3 blocks; for 4..8: entry + default = 2.
     // Count blocks precisely: selector blocks are entry (ends bgeu),
     // dispatch (ends jalr), 4 cases, default.
-    let expect: u64 = (0..iters)
-        .map(|i| if (i & 7) < 4 { 3 } else { 2 })
-        .sum();
+    let expect: u64 = (0..iters).map(|i| if (i & 7) < 4 { 3 } else { 2 }).sum();
     assert_eq!(
         m.mem.load(counter.addr, 8).unwrap(),
         expect,
@@ -217,7 +224,10 @@ fn exit_point_counter() {
 
     let mut ins = Instrumenter::new(&bin, &co);
     let counter = ins.alloc_var(8);
-    ins.insert_at_points(&find_points(f, PointKind::FuncExit), &Snippet::increment(counter));
+    ins.insert_at_points(
+        &find_points(f, PointKind::FuncExit),
+        &Snippet::increment(counter),
+    );
     let patched = ins.apply().unwrap();
     let m = run(&patched.binary, 100_000_000);
     assert_eq!(m.mem.load(counter.addr, 8).unwrap(), reps as u64);
@@ -233,7 +243,10 @@ fn loop_backedge_counter() {
 
     let mut ins = Instrumenter::new(&bin, &co);
     let counter = ins.alloc_var(8);
-    ins.insert_at_points(&find_points(f, PointKind::LoopBackEdge), &Snippet::increment(counter));
+    ins.insert_at_points(
+        &find_points(f, PointKind::LoopBackEdge),
+        &Snippet::increment(counter),
+    );
     let patched = ins.apply().unwrap();
     let m = run(&patched.binary, 100_000_000);
     // Latch executions: i-loop N (B10), j-loop N² (B9), k-loop N³ (B7).
@@ -276,8 +289,14 @@ fn pre_and_post_call_counters() {
     let mut ins = Instrumenter::new(&bin, &co);
     let pre = ins.alloc_var(8);
     let post = ins.alloc_var(8);
-    ins.insert_at_points(&find_points(f, PointKind::PreCall), &Snippet::increment(pre));
-    ins.insert_at_points(&find_points(f, PointKind::PostCall), &Snippet::increment(post));
+    ins.insert_at_points(
+        &find_points(f, PointKind::PreCall),
+        &Snippet::increment(pre),
+    );
+    ins.insert_at_points(
+        &find_points(f, PointKind::PostCall),
+        &Snippet::increment(post),
+    );
     let patched = ins.apply().unwrap();
     let m = run(&patched.binary, 100_000_000);
     // main calls init_arrays once + matmul `reps` times.
@@ -348,7 +367,10 @@ fn relative_jump_table_program_instrumentable() {
 
     let mut ins = Instrumenter::new(&bin, &co);
     let counter = ins.alloc_var(8);
-    ins.insert_at_points(&find_points(f, PointKind::BlockEntry), &Snippet::increment(counter));
+    ins.insert_at_points(
+        &find_points(f, PointKind::BlockEntry),
+        &Snippet::increment(counter),
+    );
     let patched = ins.apply().unwrap();
     let m = run(&patched.binary, 10_000_000);
 

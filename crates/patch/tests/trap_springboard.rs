@@ -16,8 +16,8 @@ use rvdyn_isa::Reg;
 use rvdyn_parse::{CodeObject, ParseOptions};
 use rvdyn_patch::{find_points, Instrumenter, PointKind, SpringboardKind};
 use rvdyn_symtab::{
-    Binary, RiscvAttributes, Section, Symbol, SymbolBinding, SymbolKind,
-    SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE,
+    Binary, RiscvAttributes, Section, Symbol, SymbolBinding, SymbolKind, SHF_ALLOC, SHF_EXECINSTR,
+    SHF_WRITE,
 };
 
 /// main loops `iters` times calling `tiny`, which is exactly one 2-byte
@@ -41,7 +41,7 @@ fn tiny_function_program(iters: u64) -> (Binary, u64) {
     a.li(Reg::x(8), iters as i64);
     a.li(Reg::x(9), 0);
     a.li(Reg::x(10), 0); // accumulator in a0 across calls? a0 is clobbered;
-                          // keep sum in s-reg via returned a0.
+                         // keep sum in s-reg via returned a0.
     a.mv(Reg::x(18), Reg::X0); // s2 = sum
     let head = a.here_label();
     let done = a.label();
@@ -71,8 +71,7 @@ fn tiny_function_program(iters: u64) -> (Binary, u64) {
         // The assembler's `jump` emits a 4-byte jal; we need the 2-byte
         // form, so place target right after and emit c.j manually.
         // Offset: l_target = tiny + 2.
-        let cj = rvdyn_isa::encode::compress(&rvdyn_isa::build::jal(Reg::X0, 2))
-            .expect("c.j +2");
+        let cj = rvdyn_isa::encode::compress(&rvdyn_isa::build::jal(Reg::X0, 2)).expect("c.j +2");
         let i = rvdyn_isa::decode::decode(&cj.to_le_bytes(), 0).unwrap();
         a.c_inst({
             let mut j = rvdyn_isa::build::jal(Reg::X0, 2);
@@ -154,7 +153,10 @@ fn two_byte_function_forces_trap_and_still_counts() {
     let mut ins = Instrumenter::new(&bin, &co);
     let counter = ins.alloc_var(8);
     let f = &co.functions[&tiny_addr];
-    ins.insert_at_points(&find_points(f, PointKind::FuncEntry), &Snippet::increment(counter));
+    ins.insert_at_points(
+        &find_points(f, PointKind::FuncEntry),
+        &Snippet::increment(counter),
+    );
     let patched = ins.apply().unwrap();
     assert!(
         !patched.trap_table.is_empty(),
@@ -168,13 +170,24 @@ fn two_byte_function_forces_trap_and_still_counts() {
     let mut m = load_binary(&rebin);
     m.fuel = Some(50_000_000);
     assert_eq!(m.run(), StopReason::Exited(0));
-    assert_eq!(m.mem.load(counter.addr, 8).unwrap(), iters, "trap path must count");
-    assert_eq!(m.mem.load(0x2_0000, 8).unwrap(), expect_sum, "semantics preserved");
+    assert_eq!(
+        m.mem.load(counter.addr, 8).unwrap(),
+        iters,
+        "trap path must count"
+    );
+    assert_eq!(
+        m.mem.load(0x2_0000, 8).unwrap(),
+        expect_sum,
+        "semantics preserved"
+    );
 
     // And the trap cost shows up in the cycle model (the "inefficient"
     // part of the paper's remark).
     let mut base = load_binary(&bin);
     base.fuel = Some(10_000_000);
     base.run();
-    assert!(m.cycles > base.cycles + iters * 1000, "trap round trips must cost");
+    assert!(
+        m.cycles > base.cycles + iters * 1000,
+        "trap round trips must cost"
+    );
 }

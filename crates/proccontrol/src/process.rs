@@ -57,6 +57,22 @@ struct Breakpoint {
     original: Vec<u8>,
 }
 
+/// Encoded trap bytes for a `size`-byte slot: `c.ebreak` (2) or `ebreak`
+/// (4). Fixed instructions, so the spec constants back up the encoder.
+fn trap_bytes(size: usize) -> Vec<u8> {
+    if size == 2 {
+        compress(&build::ebreak())
+            .unwrap_or(0x9002)
+            .to_le_bytes()
+            .to_vec()
+    } else {
+        encode32(&build::ebreak())
+            .unwrap_or(0x0010_0073)
+            .to_le_bytes()
+            .to_vec()
+    }
+}
+
 /// A mutatee under debugger-style control.
 ///
 /// All interaction flows through the ptrace-like surface of the emulated
@@ -82,7 +98,11 @@ impl Process {
     /// Attach to an already-running machine (Figure 1: "already running
     /// process is attached to").
     pub fn attach(machine: Machine) -> Process {
-        Process { machine, breakpoints: BTreeMap::new(), exited: None }
+        Process {
+            machine,
+            breakpoints: BTreeMap::new(),
+            exited: None,
+        }
     }
 
     /// Detach, returning the underlying machine (breakpoints removed).
@@ -146,12 +166,7 @@ impl Process {
         let bytes = self.read_mem(addr, 2)?;
         let size = if bytes[0] & 0b11 == 0b11 { 4 } else { 2 };
         let original = self.read_mem(addr, size)?;
-        let patch = if size == 2 {
-            compress(&build::ebreak()).expect("c.ebreak").to_le_bytes().to_vec()
-        } else {
-            encode32(&build::ebreak()).unwrap().to_le_bytes().to_vec()
-        };
-        self.machine.write_mem(addr, &patch);
+        self.machine.write_mem(addr, &trap_bytes(size));
         self.breakpoints.insert(addr, Breakpoint { original });
         Ok(())
     }
@@ -211,7 +226,10 @@ impl Process {
         // Possible successors.
         let succs: Vec<u64> = match inst.control_flow() {
             ControlFlow::None | ControlFlow::Syscall => vec![inst.next_pc()],
-            ControlFlow::ConditionalBranch { target, fallthrough } => {
+            ControlFlow::ConditionalBranch {
+                target,
+                fallthrough,
+            } => {
                 vec![target, fallthrough]
             }
             ControlFlow::DirectJump { target, .. } => vec![target],
@@ -239,12 +257,7 @@ impl Process {
             if let Ok(b2) = self.read_mem(s, 2) {
                 let size = if b2[0] & 0b11 == 0b11 { 4 } else { 2 };
                 if let Ok(orig) = self.read_mem(s, size) {
-                    let patch = if size == 2 {
-                        compress(&build::ebreak()).unwrap().to_le_bytes().to_vec()
-                    } else {
-                        encode32(&build::ebreak()).unwrap().to_le_bytes().to_vec()
-                    };
-                    self.machine.write_mem(s, &patch);
+                    self.machine.write_mem(s, &trap_bytes(size));
                     temps.push((s, orig));
                 }
             }
@@ -284,13 +297,10 @@ impl Process {
     }
 
     fn rearm(&mut self, addr: u64) {
-        let size = self.breakpoints[&addr].original.len();
-        let patch = if size == 2 {
-            compress(&build::ebreak()).unwrap().to_le_bytes().to_vec()
-        } else {
-            encode32(&build::ebreak()).unwrap().to_le_bytes().to_vec()
-        };
-        self.machine.write_mem(addr, &patch);
+        if let Some(bp) = self.breakpoints.get(&addr) {
+            let size = bp.original.len();
+            self.machine.write_mem(addr, &trap_bytes(size));
+        }
     }
 
     fn run_until_event(&mut self) -> Result<Event, ProcError> {

@@ -20,9 +20,9 @@
 //! wins — exactly Dyninst's plugin protocol.
 
 use rvdyn_dataflow::{stackheight::Height, StackHeight};
+use rvdyn_isa::Reg;
 use rvdyn_parse::CodeObject;
 use rvdyn_proccontrol::Process;
-use rvdyn_isa::Reg;
 
 /// One frame of a walked stack.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,7 +89,9 @@ impl FrameStepper for SpHeightStepper {
         let f = co.function_containing(frame.pc)?;
         let sh = StackHeight::analyze(f);
         let info = sh.frame_at(f, frame.pc);
-        let Height::Known(h) = info.height else { return None };
+        let Height::Known(h) = info.height else {
+            return None;
+        };
         let entry_sp = frame.sp.wrapping_add(h as u64);
         let ra = match info.ra_slot {
             Some(off) => target.read_u64(entry_sp.wrapping_add(off as u64))?,
@@ -169,7 +171,11 @@ impl StackWalker {
 
     /// Replace the stepper pipeline (plugin architecture, §3.2.7).
     pub fn with_steppers(steppers: Vec<Box<dyn FrameStepper>>) -> StackWalker {
-        StackWalker { steppers, max_frames: 1024, translate: None }
+        StackWalker {
+            steppers,
+            max_frames: 1024,
+            translate: None,
+        }
     }
 
     /// Install a pc translator (e.g.
@@ -253,7 +259,9 @@ mod tests {
             .filter(|f| f.func_name.as_deref() == Some("descend"))
             .count();
         assert_eq!(descend, depth as usize + 1, "frames: {frames:?}");
-        assert!(frames.iter().any(|f| f.func_name.as_deref() == Some("main")));
+        assert!(frames
+            .iter()
+            .any(|f| f.func_name.as_deref() == Some("main")));
         let names: Vec<_> = frames.iter().map(|f| f.func_name.clone()).collect();
         assert_eq!(
             names.last().unwrap().as_deref(),
@@ -337,10 +345,8 @@ mod instrumented_walk_tests {
 
         let mut ins = rvdyn_patch::Instrumenter::new(&bin, &co);
         let counter = ins.alloc_var(8);
-        let pts = rvdyn_patch::find_points(
-            &co.functions[&desc],
-            rvdyn_patch::PointKind::BlockEntry,
-        );
+        let pts =
+            rvdyn_patch::find_points(&co.functions[&desc], rvdyn_patch::PointKind::BlockEntry);
         for p in pts {
             ins.insert(p, rvdyn_codegen::snippet::Snippet::increment(counter));
         }
@@ -370,6 +376,8 @@ mod instrumented_walk_tests {
             .filter(|f| f.func_name.as_deref() == Some("descend"))
             .count();
         assert_eq!(descend_frames, depth as usize + 1, "{frames:#?}");
-        assert!(frames.iter().any(|f| f.func_name.as_deref() == Some("main")));
+        assert!(frames
+            .iter()
+            .any(|f| f.func_name.as_deref() == Some("main")));
     }
 }

@@ -126,12 +126,8 @@ impl RiscvAttributes {
                     if body.len() < n + 4 {
                         return Err(bad("truncated sub-subsection header"));
                     }
-                    let sslen = u32::from_le_bytes([
-                        body[n],
-                        body[n + 1],
-                        body[n + 2],
-                        body[n + 3],
-                    ]) as usize;
+                    let sslen = u32::from_le_bytes([body[n], body[n + 1], body[n + 2], body[n + 3]])
+                        as usize;
                     let hdr = n + 4;
                     if sslen < hdr || sslen > body.len() {
                         return Err(bad("sub-subsection length out of range"));
@@ -168,9 +164,7 @@ impl RiscvAttributes {
                 b = &b[n..];
                 match tag {
                     TAG_RISCV_STACK_ALIGN => self.stack_align = Some(v),
-                    TAG_RISCV_UNALIGNED_ACCESS => {
-                        self.unaligned_access = Some(v != 0)
-                    }
+                    TAG_RISCV_UNALIGNED_ACCESS => self.unaligned_access = Some(v != 0),
                     _ => self.other.push((tag, AttrValue::Int(v))),
                 }
             }

@@ -281,7 +281,9 @@ impl ElfSym {
 
 /// Read a NUL-terminated string from a string table.
 pub(crate) fn read_strz(tab: &[u8], off: usize) -> Result<String, SymtabError> {
-    let rest = tab.get(off..).ok_or(SymtabError::Truncated { offset: off })?;
+    let rest = tab
+        .get(off..)
+        .ok_or(SymtabError::Truncated { offset: off })?;
     let end = rest
         .iter()
         .position(|&c| c == 0)
@@ -313,7 +315,10 @@ mod tests {
 
     #[test]
     fn ehdr_rejects_non_riscv() {
-        let mut h = Ehdr { e_machine: EM_RISCV, ..Default::default() };
+        let mut h = Ehdr {
+            e_machine: EM_RISCV,
+            ..Default::default()
+        };
         h.e_machine = 62; // x86-64
         let bytes = h.emit();
         assert!(matches!(
@@ -324,7 +329,7 @@ mod tests {
 
     #[test]
     fn ehdr_rejects_garbage() {
-        assert!(matches!(Ehdr::parse(b"not an elf file, sorry......."), Err(_)));
+        assert!(Ehdr::parse(b"not an elf file, sorry.......").is_err());
         let mut b = [0u8; 64];
         b[0..4].copy_from_slice(&ELF_MAGIC);
         b[4] = 1; // 32-bit

@@ -16,7 +16,11 @@ pub enum SymtabError {
     /// File ends before a structure that should be present.
     Truncated { offset: usize },
     /// A header references a range outside the file.
-    BadReference { what: &'static str, offset: u64, size: u64 },
+    BadReference {
+        what: &'static str,
+        offset: u64,
+        size: u64,
+    },
     /// `.riscv.attributes` is present but malformed.
     BadAttributes(String),
     /// The binary has no loadable code.
@@ -40,7 +44,10 @@ impl fmt::Display for SymtabError {
                 write!(f, "file truncated at offset {offset:#x}")
             }
             SymtabError::BadReference { what, offset, size } => {
-                write!(f, "{what} references out-of-file range {offset:#x}+{size:#x}")
+                write!(
+                    f,
+                    "{what} references out-of-file range {offset:#x}+{size:#x}"
+                )
             }
             SymtabError::BadAttributes(msg) => {
                 write!(f, "malformed .riscv.attributes: {msg}")

@@ -29,6 +29,6 @@ pub mod writer;
 pub use attributes::RiscvAttributes;
 pub use error::SymtabError;
 pub use model::{
-    Binary, Section, Segment, Symbol, SymbolBinding, SymbolKind, SHF_ALLOC,
-    SHF_EXECINSTR, SHF_WRITE,
+    Binary, Section, Segment, Symbol, SymbolBinding, SymbolKind, SHF_ALLOC, SHF_EXECINSTR,
+    SHF_WRITE,
 };

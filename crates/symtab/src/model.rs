@@ -126,7 +126,10 @@ impl Binary {
         if self.e_flags & elf::EF_RISCV_RVC != 0 {
             exts.insert(Extension::C);
         }
-        IsaProfile { xlen: Xlen::Rv64, extensions: exts }
+        IsaProfile {
+            xlen: Xlen::Rv64,
+            extensions: exts,
+        }
     }
 
     /// Compute the canonical `e_flags` for a profile.
@@ -216,8 +219,16 @@ impl Binary {
         let mut segs: Vec<Segment> = Vec::new();
         for s in alloc {
             let flags = elf::PF_R
-                | if s.flags & SHF_WRITE != 0 { elf::PF_W } else { 0 }
-                | if s.flags & SHF_EXECINSTR != 0 { elf::PF_X } else { 0 };
+                | if s.flags & SHF_WRITE != 0 {
+                    elf::PF_W
+                } else {
+                    0
+                }
+                | if s.flags & SHF_EXECINSTR != 0 {
+                    elf::PF_X
+                } else {
+                    0
+                };
             let (data, filesz) = if s.sh_type == elf::SHT_NOBITS {
                 (Vec::new(), 0u64)
             } else {
@@ -237,7 +248,12 @@ impl Binary {
                     continue;
                 }
             }
-            segs.push(Segment { vaddr: s.addr, data, memsz: memsz.max(filesz), flags });
+            segs.push(Segment {
+                vaddr: s.addr,
+                data,
+                memsz: memsz.max(filesz),
+                flags,
+            });
         }
         segs
     }

@@ -76,8 +76,7 @@ impl Binary {
                 if sym.st_name == 0 && sym.st_value == 0 && sym.st_size == 0 {
                     continue; // null / anonymous symbol
                 }
-                let name = elf::read_strz(strtab, sym.st_name as usize)
-                    .unwrap_or_default();
+                let name = elf::read_strz(strtab, sym.st_name as usize).unwrap_or_default();
                 let kind = match sym.sym_type() {
                     elf::STT_FUNC => SymbolKind::Function,
                     elf::STT_OBJECT => SymbolKind::Object,
@@ -108,13 +107,13 @@ fn section_bytes<'a>(bytes: &'a [u8], h: &Shdr) -> Result<&'a [u8], SymtabError>
         return Ok(&[]);
     }
     let start = h.sh_offset as usize;
-    let end = start.checked_add(h.sh_size as usize).ok_or(
-        SymtabError::BadReference {
+    let end = start
+        .checked_add(h.sh_size as usize)
+        .ok_or(SymtabError::BadReference {
             what: "section",
             offset: h.sh_offset,
             size: h.sh_size,
-        },
-    )?;
+        })?;
     bytes.get(start..end).ok_or(SymtabError::BadReference {
         what: "section",
         offset: h.sh_offset,

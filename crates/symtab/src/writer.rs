@@ -71,7 +71,9 @@ impl Binary {
             let shndx = self
                 .sections
                 .iter()
-                .position(|sec| sec.contains(s.value) || (sec.addr == s.value && !sec.data.is_empty()))
+                .position(|sec| {
+                    sec.contains(s.value) || (sec.addr == s.value && !sec.data.is_empty())
+                })
                 .map(|i| (i + 1) as u16)
                 .unwrap_or(elf::SHN_ABS);
             syms.push(ElfSym {
@@ -134,7 +136,11 @@ impl Binary {
                 sh_type: s.sh_type,
                 flags: s.flags,
                 addr: s.addr,
-                data: if s.sh_type == elf::SHT_NOBITS { Vec::new() } else { s.data.clone() },
+                data: if s.sh_type == elf::SHT_NOBITS {
+                    Vec::new()
+                } else {
+                    s.data.clone()
+                },
                 mem_size: s.data.len() as u64,
                 addralign: s.addralign.max(1),
                 link: 0,
@@ -234,7 +240,11 @@ impl Binary {
         let mut bytes = vec![0u8; total];
 
         let ehdr = Ehdr {
-            e_type: if self.e_type == 0 { elf::ET_EXEC } else { self.e_type },
+            e_type: if self.e_type == 0 {
+                elf::ET_EXEC
+            } else {
+                self.e_type
+            },
             e_machine: elf::EM_RISCV,
             e_entry: self.entry,
             e_phoff: if phnum > 0 { elf::EHDR_SIZE as u64 } else { 0 },
@@ -356,7 +366,10 @@ mod tests {
         let s = r.symbol_by_name("_start").unwrap();
         assert_eq!(s.value, 0x10000);
         assert_eq!(s.kind, SymbolKind::Function);
-        assert_eq!(r.symbol_by_name("local_helper").unwrap().binding, SymbolBinding::Local);
+        assert_eq!(
+            r.symbol_by_name("local_helper").unwrap().binding,
+            SymbolBinding::Local
+        );
     }
 
     #[test]
@@ -365,8 +378,7 @@ mod tests {
         let ehdr = Ehdr::parse(&bytes).unwrap();
         assert_eq!(ehdr.e_phnum, 2);
         for i in 0..ehdr.e_phnum as usize {
-            let ph =
-                Phdr::parse(&bytes, ehdr.e_phoff as usize + i * elf::PHDR_SIZE).unwrap();
+            let ph = Phdr::parse(&bytes, ehdr.e_phoff as usize + i * elf::PHDR_SIZE).unwrap();
             assert_eq!(ph.p_type, elf::PT_LOAD);
             assert_eq!(
                 ph.p_offset % 4096,

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rvdyn_symtab::{
-    Binary, RiscvAttributes, Section, Symbol, SymbolBinding, SymbolKind,
-    SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE,
+    Binary, RiscvAttributes, Section, Symbol, SymbolBinding, SymbolKind, SHF_ALLOC, SHF_EXECINSTR,
+    SHF_WRITE,
 };
 
 fn arb_symbol(max_addr: u64) -> impl Strategy<Value = Symbol> {
@@ -56,12 +56,8 @@ fn arb_binary() -> impl Strategy<Value = Binary> {
                 ));
             }
             if bss > 0 {
-                let mut b = Section::progbits(
-                    ".bss",
-                    0x3_0000,
-                    SHF_ALLOC | SHF_WRITE,
-                    vec![0; bss],
-                );
+                let mut b =
+                    Section::progbits(".bss", 0x3_0000, SHF_ALLOC | SHF_WRITE, vec![0; bss]);
                 b.sh_type = rvdyn_symtab::elf::SHT_NOBITS;
                 sections.push(b);
             }

@@ -25,7 +25,11 @@ fn explore(name: &str, bin: &rvdyn::Binary) {
             hi,
             f.blocks.len(),
             f.loops.len(),
-            if f.has_unresolved { " (has unresolved flow)" } else { "" }
+            if f.has_unresolved {
+                " (has unresolved flow)"
+            } else {
+                ""
+            }
         );
         let lv = Liveness::analyze(f);
         for b in f.blocks.values() {
@@ -52,7 +56,10 @@ fn explore(name: &str, bin: &rvdyn::Binary) {
                 "  loop: header {:#x}, {} blocks, latches {:?}",
                 l.header,
                 l.body.len(),
-                l.latches.iter().map(|x| format!("{x:#x}")).collect::<Vec<_>>()
+                l.latches
+                    .iter()
+                    .map(|x| format!("{x:#x}"))
+                    .collect::<Vec<_>>()
             );
         }
     }
@@ -61,7 +68,10 @@ fn explore(name: &str, bin: &rvdyn::Binary) {
 
 fn main() {
     // The paper's matmul: 11 blocks, a triple loop nest.
-    explore("matmul application (§4.1)", &rvdyn_asm::matmul_program(8, 1));
+    explore(
+        "matmul application (§4.1)",
+        &rvdyn_asm::matmul_program(8, 1),
+    );
     // The jump-table mutatee: watch the IndirectJump edges on the
     // dispatch block — the §3.2.3 jump-table analysis at work.
     explore("switch / jump table", &rvdyn_asm::switch_program(4));

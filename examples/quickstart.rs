@@ -42,7 +42,13 @@ fn main() {
     // 5. Run on the RV64GC execution substrate and read the counter.
     let out = rvdyn::run_elf(&rewritten, 2_000_000_000).expect("runs");
     println!("exit code: {}", out.exit_code);
-    println!("modelled time: {:.6}s ({} instructions)", out.seconds, out.icount);
-    println!("matmul was called {} times", out.read_u64(counter.addr).unwrap());
+    println!(
+        "modelled time: {:.6}s ({} instructions)",
+        out.seconds, out.icount
+    );
+    println!(
+        "matmul was called {} times",
+        out.read_u64(counter.addr).unwrap()
+    );
     assert_eq!(out.read_u64(counter.addr), Some(4));
 }

@@ -80,6 +80,8 @@ fn main() {
                     f.loops.len()
                 );
             }
+            println!("--- pipeline diagnostics ---");
+            println!("{}", ed.diagnostics());
         }
         "disasm" => {
             let ed = open(&arg(&args, 1));
@@ -144,6 +146,8 @@ fn main() {
             let out = arg(&args, 4);
             std::fs::write(&out, ed.rewrite().unwrap_or_else(die)).expect("write");
             println!("wrote {out} (counter lives at {:#x})", counter.addr);
+            println!("--- pipeline diagnostics ---");
+            println!("{}", ed.diagnostics());
         }
         "run" => {
             let elf = std::fs::read(arg(&args, 1)).expect("read");
@@ -163,6 +167,10 @@ fn main() {
             if let Some(v) = r.read_u64(rvdyn::PatchLayout::default().patch_data) {
                 println!("counter[0]:    {v}");
             }
+            let mut d = rvdyn::Diagnostics::default();
+            d.record_run(r.icount, r.cycles);
+            println!("--- pipeline diagnostics ---");
+            println!("{d}");
         }
         _ => usage(),
     }

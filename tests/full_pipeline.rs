@@ -3,8 +3,8 @@
 //! and cross-checking their results.
 
 use rvdyn::{
-    BinaryEditor, Binary, CodeObject, DynamicInstrumenter, ParseOptions, PointKind,
-    RegAllocMode, Snippet,
+    Binary, BinaryEditor, CodeObject, DynamicInstrumenter, ParseOptions, PointKind, RegAllocMode,
+    Snippet,
 };
 
 /// Closed-form dynamic block count of one matmul(n) call (11-block shape).
@@ -84,14 +84,19 @@ fn rewritten_binary_is_reinstrumentable() {
     });
     let c2 = ed2.alloc_var(8);
     ed2.insert(
-        &ed2.find_points("init_arrays", PointKind::FuncEntry).unwrap(),
+        &ed2.find_points("init_arrays", PointKind::FuncEntry)
+            .unwrap(),
         Snippet::increment(c2),
     );
     let twice = ed2.rewrite().unwrap();
 
     let r = rvdyn::run_elf(&twice, 2_000_000_000).unwrap();
     assert_eq!(r.exit_code, 0);
-    assert_eq!(r.read_u64(c1.addr), Some(2), "first-round counter still works");
+    assert_eq!(
+        r.read_u64(c1.addr),
+        Some(2),
+        "first-round counter still works"
+    );
     assert_eq!(r.read_u64(c2.addr), Some(1), "second-round counter works");
 }
 
@@ -177,7 +182,10 @@ fn stripped_binary_full_pipeline_with_gap_parsing() {
     let mut bin = rvdyn_asm::matmul_program(5, 2);
     let mm = bin.symbol_by_name("matmul").unwrap().value;
     bin.strip();
-    let opts = ParseOptions { parse_gaps: true, ..Default::default() };
+    let opts = ParseOptions {
+        parse_gaps: true,
+        ..Default::default()
+    };
     let co = CodeObject::parse(&bin, &opts);
     assert!(co.functions.contains_key(&mm));
 
@@ -232,7 +240,10 @@ fn call_snippet_invokes_mutatee_function_and_preserves_state() {
         &pts,
         Snippet::WriteVar(
             hook_out,
-            Box::new(Snippet::Call { target: double_it, args: vec![Snippet::Const(21)] }),
+            Box::new(Snippet::Call {
+                target: double_it,
+                args: vec![Snippet::Const(21)],
+            }),
         ),
     );
     let out = ed.rewrite().unwrap();
@@ -260,7 +271,10 @@ fn call_snippet_at_every_block_of_hot_function() {
             Box::new(Snippet::bin(
                 rvdyn::BinaryOp::Add,
                 Snippet::ReadVar(acc),
-                Snippet::Call { target: double_it, args: vec![Snippet::Const(1)] },
+                Snippet::Call {
+                    target: double_it,
+                    args: vec![Snippet::Const(1)],
+                },
             )),
         ),
     );

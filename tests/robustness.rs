@@ -12,7 +12,11 @@ fn bss_survives_elf_round_trip() {
     let bytes = bin.to_bytes().unwrap();
     let re = rvdyn::Binary::parse(&bytes).unwrap();
     let bss = re.section_by_name(".bss").unwrap();
-    assert_eq!(bss.data.len(), 3 * 30 * 30 * 8, "bss size lost in round trip");
+    assert_eq!(
+        bss.data.len(),
+        3 * 30 * 30 * 8,
+        "bss size lost in round trip"
+    );
     let r = rvdyn::run_elf(&bytes, 1_000_000_000).unwrap();
     assert_eq!(r.exit_code, 0);
 }
@@ -100,7 +104,11 @@ fn random_point_subsets_never_break_the_program() {
             Some(expect),
             "seed {seed} mask {mask:#b}: wrong counter"
         );
-        assert_eq!(r.stdout.len(), base.stdout.len(), "seed {seed}: output shape");
+        assert_eq!(
+            r.stdout.len(),
+            base.stdout.len(),
+            "seed {seed}: output shape"
+        );
     }
 }
 
@@ -110,7 +118,9 @@ fn no_compressed_profile_gets_no_compressed_springboards() {
     // relocation engine must emit only 4-byte-aligned standard encodings.
     use rvdyn_asm::Assembler;
     use rvdyn_isa::Reg;
-    use rvdyn_symtab::{Section, Symbol, SymbolBinding, SymbolKind, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE};
+    use rvdyn_symtab::{
+        Section, Symbol, SymbolBinding, SymbolKind, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE,
+    };
 
     let mut a = Assembler::new(0x1_0000);
     let l_main = a.label();
@@ -169,4 +179,210 @@ fn no_compressed_profile_gets_no_compressed_springboards() {
     let r = rvdyn::editor::run_binary(&patched.binary, 10_000_000).unwrap();
     assert_eq!(r.exit_code, 0);
     assert_eq!(r.read_u64(c.addr), Some(1 + 10 + 1)); // entry + 10 loop heads + exit...
+}
+
+// --- Typed error paths (the panic-free pipeline contract) ------------------
+//
+// A mutatee that faults, stalls, or defeats the patcher is *data* the tool
+// must be able to report: every scenario below used to panic (or would
+// have) and now comes back as an inspectable `rvdyn::Error`.
+
+mod typed_errors {
+    use super::*;
+    use rvdyn::{DynamicInstrumenter, Error, RegAllocMode, Stage};
+
+    #[test]
+    fn mutatee_fault_is_a_typed_error_with_pc_and_addr() {
+        // Instrument normally, then derail the mutatee: point its pc at
+        // unmapped memory. The fetch fault must surface as MutateeFault —
+        // never a mutator panic.
+        let bin = rvdyn_asm::matmul_program(4, 1);
+        let mut dy = DynamicInstrumenter::create(bin);
+        let c = dy.alloc_var(8);
+        let pts = dy.find_points("matmul", PointKind::FuncEntry).unwrap();
+        dy.insert(&pts, Snippet::increment(c));
+        dy.commit().unwrap();
+        dy.process_mut().set_pc(0xDEAD_0000);
+        match dy.run_to_exit() {
+            Err(Error::MutateeFault { pc, addr }) => {
+                assert_eq!(pc, 0xDEAD_0000);
+                assert_eq!(addr, 0xDEAD_0000);
+            }
+            other => panic!("expected MutateeFault, got {other:?}"),
+        }
+        // The error also reports its stage and pc generically.
+        dy.process_mut().set_pc(0xDEAD_0000);
+        let err = dy.run_to_exit().unwrap_err();
+        assert_eq!(err.stage(), Stage::Run);
+        assert_eq!(err.pc(), Some(0xDEAD_0000));
+    }
+
+    #[test]
+    fn store_to_unmapped_memory_reports_the_bad_address() {
+        // A mutatee whose own code stores to an unmapped address: the
+        // MemFault must carry the *data* address, distinct from the pc.
+        use rvdyn_isa::Reg;
+        let mut a = rvdyn_asm::Assembler::new(0x1_0000);
+        a.li(Reg::x(5), 0x6666_0000); // unmapped
+        let store_pc = a.here();
+        a.sd(Reg::x(6), Reg::x(5), 0);
+        a.li(Reg::x(17), 93);
+        a.ecall();
+        let code = a.finish().unwrap();
+        let profile = rvdyn_isa::IsaProfile::rv64gc();
+        let bin = rvdyn::Binary {
+            entry: 0x1_0000,
+            e_flags: rvdyn::Binary::eflags_for(profile),
+            e_type: rvdyn_symtab::elf::ET_EXEC,
+            sections: vec![rvdyn_symtab::Section::progbits(
+                ".text",
+                0x1_0000,
+                rvdyn_symtab::SHF_ALLOC | rvdyn_symtab::SHF_EXECINSTR,
+                code,
+            )],
+            symbols: vec![],
+            attributes: Some(rvdyn_symtab::RiscvAttributes::for_profile(profile)),
+        };
+        let err = match rvdyn::editor::run_binary(&bin, 1_000_000) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a memory fault"),
+        };
+        match err {
+            Error::MutateeFault { pc, addr } => {
+                assert_eq!(pc, store_pc);
+                assert_eq!(addr, 0x6666_0000);
+            }
+            other => panic!("expected MutateeFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_a_typed_unclean_exit() {
+        let elf = rvdyn_asm::matmul_program(8, 1).to_bytes().unwrap();
+        match rvdyn::run_elf(&elf, 100) {
+            Err(Error::UncleanExit { reason, icount, .. }) => {
+                assert_eq!(icount, 100);
+                assert!(reason.contains("fuel"), "reason: {reason}");
+            }
+            Err(other) => panic!("expected UncleanExit, got {other}"),
+            Ok(_) => panic!("expected UncleanExit, got a clean exit"),
+        }
+    }
+
+    #[test]
+    fn far_patch_area_turns_tail_call_into_typed_relocation_error() {
+        // twice_plus1 tail-calls double_it with `jal x0` — a jump with no
+        // link register to spare. Relocating it ~1 GiB away exceeds jal's
+        // ±1 MiB reach with no register to widen through: the springboard
+        // planner's failure mode, reported as JumpOutOfRange.
+        let bin = rvdyn_asm::tailcall_program();
+        let mut ed = BinaryEditor::from_binary(bin);
+        ed.set_layout(rvdyn::PatchLayout {
+            patch_text: 0x4000_0000,
+            patch_data: 0x4100_0000,
+        });
+        let c = ed.alloc_var(8);
+        let pts = ed.find_points("twice_plus1", PointKind::FuncEntry).unwrap();
+        ed.insert(&pts, Snippet::increment(c));
+        let err = match ed.rewrite() {
+            Err(e) => e,
+            Ok(_) => panic!("expected a relocation failure"),
+        };
+        assert_eq!(err.stage(), Stage::Instrument);
+        match err {
+            Error::Instrument {
+                source:
+                    rvdyn_patch::InstrumentError::Relocate(
+                        rvdyn_patch::relocate::RelocateError::JumpOutOfRange { at, target },
+                    ),
+            } => {
+                assert!(target < 0x4000_0000, "target is the original double_it");
+                assert!(at >= 0x4000_0000, "jump sits in the far patch area");
+            }
+            other => panic!("expected JumpOutOfRange, got {other}"),
+        }
+    }
+
+    #[test]
+    fn snippet_needing_too_many_registers_is_a_typed_codegen_error() {
+        // A balanced 2^14-leaf expression tree needs 15 simultaneous
+        // scratch registers — one more than the allocator's candidate
+        // pool, even with every register spillable.
+        fn deep(depth: u32) -> Snippet {
+            if depth == 0 {
+                Snippet::Const(1)
+            } else {
+                Snippet::bin(rvdyn::BinaryOp::Add, deep(depth - 1), deep(depth - 1))
+            }
+        }
+        let bin = rvdyn_asm::matmul_program(4, 1);
+        let mut ed = BinaryEditor::from_binary(bin);
+        let pts = ed.find_points("matmul", PointKind::FuncEntry).unwrap();
+        ed.insert(&pts, deep(14));
+        let err = match ed.rewrite() {
+            Err(e) => e,
+            Ok(_) => panic!("expected an out-of-registers failure"),
+        };
+        assert_eq!(err.stage(), Stage::Instrument);
+        assert!(
+            err.to_string().contains("register"),
+            "expected an out-of-registers diagnosis, got: {err}"
+        );
+    }
+
+    #[test]
+    fn zero_dead_register_point_spills_instead_of_failing() {
+        // Force the all-registers-live worst case: the allocator must fall
+        // back to spill slots (§4.3's slow path), succeed, and the
+        // diagnostics must show zero dead-register points.
+        let bin = rvdyn_asm::matmul_program(4, 2);
+        let mut ed = BinaryEditor::from_binary(bin);
+        ed.set_mode(RegAllocMode::ForceSpill);
+        let c = ed.alloc_var(8);
+        let pts = ed.find_points("matmul", PointKind::FuncEntry).unwrap();
+        ed.insert(&pts, Snippet::increment(c));
+        let out = ed.rewrite().unwrap();
+        let d = ed.diagnostics();
+        assert_eq!(d.dead_register_points, 0, "every point must have spilled");
+        assert!(d.spills > 0, "spill slots must have been used");
+        let r = rvdyn::run_elf(&out, 1_000_000_000).unwrap();
+        assert_eq!(r.exit_code, 0);
+        assert_eq!(r.read_u64(c.addr), Some(2));
+    }
+
+    #[test]
+    fn diagnostics_cover_the_full_pipeline() {
+        // One end-to-end dynamic run with every stage's counters checked.
+        let bin = rvdyn_asm::matmul_program(5, 3);
+        let mut dy = DynamicInstrumenter::create(bin);
+        let parse_d = dy.diagnostics();
+        assert!(parse_d.functions_parsed >= 3); // _start, main, matmul, …
+        assert!(parse_d.blocks_parsed > parse_d.functions_parsed);
+        assert!(parse_d.instructions_decoded as usize > parse_d.blocks_parsed);
+        assert_eq!(parse_d.points_instrumented, 0);
+        assert_eq!(parse_d.instret, 0);
+
+        let c = dy.alloc_var(8);
+        let pts = dy.find_points("matmul", PointKind::BlockEntry).unwrap();
+        dy.insert(&pts, Snippet::increment(c));
+        dy.commit().unwrap();
+        let patch_d = dy.diagnostics();
+        assert_eq!(patch_d.points_instrumented, pts.len());
+        assert!(
+            patch_d.dead_register_points > 0,
+            "matmul's blocks have dead temporaries"
+        );
+        assert_eq!(patch_d.springboards.total(), 1); // one relocated function
+        assert_eq!(patch_d.springboards.trap, 0, "no trap springboards needed");
+
+        assert_eq!(dy.run_to_exit().unwrap(), 0);
+        let run_d = dy.diagnostics();
+        assert!(run_d.instret > 0);
+        assert!(run_d.cycles >= run_d.instret);
+        // The printable summary mentions every stage.
+        let text = run_d.to_string();
+        for needle in ["parse:", "instrument:", "springboards:", "run:"] {
+            assert!(text.contains(needle), "summary missing {needle}: {text}");
+        }
+    }
 }

@@ -1,0 +1,112 @@
+//! `any::<T>()` — edge-biased uniform generation for the primitive types
+//! the workspace draws from.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8: draw from the boundary pool. These include the
+                // ±2^31 ± 2^11 neighbourhood that pc-relative addressing
+                // windows (auipc+lo12) pivot on.
+                if rng.edge_bias(8) {
+                    const EDGES: [u64; 20] = [
+                        0,
+                        1,
+                        2,
+                        0x7FF,
+                        0x800,
+                        0x801,
+                        0xFFF,
+                        0x1000,
+                        0x7FFF_F7FF,
+                        0x7FFF_F800,
+                        0x7FFF_FFFF,
+                        0x8000_0000,
+                        0x8000_0800,
+                        0x8000_0801,
+                        0xFFFF_F800,
+                        0xFFFF_FFFF,
+                        u64::MAX,
+                        u64::MAX - 1,
+                        i64::MAX as u64,
+                        i64::MIN as u64,
+                    ];
+                    let i = rng.below(EDGES.len() as u128) as usize;
+                    return EDGES[i] as $t;
+                }
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        if rng.edge_bias(8) {
+            const SPECIALS: [f64; 10] = [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NAN,
+                f64::MIN_POSITIVE,
+                f64::MAX,
+                5e-324, // smallest subnormal
+            ];
+            let i = rng.below(SPECIALS.len() as u128) as usize;
+            return SPECIALS[i];
+        }
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        if rng.edge_bias(8) {
+            const SPECIALS: [f32; 8] = [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                f32::NAN,
+                f32::MIN_POSITIVE,
+            ];
+            let i = rng.below(SPECIALS.len() as u128) as usize;
+            return SPECIALS[i];
+        }
+        f32::from_bits(rng.next_u32())
+    }
+}

@@ -1,0 +1,98 @@
+//! `&str` regex-literal strategies (`"[a-z_][a-z0-9_]{0,18}"` style).
+//!
+//! Supports the subset the workspace uses: literal characters, character
+//! classes with ranges (`[a-z0-9_]`), and `{m}` / `{m,n}` quantifiers on
+//! the preceding atom. Anything else panics at strategy construction time
+//! (a test-authoring error, not an input-dependent condition).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Class(Vec<char>),
+    Literal(char),
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let Some(c) = chars.next() else {
+                        panic!("unterminated character class in {pattern:?}");
+                    };
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = chars.next().expect("range end");
+                            for ch in lo..=hi {
+                                set.push(ch);
+                            }
+                        }
+                        _ => {
+                            set.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                Atom::Class(set)
+            }
+            '\\' => Atom::Literal(chars.next().expect("escape target")),
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                panic!("unsupported regex feature {c:?} in {pattern:?}")
+            }
+            _ => Atom::Literal(c),
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let m: usize = spec.trim().parse().expect("quantifier count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse(self);
+        let mut out = String::new();
+        for (atom, min, max) in &atoms {
+            let n = *min + rng.below((*max - *min) as u128 + 1) as usize;
+            for _ in 0..n {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        let i = rng.below(set.len() as u128) as usize;
+                        out.push(set[i]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,260 @@
+//! The case runner: deterministic RNG, config, regression-file replay and
+//! persistence, and the per-case execution loop.
+
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of novel cases to generate (after regression replay).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A non-panicking test-case failure (from `prop_assert!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+
+    /// `TestCaseError::Reject` compatibility shim: discard the case.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic RNG (splitmix64 stream). One instance per test case,
+/// seeded either from a regression file or from the (test name, case
+/// index) pair, so every `cargo test` run reproduces the same inputs.
+pub struct TestRng {
+    state: u64,
+    /// Index of the current case; the first few cases of each test lean
+    /// harder on boundary values (see [`TestRng::edge_bias`]).
+    pub(crate) case_index: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64, case_index: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            case_index,
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, n)` (`n > 0`).
+    pub fn below(&mut self, n: u128) -> u128 {
+        debug_assert!(n > 0);
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % n
+    }
+
+    /// True roughly once per `denom` calls — used to decide whether a
+    /// generated integer should be a boundary value instead of uniform.
+    /// The first few cases of each test quadruple the odds so boundary
+    /// combinations surface even at low case counts.
+    pub fn edge_bias(&mut self, denom: u64) -> bool {
+        let denom = if self.case_index < 8 {
+            (denom / 4).max(1)
+        } else {
+            denom
+        };
+        self.next_u64().is_multiple_of(denom)
+    }
+}
+
+thread_local! {
+    static LAST_INPUT: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+/// Called by the `proptest!` expansion after generating a case's inputs,
+/// so failures (including panics inside the body) can report them.
+pub fn record_input(s: String) {
+    LAST_INPUT.with(|c| *c.borrow_mut() = s);
+}
+
+fn last_input() -> String {
+    LAST_INPUT.with(|c| c.borrow().clone())
+}
+
+/// Locate `<test file stem>.proptest-regressions` next to the test source.
+/// `file!()` paths are workspace-relative; the test binary's
+/// `CARGO_MANIFEST_DIR` points at the package, so splice them at the
+/// trailing `tests/` component.
+fn regression_path(file: &str) -> Option<PathBuf> {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    let tail = match file.rfind("tests/") {
+        Some(i) => &file[i..],
+        None => file,
+    };
+    let mut p = PathBuf::from(manifest).join(tail);
+    p.set_extension("proptest-regressions");
+    Some(p)
+}
+
+/// Parse `cc <hex>` lines, folding each hex digest into a u64 seed by
+/// XOR-ing its 8-byte chunks (so short and long digests both work).
+fn read_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("cc ") else {
+            continue;
+        };
+        let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+        if hex.len() < 16 {
+            continue;
+        }
+        let mut fold = 0u64;
+        for chunk in hex.as_bytes().chunks(16) {
+            let s = std::str::from_utf8(chunk).unwrap_or("0");
+            if let Ok(v) = u64::from_str_radix(s, 16) {
+                // Left-align short trailing chunks so "cc 1234" != "cc 12340000".
+                fold ^= v << (4 * (16 - s.len()));
+            }
+        }
+        seeds.push(fold);
+    }
+    seeds
+}
+
+fn persist_failure(path: &Path, seed: u64, input: &str) {
+    let header_needed = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    if header_needed {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases."
+        );
+    }
+    let _ = writeln!(f, "cc {seed:016x}{:048} # shrinks to {input}", 0);
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Run one property test: replay regression seeds, then `cfg.cases` novel
+/// cases. The closure generates inputs from the RNG, records their debug
+/// form via [`record_input`], and returns the body's verdict.
+pub fn run<F>(cfg: &ProptestConfig, file: &str, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let reg_path = regression_path(file);
+    let replay_seeds = reg_path
+        .as_deref()
+        .map(read_regression_seeds)
+        .unwrap_or_default();
+
+    for &seed in &replay_seeds {
+        run_one(&mut case, seed, 0, None, file, name, true);
+    }
+
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(cfg.cases);
+    let base = fnv1a(name) ^ fnv1a(file).rotate_left(17);
+    for i in 0..cases as u64 {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        run_one(&mut case, seed, i, reg_path.as_deref(), file, name, false);
+    }
+}
+
+fn run_one<F>(
+    case: &mut F,
+    seed: u64,
+    case_index: u64,
+    persist_to: Option<&Path>,
+    file: &str,
+    name: &str,
+    replay: bool,
+) where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_seed(seed, case_index);
+    record_input(String::from("<inputs not yet generated>"));
+    let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+    let failure: Option<String> = match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e.to_string()),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            Some(format!("panic: {msg}"))
+        }
+    };
+    if let Some(msg) = failure {
+        let input = last_input();
+        if let Some(p) = persist_to {
+            persist_failure(p, seed, &input);
+        }
+        let kind = if replay { "regression replay" } else { "case" };
+        panic!(
+            "proptest {kind} failed for {name} ({file}):\n\
+             {msg}\n\
+             input: {input}\n\
+             seed: cc {seed:016x}"
+        );
+    }
+}
