@@ -16,9 +16,18 @@ use rvdyn_bench::x86::{self, Probe};
 use rvdyn_bench::{render_table, Row};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut json = false;
+    let mut args = std::env::args().skip(1).filter(|a| {
+        if a == "--json" {
+            json = true;
+            false
+        } else {
+            true
+        }
+    });
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
     let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    drop(args);
 
     eprintln!("matmul {n}x{n}, {reps} call(s) — measuring…");
 
@@ -31,6 +40,25 @@ fn main() {
         Config::BasicBlockCount,
         RegAllocMode::DeadRegisters,
     );
+
+    if json {
+        // Machine-readable mode: one line per RISC-V configuration, each
+        // embedding the full rvdyn-diagnostics-v1 object — per-stage
+        // wall-clock attribution of the toolkit's own pipeline.
+        for (label, m) in [
+            ("base", &rv_base),
+            ("function_count", &rv_fn),
+            ("bb_count", &rv_bb),
+        ] {
+            println!(
+                "{{\"config\":\"{}\",\"mutatee_seconds\":{},\"diagnostics\":{}}}",
+                label,
+                m.mutatee_seconds,
+                m.diag.to_json()
+            );
+        }
+        return;
+    }
 
     // x86 side (native host; spill-modelled trampolines).
     // Scale the native reps up so the timings are measurable.

@@ -16,7 +16,7 @@ pub enum Config {
 }
 
 /// Result of one measured run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Modelled wall-clock seconds of the *whole program* (what §4.3
     /// reports: the mutatee's own elapsed-time measurement).
@@ -30,6 +30,11 @@ pub struct Measurement {
     pub counter: u64,
     /// Registers spilled by instrumentation codegen.
     pub spills: usize,
+    /// Full pipeline diagnostics for the run, including the per-stage
+    /// wall-clock attribution of the *toolkit's own* work (parse,
+    /// instrument, relocate) — the mutator-side counterpart of the
+    /// mutatee-side overhead columns.
+    pub diag: rvdyn::Diagnostics,
 }
 
 /// Build, (optionally) instrument, and run `matmul(n)` called `reps`
@@ -41,12 +46,15 @@ pub fn measure(n: usize, reps: usize, config: Config, mode: RegAllocMode) -> Mea
     if config == Config::Base {
         let r = rvdyn::editor::run_binary(&bin, fuel).expect("base run");
         assert_eq!(r.exit_code, 0);
+        let mut diag = rvdyn::Diagnostics::default();
+        diag.record_run(r.icount, r.cycles);
         return Measurement {
             seconds: r.seconds,
             mutatee_seconds: mutatee_elapsed(&r),
             icount: r.icount,
             counter: 0,
             spills: 0,
+            diag,
         };
     }
 
@@ -63,12 +71,15 @@ pub fn measure(n: usize, reps: usize, config: Config, mode: RegAllocMode) -> Mea
     let patched = ed.instrumented().expect("instrumentation");
     let r = rvdyn::editor::run_binary(&patched.binary, fuel).expect("instrumented run");
     assert_eq!(r.exit_code, 0);
+    let mut diag = ed.diagnostics().clone();
+    diag.record_run(r.icount, r.cycles);
     Measurement {
         seconds: r.seconds,
         mutatee_seconds: mutatee_elapsed(&r),
         icount: r.icount,
         counter: r.read_u64(counter.addr).unwrap_or(0),
         spills: patched.spill_count,
+        diag,
     }
 }
 
@@ -99,6 +110,15 @@ mod tests {
         assert!(bb.counter > 2000); // ~2.3k blocks at n=10
         assert_eq!(f.spills, 0);
         assert_eq!(bb.spills, 0);
+    }
+
+    #[test]
+    fn measurement_carries_stage_attribution() {
+        let m = measure(8, 1, Config::FunctionCount, RegAllocMode::DeadRegisters);
+        assert!(m.diag.timings.parse_ns > 0, "parse stage timed");
+        assert!(m.diag.timings.instrument_ns > 0, "instrument stage timed");
+        assert_eq!(m.diag.instret, m.icount, "run counters recorded");
+        assert_eq!(m.diag.points_instrumented, 1);
     }
 
     #[test]

@@ -476,6 +476,16 @@ impl<'a> Emitter<'a> {
     }
 }
 
+/// Per-point lowering statistics — what the register allocator did while
+/// lowering one snippet sequence (telemetry's `PointLowered` payload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowerStats {
+    /// Registers spilled to a stack frame (the §4.3 slow path).
+    pub spills: usize,
+    /// Scratch grants served from the dead-register pool for free.
+    pub dead_scratch: usize,
+}
+
 /// Convenience entry point: lower `snippet` at a point with `dead`
 /// registers free, returning the complete sequence including any spill
 /// frame, plus the spill count (for diagnostics/ablation).
@@ -485,11 +495,25 @@ pub fn generate(
     mode: crate::regalloc::RegAllocMode,
     profile: IsaProfile,
 ) -> Result<(Vec<rvdyn_isa::Instruction>, usize), CodeGenError> {
+    generate_with_stats(snippet, dead, mode, profile).map(|(code, st)| (code, st.spills))
+}
+
+/// As [`generate`], additionally reporting how the scratch registers were
+/// obtained (dead pool vs. spill) for per-point telemetry.
+pub fn generate_with_stats(
+    snippet: &Snippet,
+    dead: rvdyn_isa::RegSet,
+    mode: crate::regalloc::RegAllocMode,
+    profile: IsaProfile,
+) -> Result<(Vec<rvdyn_isa::Instruction>, LowerStats), CodeGenError> {
     let mut alloc = RegAllocator::new(dead, mode);
     let mut em = Emitter::new(&mut alloc, profile);
     em.emit(snippet)?;
     let body = em.finish()?;
-    let spills = alloc.spill_count();
+    let stats = LowerStats {
+        spills: alloc.spill_count(),
+        dead_scratch: alloc.dead_grants(),
+    };
     let (pro, epi) = alloc.frame();
 
     // A snippet containing a Call lets the callee clobber the entire
@@ -532,7 +556,7 @@ pub fn generate(
         }
         out.push(build::addi(Reg::X2, Reg::X2, frame));
     }
-    Ok((out, spills))
+    Ok((out, stats))
 }
 
 #[cfg(test)]

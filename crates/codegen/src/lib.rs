@@ -25,6 +25,6 @@ pub mod imm;
 pub mod regalloc;
 pub mod snippet;
 
-pub use emitter::{CodeBuffer, CodeGenError, Emitter};
+pub use emitter::{generate, generate_with_stats, CodeBuffer, CodeGenError, Emitter, LowerStats};
 pub use regalloc::{RegAllocMode, RegAllocator};
 pub use snippet::{BinaryOp, Snippet, UnaryOp, Var};

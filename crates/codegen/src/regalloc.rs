@@ -33,6 +33,8 @@ pub struct RegAllocator {
     spilled: Vec<Reg>,
     /// Registers currently handed out.
     in_use: Vec<Reg>,
+    /// Scratch grants satisfied from the dead pool (zero-cost path).
+    dead_grants: usize,
     mode: RegAllocMode,
 }
 
@@ -57,6 +59,7 @@ impl RegAllocator {
             dead_pool,
             spilled: Vec::new(),
             in_use: Vec::new(),
+            dead_grants: 0,
             mode,
         }
     }
@@ -64,6 +67,12 @@ impl RegAllocator {
     /// Number of registers that had to be spilled so far.
     pub fn spill_count(&self) -> usize {
         self.spilled.len()
+    }
+
+    /// Number of scratch grants satisfied from the dead pool so far (the
+    /// §4.3 zero-cost path; the complement of [`Self::spill_count`]).
+    pub fn dead_grants(&self) -> usize {
+        self.dead_grants
     }
 
     /// Registers currently handed out (live snippet temporaries). The
@@ -82,6 +91,7 @@ impl RegAllocator {
     pub fn acquire(&mut self) -> Option<Reg> {
         if let Some(r) = self.dead_pool.pop() {
             self.in_use.push(r);
+            self.dead_grants += 1;
             return Some(r);
         }
         // Pick the next candidate not already handed out.

@@ -1,20 +1,26 @@
-//! Pipeline diagnostics: one struct of counters threaded through
-//! open→parse→instrument→run, so a tool (and `rvdyn_cli`) can report
-//! *what the toolkit actually did* — how much code it decoded, how it
-//! planted springboards, whether dead-register allocation held up, and
-//! what the mutatee executed. The categories follow the paper's own
-//! evaluation axes: parse coverage (§3.2.3), springboard strategy
-//! (§3.1.2), dead registers vs. spills (§4.3), and the emulator's
-//! instret/cycle model (§4).
+//! Pipeline diagnostics: one struct of counters *and clocks* threaded
+//! through open→parse→instrument→run, so a tool (and `rvdyn_cli`) can
+//! report *what the toolkit actually did* — how much code it decoded, how
+//! it planted springboards, whether dead-register allocation held up,
+//! what the mutatee executed, and where the toolkit's own wall-clock time
+//! went. The categories follow the paper's own evaluation axes: parse
+//! coverage (§3.2.3), springboard strategy (§3.1.2), dead registers vs.
+//! spills (§4.3), and the emulator's instret/cycle model (§4); the
+//! [`StageTimings`] section gives perf work the per-stage attribution the
+//! §4.3 table demands of the tool itself.
 
+use crate::telemetry::StageTimings;
 use rvdyn_parse::{CodeObject, EdgeKind};
 use rvdyn_patch::instrument::PatchResult;
 use rvdyn_patch::springboard::SpringboardStats;
 use std::fmt;
 
-/// Counters for one instrumentation pipeline, grouped by stage. Stages
-/// that have not run yet report zeros.
-#[derive(Debug, Clone, Copy, Default)]
+/// Counters and per-stage timings for one instrumentation pipeline,
+/// grouped by stage. Stages that have not run yet report zeros.
+///
+/// Not `Copy`: accessors hand out `&Diagnostics` so callers always see
+/// live totals; take an explicit `.clone()` for a point-in-time snapshot.
+#[derive(Debug, Clone, Default)]
 pub struct Diagnostics {
     // -- parse stage --
     /// Functions discovered by ParseAPI.
@@ -26,6 +32,10 @@ pub struct Diagnostics {
     /// Indirect transfers whose targets could not be resolved (each one a
     /// soundness hazard instrumentation must treat conservatively).
     pub unresolved_indirects: usize,
+    /// Blocks whose jump-table dispatch was fully resolved to edges.
+    pub jump_tables_resolved: usize,
+    /// Functions discovered only by gap parsing (stripped-binary path).
+    pub gap_functions: usize,
 
     // -- instrument stage --
     /// Points that received snippets.
@@ -36,12 +46,18 @@ pub struct Diagnostics {
     pub spills: usize,
     /// Springboard strategy histogram.
     pub springboards: SpringboardStats,
+    /// Coalesced patch regions delivered (dynamic commit batching; the
+    /// static path serialises an ELF instead and leaves this 0).
+    pub patch_regions_written: usize,
 
     // -- run stage --
     /// Instructions the mutatee retired.
     pub instret: u64,
     /// Modelled cycles the mutatee consumed.
     pub cycles: u64,
+
+    /// Per-stage wall-clock attribution for the whole pipeline.
+    pub timings: StageTimings,
 }
 
 impl Diagnostics {
@@ -51,6 +67,8 @@ impl Diagnostics {
         self.blocks_parsed = 0;
         self.instructions_decoded = 0;
         self.unresolved_indirects = 0;
+        self.jump_tables_resolved = 0;
+        self.gap_functions = co.gap_functions.len();
         for f in co.functions.values() {
             self.blocks_parsed += f.blocks.len();
             for b in f.blocks.values() {
@@ -60,6 +78,9 @@ impl Diagnostics {
                     .iter()
                     .filter(|e| e.kind == EdgeKind::Unresolved)
                     .count();
+                if b.edges.iter().any(|e| e.kind == EdgeKind::IndirectJump) {
+                    self.jump_tables_resolved += 1;
+                }
             }
         }
     }
@@ -77,6 +98,51 @@ impl Diagnostics {
         self.instret = icount;
         self.cycles = cycles;
     }
+
+    /// Serialise the full diagnostics — counters and per-stage timings —
+    /// as a self-describing JSON object (schema `rvdyn-diagnostics-v1`).
+    /// Every value is a JSON number, so the output needs no escaping and
+    /// is stable across platforms.
+    pub fn to_json(&self) -> String {
+        let t = &self.timings;
+        format!(
+            concat!(
+                "{{\"schema\":\"rvdyn-diagnostics-v1\",",
+                "\"parse\":{{\"functions\":{},\"blocks\":{},\"instructions\":{},",
+                "\"unresolved_indirects\":{},\"jump_tables_resolved\":{},",
+                "\"gap_functions\":{}}},",
+                "\"instrument\":{{\"points\":{},\"dead_register_points\":{},",
+                "\"spills\":{},\"patch_regions_written\":{},",
+                "\"springboards\":{{\"compressed_jump\":{},\"jal\":{},",
+                "\"auipc_jalr\":{},\"trap\":{}}}}},",
+                "\"run\":{{\"instret\":{},\"cycles\":{}}},",
+                "\"timings_ns\":{{\"open\":{},\"parse\":{},\"instrument\":{},",
+                "\"relocate\":{},\"commit\":{},\"run\":{}}}}}"
+            ),
+            self.functions_parsed,
+            self.blocks_parsed,
+            self.instructions_decoded,
+            self.unresolved_indirects,
+            self.jump_tables_resolved,
+            self.gap_functions,
+            self.points_instrumented,
+            self.dead_register_points,
+            self.spills,
+            self.patch_regions_written,
+            self.springboards.compressed_jump,
+            self.springboards.jal,
+            self.springboards.auipc_jalr,
+            self.springboards.trap,
+            self.instret,
+            self.cycles,
+            t.open_ns,
+            t.parse_ns,
+            t.instrument_ns,
+            t.relocate_ns,
+            t.commit_ns,
+            t.run_ns,
+        )
+    }
 }
 
 impl fmt::Display for Diagnostics {
@@ -90,6 +156,13 @@ impl fmt::Display for Diagnostics {
             self.instructions_decoded,
             self.unresolved_indirects
         )?;
+        if self.jump_tables_resolved > 0 || self.gap_functions > 0 {
+            writeln!(
+                f,
+                "            {} jump tables resolved, {} gap functions",
+                self.jump_tables_resolved, self.gap_functions
+            )?;
+        }
         writeln!(
             f,
             "instrument: {} points ({} dead-register, {} spilled registers)",
@@ -103,10 +176,165 @@ impl fmt::Display for Diagnostics {
             self.springboards.auipc_jalr,
             self.springboards.trap
         )?;
-        write!(
+        if self.patch_regions_written > 0 {
+            writeln!(
+                f,
+                "delivery:   {} coalesced patch regions written + verified",
+                self.patch_regions_written
+            )?;
+        }
+        writeln!(
             f,
             "run:        {} instret, {} cycles",
             self.instret, self.cycles
-        )
+        )?;
+        write!(f, "timings:    {}", self.timings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::TimedStage;
+
+    /// Minimal structural JSON checker: validates object/array nesting,
+    /// string/number tokens, and separators. Enough to guarantee the
+    /// hand-rolled emitter never produces unparseable output.
+    fn check_json(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        skip_ws(b, i);
+                        if b.get(*i) != Some(&b'"') {
+                            return Err(format!("expected key at {i}"));
+                        }
+                        string(b, i)?;
+                        skip_ws(b, i);
+                        if b.get(*i) != Some(&b':') {
+                            return Err(format!("expected ':' at {i}"));
+                        }
+                        *i += 1;
+                        value(b, i)?;
+                        skip_ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at {i}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    *i += 1;
+                    while *i < b.len() && (b[*i].is_ascii_digit() || b[*i] == b'.' || b[*i] == b'e')
+                    {
+                        *i += 1;
+                    }
+                    Ok(())
+                }
+                other => Err(format!("unexpected {other:?} at {i}")),
+            }
+        }
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            *i += 1; // opening quote
+            while *i < b.len() && b[*i] != b'"' {
+                if b[*i] == b'\\' {
+                    *i += 1;
+                }
+                *i += 1;
+            }
+            if *i >= b.len() {
+                return Err("unterminated string".into());
+            }
+            *i += 1;
+            Ok(())
+        }
+        value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing garbage at {i}"));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn json_is_parseable_and_schema_stable() {
+        let mut d = Diagnostics {
+            functions_parsed: 3,
+            blocks_parsed: 17,
+            instructions_decoded: 411,
+            unresolved_indirects: 1,
+            jump_tables_resolved: 2,
+            gap_functions: 1,
+            points_instrumented: 11,
+            dead_register_points: 11,
+            spills: 0,
+            patch_regions_written: 4,
+            instret: 123_456,
+            cycles: 234_567,
+            ..Default::default()
+        };
+        d.timings.record(TimedStage::Parse, 1_000);
+        d.timings.record(TimedStage::Instrument, 2_000);
+        d.timings.record(TimedStage::Run, 3_000);
+        let j = d.to_json();
+        check_json(&j).expect("diagnostics JSON must parse");
+
+        // Schema stability: every v1 key present, in its section.
+        for key in [
+            "\"schema\":\"rvdyn-diagnostics-v1\"",
+            "\"parse\":{",
+            "\"functions\":3",
+            "\"blocks\":17",
+            "\"instructions\":411",
+            "\"unresolved_indirects\":1",
+            "\"jump_tables_resolved\":2",
+            "\"gap_functions\":1",
+            "\"instrument\":{",
+            "\"points\":11",
+            "\"dead_register_points\":11",
+            "\"spills\":0",
+            "\"patch_regions_written\":4",
+            "\"springboards\":{",
+            "\"compressed_jump\":",
+            "\"jal\":",
+            "\"auipc_jalr\":",
+            "\"trap\":",
+            "\"run\":{",
+            "\"instret\":123456",
+            "\"cycles\":234567",
+            "\"timings_ns\":{",
+            "\"open\":0",
+            "\"parse\":1000",
+            "\"instrument\":2000",
+            "\"relocate\":0",
+            "\"commit\":0",
+            "\"run\":3000",
+        ] {
+            assert!(j.contains(key), "JSON missing {key}: {j}");
+        }
+    }
+
+    #[test]
+    fn default_json_parses_too() {
+        check_json(&Diagnostics::default().to_json()).expect("default JSON");
     }
 }

@@ -4,80 +4,84 @@
 //! The same PatchAPI machinery produces the same relocated code and
 //! springboards as the static path; the difference is purely in delivery —
 //! the patch bytes are written into the live process's memory instead of
-//! into a new ELF. Both of the paper's dynamic variants are supported:
-//! create-and-instrument ([`DynamicInstrumenter::create`]) and
-//! attach-to-running ([`DynamicInstrumenter::attach`]).
+//! into a new ELF. Delivery shares the [`Session`] core with the static
+//! editor, adding only the debug-interface specifics: the per-patch
+//! writes are coalesced into contiguous regions, each region is written
+//! once and read back for verification (the timed `commit` stage), and
+//! the run loop is the timed `run` stage. Both of the paper's dynamic
+//! variants are supported: create-and-instrument
+//! ([`DynamicInstrumenter::create`]) and attach-to-running
+//! ([`DynamicInstrumenter::attach`]).
 
 use crate::diag::Diagnostics;
 use crate::error::Error;
+use crate::session::{self, Session, SessionOptions};
+use crate::telemetry::{TelemetryEvent, TimedStage};
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
-use rvdyn_parse::{CodeObject, ParseOptions};
-use rvdyn_patch::{find_points, Instrumenter, PatchLayout, Point, PointKind};
+use rvdyn_parse::CodeObject;
+use rvdyn_patch::{PatchLayout, Point, PointKind};
 use rvdyn_proccontrol::Process;
 use rvdyn_symtab::Binary;
 
-/// Instrument a live process.
+/// Instrument a live process: the [`Session`] pipeline core plus the
+/// debug-interface delivery state.
 pub struct DynamicInstrumenter {
-    binary: Binary,
-    code: CodeObject,
+    session: Session,
     process: Process,
-    layout: PatchLayout,
-    mode: RegAllocMode,
-    pending: Vec<(Point, Snippet)>,
-    var_bytes: u64,
     /// Inverse writes of the applied patch (springboard originals).
     undo: Vec<(u64, Vec<u8>)>,
     /// Accumulated patch-area → original pc translation.
     reloc_index: rvdyn_patch::RelocationIndex,
-    diag: Diagnostics,
 }
 
 impl DynamicInstrumenter {
     /// Figure 1 variant 1: analyze, then spawn the process (stopped at
     /// entry) ready for instrumentation.
     pub fn create(binary: Binary) -> DynamicInstrumenter {
-        let code = CodeObject::parse(&binary, &ParseOptions::default());
+        Self::create_with(binary, SessionOptions::default())
+    }
+
+    /// As [`DynamicInstrumenter::create`] with explicit session options.
+    pub fn create_with(binary: Binary, opts: SessionOptions) -> DynamicInstrumenter {
         let process = Process::launch(&binary);
-        let mut diag = Diagnostics::default();
-        diag.record_parse(&code);
-        DynamicInstrumenter {
-            binary,
-            code,
-            process,
-            layout: PatchLayout::default(),
-            mode: RegAllocMode::DeadRegisters,
-            pending: Vec::new(),
-            var_bytes: 0,
-            undo: Vec::new(),
-            reloc_index: Default::default(),
-            diag,
-        }
+        let session = Session::from_binary(binary, &opts);
+        Self::assemble(session, process)
     }
 
     /// Figure 1 variant 2: attach to an already-running process. The
     /// binary model is needed for analysis (on Linux it would be read
     /// from `/proc/pid/exe`).
     pub fn attach(binary: Binary, process: Process) -> DynamicInstrumenter {
-        let code = CodeObject::parse(&binary, &ParseOptions::default());
-        let mut diag = Diagnostics::default();
-        diag.record_parse(&code);
+        Self::attach_with(binary, process, SessionOptions::default())
+    }
+
+    /// As [`DynamicInstrumenter::attach`] with explicit session options.
+    pub fn attach_with(
+        binary: Binary,
+        process: Process,
+        opts: SessionOptions,
+    ) -> DynamicInstrumenter {
+        let session = Session::from_binary(binary, &opts);
+        Self::assemble(session, process)
+    }
+
+    fn assemble(session: Session, mut process: Process) -> DynamicInstrumenter {
+        // Route debug-interface events (breakpoints, memory writes) into
+        // the session's telemetry stream.
+        if let Some(sink) = session.sink() {
+            process.set_observer(Box::new(move |ev| sink.event(&session::adapt_proc(ev))));
+        }
         DynamicInstrumenter {
-            binary,
-            code,
+            session,
             process,
-            layout: PatchLayout::default(),
-            mode: RegAllocMode::DeadRegisters,
-            pending: Vec::new(),
-            var_bytes: 0,
             undo: Vec::new(),
             reloc_index: Default::default(),
-            diag,
         }
     }
 
     pub fn code(&self) -> &CodeObject {
-        &self.code
+        self.session.code()
     }
 
     pub fn process(&self) -> &Process {
@@ -88,75 +92,87 @@ impl DynamicInstrumenter {
         &mut self.process
     }
 
-    /// Counters for what the pipeline has done so far: parse totals after
-    /// `create`/`attach`, instrument totals after [`Self::commit`], run
-    /// totals after [`Self::run_to_exit`].
-    pub fn diagnostics(&self) -> Diagnostics {
-        self.diag
+    /// Live counters and per-stage timings for what the pipeline has done
+    /// so far: parse totals after `create`/`attach`, instrument and
+    /// delivery totals after [`Self::commit`], run totals after
+    /// [`Self::run_to_exit`].
+    pub fn diagnostics(&self) -> &Diagnostics {
+        self.session.diagnostics()
+    }
+
+    /// Point-in-time copy of the diagnostics.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `diagnostics()` (borrowed, always live) and clone if needed"
+    )]
+    pub fn diagnostics_snapshot(&self) -> Diagnostics {
+        self.session.diagnostics().clone()
     }
 
     pub fn set_mode(&mut self, mode: RegAllocMode) {
-        self.mode = mode;
+        self.session.set_mode(mode);
+    }
+
+    /// Override the patch-area layout (before the first commit).
+    pub fn set_layout(&mut self, layout: PatchLayout) {
+        self.session.set_layout(layout);
     }
 
     /// Allocate an instrumentation variable in the patch data area (the
     /// dynamic analogue of `malloc`-ing in the mutatee).
     pub fn alloc_var(&mut self, size: u8) -> Var {
-        let addr = self.layout.patch_data + self.var_bytes;
-        self.var_bytes += ((size as u64) + 7) & !7;
-        Var { addr, size }
+        self.session.alloc_var(size)
     }
 
     /// Points of `kind` in the named function.
     pub fn find_points(&self, func: &str, kind: PointKind) -> Result<Vec<Point>, Error> {
-        let f = self
-            .code
-            .functions
-            .values()
-            .find(|f| f.name.as_deref() == Some(func))
-            .ok_or_else(|| Error::NoSuchFunction {
-                name: func.to_string(),
-            })?;
-        Ok(find_points(f, kind))
+        self.session.find_points(func, kind)
     }
 
     /// Queue `snippet` at each point.
     pub fn insert(&mut self, points: &[Point], snippet: Snippet) {
-        for p in points {
-            self.pending.push((*p, snippet.clone()));
-        }
+        self.session.insert(points, snippet);
     }
 
-    /// Apply all queued insertions to the live process: write the patch
-    /// area, zero the data area, plant springboards, register trap-table
-    /// redirects.
+    /// Apply all queued insertions to the live process: lower and relocate
+    /// (the session's timed `instrument` stage), then deliver (the timed
+    /// `commit` stage) — zero the data area, write the patch as coalesced
+    /// contiguous regions, read each region back to verify delivery,
+    /// plant springboards, register trap-table redirects.
+    ///
+    /// A region whose read-back disagrees with what was written surfaces
+    /// as [`Error::PatchVerifyFailed`].
     pub fn commit(&mut self) -> Result<(), Error> {
-        let mut ins = Instrumenter::new(&self.binary, &self.code)
-            .with_layout(self.layout)
-            .with_mode(self.mode);
-        for _ in 0..(self.var_bytes / 8) {
-            let _ = ins.alloc_var(8);
-        }
-        for (p, s) in &self.pending {
-            ins.insert(*p, s.clone());
-        }
-        let result = ins.apply()?;
-        self.diag.record_patch(&result);
-        self.pending.clear();
+        let result = self.session.apply()?;
+        self.session.clear_pending();
+
+        let timer = self.session.begin_stage(TimedStage::Commit);
 
         // Zero-fill the instrumentation data area.
-        let data_len = self.var_bytes.max(8) as usize;
+        let data_len = self.session.var_bytes().max(8) as usize;
         self.process
-            .write_mem(self.layout.patch_data, &vec![0u8; data_len]);
+            .write_mem(self.session.layout().patch_data, &vec![0u8; data_len]);
 
-        // Deliver the patch through the debug interface.
+        // Deliver the patch through the debug interface: one write per
+        // coalesced region instead of one per springboard/function, each
+        // verified by read-back.
+        let regions = coalesce_writes(result.memory_writes());
         let mut code_lo = u64::MAX;
         let mut code_hi = 0u64;
-        for (addr, bytes) in result.memory_writes() {
+        for (addr, bytes) in &regions {
             self.process.write_mem(*addr, bytes);
+            match self.process.read_mem(*addr, bytes.len()) {
+                Ok(back) if back == *bytes => {}
+                _ => return Err(Error::PatchVerifyFailed { addr: *addr }),
+            }
+            self.session.emit(TelemetryEvent::PatchRegionWritten {
+                addr: *addr,
+                len: bytes.len(),
+            });
             code_lo = code_lo.min(*addr);
             code_hi = code_hi.max(*addr + bytes.len() as u64);
         }
+        self.session.diag_mut().patch_regions_written += regions.len();
         if code_lo < code_hi {
             self.process
                 .machine_mut()
@@ -167,6 +183,7 @@ impl DynamicInstrumenter {
         }
         self.undo.extend(result.undo_writes().iter().cloned());
         self.reloc_index.merge(&result.reloc_index);
+        self.session.end_stage(timer);
         Ok(())
     }
 
@@ -189,18 +206,35 @@ impl DynamicInstrumenter {
     }
 
     /// Run the instrumented process to completion, returning the exit
-    /// code.
+    /// code (the timed `run` stage).
     ///
     /// A faulting mutatee or a refused process-control operation comes
     /// back as a typed error carrying the mutatee's pc — never a panic:
-    /// crashing mutatees are data the mutator's tool needs to report.
+    /// crashing mutatees are data the mutator's tool needs to report. A
+    /// breakpoint trap that surfaces while trap-table redirects are
+    /// installed is a springboard whose redirect is missing
+    /// ([`Error::RedirectMiss`]), not a generic unclean exit.
     pub fn run_to_exit(&mut self) -> Result<i64, Error> {
+        let timer = self.session.begin_stage(TimedStage::Run);
         let result = loop {
             match self.process.cont() {
                 Ok(rvdyn_proccontrol::Event::Exited(c)) => break Ok(c),
                 Ok(rvdyn_proccontrol::Event::Breakpoint(_))
-                | Ok(rvdyn_proccontrol::Event::Stepped(_))
-                | Ok(rvdyn_proccontrol::Event::Trap(_)) => continue,
+                | Ok(rvdyn_proccontrol::Event::Stepped(_)) => continue,
+                Ok(rvdyn_proccontrol::Event::Trap(pc)) => {
+                    // The emulator resolves springboard traps via the
+                    // redirect table in-loop; one that *surfaces* here is
+                    // either a missing redirect (instrumented process) or
+                    // the mutatee's own ebreak (uninstrumented).
+                    if !self.process.machine().trap_redirects.is_empty() {
+                        break Err(Error::RedirectMiss { pc });
+                    }
+                    break Err(Error::UncleanExit {
+                        reason: format!("unexpected breakpoint trap at {pc:#x}"),
+                        pc,
+                        icount: self.process.machine().icount,
+                    });
+                }
                 Ok(rvdyn_proccontrol::Event::Fault { pc, addr }) => {
                     break Err(Error::MutateeFault { pc, addr });
                 }
@@ -212,8 +246,19 @@ impl DynamicInstrumenter {
                 }
             }
         };
-        let m = self.process.machine();
-        self.diag.record_run(m.icount, m.cycles);
+        let reason: &'static str = match &result {
+            Ok(_) => "exited",
+            Err(Error::RedirectMiss { .. }) => "break",
+            Err(Error::MutateeFault { .. }) => "mem-fault",
+            Err(_) => "stopped",
+        };
+        self.session.emit(TelemetryEvent::RunExit { reason });
+        let (icount, cycles) = {
+            let m = self.process.machine();
+            (m.icount, m.cycles)
+        };
+        self.session.record_run(icount, cycles);
+        self.session.end_stage(timer);
         result
     }
 
@@ -222,6 +267,31 @@ impl DynamicInstrumenter {
         let b = self.process.read_mem(var.addr, 8).ok()?;
         Some(u64::from_le_bytes(b.try_into().ok()?))
     }
+}
+
+/// Coalesce individual patch writes into contiguous regions: sort by
+/// address, then merge any write that starts at or before the end of the
+/// previous region. Overlapping bytes are resolved in original write
+/// order (later writes win), matching the semantics of issuing the
+/// writes one by one.
+fn coalesce_writes(writes: &[(u64, Vec<u8>)]) -> Vec<(u64, Vec<u8>)> {
+    let mut sorted: Vec<&(u64, Vec<u8>)> = writes.iter().collect();
+    sorted.sort_by_key(|(addr, _)| *addr); // stable: preserves write order at equal addresses
+    let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
+    for (addr, bytes) in sorted {
+        match out.last_mut() {
+            Some((base, buf)) if *addr <= *base + buf.len() as u64 => {
+                let off = (*addr - *base) as usize;
+                let end = off + bytes.len();
+                if end > buf.len() {
+                    buf.resize(end, 0);
+                }
+                buf[off..end].copy_from_slice(bytes);
+            }
+            _ => out.push((*addr, bytes.clone())),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -300,6 +370,85 @@ mod tests {
         dy.commit().unwrap();
         dy.run_to_exit().unwrap();
         assert_eq!(dy.read_var(c2), Some(static_count));
+    }
+
+    #[test]
+    fn commit_batches_and_verifies_regions() {
+        let bin = rvdyn_asm::matmul_program(4, 2);
+        let mut dy = DynamicInstrumenter::create(bin);
+        let counter = dy.alloc_var(8);
+        let pts = dy.find_points("matmul", PointKind::BlockEntry).unwrap();
+        dy.insert(&pts, Snippet::increment(counter));
+        dy.commit().unwrap();
+        let snap = dy.diagnostics().clone();
+        assert!(snap.patch_regions_written > 0, "regions counted");
+        // The whole point of batching: no more writes than points.
+        assert!(
+            snap.patch_regions_written <= snap.points_instrumented,
+            "coalescing must not need more writes than points ({} > {})",
+            snap.patch_regions_written,
+            snap.points_instrumented
+        );
+        assert!(snap.timings.commit_ns > 0, "commit stage was timed");
+        assert_eq!(dy.run_to_exit().unwrap(), 0);
+        // The clone froze; the live diagnostics moved on.
+        assert_eq!(snap.instret, 0);
+        assert!(dy.diagnostics().instret > 0);
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent_and_overlapping() {
+        let writes = vec![
+            (0x100u64, vec![1u8, 2, 3, 4]),
+            (0x104, vec![5, 6]),    // adjacent: merges
+            (0x102, vec![9, 9]),    // overlap: later write wins
+            (0x200, vec![7]),       // distinct region
+            (0x1f0, vec![8; 0x10]), // adjacent to 0x200 after sort
+        ];
+        let regions = coalesce_writes(&writes);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].0, 0x100);
+        assert_eq!(regions[0].1, vec![1, 2, 9, 9, 5, 6]);
+        assert_eq!(regions[1].0, 0x1f0);
+        assert_eq!(regions[1].1.len(), 0x11);
+        assert_eq!(regions[1].1[0x10], 7);
+    }
+
+    #[test]
+    fn coalesce_of_disjoint_writes_is_identity() {
+        let writes = vec![(0x200u64, vec![1u8]), (0x100, vec![2, 3])];
+        let regions = coalesce_writes(&writes);
+        assert_eq!(regions, vec![(0x100, vec![2, 3]), (0x200, vec![1])]);
+    }
+
+    #[test]
+    fn surfaced_trap_with_redirects_is_a_redirect_miss() {
+        // Instrument normally, then sabotage: point the mutatee at an
+        // ebreak that has no entry in the redirect table.
+        let bin = rvdyn_asm::matmul_program(4, 1);
+        let main = bin.symbol_by_name("main").unwrap().value;
+        let mut dy = DynamicInstrumenter::create(bin);
+        let counter = dy.alloc_var(8);
+        let pts = dy.find_points("matmul", PointKind::FuncEntry).unwrap();
+        dy.insert(&pts, Snippet::increment(counter));
+        dy.commit().unwrap();
+        // Overwrite main's first instruction with a bare ebreak (no
+        // redirect registered for it). 4-byte ebreak = 0x00100073.
+        dy.process_mut()
+            .write_mem(main, &0x0010_0073u32.to_le_bytes());
+        // Make sure the table is non-empty so this is a *miss*, not an
+        // uninstrumented mutatee's own trap (this mutatee is small enough
+        // that every springboard fits a direct jump, so plant one entry
+        // for an unrelated address).
+        dy.process_mut()
+            .machine_mut()
+            .trap_redirects
+            .insert(0xdead_0000, 0xdead_0004);
+        assert!(!dy.process().machine().trap_redirects.is_empty());
+        match dy.run_to_exit() {
+            Err(Error::RedirectMiss { pc }) => assert_eq!(pc, main),
+            other => panic!("expected RedirectMiss, got {other:?}"),
+        }
     }
 }
 

@@ -1,11 +1,19 @@
 //! Static binary rewriting: the `BinaryEditor` (BPatch_binaryEdit).
+//!
+//! The editor is a thin delivery shell over the shared [`Session`] core
+//! (see [`crate::session`]): every pipeline operation — parse, point
+//! lookup, variable allocation, the pending queue, apply, diagnostics,
+//! telemetry — lives in the session; the editor adds only the *static*
+//! delivery, serialising the patched binary model back to an ELF.
 
 use crate::diag::Diagnostics;
 use crate::error::{Error, Stage};
+use crate::session::{Session, SessionOptions};
+use crate::telemetry::{TelemetryEvent, TimedStage};
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
 use rvdyn_parse::{CodeObject, ParseOptions};
-use rvdyn_patch::{find_points, Instrumenter, PatchLayout, Point, PointKind};
+use rvdyn_patch::{PatchLayout, Point, PointKind};
 use rvdyn_symtab::Binary;
 
 /// The editor's error type — an alias for the unified pipeline
@@ -15,135 +23,150 @@ pub type EditorError = Error;
 /// Open a binary, analyze it, queue snippet insertions, write a new
 /// binary — the static-instrumentation workflow of Figure 1.
 pub struct BinaryEditor {
-    binary: Binary,
-    code: CodeObject,
-    layout: PatchLayout,
-    mode: RegAllocMode,
-    pending: Vec<(Point, Snippet)>,
-    var_bytes: u64,
-    diag: Diagnostics,
+    session: Session,
 }
 
 impl BinaryEditor {
-    /// Parse and analyze an ELF image.
+    /// Parse and analyze an ELF image with default options.
     pub fn open(elf: &[u8]) -> Result<BinaryEditor, Error> {
-        let binary = Binary::parse(elf)?;
-        Ok(Self::from_binary(binary))
+        Self::open_with(elf, SessionOptions::default())
+    }
+
+    /// As [`BinaryEditor::open`] with explicit session options (layout,
+    /// allocation mode, parse options, conservatism, telemetry sink).
+    pub fn open_with(elf: &[u8], opts: SessionOptions) -> Result<BinaryEditor, Error> {
+        Ok(BinaryEditor {
+            session: Session::open(elf, opts)?,
+        })
     }
 
     /// Use an in-memory binary model directly.
     pub fn from_binary(binary: Binary) -> BinaryEditor {
-        Self::from_binary_with(binary, &ParseOptions::default())
+        Self::from_binary_with_options(binary, SessionOptions::default())
     }
 
     /// As [`BinaryEditor::from_binary`] with parse options (gap parsing,
     /// parallelism).
     pub fn from_binary_with(binary: Binary, opts: &ParseOptions) -> BinaryEditor {
-        let code = CodeObject::parse(&binary, opts);
-        let mut diag = Diagnostics::default();
-        diag.record_parse(&code);
-        BinaryEditor {
+        Self::from_binary_with_options(
             binary,
-            code,
-            layout: PatchLayout::default(),
-            mode: RegAllocMode::DeadRegisters,
-            pending: Vec::new(),
-            var_bytes: 0,
-            diag,
+            SessionOptions::default().parse_options(opts.clone()),
+        )
+    }
+
+    /// As [`BinaryEditor::from_binary`] with explicit session options.
+    pub fn from_binary_with_options(binary: Binary, opts: SessionOptions) -> BinaryEditor {
+        BinaryEditor {
+            session: Session::from_binary(binary, &opts),
         }
     }
 
     /// The underlying binary model.
     pub fn binary(&self) -> &Binary {
-        &self.binary
+        self.session.binary()
     }
 
     /// The parsed CFG.
     pub fn code(&self) -> &CodeObject {
-        &self.code
+        self.session.code()
     }
 
-    /// Counters for what the pipeline has done so far: parse totals are
-    /// available after `open`, instrument totals after
-    /// [`BinaryEditor::instrumented`] / [`BinaryEditor::rewrite`].
-    pub fn diagnostics(&self) -> Diagnostics {
-        self.diag
+    /// Live counters and per-stage timings for what the pipeline has done
+    /// so far: parse totals are available after `open`, instrument totals
+    /// after [`BinaryEditor::instrumented`] / [`BinaryEditor::rewrite`].
+    pub fn diagnostics(&self) -> &Diagnostics {
+        self.session.diagnostics()
+    }
+
+    /// Point-in-time copy of the diagnostics.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `diagnostics()` (borrowed, always live) and clone if needed"
+    )]
+    pub fn diagnostics_snapshot(&self) -> Diagnostics {
+        self.session.diagnostics().clone()
     }
 
     /// The mutatee's ISA profile (§3.2.1).
     pub fn profile(&self) -> rvdyn_isa::IsaProfile {
-        self.binary.profile()
+        self.session.profile()
     }
 
     /// Select the register-allocation mode for generated snippets.
     pub fn set_mode(&mut self, mode: RegAllocMode) {
-        self.mode = mode;
+        self.session.set_mode(mode);
     }
 
     /// Override the patch-area layout.
     pub fn set_layout(&mut self, layout: PatchLayout) {
-        self.layout = layout;
+        self.session.set_layout(layout);
     }
 
     /// Function entry address by symbol name.
     pub fn function_addr(&self, name: &str) -> Result<u64, Error> {
-        self.code
-            .functions
-            .values()
-            .find(|f| f.name.as_deref() == Some(name))
-            .map(|f| f.entry)
-            .ok_or_else(|| Error::NoSuchFunction {
-                name: name.to_string(),
-            })
+        self.session.function_addr(name)
     }
 
     /// Enumerate points of `kind` in the named function.
     pub fn find_points(&self, func: &str, kind: PointKind) -> Result<Vec<Point>, Error> {
-        let addr = self.function_addr(func)?;
-        Ok(find_points(&self.code.functions[&addr], kind))
+        self.session.find_points(func, kind)
     }
 
     /// Allocate an instrumentation variable.
     pub fn alloc_var(&mut self, size: u8) -> Var {
-        let addr = self.layout.patch_data + self.var_bytes;
-        self.var_bytes += ((size as u64) + 7) & !7;
-        Var { addr, size }
+        self.session.alloc_var(size)
     }
 
     /// Queue `snippet` at each point.
     pub fn insert(&mut self, points: &[Point], snippet: Snippet) {
-        for p in points {
-            self.pending.push((*p, snippet.clone()));
-        }
+        self.session.insert(points, snippet);
     }
 
     /// Apply all queued insertions and produce the rewritten binary model.
     pub fn instrumented(&mut self) -> Result<rvdyn_patch::instrument::PatchResult, Error> {
-        let mut ins = Instrumenter::new(&self.binary, &self.code)
-            .with_layout(self.layout)
-            .with_mode(self.mode);
-        // Pre-advance the instrumenter's variable cursor to keep its own
-        // allocations (if any) clear of ours.
-        for _ in 0..(self.var_bytes / 8) {
-            let _ = ins.alloc_var(8);
-        }
-        for (p, s) in &self.pending {
-            ins.insert(*p, s.clone());
-        }
-        let result = ins.apply()?;
-        self.diag.record_patch(&result);
-        Ok(result)
+        self.session.apply()
     }
 
-    /// Apply all queued insertions and serialise the new ELF.
+    /// Apply all queued insertions and serialise the new ELF (the static
+    /// path's timed `commit` stage).
     pub fn rewrite(&mut self) -> Result<Vec<u8>, Error> {
-        self.instrumented()?
-            .binary
-            .to_bytes()
-            .map_err(|source| Error::Symtab {
-                stage: Stage::Rewrite,
-                source,
-            })
+        let patched = self.instrumented()?;
+        let timer = self.session.begin_stage(TimedStage::Commit);
+        let bytes = patched.binary.to_bytes().map_err(|source| Error::Symtab {
+            stage: Stage::Rewrite,
+            source,
+        })?;
+        self.session.end_stage(timer);
+        Ok(bytes)
+    }
+
+    /// Full static round trip with stage attribution: apply the queued
+    /// insertions (`instrument`), serialise + reload (`commit`), and
+    /// execute the instrumented binary on the emulator substrate (`run`).
+    /// Run totals land in [`BinaryEditor::diagnostics`], so one session
+    /// reports wall-clock timings for every pipeline stage.
+    pub fn instrument_and_run(&mut self, fuel: u64) -> Result<RunOutput, Error> {
+        let patched = self.instrumented()?;
+        let timer = self.session.begin_stage(TimedStage::Commit);
+        let elf = patched.binary.to_bytes().map_err(|source| Error::Symtab {
+            stage: Stage::Rewrite,
+            source,
+        })?;
+        self.session.end_stage(timer);
+
+        let bin = Binary::parse(&elf)?;
+        let timer = self.session.begin_stage(TimedStage::Run);
+        let sink = self.session.sink();
+        let res = run_binary_observed(&bin, fuel, &mut |label| {
+            if let Some(s) = &sink {
+                s.event(&TelemetryEvent::RunExit { reason: label });
+            }
+        });
+        self.session.end_stage(timer);
+        if let Ok(r) = &res {
+            self.session.record_run(r.icount, r.cycles);
+        }
+        res
     }
 }
 
@@ -179,11 +202,26 @@ pub fn run_elf(elf: &[u8], fuel: u64) -> Result<RunOutput, Error> {
 ///
 /// A mutatee that faults or stops without exiting is reported as a typed
 /// error carrying the faulting pc (and address, for memory faults) — the
-/// mutator never aborts on mutatee behaviour.
+/// mutator never aborts on mutatee behaviour. In an instrumented binary
+/// (one carrying trap-table redirects), a surfaced breakpoint trap means
+/// a springboard whose redirect is missing: that is
+/// [`Error::RedirectMiss`], distinct from the generic unclean exit.
 pub fn run_binary(bin: &Binary, fuel: u64) -> Result<RunOutput, Error> {
+    run_binary_observed(bin, fuel, &mut |_| {})
+}
+
+/// As [`run_binary`], reporting the run loop's exit-reason label (the
+/// stable [`rvdyn_emu::StopReason::label`] vocabulary) to `on_exit`
+/// before the result is mapped — the emulator-side telemetry point.
+pub fn run_binary_observed(
+    bin: &Binary,
+    fuel: u64,
+    on_exit: &mut dyn FnMut(&'static str),
+) -> Result<RunOutput, Error> {
     let mut m = rvdyn_emu::load_binary(bin);
     m.fuel = Some(fuel);
     let stop = m.run();
+    on_exit(stop.label());
     let exit_code = match stop {
         rvdyn_emu::StopReason::Exited(c) => c,
         rvdyn_emu::StopReason::MemFault { pc, addr, .. } => {
@@ -193,6 +231,12 @@ pub fn run_binary(bin: &Binary, fuel: u64) -> Result<RunOutput, Error> {
             return Err(Error::MutateeFault { pc, addr: pc });
         }
         rvdyn_emu::StopReason::Break(pc) => {
+            // The emulator resolves trap-springboard redirects internally;
+            // a Break that *surfaces* from a binary carrying redirects is
+            // a springboard whose table entry is missing.
+            if !m.trap_redirects.is_empty() {
+                return Err(Error::RedirectMiss { pc });
+            }
             return Err(Error::UncleanExit {
                 reason: format!("unexpected breakpoint trap at {pc:#x}"),
                 pc: m.pc,
@@ -289,6 +333,9 @@ mod tests {
         assert!(d.blocks_parsed >= d.functions_parsed);
         assert!(d.instructions_decoded as usize >= d.blocks_parsed);
         assert_eq!(d.points_instrumented, 0); // nothing instrumented yet
+        assert!(d.timings.open_ns > 0, "open stage was timed");
+        assert!(d.timings.parse_ns > 0, "parse stage was timed");
+        assert_eq!(d.timings.instrument_ns, 0, "not instrumented yet");
 
         let counter = ed.alloc_var(8);
         let pts = ed.find_points("matmul", PointKind::FuncEntry).unwrap();
@@ -297,6 +344,40 @@ mod tests {
         let d = ed.diagnostics();
         assert_eq!(d.points_instrumented, pts.len());
         assert_eq!(d.springboards.total(), 1); // one function relocated
+        assert!(d.timings.instrument_ns > 0, "instrument stage was timed");
+        assert!(d.timings.commit_ns > 0, "serialisation timed as commit");
+    }
+
+    #[test]
+    fn deprecated_snapshot_still_works() {
+        let elf = rvdyn_asm::fib_program(3).to_bytes().unwrap();
+        let ed = BinaryEditor::open(&elf).unwrap();
+        #[allow(deprecated)]
+        let snap = ed.diagnostics_snapshot();
+        assert_eq!(snap.functions_parsed, ed.diagnostics().functions_parsed);
+    }
+
+    #[test]
+    fn instrument_and_run_times_every_stage() {
+        let elf = rvdyn_asm::matmul_program(5, 2).to_bytes().unwrap();
+        let mut ed = BinaryEditor::open(&elf).unwrap();
+        let counter = ed.alloc_var(8);
+        let pts = ed.find_points("matmul", PointKind::FuncEntry).unwrap();
+        ed.insert(&pts, Snippet::increment(counter));
+        let r = ed.instrument_and_run(500_000_000).unwrap();
+        assert_eq!(r.exit_code, 0);
+        assert_eq!(r.read_u64(counter.addr), Some(2));
+        let d = ed.diagnostics();
+        assert_eq!(d.instret, r.icount);
+        for (name, ns) in [
+            ("open", d.timings.open_ns),
+            ("parse", d.timings.parse_ns),
+            ("instrument", d.timings.instrument_ns),
+            ("commit", d.timings.commit_ns),
+            ("run", d.timings.run_ns),
+        ] {
+            assert!(ns > 0, "{name} stage must have nonzero wall-clock");
+        }
     }
 
     #[test]

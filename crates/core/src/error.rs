@@ -59,6 +59,17 @@ pub enum Error {
     NoSuchFunction { name: String },
     /// Snippet lowering, relocation or springboard planting failed.
     Instrument { source: InstrumentError },
+    /// Conservative refusal: the function at `func` has `count` indirect
+    /// transfers whose targets could not be resolved, so relocating it
+    /// may orphan live control flow. Opt in with
+    /// `SessionOptions::allow_unresolved(true)` to proceed anyway.
+    UnresolvedIndirects { func: u64, count: usize },
+    /// The mutatee hit a trap springboard whose redirect is missing from
+    /// the trap table — instrumented code the runtime cannot reach.
+    RedirectMiss { pc: u64 },
+    /// A delivered patch region read back different bytes than were
+    /// written (partial/failed delivery through the debug interface).
+    PatchVerifyFailed { addr: u64 },
     /// The debug interface refused an operation; `pc` is the mutatee's
     /// program counter at the time, when a process was attached.
     Proc { source: ProcError, pc: Option<u64> },
@@ -81,10 +92,13 @@ impl Error {
             Error::Symtab { stage, .. } => *stage,
             Error::Decode { .. } => Stage::Parse,
             Error::NoSuchFunction { .. } => Stage::Parse,
-            Error::Instrument { .. } => Stage::Instrument,
-            Error::Proc { .. } | Error::MutateeFault { .. } | Error::UncleanExit { .. } => {
-                Stage::Run
-            }
+            Error::Instrument { .. }
+            | Error::UnresolvedIndirects { .. }
+            | Error::PatchVerifyFailed { .. } => Stage::Instrument,
+            Error::Proc { .. }
+            | Error::MutateeFault { .. }
+            | Error::UncleanExit { .. }
+            | Error::RedirectMiss { .. } => Stage::Run,
         }
     }
 
@@ -94,7 +108,11 @@ impl Error {
         match self {
             Error::Decode { source } => Some(source.address()),
             Error::Proc { pc, .. } => *pc,
-            Error::MutateeFault { pc, .. } | Error::UncleanExit { pc, .. } => Some(*pc),
+            Error::MutateeFault { pc, .. }
+            | Error::UncleanExit { pc, .. }
+            | Error::RedirectMiss { pc } => Some(*pc),
+            Error::UnresolvedIndirects { func, .. } => Some(*func),
+            Error::PatchVerifyFailed { addr } => Some(*addr),
             _ => None,
         }
     }
@@ -109,6 +127,20 @@ impl fmt::Display for Error {
                 write!(f, "[parse] no function named {name:?}")
             }
             Error::Instrument { source } => write!(f, "[instrument] {source}"),
+            Error::UnresolvedIndirects { func, count } => write!(
+                f,
+                "[instrument] function {func:#x} has {count} unresolved \
+                 indirect transfer(s); refusing to relocate (opt in with \
+                 allow_unresolved)"
+            ),
+            Error::RedirectMiss { pc } => {
+                write!(f, "[run] trap springboard at {pc:#x} has no redirect entry")
+            }
+            Error::PatchVerifyFailed { addr } => write!(
+                f,
+                "[instrument] patch region at {addr:#x} failed read-back \
+                 verification"
+            ),
             Error::Proc {
                 source,
                 pc: Some(pc),

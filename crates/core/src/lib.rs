@@ -50,16 +50,45 @@
 //! same snippets at the same abstract points, and continue execution —
 //! the patch is applied through the process-control interface instead of
 //! being written to a file.
+//!
+//! ## Sessions and telemetry
+//!
+//! Both entry points are thin delivery shells over the shared [`Session`]
+//! core, configured through [`SessionOptions`]. A session keeps live
+//! [`Diagnostics`] — counters *and* per-stage wall-clock timings — and
+//! can stream [`telemetry::TelemetryEvent`]s to any
+//! [`telemetry::TelemetrySink`] (e.g. [`telemetry::StderrSink`] for a
+//! human trace, [`telemetry::CollectSink`] for tests and tools):
+//!
+//! ```
+//! use rvdyn::telemetry::CollectSink;
+//! use rvdyn::{BinaryEditor, SessionOptions};
+//!
+//! let elf = rvdyn_asm::fib_program(5).to_bytes().unwrap();
+//! let sink = CollectSink::new();
+//! let ed = BinaryEditor::open_with(
+//!     &elf,
+//!     SessionOptions::new().telemetry(sink.clone()),
+//! ).unwrap();
+//! assert!(ed.diagnostics().timings.parse_ns > 0);
+//! assert!(!sink.events().is_empty());
+//! ```
 
 pub mod diag;
 pub mod dynamic;
 pub mod editor;
 pub mod error;
+pub mod session;
+pub mod telemetry;
 
 pub use diag::Diagnostics;
 pub use dynamic::DynamicInstrumenter;
-pub use editor::{run_elf, BinaryEditor, EditorError, RunOutput};
+pub use editor::{run_binary, run_binary_observed, run_elf, BinaryEditor, EditorError, RunOutput};
 pub use error::{Error, Stage};
+pub use session::{Session, SessionOptions};
+pub use telemetry::{
+    CollectSink, SharedSink, StageTimings, StderrSink, TelemetryEvent, TelemetrySink, TimedStage,
+};
 
 // Re-export the component APIs under their Dyninst-flavoured names.
 pub use rvdyn_codegen::regalloc::RegAllocMode;
@@ -67,8 +96,8 @@ pub use rvdyn_codegen::snippet::{BinaryOp, Snippet, UnaryOp, Var};
 pub use rvdyn_dataflow::{backward_slice, forward_slice, Liveness, StackHeight};
 pub use rvdyn_emu::{CostModel, Machine, StopReason};
 pub use rvdyn_isa::{decode, IsaProfile, Reg};
-pub use rvdyn_parse::{CodeObject, EdgeKind, Function, ParseOptions};
-pub use rvdyn_patch::{find_points, PatchLayout, Point, PointKind};
-pub use rvdyn_proccontrol::{Event, Process};
+pub use rvdyn_parse::{CodeObject, EdgeKind, Function, ParseEvent, ParseOptions};
+pub use rvdyn_patch::{find_points, PatchEvent, PatchLayout, Point, PointKind};
+pub use rvdyn_proccontrol::{Event, ProcEvent, Process};
 pub use rvdyn_stackwalker::{Frame, StackWalker};
 pub use rvdyn_symtab::Binary;

@@ -1,0 +1,380 @@
+//! The shared instrumentation-session core.
+//!
+//! [`BinaryEditor`](crate::BinaryEditor) (static rewriting) and
+//! [`DynamicInstrumenter`](crate::DynamicInstrumenter) (live-process
+//! patching) differ only in *delivery* — everything upstream of it
+//! (open, parse, point lookup, variable allocation, the pending-snippet
+//! queue, snippet lowering, relocation, springboard planning,
+//! diagnostics, telemetry) is one pipeline. [`Session`] owns that shared
+//! surface so the two entry points are thin delivery shells, telemetry is
+//! wired exactly once, and a future entry point (e.g. attach-with-gaps)
+//! inherits the whole surface for free.
+//!
+//! Configuration happens up front through the [`SessionOptions`] builder:
+//! patch layout, register-allocation mode, parse options, the
+//! conservative-relocation policy, and the telemetry sink.
+
+use crate::diag::Diagnostics;
+use crate::error::Error;
+use crate::telemetry::{
+    SharedSink, StageTimer, StageTimings, Telemetry, TelemetryEvent, TimedStage,
+};
+use rvdyn_codegen::regalloc::RegAllocMode;
+use rvdyn_codegen::snippet::{Snippet, Var};
+use rvdyn_parse::{CodeObject, EdgeKind, ParseEvent, ParseOptions};
+use rvdyn_patch::instrument::PatchResult;
+use rvdyn_patch::{find_points, Instrumenter, PatchEvent, PatchLayout, Point, PointKind};
+use rvdyn_proccontrol::ProcEvent;
+use rvdyn_symtab::Binary;
+
+/// Construction-time configuration for a [`Session`], shared by both
+/// entry points. The builder consumes and returns `self` so options
+/// chain:
+///
+/// ```
+/// use rvdyn::{SessionOptions, RegAllocMode};
+/// let opts = SessionOptions::new()
+///     .mode(RegAllocMode::DeadRegisters)
+///     .allow_unresolved(false);
+/// ```
+#[derive(Clone)]
+pub struct SessionOptions {
+    pub(crate) layout: PatchLayout,
+    pub(crate) mode: RegAllocMode,
+    pub(crate) parse: ParseOptions,
+    pub(crate) allow_unresolved: bool,
+    pub(crate) sink: Option<SharedSink>,
+}
+
+impl Default for SessionOptions {
+    fn default() -> SessionOptions {
+        SessionOptions {
+            layout: PatchLayout::default(),
+            mode: RegAllocMode::DeadRegisters,
+            parse: ParseOptions::default(),
+            allow_unresolved: true,
+            sink: None,
+        }
+    }
+}
+
+impl SessionOptions {
+    pub fn new() -> SessionOptions {
+        SessionOptions::default()
+    }
+
+    /// Override the patch-area layout.
+    pub fn layout(mut self, layout: PatchLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Select the register-allocation mode for generated snippets.
+    pub fn mode(mut self, mode: RegAllocMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Parse options (gap parsing, parallelism, instruction budget).
+    pub fn parse_options(mut self, parse: ParseOptions) -> Self {
+        self.parse = parse;
+        self
+    }
+
+    /// Whether instrumentation may relocate a function that still has
+    /// unresolved indirect transfers. Defaults to `true` (the historical
+    /// behaviour); pass `false` for the conservative policy, under which
+    /// [`Session::apply`] refuses with
+    /// [`Error::UnresolvedIndirects`] instead of risking orphaned control
+    /// flow.
+    pub fn allow_unresolved(mut self, yes: bool) -> Self {
+        self.allow_unresolved = yes;
+        self
+    }
+
+    /// Subscribe a telemetry sink to the session's event stream (stage
+    /// boundaries, springboards, spills, patch deliveries, …).
+    pub fn telemetry(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+/// The shared pipeline state behind both instrumentation entry points:
+/// binary model + CFG + configuration + the pending snippet queue +
+/// diagnostics + telemetry.
+pub struct Session {
+    binary: Binary,
+    code: CodeObject,
+    layout: PatchLayout,
+    mode: RegAllocMode,
+    allow_unresolved: bool,
+    pending: Vec<(Point, Snippet)>,
+    var_bytes: u64,
+    diag: Diagnostics,
+    tele: Telemetry,
+}
+
+impl Session {
+    /// Parse an ELF image and analyze it (timed `open` + `parse` stages).
+    pub fn open(elf: &[u8], opts: SessionOptions) -> Result<Session, Error> {
+        let tele = Telemetry {
+            sink: opts.sink.clone(),
+        };
+        let mut open_t = StageTimings::default();
+        let timer = tele.begin(TimedStage::Open);
+        let binary = Binary::parse(elf)?;
+        tele.end(timer, &mut open_t);
+        let mut s = Session::from_binary(binary, &opts);
+        s.diag.timings.record(TimedStage::Open, open_t.open_ns);
+        Ok(s)
+    }
+
+    /// Analyze an in-memory binary model (timed `parse` stage).
+    pub fn from_binary(binary: Binary, opts: &SessionOptions) -> Session {
+        let tele = Telemetry {
+            sink: opts.sink.clone(),
+        };
+        let mut timings = StageTimings::default();
+        let timer = tele.begin(TimedStage::Parse);
+        let obs_tele = tele.clone();
+        let code = CodeObject::parse_with_observer(&binary, &opts.parse, &mut |ev| {
+            obs_tele.emit(adapt_parse(ev))
+        });
+        tele.end(timer, &mut timings);
+        let mut diag = Diagnostics::default();
+        diag.record_parse(&code);
+        diag.timings = timings;
+        Session {
+            binary,
+            code,
+            layout: opts.layout,
+            mode: opts.mode,
+            allow_unresolved: opts.allow_unresolved,
+            pending: Vec::new(),
+            var_bytes: 0,
+            diag,
+            tele,
+        }
+    }
+
+    /// The underlying binary model.
+    pub fn binary(&self) -> &Binary {
+        &self.binary
+    }
+
+    /// The parsed CFG.
+    pub fn code(&self) -> &CodeObject {
+        &self.code
+    }
+
+    /// The mutatee's ISA profile (§3.2.1).
+    pub fn profile(&self) -> rvdyn_isa::IsaProfile {
+        self.binary.profile()
+    }
+
+    /// Live counters and per-stage timings for everything the pipeline
+    /// has done so far. Clone for a point-in-time snapshot.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diag
+    }
+
+    /// Select the register-allocation mode for generated snippets.
+    pub fn set_mode(&mut self, mode: RegAllocMode) {
+        self.mode = mode;
+    }
+
+    /// Override the patch-area layout.
+    pub fn set_layout(&mut self, layout: PatchLayout) {
+        self.layout = layout;
+    }
+
+    /// The active patch-area layout.
+    pub fn layout(&self) -> PatchLayout {
+        self.layout
+    }
+
+    /// Function entry address by symbol name.
+    pub fn function_addr(&self, name: &str) -> Result<u64, Error> {
+        self.code
+            .functions
+            .values()
+            .find(|f| f.name.as_deref() == Some(name))
+            .map(|f| f.entry)
+            .ok_or_else(|| Error::NoSuchFunction {
+                name: name.to_string(),
+            })
+    }
+
+    /// Enumerate points of `kind` in the named function.
+    pub fn find_points(&self, func: &str, kind: PointKind) -> Result<Vec<Point>, Error> {
+        let addr = self.function_addr(func)?;
+        Ok(find_points(&self.code.functions[&addr], kind))
+    }
+
+    /// Allocate an instrumentation variable in the patch data area.
+    pub fn alloc_var(&mut self, size: u8) -> Var {
+        // 8-byte align every slot.
+        let addr = self.layout.patch_data + self.var_bytes;
+        self.var_bytes += ((size as u64) + 7) & !7;
+        Var { addr, size }
+    }
+
+    /// Queue `snippet` at each point.
+    pub fn insert(&mut self, points: &[Point], snippet: Snippet) {
+        for p in points {
+            self.pending.push((*p, snippet.clone()));
+        }
+    }
+
+    /// Lower every queued snippet, relocate the touched functions, plant
+    /// springboards (timed `instrument` stage with a `relocate`
+    /// sub-timing), and return the patch. Under the conservative policy
+    /// ([`SessionOptions::allow_unresolved`]`(false)`), refuses to touch
+    /// a function that still has unresolved indirect transfers.
+    ///
+    /// The queue is left intact (the static path may re-apply); delivery
+    /// paths that consume the queue call [`Session::clear_pending`].
+    pub fn apply(&mut self) -> Result<PatchResult, Error> {
+        if !self.allow_unresolved {
+            let mut funcs: Vec<u64> = self.pending.iter().map(|(p, _)| p.func).collect();
+            funcs.sort_unstable();
+            funcs.dedup();
+            for func in funcs {
+                if let Some(f) = self.code.functions.get(&func) {
+                    let count = f
+                        .blocks
+                        .values()
+                        .flat_map(|b| b.edges.iter())
+                        .filter(|e| e.kind == EdgeKind::Unresolved)
+                        .count();
+                    if count > 0 {
+                        return Err(Error::UnresolvedIndirects { func, count });
+                    }
+                }
+            }
+        }
+
+        let timer = self.tele.begin(TimedStage::Instrument);
+        let mut ins = Instrumenter::new(&self.binary, &self.code)
+            .with_layout(self.layout)
+            .with_mode(self.mode);
+        // Pre-advance the instrumenter's variable cursor to keep its own
+        // allocations (if any) clear of ours.
+        for _ in 0..(self.var_bytes / 8) {
+            let _ = ins.alloc_var(8);
+        }
+        for (p, s) in &self.pending {
+            ins.insert(*p, s.clone());
+        }
+        let obs_tele = self.tele.clone();
+        let result = ins.apply_with_observer(&mut |ev| {
+            if let PatchEvent::PointLowered { addr, spills, .. } = &ev {
+                if *spills > 0 {
+                    obs_tele.emit(TelemetryEvent::SpillTaken {
+                        addr: *addr,
+                        count: *spills,
+                    });
+                }
+            }
+            obs_tele.emit(adapt_patch(ev));
+        })?;
+        self.diag.record_patch(&result);
+        if result.relocate_ns > 0 {
+            self.diag
+                .timings
+                .record(TimedStage::Relocate, result.relocate_ns);
+        }
+        self.tele.end(timer, &mut self.diag.timings);
+        Ok(result)
+    }
+
+    /// Drop the pending snippet queue (after a delivery consumed it).
+    pub fn clear_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Record the mutatee's final retired-instruction/cycle totals.
+    pub fn record_run(&mut self, icount: u64, cycles: u64) {
+        self.diag.record_run(icount, cycles);
+    }
+
+    // -- crate-internal hooks for the delivery shells --------------------
+
+    /// Bytes allocated so far in the patch data area.
+    pub(crate) fn var_bytes(&self) -> u64 {
+        self.var_bytes
+    }
+
+    pub(crate) fn diag_mut(&mut self) -> &mut Diagnostics {
+        &mut self.diag
+    }
+
+    /// The configured sink, for delivery-side observers (proc events).
+    pub(crate) fn sink(&self) -> Option<SharedSink> {
+        self.tele.sink.clone()
+    }
+
+    pub(crate) fn emit(&self, ev: TelemetryEvent) {
+        self.tele.emit(ev);
+    }
+
+    /// Start a timed delivery/run stage, emitting `StageStart`.
+    pub(crate) fn begin_stage(&self, stage: TimedStage) -> StageTimer {
+        self.tele.begin(stage)
+    }
+
+    /// Finish a timed stage: record into the diagnostics, emit `StageEnd`.
+    pub(crate) fn end_stage(&mut self, timer: StageTimer) {
+        let tele = self.tele.clone();
+        tele.end(timer, &mut self.diag.timings);
+    }
+}
+
+fn adapt_parse(ev: ParseEvent) -> TelemetryEvent {
+    match ev {
+        ParseEvent::FunctionParsed {
+            entry,
+            blocks,
+            insts,
+        } => TelemetryEvent::FunctionParsed {
+            entry,
+            blocks,
+            insts,
+        },
+        ParseEvent::JumpTableScanned { block, targets } => {
+            TelemetryEvent::JumpTableScanned { block, targets }
+        }
+        ParseEvent::GapFunctionFound { entry } => TelemetryEvent::GapFunctionFound { entry },
+    }
+}
+
+fn adapt_patch(ev: PatchEvent) -> TelemetryEvent {
+    match ev {
+        PatchEvent::PointLowered {
+            addr,
+            spills,
+            dead_scratch,
+        } => TelemetryEvent::PointLowered {
+            addr,
+            spills,
+            dead_scratch,
+        },
+        PatchEvent::FunctionRelocated { entry, bytes } => {
+            TelemetryEvent::FunctionRelocated { entry, bytes }
+        }
+        PatchEvent::SpringboardPlanted { addr, kind } => {
+            TelemetryEvent::SpringboardPlanted { addr, kind }
+        }
+    }
+}
+
+/// Translate a debug-interface event into the telemetry vocabulary
+/// (used by the dynamic delivery shell's process observer).
+pub(crate) fn adapt_proc(ev: ProcEvent) -> TelemetryEvent {
+    match ev {
+        ProcEvent::BreakpointSet { addr } => TelemetryEvent::BreakpointSet { addr },
+        ProcEvent::BreakpointRemoved { addr } => TelemetryEvent::BreakpointRemoved { addr },
+        ProcEvent::MemWritten { addr, len } => TelemetryEvent::MemWritten { addr, len },
+    }
+}

@@ -1,0 +1,447 @@
+//! Per-stage pipeline telemetry: wall-clock stage timers, a lightweight
+//! event stream, and pluggable sinks.
+//!
+//! The paper's whole evaluation (§4.3) is a timing table, yet a tool
+//! built on the facade previously could not report where the *toolkit's*
+//! time went — only the mutatee's. This module gives every pipeline a
+//! measurement substrate:
+//!
+//! * [`StageTimings`] — cumulative wall-clock nanoseconds per pipeline
+//!   stage (open / parse / instrument / relocate / commit / run), carried
+//!   inside [`crate::Diagnostics`] and serialised by
+//!   [`crate::Diagnostics::to_json`];
+//! * [`TelemetryEvent`] — a stream of fine-grained pipeline events
+//!   (stage boundaries, springboards planted, points lowered, spills
+//!   taken, patch regions delivered, run-loop exit) that tools subscribe
+//!   to through a [`TelemetrySink`];
+//! * sinks — [`StderrSink`] (human-readable tracing) and
+//!   [`CollectSink`] (in-memory capture for tests and tools).
+//!
+//! The sink is configured once on [`crate::SessionOptions`] and threaded
+//! through the shared session core, so both the static and the dynamic
+//! entry points — and any future ones — report identically.
+
+use rvdyn_patch::springboard::SpringboardKind;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A wall-clock-timed pipeline stage. `Relocate` and `Commit` are
+/// sub-phases of instrumentation: relocation is measured inside
+/// PatchAPI's `apply`, commit is the delivery of patch bytes (ELF
+/// serialisation on the static path, debug-interface writes on the
+/// dynamic path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimedStage {
+    /// Reading and modelling the input ELF.
+    Open,
+    /// CFG construction (decode, classification, jump tables, gaps).
+    Parse,
+    /// Snippet lowering + springboard planning (whole PatchAPI pass).
+    Instrument,
+    /// Function relocation (sub-phase of instrument).
+    Relocate,
+    /// Patch delivery: ELF serialisation or live memory writes.
+    Commit,
+    /// Mutatee execution.
+    Run,
+}
+
+impl TimedStage {
+    /// Stable lower-case name, used by JSON output and event display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TimedStage::Open => "open",
+            TimedStage::Parse => "parse",
+            TimedStage::Instrument => "instrument",
+            TimedStage::Relocate => "relocate",
+            TimedStage::Commit => "commit",
+            TimedStage::Run => "run",
+        }
+    }
+}
+
+impl fmt::Display for TimedStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cumulative wall-clock nanoseconds per pipeline stage. Repeated runs
+/// of a stage (e.g. two `commit`s on one session) accumulate; stages
+/// that have not run report zero. Recorded durations are clamped to a
+/// minimum of 1 ns so "this stage ran" is always distinguishable from
+/// "this stage never ran", even under a coarse clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    pub open_ns: u64,
+    pub parse_ns: u64,
+    pub instrument_ns: u64,
+    pub relocate_ns: u64,
+    pub commit_ns: u64,
+    pub run_ns: u64,
+}
+
+impl StageTimings {
+    /// Add `ns` (clamped to ≥ 1) to the stage's running total.
+    pub fn record(&mut self, stage: TimedStage, ns: u64) {
+        *self.slot(stage) += ns.max(1);
+    }
+
+    /// The cumulative nanoseconds attributed to `stage`.
+    pub fn get(&self, stage: TimedStage) -> u64 {
+        match stage {
+            TimedStage::Open => self.open_ns,
+            TimedStage::Parse => self.parse_ns,
+            TimedStage::Instrument => self.instrument_ns,
+            TimedStage::Relocate => self.relocate_ns,
+            TimedStage::Commit => self.commit_ns,
+            TimedStage::Run => self.run_ns,
+        }
+    }
+
+    /// Total time attributed to the pipeline. Relocation is excluded:
+    /// it is a sub-phase already counted inside `instrument`.
+    pub fn total_ns(&self) -> u64 {
+        self.open_ns + self.parse_ns + self.instrument_ns + self.commit_ns + self.run_ns
+    }
+
+    fn slot(&mut self, stage: TimedStage) -> &mut u64 {
+        match stage {
+            TimedStage::Open => &mut self.open_ns,
+            TimedStage::Parse => &mut self.parse_ns,
+            TimedStage::Instrument => &mut self.instrument_ns,
+            TimedStage::Relocate => &mut self.relocate_ns,
+            TimedStage::Commit => &mut self.commit_ns,
+            TimedStage::Run => &mut self.run_ns,
+        }
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        write!(
+            f,
+            "open {:.3}ms, parse {:.3}ms, instrument {:.3}ms \
+             (relocate {:.3}ms), commit {:.3}ms, run {:.3}ms",
+            ms(self.open_ns),
+            ms(self.parse_ns),
+            ms(self.instrument_ns),
+            ms(self.relocate_ns),
+            ms(self.commit_ns),
+            ms(self.run_ns)
+        )
+    }
+}
+
+/// A running wall-clock timer for one stage. `stop` records the elapsed
+/// time into a [`StageTimings`] and returns the recorded nanoseconds.
+#[derive(Debug)]
+pub struct StageTimer {
+    stage: TimedStage,
+    start: Instant,
+}
+
+impl StageTimer {
+    pub fn start(stage: TimedStage) -> StageTimer {
+        StageTimer {
+            stage,
+            start: Instant::now(),
+        }
+    }
+
+    /// The stage this timer measures.
+    pub fn stage(&self) -> TimedStage {
+        self.stage
+    }
+
+    /// Stop, record into `timings`, and return the recorded (≥ 1) ns.
+    pub fn stop(self, timings: &mut StageTimings) -> u64 {
+        let ns = (self.start.elapsed().as_nanos() as u64).max(1);
+        timings.record(self.stage, ns);
+        ns
+    }
+}
+
+/// One pipeline event. Variants mirror the instrumentation points wired
+/// through the component crates: parse (CFG construction, jump-table
+/// scans, gap parsing), patch (point lowering, relocation, springboard
+/// planting), proccontrol (breakpoint installs, memory writes), and the
+/// run loop's exit reason.
+#[derive(Debug, Clone)]
+pub enum TelemetryEvent {
+    /// A timed stage began.
+    StageStart { stage: TimedStage },
+    /// A timed stage finished; `nanos` is this occurrence's duration.
+    StageEnd { stage: TimedStage, nanos: u64 },
+    /// ParseAPI finished constructing one function's CFG.
+    FunctionParsed {
+        entry: u64,
+        blocks: usize,
+        insts: usize,
+    },
+    /// A jump table at `block` was resolved to `targets` edges.
+    JumpTableScanned { block: u64, targets: usize },
+    /// Gap parsing discovered a function at `entry` (stripped-binary path).
+    GapFunctionFound { entry: u64 },
+    /// A point's snippets were lowered; `dead_scratch` registers came
+    /// from the dead pool, `spills` from spill slots.
+    PointLowered {
+        addr: u64,
+        spills: usize,
+        dead_scratch: usize,
+    },
+    /// A point's lowering had to spill `count` registers (§4.3 slow path).
+    SpillTaken { addr: u64, count: usize },
+    /// A function was relocated into the patch area.
+    FunctionRelocated { entry: u64, bytes: usize },
+    /// A springboard was planted over original code at `addr`.
+    SpringboardPlanted { addr: u64, kind: SpringboardKind },
+    /// ProcControl installed a breakpoint.
+    BreakpointSet { addr: u64 },
+    /// ProcControl removed a breakpoint.
+    BreakpointRemoved { addr: u64 },
+    /// ProcControl wrote mutatee memory.
+    MemWritten { addr: u64, len: usize },
+    /// One coalesced patch region was delivered and verified (dynamic
+    /// commit batching).
+    PatchRegionWritten { addr: u64, len: usize },
+    /// The run loop stopped; `reason` is the stable [`StopReason`] label
+    /// (e.g. `"exited"`, `"break"`, `"mem-fault"`).
+    ///
+    /// [`StopReason`]: rvdyn_emu::StopReason
+    RunExit { reason: &'static str },
+}
+
+impl fmt::Display for TelemetryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TelemetryEvent::*;
+        match self {
+            StageStart { stage } => write!(f, "stage {stage} start"),
+            StageEnd { stage, nanos } => {
+                write!(f, "stage {stage} end ({:.3}ms)", *nanos as f64 / 1e6)
+            }
+            FunctionParsed {
+                entry,
+                blocks,
+                insts,
+            } => write!(
+                f,
+                "parsed function {entry:#x}: {blocks} blocks, {insts} insts"
+            ),
+            JumpTableScanned { block, targets } => {
+                write!(f, "jump table at {block:#x}: {targets} targets")
+            }
+            GapFunctionFound { entry } => write!(f, "gap function at {entry:#x}"),
+            PointLowered {
+                addr,
+                spills,
+                dead_scratch,
+            } => write!(
+                f,
+                "point {addr:#x} lowered ({dead_scratch} dead-reg, {spills} spills)"
+            ),
+            SpillTaken { addr, count } => {
+                write!(f, "spill at {addr:#x}: {count} registers")
+            }
+            FunctionRelocated { entry, bytes } => {
+                write!(f, "relocated function {entry:#x} ({bytes} bytes)")
+            }
+            SpringboardPlanted { addr, kind } => {
+                write!(f, "springboard at {addr:#x}: {kind:?}")
+            }
+            BreakpointSet { addr } => write!(f, "breakpoint set at {addr:#x}"),
+            BreakpointRemoved { addr } => write!(f, "breakpoint removed at {addr:#x}"),
+            MemWritten { addr, len } => write!(f, "wrote {len} bytes at {addr:#x}"),
+            PatchRegionWritten { addr, len } => {
+                write!(
+                    f,
+                    "patch region {addr:#x} delivered ({len} bytes, verified)"
+                )
+            }
+            RunExit { reason } => write!(f, "run exit: {reason}"),
+        }
+    }
+}
+
+/// Receiver for pipeline events. `event` takes `&self` so one sink can
+/// be shared (via `Arc`) between a session and the tool observing it.
+pub trait TelemetrySink {
+    fn event(&self, ev: &TelemetryEvent);
+}
+
+/// A shareable sink handle, as stored on [`crate::SessionOptions`].
+pub type SharedSink = Arc<dyn TelemetrySink>;
+
+/// Routes every event to stderr, one line each, prefixed `rvdyn:`.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl TelemetrySink for StderrSink {
+    fn event(&self, ev: &TelemetryEvent) {
+        eprintln!("rvdyn: {ev}");
+    }
+}
+
+/// Collects every event in memory — the test/tool-facing sink.
+#[derive(Default)]
+pub struct CollectSink {
+    events: Mutex<Vec<TelemetryEvent>>,
+}
+
+impl CollectSink {
+    pub fn new() -> Arc<CollectSink> {
+        Arc::new(CollectSink::default())
+    }
+
+    /// Snapshot of everything received so far.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.events.lock().expect("telemetry sink poisoned").clone()
+    }
+
+    /// How many received events satisfy `pred`.
+    pub fn count(&self, pred: impl Fn(&TelemetryEvent) -> bool) -> usize {
+        self.events
+            .lock()
+            .expect("telemetry sink poisoned")
+            .iter()
+            .filter(|e| pred(e))
+            .count()
+    }
+}
+
+impl TelemetrySink for CollectSink {
+    fn event(&self, ev: &TelemetryEvent) {
+        self.events
+            .lock()
+            .expect("telemetry sink poisoned")
+            .push(ev.clone());
+    }
+}
+
+/// The session-side emitter: an optional shared sink plus helpers that
+/// keep call sites one line. A session without a sink pays only an
+/// `Option` check per event.
+#[derive(Clone, Default)]
+pub(crate) struct Telemetry {
+    pub(crate) sink: Option<SharedSink>,
+}
+
+impl Telemetry {
+    pub(crate) fn emit(&self, ev: TelemetryEvent) {
+        if let Some(s) = &self.sink {
+            s.event(&ev);
+        }
+    }
+
+    /// Emit `StageStart` and return a running timer for `stage`.
+    pub(crate) fn begin(&self, stage: TimedStage) -> StageTimer {
+        self.emit(TelemetryEvent::StageStart { stage });
+        StageTimer::start(stage)
+    }
+
+    /// Stop `timer`, record into `timings`, emit `StageEnd`.
+    pub(crate) fn end(&self, timer: StageTimer, timings: &mut StageTimings) -> u64 {
+        let stage = timer.stage();
+        let nanos = timer.stop(timings);
+        self.emit(TelemetryEvent::StageEnd { stage, nanos });
+        nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_timers_are_monotone_and_accumulate() {
+        let mut t = StageTimings::default();
+        let timer = StageTimer::start(TimedStage::Parse);
+        // Do a little real work so elapsed time is observable.
+        let mut x = 0u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(31).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let first = timer.stop(&mut t);
+        assert!(first >= 1, "recorded durations are clamped to >= 1ns");
+        assert_eq!(t.get(TimedStage::Parse), first);
+
+        // A second timer on the same stage accumulates, never rewinds.
+        let timer = StageTimer::start(TimedStage::Parse);
+        let second = timer.stop(&mut t);
+        assert_eq!(t.get(TimedStage::Parse), first + second);
+        assert!(t.get(TimedStage::Parse) >= first, "monotone totals");
+
+        // Untouched stages stay zero and the total excludes relocate.
+        assert_eq!(t.get(TimedStage::Run), 0);
+        t.record(TimedStage::Relocate, 500);
+        t.record(TimedStage::Run, 7);
+        assert_eq!(t.total_ns(), first + second + 7);
+    }
+
+    #[test]
+    fn zero_duration_records_as_one_nanosecond() {
+        let mut t = StageTimings::default();
+        t.record(TimedStage::Commit, 0);
+        assert_eq!(t.get(TimedStage::Commit), 1, "ran-at-all is observable");
+    }
+
+    #[test]
+    fn collect_sink_captures_and_counts() {
+        let sink = CollectSink::new();
+        let tele = Telemetry {
+            sink: Some(sink.clone()),
+        };
+        let mut timings = StageTimings::default();
+        let timer = tele.begin(TimedStage::Instrument);
+        tele.emit(TelemetryEvent::SpillTaken {
+            addr: 0x1000,
+            count: 2,
+        });
+        tele.end(timer, &mut timings);
+
+        let evs = sink.events();
+        assert_eq!(evs.len(), 3);
+        assert!(matches!(
+            evs[0],
+            TelemetryEvent::StageStart {
+                stage: TimedStage::Instrument
+            }
+        ));
+        assert!(matches!(
+            evs[1],
+            TelemetryEvent::SpillTaken { count: 2, .. }
+        ));
+        match &evs[2] {
+            TelemetryEvent::StageEnd { stage, nanos } => {
+                assert_eq!(*stage, TimedStage::Instrument);
+                assert_eq!(*nanos, timings.get(TimedStage::Instrument));
+            }
+            other => panic!("expected StageEnd, got {other:?}"),
+        }
+        assert_eq!(
+            sink.count(|e| matches!(e, TelemetryEvent::StageStart { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn events_render_one_line_summaries() {
+        let evs = [
+            TelemetryEvent::StageStart {
+                stage: TimedStage::Open,
+            },
+            TelemetryEvent::SpringboardPlanted {
+                addr: 0x1_0000,
+                kind: rvdyn_patch::SpringboardKind::Jal,
+            },
+            TelemetryEvent::RunExit { reason: "exited" },
+        ];
+        for ev in &evs {
+            let s = ev.to_string();
+            assert!(!s.is_empty() && !s.contains('\n'), "one line: {s:?}");
+        }
+    }
+}

@@ -29,6 +29,20 @@ pub enum StopReason {
     FuelExhausted,
 }
 
+impl StopReason {
+    /// Stable lower-case label for the exit reason (telemetry / JSON).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StopReason::Exited(_) => "exited",
+            StopReason::Break(_) => "break",
+            StopReason::IllegalInstruction(_) => "illegal-instruction",
+            StopReason::MemFault { .. } => "mem-fault",
+            StopReason::FetchFault { .. } => "fetch-fault",
+            StopReason::FuelExhausted => "fuel-exhausted",
+        }
+    }
+}
+
 /// The emulated machine.
 pub struct Machine {
     pub pc: u64,

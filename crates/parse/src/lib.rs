@@ -38,5 +38,5 @@ pub use block::{BasicBlock, Edge, EdgeKind};
 pub use classify::BranchPurpose;
 pub use function::Function;
 pub use loops::{dominators, natural_loops, Loop};
-pub use parser::{CodeObject, ParseOptions};
+pub use parser::{CodeObject, ParseEvent, ParseOptions};
 pub use source::CodeSource;

@@ -39,6 +39,24 @@ pub struct CodeObject {
     pub gap_functions: Vec<u64>,
 }
 
+/// Observable milestones of one parse, for a caller-supplied observer
+/// (e.g. the facade's telemetry sink). Events are emitted after the CFG
+/// is complete, in deterministic address order — the parallel parser's
+/// interleaving never leaks into the event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseEvent {
+    /// One function's CFG was constructed.
+    FunctionParsed {
+        entry: u64,
+        blocks: usize,
+        insts: usize,
+    },
+    /// A block's jump-table dispatch was resolved to `targets` edges.
+    JumpTableScanned { block: u64, targets: usize },
+    /// Gap parsing discovered a function at `entry` (§2, stripped path).
+    GapFunctionFound { entry: u64 },
+}
+
 impl CodeObject {
     /// Parse `src` starting from its entry hints.
     pub fn parse<S: CodeSource + ?Sized>(src: &S, opts: &ParseOptions) -> CodeObject {
@@ -81,6 +99,40 @@ impl CodeObject {
         // Loop analysis over the final CFGs.
         for f in co.functions.values_mut() {
             f.loops = crate::loops::natural_loops(f);
+        }
+        co
+    }
+
+    /// As [`CodeObject::parse`], reporting parse milestones (per-function
+    /// CFG construction, jump-table scans, gap discoveries) to `observer`.
+    pub fn parse_with_observer<S: CodeSource + ?Sized>(
+        src: &S,
+        opts: &ParseOptions,
+        observer: &mut dyn FnMut(ParseEvent),
+    ) -> CodeObject {
+        let co = Self::parse(src, opts);
+        for f in co.functions.values() {
+            observer(ParseEvent::FunctionParsed {
+                entry: f.entry,
+                blocks: f.blocks.len(),
+                insts: f.num_insts(),
+            });
+            for b in f.blocks.values() {
+                let targets = b
+                    .edges
+                    .iter()
+                    .filter(|e| e.kind == EdgeKind::IndirectJump)
+                    .count();
+                if targets > 0 {
+                    observer(ParseEvent::JumpTableScanned {
+                        block: b.start,
+                        targets,
+                    });
+                }
+            }
+        }
+        for &entry in &co.gap_functions {
+            observer(ParseEvent::GapFunctionFound { entry });
         }
         co
     }

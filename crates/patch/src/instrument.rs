@@ -8,8 +8,8 @@
 
 use crate::points::{Point, PointKind};
 use crate::relocate::{relocate_function, Insertions, RelocateError};
-use crate::springboard::{plan_springboard, SpringboardStats};
-use rvdyn_codegen::emitter::{generate, CodeGenError};
+use crate::springboard::{plan_springboard, SpringboardKind, SpringboardStats};
+use rvdyn_codegen::emitter::{generate_with_stats, CodeGenError};
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
 use rvdyn_dataflow::Liveness;
@@ -17,6 +17,23 @@ use rvdyn_parse::{CodeObject, EdgeKind};
 use rvdyn_symtab::{Binary, Section, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
+
+/// Observable milestones of one instrumentation pass, for a
+/// caller-supplied observer (e.g. the facade's telemetry sink).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchEvent {
+    /// One point's snippets were lowered to machine code.
+    PointLowered {
+        addr: u64,
+        spills: usize,
+        dead_scratch: usize,
+    },
+    /// One function was relocated into the patch area.
+    FunctionRelocated { entry: u64, bytes: usize },
+    /// A springboard was planted over original code.
+    SpringboardPlanted { addr: u64, kind: SpringboardKind },
+}
 
 /// Where instrumented code and data land in the mutatee's address space.
 #[derive(Debug, Clone, Copy)]
@@ -140,6 +157,9 @@ pub struct PatchResult {
     pub points_instrumented: usize,
     /// Diagnostics: histogram of springboard strategies planted (§3.1.2).
     pub springboards: SpringboardStats,
+    /// Wall-clock nanoseconds spent inside function relocation (a
+    /// sub-phase of the apply pass, reported separately for telemetry).
+    pub relocate_ns: u64,
     /// Raw (address, bytes) writes for dynamic instrumentation.
     writes: Vec<(u64, Vec<u8>)>,
     /// The original bytes each springboard overwrote, for removal.
@@ -241,6 +261,15 @@ impl<'b> Instrumenter<'b> {
     /// Generate code, relocate the instrumented functions, plant
     /// springboards, and produce the rewritten binary.
     pub fn apply(&self) -> Result<PatchResult, InstrumentError> {
+        self.apply_with_observer(&mut |_| {})
+    }
+
+    /// As [`Instrumenter::apply`], reporting pass milestones (point
+    /// lowering, relocation, springboard planting) to `observer`.
+    pub fn apply_with_observer(
+        &self,
+        observer: &mut dyn FnMut(PatchEvent),
+    ) -> Result<PatchResult, InstrumentError> {
         let profile = self.binary.profile();
         let mut out = self.binary.clone();
         let mut patch_code: Vec<u8> = Vec::new();
@@ -252,6 +281,7 @@ impl<'b> Instrumenter<'b> {
         let mut undo: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut springs: Vec<(u64, crate::springboard::Springboard)> = Vec::new();
         let mut reloc_index = RelocationIndex::default();
+        let mut relocate_ns = 0u64;
 
         for (&fe, fi) in &self.insertions {
             let f = self
@@ -273,19 +303,30 @@ impl<'b> Instrumenter<'b> {
                 for (&addr, snippets) in src_map {
                     let dead = lv.dead_before(f, addr);
                     let seq = Snippet::Seq(snippets.clone());
-                    let (code, spills) = generate(&seq, dead, self.mode, profile)?;
-                    spill_count += spills;
+                    let (code, stats) = generate_with_stats(&seq, dead, self.mode, profile)?;
+                    spill_count += stats.spills;
                     points_instrumented += 1;
-                    if spills == 0 {
+                    if stats.spills == 0 {
                         dead_register_points += 1;
                     }
+                    observer(PatchEvent::PointLowered {
+                        addr,
+                        spills: stats.spills,
+                        dead_scratch: stats.dead_scratch,
+                    });
                     dst.insert(addr, code);
                 }
             }
 
             // Relocate the function with the snippets spliced in.
             let new_base = self.layout.patch_text + patch_code.len() as u64;
+            let reloc_start = Instant::now();
             let reloc = relocate_function(f, &lowered, new_base)?;
+            relocate_ns += (reloc_start.elapsed().as_nanos() as u64).max(1);
+            observer(PatchEvent::FunctionRelocated {
+                entry: fe,
+                bytes: reloc.code.len(),
+            });
             reloc_index.absorb(&reloc.addr_map);
             patch_code.extend_from_slice(&reloc.code);
             // Align the next function.
@@ -346,6 +387,10 @@ impl<'b> Instrumenter<'b> {
             sec.data[off..off + bytes.len()].copy_from_slice(bytes);
             writes.push((*addr, bytes.clone()));
             springboards.record(&sb.kind);
+            observer(PatchEvent::SpringboardPlanted {
+                addr: *addr,
+                kind: sb.kind.clone(),
+            });
         }
 
         // New sections.
@@ -386,6 +431,7 @@ impl<'b> Instrumenter<'b> {
             dead_register_points,
             points_instrumented,
             springboards,
+            relocate_ns,
             writes,
             undo,
             reloc_index,

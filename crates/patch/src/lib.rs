@@ -30,7 +30,7 @@ pub mod points;
 pub mod relocate;
 pub mod springboard;
 
-pub use instrument::{InstrumentError, Instrumenter, PatchLayout, RelocationIndex};
+pub use instrument::{InstrumentError, Instrumenter, PatchEvent, PatchLayout, RelocationIndex};
 pub use points::{find_points, Point, PointKind};
 pub use relocate::{relocate_function, Insertions, RelocatedFunction};
 pub use springboard::{plan_springboard, Springboard, SpringboardKind, SpringboardStats};

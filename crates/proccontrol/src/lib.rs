@@ -23,4 +23,4 @@
 
 pub mod process;
 
-pub use process::{Event, ProcError, Process};
+pub use process::{Event, ProcError, ProcEvent, Process};

@@ -22,6 +22,21 @@ pub enum Event {
     Fault { pc: u64, addr: u64 },
 }
 
+/// Observable debug-interface operations, for a caller-supplied observer
+/// (e.g. the facade's telemetry sink). Only *controller-initiated*
+/// operations through the public surface are reported; internal
+/// single-step machinery (temporary successor breakpoints) stays silent,
+/// matching how a ptrace-based tool would count its own requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcEvent {
+    /// A user breakpoint was installed at `addr`.
+    BreakpointSet { addr: u64 },
+    /// The user breakpoint at `addr` was removed.
+    BreakpointRemoved { addr: u64 },
+    /// `len` bytes were written into mutatee memory at `addr`.
+    MemWritten { addr: u64, len: usize },
+}
+
 /// Process-control errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProcError {
@@ -83,6 +98,7 @@ pub struct Process {
     machine: Machine,
     breakpoints: BTreeMap<u64, Breakpoint>,
     exited: Option<i64>,
+    observer: Option<Box<dyn FnMut(ProcEvent)>>,
 }
 
 impl Process {
@@ -92,6 +108,7 @@ impl Process {
             machine: load_binary(bin),
             breakpoints: BTreeMap::new(),
             exited: None,
+            observer: None,
         }
     }
 
@@ -102,6 +119,20 @@ impl Process {
             machine,
             breakpoints: BTreeMap::new(),
             exited: None,
+            observer: None,
+        }
+    }
+
+    /// Subscribe to debug-interface operations ([`ProcEvent`]); replaces
+    /// any previous observer. Pass-through cost is one `Option` check per
+    /// operation when unset.
+    pub fn set_observer(&mut self, observer: Box<dyn FnMut(ProcEvent)>) {
+        self.observer = Some(observer);
+    }
+
+    fn notify(&mut self, ev: ProcEvent) {
+        if let Some(obs) = &mut self.observer {
+            obs(ev);
         }
     }
 
@@ -140,6 +171,10 @@ impl Process {
     /// Write mutatee memory (code writes invalidate its decoded cache).
     pub fn write_mem(&mut self, addr: u64, bytes: &[u8]) {
         self.machine.write_mem(addr, bytes);
+        self.notify(ProcEvent::MemWritten {
+            addr,
+            len: bytes.len(),
+        });
     }
 
     /// The machine, for inspection (cycle counts, stdout, …).
@@ -168,6 +203,7 @@ impl Process {
         let original = self.read_mem(addr, size)?;
         self.machine.write_mem(addr, &trap_bytes(size));
         self.breakpoints.insert(addr, Breakpoint { original });
+        self.notify(ProcEvent::BreakpointSet { addr });
         Ok(())
     }
 
@@ -178,6 +214,7 @@ impl Process {
             .remove(&addr)
             .ok_or(ProcError::NoBreakpoint(addr))?;
         self.machine.write_mem(addr, &bp.original);
+        self.notify(ProcEvent::BreakpointRemoved { addr });
         Ok(())
     }
 

@@ -8,14 +8,21 @@
 //! cargo run --release --example rvdyn_cli -- cfg /tmp/mm.elf matmul
 //! cargo run --release --example rvdyn_cli -- count /tmp/mm.elf matmul blocks /tmp/mm-instr.elf
 //! cargo run --release --example rvdyn_cli -- run /tmp/mm-instr.elf
+//! cargo run --release --example rvdyn_cli -- --json profile /tmp/mm.elf matmul entry
 //! ```
+//!
+//! Global flags: `--json` switches the diagnostics output of `info`,
+//! `count`, `run` and `profile` to the machine-readable
+//! `rvdyn-diagnostics-v1` schema; `--trace` streams telemetry events to
+//! stderr as the pipeline runs.
 
-use rvdyn::{BinaryEditor, PointKind, Snippet};
+use rvdyn::{BinaryEditor, PointKind, SessionOptions, Snippet};
 use std::process::exit;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rvdyn_cli <command> ...\n\
+        "usage: rvdyn_cli [--json] [--trace] <command> ...\n\
          \n\
          gen <matmul|fib|switch|memcpy|atomics> <out.elf> [args…]\n\
          info <elf>\n\
@@ -23,13 +30,42 @@ fn usage() -> ! {
          cfg <elf> <function> [--dot]\n\
          count <elf> <function> <entry|blocks|edges> <out.elf>\n\
          run <elf>   (prints exit code, modelled time, and the counter at\n\
-                      the patch-data base if the binary was instrumented)"
+                      the patch-data base if the binary was instrumented)\n\
+         profile <elf> <function> <entry|blocks|edges>\n\
+                     (instrument + run in one session: full per-stage\n\
+                      wall-clock attribution in the diagnostics)\n\
+         \n\
+         --json      emit diagnostics as one rvdyn-diagnostics-v1 JSON line\n\
+         --trace     stream telemetry events to stderr"
     );
     exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut trace = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| match a.as_str() {
+            "--json" => {
+                json = true;
+                false
+            }
+            "--trace" => {
+                trace = true;
+                false
+            }
+            _ => true,
+        })
+        .collect();
+    let opts = || {
+        let o = SessionOptions::new();
+        if trace {
+            o.telemetry(Arc::new(rvdyn::StderrSink))
+        } else {
+            o
+        }
+    };
     let cmd = args.first().map(String::as_str).unwrap_or("");
     match cmd {
         "gen" => {
@@ -54,7 +90,11 @@ fn main() {
             println!("wrote {out}");
         }
         "info" => {
-            let ed = open(&arg(&args, 1));
+            let ed = open(&arg(&args, 1), opts());
+            if json {
+                println!("{}", ed.diagnostics().to_json());
+                return;
+            }
             let b = ed.binary();
             println!("entry:   {:#x}", b.entry);
             println!("profile: {}", ed.profile().arch_string());
@@ -84,7 +124,7 @@ fn main() {
             println!("{}", ed.diagnostics());
         }
         "disasm" => {
-            let ed = open(&arg(&args, 1));
+            let ed = open(&arg(&args, 1), opts());
             match args.get(2) {
                 Some(name) => {
                     let addr = ed.function_addr(name).unwrap_or_else(die);
@@ -107,7 +147,7 @@ fn main() {
             }
         }
         "cfg" => {
-            let ed = open(&arg(&args, 1));
+            let ed = open(&arg(&args, 1), opts());
             let addr = ed.function_addr(&arg(&args, 2)).unwrap_or_else(die);
             let f = &ed.code().functions[&addr];
             if args.get(3).map(String::as_str) == Some("--dot") {
@@ -128,23 +168,21 @@ fn main() {
             }
         }
         "count" => {
-            let mut ed = open(&arg(&args, 1));
+            let mut ed = open(&arg(&args, 1), opts());
             let func = arg(&args, 2);
-            let kind = match arg(&args, 3).as_str() {
-                "entry" => PointKind::FuncEntry,
-                "blocks" => PointKind::BlockEntry,
-                "edges" => PointKind::BranchTaken,
-                other => {
-                    eprintln!("unknown point class {other:?}");
-                    usage()
-                }
-            };
+            let kind = point_kind(&arg(&args, 3));
             let counter = ed.alloc_var(8);
             let pts = ed.find_points(&func, kind).unwrap_or_else(die);
-            println!("instrumenting {} point(s) in {func}", pts.len());
+            if !json {
+                println!("instrumenting {} point(s) in {func}", pts.len());
+            }
             ed.insert(&pts, Snippet::increment(counter));
             let out = arg(&args, 4);
             std::fs::write(&out, ed.rewrite().unwrap_or_else(die)).expect("write");
+            if json {
+                println!("{}", ed.diagnostics().to_json());
+                return;
+            }
             println!("wrote {out} (counter lives at {:#x})", counter.addr);
             println!("--- pipeline diagnostics ---");
             println!("{}", ed.diagnostics());
@@ -152,6 +190,12 @@ fn main() {
         "run" => {
             let elf = std::fs::read(arg(&args, 1)).expect("read");
             let r = rvdyn::run_elf(&elf, 10_000_000_000).unwrap_or_else(die);
+            if json {
+                let mut d = rvdyn::Diagnostics::default();
+                d.record_run(r.icount, r.cycles);
+                println!("{}", d.to_json());
+                return;
+            }
             println!("exit code:     {}", r.exit_code);
             println!("instructions:  {}", r.icount);
             println!("modelled time: {:.6}s @1.4GHz", r.seconds);
@@ -172,7 +216,39 @@ fn main() {
             println!("--- pipeline diagnostics ---");
             println!("{d}");
         }
+        "profile" => {
+            // The full pipeline in one session: open → parse → instrument
+            // → commit → run, so the diagnostics carry wall-clock timings
+            // for every stage.
+            let mut ed = open(&arg(&args, 1), opts());
+            let func = arg(&args, 2);
+            let kind = point_kind(&arg(&args, 3));
+            let counter = ed.alloc_var(8);
+            let pts = ed.find_points(&func, kind).unwrap_or_else(die);
+            ed.insert(&pts, Snippet::increment(counter));
+            let r = ed.instrument_and_run(10_000_000_000).unwrap_or_else(die);
+            if json {
+                println!("{}", ed.diagnostics().to_json());
+                return;
+            }
+            println!("exit code:  {}", r.exit_code);
+            println!("counter:    {:?}", r.read_u64(counter.addr));
+            println!("--- pipeline diagnostics ---");
+            println!("{}", ed.diagnostics());
+        }
         _ => usage(),
+    }
+}
+
+fn point_kind(s: &str) -> PointKind {
+    match s {
+        "entry" => PointKind::FuncEntry,
+        "blocks" => PointKind::BlockEntry,
+        "edges" => PointKind::BranchTaken,
+        other => {
+            eprintln!("unknown point class {other:?}");
+            usage()
+        }
     }
 }
 
@@ -184,12 +260,12 @@ fn num(args: &[String], i: usize) -> Option<u64> {
     args.get(i).and_then(|s| s.parse().ok())
 }
 
-fn open(path: &str) -> BinaryEditor {
+fn open(path: &str, opts: SessionOptions) -> BinaryEditor {
     let bytes = std::fs::read(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         exit(1)
     });
-    BinaryEditor::open(&bytes).unwrap_or_else(die)
+    BinaryEditor::open_with(&bytes, opts).unwrap_or_else(die)
 }
 
 fn die<T>(e: impl std::fmt::Display) -> T {
