@@ -642,6 +642,201 @@ pub fn switch_program(iters: u64) -> Binary {
         .expect("switch program assembles")
 }
 
+/// The ROADMAP springboard-clobber scenario as a mutatee: a function
+/// (`spin`) whose *entry block* is also an indirect-jump target, with the
+/// entry made of compressed instructions so an entry springboard
+/// straddles more than one of them.
+///
+/// `spin(a0=n, a1=0)` bumps the visit counter `a1`, decrements `n`, and —
+/// while `n > 0` — re-enters its own entry through a bounds-checked
+/// `.rodata` jump table (both entries point at `spin`), the §3.2.3
+/// resolvable-dispatch idiom. `main` calls `spin(iters, 0)` and stores
+/// the visit count (`== iters`) at `result`. Instrumenting `spin`'s entry
+/// therefore requires a redirect for *every* clobbered entry-block
+/// address, on pain of the table jump landing in torn bytes.
+pub fn indirect_entry_program(iters: u64) -> Binary {
+    assert!(iters >= 1, "spin must be entered at least once");
+    let layout = Layout::default();
+    let result = layout.data;
+    let table = layout.rodata;
+    let mut a = Assembler::new(layout.text);
+    let l_main = a.label();
+    let l_spin = a.label();
+
+    let start_addr = a.here();
+    emit_start(&mut a, l_main);
+    let start_size = a.here() - start_addr;
+
+    a.bind(l_main);
+    let main_addr = a.here();
+    a.addi(SP, SP, -16);
+    a.sd(RA, SP, 8);
+    a.li(A0, iters as i64);
+    a.li(A1, 0);
+    a.call(l_spin);
+    a.li(T0, result as i64);
+    a.sd(A1, T0, 0);
+    a.mv(A0, Reg::X0);
+    a.ld(RA, SP, 8);
+    a.addi(SP, SP, 16);
+    a.ret();
+    let main_size = a.here() - main_addr;
+
+    // spin: entry block is two compressed instructions plus the exit
+    // branch; the jump-table dispatch below re-enters at l_spin.
+    a.bind(l_spin);
+    let spin_addr = a.here();
+    let l_done = a.label();
+    a.c_inst(build::addi(A1, A1, 1)); // visit counter (c.addi, 2 bytes)
+    a.c_inst(build::addi(A0, A0, -1)); // remaining budget (c.addi, 2 bytes)
+    a.bge(Reg::X0, A0, l_done); // n <= 0: fall out
+    a.inst(build::i_type(Op::Andi, T0, A0, 1));
+    a.li(T1, 2);
+    a.bgeu(T0, T1, l_done); // bounds check — the table has 2 entries
+    a.slli(T1, T0, 3);
+    a.li(T2, table as i64);
+    a.add(T2, T2, T1);
+    a.ld(T2, T2, 0);
+    a.jalr(Reg::X0, T2, 0); // indirect jump back to spin's entry
+    a.bind(l_done);
+    a.ret();
+    let spin_size = a.here() - spin_addr;
+
+    // Both table entries target spin's entry block.
+    let mut rodata = Vec::with_capacity(16);
+    rodata.extend_from_slice(&spin_addr.to_le_bytes());
+    rodata.extend_from_slice(&spin_addr.to_le_bytes());
+
+    let syms = vec![
+        Sym {
+            name: "_start",
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main",
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "spin",
+            addr: spin_addr,
+            size: spin_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "jump_table",
+            addr: table,
+            size: 16,
+            kind: SymbolKind::Object,
+        },
+        Sym {
+            name: "result",
+            addr: result,
+            size: 8,
+            kind: SymbolKind::Object,
+        },
+    ];
+    finish_binary(a, layout, syms, rodata, vec![0; 8], 0, IsaProfile::rv64gc())
+        .expect("indirect-entry program assembles")
+}
+
+/// The §3.1.2 worst case as a reusable mutatee: `tiny` is a real 2-byte
+/// function (a single `c.j` tail call to `bump`), so instrumenting it
+/// forces the 2-byte trap springboard and exercises the trap-redirect
+/// runtime. `main` calls `tiny(i)` for `i in 0..iters` and stores
+/// `Σ (i + 3)` at `result`.
+pub fn tiny_function_program(iters: u64) -> Binary {
+    let layout = Layout::default();
+    let result = layout.data;
+    let mut a = Assembler::new(layout.text);
+    let l_main = a.label();
+    let l_tiny = a.label();
+
+    let start_addr = a.here();
+    emit_start(&mut a, l_main);
+    let start_size = a.here() - start_addr;
+
+    // main: s0 = iters, s1 = i, s2 = sum
+    a.bind(l_main);
+    let main_addr = a.here();
+    a.addi(SP, SP, -32);
+    a.sd(RA, SP, 24);
+    a.sd(S0, SP, 16);
+    a.sd(S1, SP, 8);
+    a.li(S0, iters as i64);
+    a.li(S1, 0);
+    a.mv(Reg::x(18), Reg::X0);
+    let head = a.here_label();
+    let done = a.label();
+    a.bge(S1, S0, done);
+    a.mv(A0, S1);
+    a.call(l_tiny);
+    a.add(Reg::x(18), Reg::x(18), A0);
+    a.addi(S1, S1, 1);
+    a.jump(head);
+    a.bind(done);
+    a.li(T0, result as i64);
+    a.sd(Reg::x(18), T0, 0);
+    a.mv(A0, Reg::X0);
+    a.ld(RA, SP, 24);
+    a.ld(S0, SP, 16);
+    a.ld(S1, SP, 8);
+    a.addi(SP, SP, 32);
+    a.ret();
+    let main_size = a.here() - main_addr;
+
+    // tiny: exactly one compressed jump (2 bytes) — a tail call to the
+    // immediately following function.
+    a.bind(l_tiny);
+    let tiny_addr = a.here();
+    a.c_inst(build::jal(Reg::X0, 2));
+    let tiny_size = a.here() - tiny_addr;
+    debug_assert_eq!(tiny_size, 2, "tiny must be a 2-byte function");
+
+    let bump_addr = a.here();
+    a.addi(A0, A0, 3);
+    a.ret();
+    let bump_size = a.here() - bump_addr;
+
+    let syms = vec![
+        Sym {
+            name: "_start",
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main",
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "tiny",
+            addr: tiny_addr,
+            size: tiny_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "bump",
+            addr: bump_addr,
+            size: bump_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "result",
+            addr: result,
+            size: 8,
+            kind: SymbolKind::Object,
+        },
+    ];
+    finish_binary(a, layout, syms, vec![], vec![0; 8], 0, IsaProfile::rv64gc())
+        .expect("tiny-function program assembles")
+}
+
 /// A tail-call pair: `twice_plus1` tail-calls `double_it` with `jal x0`
 /// (§3.2.3 tail-call classification target).
 pub fn tailcall_program() -> Binary {

@@ -49,6 +49,18 @@ pub struct Diagnostics {
     /// Coalesced patch regions delivered (dynamic commit batching; the
     /// static path serialises an ELF instead and leaves this 0).
     pub patch_regions_written: usize,
+    /// Distinct original instruction addresses the springboard clobber
+    /// audit examined (soundness invariant: every one gained a redirect).
+    pub clobbers_audited: usize,
+    /// Distinct `(original, relocated)` redirects the audit registered in
+    /// the trap table to cover the clobbered addresses.
+    pub redirects_registered: usize,
+
+    // -- fault injection --
+    /// Debug-interface faults injected by an armed `FaultPlan` (0 in
+    /// normal operation; nonzero only when a test or tool deliberately
+    /// exercises the failure paths).
+    pub faults_injected: u64,
 
     // -- run stage --
     /// Instructions the mutatee retired.
@@ -91,6 +103,8 @@ impl Diagnostics {
         self.dead_register_points = r.dead_register_points;
         self.spills = r.spill_count;
         self.springboards = r.springboards;
+        self.clobbers_audited = r.clobbers_audited;
+        self.redirects_registered = r.redirects_registered;
     }
 
     /// Fill the run-stage counters from the mutatee's final machine state.
@@ -113,9 +127,11 @@ impl Diagnostics {
                 "\"gap_functions\":{}}},",
                 "\"instrument\":{{\"points\":{},\"dead_register_points\":{},",
                 "\"spills\":{},\"patch_regions_written\":{},",
+                "\"clobbers_audited\":{},\"redirects_registered\":{},",
                 "\"springboards\":{{\"compressed_jump\":{},\"jal\":{},",
                 "\"auipc_jalr\":{},\"trap\":{}}}}},",
                 "\"run\":{{\"instret\":{},\"cycles\":{}}},",
+                "\"faults\":{{\"injected\":{}}},",
                 "\"timings_ns\":{{\"open\":{},\"parse\":{},\"instrument\":{},",
                 "\"relocate\":{},\"commit\":{},\"run\":{}}}}}"
             ),
@@ -129,12 +145,15 @@ impl Diagnostics {
             self.dead_register_points,
             self.spills,
             self.patch_regions_written,
+            self.clobbers_audited,
+            self.redirects_registered,
             self.springboards.compressed_jump,
             self.springboards.jal,
             self.springboards.auipc_jalr,
             self.springboards.trap,
             self.instret,
             self.cycles,
+            self.faults_injected,
             t.open_ns,
             t.parse_ns,
             t.instrument_ns,
@@ -176,6 +195,16 @@ impl fmt::Display for Diagnostics {
             self.springboards.auipc_jalr,
             self.springboards.trap
         )?;
+        if self.clobbers_audited > 0 {
+            writeln!(
+                f,
+                "soundness:  {} clobbered addresses audited, {} redirects registered",
+                self.clobbers_audited, self.redirects_registered
+            )?;
+        }
+        if self.faults_injected > 0 {
+            writeln!(f, "faults:     {} injected", self.faults_injected)?;
+        }
         if self.patch_regions_written > 0 {
             writeln!(
                 f,
@@ -288,6 +317,9 @@ mod tests {
             dead_register_points: 11,
             spills: 0,
             patch_regions_written: 4,
+            clobbers_audited: 6,
+            redirects_registered: 5,
+            faults_injected: 2,
             instret: 123_456,
             cycles: 234_567,
             ..Default::default()
@@ -313,6 +345,8 @@ mod tests {
             "\"dead_register_points\":11",
             "\"spills\":0",
             "\"patch_regions_written\":4",
+            "\"clobbers_audited\":6",
+            "\"redirects_registered\":5",
             "\"springboards\":{",
             "\"compressed_jump\":",
             "\"jal\":",
@@ -321,6 +355,8 @@ mod tests {
             "\"run\":{",
             "\"instret\":123456",
             "\"cycles\":234567",
+            "\"faults\":{",
+            "\"injected\":2",
             "\"timings_ns\":{",
             "\"open\":0",
             "\"parse\":1000",

@@ -72,6 +72,11 @@ impl DynamicInstrumenter {
         if let Some(sink) = session.sink() {
             process.set_observer(Box::new(move |ev| sink.event(&session::adapt_proc(ev))));
         }
+        // Arm the configured fault plan on the debug interface (including
+        // the machine-side redirect-resolution drop).
+        if let Some(plan) = session.fault_plan() {
+            process.set_fault_plan(plan);
+        }
         DynamicInstrumenter {
             session,
             process,
@@ -159,12 +164,18 @@ impl DynamicInstrumenter {
         let regions = coalesce_writes(result.memory_writes());
         let mut code_lo = u64::MAX;
         let mut code_hi = 0u64;
+        let mut failed: Option<u64> = None;
+        let mut verified = 0usize;
         for (addr, bytes) in &regions {
             self.process.write_mem(*addr, bytes);
             match self.process.read_mem(*addr, bytes.len()) {
                 Ok(back) if back == *bytes => {}
-                _ => return Err(Error::PatchVerifyFailed { addr: *addr }),
+                _ => {
+                    failed = Some(*addr);
+                    break;
+                }
             }
+            verified += 1;
             self.session.emit(TelemetryEvent::PatchRegionWritten {
                 addr: *addr,
                 len: bytes.len(),
@@ -172,7 +183,15 @@ impl DynamicInstrumenter {
             code_lo = code_lo.min(*addr);
             code_hi = code_hi.max(*addr + bytes.len() as u64);
         }
-        self.session.diag_mut().patch_regions_written += regions.len();
+        self.session.diag_mut().patch_regions_written += verified;
+        self.session.diag_mut().faults_injected = self.process.faults_injected();
+        if let Some(addr) = failed {
+            // Delivery is unsound past this region; stop, with the timer
+            // closed and the fault counters synced so diagnostics still
+            // tell the whole story.
+            self.session.end_stage(timer);
+            return Err(Error::PatchVerifyFailed { addr });
+        }
         if code_lo < code_hi {
             self.process
                 .machine_mut()
@@ -183,6 +202,7 @@ impl DynamicInstrumenter {
         }
         self.undo.extend(result.undo_writes().iter().cloned());
         self.reloc_index.merge(&result.reloc_index);
+        self.session.diag_mut().faults_injected = self.process.faults_injected();
         self.session.end_stage(timer);
         Ok(())
     }
@@ -258,6 +278,7 @@ impl DynamicInstrumenter {
             (m.icount, m.cycles)
         };
         self.session.record_run(icount, cycles);
+        self.session.diag_mut().faults_injected = self.process.faults_injected();
         self.session.end_stage(timer);
         result
     }

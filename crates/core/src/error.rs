@@ -59,6 +59,13 @@ pub enum Error {
     NoSuchFunction { name: String },
     /// Snippet lowering, relocation or springboard planting failed.
     Instrument { source: InstrumentError },
+    /// The clobber audit refused the patch: the springboard at `pc`
+    /// overwrites the original instructions listed in `clobbered` without
+    /// redirect coverage, so control flow landing on any of them would
+    /// execute torn bytes. Surfaced as its own variant (not a generic
+    /// [`Error::Instrument`]) because it is the soundness contract of the
+    /// springboard scheme — see `docs/FAILURE-MODES.md`.
+    SpringboardClobber { pc: u64, clobbered: Vec<u64> },
     /// Conservative refusal: the function at `func` has `count` indirect
     /// transfers whose targets could not be resolved, so relocating it
     /// may orphan live control flow. Opt in with
@@ -93,6 +100,7 @@ impl Error {
             Error::Decode { .. } => Stage::Parse,
             Error::NoSuchFunction { .. } => Stage::Parse,
             Error::Instrument { .. }
+            | Error::SpringboardClobber { .. }
             | Error::UnresolvedIndirects { .. }
             | Error::PatchVerifyFailed { .. } => Stage::Instrument,
             Error::Proc { .. }
@@ -110,7 +118,8 @@ impl Error {
             Error::Proc { pc, .. } => *pc,
             Error::MutateeFault { pc, .. }
             | Error::UncleanExit { pc, .. }
-            | Error::RedirectMiss { pc } => Some(*pc),
+            | Error::RedirectMiss { pc }
+            | Error::SpringboardClobber { pc, .. } => Some(*pc),
             Error::UnresolvedIndirects { func, .. } => Some(*func),
             Error::PatchVerifyFailed { addr } => Some(*addr),
             _ => None,
@@ -127,6 +136,18 @@ impl fmt::Display for Error {
                 write!(f, "[parse] no function named {name:?}")
             }
             Error::Instrument { source } => write!(f, "[instrument] {source}"),
+            Error::SpringboardClobber { pc, clobbered } => {
+                write!(
+                    f,
+                    "[instrument] springboard at {pc:#x} clobbers {} \
+                     instruction(s) without redirect coverage:",
+                    clobbered.len()
+                )?;
+                for a in clobbered {
+                    write!(f, " {a:#x}")?;
+                }
+                Ok(())
+            }
             Error::UnresolvedIndirects { func, count } => write!(
                 f,
                 "[instrument] function {func:#x} has {count} unresolved \
@@ -189,7 +210,14 @@ impl From<DecodeError> for Error {
 
 impl From<InstrumentError> for Error {
     fn from(source: InstrumentError) -> Error {
-        Error::Instrument { source }
+        match source {
+            // The clobber audit's refusal is a first-class contract
+            // violation, promoted out of the generic instrument wrapper.
+            InstrumentError::SpringboardClobber { pc, clobbered } => {
+                Error::SpringboardClobber { pc, clobbered }
+            }
+            source => Error::Instrument { source },
+        }
     }
 }
 

@@ -97,7 +97,10 @@ pub use rvdyn_dataflow::{backward_slice, forward_slice, Liveness, StackHeight};
 pub use rvdyn_emu::{CostModel, Machine, StopReason};
 pub use rvdyn_isa::{decode, IsaProfile, Reg};
 pub use rvdyn_parse::{CodeObject, EdgeKind, Function, ParseEvent, ParseOptions};
-pub use rvdyn_patch::{find_points, PatchEvent, PatchLayout, Point, PointKind};
-pub use rvdyn_proccontrol::{Event, ProcEvent, Process};
+pub use rvdyn_patch::{
+    audit_redirect_coverage, clobbered_addresses, find_points, InstrumentError, PatchEvent,
+    PatchLayout, Point, PointKind,
+};
+pub use rvdyn_proccontrol::{Event, FaultPlan, ProcEvent, Process, WriteFault, WriteFaultMode};
 pub use rvdyn_stackwalker::{Frame, StackWalker};
 pub use rvdyn_symtab::Binary;

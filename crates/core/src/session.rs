@@ -12,7 +12,21 @@
 //!
 //! Configuration happens up front through the [`SessionOptions`] builder:
 //! patch layout, register-allocation mode, parse options, the
-//! conservative-relocation policy, and the telemetry sink.
+//! conservative-relocation policy, the telemetry sink, and — for the
+//! dynamic path — the debug-interface fault plan
+//! ([`SessionOptions::fault_plan`]).
+//!
+//! ## Observer-enum layering
+//!
+//! Component crates cannot depend on `core`, so none of them know about
+//! [`TelemetryEvent`]. Instead each component exposes a lightweight
+//! observer enum at its own boundary — [`ParseEvent`],
+//! [`PatchEvent`], [`ProcEvent`] — and this module adapts them
+//! (`adapt_parse` / `adapt_patch` / `adapt_proc`) into the unified
+//! telemetry stream. The adapters are total matches: adding a variant to
+//! a component's observer enum is a compile error here until the session
+//! decides how to surface it, which is what keeps the telemetry stream
+//! and the component boundaries from drifting apart.
 
 use crate::diag::Diagnostics;
 use crate::error::Error;
@@ -24,7 +38,7 @@ use rvdyn_codegen::snippet::{Snippet, Var};
 use rvdyn_parse::{CodeObject, EdgeKind, ParseEvent, ParseOptions};
 use rvdyn_patch::instrument::PatchResult;
 use rvdyn_patch::{find_points, Instrumenter, PatchEvent, PatchLayout, Point, PointKind};
-use rvdyn_proccontrol::ProcEvent;
+use rvdyn_proccontrol::{FaultPlan, ProcEvent};
 use rvdyn_symtab::Binary;
 
 /// Construction-time configuration for a [`Session`], shared by both
@@ -44,6 +58,7 @@ pub struct SessionOptions {
     pub(crate) parse: ParseOptions,
     pub(crate) allow_unresolved: bool,
     pub(crate) sink: Option<SharedSink>,
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SessionOptions {
@@ -54,6 +69,7 @@ impl Default for SessionOptions {
             parse: ParseOptions::default(),
             allow_unresolved: true,
             sink: None,
+            fault_plan: None,
         }
     }
 }
@@ -98,6 +114,19 @@ impl SessionOptions {
         self.sink = Some(sink);
         self
     }
+
+    /// Arm a deterministic [`FaultPlan`] on the dynamic path's debug
+    /// interface (corrupt/short/dropped writes, delayed stop events,
+    /// dropped trap-redirect resolutions). The faults fire inside the
+    /// *real* delivery and run machinery, so commit read-back
+    /// verification, `RedirectMiss` surfacing, and stop-event recovery
+    /// are exercised end to end; injected faults are counted in
+    /// [`Diagnostics::faults_injected`](crate::Diagnostics). Ignored by
+    /// the static path, which has no debug interface.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 /// The shared pipeline state behind both instrumentation entry points:
@@ -113,6 +142,7 @@ pub struct Session {
     var_bytes: u64,
     diag: Diagnostics,
     tele: Telemetry,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Session {
@@ -155,6 +185,7 @@ impl Session {
             var_bytes: 0,
             diag,
             tele,
+            fault_plan: opts.fault_plan,
         }
     }
 
@@ -315,6 +346,11 @@ impl Session {
         self.tele.sink.clone()
     }
 
+    /// The armed fault plan, if any, for the dynamic delivery shell.
+    pub(crate) fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault_plan
+    }
+
     pub(crate) fn emit(&self, ev: TelemetryEvent) {
         self.tele.emit(ev);
     }
@@ -366,6 +402,9 @@ fn adapt_patch(ev: PatchEvent) -> TelemetryEvent {
         PatchEvent::SpringboardPlanted { addr, kind } => {
             TelemetryEvent::SpringboardPlanted { addr, kind }
         }
+        PatchEvent::RedirectRegistered { from, to } => {
+            TelemetryEvent::RedirectRegistered { from, to }
+        }
     }
 }
 
@@ -376,5 +415,6 @@ pub(crate) fn adapt_proc(ev: ProcEvent) -> TelemetryEvent {
         ProcEvent::BreakpointSet { addr } => TelemetryEvent::BreakpointSet { addr },
         ProcEvent::BreakpointRemoved { addr } => TelemetryEvent::BreakpointRemoved { addr },
         ProcEvent::MemWritten { addr, len } => TelemetryEvent::MemWritten { addr, len },
+        ProcEvent::FaultInjected { addr } => TelemetryEvent::FaultInjected { addr },
     }
 }

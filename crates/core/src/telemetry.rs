@@ -11,9 +11,10 @@
 //!   inside [`crate::Diagnostics`] and serialised by
 //!   [`crate::Diagnostics::to_json`];
 //! * [`TelemetryEvent`] — a stream of fine-grained pipeline events
-//!   (stage boundaries, springboards planted, points lowered, spills
-//!   taken, patch regions delivered, run-loop exit) that tools subscribe
-//!   to through a [`TelemetrySink`];
+//!   (stage boundaries, springboards planted, trap redirects registered,
+//!   points lowered, spills taken, patch regions delivered, injected
+//!   faults, run-loop exit) that tools subscribe to through a
+//!   [`TelemetrySink`];
 //! * sinks — [`StderrSink`] (human-readable tracing) and
 //!   [`CollectSink`] (in-memory capture for tests and tools).
 //!
@@ -198,6 +199,12 @@ pub enum TelemetryEvent {
     FunctionRelocated { entry: u64, bytes: usize },
     /// A springboard was planted over original code at `addr`.
     SpringboardPlanted { addr: u64, kind: SpringboardKind },
+    /// The clobber audit registered a redirect covering the overwritten
+    /// original instruction at `from` with its relocated copy at `to`.
+    RedirectRegistered { from: u64, to: u64 },
+    /// An armed `FaultPlan` fault fired on the debug-interface operation
+    /// touching `addr`.
+    FaultInjected { addr: u64 },
     /// ProcControl installed a breakpoint.
     BreakpointSet { addr: u64 },
     /// ProcControl removed a breakpoint.
@@ -251,6 +258,10 @@ impl fmt::Display for TelemetryEvent {
             SpringboardPlanted { addr, kind } => {
                 write!(f, "springboard at {addr:#x}: {kind:?}")
             }
+            RedirectRegistered { from, to } => {
+                write!(f, "redirect registered {from:#x} -> {to:#x}")
+            }
+            FaultInjected { addr } => write!(f, "fault injected at {addr:#x}"),
             BreakpointSet { addr } => write!(f, "breakpoint set at {addr:#x}"),
             BreakpointRemoved { addr } => write!(f, "breakpoint removed at {addr:#x}"),
             MemWritten { addr, len } => write!(f, "wrote {len} bytes at {addr:#x}"),

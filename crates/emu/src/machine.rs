@@ -70,6 +70,15 @@ pub struct Machine {
     /// equivalent kernel-side redirect. Each redirect is charged
     /// [`CostModel::trap_redirect`] cycles to model the trap round trip.
     pub trap_redirects: std::collections::BTreeMap<u64, u64>,
+    /// Count of injected redirect-resolution faults (see
+    /// [`Machine::inject_redirect_drop`]).
+    pub redirect_faults_injected: u64,
+    /// Fault injection: when `Some(n)`, the `n`-th (0-based) trap-redirect
+    /// resolution is dropped — the `ebreak` surfaces as if the trap table
+    /// had no entry for it, exercising the mutator's `RedirectMiss` path.
+    redirect_drop_nth: Option<u64>,
+    /// Running count of trap-redirect resolutions attempted.
+    redirect_resolutions: u64,
     brk: u64,
     code_base: u64,
     code_end: u64,
@@ -99,6 +108,9 @@ impl Machine {
             fuel: None,
             taken_transfers: 0,
             trap_redirects: std::collections::BTreeMap::new(),
+            redirect_faults_injected: 0,
+            redirect_drop_nth: None,
+            redirect_resolutions: 0,
             brk: 0x6000_0000,
             code_base: 0,
             code_end: 0,
@@ -170,6 +182,15 @@ impl Machine {
     /// Read memory through the debug interface.
     pub fn read_mem(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemFault> {
         self.mem.read_bytes(addr, len)
+    }
+
+    /// Arm a one-shot fault: the `nth` (0-based) trap-redirect resolution
+    /// is dropped, surfacing the `ebreak` to the controller as if its
+    /// trap-table entry were missing. Used by the `FaultPlan` debug-side
+    /// fault-injection hook to make the `RedirectMiss` recovery path
+    /// reachable from tests without test-only code in the resolver.
+    pub fn inject_redirect_drop(&mut self, nth: u64) {
+        self.redirect_drop_nth = Some(nth);
     }
 
     fn invalidate(&mut self, addr: u64, len: u64) {
@@ -250,12 +271,22 @@ impl Machine {
             Ok(Effect::Stop(r)) => {
                 if let StopReason::Break(at) = r {
                     if let Some(&t) = self.trap_redirects.get(&at) {
-                        // Trap-table springboard: redirect and keep going.
-                        self.pc = t;
-                        self.taken_transfers += 1;
-                        self.icount += 1;
-                        self.cycles += self.cost.trap_redirect;
-                        return None;
+                        let n = self.redirect_resolutions;
+                        self.redirect_resolutions += 1;
+                        if self.redirect_drop_nth == Some(n) {
+                            // Injected fault: drop this resolution so the
+                            // Break surfaces exactly as a missing redirect
+                            // would (the mutator's RedirectMiss path).
+                            self.redirect_drop_nth = None;
+                            self.redirect_faults_injected += 1;
+                        } else {
+                            // Trap-table springboard: redirect, keep going.
+                            self.pc = t;
+                            self.taken_transfers += 1;
+                            self.icount += 1;
+                            self.cycles += self.cost.trap_redirect;
+                            return None;
+                        }
                     }
                 }
                 if let StopReason::Exited(_) = r {

@@ -13,9 +13,9 @@ use rvdyn_codegen::emitter::{generate_with_stats, CodeGenError};
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
 use rvdyn_dataflow::Liveness;
-use rvdyn_parse::{CodeObject, EdgeKind};
+use rvdyn_parse::{CodeObject, EdgeKind, Function};
 use rvdyn_symtab::{Binary, Section, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Instant;
 
@@ -33,6 +33,10 @@ pub enum PatchEvent {
     FunctionRelocated { entry: u64, bytes: usize },
     /// A springboard was planted over original code.
     SpringboardPlanted { addr: u64, kind: SpringboardKind },
+    /// The clobber audit registered a redirect: any control transfer that
+    /// lands on the overwritten original instruction at `from` is carried
+    /// to its relocated copy at `to`.
+    RedirectRegistered { from: u64, to: u64 },
 }
 
 /// Where instrumented code and data land in the mutatee's address space.
@@ -65,6 +69,11 @@ pub enum InstrumentError {
     Relocate(RelocateError),
     /// A springboard address fell outside every code section.
     SpringboardOutsideCode { addr: u64 },
+    /// The springboard planted at `pc` overwrites original instructions
+    /// for which no relocated copy exists — control flow landing on any
+    /// address in `clobbered` would execute torn bytes. The audit refuses
+    /// to produce an unsound patch.
+    SpringboardClobber { pc: u64, clobbered: Vec<u64> },
 }
 
 impl fmt::Display for InstrumentError {
@@ -77,6 +86,18 @@ impl fmt::Display for InstrumentError {
             InstrumentError::Relocate(e) => write!(f, "relocation: {e}"),
             InstrumentError::SpringboardOutsideCode { addr } => {
                 write!(f, "springboard at {addr:#x} is outside every code section")
+            }
+            InstrumentError::SpringboardClobber { pc, clobbered } => {
+                write!(
+                    f,
+                    "springboard at {pc:#x} clobbers {} instruction(s) with no \
+                     redirect coverage:",
+                    clobbered.len()
+                )?;
+                for a in clobbered {
+                    write!(f, " {a:#x}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -94,6 +115,77 @@ impl From<RelocateError> for InstrumentError {
     fn from(e: RelocateError) -> Self {
         InstrumentError::Relocate(e)
     }
+}
+
+/// The original instruction addresses a `len`-byte write at `base` tears:
+/// every instruction of `f` whose bytes intersect `[base, base+len)`.
+/// Includes compressed instructions a wider springboard straddles and
+/// instructions only partially overwritten by a narrower one.
+pub fn clobbered_addresses(f: &Function, base: u64, len: usize) -> Vec<u64> {
+    let end = base + len as u64;
+    let mut out: Vec<u64> = f
+        .blocks
+        .values()
+        .flat_map(|b| b.insts.iter())
+        .filter(|i| i.address < end && i.address + i.size as u64 > base)
+        .map(|i| i.address)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The springboard soundness audit (ROADMAP: springboard-clobber): for a
+/// `len`-byte springboard planted at `base` in `f`, check that *every*
+/// clobbered instruction address has a relocated copy in `addr_map`, and
+/// return the `(original, relocated)` redirect pair for each. Any
+/// clobbered address without coverage makes the patch unsound — control
+/// flow landing there (a jump table, a return, a signal) would execute
+/// torn bytes — so the audit refuses with
+/// [`InstrumentError::SpringboardClobber`] instead.
+pub fn audit_redirect_coverage(
+    f: &Function,
+    base: u64,
+    len: usize,
+    addr_map: &BTreeMap<u64, u64>,
+) -> Result<Vec<(u64, u64)>, InstrumentError> {
+    let clobbered = clobbered_addresses(f, base, len);
+    let mut cover = Vec::with_capacity(clobbered.len());
+    let mut missing = Vec::new();
+    for pc in clobbered {
+        match addr_map.get(&pc) {
+            Some(&to) => cover.push((pc, to)),
+            None => missing.push(pc),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(InstrumentError::SpringboardClobber {
+            pc: base,
+            clobbered: missing,
+        });
+    }
+    Ok(cover)
+}
+
+/// Run the clobber audit for one planted springboard and fold its
+/// redirect pairs into the pass-wide audit state, reporting each newly
+/// registered redirect to the observer.
+fn audit_springboard(
+    f: &Function,
+    base: u64,
+    len: usize,
+    addr_map: &BTreeMap<u64, u64>,
+    audited: &mut BTreeSet<u64>,
+    redirects: &mut BTreeSet<(u64, u64)>,
+    observer: &mut dyn FnMut(PatchEvent),
+) -> Result<(), InstrumentError> {
+    for (from, to) in audit_redirect_coverage(f, base, len, addr_map)? {
+        audited.insert(from);
+        if redirects.insert((from, to)) {
+            observer(PatchEvent::RedirectRegistered { from, to });
+        }
+    }
+    Ok(())
 }
 
 /// Maps relocated (patch-area) instruction addresses back to their
@@ -144,7 +236,11 @@ pub struct PatchResult {
     /// path; or apply [`PatchResult::memory_writes`] to a live process for
     /// the dynamic path.
     pub binary: Binary,
-    /// Trap-table entries used by worst-case springboards.
+    /// Redirect table: `(original, relocated)` pairs covering every
+    /// instruction address a springboard overwrote (the clobber audit's
+    /// output), plus the entries worst-case trap springboards execute
+    /// through. Serialised as `.rvdyn.traps` on the static path and
+    /// installed into the machine's trap-redirect map on the dynamic one.
     pub trap_table: Vec<(u64, u64)>,
     /// Diagnostics: total registers spilled across all snippets (0 when
     /// dead-register allocation succeeded everywhere — the §4.3 claim).
@@ -160,6 +256,12 @@ pub struct PatchResult {
     /// Wall-clock nanoseconds spent inside function relocation (a
     /// sub-phase of the apply pass, reported separately for telemetry).
     pub relocate_ns: u64,
+    /// Soundness audit: distinct original instruction addresses the
+    /// clobber audit examined under planted springboards.
+    pub clobbers_audited: usize,
+    /// Soundness audit: distinct `(original, relocated)` redirects
+    /// registered in [`PatchResult::trap_table`] to cover them.
+    pub redirects_registered: usize,
     /// Raw (address, bytes) writes for dynamic instrumentation.
     writes: Vec<(u64, Vec<u8>)>,
     /// The original bytes each springboard overwrote, for removal.
@@ -282,6 +384,10 @@ impl<'b> Instrumenter<'b> {
         let mut springs: Vec<(u64, crate::springboard::Springboard)> = Vec::new();
         let mut reloc_index = RelocationIndex::default();
         let mut relocate_ns = 0u64;
+        // Clobber audit state: every original instruction address a
+        // springboard tears, and the redirect registered to cover it.
+        let mut audited: BTreeSet<u64> = BTreeSet::new();
+        let mut redirects: BTreeSet<(u64, u64)> = BTreeSet::new();
 
         for (&fe, fi) in &self.insertions {
             let f = self
@@ -334,14 +440,32 @@ impl<'b> Instrumenter<'b> {
                 patch_code.push(0);
             }
 
-            // Springboard at the function entry.
-            let (lo, hi) = f.extent();
-            let avail = (hi - lo) as usize;
+            // Springboard at the function entry. Soundness: the budget is
+            // the entry *block*, not the whole function extent — later
+            // blocks start at branch targets whose original bytes must
+            // survive, and an entry block that is itself an indirect-jump
+            // target re-enters mid-patch if overwritten without coverage.
+            let avail = match f.blocks.get(&fe) {
+                Some(b) => b.len_bytes() as usize,
+                None => {
+                    let (lo, hi) = f.extent();
+                    (hi - lo) as usize
+                }
+            };
             let dead_entry = lv.dead_before(f, fe);
             let sb = plan_springboard(fe, reloc.new_entry, avail, profile, dead_entry);
             if let Some(t) = sb.trap_entry {
                 trap_table.push(t);
             }
+            audit_springboard(
+                f,
+                fe,
+                sb.bytes.len(),
+                &reloc.addr_map,
+                &mut audited,
+                &mut redirects,
+                observer,
+            )?;
             springs.push((fe, sb));
 
             // Springboards at indirect-jump targets: execution re-enters
@@ -359,6 +483,15 @@ impl<'b> Instrumenter<'b> {
                                 if let Some(tt) = sb.trap_entry {
                                     trap_table.push(tt);
                                 }
+                                audit_springboard(
+                                    f,
+                                    t,
+                                    sb.bytes.len(),
+                                    &reloc.addr_map,
+                                    &mut audited,
+                                    &mut redirects,
+                                    observer,
+                                )?;
                                 springs.push((t, sb));
                             }
                         }
@@ -366,6 +499,12 @@ impl<'b> Instrumenter<'b> {
                 }
             }
         }
+
+        // Every audited clobber's redirect goes into the trap table, so
+        // any control transfer landing on a torn original instruction —
+        // not just an executed trap springboard — resolves to relocated
+        // code. The runtime charges nothing for entries that never fire.
+        trap_table.extend(redirects.iter().copied());
 
         springs.sort_by_key(|(a, _)| *a);
         springs.dedup_by_key(|(a, _)| *a);
@@ -432,6 +571,8 @@ impl<'b> Instrumenter<'b> {
             points_instrumented,
             springboards,
             relocate_ns,
+            clobbers_audited: audited.len(),
+            redirects_registered: redirects.len(),
             writes,
             undo,
             reloc_index,

@@ -24,13 +24,40 @@
 //! when displacements outgrow B-format), and every `auipc` is replaced by
 //! an exact materialisation of the value it produced at its *original*
 //! address — immune to the pairing ambiguity of `auipc`/`lo12` sequences.
+//!
+//! ## The springboard redirect invariant
+//!
+//! Planting a springboard overwrites bytes, and those bytes may *straddle*
+//! instructions: a 4-byte `jal` over two compressed instructions clobbers
+//! both, and an entry block that is also an indirect-jump target (a
+//! same-function jump table dispatching back to the function head) keeps
+//! every clobbered address reachable at runtime. The invariant every
+//! `apply` upholds:
+//!
+//! > **Every instruction address overlapped by springboard bytes has a
+//! > redirect registered in the trap table, mapping it to its relocated
+//! > equivalent.**
+//!
+//! [`clobbered_addresses`] enumerates the overlapped set for a site and
+//! [`audit_redirect_coverage`] proves coverage against the relocation
+//! address map, returning the redirect pairs to register;
+//! [`InstrumentError::SpringboardClobber`] is the refusal when coverage
+//! cannot be established — an unsound patch is never produced silently.
+//! The audit totals surface as `clobbers_audited` /
+//! `redirects_registered` in [`instrument::PatchResult`] and the facade's
+//! diagnostics. Entry springboards are budgeted to the entry *block* (not
+//! the whole function extent), so a springboard can never spill past the
+//! code whose relocation map covers it.
 
 pub mod instrument;
 pub mod points;
 pub mod relocate;
 pub mod springboard;
 
-pub use instrument::{InstrumentError, Instrumenter, PatchEvent, PatchLayout, RelocationIndex};
+pub use instrument::{
+    audit_redirect_coverage, clobbered_addresses, InstrumentError, Instrumenter, PatchEvent,
+    PatchLayout, RelocationIndex,
+};
 pub use points::{find_points, Point, PointKind};
 pub use relocate::{relocate_function, Insertions, RelocatedFunction};
 pub use springboard::{plan_springboard, Springboard, SpringboardKind, SpringboardStats};

@@ -3,139 +3,32 @@
 //! be used. Dyninst will … ultimately resorting to the inefficient 2-byte
 //! trap instructions in the worst case."
 //!
-//! We build a mutatee whose hot function is a single 2-byte `c.j` tail
-//! call — a real 2-byte function. Instrumenting it forces the trap
-//! springboard; the rewritten ELF carries a `.rvdyn.traps` table, and the
-//! execution substrate resolves the trap exactly as the injected SIGTRAP
-//! handler would on hardware.
+//! The mutatee is `rvdyn_asm::tiny_function_program`: its hot function is
+//! a single 2-byte `c.j` tail call — a real 2-byte function. Instrumenting
+//! it forces the trap springboard; the rewritten ELF carries a
+//! `.rvdyn.traps` table, and the execution substrate resolves the trap
+//! exactly as the injected SIGTRAP handler would on hardware.
 
-use rvdyn_asm::Assembler;
+use rvdyn_asm::tiny_function_program;
 use rvdyn_codegen::snippet::Snippet;
 use rvdyn_emu::{load_binary, StopReason};
-use rvdyn_isa::Reg;
 use rvdyn_parse::{CodeObject, ParseOptions};
 use rvdyn_patch::{find_points, Instrumenter, PointKind, SpringboardKind};
-use rvdyn_symtab::{
-    Binary, RiscvAttributes, Section, Symbol, SymbolBinding, SymbolKind, SHF_ALLOC, SHF_EXECINSTR,
-    SHF_WRITE,
-};
-
-/// main loops `iters` times calling `tiny`, which is exactly one 2-byte
-/// `c.j` that tail-calls `target` (a0 += 3, return).
-fn tiny_function_program(iters: u64) -> (Binary, u64) {
-    let mut a = Assembler::new(0x1_0000);
-    let l_main = a.label();
-    let l_tiny = a.label();
-    let l_target = a.label();
-
-    a.call(l_main);
-    a.li(Reg::x(17), 93);
-    a.ecall();
-
-    a.bind(l_main);
-    let main_addr = a.here();
-    a.addi(Reg::X2, Reg::X2, -32);
-    a.sd(Reg::X1, Reg::X2, 24);
-    a.sd(Reg::x(8), Reg::X2, 16);
-    a.sd(Reg::x(9), Reg::X2, 8);
-    a.li(Reg::x(8), iters as i64);
-    a.li(Reg::x(9), 0);
-    a.li(Reg::x(10), 0); // accumulator in a0 across calls? a0 is clobbered;
-                         // keep sum in s-reg via returned a0.
-    a.mv(Reg::x(18), Reg::X0); // s2 = sum
-    let head = a.here_label();
-    let done = a.label();
-    a.bge(Reg::x(9), Reg::x(8), done);
-    a.mv(Reg::x(10), Reg::x(9));
-    a.call(l_tiny);
-    a.add(Reg::x(18), Reg::x(18), Reg::x(10));
-    a.addi(Reg::x(9), Reg::x(9), 1);
-    a.jump(head);
-    a.bind(done);
-    a.li(Reg::x(5), 0x2_0000);
-    a.sd(Reg::x(18), Reg::x(5), 0);
-    a.mv(Reg::x(10), Reg::X0);
-    a.ld(Reg::X1, Reg::X2, 24);
-    a.ld(Reg::x(8), Reg::X2, 16);
-    a.ld(Reg::x(9), Reg::X2, 8);
-    a.addi(Reg::X2, Reg::X2, 32);
-    a.ret();
-    let main_size = a.here() - main_addr;
-
-    // tiny: exactly one compressed jump (2 bytes) — a tail call.
-    a.bind(l_tiny);
-    let tiny_addr = a.here();
-    {
-        // c.j to l_target: we know l_target is just ahead; emit via the
-        // assembler's compressed-instruction path once the offset is known.
-        // The assembler's `jump` emits a 4-byte jal; we need the 2-byte
-        // form, so place target right after and emit c.j manually.
-        // Offset: l_target = tiny + 2.
-        let cj = rvdyn_isa::encode::compress(&rvdyn_isa::build::jal(Reg::X0, 2)).expect("c.j +2");
-        let i = rvdyn_isa::decode::decode(&cj.to_le_bytes(), 0).unwrap();
-        a.c_inst({
-            let mut j = rvdyn_isa::build::jal(Reg::X0, 2);
-            j.compressed = i.compressed;
-            j
-        });
-    }
-    let tiny_size = a.here() - tiny_addr;
-    assert_eq!(tiny_size, 2, "tiny must be a 2-byte function");
-
-    a.bind(l_target);
-    let target_addr = a.here();
-    a.addi(Reg::x(10), Reg::x(10), 3);
-    a.ret();
-    let target_size = a.here() - target_addr;
-
-    let code = a.finish().unwrap();
-    let bin = Binary {
-        entry: 0x1_0000,
-        e_flags: Binary::eflags_for(rvdyn_isa::IsaProfile::rv64gc()),
-        e_type: rvdyn_symtab::elf::ET_EXEC,
-        sections: vec![
-            Section::progbits(".text", 0x1_0000, SHF_ALLOC | SHF_EXECINSTR, code),
-            Section::progbits(".data", 0x2_0000, SHF_ALLOC | SHF_WRITE, vec![0; 8]),
-        ],
-        symbols: vec![
-            Symbol {
-                name: "main".into(),
-                value: main_addr,
-                size: main_size,
-                kind: SymbolKind::Function,
-                binding: SymbolBinding::Global,
-            },
-            Symbol {
-                name: "tiny".into(),
-                value: tiny_addr,
-                size: tiny_size,
-                kind: SymbolKind::Function,
-                binding: SymbolBinding::Global,
-            },
-            Symbol {
-                name: "target".into(),
-                value: target_addr,
-                size: target_size,
-                kind: SymbolKind::Function,
-                binding: SymbolBinding::Global,
-            },
-        ],
-        attributes: Some(RiscvAttributes::for_profile(rvdyn_isa::IsaProfile::rv64gc())),
-    };
-    (bin, tiny_addr)
-}
+use rvdyn_symtab::Binary;
 
 #[test]
 fn two_byte_function_forces_trap_and_still_counts() {
     let iters = 50u64;
-    let (bin, tiny_addr) = tiny_function_program(iters);
+    let bin = tiny_function_program(iters);
+    let tiny_addr = bin.symbol_by_name("tiny").unwrap().value;
+    let result_addr = bin.symbol_by_name("result").unwrap().value;
 
     // Sanity: uninstrumented program works. sum = Σ (i + 3).
     let expect_sum: u64 = (0..iters).map(|i| i + 3).sum();
     let mut m = load_binary(&bin);
     m.fuel = Some(10_000_000);
     assert_eq!(m.run(), StopReason::Exited(0));
-    assert_eq!(m.mem.load(0x2_0000, 8).unwrap(), expect_sum);
+    assert_eq!(m.mem.load(result_addr, 8).unwrap(), expect_sum);
 
     // The springboard planner must pick Trap for this site: 2-byte budget,
     // patch area ~0x7_0000 away.
@@ -176,7 +69,7 @@ fn two_byte_function_forces_trap_and_still_counts() {
         "trap path must count"
     );
     assert_eq!(
-        m.mem.load(0x2_0000, 8).unwrap(),
+        m.mem.load(result_addr, 8).unwrap(),
         expect_sum,
         "semantics preserved"
     );

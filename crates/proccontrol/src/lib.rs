@@ -20,7 +20,18 @@
 //! instruction they replace (a 2-byte `c.ebreak` over compressed
 //! instructions — overwriting 4 bytes would corrupt the following
 //! instruction, §3.1.2's space problem in miniature).
+//!
+//! ## Fault injection
+//!
+//! [`FaultPlan`] arms deterministic Nth-call faults on the debug
+//! interface itself (corrupt/short/dropped writes, delayed stop events,
+//! dropped trap-redirect resolutions) so the failure paths a real
+//! `ptrace` transport can take — and the typed errors the facade maps
+//! them to — are reachable from tests without any test-only code in the
+//! mutatee-facing paths.
 
+pub mod fault;
 pub mod process;
 
+pub use fault::{FaultPlan, WriteFault, WriteFaultMode};
 pub use process::{Event, ProcError, ProcEvent, Process};

@@ -1,5 +1,6 @@
 //! The controlled process.
 
+use crate::fault::{FaultPlan, WriteFault, WriteFaultMode};
 use rvdyn_emu::{load_binary, Machine, StopReason};
 use rvdyn_isa::encode::{compress, encode32};
 use rvdyn_isa::{build, decode, ControlFlow, Reg};
@@ -35,6 +36,10 @@ pub enum ProcEvent {
     BreakpointRemoved { addr: u64 },
     /// `len` bytes were written into mutatee memory at `addr`.
     MemWritten { addr: u64, len: usize },
+    /// An armed [`FaultPlan`] fault fired on the
+    /// operation touching `addr` (the write target, or the pc for a
+    /// delayed stop event).
+    FaultInjected { addr: u64 },
 }
 
 /// Process-control errors.
@@ -99,17 +104,23 @@ pub struct Process {
     breakpoints: BTreeMap<u64, Breakpoint>,
     exited: Option<i64>,
     observer: Option<Box<dyn FnMut(ProcEvent)>>,
+    fault_plan: FaultPlan,
+    /// Count of controller-initiated `write_mem` calls (fault targeting).
+    writes_seen: u64,
+    /// Count of breakpoint/trap stop events delivered (fault targeting).
+    stops_seen: u64,
+    /// Faults this process's debug interface has injected so far,
+    /// including redirect-resolution drops armed on the machine.
+    faults_injected: u64,
+    /// A stop event withheld by a `delay_stop` fault, delivered on the
+    /// next `cont`.
+    pending_event: Option<Event>,
 }
 
 impl Process {
     /// Launch a new process from a binary (Figure 1: "process is spawned").
     pub fn launch(bin: &Binary) -> Process {
-        Process {
-            machine: load_binary(bin),
-            breakpoints: BTreeMap::new(),
-            exited: None,
-            observer: None,
-        }
+        Process::attach(load_binary(bin))
     }
 
     /// Attach to an already-running machine (Figure 1: "already running
@@ -120,7 +131,28 @@ impl Process {
             breakpoints: BTreeMap::new(),
             exited: None,
             observer: None,
+            fault_plan: FaultPlan::new(),
+            writes_seen: 0,
+            stops_seen: 0,
+            faults_injected: 0,
+            pending_event: None,
         }
+    }
+
+    /// Arm a deterministic [`FaultPlan`] on this debug interface;
+    /// replaces any previous plan. Redirect-drop faults are forwarded to
+    /// the machine's trap-redirect resolver.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if let Some(nth) = plan.drop_redirect_nth {
+            self.machine.inject_redirect_drop(nth);
+        }
+        self.fault_plan = plan;
+    }
+
+    /// Total debug-interface faults injected so far (write faults,
+    /// delayed stops, and machine-side redirect-resolution drops).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected + self.machine.redirect_faults_injected
     }
 
     /// Subscribe to debug-interface operations ([`ProcEvent`]); replaces
@@ -169,11 +201,44 @@ impl Process {
     }
 
     /// Write mutatee memory (code writes invalidate its decoded cache).
+    ///
+    /// This is the *debug-interface* write — the surface an armed
+    /// [`FaultPlan`] write fault fires on. Internal breakpoint byte
+    /// patching bypasses it (it writes the machine directly), so injected
+    /// faults hit only controller-visible deliveries, the ones commit
+    /// read-back verification is responsible for.
     pub fn write_mem(&mut self, addr: u64, bytes: &[u8]) {
-        self.machine.write_mem(addr, bytes);
+        let n = self.writes_seen;
+        self.writes_seen += 1;
+        let fault = match self.fault_plan.write {
+            Some(WriteFault { nth, mode }) if nth == n => Some(mode),
+            _ => None,
+        };
+        let corrupted: Vec<u8>;
+        let delivered: &[u8] = match fault {
+            None => bytes,
+            Some(WriteFaultMode::CorruptByte { offset }) => {
+                let mut b = bytes.to_vec();
+                if let Some(last) = b.len().checked_sub(1) {
+                    b[offset.min(last)] = !b[offset.min(last)];
+                }
+                corrupted = b;
+                &corrupted
+            }
+            Some(WriteFaultMode::ShortWrite { len }) => &bytes[..len.min(bytes.len())],
+            Some(WriteFaultMode::DropWrite) => &[],
+        };
+        if !delivered.is_empty() {
+            self.machine.write_mem(addr, delivered);
+        }
+        if fault.is_some() {
+            self.fault_plan.write = None;
+            self.faults_injected += 1;
+            self.notify(ProcEvent::FaultInjected { addr });
+        }
         self.notify(ProcEvent::MemWritten {
             addr,
-            len: bytes.len(),
+            len: delivered.len(),
         });
     }
 
@@ -223,7 +288,14 @@ impl Process {
     }
 
     /// Continue execution until the next event.
+    ///
+    /// A stop event withheld by a `delay_stop` fault is delivered here,
+    /// before the mutatee runs any further — the controller sees one
+    /// spurious [`Event::Stepped`], continues, and gets the real event.
     pub fn cont(&mut self) -> Result<Event, ProcError> {
+        if let Some(ev) = self.pending_event.take() {
+            return Ok(ev);
+        }
         if self.exited.is_some() {
             return Err(ProcError::NotRunning);
         }
@@ -231,10 +303,31 @@ impl Process {
         if self.breakpoints.contains_key(&self.machine.pc) {
             match self.step_over_current()? {
                 Event::Stepped(_) => {}
-                other => return Ok(other),
+                other => return Ok(self.maybe_delay(other)),
             }
         }
-        self.run_until_event()
+        let ev = self.run_until_event()?;
+        Ok(self.maybe_delay(ev))
+    }
+
+    /// Apply an armed `delay_stop` fault: withhold the Nth breakpoint or
+    /// trap stop, report a spurious step instead, and queue the real
+    /// event for the next `cont`.
+    fn maybe_delay(&mut self, ev: Event) -> Event {
+        if !matches!(ev, Event::Breakpoint(_) | Event::Trap(_)) {
+            return ev;
+        }
+        let n = self.stops_seen;
+        self.stops_seen += 1;
+        if self.fault_plan.delay_stop_nth != Some(n) {
+            return ev;
+        }
+        self.fault_plan.delay_stop_nth = None;
+        self.faults_injected += 1;
+        self.pending_event = Some(ev);
+        let pc = self.machine.pc;
+        self.notify(ProcEvent::FaultInjected { addr: pc });
+        Event::Stepped(pc)
     }
 
     /// Emulated single-step (§3.2.6): temporary breakpoints on every

@@ -24,7 +24,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rvdyn_cli [--json] [--trace] <command> ...\n\
          \n\
-         gen <matmul|fib|switch|memcpy|atomics> <out.elf> [args…]\n\
+         gen <matmul|fib|switch|memcpy|atomics|indirect|tiny> <out.elf> [args…]\n\
          info <elf>\n\
          disasm <elf> [function]\n\
          cfg <elf> <function> [--dot]\n\
@@ -81,6 +81,8 @@ fn main() {
                 "deep" => rvdyn_asm::deep_call_program(num(&args, 3).unwrap_or(16)),
                 "memcpy" => rvdyn_asm::memcpy_program(),
                 "atomics" => rvdyn_asm::atomics_program(num(&args, 3).unwrap_or(100)),
+                "indirect" => rvdyn_asm::indirect_entry_program(num(&args, 3).unwrap_or(32)),
+                "tiny" => rvdyn_asm::tiny_function_program(num(&args, 3).unwrap_or(32)),
                 other => {
                     eprintln!("unknown program {other:?}");
                     usage()
