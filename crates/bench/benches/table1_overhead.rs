@@ -1,6 +1,7 @@
-//! T1 under criterion: the three §4.3 configurations at a criterion-sized
-//! matrix. Regenerates the table's *ratios* continuously; the full-size
-//! run is `cargo run --release --bin table1`.
+//! T1 under criterion: the §4.3 configurations (plus the optimal
+//! counter-placement extension) at a criterion-sized matrix. Regenerates
+//! the table's *ratios* continuously; the full-size run is
+//! `cargo run --release --bin table1`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rvdyn::RegAllocMode;
@@ -14,6 +15,7 @@ fn bench_table1(c: &mut Criterion) {
         ("base", Config::Base),
         ("fn_count", Config::FunctionCount),
         ("bb_count", Config::BasicBlockCount),
+        ("bb_count_optimal", Config::BasicBlockCountOptimal),
     ] {
         g.bench_with_input(BenchmarkId::new("riscv", label), &config, |b, &cfg| {
             b.iter(|| measure(n, 1, cfg, RegAllocMode::DeadRegisters))
@@ -25,11 +27,18 @@ fn bench_table1(c: &mut Criterion) {
     let base = measure(n, 1, Config::Base, RegAllocMode::DeadRegisters);
     let f = measure(n, 1, Config::FunctionCount, RegAllocMode::DeadRegisters);
     let bb = measure(n, 1, Config::BasicBlockCount, RegAllocMode::DeadRegisters);
+    let opt = measure(
+        n,
+        1,
+        Config::BasicBlockCountOptimal,
+        RegAllocMode::DeadRegisters,
+    );
     eprintln!(
-        "table1 (n={n}): base {:.6}s, fn +{:.2}%, bb +{:.2}%",
+        "table1 (n={n}): base {:.6}s, fn +{:.2}%, bb +{:.2}%, bb-opt +{:.2}%",
         base.mutatee_seconds,
         (f.mutatee_seconds / base.mutatee_seconds - 1.0) * 100.0,
-        (bb.mutatee_seconds / base.mutatee_seconds - 1.0) * 100.0
+        (bb.mutatee_seconds / base.mutatee_seconds - 1.0) * 100.0,
+        (opt.mutatee_seconds / base.mutatee_seconds - 1.0) * 100.0
     );
 }
 

@@ -55,6 +55,12 @@ pub struct Diagnostics {
     /// Distinct `(original, relocated)` redirects the audit registered in
     /// the trap table to cover the clobbered addresses.
     pub redirects_registered: usize,
+    /// Block-count increment snippets actually placed by `count_blocks`
+    /// (every-block: one per block; optimal: one per co-tree edge).
+    pub counters_placed: u64,
+    /// Counters the optimal placement avoided versus one-per-block
+    /// (0 under `CounterPlacement::EveryBlock` or after a fallback).
+    pub counters_elided: u64,
 
     // -- fault injection --
     /// Debug-interface faults injected by an armed `FaultPlan` (0 in
@@ -67,6 +73,9 @@ pub struct Diagnostics {
     pub instret: u64,
     /// Modelled cycles the mutatee consumed.
     pub cycles: u64,
+    /// Per-block counts recovered from placed counters via the CFG flow
+    /// equations (0 when every block carried its own counter).
+    pub counts_reconstructed: u64,
 
     /// Per-stage wall-clock attribution for the whole pipeline.
     pub timings: StageTimings,
@@ -128,9 +137,11 @@ impl Diagnostics {
                 "\"instrument\":{{\"points\":{},\"dead_register_points\":{},",
                 "\"spills\":{},\"patch_regions_written\":{},",
                 "\"clobbers_audited\":{},\"redirects_registered\":{},",
+                "\"counters_placed\":{},\"counters_elided\":{},",
                 "\"springboards\":{{\"compressed_jump\":{},\"jal\":{},",
                 "\"auipc_jalr\":{},\"trap\":{}}}}},",
-                "\"run\":{{\"instret\":{},\"cycles\":{}}},",
+                "\"run\":{{\"instret\":{},\"cycles\":{},",
+                "\"counts_reconstructed\":{}}},",
                 "\"faults\":{{\"injected\":{}}},",
                 "\"timings_ns\":{{\"open\":{},\"parse\":{},\"instrument\":{},",
                 "\"relocate\":{},\"commit\":{},\"run\":{}}}}}"
@@ -147,12 +158,15 @@ impl Diagnostics {
             self.patch_regions_written,
             self.clobbers_audited,
             self.redirects_registered,
+            self.counters_placed,
+            self.counters_elided,
             self.springboards.compressed_jump,
             self.springboards.jal,
             self.springboards.auipc_jalr,
             self.springboards.trap,
             self.instret,
             self.cycles,
+            self.counts_reconstructed,
             self.faults_injected,
             t.open_ns,
             t.parse_ns,
@@ -200,6 +214,14 @@ impl fmt::Display for Diagnostics {
                 f,
                 "soundness:  {} clobbered addresses audited, {} redirects registered",
                 self.clobbers_audited, self.redirects_registered
+            )?;
+        }
+        if self.counters_placed > 0 {
+            writeln!(
+                f,
+                "placement:  {} counters placed, {} elided \
+                 ({} counts reconstructed)",
+                self.counters_placed, self.counters_elided, self.counts_reconstructed
             )?;
         }
         if self.faults_injected > 0 {
@@ -319,9 +341,12 @@ mod tests {
             patch_regions_written: 4,
             clobbers_audited: 6,
             redirects_registered: 5,
+            counters_placed: 4,
+            counters_elided: 7,
             faults_injected: 2,
             instret: 123_456,
             cycles: 234_567,
+            counts_reconstructed: 11,
             ..Default::default()
         };
         d.timings.record(TimedStage::Parse, 1_000);
@@ -347,6 +372,8 @@ mod tests {
             "\"patch_regions_written\":4",
             "\"clobbers_audited\":6",
             "\"redirects_registered\":5",
+            "\"counters_placed\":4",
+            "\"counters_elided\":7",
             "\"springboards\":{",
             "\"compressed_jump\":",
             "\"jal\":",
@@ -355,6 +382,7 @@ mod tests {
             "\"run\":{",
             "\"instret\":123456",
             "\"cycles\":234567",
+            "\"counts_reconstructed\":11",
             "\"faults\":{",
             "\"injected\":2",
             "\"timings_ns\":{",

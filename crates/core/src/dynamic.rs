@@ -15,7 +15,7 @@
 
 use crate::diag::Diagnostics;
 use crate::error::Error;
-use crate::session::{self, Session, SessionOptions};
+use crate::session::{self, BlockCounter, Session, SessionOptions};
 use crate::telemetry::{TelemetryEvent, TimedStage};
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
@@ -137,6 +137,28 @@ impl DynamicInstrumenter {
     /// Queue `snippet` at each point.
     pub fn insert(&mut self, points: &[Point], snippet: Snippet) {
         self.session.insert(points, snippet);
+    }
+
+    /// Queue basic-block counting for the named function under the
+    /// session's configured
+    /// [`CounterPlacement`](rvdyn_patch::CounterPlacement); resolve the
+    /// returned handle with [`Self::block_counts`] after the run.
+    pub fn count_blocks(&mut self, func: &str) -> Result<BlockCounter, Error> {
+        self.session.count_blocks(func)
+    }
+
+    /// Exact per-block execution counts for a [`BlockCounter`], read from
+    /// the live process's memory (reconstructed through the CFG flow
+    /// equations under optimal placement).
+    pub fn block_counts(
+        &mut self,
+        counter: &BlockCounter,
+    ) -> Result<std::collections::BTreeMap<u64, u64>, Error> {
+        let process = &self.process;
+        self.session.block_counts_with(counter, &mut |v| {
+            let b = process.read_mem(v.addr, 8).ok()?;
+            Some(u64::from_le_bytes(b.try_into().ok()?))
+        })
     }
 
     /// Apply all queued insertions to the live process: lower and relocate

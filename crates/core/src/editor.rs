@@ -8,7 +8,7 @@
 
 use crate::diag::Diagnostics;
 use crate::error::{Error, Stage};
-use crate::session::{Session, SessionOptions};
+use crate::session::{BlockCounter, Session, SessionOptions};
 use crate::telemetry::{TelemetryEvent, TimedStage};
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
@@ -122,22 +122,58 @@ impl BinaryEditor {
         self.session.insert(points, snippet);
     }
 
+    /// Queue basic-block counting for the named function under the
+    /// session's configured
+    /// [`CounterPlacement`](rvdyn_patch::CounterPlacement); resolve the
+    /// returned handle with [`BinaryEditor::block_counts`] after a run.
+    pub fn count_blocks(&mut self, func: &str) -> Result<BlockCounter, Error> {
+        self.session.count_blocks(func)
+    }
+
+    /// Exact per-block execution counts for a [`BlockCounter`], read from
+    /// a finished run's memory image (reconstructed through the CFG flow
+    /// equations under optimal placement).
+    pub fn block_counts(
+        &mut self,
+        counter: &BlockCounter,
+        run: &RunOutput,
+    ) -> Result<std::collections::BTreeMap<u64, u64>, Error> {
+        self.session
+            .block_counts_with(counter, &mut |v| run.read_u64(v.addr))
+    }
+
     /// Apply all queued insertions and produce the rewritten binary model.
     pub fn instrumented(&mut self) -> Result<rvdyn_patch::instrument::PatchResult, Error> {
         self.session.apply()
+    }
+
+    /// Serialise a patched binary model (timed `commit` stage), recording
+    /// the written per-region structure in the diagnostics — the static
+    /// mirror of the dynamic commit's `patch_regions_written`.
+    fn serialise(&mut self, binary: &Binary) -> Result<Vec<u8>, Error> {
+        let timer = self.session.begin_stage(TimedStage::Commit);
+        let (bytes, stats) = binary
+            .to_bytes_with_stats()
+            .map_err(|source| Error::Symtab {
+                stage: Stage::Rewrite,
+                source,
+            })?;
+        for r in &stats.regions {
+            self.session.emit(TelemetryEvent::PatchRegionWritten {
+                addr: r.vaddr,
+                len: r.file_size as usize,
+            });
+        }
+        self.session.diag_mut().patch_regions_written += stats.regions_written();
+        self.session.end_stage(timer);
+        Ok(bytes)
     }
 
     /// Apply all queued insertions and serialise the new ELF (the static
     /// path's timed `commit` stage).
     pub fn rewrite(&mut self) -> Result<Vec<u8>, Error> {
         let patched = self.instrumented()?;
-        let timer = self.session.begin_stage(TimedStage::Commit);
-        let bytes = patched.binary.to_bytes().map_err(|source| Error::Symtab {
-            stage: Stage::Rewrite,
-            source,
-        })?;
-        self.session.end_stage(timer);
-        Ok(bytes)
+        self.serialise(&patched.binary)
     }
 
     /// Full static round trip with stage attribution: apply the queued
@@ -147,12 +183,7 @@ impl BinaryEditor {
     /// reports wall-clock timings for every pipeline stage.
     pub fn instrument_and_run(&mut self, fuel: u64) -> Result<RunOutput, Error> {
         let patched = self.instrumented()?;
-        let timer = self.session.begin_stage(TimedStage::Commit);
-        let elf = patched.binary.to_bytes().map_err(|source| Error::Symtab {
-            stage: Stage::Rewrite,
-            source,
-        })?;
-        self.session.end_stage(timer);
+        let elf = self.serialise(&patched.binary)?;
 
         let bin = Binary::parse(&elf)?;
         let timer = self.session.begin_stage(TimedStage::Run);
@@ -346,6 +377,29 @@ mod tests {
         assert_eq!(d.springboards.total(), 1); // one function relocated
         assert!(d.timings.instrument_ns > 0, "instrument stage was timed");
         assert!(d.timings.commit_ns > 0, "serialisation timed as commit");
+        // Static delivery reports its per-region structure too (one
+        // region per contiguous allocatable span in the written ELF).
+        assert!(
+            d.patch_regions_written >= 2,
+            "rewrite must count written regions, got {}",
+            d.patch_regions_written
+        );
+    }
+
+    #[test]
+    fn static_block_counts_every_block() {
+        let elf = rvdyn_asm::matmul_program(4, 2).to_bytes().unwrap();
+        let mut ed = BinaryEditor::open(&elf).unwrap();
+        let bc = ed.count_blocks("matmul").unwrap();
+        assert!(!bc.is_optimal());
+        assert_eq!(bc.counters_placed(), bc.blocks_covered());
+        let r = ed.instrument_and_run(500_000_000).unwrap();
+        let counts = ed.block_counts(&bc, &r).unwrap();
+        assert_eq!(counts.len(), bc.blocks_covered());
+        // Entry block runs once per call.
+        let entry = ed.function_addr("matmul").unwrap();
+        assert_eq!(counts[&entry], 2);
+        assert_eq!(ed.diagnostics().counts_reconstructed, 0);
     }
 
     #[test]

@@ -90,6 +90,14 @@ pub enum Error {
         pc: u64,
         icount: u64,
     },
+    /// Per-block count recovery failed for the function at `func`: a
+    /// counter variable could not be read back, or the placed counter
+    /// values violate the CFG flow equations (a negative reconstructed
+    /// count). `addr` is the unreadable variable or the inconsistent
+    /// block. Indicates a torn run (early exit mid-function) or counter
+    /// memory corruption — the counts cannot have come from a complete
+    /// execution of the planned CFG.
+    CounterReconstruct { func: u64, addr: u64 },
 }
 
 impl Error {
@@ -106,7 +114,8 @@ impl Error {
             Error::Proc { .. }
             | Error::MutateeFault { .. }
             | Error::UncleanExit { .. }
-            | Error::RedirectMiss { .. } => Stage::Run,
+            | Error::RedirectMiss { .. }
+            | Error::CounterReconstruct { .. } => Stage::Run,
         }
     }
 
@@ -122,6 +131,7 @@ impl Error {
             | Error::SpringboardClobber { pc, .. } => Some(*pc),
             Error::UnresolvedIndirects { func, .. } => Some(*func),
             Error::PatchVerifyFailed { addr } => Some(*addr),
+            Error::CounterReconstruct { addr, .. } => Some(*addr),
             _ => None,
         }
     }
@@ -176,6 +186,11 @@ impl fmt::Display for Error {
                 f,
                 "[run] mutatee did not exit cleanly: {reason} \
                  (pc {pc:#x} after {icount} instructions)"
+            ),
+            Error::CounterReconstruct { func, addr } => write!(
+                f,
+                "[run] per-block count reconstruction failed for function \
+                 {func:#x} at {addr:#x}"
             ),
         }
     }

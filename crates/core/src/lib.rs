@@ -85,7 +85,7 @@ pub use diag::Diagnostics;
 pub use dynamic::DynamicInstrumenter;
 pub use editor::{run_binary, run_binary_observed, run_elf, BinaryEditor, EditorError, RunOutput};
 pub use error::{Error, Stage};
-pub use session::{Session, SessionOptions};
+pub use session::{BlockCounter, Session, SessionOptions};
 pub use telemetry::{
     CollectSink, SharedSink, StageTimings, StderrSink, TelemetryEvent, TelemetrySink, TimedStage,
 };
@@ -98,8 +98,8 @@ pub use rvdyn_emu::{CostModel, Machine, StopReason};
 pub use rvdyn_isa::{decode, IsaProfile, Reg};
 pub use rvdyn_parse::{CodeObject, EdgeKind, Function, ParseEvent, ParseOptions};
 pub use rvdyn_patch::{
-    audit_redirect_coverage, clobbered_addresses, find_points, InstrumentError, PatchEvent,
-    PatchLayout, Point, PointKind,
+    audit_redirect_coverage, clobbered_addresses, find_points, plan_block_counters, BlockCountPlan,
+    CounterPlacement, CounterSite, InstrumentError, PatchEvent, PatchLayout, Point, PointKind,
 };
 pub use rvdyn_proccontrol::{Event, FaultPlan, ProcEvent, Process, WriteFault, WriteFaultMode};
 pub use rvdyn_stackwalker::{Frame, StackWalker};

@@ -37,6 +37,7 @@ use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
 use rvdyn_parse::{CodeObject, EdgeKind, ParseEvent, ParseOptions};
 use rvdyn_patch::instrument::PatchResult;
+use rvdyn_patch::placement::{plan_block_counters, BlockCountPlan, CounterPlacement};
 use rvdyn_patch::{find_points, Instrumenter, PatchEvent, PatchLayout, Point, PointKind};
 use rvdyn_proccontrol::{FaultPlan, ProcEvent};
 use rvdyn_symtab::Binary;
@@ -59,6 +60,7 @@ pub struct SessionOptions {
     pub(crate) allow_unresolved: bool,
     pub(crate) sink: Option<SharedSink>,
     pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) placement: CounterPlacement,
 }
 
 impl Default for SessionOptions {
@@ -70,6 +72,7 @@ impl Default for SessionOptions {
             allow_unresolved: true,
             sink: None,
             fault_plan: None,
+            placement: CounterPlacement::EveryBlock,
         }
     }
 }
@@ -127,6 +130,17 @@ impl SessionOptions {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Select the counter-placement strategy used by
+    /// [`Session::count_blocks`]. Defaults to
+    /// [`CounterPlacement::EveryBlock`];
+    /// [`CounterPlacement::Optimal`] places Knuth/Ball–Larus co-tree
+    /// counters and reconstructs per-block counts from the CFG flow
+    /// equations after the run (see `rvdyn_patch::placement`).
+    pub fn counter_placement(mut self, placement: CounterPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
 }
 
 /// The shared pipeline state behind both instrumentation entry points:
@@ -143,6 +157,47 @@ pub struct Session {
     diag: Diagnostics,
     tele: Telemetry,
     fault_plan: Option<FaultPlan>,
+    placement: CounterPlacement,
+}
+
+/// Handle to one per-function basic-block counting request, returned by
+/// [`Session::count_blocks`] (via the `BinaryEditor` / `DynamicInstrumenter`
+/// wrappers). Holds the allocated counter variables and, under
+/// [`CounterPlacement::Optimal`], the reconstruction plan; feed it back to
+/// `block_counts` after the run to obtain exact per-block execution
+/// counts.
+pub struct BlockCounter {
+    func: u64,
+    /// Block start addresses, in address order (the order counts are
+    /// reported in).
+    blocks: Vec<u64>,
+    /// Counter variables, parallel to the plan's sites (optimal) or to
+    /// `blocks` (every-block).
+    vars: Vec<Var>,
+    plan: Option<BlockCountPlan>,
+}
+
+impl BlockCounter {
+    /// Entry address of the counted function.
+    pub fn func(&self) -> u64 {
+        self.func
+    }
+
+    /// Number of increment snippets actually placed.
+    pub fn counters_placed(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of blocks covered by the counters.
+    pub fn blocks_covered(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when an optimal placement is active (counts will be
+    /// reconstructed from the flow equations rather than read directly).
+    pub fn is_optimal(&self) -> bool {
+        self.plan.is_some()
+    }
 }
 
 impl Session {
@@ -186,6 +241,7 @@ impl Session {
             diag,
             tele,
             fault_plan: opts.fault_plan,
+            placement: opts.placement,
         }
     }
 
@@ -255,6 +311,109 @@ impl Session {
     pub fn insert(&mut self, points: &[Point], snippet: Snippet) {
         for p in points {
             self.pending.push((*p, snippet.clone()));
+        }
+    }
+
+    /// Queue basic-block counting for the named function under the
+    /// session's [`CounterPlacement`], allocating one 8-byte counter
+    /// variable per placed site and returning the [`BlockCounter`]
+    /// handle used to retrieve per-block counts after the run.
+    ///
+    /// Under [`CounterPlacement::Optimal`] the Knuth/Ball–Larus plan
+    /// from `rvdyn_patch::placement` decides the sites; when no plan
+    /// exists for the function's CFG (indirect edges, unreachable
+    /// blocks, no saving) the call silently degrades to every-block
+    /// placement, so it never fails for placement reasons. Placement
+    /// totals land in `counters_placed` / `counters_elided` and a
+    /// [`TelemetryEvent::PlacementComputed`] event is emitted either
+    /// way.
+    pub fn count_blocks(&mut self, func: &str) -> Result<BlockCounter, Error> {
+        let addr = self.function_addr(func)?;
+        let f = &self.code.functions[&addr];
+        let blocks: Vec<u64> = f.blocks.keys().copied().collect();
+        let plan = match self.placement {
+            CounterPlacement::EveryBlock => None,
+            CounterPlacement::Optimal => plan_block_counters(f),
+        };
+
+        let counter = match plan {
+            Some(plan) => {
+                let vars: Vec<Var> = plan.sites.iter().map(|_| self.alloc_var(8)).collect();
+                for (site, var) in plan.sites.iter().zip(&vars) {
+                    self.pending
+                        .push((site.point(addr), Snippet::increment(*var)));
+                }
+                self.diag.counters_placed += vars.len() as u64;
+                self.diag.counters_elided += (blocks.len() - vars.len()) as u64;
+                BlockCounter {
+                    func: addr,
+                    blocks,
+                    vars,
+                    plan: Some(plan),
+                }
+            }
+            None => {
+                let vars: Vec<Var> = blocks.iter().map(|_| self.alloc_var(8)).collect();
+                for (&b, var) in blocks.iter().zip(&vars) {
+                    let p = Point {
+                        func: addr,
+                        addr: b,
+                        kind: PointKind::BlockEntry,
+                    };
+                    self.pending.push((p, Snippet::increment(*var)));
+                }
+                self.diag.counters_placed += vars.len() as u64;
+                BlockCounter {
+                    func: addr,
+                    blocks,
+                    vars,
+                    plan: None,
+                }
+            }
+        };
+        self.emit(TelemetryEvent::PlacementComputed {
+            func: addr,
+            blocks: counter.blocks.len(),
+            sites: counter.vars.len(),
+        });
+        Ok(counter)
+    }
+
+    /// Resolve a [`BlockCounter`] into exact per-block execution counts,
+    /// reading each counter variable through `read` (delivery-specific:
+    /// patched-image memory or live process memory). Optimal placements
+    /// are reconstructed through the plan's flow equations, counted in
+    /// `counts_reconstructed`; a failed read or inconsistent counter
+    /// values surface as [`Error::CounterReconstruct`].
+    pub(crate) fn block_counts_with(
+        &mut self,
+        counter: &BlockCounter,
+        read: &mut dyn FnMut(Var) -> Option<u64>,
+    ) -> Result<std::collections::BTreeMap<u64, u64>, Error> {
+        let mut raw = Vec::with_capacity(counter.vars.len());
+        for v in &counter.vars {
+            raw.push(read(*v).ok_or(Error::CounterReconstruct {
+                func: counter.func,
+                addr: v.addr,
+            })?);
+        }
+        match &counter.plan {
+            Some(plan) => {
+                let counts = plan
+                    .reconstruct(&raw)
+                    .map_err(|e| Error::CounterReconstruct {
+                        func: counter.func,
+                        addr: match e {
+                            rvdyn_patch::placement::PlacementError::InconsistentCounts {
+                                block,
+                            } => block,
+                            _ => counter.func,
+                        },
+                    })?;
+                self.diag.counts_reconstructed += counts.len() as u64;
+                Ok(counts)
+            }
+            None => Ok(counter.blocks.iter().copied().zip(raw).collect()),
         }
     }
 

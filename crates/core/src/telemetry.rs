@@ -212,8 +212,17 @@ pub enum TelemetryEvent {
     /// ProcControl wrote mutatee memory.
     MemWritten { addr: u64, len: usize },
     /// One coalesced patch region was delivered and verified (dynamic
-    /// commit batching).
+    /// commit batching), or one contiguous allocatable span was
+    /// serialised into the rewritten ELF (static delivery).
     PatchRegionWritten { addr: u64, len: usize },
+    /// A block-count placement was computed for the function at `func`:
+    /// `sites` increment snippets cover `blocks` basic blocks
+    /// (`sites == blocks` under every-block placement).
+    PlacementComputed {
+        func: u64,
+        blocks: usize,
+        sites: usize,
+    },
     /// The run loop stopped; `reason` is the stable [`StopReason`] label
     /// (e.g. `"exited"`, `"break"`, `"mem-fault"`).
     ///
@@ -269,6 +278,16 @@ impl fmt::Display for TelemetryEvent {
                 write!(
                     f,
                     "patch region {addr:#x} delivered ({len} bytes, verified)"
+                )
+            }
+            PlacementComputed {
+                func,
+                blocks,
+                sites,
+            } => {
+                write!(
+                    f,
+                    "placement for {func:#x}: {sites} counter(s) cover {blocks} block(s)"
                 )
             }
             RunExit { reason } => write!(f, "run exit: {reason}"),
@@ -447,6 +466,11 @@ mod tests {
             TelemetryEvent::SpringboardPlanted {
                 addr: 0x1_0000,
                 kind: rvdyn_patch::SpringboardKind::Jal,
+            },
+            TelemetryEvent::PlacementComputed {
+                func: 0x1_0000,
+                blocks: 11,
+                sites: 4,
             },
             TelemetryEvent::RunExit { reason: "exited" },
         ];

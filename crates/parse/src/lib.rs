@@ -37,6 +37,6 @@ pub mod source;
 pub use block::{BasicBlock, Edge, EdgeKind};
 pub use classify::BranchPurpose;
 pub use function::Function;
-pub use loops::{dominators, natural_loops, Loop};
+pub use loops::{dominators, loop_depths, natural_loops, Loop};
 pub use parser::{CodeObject, ParseEvent, ParseOptions};
 pub use source::CodeSource;

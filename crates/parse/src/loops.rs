@@ -1,14 +1,30 @@
 //! Dominator and natural-loop analysis over function CFGs.
 //!
 //! Loops are instrumentation points in their own right (loop back edges,
-//! §2's point taxonomy) and feed DataflowAPI's loop analysis.
+//! §2's point taxonomy) and feed DataflowAPI's loop analysis. They are
+//! also the static frequency oracle behind the optimal counter-placement
+//! pass (`rvdyn_patch::placement`): an edge nested `d` loops deep is
+//! assumed to run ~10^d times as often as straight-line code, which is
+//! what steers counters off hot back edges and onto cold loop-entry and
+//! exit edges.
+//!
+//! The three analyses compose: [`reverse_postorder`] fixes an iteration
+//! order over the blocks reachable from the entry, [`dominators`] runs
+//! the Cooper–Harvey–Kennedy iterative data-flow algorithm over it, and
+//! [`natural_loops`] detects back edges (`source` dominated by `target`)
+//! and grows each loop body by reverse reachability from the latch.
 
 use crate::function::Function;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A natural loop: header block plus body (block start addresses).
+///
+/// One `Loop` per header: multiple back edges into the same header (e.g.
+/// `continue` statements) merge into a single loop with several
+/// [`latches`](Loop::latches).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Loop {
+    /// The unique entry block of the loop (target of its back edges).
     pub header: u64,
     /// All blocks in the loop, including the header.
     pub body: BTreeSet<u64>,
@@ -17,6 +33,7 @@ pub struct Loop {
 }
 
 impl Loop {
+    /// Is `block` part of this loop's body (header included)?
     pub fn contains(&self, block: u64) -> bool {
         self.body.contains(&block)
     }
@@ -24,6 +41,10 @@ impl Loop {
 
 /// Immediate dominator map via the classic iterative data-flow algorithm
 /// (Cooper–Harvey–Kennedy) over reverse postorder.
+///
+/// The returned map holds `block → idom(block)` for every block
+/// reachable from the entry; the entry maps to itself. Unreachable
+/// blocks are absent. Query transitive domination with [`dominates`].
 pub fn dominators(f: &Function) -> BTreeMap<u64, u64> {
     let rpo = reverse_postorder(f);
     let index: BTreeMap<u64, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
@@ -157,6 +178,26 @@ pub fn natural_loops(f: &Function) -> Vec<Loop> {
     loops.into_values().collect()
 }
 
+/// Loop-nesting depth of every block: the number of natural loops whose
+/// body contains it (0 for straight-line code).
+///
+/// This is the static execution-frequency estimate used by the optimal
+/// counter-placement pass: a block at depth `d` is assumed to execute on
+/// the order of 10^`d` times per function invocation. Blocks absent from
+/// every loop body are still present in the map, at depth 0.
+pub fn loop_depths(f: &Function) -> BTreeMap<u64, usize> {
+    let loops = natural_loops(f);
+    let mut depth: BTreeMap<u64, usize> = f.blocks.keys().map(|&b| (b, 0)).collect();
+    for l in &loops {
+        for b in &l.body {
+            if let Some(d) = depth.get_mut(b) {
+                *d += 1;
+            }
+        }
+    }
+    depth
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +270,28 @@ mod tests {
         let inner = loops.iter().find(|l| l.header == 3).unwrap();
         assert!(outer.body.is_superset(&inner.body));
         assert_eq!(inner.body, BTreeSet::from([3, 4]));
+    }
+
+    #[test]
+    fn loop_depths_count_nesting() {
+        let f = mk(
+            1,
+            &[
+                (1, &[2]),
+                (2, &[3]),
+                (3, &[4]),
+                (4, &[3, 5]),
+                (5, &[2, 6]),
+                (6, &[]),
+            ],
+        );
+        let d = loop_depths(&f);
+        assert_eq!(d[&1], 0);
+        assert_eq!(d[&2], 1);
+        assert_eq!(d[&3], 2);
+        assert_eq!(d[&4], 2);
+        assert_eq!(d[&5], 1);
+        assert_eq!(d[&6], 0);
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! code whose relocation map covers it.
 
 pub mod instrument;
+pub mod placement;
 pub mod points;
 pub mod relocate;
 pub mod springboard;
@@ -58,6 +59,7 @@ pub use instrument::{
     audit_redirect_coverage, clobbered_addresses, InstrumentError, Instrumenter, PatchEvent,
     PatchLayout, RelocationIndex,
 };
+pub use placement::{plan_block_counters, BlockCountPlan, CounterPlacement, CounterSite};
 pub use points::{find_points, Point, PointKind};
 pub use relocate::{relocate_function, Insertions, RelocatedFunction};
 pub use springboard::{plan_springboard, Springboard, SpringboardKind, SpringboardStats};

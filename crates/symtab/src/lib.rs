@@ -32,3 +32,4 @@ pub use model::{
     Binary, Section, Segment, Symbol, SymbolBinding, SymbolKind, SHF_ALLOC, SHF_EXECINSTR,
     SHF_WRITE,
 };
+pub use writer::{WriteRegion, WriteStats};

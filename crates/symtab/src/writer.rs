@@ -37,6 +37,36 @@ impl StrTab {
     }
 }
 
+/// One contiguous allocatable span serialised into the output image —
+/// the static path's equivalent of a coalesced dynamic patch region
+/// (identical coalescing rule: adjacent same-permission sections merge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRegion {
+    /// Load address of the span.
+    pub vaddr: u64,
+    /// Bytes of file data emitted for the span.
+    pub file_size: u64,
+    /// In-memory size (≥ `file_size` when the span ends in NOBITS).
+    pub mem_size: u64,
+}
+
+/// Serialisation statistics for one [`Binary::to_bytes_with_stats`] pass:
+/// the per-region structure of the written image, mirroring the dynamic
+/// commit's region counters so the static `rewrite` path can report
+/// `patch_regions_written` too.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Contiguous allocatable spans, in address order (one per PT_LOAD).
+    pub regions: Vec<WriteRegion>,
+}
+
+impl WriteStats {
+    /// Number of contiguous spans serialised.
+    pub fn regions_written(&self) -> usize {
+        self.regions.len()
+    }
+}
+
 impl Binary {
     /// Serialise this binary to a loadable ELF image.
     ///
@@ -44,6 +74,14 @@ impl Binary {
     /// sections keep `file offset ≡ vaddr (mod 4096)` so PT_LOAD mapping is
     /// straightforward for any loader.
     pub fn to_bytes(&self) -> Result<Vec<u8>, SymtabError> {
+        self.to_bytes_with_stats().map(|(bytes, _)| bytes)
+    }
+
+    /// As [`Binary::to_bytes`], also reporting the per-region structure
+    /// of the written image ([`WriteStats`]): one [`WriteRegion`] per
+    /// contiguous allocatable span (= PT_LOAD segment). This is what the
+    /// static delivery path counts as `patch_regions_written`.
+    pub fn to_bytes_with_stats(&self) -> Result<(Vec<u8>, WriteStats), SymtabError> {
         // Assemble the synthetic sections first.
         let mut strtab = StrTab::new();
         let mut syms: Vec<ElfSym> = vec![ElfSym::default()]; // null symbol
@@ -210,9 +248,20 @@ impl Binary {
             entsize: 0,
         });
 
-        // Program headers from allocatable sections.
+        // Program headers from allocatable sections; each segment is one
+        // contiguous written region, reported back to the caller.
         let segments = self.load_segments();
         let phnum = segments.len();
+        let stats = WriteStats {
+            regions: segments
+                .iter()
+                .map(|seg| WriteRegion {
+                    vaddr: seg.vaddr,
+                    file_size: seg.data.len() as u64,
+                    mem_size: seg.memsz,
+                })
+                .collect(),
+        };
 
         // Layout pass.
         let mut pos = elf::EHDR_SIZE + phnum * elf::PHDR_SIZE;
@@ -306,7 +355,7 @@ impl Binary {
             hoff += elf::SHDR_SIZE;
         }
 
-        Ok(bytes)
+        Ok((bytes, stats))
     }
 }
 
@@ -389,6 +438,24 @@ mod tests {
             let end = ph.p_offset + ph.p_filesz;
             assert!(end as usize <= bytes.len());
         }
+    }
+
+    #[test]
+    fn write_stats_report_one_region_per_segment() {
+        let b = sample();
+        let (bytes, stats) = b.to_bytes_with_stats().unwrap();
+        let ehdr = Ehdr::parse(&bytes).unwrap();
+        // sample() has .text and .data a page apart → two regions, in
+        // address order, matching the PT_LOAD headers exactly.
+        assert_eq!(stats.regions_written(), ehdr.e_phnum as usize);
+        assert_eq!(stats.regions.len(), 2);
+        assert_eq!(stats.regions[0].vaddr, 0x10000);
+        assert_eq!(stats.regions[0].file_size, 4);
+        assert_eq!(stats.regions[1].vaddr, 0x20000);
+        assert_eq!(stats.regions[1].file_size, 8);
+        assert!(stats.regions.iter().all(|r| r.mem_size >= r.file_size));
+        // And the plain to_bytes path produces identical bytes.
+        assert_eq!(bytes, b.to_bytes().unwrap());
     }
 
     #[test]

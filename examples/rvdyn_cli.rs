@@ -16,7 +16,7 @@
 //! `rvdyn-diagnostics-v1` schema; `--trace` streams telemetry events to
 //! stderr as the pipeline runs.
 
-use rvdyn::{BinaryEditor, PointKind, SessionOptions, Snippet};
+use rvdyn::{BinaryEditor, CounterPlacement, PointKind, SessionOptions, Snippet};
 use std::process::exit;
 use std::sync::Arc;
 
@@ -28,12 +28,15 @@ fn usage() -> ! {
          info <elf>\n\
          disasm <elf> [function]\n\
          cfg <elf> <function> [--dot]\n\
-         count <elf> <function> <entry|blocks|edges> <out.elf>\n\
+         count <elf> <function> <entry|blocks|blocks-optimal|edges> <out.elf>\n\
          run <elf>   (prints exit code, modelled time, and the counter at\n\
                       the patch-data base if the binary was instrumented)\n\
-         profile <elf> <function> <entry|blocks|edges>\n\
+         profile <elf> <function> <entry|blocks|blocks-optimal|edges>\n\
                      (instrument + run in one session: full per-stage\n\
-                      wall-clock attribution in the diagnostics)\n\
+                      wall-clock attribution in the diagnostics; the two\n\
+                      blocks classes also print exact per-block counts —\n\
+                      blocks-optimal places counters only on the Knuth-\n\
+                      minimal site set and reconstructs the rest)\n\
          \n\
          --json      emit diagnostics as one rvdyn-diagnostics-v1 JSON line\n\
          --trace     stream telemetry events to stderr"
@@ -170,9 +173,30 @@ fn main() {
             }
         }
         "count" => {
-            let mut ed = open(&arg(&args, 1), opts());
+            let class = arg(&args, 3);
+            let mut ed = open(&arg(&args, 1), class_opts(&class, opts()));
             let func = arg(&args, 2);
-            let kind = point_kind(&arg(&args, 3));
+            if class == "blocks-optimal" {
+                let bc = ed.count_blocks(&func).unwrap_or_else(die);
+                if !json {
+                    println!(
+                        "placing {} counter(s) over {} block(s) in {func}",
+                        bc.counters_placed(),
+                        bc.blocks_covered()
+                    );
+                }
+                let out = arg(&args, 4);
+                std::fs::write(&out, ed.rewrite().unwrap_or_else(die)).expect("write");
+                if json {
+                    println!("{}", ed.diagnostics().to_json());
+                    return;
+                }
+                println!("wrote {out}");
+                println!("--- pipeline diagnostics ---");
+                println!("{}", ed.diagnostics());
+                return;
+            }
+            let kind = point_kind(&class);
             let counter = ed.alloc_var(8);
             let pts = ed.find_points(&func, kind).unwrap_or_else(die);
             if !json {
@@ -222,9 +246,34 @@ fn main() {
             // The full pipeline in one session: open → parse → instrument
             // → commit → run, so the diagnostics carry wall-clock timings
             // for every stage.
-            let mut ed = open(&arg(&args, 1), opts());
+            let class = arg(&args, 3);
+            let mut ed = open(&arg(&args, 1), class_opts(&class, opts()));
             let func = arg(&args, 2);
-            let kind = point_kind(&arg(&args, 3));
+            if class == "blocks" || class == "blocks-optimal" {
+                // Per-block profile through the counter-placement API:
+                // exact counts for every block, from however many
+                // counters the placement mode asks for.
+                let bc = ed.count_blocks(&func).unwrap_or_else(die);
+                let r = ed.instrument_and_run(10_000_000_000).unwrap_or_else(die);
+                let counts = ed.block_counts(&bc, &r).unwrap_or_else(die);
+                if json {
+                    println!("{}", ed.diagnostics().to_json());
+                    return;
+                }
+                println!("exit code:  {}", r.exit_code);
+                println!(
+                    "counters:   {} placed over {} block(s)",
+                    bc.counters_placed(),
+                    bc.blocks_covered()
+                );
+                for (block, count) in &counts {
+                    println!("  block {block:#10x}: {count}");
+                }
+                println!("--- pipeline diagnostics ---");
+                println!("{}", ed.diagnostics());
+                return;
+            }
+            let kind = point_kind(&class);
             let counter = ed.alloc_var(8);
             let pts = ed.find_points(&func, kind).unwrap_or_else(die);
             ed.insert(&pts, Snippet::increment(counter));
@@ -239,6 +288,16 @@ fn main() {
             println!("{}", ed.diagnostics());
         }
         _ => usage(),
+    }
+}
+
+/// Session options for a point class: `blocks-optimal` switches the
+/// counter-placement mode, everything else keeps the defaults.
+fn class_opts(class: &str, o: SessionOptions) -> SessionOptions {
+    if class == "blocks-optimal" {
+        o.counter_placement(CounterPlacement::Optimal)
+    } else {
+        o
     }
 }
 
