@@ -64,7 +64,7 @@ const FT1: Reg = Reg::f(1);
 const FT2: Reg = Reg::f(2);
 
 struct Sym {
-    name: &'static str,
+    name: String,
     addr: u64,
     size: u64,
     kind: SymbolKind,
@@ -112,7 +112,7 @@ fn finish_binary(
     let symbols = syms
         .into_iter()
         .map(|s| Symbol {
-            name: s.name.to_string(),
+            name: s.name,
             value: s.addr,
             size: s.size,
             kind: s.kind,
@@ -369,61 +369,61 @@ pub fn matmul_program(n: usize, reps: usize) -> Binary {
 
     let syms = vec![
         Sym {
-            name: "_start",
+            name: "_start".into(),
             addr: start_addr,
             size: start_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "main",
+            name: "main".into(),
             addr: main_addr,
             size: main_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "init_arrays",
+            name: "init_arrays".into(),
             addr: init_addr,
             size: init_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "matmul",
+            name: "matmul".into(),
             addr: mm_addr,
             size: mm_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "ts0",
+            name: "ts0".into(),
             addr: ts0,
             size: 16,
             kind: SymbolKind::Object,
         },
         Sym {
-            name: "ts1",
+            name: "ts1".into(),
             addr: ts1,
             size: 16,
             kind: SymbolKind::Object,
         },
         Sym {
-            name: "result",
+            name: "result".into(),
             addr: result,
             size: 8,
             kind: SymbolKind::Object,
         },
         Sym {
-            name: "mat_a",
+            name: "mat_a".into(),
             addr: addr_a,
             size: elems as u64,
             kind: SymbolKind::Object,
         },
         Sym {
-            name: "mat_b",
+            name: "mat_b".into(),
             addr: addr_b,
             size: elems as u64,
             kind: SymbolKind::Object,
         },
         Sym {
-            name: "mat_c",
+            name: "mat_c".into(),
             addr: addr_c,
             size: elems as u64,
             kind: SymbolKind::Object,
@@ -495,25 +495,25 @@ pub fn fib_program(n: u64) -> Binary {
 
     let syms = vec![
         Sym {
-            name: "_start",
+            name: "_start".into(),
             addr: start_addr,
             size: start_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "main",
+            name: "main".into(),
             addr: main_addr,
             size: main_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "fib",
+            name: "fib".into(),
             addr: fib_addr,
             size: fib_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "result",
+            name: "result".into(),
             addr: result,
             size: 8,
             kind: SymbolKind::Object,
@@ -608,31 +608,31 @@ pub fn switch_program(iters: u64) -> Binary {
 
     let syms = vec![
         Sym {
-            name: "_start",
+            name: "_start".into(),
             addr: start_addr,
             size: start_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "main",
+            name: "main".into(),
             addr: main_addr,
             size: main_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "selector",
+            name: "selector".into(),
             addr: sel_addr,
             size: sel_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "jump_table",
+            name: "jump_table".into(),
             addr: table,
             size: 32,
             kind: SymbolKind::Object,
         },
         Sym {
-            name: "result",
+            name: "result".into(),
             addr: result,
             size: 8,
             kind: SymbolKind::Object,
@@ -709,31 +709,31 @@ pub fn indirect_entry_program(iters: u64) -> Binary {
 
     let syms = vec![
         Sym {
-            name: "_start",
+            name: "_start".into(),
             addr: start_addr,
             size: start_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "main",
+            name: "main".into(),
             addr: main_addr,
             size: main_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "spin",
+            name: "spin".into(),
             addr: spin_addr,
             size: spin_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "jump_table",
+            name: "jump_table".into(),
             addr: table,
             size: 16,
             kind: SymbolKind::Object,
         },
         Sym {
-            name: "result",
+            name: "result".into(),
             addr: result,
             size: 8,
             kind: SymbolKind::Object,
@@ -803,31 +803,31 @@ pub fn tiny_function_program(iters: u64) -> Binary {
 
     let syms = vec![
         Sym {
-            name: "_start",
+            name: "_start".into(),
             addr: start_addr,
             size: start_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "main",
+            name: "main".into(),
             addr: main_addr,
             size: main_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "tiny",
+            name: "tiny".into(),
             addr: tiny_addr,
             size: tiny_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "bump",
+            name: "bump".into(),
             addr: bump_addr,
             size: bump_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "result",
+            name: "result".into(),
             addr: result,
             size: 8,
             kind: SymbolKind::Object,
@@ -881,31 +881,31 @@ pub fn tailcall_program() -> Binary {
 
     let syms = vec![
         Sym {
-            name: "_start",
+            name: "_start".into(),
             addr: start_addr,
             size: start_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "main",
+            name: "main".into(),
             addr: main_addr,
             size: main_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "twice_plus1",
+            name: "twice_plus1".into(),
             addr: f_addr,
             size: f_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "double_it",
+            name: "double_it".into(),
             addr: g_addr,
             size: g_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "result",
+            name: "result".into(),
             addr: result,
             size: 8,
             kind: SymbolKind::Object,
@@ -984,31 +984,31 @@ pub fn memcpy_program() -> Binary {
 
     let syms = vec![
         Sym {
-            name: "_start",
+            name: "_start".into(),
             addr: start_addr,
             size: start_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "main",
+            name: "main".into(),
             addr: main_addr,
             size: main_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "copy",
+            name: "copy".into(),
             addr: copy_addr,
             size: copy_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "message",
+            name: "message".into(),
             addr: src,
             size: msg.len() as u64,
             kind: SymbolKind::Object,
         },
         Sym {
-            name: "result",
+            name: "result".into(),
             addr: result,
             size: 8,
             kind: SymbolKind::Object,
@@ -1071,19 +1071,19 @@ pub fn deep_call_program(depth: u64) -> Binary {
 
     let syms = vec![
         Sym {
-            name: "_start",
+            name: "_start".into(),
             addr: start_addr,
             size: start_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "main",
+            name: "main".into(),
             addr: main_addr,
             size: main_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "descend",
+            name: "descend".into(),
             addr: desc_addr,
             size: desc_size,
             kind: SymbolKind::Function,
@@ -1163,19 +1163,19 @@ pub fn atomics_program(iters: u64) -> Binary {
 
     let syms = vec![
         Sym {
-            name: "_start",
+            name: "_start".into(),
             addr: start_addr,
             size: start_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "main",
+            name: "main".into(),
             addr: main_addr,
             size: main_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "result",
+            name: "result".into(),
             addr: result,
             size: 32,
             kind: SymbolKind::Object,
@@ -1269,31 +1269,31 @@ pub fn switch_rel_program(iters: u64) -> Binary {
 
     let syms = vec![
         Sym {
-            name: "_start",
+            name: "_start".into(),
             addr: start_addr,
             size: start_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "main",
+            name: "main".into(),
             addr: main_addr,
             size: main_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "selector",
+            name: "selector".into(),
             addr: sel_addr,
             size: sel_size,
             kind: SymbolKind::Function,
         },
         Sym {
-            name: "jump_table",
+            name: "jump_table".into(),
             addr: table,
             size: 16,
             kind: SymbolKind::Object,
         },
         Sym {
-            name: "result",
+            name: "result".into(),
             addr: result,
             size: 8,
             kind: SymbolKind::Object,
@@ -1301,6 +1301,148 @@ pub fn switch_rel_program(iters: u64) -> Binary {
     ];
     finish_binary(a, layout, syms, rodata, vec![0; 8], 0, IsaProfile::rv64gc())
         .expect("relative switch program assembles")
+}
+
+/// The parallel-rewrite stress mutatee: `n` small call-connected
+/// functions plus a jump-table selector.
+///
+/// `main` first exercises `selector` (a bounds-checked absolute jump
+/// table, the §3.2.3 resolvable-dispatch idiom) with indices 0, 1 and an
+/// out-of-range 5, then calls `f_0`; each `f_i` runs a 4-iteration
+/// counted loop that bumps `a0` and tail of the body calls `f_{i+1}`, so
+/// instrumenting the binary means planning `n + 3` functions — enough
+/// work to keep a worker pool busy. The accumulated value
+/// `30 + 4 * n` lands at `result`; `main` returns 0.
+pub fn many_functions_program(n: usize) -> Binary {
+    assert!(n >= 1, "need at least one chained function");
+    let layout = Layout::default();
+    let result = layout.data;
+    let table = layout.rodata;
+    let mut a = Assembler::new(layout.text);
+    let l_main = a.label();
+    let l_sel = a.label();
+    let l_f: Vec<_> = (0..n).map(|_| a.label()).collect();
+
+    let start_addr = a.here();
+    emit_start(&mut a, l_main);
+    let start_size = a.here() - start_addr;
+
+    // main: sum the selector cases into s0, then feed it down the chain.
+    a.bind(l_main);
+    let main_addr = a.here();
+    a.addi(SP, SP, -32);
+    a.sd(RA, SP, 24);
+    a.sd(S0, SP, 16);
+    a.li(S0, 0);
+    for idx in [0i64, 1, 5] {
+        a.li(A0, idx);
+        a.call(l_sel);
+        a.add(S0, S0, A0);
+    }
+    a.mv(A0, S0);
+    a.call(l_f[0]);
+    a.li(T0, result as i64);
+    a.sd(A0, T0, 0);
+    a.mv(A0, Reg::X0);
+    a.ld(RA, SP, 24);
+    a.ld(S0, SP, 16);
+    a.addi(SP, SP, 32);
+    a.ret();
+    let main_size = a.here() - main_addr;
+
+    // selector(a0): the jump-table dispatch (as in `switch_program`).
+    a.bind(l_sel);
+    let sel_addr = a.here();
+    let l_default = a.label();
+    a.li(T0, 4);
+    a.bgeu(A0, T0, l_default);
+    a.slli(T1, A0, 3);
+    a.li(T2, table as i64);
+    a.add(T2, T2, T1);
+    a.ld(T2, T2, 0);
+    a.jalr(Reg::X0, T2, 0);
+    let l_case = [a.label(), a.label(), a.label(), a.label()];
+    for (i, l) in l_case.iter().enumerate() {
+        a.bind(*l);
+        a.li(A0, (i as i64 + 1) * 10);
+        a.ret();
+    }
+    a.bind(l_default);
+    a.li(A0, 0);
+    a.ret();
+    let sel_size = a.here() - sel_addr;
+
+    // f_i(a0): a counted loop bumping a0, then call f_{i+1}.
+    let mut f_syms = Vec::with_capacity(n);
+    for i in 0..n {
+        a.bind(l_f[i]);
+        let f_addr = a.here();
+        a.addi(SP, SP, -16);
+        a.sd(RA, SP, 8);
+        a.li(T0, 0);
+        a.li(T1, 4);
+        let l_loop = a.here_label();
+        let l_done = a.label();
+        a.bge(T0, T1, l_done);
+        a.addi(A0, A0, 1);
+        a.addi(T0, T0, 1);
+        a.jump(l_loop);
+        a.bind(l_done);
+        if i + 1 < n {
+            a.call(l_f[i + 1]);
+        }
+        a.ld(RA, SP, 8);
+        a.addi(SP, SP, 16);
+        a.ret();
+        f_syms.push(Sym {
+            name: format!("f_{i}"),
+            addr: f_addr,
+            size: a.here() - f_addr,
+            kind: SymbolKind::Function,
+        });
+    }
+
+    // The jump table: absolute 8-byte code addresses.
+    let mut rodata = Vec::with_capacity(32);
+    for l in l_case {
+        rodata.extend_from_slice(&a.label_addr(l).unwrap().to_le_bytes());
+    }
+
+    let mut syms = vec![
+        Sym {
+            name: "_start".into(),
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main".into(),
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "selector".into(),
+            addr: sel_addr,
+            size: sel_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "jump_table".into(),
+            addr: table,
+            size: 32,
+            kind: SymbolKind::Object,
+        },
+        Sym {
+            name: "result".into(),
+            addr: result,
+            size: 8,
+            kind: SymbolKind::Object,
+        },
+    ];
+    syms.extend(f_syms);
+    finish_binary(a, layout, syms, rodata, vec![0; 8], 0, IsaProfile::rv64gc())
+        .expect("many-functions program assembles")
 }
 
 #[cfg(test)]
@@ -1353,11 +1495,22 @@ mod tests {
             tailcall_program(),
             memcpy_program(),
             deep_call_program(10),
+            many_functions_program(8),
         ] {
             assert!(decodes_cleanly(&bin) > 5);
             let bytes = bin.to_bytes().unwrap();
             Binary::parse(&bytes).unwrap();
         }
+    }
+
+    #[test]
+    fn many_functions_has_one_symbol_per_chained_function() {
+        let bin = many_functions_program(16);
+        for i in 0..16 {
+            let s = bin.symbol_by_name(&format!("f_{i}")).unwrap();
+            assert!(s.size > 0, "f_{i} has an extent");
+        }
+        assert!(bin.symbol_by_name("selector").is_some());
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct Diagnostics {
     /// Counters the optimal placement avoided versus one-per-block
     /// (0 under `CounterPlacement::EveryBlock` or after a fallback).
     pub counters_elided: u64,
+    /// Worker threads the instrumenter's parallel plan phase used for
+    /// the most recent apply (1 = inline, no pool was spun up).
+    pub instrument_workers: usize,
+    /// Position-independent function plans the plan phase built (one per
+    /// instrumented function; the layout phase consumed all of them).
+    pub plans_built: usize,
 
     // -- fault injection --
     /// Debug-interface faults injected by an armed `FaultPlan` (0 in
@@ -114,6 +120,8 @@ impl Diagnostics {
         self.springboards = r.springboards;
         self.clobbers_audited = r.clobbers_audited;
         self.redirects_registered = r.redirects_registered;
+        self.instrument_workers = r.instrument_workers;
+        self.plans_built = r.plans_built;
     }
 
     /// Fill the run-stage counters from the mutatee's final machine state.
@@ -138,6 +146,7 @@ impl Diagnostics {
                 "\"spills\":{},\"patch_regions_written\":{},",
                 "\"clobbers_audited\":{},\"redirects_registered\":{},",
                 "\"counters_placed\":{},\"counters_elided\":{},",
+                "\"instrument_workers\":{},\"plans_built\":{},",
                 "\"springboards\":{{\"compressed_jump\":{},\"jal\":{},",
                 "\"auipc_jalr\":{},\"trap\":{}}}}},",
                 "\"run\":{{\"instret\":{},\"cycles\":{},",
@@ -160,6 +169,8 @@ impl Diagnostics {
             self.redirects_registered,
             self.counters_placed,
             self.counters_elided,
+            self.instrument_workers,
+            self.plans_built,
             self.springboards.compressed_jump,
             self.springboards.jal,
             self.springboards.auipc_jalr,
@@ -201,6 +212,13 @@ impl fmt::Display for Diagnostics {
             "instrument: {} points ({} dead-register, {} spilled registers)",
             self.points_instrumented, self.dead_register_points, self.spills
         )?;
+        if self.instrument_workers > 1 {
+            writeln!(
+                f,
+                "            {} plans built on {} workers",
+                self.plans_built, self.instrument_workers
+            )?;
+        }
         writeln!(
             f,
             "springboards: {} c.j, {} jal, {} auipc+jalr, {} trap",
@@ -343,6 +361,8 @@ mod tests {
             redirects_registered: 5,
             counters_placed: 4,
             counters_elided: 7,
+            instrument_workers: 4,
+            plans_built: 9,
             faults_injected: 2,
             instret: 123_456,
             cycles: 234_567,
@@ -374,6 +394,8 @@ mod tests {
             "\"redirects_registered\":5",
             "\"counters_placed\":4",
             "\"counters_elided\":7",
+            "\"instrument_workers\":4",
+            "\"plans_built\":9",
             "\"springboards\":{",
             "\"compressed_jump\":",
             "\"jal\":",

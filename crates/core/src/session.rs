@@ -12,7 +12,9 @@
 //!
 //! Configuration happens up front through the [`SessionOptions`] builder:
 //! patch layout, register-allocation mode, parse options, the
-//! conservative-relocation policy, the telemetry sink, and — for the
+//! conservative-relocation policy, the telemetry sink, the worker-thread
+//! count for the parallel pipeline stages ([`SessionOptions::threads`] —
+//! output bytes are bit-identical for every value), and — for the
 //! dynamic path — the debug-interface fault plan
 //! ([`SessionOptions::fault_plan`]).
 //!
@@ -61,11 +63,12 @@ pub struct SessionOptions {
     pub(crate) sink: Option<SharedSink>,
     pub(crate) fault_plan: Option<FaultPlan>,
     pub(crate) placement: CounterPlacement,
+    pub(crate) threads: usize,
 }
 
 impl Default for SessionOptions {
     fn default() -> SessionOptions {
-        SessionOptions {
+        let opts = SessionOptions {
             layout: PatchLayout::default(),
             mode: RegAllocMode::DeadRegisters,
             parse: ParseOptions::default(),
@@ -73,6 +76,19 @@ impl Default for SessionOptions {
             sink: None,
             fault_plan: None,
             placement: CounterPlacement::EveryBlock,
+            threads: 1,
+        };
+        // `RVDYN_THREADS` sets the default worker count for sessions that
+        // don't call [`SessionOptions::threads`] — how CI runs the whole
+        // test suite through the worker pool (output is bit-identical
+        // either way, so this is safe to flip fleet-wide). An explicit
+        // `.threads(n)` still wins.
+        match std::env::var("RVDYN_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(t) if t >= 1 => opts.threads(t),
+            _ => opts,
         }
     }
 }
@@ -131,6 +147,19 @@ impl SessionOptions {
         self
     }
 
+    /// Fan both parallelisable pipeline stages — CFG parsing and the
+    /// instrumenter's plan phase — out over `threads` workers (default
+    /// 1: everything inline). The patch-area layout stays sequential and
+    /// ordered by entry address, so the rewritten bytes are bit-identical
+    /// for every thread count; only wall-clock time changes. A thread
+    /// count already set explicitly via
+    /// [`SessionOptions::parse_options`] is kept if higher.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.parse.threads = self.parse.threads.max(self.threads);
+        self
+    }
+
     /// Select the counter-placement strategy used by
     /// [`Session::count_blocks`]. Defaults to
     /// [`CounterPlacement::EveryBlock`];
@@ -158,6 +187,7 @@ pub struct Session {
     tele: Telemetry,
     fault_plan: Option<FaultPlan>,
     placement: CounterPlacement,
+    threads: usize,
 }
 
 /// Handle to one per-function basic-block counting request, returned by
@@ -242,6 +272,7 @@ impl Session {
             tele,
             fault_plan: opts.fault_plan,
             placement: opts.placement,
+            threads: opts.threads,
         }
     }
 
@@ -448,7 +479,8 @@ impl Session {
         let timer = self.tele.begin(TimedStage::Instrument);
         let mut ins = Instrumenter::new(&self.binary, &self.code)
             .with_layout(self.layout)
-            .with_mode(self.mode);
+            .with_mode(self.mode)
+            .with_threads(self.threads);
         // Pre-advance the instrumenter's variable cursor to keep its own
         // allocations (if any) clear of ours.
         for _ in 0..(self.var_bytes / 8) {
@@ -555,6 +587,7 @@ fn adapt_patch(ev: PatchEvent) -> TelemetryEvent {
             spills,
             dead_scratch,
         },
+        PatchEvent::PlanBuilt { entry, points } => TelemetryEvent::PlanBuilt { entry, points },
         PatchEvent::FunctionRelocated { entry, bytes } => {
             TelemetryEvent::FunctionRelocated { entry, bytes }
         }

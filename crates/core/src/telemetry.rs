@@ -195,6 +195,11 @@ pub enum TelemetryEvent {
     },
     /// A point's lowering had to spill `count` registers (§4.3 slow path).
     SpillTaken { addr: u64, count: usize },
+    /// The parallel plan phase finished one function's
+    /// position-independent plan (`points` snippets lowered into a
+    /// symbolic relocation). Events are replayed in entry-address order,
+    /// so the stream is identical for every worker count.
+    PlanBuilt { entry: u64, points: usize },
     /// A function was relocated into the patch area.
     FunctionRelocated { entry: u64, bytes: usize },
     /// A springboard was planted over original code at `addr`.
@@ -260,6 +265,9 @@ impl fmt::Display for TelemetryEvent {
             ),
             SpillTaken { addr, count } => {
                 write!(f, "spill at {addr:#x}: {count} registers")
+            }
+            PlanBuilt { entry, points } => {
+                write!(f, "plan built for {entry:#x} ({points} points)")
             }
             FunctionRelocated { entry, bytes } => {
                 write!(f, "relocated function {entry:#x} ({bytes} bytes)")
@@ -471,6 +479,10 @@ mod tests {
                 func: 0x1_0000,
                 blocks: 11,
                 sites: 4,
+            },
+            TelemetryEvent::PlanBuilt {
+                entry: 0x1_0000,
+                points: 3,
             },
             TelemetryEvent::RunExit { reason: "exited" },
         ];

@@ -21,8 +21,9 @@
 //!   executable gaps are then scanned for function prologues and parsed
 //!   speculatively — the stripped-binary path.
 //! * **Parallel parsing** ([`parallel`]): independent functions are parsed
-//!   concurrently (crossbeam), the "fast parallel algorithm" §2 credits
-//!   for gigabyte-scale binaries.
+//!   concurrently over a shared batch [`worklist`], the "fast parallel
+//!   algorithm" §2 credits for gigabyte-scale binaries. The same worklist
+//!   drives the instrumenter's parallel plan phase in `rvdyn-patch`.
 
 pub mod block;
 pub mod classify;
@@ -33,6 +34,7 @@ pub mod loops;
 pub mod parallel;
 pub mod parser;
 pub mod source;
+pub mod worklist;
 
 pub use block::{BasicBlock, Edge, EdgeKind};
 pub use classify::BranchPurpose;

@@ -10,14 +10,9 @@
 use crate::function::Function;
 use crate::parser::{parse_function, CodeObject, ParseOptions};
 use crate::source::CodeSource;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::{Condvar, Mutex, RwLock};
-
-struct WorkState {
-    queue: VecDeque<u64>,
-    in_flight: usize,
-    claimed: BTreeSet<u64>,
-}
+use crate::worklist::Worklist;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, RwLock};
 
 /// Parse starting from `seed` entries using `opts.threads` workers.
 pub fn parse_parallel<S: CodeSource + ?Sized>(
@@ -26,45 +21,21 @@ pub fn parse_parallel<S: CodeSource + ?Sized>(
     opts: &ParseOptions,
 ) -> CodeObject {
     let known: RwLock<BTreeSet<u64>> = RwLock::new(seed.clone());
-    let state = Mutex::new(WorkState {
-        queue: seed.iter().copied().collect(),
-        in_flight: 0,
-        claimed: seed.clone(),
-    });
-    let cv = Condvar::new();
+    let nworkers = opts.threads.max(1);
+    // The batch-claiming discipline lives in [`Worklist`]; parsing adds
+    // dynamic discovery on top (a batch's callees are pushed back, and
+    // the shared known-set lets tail-call classification see other
+    // workers' discoveries).
+    let wl = Worklist::new(seed.iter().copied(), nworkers);
     let results: Mutex<BTreeMap<u64, Function>> = Mutex::new(BTreeMap::new());
 
-    // Workers pull work in batches to amortise synchronisation: with a
-    // large binary the queue holds thousands of small functions, and
-    // per-function locking would dominate (the first version of this code
-    // did exactly that and was *slower* than sequential). The batch size
-    // adapts so the queue is shared across workers — grabbing everything
-    // would serialise discovery-limited call graphs.
-    const BATCH: usize = 16;
-    let nworkers = opts.threads.max(1);
     std::thread::scope(|scope| {
-        for _ in 0..opts.threads.max(1) {
+        for _ in 0..nworkers {
             scope.spawn(|| {
                 let mut local: Vec<(u64, Function)> = Vec::new();
                 loop {
-                    // Grab a batch of entries (or wait).
-                    let batch: Vec<u64> = {
-                        let mut st = state.lock().unwrap();
-                        loop {
-                            if !st.queue.is_empty() {
-                                let fair = st.queue.len().div_ceil(nworkers);
-                                let n = fair.clamp(1, BATCH);
-                                st.in_flight += n;
-                                break st.queue.drain(..n).collect();
-                            }
-                            if st.in_flight == 0 {
-                                break Vec::new();
-                            }
-                            st = cv.wait(st).unwrap();
-                        }
-                    };
+                    let batch = wl.next_batch();
                     if batch.is_empty() {
-                        cv.notify_all();
                         break;
                     }
 
@@ -83,16 +54,7 @@ pub fn parse_parallel<S: CodeSource + ?Sized>(
                             k.insert(c);
                         }
                     }
-                    {
-                        let mut st = state.lock().unwrap();
-                        for c in new_callees {
-                            if st.claimed.insert(c) {
-                                st.queue.push_back(c);
-                            }
-                        }
-                        st.in_flight -= batch.len();
-                    }
-                    cv.notify_all();
+                    wl.complete(batch.len(), new_callees);
                 }
                 if !local.is_empty() {
                     results.lock().unwrap().extend(local);

@@ -5,18 +5,45 @@
 //! native code, optimize the code when possible, generate new versions of
 //! the blocks or functions that have been modified, and patch a branch
 //! into the original code to jump to the modified code."
+//!
+//! ## Parallel plan phase, sequential layout phase
+//!
+//! The pass is split so it scales with cores *without changing a single
+//! output byte* (the parse stage's §2 "fast parallel algorithm", applied
+//! to the back half of the pipeline):
+//!
+//! 1. **Plan** (parallel, [`Instrumenter::with_threads`]): each
+//!    instrumented function's liveness analysis, snippet lowering, and
+//!    relocation planning runs independently on a worker pool (the batch
+//!    worklist shared with the parallel parser), producing one
+//!    position-independent `FunctionPlan` per function — a
+//!    [`RelocationPlan`] whose branch/jump targets are still symbolic.
+//! 2. **Layout** (sequential, single-threaded): patch-area bases are
+//!    assigned in stable entry-address order, each plan is re-relaxed at
+//!    its final base to a whole-area fixpoint, symbolic targets are
+//!    resolved into bytes, and springboards are planted and audited.
+//!
+//! Every output-bearing decision happens in the layout phase from
+//! position-independent inputs, so the rewritten bytes are bit-identical
+//! for any worker count; worker failures are surfaced lowest-address
+//! first so even the error is deterministic. Observer events gathered in
+//! the plan phase are replayed in entry-address order for the same
+//! reason.
 
 use crate::points::{Point, PointKind};
-use crate::relocate::{relocate_function, Insertions, RelocateError};
+use crate::relocate::{Insertions, RelocationPlan};
 use crate::springboard::{plan_springboard, SpringboardKind, SpringboardStats};
 use rvdyn_codegen::emitter::{generate_with_stats, CodeGenError};
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
 use rvdyn_dataflow::Liveness;
+use rvdyn_isa::{IsaProfile, RegSet};
+use rvdyn_parse::worklist::Worklist;
 use rvdyn_parse::{CodeObject, EdgeKind, Function};
 use rvdyn_symtab::{Binary, Section, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Observable milestones of one instrumentation pass, for a
@@ -29,6 +56,11 @@ pub enum PatchEvent {
         spills: usize,
         dead_scratch: usize,
     },
+    /// One function's position-independent plan (lowered snippets +
+    /// symbolic relocation) is complete; the layout phase takes it from
+    /// here. Replayed in entry-address order regardless of which worker
+    /// built the plan.
+    PlanBuilt { entry: u64, points: usize },
     /// One function was relocated into the patch area.
     FunctionRelocated { entry: u64, bytes: usize },
     /// A springboard was planted over original code.
@@ -66,7 +98,7 @@ pub enum InstrumentError {
     /// Snippet lowering failed.
     CodeGen(CodeGenError),
     /// Function relocation failed.
-    Relocate(RelocateError),
+    Relocate(crate::relocate::RelocateError),
     /// A springboard address fell outside every code section.
     SpringboardOutsideCode { addr: u64 },
     /// The springboard planted at `pc` overwrites original instructions
@@ -111,8 +143,8 @@ impl From<CodeGenError> for InstrumentError {
     }
 }
 
-impl From<RelocateError> for InstrumentError {
-    fn from(e: RelocateError) -> Self {
+impl From<crate::relocate::RelocateError> for InstrumentError {
+    fn from(e: crate::relocate::RelocateError) -> Self {
         InstrumentError::Relocate(e)
     }
 }
@@ -253,8 +285,10 @@ pub struct PatchResult {
     pub points_instrumented: usize,
     /// Diagnostics: histogram of springboard strategies planted (§3.1.2).
     pub springboards: SpringboardStats,
-    /// Wall-clock nanoseconds spent inside function relocation (a
-    /// sub-phase of the apply pass, reported separately for telemetry).
+    /// Wall-clock nanoseconds spent inside relocation planning and
+    /// emission (a sub-phase of the apply pass, reported separately for
+    /// telemetry). Under a worker pool this is the *sum* of per-worker
+    /// time — CPU time, not wall time.
     pub relocate_ns: u64,
     /// Soundness audit: distinct original instruction addresses the
     /// clobber audit examined under planted springboards.
@@ -262,6 +296,11 @@ pub struct PatchResult {
     /// Soundness audit: distinct `(original, relocated)` redirects
     /// registered in [`PatchResult::trap_table`] to cover them.
     pub redirects_registered: usize,
+    /// Position-independent function plans built by the plan phase (one
+    /// per instrumented function).
+    pub plans_built: usize,
+    /// Worker threads the plan phase actually used (1 = inline, no pool).
+    pub instrument_workers: usize,
     /// Raw (address, bytes) writes for dynamic instrumentation.
     writes: Vec<(u64, Vec<u8>)>,
     /// The original bytes each springboard overwrote, for removal.
@@ -297,12 +336,37 @@ struct FuncInsertions {
     not_taken: BTreeMap<u64, Vec<Snippet>>,
 }
 
+/// One function's plan-phase output: lowered snippets spliced into a
+/// position-independent [`RelocationPlan`], plus everything the
+/// sequential layout phase needs to finish the function without
+/// re-running analysis (liveness does not survive the plan phase).
+struct FunctionPlan {
+    entry: u64,
+    reloc: RelocationPlan,
+    /// Lowering milestones, replayed to the observer in entry-address
+    /// order by the layout phase (deterministic event stream).
+    events: Vec<PatchEvent>,
+    spills: usize,
+    dead_points: usize,
+    points: usize,
+    /// Wall-clock ns spent building + pre-relaxing the relocation.
+    plan_ns: u64,
+    /// Dead registers before the function entry (springboard scratch).
+    dead_entry: RegSet,
+    /// `(target, dead-before-target)` for every indirect-jump edge whose
+    /// target is a block of this function (jump-table re-entry sites).
+    indirect: Vec<(u64, RegSet)>,
+    /// Patch-area base, assigned by the layout phase.
+    base: u64,
+}
+
 /// Builder for an instrumentation pass over one binary.
 pub struct Instrumenter<'b> {
     binary: &'b Binary,
     co: &'b CodeObject,
     layout: PatchLayout,
     mode: RegAllocMode,
+    threads: usize,
     insertions: BTreeMap<u64, FuncInsertions>,
     var_cursor: u64,
 }
@@ -314,6 +378,7 @@ impl<'b> Instrumenter<'b> {
             co,
             layout: PatchLayout::default(),
             mode: RegAllocMode::DeadRegisters,
+            threads: 1,
             insertions: BTreeMap::new(),
             var_cursor: 0,
         }
@@ -329,6 +394,15 @@ impl<'b> Instrumenter<'b> {
     /// [`RegAllocMode::ForceSpill`]).
     pub fn with_mode(mut self, mode: RegAllocMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Fan the plan phase out over `threads` workers (1 = run inline on
+    /// the calling thread). Output bytes are identical for every value:
+    /// only the plan phase parallelises, and the layout phase orders its
+    /// results by entry address.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -360,6 +434,144 @@ impl<'b> Instrumenter<'b> {
         }
     }
 
+    /// Build one function's position-independent plan: liveness, snippet
+    /// lowering, relocation planning, and the dead-register sets the
+    /// layout phase will need. Runs on a worker (or inline) — must not
+    /// touch anything whose result depends on other functions.
+    fn build_plan(
+        &self,
+        fe: u64,
+        fi: &FuncInsertions,
+        profile: IsaProfile,
+    ) -> Result<FunctionPlan, InstrumentError> {
+        let f = self
+            .co
+            .functions
+            .get(&fe)
+            .ok_or(InstrumentError::UnknownFunction(fe))?;
+        let lv = Liveness::analyze(f);
+
+        // Lower each point's snippets with its dead-register pool.
+        // Edge snippets use the dead set before the branch, which is a
+        // safe under-approximation of the edge's own dead set.
+        let mut events = Vec::new();
+        let mut lowered = Insertions::default();
+        let mut spills = 0usize;
+        let mut dead_points = 0usize;
+        let mut points = 0usize;
+        for (src_map, dst) in [
+            (&fi.before, &mut lowered.before),
+            (&fi.taken, &mut lowered.taken_edge),
+            (&fi.not_taken, &mut lowered.not_taken_edge),
+        ] {
+            for (&addr, snippets) in src_map {
+                let dead = lv.dead_before(f, addr);
+                let seq = Snippet::Seq(snippets.clone());
+                let (code, stats) = generate_with_stats(&seq, dead, self.mode, profile)?;
+                spills += stats.spills;
+                points += 1;
+                if stats.spills == 0 {
+                    dead_points += 1;
+                }
+                events.push(PatchEvent::PointLowered {
+                    addr,
+                    spills: stats.spills,
+                    dead_scratch: stats.dead_scratch,
+                });
+                dst.insert(addr, code);
+            }
+        }
+
+        // Build the symbolic relocation and pre-relax it at the patch
+        // area's base — the best position-independent size estimate, and
+        // the one the first laid-out function gets exactly.
+        let reloc_start = Instant::now();
+        let mut reloc = RelocationPlan::build(f, &lowered)?;
+        reloc.relax_at(self.layout.patch_text);
+        let plan_ns = (reloc_start.elapsed().as_nanos() as u64).max(1);
+
+        // Springboard scratch sets, captured while liveness is in scope.
+        let dead_entry = lv.dead_before(f, fe);
+        let mut indirect: Vec<(u64, RegSet)> = Vec::new();
+        for b in f.blocks.values() {
+            for e in &b.edges {
+                if e.kind == EdgeKind::IndirectJump {
+                    if let Some(t) = e.target {
+                        if f.blocks.contains_key(&t) {
+                            indirect.push((t, lv.dead_before(f, t)));
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(FunctionPlan {
+            entry: fe,
+            reloc,
+            events,
+            spills,
+            dead_points,
+            points,
+            plan_ns,
+            dead_entry,
+            indirect,
+            base: 0,
+        })
+    }
+
+    /// Plan phase: build every function's plan, fanned out over the
+    /// worker pool when `threads > 1`. Errors surface lowest-address
+    /// first regardless of which worker hit one first.
+    fn build_plans(
+        &self,
+        nworkers: usize,
+        profile: IsaProfile,
+    ) -> Result<BTreeMap<u64, FunctionPlan>, InstrumentError> {
+        if nworkers <= 1 {
+            let mut plans = BTreeMap::new();
+            for (&fe, fi) in &self.insertions {
+                plans.insert(fe, self.build_plan(fe, fi, profile)?);
+            }
+            return Ok(plans);
+        }
+
+        let wl = Worklist::new(self.insertions.keys().copied(), nworkers);
+        let results: Mutex<Vec<(u64, Result<FunctionPlan, InstrumentError>)>> =
+            Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..nworkers {
+                scope.spawn(|| {
+                    let mut local: Vec<(u64, Result<FunctionPlan, InstrumentError>)> = Vec::new();
+                    loop {
+                        let batch = wl.next_batch();
+                        if batch.is_empty() {
+                            break;
+                        }
+                        for &fe in &batch {
+                            let fi = &self.insertions[&fe];
+                            local.push((fe, self.build_plan(fe, fi, profile)));
+                        }
+                        wl.complete(batch.len(), std::iter::empty());
+                    }
+                    if !local.is_empty() {
+                        results.lock().unwrap().extend(local);
+                    }
+                });
+            }
+        });
+
+        // Deterministic error propagation: order worker results by entry
+        // address, then surface the first failure — always the
+        // lowest-addressed one, matching the sequential path.
+        let by_addr: BTreeMap<u64, Result<FunctionPlan, InstrumentError>> =
+            results.into_inner().unwrap().into_iter().collect();
+        let mut plans = BTreeMap::new();
+        for (fe, r) in by_addr {
+            plans.insert(fe, r?);
+        }
+        Ok(plans)
+    }
+
     /// Generate code, relocate the instrumented functions, plant
     /// springboards, and produce the rewritten binary.
     pub fn apply(&self) -> Result<PatchResult, InstrumentError> {
@@ -367,12 +579,39 @@ impl<'b> Instrumenter<'b> {
     }
 
     /// As [`Instrumenter::apply`], reporting pass milestones (point
-    /// lowering, relocation, springboard planting) to `observer`.
+    /// lowering, plan completion, relocation, springboard planting) to
+    /// `observer`.
     pub fn apply_with_observer(
         &self,
         observer: &mut dyn FnMut(PatchEvent),
     ) -> Result<PatchResult, InstrumentError> {
         let profile = self.binary.profile();
+
+        // ---- plan phase (parallel): everything per-function and
+        // position-independent. ----
+        let nworkers = self.threads.max(1).min(self.insertions.len().max(1));
+        let mut plans = self.build_plans(nworkers, profile)?;
+
+        // ---- layout phase (sequential, deterministic from here on) ----
+        // Assign patch-area bases in entry-address order, re-relaxing
+        // each plan at its final base until the whole-area assignment is
+        // a fixpoint: a function that widens shifts everything after it,
+        // and slot sizes are monotone, so the loop terminates.
+        let layout_start = Instant::now();
+        loop {
+            let mut cursor = self.layout.patch_text;
+            let mut changed = false;
+            for plan in plans.values_mut() {
+                plan.base = cursor;
+                changed |= plan.reloc.relax_at(cursor);
+                cursor += (plan.reloc.code_size() + 7) & !7;
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut relocate_ns = (layout_start.elapsed().as_nanos() as u64).max(1);
+
         let mut out = self.binary.clone();
         let mut patch_code: Vec<u8> = Vec::new();
         let mut trap_table: Vec<(u64, u64)> = Vec::new();
@@ -383,52 +622,38 @@ impl<'b> Instrumenter<'b> {
         let mut undo: Vec<(u64, Vec<u8>)> = Vec::new();
         let mut springs: Vec<(u64, crate::springboard::Springboard)> = Vec::new();
         let mut reloc_index = RelocationIndex::default();
-        let mut relocate_ns = 0u64;
         // Clobber audit state: every original instruction address a
         // springboard tears, and the redirect registered to cover it.
         let mut audited: BTreeSet<u64> = BTreeSet::new();
         let mut redirects: BTreeSet<(u64, u64)> = BTreeSet::new();
 
-        for (&fe, fi) in &self.insertions {
-            let f = self
-                .co
-                .functions
-                .get(&fe)
-                .ok_or(InstrumentError::UnknownFunction(fe))?;
-            let lv = Liveness::analyze(f);
+        for plan in plans.values() {
+            let fe = plan.entry;
+            // build_plan proved the function exists.
+            let f = &self.co.functions[&fe];
 
-            // Lower each point's snippets with its dead-register pool.
-            // Edge snippets use the dead set before the branch, which is a
-            // safe under-approximation of the edge's own dead set.
-            let mut lowered = Insertions::default();
-            for (src_map, dst) in [
-                (&fi.before, &mut lowered.before),
-                (&fi.taken, &mut lowered.taken_edge),
-                (&fi.not_taken, &mut lowered.not_taken_edge),
-            ] {
-                for (&addr, snippets) in src_map {
-                    let dead = lv.dead_before(f, addr);
-                    let seq = Snippet::Seq(snippets.clone());
-                    let (code, stats) = generate_with_stats(&seq, dead, self.mode, profile)?;
-                    spill_count += stats.spills;
-                    points_instrumented += 1;
-                    if stats.spills == 0 {
-                        dead_register_points += 1;
-                    }
-                    observer(PatchEvent::PointLowered {
-                        addr,
-                        spills: stats.spills,
-                        dead_scratch: stats.dead_scratch,
-                    });
-                    dst.insert(addr, code);
-                }
+            // Replay the plan's lowering milestones in address order.
+            for ev in &plan.events {
+                observer(ev.clone());
             }
+            spill_count += plan.spills;
+            dead_register_points += plan.dead_points;
+            points_instrumented += plan.points;
+            relocate_ns += plan.plan_ns;
+            observer(PatchEvent::PlanBuilt {
+                entry: fe,
+                points: plan.points,
+            });
 
-            // Relocate the function with the snippets spliced in.
-            let new_base = self.layout.patch_text + patch_code.len() as u64;
-            let reloc_start = Instant::now();
-            let reloc = relocate_function(f, &lowered, new_base)?;
-            relocate_ns += (reloc_start.elapsed().as_nanos() as u64).max(1);
+            // Resolve the plan's symbolic targets at its assigned base.
+            debug_assert_eq!(
+                self.layout.patch_text + patch_code.len() as u64,
+                plan.base,
+                "layout cursor drifted from assigned base"
+            );
+            let emit_start = Instant::now();
+            let reloc = plan.reloc.emit(plan.base)?;
+            relocate_ns += (emit_start.elapsed().as_nanos() as u64).max(1);
             observer(PatchEvent::FunctionRelocated {
                 entry: fe,
                 bytes: reloc.code.len(),
@@ -452,8 +677,7 @@ impl<'b> Instrumenter<'b> {
                     (hi - lo) as usize
                 }
             };
-            let dead_entry = lv.dead_before(f, fe);
-            let sb = plan_springboard(fe, reloc.new_entry, avail, profile, dead_entry);
+            let sb = plan_springboard(fe, reloc.new_entry, avail, profile, plan.dead_entry);
             if let Some(t) = sb.trap_entry {
                 trap_table.push(t);
             }
@@ -471,31 +695,24 @@ impl<'b> Instrumenter<'b> {
             // Springboards at indirect-jump targets: execution re-enters
             // original code through jump tables; bounce it back into the
             // instrumented copy (§3.2.3 jump tables + code patching).
-            for b in f.blocks.values() {
-                for e in &b.edges {
-                    if e.kind == EdgeKind::IndirectJump {
-                        if let Some(t) = e.target {
-                            if let Some(&nt) = reloc.addr_map.get(&t) {
-                                let tb = &f.blocks[&t];
-                                let avail = tb.len_bytes() as usize;
-                                let dead = lv.dead_before(f, t);
-                                let sb = plan_springboard(t, nt, avail, profile, dead);
-                                if let Some(tt) = sb.trap_entry {
-                                    trap_table.push(tt);
-                                }
-                                audit_springboard(
-                                    f,
-                                    t,
-                                    sb.bytes.len(),
-                                    &reloc.addr_map,
-                                    &mut audited,
-                                    &mut redirects,
-                                    observer,
-                                )?;
-                                springs.push((t, sb));
-                            }
-                        }
+            for &(t, dead) in &plan.indirect {
+                if let Some(&nt) = reloc.addr_map.get(&t) {
+                    let tb = &f.blocks[&t];
+                    let avail = tb.len_bytes() as usize;
+                    let sb = plan_springboard(t, nt, avail, profile, dead);
+                    if let Some(tt) = sb.trap_entry {
+                        trap_table.push(tt);
                     }
+                    audit_springboard(
+                        f,
+                        t,
+                        sb.bytes.len(),
+                        &reloc.addr_map,
+                        &mut audited,
+                        &mut redirects,
+                        observer,
+                    )?;
+                    springs.push((t, sb));
                 }
             }
         }
@@ -573,6 +790,8 @@ impl<'b> Instrumenter<'b> {
             relocate_ns,
             clobbers_audited: audited.len(),
             redirects_registered: redirects.len(),
+            plans_built: plans.len(),
+            instrument_workers: nworkers,
             writes,
             undo,
             reloc_index,

@@ -9,7 +9,12 @@
 //! (§1): instrumented functions are **relocated** — a new version with the
 //! snippets inlined is placed in a patch area, and the original entry (plus
 //! every indirect-jump target) is overwritten with a **springboard** jump
-//! to the new version. The springboard planner implements §3.1.2's
+//! to the new version. The pass is split into a *parallel plan phase*
+//! (per-function liveness + lowering + symbolic relocation, fanned out
+//! over a worker pool) and a *sequential layout phase* (deterministic
+//! patch-area address assignment + springboards) so it scales with cores
+//! while producing bit-identical bytes for any thread count — see
+//! [`instrument`]. The springboard planner implements §3.1.2's
 //! size/range ladder:
 //!
 //! | form            | size | reach       |
@@ -61,5 +66,5 @@ pub use instrument::{
 };
 pub use placement::{plan_block_counters, BlockCountPlan, CounterPlacement, CounterSite};
 pub use points::{find_points, Point, PointKind};
-pub use relocate::{relocate_function, Insertions, RelocatedFunction};
+pub use relocate::{relocate_function, Insertions, RelocatedFunction, RelocationPlan};
 pub use springboard::{plan_springboard, Springboard, SpringboardKind, SpringboardStats};

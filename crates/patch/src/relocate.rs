@@ -141,12 +141,67 @@ fn invert(op: Op) -> Option<Op> {
     }
 }
 
+/// A sized-but-unplaced relocation: the slot list for one function with
+/// snippets spliced in, after the size-relaxation fixpoint, but before
+/// any patch-area address is chosen. This is the position-independent
+/// artifact the instrumenter's parallel plan phase produces per
+/// function; the sequential layout phase then pins each plan to its
+/// final base ([`RelocationPlan::relax_at`]) and resolves the symbolic
+/// targets into bytes ([`RelocationPlan::emit`]).
+///
+/// Slot sizes are *monotone*: `relax_at` only ever widens a slot, so
+/// re-relaxing the same plan at successive candidate bases reaches a
+/// fixpoint — which is what makes the instrumenter's whole-patch-area
+/// layout loop terminate deterministically.
+pub struct RelocationPlan {
+    entry: u64,
+    slots: Vec<Slot>,
+}
+
+impl RelocationPlan {
+    /// Build the slot list for `f` with `insertions` spliced in (taken-edge
+    /// stubs appended after the body). No addresses are assigned yet.
+    pub fn build(f: &Function, insertions: &Insertions) -> Result<RelocationPlan, RelocateError> {
+        build_slots(f, insertions).map(|slots| RelocationPlan {
+            entry: f.entry,
+            slots,
+        })
+    }
+
+    /// Total encoded size of the plan at its current slot sizes.
+    pub fn code_size(&self) -> u64 {
+        self.slots.iter().map(|s| s.size).sum()
+    }
+
+    /// Run the size-relaxation fixpoint with the plan based at
+    /// `new_base`. Slot sizes only grow (branches widen to the inverted
+    /// form, jumps to `auipc`+`jalr`), so iterating `relax_at` over
+    /// changing bases converges. Returns whether any slot widened.
+    pub fn relax_at(&mut self, new_base: u64) -> bool {
+        relax_slots(&mut self.slots, new_base)
+    }
+
+    /// Resolve every slot's target against `new_base` and encode. The
+    /// caller must have called [`RelocationPlan::relax_at`] with the same
+    /// base (sizes are assumed stable).
+    pub fn emit(&self, new_base: u64) -> Result<RelocatedFunction, RelocateError> {
+        emit_slots(&self.slots, self.entry, new_base)
+    }
+}
+
 /// Relocate `f` to `new_base`, splicing `insertions`.
 pub fn relocate_function(
     f: &Function,
     insertions: &Insertions,
     new_base: u64,
 ) -> Result<RelocatedFunction, RelocateError> {
+    let mut plan = RelocationPlan::build(f, insertions)?;
+    plan.relax_at(new_base);
+    plan.emit(new_base)
+}
+
+/// Build the slot list for one function in block address order.
+fn build_slots(f: &Function, insertions: &Insertions) -> Result<Vec<Slot>, RelocateError> {
     // ---- build the item list in block address order ----
     let mut slots: Vec<Slot> = Vec::new();
     // Conditional branches that need a taken-edge stub: (slot index of the
@@ -303,22 +358,32 @@ pub fn relocate_function(
         });
     }
 
-    // ---- size relaxation to a fixpoint ----
+    Ok(slots)
+}
+
+/// Assign slot addresses at `base` and derive the old→new address map.
+/// The first slot for an old address wins (the snippet slot precedes the
+/// instruction slot).
+fn slot_addrs(slots: &[Slot], base: u64) -> (Vec<u64>, BTreeMap<u64, u64>) {
     let mut addr_map: BTreeMap<u64, u64> = BTreeMap::new();
-    loop {
-        // Assign addresses.
-        addr_map.clear();
-        let mut pc = new_base;
-        let mut slot_addr = Vec::with_capacity(slots.len());
-        for s in &slots {
-            slot_addr.push(pc);
-            if let Some(old) = s.old_addr {
-                // First slot for an old address wins (the snippet slot
-                // precedes the instruction slot).
-                addr_map.entry(old).or_insert(pc);
-            }
-            pc += s.size;
+    let mut slot_addr = Vec::with_capacity(slots.len());
+    let mut pc = base;
+    for s in slots {
+        slot_addr.push(pc);
+        if let Some(old) = s.old_addr {
+            addr_map.entry(old).or_insert(pc);
         }
+        pc += s.size;
+    }
+    (slot_addr, addr_map)
+}
+
+/// Size relaxation to a fixpoint at `new_base`. Sizes only grow; returns
+/// whether any slot widened.
+fn relax_slots(slots: &mut [Slot], new_base: u64) -> bool {
+    let mut any = false;
+    loop {
+        let (slot_addr, addr_map) = slot_addrs(slots, new_base);
 
         // Check sizes.
         let mut changed = false;
@@ -370,23 +435,23 @@ pub fn relocate_function(
         if !changed {
             break;
         }
+        any = true;
     }
+    any
+}
 
-    // ---- emission ----
+/// Encode the (relaxed) slots at `new_base`.
+fn emit_slots(
+    slots: &[Slot],
+    entry: u64,
+    new_base: u64,
+) -> Result<RelocatedFunction, RelocateError> {
     // Final slot addresses (sizes are stable after relaxation).
-    let emit_slot_addr: Vec<u64> = {
-        let mut v = Vec::with_capacity(slots.len());
-        let mut pc = new_base;
-        for s in &slots {
-            v.push(pc);
-            pc += s.size;
-        }
-        v
-    };
+    let (emit_slot_addr, addr_map) = slot_addrs(slots, new_base);
     let mut code: Vec<u8> = Vec::new();
     let mut pc = new_base;
     let enc_err = |e: rvdyn_isa::encode::EncodeError| RelocateError::Encode(e.to_string());
-    for s in &slots {
+    for s in slots {
         let at = pc;
         match &s.item {
             Item::Snippet { insts } | Item::AuipcValue { insts } => {
@@ -476,7 +541,7 @@ pub fn relocate_function(
         debug_assert_eq!(code.len() as u64, pc - new_base, "size accounting drift");
     }
 
-    let new_entry = *addr_map.get(&f.entry).unwrap_or(&new_base);
+    let new_entry = *addr_map.get(&entry).unwrap_or(&new_base);
     Ok(RelocatedFunction {
         code,
         new_entry,

@@ -22,9 +22,9 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rvdyn_cli [--json] [--trace] <command> ...\n\
+        "usage: rvdyn_cli [--json] [--trace] [--threads N] <command> ...\n\
          \n\
-         gen <matmul|fib|switch|memcpy|atomics|indirect|tiny> <out.elf> [args…]\n\
+         gen <matmul|fib|switch|memcpy|atomics|indirect|tiny|many> <out.elf> [args…]\n\
          info <elf>\n\
          disasm <elf> [function]\n\
          cfg <elf> <function> [--dot]\n\
@@ -38,8 +38,10 @@ fn usage() -> ! {
                       blocks-optimal places counters only on the Knuth-\n\
                       minimal site set and reconstructs the rest)\n\
          \n\
-         --json      emit diagnostics as one rvdyn-diagnostics-v1 JSON line\n\
-         --trace     stream telemetry events to stderr"
+         --json        emit diagnostics as one rvdyn-diagnostics-v1 JSON line\n\
+         --trace       stream telemetry events to stderr\n\
+         --threads N   fan the parse and instrument plan phases over N\n\
+                       workers (the output bytes are identical for any N)"
     );
     exit(2);
 }
@@ -47,22 +49,24 @@ fn usage() -> ! {
 fn main() {
     let mut json = false;
     let mut trace = false;
-    let args: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| match a.as_str() {
-            "--json" => {
-                json = true;
-                false
+    let mut threads = 1usize;
+    let mut args = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--trace" => trace = true,
+            "--threads" => {
+                threads = raw
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
-            "--trace" => {
-                trace = true;
-                false
-            }
-            _ => true,
-        })
-        .collect();
+            _ => args.push(a),
+        }
+    }
     let opts = || {
-        let o = SessionOptions::new();
+        let o = SessionOptions::new().threads(threads);
         if trace {
             o.telemetry(Arc::new(rvdyn::StderrSink))
         } else {
@@ -86,6 +90,7 @@ fn main() {
                 "atomics" => rvdyn_asm::atomics_program(num(&args, 3).unwrap_or(100)),
                 "indirect" => rvdyn_asm::indirect_entry_program(num(&args, 3).unwrap_or(32)),
                 "tiny" => rvdyn_asm::tiny_function_program(num(&args, 3).unwrap_or(32)),
+                "many" => rvdyn_asm::many_functions_program(num(&args, 3).unwrap_or(64) as usize),
                 other => {
                     eprintln!("unknown program {other:?}");
                     usage()

@@ -12,7 +12,7 @@ use rvdyn::{
     DynamicInstrumenter, Error, Event, FaultPlan, PointKind, Process, SessionOptions, Snippet,
     TelemetryEvent,
 };
-use rvdyn_asm::{matmul_program, tiny_function_program};
+use rvdyn_asm::{many_functions_program, matmul_program, tiny_function_program};
 
 /// Write 0 of a commit is the data-area zero-fill; write 1 is the first
 /// verified patch region. Corrupting one byte of it must fail read-back
@@ -139,6 +139,104 @@ fn run_loop_recovers_from_delayed_stop() {
         .events()
         .iter()
         .any(|e| matches!(e, TelemetryEvent::FaultInjected { .. })));
+}
+
+/// Delivery faults against a parallel-planned patch: because the layout
+/// phase emits bit-identical writes for any thread count, a corrupted
+/// write must fail verification at the *same region address* whether the
+/// plans were built sequentially or on a 4-worker pool.
+#[test]
+fn corrupted_write_fails_at_the_same_region_for_any_thread_count() {
+    let fail_addr = |threads: usize| {
+        let bin = many_functions_program(16);
+        let plan = FaultPlan::new().corrupt_write(2, 0);
+        let mut dy = DynamicInstrumenter::create_with(
+            bin,
+            SessionOptions::new().threads(threads).fault_plan(plan),
+        );
+        let counter = dy.alloc_var(8);
+        let mut pts = Vec::new();
+        for i in 0..16 {
+            pts.extend(
+                dy.find_points(&format!("f_{i}"), PointKind::BlockEntry)
+                    .unwrap(),
+            );
+        }
+        dy.insert(&pts, Snippet::increment(counter));
+        let addr = match dy.commit() {
+            Err(Error::PatchVerifyFailed { addr }) => addr,
+            other => panic!("expected PatchVerifyFailed at threads={threads}, got {other:?}"),
+        };
+        assert_eq!(dy.diagnostics().faults_injected, 1);
+        assert_eq!(dy.diagnostics().instrument_workers, threads.min(16));
+        addr
+    };
+    let sequential = fail_addr(1);
+    for t in [2usize, 4] {
+        assert_eq!(
+            fail_addr(t),
+            sequential,
+            "verify failure must land on the same region at threads={t}"
+        );
+    }
+}
+
+/// The trap-redirect drop under a worker pool: the tiny-function trap
+/// springboard still resolves through the same redirect, so the miss
+/// surfaces at the same pc after the same number of counted visits.
+#[test]
+fn dropped_redirect_under_worker_pool_matches_sequential() {
+    let bin = tiny_function_program(50);
+    let tiny = bin.symbol_by_name("tiny").unwrap().value;
+    let plan = FaultPlan::new().drop_redirect(3);
+    let mut dy =
+        DynamicInstrumenter::create_with(bin, SessionOptions::new().threads(4).fault_plan(plan));
+    let counter = dy.alloc_var(8);
+    let pts = dy.find_points("tiny", PointKind::FuncEntry).unwrap();
+    dy.insert(&pts, Snippet::increment(counter));
+    dy.commit().unwrap();
+    match dy.run_to_exit() {
+        Err(Error::RedirectMiss { pc }) => assert_eq!(pc, tiny),
+        other => panic!("expected RedirectMiss, got {other:?}"),
+    }
+    assert_eq!(dy.read_var(counter), Some(3));
+    assert_eq!(dy.diagnostics().faults_injected, 1);
+}
+
+/// A plan-phase failure inside a worker (snippet lowering running out of
+/// registers) propagates as the same typed instrument-stage error the
+/// sequential path reports — workers never panic or hang the pool.
+#[test]
+fn plan_phase_worker_errors_propagate_as_the_same_typed_error() {
+    fn deep(depth: u32) -> Snippet {
+        if depth == 0 {
+            Snippet::Const(1)
+        } else {
+            Snippet::bin(rvdyn::BinaryOp::Add, deep(depth - 1), deep(depth - 1))
+        }
+    }
+    let msg = |threads: usize| {
+        let bin = many_functions_program(8);
+        let mut dy = DynamicInstrumenter::create_with(bin, SessionOptions::new().threads(threads));
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.extend(
+                dy.find_points(&format!("f_{i}"), PointKind::FuncEntry)
+                    .unwrap(),
+            );
+        }
+        dy.insert(&pts, deep(14));
+        match dy.commit() {
+            Err(e) => e.to_string(),
+            Ok(()) => panic!("expected an out-of-registers failure"),
+        }
+    };
+    let sequential = msg(1);
+    assert!(
+        sequential.contains("register"),
+        "expected an out-of-registers diagnosis, got: {sequential}"
+    );
+    assert_eq!(msg(4), sequential, "worker error differs from sequential");
 }
 
 /// A default (empty) plan injects nothing: the armed-but-idle hook leaves

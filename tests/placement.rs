@@ -10,8 +10,10 @@
 //!    composition) with simulated executions, and over random matmul
 //!    sizes on the emulator.
 
+mod common;
+
+use common::{ProgramStrategy, Stmt};
 use proptest::prelude::*;
-use proptest::test_runner::TestRng;
 use rvdyn::telemetry::CollectSink;
 use rvdyn::{
     plan_block_counters, BinaryEditor, CounterPlacement, CounterSite, DynamicInstrumenter,
@@ -187,41 +189,10 @@ fn dynamic_optimal_counts_match_every_block() {
 
 // --- proptest: random reducible CFGs ---------------------------------------
 
-/// Structured program shapes lower to reducible CFGs by construction.
-#[derive(Debug, Clone)]
-enum Stmt {
-    Block,
-    If(Vec<Stmt>, Vec<Stmt>),
-    Loop(Vec<Stmt>),
-}
-
-/// Recursive strategy for whole programs (the vendored proptest shim has
-/// no `prop_recursive`, so the recursion is hand-rolled over its RNG).
-#[derive(Debug, Clone, Copy)]
-struct ProgramStrategy;
-
-impl Strategy for ProgramStrategy {
-    type Value = Vec<Stmt>;
-    fn generate(&self, rng: &mut TestRng) -> Vec<Stmt> {
-        gen_seq(rng, 0)
-    }
-}
-
-fn gen_seq(rng: &mut TestRng, depth: usize) -> Vec<Stmt> {
-    let n = 1 + rng.below(3) as usize;
-    (0..n).map(|_| gen_stmt(rng, depth)).collect()
-}
-
-fn gen_stmt(rng: &mut TestRng, depth: usize) -> Stmt {
-    if depth >= 3 {
-        return Stmt::Block;
-    }
-    match rng.below(3) {
-        0 => Stmt::Block,
-        1 => Stmt::If(gen_seq(rng, depth + 1), gen_seq(rng, depth + 1)),
-        _ => Stmt::Loop(gen_seq(rng, depth + 1)),
-    }
-}
+// The structured-program generator ([`Stmt`], [`ProgramStrategy`]) lives
+// in `tests/common/mod.rs`, shared with the parallel-rewrite parity
+// suite; the synthetic-Function lowering below stays local because only
+// the placement math needs it.
 
 struct Lowered {
     func: Function,
