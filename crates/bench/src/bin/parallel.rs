@@ -46,10 +46,7 @@ fn measure(bin: &rvdyn::Binary, funcs: usize, threads: usize, iters: usize) -> M
     let mut best = u64::MAX;
     let mut out = None;
     for _ in 0..iters {
-        let mut ed = BinaryEditor::from_binary_with_options(
-            bin.clone(),
-            SessionOptions::new().threads(threads),
-        );
+        let mut ed = BinaryEditor::from_binary(bin.clone(), SessionOptions::new().threads(threads));
         let c = ed.alloc_var(8);
         let mut pts = Vec::new();
         for i in 0..funcs {

@@ -69,10 +69,7 @@ pub fn measure(n: usize, reps: usize, config: Config, mode: RegAllocMode) -> Mea
     } else {
         CounterPlacement::EveryBlock
     };
-    let mut ed = BinaryEditor::from_binary_with_options(
-        bin,
-        SessionOptions::new().counter_placement(placement),
-    );
+    let mut ed = BinaryEditor::from_binary(bin, SessionOptions::new().counter_placement(placement));
     ed.set_mode(mode);
 
     if config == Config::FunctionCount {

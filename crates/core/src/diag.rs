@@ -74,6 +74,17 @@ pub struct Diagnostics {
     /// exercises the failure paths).
     pub faults_injected: u64,
 
+    // -- analysis cache --
+    /// Front-half analyses this session reused from an
+    /// [`AnalysisCache`](crate::AnalysisCache) (1 for a warm
+    /// `open_cached` session; 0 for cold/uncached sessions).
+    pub analysis_cache_hits: u64,
+    /// Cache lookups by this session that computed a fresh analysis.
+    pub analysis_cache_misses: u64,
+    /// Entries this session's cache insertions evicted to stay within
+    /// the cache's capacity bound.
+    pub analysis_cache_evictions: u64,
+
     // -- run stage --
     /// Instructions the mutatee retired.
     pub instret: u64,
@@ -152,6 +163,9 @@ impl Diagnostics {
                 "\"run\":{{\"instret\":{},\"cycles\":{},",
                 "\"counts_reconstructed\":{}}},",
                 "\"faults\":{{\"injected\":{}}},",
+                "\"cache\":{{\"analysis_cache_hits\":{},",
+                "\"analysis_cache_misses\":{},",
+                "\"analysis_cache_evictions\":{}}},",
                 "\"timings_ns\":{{\"open\":{},\"parse\":{},\"instrument\":{},",
                 "\"relocate\":{},\"commit\":{},\"run\":{}}}}}"
             ),
@@ -179,6 +193,9 @@ impl Diagnostics {
             self.cycles,
             self.counts_reconstructed,
             self.faults_injected,
+            self.analysis_cache_hits,
+            self.analysis_cache_misses,
+            self.analysis_cache_evictions,
             t.open_ns,
             t.parse_ns,
             t.instrument_ns,
@@ -244,6 +261,13 @@ impl fmt::Display for Diagnostics {
         }
         if self.faults_injected > 0 {
             writeln!(f, "faults:     {} injected", self.faults_injected)?;
+        }
+        if self.analysis_cache_hits > 0 || self.analysis_cache_misses > 0 {
+            writeln!(
+                f,
+                "cache:      {} hits, {} misses, {} evictions",
+                self.analysis_cache_hits, self.analysis_cache_misses, self.analysis_cache_evictions
+            )?;
         }
         if self.patch_regions_written > 0 {
             writeln!(
@@ -367,6 +391,9 @@ mod tests {
             instret: 123_456,
             cycles: 234_567,
             counts_reconstructed: 11,
+            analysis_cache_hits: 8,
+            analysis_cache_misses: 2,
+            analysis_cache_evictions: 1,
             ..Default::default()
         };
         d.timings.record(TimedStage::Parse, 1_000);
@@ -407,6 +434,10 @@ mod tests {
             "\"counts_reconstructed\":11",
             "\"faults\":{",
             "\"injected\":2",
+            "\"cache\":{",
+            "\"analysis_cache_hits\":8",
+            "\"analysis_cache_misses\":2",
+            "\"analysis_cache_evictions\":1",
             "\"timings_ns\":{",
             "\"open\":0",
             "\"parse\":1000",

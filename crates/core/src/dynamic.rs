@@ -13,6 +13,7 @@
 //! ([`DynamicInstrumenter::create`]) and attach-to-running
 //! ([`DynamicInstrumenter::attach`]).
 
+use crate::analysis::Analysis;
 use crate::diag::Diagnostics;
 use crate::error::Error;
 use crate::session::{self, BlockCounter, Session, SessionOptions};
@@ -23,6 +24,7 @@ use rvdyn_parse::CodeObject;
 use rvdyn_patch::{PatchLayout, Point, PointKind};
 use rvdyn_proccontrol::Process;
 use rvdyn_symtab::Binary;
+use std::sync::Arc;
 
 /// Instrument a live process: the [`Session`] pipeline core plus the
 /// debug-interface delivery state.
@@ -43,9 +45,23 @@ impl DynamicInstrumenter {
     }
 
     /// As [`DynamicInstrumenter::create`] with explicit session options.
+    /// Routes through [`Session::from_binary`] → `Session::from_analysis`
+    /// — the same two-phase path as the static editor, so the front
+    /// halves are provably shared code.
     pub fn create_with(binary: Binary, opts: SessionOptions) -> DynamicInstrumenter {
         let process = Process::launch(&binary);
-        let session = Session::from_binary(binary, &opts);
+        let session = Session::from_binary(binary, opts);
+        Self::assemble(session, process)
+    }
+
+    /// Create the process and session from a shared front-half
+    /// [`Analysis`] — the service path: the analysis is computed (or
+    /// fetched from an [`AnalysisCache`](crate::AnalysisCache)) once and
+    /// any number of dynamic instrumenters launch their own processes
+    /// against it, with zero per-request parse work.
+    pub fn from_analysis(analysis: Arc<Analysis>, opts: SessionOptions) -> DynamicInstrumenter {
+        let process = Process::launch(analysis.binary());
+        let session = Session::from_analysis(analysis, opts);
         Self::assemble(session, process)
     }
 
@@ -62,7 +78,7 @@ impl DynamicInstrumenter {
         process: Process,
         opts: SessionOptions,
     ) -> DynamicInstrumenter {
-        let session = Session::from_binary(binary, &opts);
+        let session = Session::from_binary(binary, opts);
         Self::assemble(session, process)
     }
 
@@ -103,15 +119,6 @@ impl DynamicInstrumenter {
     /// [`Self::run_to_exit`].
     pub fn diagnostics(&self) -> &Diagnostics {
         self.session.diagnostics()
-    }
-
-    /// Point-in-time copy of the diagnostics.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `diagnostics()` (borrowed, always live) and clone if needed"
-    )]
-    pub fn diagnostics_snapshot(&self) -> Diagnostics {
-        self.session.diagnostics().clone()
     }
 
     pub fn set_mode(&mut self, mode: RegAllocMode) {
@@ -388,6 +395,25 @@ mod tests {
             + n
             + 1;
         assert_eq!(dy.read_var(counter), Some(per_call * 3));
+    }
+
+    #[test]
+    fn dynamic_from_analysis_shares_the_front_half() {
+        let bin = rvdyn_asm::matmul_program(5, 3);
+        let analysis = Analysis::of_binary(bin, &rvdyn_parse::ParseOptions::default());
+
+        // Two independent processes, one shared analysis.
+        for _ in 0..2 {
+            let mut dy =
+                DynamicInstrumenter::from_analysis(analysis.clone(), SessionOptions::default());
+            assert_eq!(dy.diagnostics().timings.parse_ns, 0, "warm: no parse");
+            let counter = dy.alloc_var(8);
+            let pts = dy.find_points("matmul", PointKind::FuncEntry).unwrap();
+            dy.insert(&pts, Snippet::increment(counter));
+            dy.commit().unwrap();
+            assert_eq!(dy.run_to_exit().unwrap(), 0);
+            assert_eq!(dy.read_var(counter), Some(3));
+        }
     }
 
     #[test]

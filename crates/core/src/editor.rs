@@ -6,6 +6,7 @@
 //! telemetry — lives in the session; the editor adds only the *static*
 //! delivery, serialising the patched binary model back to an ELF.
 
+use crate::analysis::{Analysis, AnalysisCache};
 use crate::diag::Diagnostics;
 use crate::error::{Error, Stage};
 use crate::session::{BlockCounter, Session, SessionOptions};
@@ -15,6 +16,7 @@ use rvdyn_codegen::snippet::{Snippet, Var};
 use rvdyn_parse::{CodeObject, ParseOptions};
 use rvdyn_patch::{PatchLayout, Point, PointKind};
 use rvdyn_symtab::Binary;
+use std::sync::Arc;
 
 /// The editor's error type — an alias for the unified pipeline
 /// [`Error`] taxonomy (kept so pre-taxonomy call sites still name it).
@@ -40,25 +42,59 @@ impl BinaryEditor {
         })
     }
 
-    /// Use an in-memory binary model directly.
-    pub fn from_binary(binary: Binary) -> BinaryEditor {
-        Self::from_binary_with_options(binary, SessionOptions::default())
+    /// As [`BinaryEditor::open_with`], reusing `cache`'s shared
+    /// front-half [`Analysis`] when the binary's content key is resident
+    /// (a hit skips CFG parsing, loop analysis and liveness entirely).
+    pub fn open_cached(
+        elf: &[u8],
+        opts: SessionOptions,
+        cache: &AnalysisCache,
+    ) -> Result<BinaryEditor, Error> {
+        Ok(BinaryEditor {
+            session: Session::open_cached(elf, opts, cache)?,
+        })
     }
 
-    /// As [`BinaryEditor::from_binary`] with parse options (gap parsing,
-    /// parallelism).
+    /// Use an in-memory binary model directly, with explicit session
+    /// options (the single `from_binary` constructor — the former
+    /// `from_binary_with` / `from_binary_with_options` variants are
+    /// deprecated shims over this one).
+    pub fn from_binary(binary: Binary, opts: SessionOptions) -> BinaryEditor {
+        BinaryEditor {
+            session: Session::from_binary(binary, opts),
+        }
+    }
+
+    /// Build an editor directly on a shared front-half [`Analysis`] —
+    /// no open/parse work, any number of concurrent editors per
+    /// analysis. See [`Session::from_analysis`].
+    pub fn from_analysis(analysis: Arc<Analysis>, opts: SessionOptions) -> BinaryEditor {
+        BinaryEditor {
+            session: Session::from_analysis(analysis, opts),
+        }
+    }
+
+    /// Former parse-options variant of `from_binary`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `from_binary(binary, SessionOptions::new().parse_options(opts))` — \
+                the constructor now takes `SessionOptions` directly"
+    )]
     pub fn from_binary_with(binary: Binary, opts: &ParseOptions) -> BinaryEditor {
-        Self::from_binary_with_options(
+        Self::from_binary(
             binary,
             SessionOptions::default().parse_options(opts.clone()),
         )
     }
 
-    /// As [`BinaryEditor::from_binary`] with explicit session options.
+    /// Former session-options variant of `from_binary`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `from_binary(binary, opts)` — the constructor now takes \
+                `SessionOptions` directly"
+    )]
     pub fn from_binary_with_options(binary: Binary, opts: SessionOptions) -> BinaryEditor {
-        BinaryEditor {
-            session: Session::from_binary(binary, &opts),
-        }
+        Self::from_binary(binary, opts)
     }
 
     /// The underlying binary model.
@@ -71,20 +107,16 @@ impl BinaryEditor {
         self.session.code()
     }
 
+    /// The shared front-half analysis this editor runs against.
+    pub fn analysis(&self) -> &Arc<Analysis> {
+        self.session.analysis()
+    }
+
     /// Live counters and per-stage timings for what the pipeline has done
     /// so far: parse totals are available after `open`, instrument totals
     /// after [`BinaryEditor::instrumented`] / [`BinaryEditor::rewrite`].
     pub fn diagnostics(&self) -> &Diagnostics {
         self.session.diagnostics()
-    }
-
-    /// Point-in-time copy of the diagnostics.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `diagnostics()` (borrowed, always live) and clone if needed"
-    )]
-    pub fn diagnostics_snapshot(&self) -> Diagnostics {
-        self.session.diagnostics().clone()
     }
 
     /// The mutatee's ISA profile (§3.2.1).
@@ -403,12 +435,47 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_snapshot_still_works() {
-        let elf = rvdyn_asm::fib_program(3).to_bytes().unwrap();
-        let ed = BinaryEditor::open(&elf).unwrap();
+    fn deprecated_constructor_shims_still_work() {
+        let bin = rvdyn_asm::fib_program(3);
         #[allow(deprecated)]
-        let snap = ed.diagnostics_snapshot();
-        assert_eq!(snap.functions_parsed, ed.diagnostics().functions_parsed);
+        let ed = BinaryEditor::from_binary_with(bin.clone(), &ParseOptions::default());
+        #[allow(deprecated)]
+        let ed2 = BinaryEditor::from_binary_with_options(bin.clone(), SessionOptions::default());
+        let ed3 = BinaryEditor::from_binary(bin, SessionOptions::default());
+        assert_eq!(
+            ed.diagnostics().functions_parsed,
+            ed3.diagnostics().functions_parsed
+        );
+        assert_eq!(
+            ed2.diagnostics().functions_parsed,
+            ed3.diagnostics().functions_parsed
+        );
+    }
+
+    #[test]
+    fn warm_editor_from_analysis_skips_the_front_half() {
+        let elf = rvdyn_asm::matmul_program(5, 2).to_bytes().unwrap();
+        let analysis = Analysis::compute(&elf, &ParseOptions::default()).unwrap();
+
+        let mut ed = BinaryEditor::from_analysis(analysis.clone(), SessionOptions::default());
+        // Warm sessions spend zero time in open/parse: the front half was
+        // computed once, outside the session.
+        assert_eq!(ed.diagnostics().timings.open_ns, 0);
+        assert_eq!(ed.diagnostics().timings.parse_ns, 0);
+        // Parse *counters* still describe the shared CFG.
+        assert!(ed.diagnostics().functions_parsed > 0);
+
+        let counter = ed.alloc_var(8);
+        let pts = ed.find_points("matmul", PointKind::FuncEntry).unwrap();
+        ed.insert(&pts, Snippet::increment(counter));
+        let warm = ed.rewrite().unwrap();
+
+        // Bit-identical to a cold open of the same ELF.
+        let mut cold = BinaryEditor::open(&elf).unwrap();
+        let c = cold.alloc_var(8);
+        let pts = cold.find_points("matmul", PointKind::FuncEntry).unwrap();
+        cold.insert(&pts, Snippet::increment(c));
+        assert_eq!(warm, cold.rewrite().unwrap());
     }
 
     #[test]

@@ -74,6 +74,7 @@
 //! assert!(!sink.events().is_empty());
 //! ```
 
+pub mod analysis;
 pub mod diag;
 pub mod dynamic;
 pub mod editor;
@@ -81,6 +82,9 @@ pub mod error;
 pub mod session;
 pub mod telemetry;
 
+pub use analysis::{
+    Analysis, AnalysisCache, AnalysisKey, AnalysisTimings, CacheOutcome, CacheStats,
+};
 pub use diag::Diagnostics;
 pub use dynamic::DynamicInstrumenter;
 pub use editor::{run_binary, run_binary_observed, run_elf, BinaryEditor, EditorError, RunOutput};

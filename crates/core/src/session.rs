@@ -30,6 +30,7 @@
 //! decides how to surface it, which is what keeps the telemetry stream
 //! and the component boundaries from drifting apart.
 
+use crate::analysis::{Analysis, AnalysisCache, AnalysisKey};
 use crate::diag::Diagnostics;
 use crate::error::Error;
 use crate::telemetry::{
@@ -39,10 +40,13 @@ use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
 use rvdyn_parse::{CodeObject, EdgeKind, ParseEvent, ParseOptions};
 use rvdyn_patch::instrument::PatchResult;
-use rvdyn_patch::placement::{plan_block_counters, BlockCountPlan, CounterPlacement};
+use rvdyn_patch::placement::{
+    plan_block_counters, plan_block_counters_with_depths, BlockCountPlan, CounterPlacement,
+};
 use rvdyn_patch::{find_points, Instrumenter, PatchEvent, PatchLayout, Point, PointKind};
 use rvdyn_proccontrol::{FaultPlan, ProcEvent};
 use rvdyn_symtab::Binary;
+use std::sync::Arc;
 
 /// Construction-time configuration for a [`Session`], shared by both
 /// entry points. The builder consumes and returns `self` so options
@@ -173,11 +177,17 @@ impl SessionOptions {
 }
 
 /// The shared pipeline state behind both instrumentation entry points:
-/// binary model + CFG + configuration + the pending snippet queue +
-/// diagnostics + telemetry.
+/// the (possibly shared) front-half analysis + configuration + the
+/// pending snippet queue + diagnostics + telemetry.
+///
+/// The pipeline is two-phase: the *front half* — binary model, CFG,
+/// loop depths, per-function liveness — is a pure function of the
+/// binary's content, computed once as an [`Analysis`] and shared
+/// behind an `Arc` (see [`Session::from_analysis`] and
+/// [`AnalysisCache`]); the *back half* — placement, lowering, layout,
+/// delivery — is request-specific and lives on the session itself.
 pub struct Session {
-    binary: Binary,
-    code: CodeObject,
+    analysis: Arc<Analysis>,
     layout: PatchLayout,
     mode: RegAllocMode,
     allow_unresolved: bool,
@@ -231,7 +241,11 @@ impl BlockCounter {
 }
 
 impl Session {
-    /// Parse an ELF image and analyze it (timed `open` + `parse` stages).
+    /// Parse an ELF image and analyze it (timed `open` + `parse`
+    /// stages). A thin wrapper over [`Session::from_analysis`]: the
+    /// front half is computed fresh here and not shared — use
+    /// [`Session::open_cached`] or [`Session::from_analysis`] directly
+    /// when serving many requests against few binaries.
     pub fn open(elf: &[u8], opts: SessionOptions) -> Result<Session, Error> {
         let tele = Telemetry {
             sink: opts.sink.clone(),
@@ -240,29 +254,99 @@ impl Session {
         let timer = tele.begin(TimedStage::Open);
         let binary = Binary::parse(elf)?;
         tele.end(timer, &mut open_t);
-        let mut s = Session::from_binary(binary, &opts);
+        let mut s = Session::from_binary(binary, opts);
         s.diag.timings.record(TimedStage::Open, open_t.open_ns);
         Ok(s)
     }
 
+    /// Parse an ELF image, reusing `cache`'s front-half analysis when
+    /// the binary's content key is resident. A hit skips CFG parsing,
+    /// loop analysis and liveness entirely — the session's `parse`
+    /// stage time stays exactly zero — and is reported as an
+    /// [`TelemetryEvent::AnalysisCacheHit`] event plus the
+    /// `analysis_cache_hits` diagnostics counter; a miss computes,
+    /// inserts, and reports the miss (and any evictions) the same way.
+    pub fn open_cached(
+        elf: &[u8],
+        opts: SessionOptions,
+        cache: &AnalysisCache,
+    ) -> Result<Session, Error> {
+        let tele = Telemetry {
+            sink: opts.sink.clone(),
+        };
+        let mut open_t = StageTimings::default();
+        let timer = tele.begin(TimedStage::Open);
+        let binary = Binary::parse(elf)?;
+        let key = AnalysisKey::of(&binary, &opts.parse);
+        tele.end(timer, &mut open_t);
+
+        if let Some(analysis) = cache.get(key) {
+            tele.emit(TelemetryEvent::AnalysisCacheHit { key: key.prefix() });
+            let mut s = Session::from_analysis(analysis, opts);
+            s.diag.timings.record(TimedStage::Open, open_t.open_ns);
+            s.diag.analysis_cache_hits = 1;
+            return Ok(s);
+        }
+
+        let mut parse_t = StageTimings::default();
+        let timer = tele.begin(TimedStage::Parse);
+        let obs_tele = tele.clone();
+        let analysis = Analysis::of_binary_observed(
+            binary,
+            &opts.parse,
+            &mut |ev| obs_tele.emit(adapt_parse(ev)),
+            open_t.open_ns,
+        );
+        tele.end(timer, &mut parse_t);
+        let evicted = cache.insert(analysis.clone());
+        tele.emit(TelemetryEvent::AnalysisCacheMiss {
+            key: key.prefix(),
+            evicted,
+        });
+        let mut s = Session::from_analysis(analysis, opts);
+        s.diag.timings.record(TimedStage::Open, open_t.open_ns);
+        s.diag.timings.record(TimedStage::Parse, parse_t.parse_ns);
+        s.diag.analysis_cache_misses = 1;
+        s.diag.analysis_cache_evictions = evicted;
+        Ok(s)
+    }
+
     /// Analyze an in-memory binary model (timed `parse` stage).
-    pub fn from_binary(binary: Binary, opts: &SessionOptions) -> Session {
+    pub fn from_binary(binary: Binary, opts: SessionOptions) -> Session {
         let tele = Telemetry {
             sink: opts.sink.clone(),
         };
         let mut timings = StageTimings::default();
         let timer = tele.begin(TimedStage::Parse);
         let obs_tele = tele.clone();
-        let code = CodeObject::parse_with_observer(&binary, &opts.parse, &mut |ev| {
-            obs_tele.emit(adapt_parse(ev))
-        });
-        tele.end(timer, &mut timings);
-        let mut diag = Diagnostics::default();
-        diag.record_parse(&code);
-        diag.timings = timings;
-        Session {
+        let analysis = Analysis::of_binary_observed(
             binary,
-            code,
+            &opts.parse,
+            &mut |ev| obs_tele.emit(adapt_parse(ev)),
+            0,
+        );
+        tele.end(timer, &mut timings);
+        let mut s = Session::from_analysis(analysis, opts);
+        s.diag.timings.record(TimedStage::Parse, timings.parse_ns);
+        s
+    }
+
+    /// Build a session directly on a shared front-half [`Analysis`] —
+    /// the two-phase entry point every other constructor routes
+    /// through. No open/parse work happens here (the analysis already
+    /// holds the binary model, CFG, loop depths and liveness), so the
+    /// session's `open` and `parse` stage timings are zero; only the
+    /// request-specific back half (placement → lowering → layout →
+    /// delivery) will spend time. Any number of concurrent sessions,
+    /// on any threads, may share one `Arc<Analysis>`.
+    pub fn from_analysis(analysis: Arc<Analysis>, opts: SessionOptions) -> Session {
+        let tele = Telemetry {
+            sink: opts.sink.clone(),
+        };
+        let mut diag = Diagnostics::default();
+        diag.record_parse(analysis.code());
+        Session {
+            analysis,
             layout: opts.layout,
             mode: opts.mode,
             allow_unresolved: opts.allow_unresolved,
@@ -276,19 +360,24 @@ impl Session {
         }
     }
 
+    /// The shared front-half analysis this session runs against.
+    pub fn analysis(&self) -> &Arc<Analysis> {
+        &self.analysis
+    }
+
     /// The underlying binary model.
     pub fn binary(&self) -> &Binary {
-        &self.binary
+        self.analysis.binary()
     }
 
     /// The parsed CFG.
     pub fn code(&self) -> &CodeObject {
-        &self.code
+        self.analysis.code()
     }
 
     /// The mutatee's ISA profile (§3.2.1).
     pub fn profile(&self) -> rvdyn_isa::IsaProfile {
-        self.binary.profile()
+        self.binary().profile()
     }
 
     /// Live counters and per-stage timings for everything the pipeline
@@ -314,7 +403,7 @@ impl Session {
 
     /// Function entry address by symbol name.
     pub fn function_addr(&self, name: &str) -> Result<u64, Error> {
-        self.code
+        self.code()
             .functions
             .values()
             .find(|f| f.name.as_deref() == Some(name))
@@ -327,7 +416,7 @@ impl Session {
     /// Enumerate points of `kind` in the named function.
     pub fn find_points(&self, func: &str, kind: PointKind) -> Result<Vec<Point>, Error> {
         let addr = self.function_addr(func)?;
-        Ok(find_points(&self.code.functions[&addr], kind))
+        Ok(find_points(&self.code().functions[&addr], kind))
     }
 
     /// Allocate an instrumentation variable in the patch data area.
@@ -360,11 +449,18 @@ impl Session {
     /// way.
     pub fn count_blocks(&mut self, func: &str) -> Result<BlockCounter, Error> {
         let addr = self.function_addr(func)?;
-        let f = &self.code.functions[&addr];
+        let analysis = self.analysis.clone();
+        let f = &analysis.code().functions[&addr];
         let blocks: Vec<u64> = f.blocks.keys().copied().collect();
         let plan = match self.placement {
             CounterPlacement::EveryBlock => None,
-            CounterPlacement::Optimal => plan_block_counters(f),
+            // The front half already computed every function's loop
+            // depths; fall back to in-plan recomputation only if this
+            // function is somehow missing from the analysis.
+            CounterPlacement::Optimal => match analysis.loop_depths(addr) {
+                Some(depths) => plan_block_counters_with_depths(f, depths),
+                None => plan_block_counters(f),
+            },
         };
 
         let counter = match plan {
@@ -462,7 +558,7 @@ impl Session {
             funcs.sort_unstable();
             funcs.dedup();
             for func in funcs {
-                if let Some(f) = self.code.functions.get(&func) {
+                if let Some(f) = self.code().functions.get(&func) {
                     let count = f
                         .blocks
                         .values()
@@ -477,10 +573,12 @@ impl Session {
         }
 
         let timer = self.tele.begin(TimedStage::Instrument);
-        let mut ins = Instrumenter::new(&self.binary, &self.code)
+        let analysis = self.analysis.clone();
+        let mut ins = Instrumenter::new(analysis.binary(), analysis.code())
             .with_layout(self.layout)
             .with_mode(self.mode)
-            .with_threads(self.threads);
+            .with_threads(self.threads)
+            .with_liveness(analysis.liveness_table());
         // Pre-advance the instrumenter's variable cursor to keep its own
         // allocations (if any) clear of ours.
         for _ in 0..(self.var_bytes / 8) {

@@ -233,6 +233,16 @@ pub enum TelemetryEvent {
     ///
     /// [`StopReason`]: rvdyn_emu::StopReason
     RunExit { reason: &'static str },
+    /// An [`AnalysisCache`](crate::AnalysisCache) lookup was answered
+    /// from the cache: the session reused a shared front-half analysis
+    /// and skipped parse/loop/liveness entirely. `key` is the leading
+    /// 64 bits of the content address
+    /// ([`AnalysisKey::prefix`](crate::AnalysisKey::prefix)).
+    AnalysisCacheHit { key: u64 },
+    /// An [`AnalysisCache`](crate::AnalysisCache) lookup missed: the
+    /// front half was computed fresh (and inserted, evicting `evicted`
+    /// least-recently-used entries to stay within capacity).
+    AnalysisCacheMiss { key: u64, evicted: u64 },
 }
 
 impl fmt::Display for TelemetryEvent {
@@ -299,6 +309,12 @@ impl fmt::Display for TelemetryEvent {
                 )
             }
             RunExit { reason } => write!(f, "run exit: {reason}"),
+            AnalysisCacheHit { key } => {
+                write!(f, "analysis cache hit ({key:016x})")
+            }
+            AnalysisCacheMiss { key, evicted } => {
+                write!(f, "analysis cache miss ({key:016x}, {evicted} evicted)")
+            }
         }
     }
 }

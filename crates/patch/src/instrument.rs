@@ -367,6 +367,7 @@ pub struct Instrumenter<'b> {
     layout: PatchLayout,
     mode: RegAllocMode,
     threads: usize,
+    liveness: Option<&'b BTreeMap<u64, Liveness>>,
     insertions: BTreeMap<u64, FuncInsertions>,
     var_cursor: u64,
 }
@@ -379,6 +380,7 @@ impl<'b> Instrumenter<'b> {
             layout: PatchLayout::default(),
             mode: RegAllocMode::DeadRegisters,
             threads: 1,
+            liveness: None,
             insertions: BTreeMap::new(),
             var_cursor: 0,
         }
@@ -403,6 +405,19 @@ impl<'b> Instrumenter<'b> {
     /// results by entry address.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Supply precomputed per-function liveness solutions (keyed by
+    /// function entry). The plan phase uses the supplied solution for a
+    /// function when present and falls back to running
+    /// [`Liveness::analyze`] itself otherwise, so a partial table is
+    /// safe. Liveness is a pure function of the CFG, so a table computed
+    /// once from `co` (e.g. a shared front-half analysis) yields
+    /// bit-identical output to in-plan analysis — only the plan-phase
+    /// wall-clock time changes.
+    pub fn with_liveness(mut self, liveness: &'b BTreeMap<u64, Liveness>) -> Self {
+        self.liveness = Some(liveness);
         self
     }
 
@@ -449,7 +464,14 @@ impl<'b> Instrumenter<'b> {
             .functions
             .get(&fe)
             .ok_or(InstrumentError::UnknownFunction(fe))?;
-        let lv = Liveness::analyze(f);
+        let computed;
+        let lv = match self.liveness.and_then(|m| m.get(&fe)) {
+            Some(shared) => shared,
+            None => {
+                computed = Liveness::analyze(f);
+                &computed
+            }
+        };
 
         // Lower each point's snippets with its dead-register pool.
         // Edge snippets use the dead set before the branch, which is a

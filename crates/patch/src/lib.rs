@@ -64,7 +64,10 @@ pub use instrument::{
     audit_redirect_coverage, clobbered_addresses, InstrumentError, Instrumenter, PatchEvent,
     PatchLayout, RelocationIndex,
 };
-pub use placement::{plan_block_counters, BlockCountPlan, CounterPlacement, CounterSite};
+pub use placement::{
+    plan_block_counters, plan_block_counters_with_depths, BlockCountPlan, CounterPlacement,
+    CounterSite,
+};
 pub use points::{find_points, Point, PointKind};
 pub use relocate::{relocate_function, Insertions, RelocatedFunction, RelocationPlan};
 pub use springboard::{plan_springboard, Springboard, SpringboardKind, SpringboardStats};

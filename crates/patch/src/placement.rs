@@ -249,7 +249,23 @@ fn find(parent: &mut [usize], mut x: usize) -> usize {
 /// address order and the spanning-tree construction breaks weight ties
 /// by that order.
 pub fn plan_block_counters(f: &Function) -> Option<BlockCountPlan> {
+    plan_block_counters_with_depths(f, &loop_depths(f))
+}
+
+/// As [`plan_block_counters`], but with caller-supplied loop depths
+/// (e.g. a shared front-half analysis that already computed them),
+/// skipping the in-plan `loop_depths` recomputation. `depth` must be
+/// the loop-depth map of `f` itself — same keys as `f.blocks`; a map
+/// missing any block falls back to `None` (no plan) rather than
+/// placing counters from inconsistent weights.
+pub fn plan_block_counters_with_depths(
+    f: &Function,
+    depth: &BTreeMap<u64, usize>,
+) -> Option<BlockCountPlan> {
     if f.blocks.is_empty() || !f.blocks.contains_key(&f.entry) {
+        return None;
+    }
+    if f.blocks.keys().any(|b| !depth.contains_key(b)) {
         return None;
     }
     // Every block must be reachable, else its flow equation is
@@ -265,7 +281,6 @@ pub fn plan_block_counters(f: &Function) -> Option<BlockCountPlan> {
         .chain(std::iter::once(EXIT))
         .collect();
     let vidx: BTreeMap<u64, usize> = verts.iter().enumerate().map(|(i, &b)| (b, i)).collect();
-    let depth = loop_depths(f);
     let d = |b: u64| if b == EXIT { 0 } else { depth[&b] };
     // 10^d with a cap well below the virtual edge's weight.
     let w10 = |e: usize| 10u64.saturating_pow(e.min(18) as u32);

@@ -6,12 +6,12 @@
 //! cargo run --release --example loop_profiler
 //! ```
 
-use rvdyn::{BinaryEditor, PointKind, Snippet};
+use rvdyn::{BinaryEditor, PointKind, SessionOptions, Snippet};
 
 fn main() {
     let n = 24usize;
     let bin = rvdyn_asm::matmul_program(n, 1);
-    let mut ed = BinaryEditor::from_binary(bin);
+    let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
 
     // One counter per natural loop of matmul, attached to its latch.
     let mm_entry = ed.function_addr("matmul").unwrap();

@@ -37,6 +37,11 @@ fn usage() -> ! {
                       blocks classes also print exact per-block counts —\n\
                       blocks-optimal places counters only on the Knuth-\n\
                       minimal site set and reconstructs the rest)\n\
+         cache <elf> [elf…]\n\
+                     (open every file twice through one shared analysis\n\
+                      cache: prints each file's content key and whether\n\
+                      the front half was recomputed or reused — files\n\
+                      with identical code/data/symbols share one entry)\n\
          \n\
          --json        emit diagnostics as one rvdyn-diagnostics-v1 JSON line\n\
          --trace       stream telemetry events to stderr\n\
@@ -291,6 +296,57 @@ fn main() {
             println!("counter:    {:?}", r.read_u64(counter.addr));
             println!("--- pipeline diagnostics ---");
             println!("{}", ed.diagnostics());
+        }
+        "cache" => {
+            // Two passes over the file list through one shared cache:
+            // the first pass computes (or shares) each analysis, the
+            // second demonstrates which opens are now free.
+            let paths: Vec<String> = args[1..].to_vec();
+            if paths.is_empty() {
+                usage();
+            }
+            let cache = rvdyn::AnalysisCache::new(paths.len());
+            let mut last = None;
+            for pass in 1..=2 {
+                if !json {
+                    println!("pass {pass}:");
+                }
+                for path in &paths {
+                    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                        eprintln!("cannot read {path}: {e}");
+                        exit(1)
+                    });
+                    let ed = BinaryEditor::open_cached(&bytes, opts(), &cache).unwrap_or_else(die);
+                    let d = ed.diagnostics();
+                    if !json {
+                        println!(
+                            "  {:016x}  {}  {path}",
+                            ed.analysis().key().prefix(),
+                            if d.analysis_cache_hits > 0 {
+                                "hit "
+                            } else {
+                                "miss"
+                            }
+                        );
+                    }
+                    last = Some(ed);
+                }
+            }
+            let stats = cache.stats();
+            if json {
+                // The last session's diagnostics line carries the
+                // rvdyn-diagnostics-v1 schema; cache totals follow the
+                // per-session convention (this one session's view).
+                println!(
+                    "{}",
+                    last.expect("at least one file").diagnostics().to_json()
+                );
+                return;
+            }
+            println!(
+                "cache: {} hits, {} misses, {} evictions, {}/{} entries resident",
+                stats.hits, stats.misses, stats.evictions, stats.entries, stats.capacity
+            );
         }
         _ => usage(),
     }

@@ -4,7 +4,7 @@
 
 use rvdyn::{
     Binary, BinaryEditor, CodeObject, DynamicInstrumenter, ParseOptions, PointKind, RegAllocMode,
-    Snippet,
+    SessionOptions, Snippet,
 };
 
 /// Closed-form dynamic block count of one matmul(n) call (11-block shape).
@@ -113,7 +113,7 @@ fn all_mutatees_instrument_and_run() {
         (rvdyn_asm::tailcall_program(), "twice_plus1"),
     ];
     for (bin, func) in cases {
-        let mut ed = BinaryEditor::from_binary(bin);
+        let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
         let c = ed.alloc_var(8);
         let pts = ed
             .find_points(func, PointKind::BlockEntry)
@@ -132,7 +132,7 @@ fn conditional_snippet_filters_events() {
     // exceeds a threshold — exercises If/Bin lowering against mutatee
     // register state.
     let bin = rvdyn_asm::matmul_program(6, 4);
-    let mut ed = BinaryEditor::from_binary(bin);
+    let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
     let c_all = ed.alloc_var(8);
     let c_big = ed.alloc_var(8);
     let pts = ed.find_points("matmul", PointKind::FuncEntry).unwrap();
@@ -159,7 +159,7 @@ fn conditional_snippet_filters_events() {
 fn snippet_reading_mutatee_state_observes_arguments() {
     // Record the a0 argument of the final call into a variable.
     let bin = rvdyn_asm::fib_program(5);
-    let mut ed = BinaryEditor::from_binary(bin);
+    let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
     let last_arg = ed.alloc_var(8);
     let pts = ed.find_points("fib", PointKind::FuncEntry).unwrap();
     ed.insert(
@@ -205,7 +205,7 @@ fn stripped_binary_full_pipeline_with_gap_parsing() {
 fn force_spill_mode_produces_correct_but_slower_binaries() {
     let bin = rvdyn_asm::matmul_program(6, 1);
     let mk = |mode: RegAllocMode| {
-        let mut ed = BinaryEditor::from_binary(bin.clone());
+        let mut ed = BinaryEditor::from_binary(bin.clone(), SessionOptions::default());
         ed.set_mode(mode);
         let c = ed.alloc_var(8);
         ed.insert(
@@ -233,7 +233,7 @@ fn call_snippet_invokes_mutatee_function_and_preserves_state() {
     let double_it = bin.symbol_by_name("double_it").unwrap().value;
     let result = bin.symbol_by_name("result").unwrap().value;
 
-    let mut ed = BinaryEditor::from_binary(bin);
+    let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
     let hook_out = ed.alloc_var(8);
     let pts = ed.find_points("main", PointKind::FuncEntry).unwrap();
     ed.insert(
@@ -261,7 +261,7 @@ fn call_snippet_at_every_block_of_hot_function() {
     let bin = rvdyn_asm::tailcall_program();
     let double_it = bin.symbol_by_name("double_it").unwrap().value;
     let result = bin.symbol_by_name("result").unwrap().value;
-    let mut ed = BinaryEditor::from_binary(bin);
+    let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
     let acc = ed.alloc_var(8);
     let pts = ed.find_points("main", PointKind::BlockEntry).unwrap();
     ed.insert(

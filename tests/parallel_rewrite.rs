@@ -100,15 +100,12 @@ fn static_memory_writes_are_identical_across_thread_counts() {
     // writes — what the dynamic path delivers — must match exactly.
     for (name, bin, funcs) in mutatees() {
         let reference = {
-            let mut ed = BinaryEditor::from_binary_with_options(bin.clone(), SessionOptions::new());
+            let mut ed = BinaryEditor::from_binary(bin.clone(), SessionOptions::new());
             insert_counters(&mut ed, &funcs);
             ed.instrumented().unwrap()
         };
         for t in [2usize, 4, 8] {
-            let mut ed = BinaryEditor::from_binary_with_options(
-                bin.clone(),
-                SessionOptions::new().threads(t),
-            );
+            let mut ed = BinaryEditor::from_binary(bin.clone(), SessionOptions::new().threads(t));
             insert_counters(&mut ed, &funcs);
             let got = ed.instrumented().unwrap();
             assert_eq!(
@@ -129,7 +126,7 @@ fn dynamic_commit_is_bit_identical_across_thread_counts() {
     for (name, bin, funcs) in mutatees() {
         // Reference payload from a single-threaded plan.
         let reference = {
-            let mut ed = BinaryEditor::from_binary_with_options(bin.clone(), SessionOptions::new());
+            let mut ed = BinaryEditor::from_binary(bin.clone(), SessionOptions::new());
             insert_counters(&mut ed, &funcs);
             ed.instrumented().unwrap()
         };
@@ -176,7 +173,7 @@ fn telemetry_event_order_is_deterministic() {
         .collect();
     let trace = |t: usize| {
         let sink = CollectSink::new();
-        let mut ed = BinaryEditor::from_binary_with_options(
+        let mut ed = BinaryEditor::from_binary(
             bin.clone(),
             SessionOptions::new().threads(t).telemetry(sink.clone()),
         );

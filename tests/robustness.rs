@@ -1,7 +1,7 @@
 //! Robustness suite: regression tests for found bugs plus stress and
 //! fuzz-style coverage of the rewriter.
 
-use rvdyn::{BinaryEditor, PointKind, Snippet};
+use rvdyn::{BinaryEditor, PointKind, SessionOptions, Snippet};
 
 #[test]
 fn bss_survives_elf_round_trip() {
@@ -33,7 +33,7 @@ fn whole_program_instrumentation() {
         .values()
         .filter_map(|f| f.name.clone())
         .collect();
-    let mut ed = BinaryEditor::from_binary(bin.clone());
+    let mut ed = BinaryEditor::from_binary(bin.clone(), SessionOptions::default());
     let c = ed.alloc_var(8);
     for name in &names {
         let pts = ed.find_points(name, PointKind::BlockEntry).unwrap();
@@ -85,7 +85,7 @@ fn random_point_subsets_never_break_the_program() {
 
     for seed in 0u32..24 {
         let mask = (seed.wrapping_mul(2654435761)) % (1 << 11);
-        let mut ed = BinaryEditor::from_binary(bin.clone());
+        let mut ed = BinaryEditor::from_binary(bin.clone(), SessionOptions::default());
         let c = ed.alloc_var(8);
         let pts = ed.find_points("matmul", PointKind::BlockEntry).unwrap();
         assert_eq!(pts.len(), 11);
@@ -161,7 +161,7 @@ fn no_compressed_profile_gets_no_compressed_springboards() {
     };
     assert_eq!(bin.profile(), profile);
 
-    let mut ed = BinaryEditor::from_binary(bin);
+    let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
     let c = ed.alloc_var(8);
     let pts = ed.find_points("main", PointKind::BlockEntry).unwrap();
     ed.insert(&pts, Snippet::increment(c));
@@ -276,7 +276,7 @@ mod typed_errors {
         // ±1 MiB reach with no register to widen through: the springboard
         // planner's failure mode, reported as JumpOutOfRange.
         let bin = rvdyn_asm::tailcall_program();
-        let mut ed = BinaryEditor::from_binary(bin);
+        let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
         ed.set_layout(rvdyn::PatchLayout {
             patch_text: 0x4000_0000,
             patch_data: 0x4100_0000,
@@ -316,7 +316,7 @@ mod typed_errors {
             }
         }
         let bin = rvdyn_asm::matmul_program(4, 1);
-        let mut ed = BinaryEditor::from_binary(bin);
+        let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
         let pts = ed.find_points("matmul", PointKind::FuncEntry).unwrap();
         ed.insert(&pts, deep(14));
         let err = match ed.rewrite() {
@@ -336,7 +336,7 @@ mod typed_errors {
         // back to spill slots (§4.3's slow path), succeed, and the
         // diagnostics must show zero dead-register points.
         let bin = rvdyn_asm::matmul_program(4, 2);
-        let mut ed = BinaryEditor::from_binary(bin);
+        let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
         ed.set_mode(RegAllocMode::ForceSpill);
         let c = ed.alloc_var(8);
         let pts = ed.find_points("matmul", PointKind::FuncEntry).unwrap();

@@ -13,7 +13,7 @@
 
 use rvdyn::{
     audit_redirect_coverage, clobbered_addresses, BinaryEditor, CodeObject, DynamicInstrumenter,
-    Error, ParseOptions, PointKind, Snippet, Stage,
+    Error, ParseOptions, PointKind, SessionOptions, Snippet, Stage,
 };
 use rvdyn_asm::indirect_entry_program;
 use rvdyn_patch::{find_points, Instrumenter};
@@ -139,7 +139,7 @@ fn static_rewrite_of_indirect_entry_function_stays_correct() {
     let bin = indirect_entry_program(ITERS);
     let result_addr = bin.symbol_by_name("result").unwrap().value;
 
-    let mut ed = BinaryEditor::from_binary(bin);
+    let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
     let counter = ed.alloc_var(8);
     let pts = ed.find_points("spin", PointKind::FuncEntry).unwrap();
     ed.insert(&pts, Snippet::increment(counter));

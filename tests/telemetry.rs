@@ -213,10 +213,8 @@ fn conservative_mode_refuses_unresolved_indirects() {
     let bin = program_with_unresolved_indirect();
 
     // Conservative session: refuse to relocate.
-    let mut ed = BinaryEditor::from_binary_with_options(
-        bin.clone(),
-        SessionOptions::new().allow_unresolved(false),
-    );
+    let mut ed =
+        BinaryEditor::from_binary(bin.clone(), SessionOptions::new().allow_unresolved(false));
     assert!(ed.diagnostics().unresolved_indirects > 0);
     let c = ed.alloc_var(8);
     let pts = ed.find_points("main", PointKind::FuncEntry).unwrap();
@@ -235,7 +233,7 @@ fn conservative_mode_refuses_unresolved_indirects() {
 
     // Default (permissive) session: same insertions go through, and the
     // instrumented program still runs — the indirect path is never taken.
-    let mut ed = BinaryEditor::from_binary(bin);
+    let mut ed = BinaryEditor::from_binary(bin, SessionOptions::default());
     let c = ed.alloc_var(8);
     let pts = ed.find_points("main", PointKind::FuncEntry).unwrap();
     ed.insert(&pts, Snippet::increment(c));
@@ -345,17 +343,19 @@ fn diagnostics_json_round_trips_a_real_pipeline() {
 
 #[test]
 #[allow(deprecated)]
-fn snapshot_shims_still_serve_old_callers() {
-    let elf = rvdyn_asm::fib_program(4).to_bytes().unwrap();
-    let ed = BinaryEditor::open(&elf).unwrap();
+fn constructor_shims_still_serve_old_callers() {
+    // The pre-redesign constructor spread forwards to the collapsed
+    // `from_binary(Binary, SessionOptions)`; same session either way.
+    let bin = rvdyn_asm::fib_program(4);
+    let ed = BinaryEditor::from_binary_with(bin.clone(), &rvdyn::ParseOptions::default());
+    let ed2 = BinaryEditor::from_binary_with_options(bin.clone(), SessionOptions::default());
+    let new = BinaryEditor::from_binary(bin, SessionOptions::default());
     assert_eq!(
-        ed.diagnostics_snapshot().functions_parsed,
-        ed.diagnostics().functions_parsed
+        ed.diagnostics().functions_parsed,
+        new.diagnostics().functions_parsed
     );
-
-    let dy = DynamicInstrumenter::create(rvdyn_asm::fib_program(4));
     assert_eq!(
-        dy.diagnostics_snapshot().blocks_parsed,
-        dy.diagnostics().blocks_parsed
+        ed2.diagnostics().blocks_parsed,
+        new.diagnostics().blocks_parsed
     );
 }
