@@ -1315,7 +1315,18 @@ pub fn switch_rel_program(iters: u64) -> Binary {
 /// `30 + 4 * n` lands at `result`; `main` returns 0.
 pub fn many_functions_program(n: usize) -> Binary {
     assert!(n >= 1, "need at least one chained function");
-    let layout = Layout::default();
+    // Each f_i assembles to ~44 bytes; past ~1000 functions the default
+    // layout's .text span (0x8000 bytes before .rodata) would overflow
+    // into the later sections, so scale the layout to the function count.
+    // Small n keeps the default layout, bit-identical to before.
+    let mut layout = Layout::default();
+    let text_cap = 48 * n as u64 + 0x1000;
+    if layout.text + text_cap > layout.rodata {
+        let base = (layout.text + text_cap + 0xFFF) & !0xFFF;
+        layout.rodata = base;
+        layout.data = base + 0x8000;
+        layout.bss = base + 0x1_8000;
+    }
     let result = layout.data;
     let table = layout.rodata;
     let mut a = Assembler::new(layout.text);

@@ -1,8 +1,11 @@
 //! Regenerate the §4.3 results table (experiment T1).
 //!
 //! Usage: `cargo run -p rvdyn-bench --release --bin table1 -- [--json] [N] [REPS]`
-//! (defaults N=100, REPS=1 — the paper's matrix size; malformed
-//! arguments are rejected with a usage message).
+//! (defaults N=1000, REPS=1 — the paper's matrix size scaled up 10x,
+//! which the cached execution engine can afford: set `RVDYN_EMU=cached`
+//! to run the mutatee on the DBT back end, see docs/EMULATOR.md. Pass
+//! `100` for the paper's original size; malformed arguments are
+//! rejected with a usage message).
 //!
 //! Prints the table in the paper's layout: x86 measured natively on the
 //! host with a modelled pre-optimisation trampoline, RISC-V measured on
@@ -18,7 +21,7 @@ use rvdyn_bench::{render_table, Row};
 
 fn usage() -> ! {
     eprintln!("usage: table1 [--json] [N] [REPS]");
-    eprintln!("  N     matrix size, a positive integer (default 100)");
+    eprintln!("  N     matrix size, a positive integer (default 1000)");
     eprintln!("  REPS  matmul calls per run, a positive integer (default 1)");
     std::process::exit(2);
 }
@@ -54,7 +57,7 @@ fn main() {
     if args.len() > 2 || args.iter().any(|a| a.starts_with('-')) {
         usage();
     }
-    let n = parse_arg("N", args.first(), 100);
+    let n = parse_arg("N", args.first(), 1000);
     let reps = parse_arg("REPS", args.get(1), 1);
 
     eprintln!("matmul {n}x{n}, {reps} call(s) — measuring…");

@@ -94,6 +94,15 @@ pub struct Diagnostics {
     /// equations (0 when every block carried its own counter).
     pub counts_reconstructed: u64,
 
+    // -- execution engine (DBT back end; all 0 under the interpreter) --
+    /// Basic blocks the cached engine decoded into its translation cache.
+    pub emu_blocks_translated: u64,
+    /// Cached blocks killed by writes into executable text (springboard
+    /// patches, `FaultPlan` corruption, self-modifying stores).
+    pub emu_invalidations: u64,
+    /// Direct-branch chain links installed between cached blocks.
+    pub emu_chain_links: u64,
+
     /// Per-stage wall-clock attribution for the whole pipeline.
     pub timings: StageTimings,
 }
@@ -141,6 +150,14 @@ impl Diagnostics {
         self.cycles = cycles;
     }
 
+    /// Fill the execution-engine counters from the machine's translation
+    /// cache (all zero when the run used the interpreter).
+    pub fn record_emu(&mut self, blocks_translated: u64, invalidations: u64, chain_links: u64) {
+        self.emu_blocks_translated = blocks_translated;
+        self.emu_invalidations = invalidations;
+        self.emu_chain_links = chain_links;
+    }
+
     /// Serialise the full diagnostics — counters and per-stage timings —
     /// as a self-describing JSON object (schema `rvdyn-diagnostics-v1`).
     /// Every value is a JSON number, so the output needs no escaping and
@@ -166,6 +183,8 @@ impl Diagnostics {
                 "\"cache\":{{\"analysis_cache_hits\":{},",
                 "\"analysis_cache_misses\":{},",
                 "\"analysis_cache_evictions\":{}}},",
+                "\"emu\":{{\"blocks_translated\":{},",
+                "\"invalidations\":{},\"chain_links\":{}}},",
                 "\"timings_ns\":{{\"open\":{},\"parse\":{},\"instrument\":{},",
                 "\"relocate\":{},\"commit\":{},\"run\":{}}}}}"
             ),
@@ -196,6 +215,9 @@ impl Diagnostics {
             self.analysis_cache_hits,
             self.analysis_cache_misses,
             self.analysis_cache_evictions,
+            self.emu_blocks_translated,
+            self.emu_invalidations,
+            self.emu_chain_links,
             t.open_ns,
             t.parse_ns,
             t.instrument_ns,
@@ -281,6 +303,13 @@ impl fmt::Display for Diagnostics {
             "run:        {} instret, {} cycles",
             self.instret, self.cycles
         )?;
+        if self.emu_blocks_translated > 0 {
+            writeln!(
+                f,
+                "engine:     {} blocks translated, {} chain links, {} invalidations",
+                self.emu_blocks_translated, self.emu_chain_links, self.emu_invalidations
+            )?;
+        }
         write!(f, "timings:    {}", self.timings)
     }
 }
@@ -394,6 +423,9 @@ mod tests {
             analysis_cache_hits: 8,
             analysis_cache_misses: 2,
             analysis_cache_evictions: 1,
+            emu_blocks_translated: 42,
+            emu_invalidations: 3,
+            emu_chain_links: 40,
             ..Default::default()
         };
         d.timings.record(TimedStage::Parse, 1_000);
@@ -438,6 +470,10 @@ mod tests {
             "\"analysis_cache_hits\":8",
             "\"analysis_cache_misses\":2",
             "\"analysis_cache_evictions\":1",
+            "\"emu\":{",
+            "\"blocks_translated\":42",
+            "\"invalidations\":3",
+            "\"chain_links\":40",
             "\"timings_ns\":{",
             "\"open\":0",
             "\"parse\":1000",

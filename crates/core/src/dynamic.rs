@@ -93,6 +93,11 @@ impl DynamicInstrumenter {
         if let Some(plan) = session.fault_plan() {
             process.set_fault_plan(plan);
         }
+        // The session's execution-engine choice applies to the live
+        // mutatee: the cached engine sees every debug-interface write
+        // through the machine's invalidation hook, so springboard patches
+        // and fault-plan corruption both force re-decode.
+        process.machine_mut().engine = session.engine();
         DynamicInstrumenter {
             session,
             process,
@@ -287,6 +292,10 @@ impl DynamicInstrumenter {
                 Ok(rvdyn_proccontrol::Event::Fault { pc, addr }) => {
                     break Err(Error::MutateeFault { pc, addr });
                 }
+                Err(rvdyn_proccontrol::ProcError::CacheIncoherent(pc)) => {
+                    // Contract violation, promoted like the From impl does.
+                    break Err(Error::CacheIncoherent { pc });
+                }
                 Err(source) => {
                     break Err(Error::Proc {
                         source,
@@ -299,6 +308,7 @@ impl DynamicInstrumenter {
             Ok(_) => "exited",
             Err(Error::RedirectMiss { .. }) => "break",
             Err(Error::MutateeFault { .. }) => "mem-fault",
+            Err(Error::CacheIncoherent { .. }) => "cache-incoherent",
             Err(_) => "stopped",
         };
         self.session.emit(TelemetryEvent::RunExit { reason });
@@ -307,6 +317,7 @@ impl DynamicInstrumenter {
             (m.icount, m.cycles)
         };
         self.session.record_run(icount, cycles);
+        self.session.record_emu(self.process.machine_mut());
         self.session.diag_mut().faults_injected = self.process.faults_injected();
         self.session.end_stage(timer);
         result

@@ -220,14 +220,16 @@ impl BinaryEditor {
         let bin = Binary::parse(&elf)?;
         let timer = self.session.begin_stage(TimedStage::Run);
         let sink = self.session.sink();
-        let res = run_binary_observed(&bin, fuel, &mut |label| {
+        let engine = self.session.engine();
+        let mut res = run_binary_engine(&bin, fuel, engine, &mut |label| {
             if let Some(s) = &sink {
                 s.event(&TelemetryEvent::RunExit { reason: label });
             }
         });
         self.session.end_stage(timer);
-        if let Ok(r) = &res {
+        if let Ok(r) = &mut res {
             self.session.record_run(r.icount, r.cycles);
+            self.session.record_emu(&mut r.machine);
         }
         res
     }
@@ -261,6 +263,17 @@ pub fn run_elf(elf: &[u8], fuel: u64) -> Result<RunOutput, Error> {
     run_binary(&bin, fuel)
 }
 
+/// As [`run_elf`] with an explicit execution engine (the programmatic
+/// equivalent of the `RVDYN_EMU` environment knob).
+pub fn run_elf_with(
+    elf: &[u8],
+    fuel: u64,
+    engine: rvdyn_emu::EmuEngine,
+) -> Result<RunOutput, Error> {
+    let bin = Binary::parse(elf)?;
+    run_binary_engine(&bin, fuel, engine, &mut |_| {})
+}
+
 /// As [`run_elf`] for an in-memory binary model.
 ///
 /// A mutatee that faults or stops without exiting is reported as a typed
@@ -281,7 +294,22 @@ pub fn run_binary_observed(
     fuel: u64,
     on_exit: &mut dyn FnMut(&'static str),
 ) -> Result<RunOutput, Error> {
+    // Free-standing runs keep the machine's own default engine, which
+    // honours the `RVDYN_EMU` environment knob.
+    run_binary_engine(bin, fuel, rvdyn_emu::EmuEngine::from_env(), on_exit)
+}
+
+/// As [`run_binary_observed`] with an explicit execution engine — the
+/// session-driven path, where `SessionOptions::engine` wins over the
+/// environment.
+pub(crate) fn run_binary_engine(
+    bin: &Binary,
+    fuel: u64,
+    engine: rvdyn_emu::EmuEngine,
+    on_exit: &mut dyn FnMut(&'static str),
+) -> Result<RunOutput, Error> {
     let mut m = rvdyn_emu::load_binary(bin);
+    m.engine = engine;
     m.fuel = Some(fuel);
     let stop = m.run();
     on_exit(stop.label());
@@ -319,6 +347,9 @@ pub fn run_binary_observed(
                 pc: m.pc,
                 icount: m.icount,
             });
+        }
+        rvdyn_emu::StopReason::CacheIncoherent { pc } => {
+            return Err(Error::CacheIncoherent { pc });
         }
     };
     Ok(RunOutput {

@@ -90,6 +90,12 @@ pub enum Error {
         pc: u64,
         icount: u64,
     },
+    /// The emulator's translation-cache coherence assertion tripped: a
+    /// cached basic block's source bytes changed without an invalidation.
+    /// Only reachable when `verify_translations` is armed on the machine
+    /// and executable text is mutated behind the debug interface — a
+    /// mutator bug, never a mutatee condition. See `docs/EMULATOR.md`.
+    CacheIncoherent { pc: u64 },
     /// Per-block count recovery failed for the function at `func`: a
     /// counter variable could not be read back, or the placed counter
     /// values violate the CFG flow equations (a negative reconstructed
@@ -115,6 +121,7 @@ impl Error {
             | Error::MutateeFault { .. }
             | Error::UncleanExit { .. }
             | Error::RedirectMiss { .. }
+            | Error::CacheIncoherent { .. }
             | Error::CounterReconstruct { .. } => Stage::Run,
         }
     }
@@ -128,6 +135,7 @@ impl Error {
             Error::MutateeFault { pc, .. }
             | Error::UncleanExit { pc, .. }
             | Error::RedirectMiss { pc }
+            | Error::CacheIncoherent { pc }
             | Error::SpringboardClobber { pc, .. } => Some(*pc),
             Error::UnresolvedIndirects { func, .. } => Some(*func),
             Error::PatchVerifyFailed { addr } => Some(*addr),
@@ -186,6 +194,11 @@ impl fmt::Display for Error {
                 f,
                 "[run] mutatee did not exit cleanly: {reason} \
                  (pc {pc:#x} after {icount} instructions)"
+            ),
+            Error::CacheIncoherent { pc } => write!(
+                f,
+                "[run] translation cache incoherent at {pc:#x}: cached text \
+                 changed without invalidation"
             ),
             Error::CounterReconstruct { func, addr } => write!(
                 f,
@@ -254,6 +267,11 @@ impl From<RelocateError> for Error {
 
 impl From<ProcError> for Error {
     fn from(source: ProcError) -> Error {
-        Error::Proc { source, pc: None }
+        match source {
+            // The coherence assertion is a first-class contract violation
+            // (like SpringboardClobber), not a generic proc failure.
+            ProcError::CacheIncoherent(pc) => Error::CacheIncoherent { pc },
+            source => Error::Proc { source, pc: None },
+        }
     }
 }

@@ -87,7 +87,9 @@ pub use analysis::{
 };
 pub use diag::Diagnostics;
 pub use dynamic::DynamicInstrumenter;
-pub use editor::{run_binary, run_binary_observed, run_elf, BinaryEditor, EditorError, RunOutput};
+pub use editor::{
+    run_binary, run_binary_observed, run_elf, run_elf_with, BinaryEditor, EditorError, RunOutput,
+};
 pub use error::{Error, Stage};
 pub use session::{BlockCounter, Session, SessionOptions};
 pub use telemetry::{
@@ -98,7 +100,7 @@ pub use telemetry::{
 pub use rvdyn_codegen::regalloc::RegAllocMode;
 pub use rvdyn_codegen::snippet::{BinaryOp, Snippet, UnaryOp, Var};
 pub use rvdyn_dataflow::{backward_slice, forward_slice, Liveness, StackHeight};
-pub use rvdyn_emu::{CostModel, Machine, StopReason};
+pub use rvdyn_emu::{CostModel, EmuEngine, Machine, StopReason};
 pub use rvdyn_isa::{decode, IsaProfile, Reg};
 pub use rvdyn_parse::{CodeObject, EdgeKind, Function, ParseEvent, ParseOptions};
 pub use rvdyn_patch::{

@@ -38,6 +38,7 @@ use crate::telemetry::{
 };
 use rvdyn_codegen::regalloc::RegAllocMode;
 use rvdyn_codegen::snippet::{Snippet, Var};
+use rvdyn_emu::{EmuEngine, EmuEvent};
 use rvdyn_parse::{CodeObject, EdgeKind, ParseEvent, ParseOptions};
 use rvdyn_patch::instrument::PatchResult;
 use rvdyn_patch::placement::{
@@ -68,6 +69,7 @@ pub struct SessionOptions {
     pub(crate) fault_plan: Option<FaultPlan>,
     pub(crate) placement: CounterPlacement,
     pub(crate) threads: usize,
+    pub(crate) engine: EmuEngine,
 }
 
 impl Default for SessionOptions {
@@ -81,6 +83,12 @@ impl Default for SessionOptions {
             fault_plan: None,
             placement: CounterPlacement::EveryBlock,
             threads: 1,
+            // `RVDYN_EMU` selects the execution engine fleet-wide the
+            // same way RVDYN_THREADS selects the worker count: both
+            // engines are observationally identical, so any test or
+            // tool can be flipped onto the cached engine from the
+            // environment. An explicit `.engine(..)` still wins.
+            engine: EmuEngine::from_env(),
         };
         // `RVDYN_THREADS` sets the default worker count for sessions that
         // don't call [`SessionOptions::threads`] — how CI runs the whole
@@ -164,6 +172,17 @@ impl SessionOptions {
         self
     }
 
+    /// Select the execution engine the mutatee runs on
+    /// ([`EmuEngine::Interpreter`] or the translation-cached
+    /// [`EmuEngine::Cached`] DBT back end — see `docs/EMULATOR.md`).
+    /// Both engines are bit-identical in architectural state, cycle
+    /// counts and trap pcs; `Cached` is the fast one. Defaults from the
+    /// `RVDYN_EMU` environment variable.
+    pub fn engine(mut self, engine: EmuEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Select the counter-placement strategy used by
     /// [`Session::count_blocks`]. Defaults to
     /// [`CounterPlacement::EveryBlock`];
@@ -198,6 +217,7 @@ pub struct Session {
     fault_plan: Option<FaultPlan>,
     placement: CounterPlacement,
     threads: usize,
+    engine: EmuEngine,
 }
 
 /// Handle to one per-function basic-block counting request, returned by
@@ -357,6 +377,7 @@ impl Session {
             fault_plan: opts.fault_plan,
             placement: opts.placement,
             threads: opts.threads,
+            engine: opts.engine,
         }
     }
 
@@ -640,6 +661,26 @@ impl Session {
         self.fault_plan
     }
 
+    /// The configured execution engine, for the delivery shells to stamp
+    /// onto the machines they build.
+    pub(crate) fn engine(&self) -> EmuEngine {
+        self.engine
+    }
+
+    /// Fold the machine's drained engine events and counters into the
+    /// telemetry stream and diagnostics (both delivery shells call this
+    /// once per completed run).
+    pub(crate) fn record_emu(&mut self, machine: &mut rvdyn_emu::Machine) {
+        for ev in machine.take_emu_events() {
+            self.tele.emit(adapt_emu(ev));
+        }
+        self.diag.record_emu(
+            machine.emu_blocks_translated(),
+            machine.emu_invalidations(),
+            machine.emu_chain_links(),
+        );
+    }
+
     pub(crate) fn emit(&self, ev: TelemetryEvent) {
         self.tele.emit(ev);
     }
@@ -695,6 +736,17 @@ fn adapt_patch(ev: PatchEvent) -> TelemetryEvent {
         PatchEvent::RedirectRegistered { from, to } => {
             TelemetryEvent::RedirectRegistered { from, to }
         }
+    }
+}
+
+/// Translate an execution-engine event into the telemetry vocabulary.
+/// Engine events are buffered on the machine during the run (the
+/// machine must stay `Send`; a live sink callback would not) and
+/// drained here afterwards by [`Session::record_emu`].
+fn adapt_emu(ev: EmuEvent) -> TelemetryEvent {
+    match ev {
+        EmuEvent::BlockTranslated { pc, insts } => TelemetryEvent::BlockTranslated { pc, insts },
+        EmuEvent::BlockInvalidated { pc } => TelemetryEvent::BlockInvalidated { pc },
     }
 }
 

@@ -233,6 +233,13 @@ pub enum TelemetryEvent {
     ///
     /// [`StopReason`]: rvdyn_emu::StopReason
     RunExit { reason: &'static str },
+    /// The cached execution engine decoded a basic block of `insts`
+    /// instructions into its translation cache (DBT back end; see
+    /// `docs/EMULATOR.md`).
+    BlockTranslated { pc: u64, insts: usize },
+    /// A write into executable text killed the cached block at `pc`,
+    /// forcing a re-decode on next execution.
+    BlockInvalidated { pc: u64 },
     /// An [`AnalysisCache`](crate::AnalysisCache) lookup was answered
     /// from the cache: the session reused a shared front-half analysis
     /// and skipped parse/loop/liveness entirely. `key` is the leading
@@ -309,6 +316,12 @@ impl fmt::Display for TelemetryEvent {
                 )
             }
             RunExit { reason } => write!(f, "run exit: {reason}"),
+            BlockTranslated { pc, insts } => {
+                write!(f, "block translated at {pc:#x} ({insts} insts)")
+            }
+            BlockInvalidated { pc } => {
+                write!(f, "block invalidated at {pc:#x}")
+            }
             AnalysisCacheHit { key } => {
                 write!(f, "analysis cache hit ({key:016x})")
             }

@@ -14,17 +14,29 @@ use rvdyn_isa::{Extension, Instruction, Op};
 pub struct CostModel {
     /// Core clock in Hz (P550: 1.4 GHz).
     pub freq_hz: u64,
+    /// Integer ALU op (add/shift/logic, LUI/AUIPC, fences).
     pub int_alu: u64,
+    /// Integer or FP load.
     pub load: u64,
+    /// Integer or FP store.
     pub store: u64,
+    /// Conditional branch that is taken (pipeline redirect).
     pub branch_taken: u64,
+    /// Conditional branch that falls through.
     pub branch_not_taken: u64,
+    /// Unconditional jump (`jal`/`jalr`).
     pub jump: u64,
+    /// Integer multiply family.
     pub mul: u64,
+    /// Integer divide/remainder family.
     pub div: u64,
+    /// FP arithmetic other than divide/sqrt (incl. FMA, compares, moves).
     pub fp_alu: u64,
+    /// FP divide and square root.
     pub fp_div: u64,
+    /// Atomic memory operation (`lr`/`sc`/`amo*`).
     pub amo: u64,
+    /// `ecall` service cost (kernel round trip).
     pub syscall: u64,
     /// Cost of a trap-table redirect (SIGTRAP round trip on hardware).
     pub trap_redirect: u64,

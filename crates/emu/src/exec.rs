@@ -1,0 +1,750 @@
+//! Instruction execution: the RV64GC semantic core shared by both
+//! execution engines.
+//!
+//! [`Machine::exec`] applies one decoded [`Instruction`] to the machine
+//! state and reports its control-flow [`Effect`]. The interpreter calls
+//! it for every retired instruction; the translation-cached engine
+//! (`crate::translate`) calls it only for `Fallback` steps — CSR ops,
+//! syscalls, atomics, conversions and other cold opcodes — so the two
+//! engines share one definition of instruction semantics by
+//! construction.
+
+use crate::machine::{Machine, StopReason, EXIT_SYSCALL};
+use crate::memory::MemFault;
+use rvdyn_isa::{Instruction, Op, Reg};
+
+const SYS_WRITE: u64 = 64;
+const SYS_BRK: u64 = 214;
+const SYS_CLOCK_GETTIME: u64 = 113;
+
+/// What an executed instruction does to control flow.
+pub(crate) enum Effect {
+    /// Fall through to the next sequential instruction.
+    Next,
+    /// Transfer control to this pc (jumps and taken branches).
+    Jump(u64),
+    /// Halt the machine with this reason.
+    Stop(StopReason),
+}
+
+impl Machine {
+    #[inline]
+    #[allow(clippy::manual_checked_ops)] // spec-mandated div-by-zero results
+    pub(crate) fn exec(&mut self, i: &Instruction) -> Result<Effect, MemFault> {
+        use Op::*;
+        let rd = i.rd.unwrap_or(Reg::X0);
+        let rs1 = || self.get(i.rs1.unwrap_or(Reg::X0));
+        let rs2 = || self.get(i.rs2.unwrap_or(Reg::X0));
+        let imm = i.imm;
+        macro_rules! wr {
+            ($v:expr) => {{
+                let v = $v;
+                self.set(rd, v);
+                Ok(Effect::Next)
+            }};
+        }
+        let sw = |v: u64| v as i32 as i64 as u64;
+
+        match i.op {
+            Lui => wr!(imm as u64),
+            Auipc => wr!(i.address.wrapping_add(imm as u64)),
+            Addi => wr!(rs1().wrapping_add(imm as u64)),
+            Slti => wr!(((rs1() as i64) < imm) as u64),
+            Sltiu => wr!((rs1() < imm as u64) as u64),
+            Xori => wr!(rs1() ^ imm as u64),
+            Ori => wr!(rs1() | imm as u64),
+            Andi => wr!(rs1() & imm as u64),
+            Slli => wr!(rs1().wrapping_shl(imm as u32)),
+            Srli => wr!(rs1().wrapping_shr(imm as u32)),
+            Srai => wr!(((rs1() as i64) >> (imm as u32)) as u64),
+            Addiw => wr!(sw(rs1().wrapping_add(imm as u64))),
+            Slliw => wr!(sw((rs1() as u32).wrapping_shl(imm as u32) as u64)),
+            Srliw => wr!(sw(((rs1() as u32) >> (imm as u32)) as u64)),
+            Sraiw => wr!(sw((((rs1() as i32) >> (imm as u32)) as u32) as u64)),
+            Add => wr!(rs1().wrapping_add(rs2())),
+            Sub => wr!(rs1().wrapping_sub(rs2())),
+            Sll => wr!(rs1().wrapping_shl((rs2() & 63) as u32)),
+            Slt => wr!(((rs1() as i64) < (rs2() as i64)) as u64),
+            Sltu => wr!((rs1() < rs2()) as u64),
+            Xor => wr!(rs1() ^ rs2()),
+            Srl => wr!(rs1().wrapping_shr((rs2() & 63) as u32)),
+            Sra => wr!(((rs1() as i64) >> ((rs2() & 63) as u32)) as u64),
+            Or => wr!(rs1() | rs2()),
+            And => wr!(rs1() & rs2()),
+            Addw => wr!(sw(rs1().wrapping_add(rs2()))),
+            Subw => wr!(sw(rs1().wrapping_sub(rs2()))),
+            Sllw => wr!(sw(((rs1() as u32) << (rs2() & 31)) as u64)),
+            Srlw => wr!(sw(((rs1() as u32) >> (rs2() & 31)) as u64)),
+            Sraw => wr!(sw((((rs1() as i32) >> (rs2() & 31)) as u32) as u64)),
+            Mul => wr!(rs1().wrapping_mul(rs2())),
+            Mulh => {
+                wr!((((rs1() as i64 as i128) * (rs2() as i64 as i128)) >> 64) as u64)
+            }
+            Mulhsu => {
+                wr!((((rs1() as i64 as i128) * (rs2() as u128 as i128)) >> 64) as u64)
+            }
+            Mulhu => wr!((((rs1() as u128) * (rs2() as u128)) >> 64) as u64),
+            Div => {
+                let (a, b) = (rs1() as i64, rs2() as i64);
+                wr!(if b == 0 {
+                    u64::MAX
+                } else if a == i64::MIN && b == -1 {
+                    a as u64
+                } else {
+                    (a / b) as u64
+                })
+            }
+            Divu => {
+                let (a, b) = (rs1(), rs2());
+                wr!(if b == 0 { u64::MAX } else { a / b })
+            }
+            Rem => {
+                let (a, b) = (rs1() as i64, rs2() as i64);
+                wr!(if b == 0 {
+                    a as u64
+                } else if a == i64::MIN && b == -1 {
+                    0
+                } else {
+                    (a % b) as u64
+                })
+            }
+            Remu => {
+                let (a, b) = (rs1(), rs2());
+                wr!(if b == 0 { a } else { a % b })
+            }
+            Mulw => wr!(sw(rs1().wrapping_mul(rs2()))),
+            Divw => {
+                let (a, b) = (rs1() as i32, rs2() as i32);
+                wr!(if b == 0 {
+                    u64::MAX
+                } else if a == i32::MIN && b == -1 {
+                    a as i64 as u64
+                } else {
+                    (a / b) as i64 as u64
+                })
+            }
+            Divuw => {
+                let (a, b) = (rs1() as u32, rs2() as u32);
+                wr!(if b == 0 { u64::MAX } else { sw((a / b) as u64) })
+            }
+            Remw => {
+                let (a, b) = (rs1() as i32, rs2() as i32);
+                wr!(if b == 0 {
+                    a as i64 as u64
+                } else if a == i32::MIN && b == -1 {
+                    0
+                } else {
+                    (a % b) as i64 as u64
+                })
+            }
+            Remuw => {
+                let (a, b) = (rs1() as u32, rs2() as u32);
+                wr!(if b == 0 {
+                    a as i64 as u64
+                } else {
+                    sw((a % b) as u64)
+                })
+            }
+            Jal => {
+                let target = i.address.wrapping_add(imm as u64);
+                self.set(rd, i.next_pc());
+                Ok(Effect::Jump(target))
+            }
+            Jalr => {
+                let target = rs1().wrapping_add(imm as u64) & !1;
+                self.set(rd, i.next_pc());
+                Ok(Effect::Jump(target))
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let (a, b) = (rs1(), rs2());
+                let take = match i.op {
+                    Beq => a == b,
+                    Bne => a != b,
+                    Blt => (a as i64) < (b as i64),
+                    Bge => (a as i64) >= (b as i64),
+                    Bltu => a < b,
+                    _ => a >= b,
+                };
+                if take {
+                    Ok(Effect::Jump(i.address.wrapping_add(imm as u64)))
+                } else {
+                    Ok(Effect::Next)
+                }
+            }
+            Lb | Lh | Lw | Ld | Lbu | Lhu | Lwu => {
+                let addr = rs1().wrapping_add(imm as u64);
+                let (size, sx) = match i.op {
+                    Lb => (1, true),
+                    Lh => (2, true),
+                    Lw => (4, true),
+                    Ld => (8, false),
+                    Lbu => (1, false),
+                    Lhu => (2, false),
+                    _ => (4, false),
+                };
+                let raw = self.mem.load(addr, size)?;
+                let v = if sx {
+                    let shift = 64 - size as u32 * 8;
+                    (((raw << shift) as i64) >> shift) as u64
+                } else {
+                    raw
+                };
+                wr!(v)
+            }
+            Sb | Sh | Sw | Sd => {
+                let addr = rs1().wrapping_add(imm as u64);
+                let size = match i.op {
+                    Sb => 1,
+                    Sh => 2,
+                    Sw => 4,
+                    _ => 8,
+                };
+                let val = rs2();
+                self.mem.store(addr, size, val)?;
+                self.invalidate(addr, size as u64);
+                Ok(Effect::Next)
+            }
+            Flw => {
+                let addr = rs1().wrapping_add(imm as u64);
+                let raw = self.mem.load(addr, 4)?;
+                self.set(rd, nan_box(raw as u32));
+                Ok(Effect::Next)
+            }
+            Fld => {
+                let addr = rs1().wrapping_add(imm as u64);
+                let raw = self.mem.load(addr, 8)?;
+                self.set(rd, raw);
+                Ok(Effect::Next)
+            }
+            Fsw => {
+                let addr = rs1().wrapping_add(imm as u64);
+                let v = self.get(i.rs2.unwrap()) as u32;
+                self.mem.store(addr, 4, v as u64)?;
+                Ok(Effect::Next)
+            }
+            Fsd => {
+                let addr = rs1().wrapping_add(imm as u64);
+                let v = self.get(i.rs2.unwrap());
+                self.mem.store(addr, 8, v)?;
+                Ok(Effect::Next)
+            }
+            Fence | FenceI => Ok(Effect::Next),
+            Ecall => self.syscall(),
+            Ebreak => Ok(Effect::Stop(StopReason::Break(i.address))),
+            Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => {
+                let csr = i.csr.unwrap_or(0);
+                let old = self.read_csr(csr);
+                let src = match i.op {
+                    Csrrw | Csrrs | Csrrc => rs1(),
+                    _ => imm as u64,
+                };
+                let new = match i.op {
+                    Csrrw | Csrrwi => src,
+                    Csrrs | Csrrsi => old | src,
+                    _ => old & !src,
+                };
+                // Writes only apply when the source is live per spec
+                // subtleties; we apply unconditionally except to RO CSRs.
+                self.write_csr(csr, new);
+                wr!(old)
+            }
+            op if op.is_atomic() => self.exec_amo(i),
+            _ => self.exec_fp(i),
+        }
+    }
+
+    fn exec_amo(&mut self, i: &Instruction) -> Result<Effect, MemFault> {
+        use Op::*;
+        let addr = self.get(i.rs1.unwrap());
+        let rd = i.rd.unwrap_or(Reg::X0);
+        let size: u8 = if i.op.mnemonic().ends_with(".w") {
+            4
+        } else {
+            8
+        };
+        match i.op {
+            LrW | LrD => {
+                let raw = self.mem.load(addr, size)?;
+                let v = if size == 4 {
+                    raw as u32 as i32 as i64 as u64
+                } else {
+                    raw
+                };
+                self.set(rd, v);
+            }
+            ScW | ScD => {
+                // Single-threaded: always succeeds.
+                let v = self.get(i.rs2.unwrap());
+                self.mem.store(addr, size, v)?;
+                self.set(rd, 0);
+            }
+            _ => {
+                let raw = self.mem.load(addr, size)?;
+                let old = if size == 4 {
+                    raw as u32 as i32 as i64 as u64
+                } else {
+                    raw
+                };
+                let src = self.get(i.rs2.unwrap());
+                let new = match i.op {
+                    AmoSwapW | AmoSwapD => src,
+                    AmoAddW | AmoAddD => old.wrapping_add(src),
+                    AmoXorW | AmoXorD => old ^ src,
+                    AmoAndW | AmoAndD => old & src,
+                    AmoOrW | AmoOrD => old | src,
+                    AmoMinW => ((old as i32).min(src as i32)) as u64,
+                    AmoMaxW => ((old as i32).max(src as i32)) as u64,
+                    AmoMinuW => ((old as u32).min(src as u32)) as u64,
+                    AmoMaxuW => ((old as u32).max(src as u32)) as u64,
+                    AmoMinD => ((old as i64).min(src as i64)) as u64,
+                    AmoMaxD => ((old as i64).max(src as i64)) as u64,
+                    AmoMinuD => old.min(src),
+                    AmoMaxuD => old.max(src),
+                    _ => unreachable!(),
+                };
+                self.mem.store(addr, size, new)?;
+                self.set(rd, old);
+            }
+        }
+        Ok(Effect::Next)
+    }
+
+    // ---- floating point ----
+
+    #[inline]
+    pub(crate) fn f64v(&self, r: Reg) -> f64 {
+        f64::from_bits(self.get(r))
+    }
+
+    #[inline]
+    pub(crate) fn f32v(&self, r: Reg) -> f32 {
+        let bits = self.get(r);
+        // NaN-boxing check: a valid f32 has all upper 32 bits set.
+        if bits >> 32 == 0xFFFF_FFFF {
+            f32::from_bits(bits as u32)
+        } else {
+            f32::NAN
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set_f64(&mut self, r: Reg, v: f64) {
+        self.set(r, v.to_bits());
+    }
+
+    #[inline]
+    pub(crate) fn set_f32(&mut self, r: Reg, v: f32) {
+        self.set(r, nan_box(v.to_bits()));
+    }
+
+    fn exec_fp(&mut self, i: &Instruction) -> Result<Effect, MemFault> {
+        use Op::*;
+        let rd = i.rd.unwrap_or(Reg::X0);
+        let a64 = || self.f64v(i.rs1.unwrap());
+        let b64 = || self.f64v(i.rs2.unwrap());
+        let a32 = || self.f32v(i.rs1.unwrap());
+        let b32 = || self.f32v(i.rs2.unwrap());
+        macro_rules! wrd {
+            ($v:expr) => {{
+                let v = $v;
+                self.set_f64(rd, v);
+                Ok(Effect::Next)
+            }};
+        }
+        macro_rules! wrs {
+            ($v:expr) => {{
+                let v = $v;
+                self.set_f32(rd, v);
+                Ok(Effect::Next)
+            }};
+        }
+        macro_rules! wrx {
+            ($v:expr) => {{
+                let v = $v;
+                self.set(rd, v);
+                Ok(Effect::Next)
+            }};
+        }
+        let rm = if i.rm == 7 {
+            ((self.fcsr >> 5) & 7) as u8
+        } else {
+            i.rm
+        };
+
+        match i.op {
+            FaddD => wrd!(a64() + b64()),
+            FsubD => wrd!(a64() - b64()),
+            FmulD => wrd!(a64() * b64()),
+            FdivD => wrd!(a64() / b64()),
+            FsqrtD => wrd!(a64().sqrt()),
+            FaddS => wrs!(a32() + b32()),
+            FsubS => wrs!(a32() - b32()),
+            FmulS => wrs!(a32() * b32()),
+            FdivS => wrs!(a32() / b32()),
+            FsqrtS => wrs!(a32().sqrt()),
+            FmaddD | FmsubD | FnmsubD | FnmaddD => {
+                let (a, b, c) = (a64(), b64(), self.f64v(i.rs3.unwrap()));
+                wrd!(match i.op {
+                    FmaddD => a.mul_add(b, c),
+                    FmsubD => a.mul_add(b, -c),
+                    FnmsubD => (-a).mul_add(b, c),
+                    _ => (-a).mul_add(b, -c),
+                })
+            }
+            FmaddS | FmsubS | FnmsubS | FnmaddS => {
+                let (a, b, c) = (a32(), b32(), self.f32v(i.rs3.unwrap()));
+                wrs!(match i.op {
+                    FmaddS => a.mul_add(b, c),
+                    FmsubS => a.mul_add(b, -c),
+                    FnmsubS => (-a).mul_add(b, c),
+                    _ => (-a).mul_add(b, -c),
+                })
+            }
+            FsgnjD | FsgnjnD | FsgnjxD => {
+                let (a, b) = (self.get(i.rs1.unwrap()), self.get(i.rs2.unwrap()));
+                let sign = match i.op {
+                    FsgnjD => b & (1 << 63),
+                    FsgnjnD => !b & (1 << 63),
+                    _ => (a ^ b) & (1 << 63),
+                };
+                wrx!((a & !(1u64 << 63)) | sign)
+            }
+            FsgnjS | FsgnjnS | FsgnjxS => {
+                let a = self.f32v(i.rs1.unwrap()).to_bits();
+                let b = self.f32v(i.rs2.unwrap()).to_bits();
+                let sign = match i.op {
+                    FsgnjS => b & (1 << 31),
+                    FsgnjnS => !b & (1 << 31),
+                    _ => (a ^ b) & (1 << 31),
+                };
+                wrx!(nan_box((a & !(1u32 << 31)) | sign))
+            }
+            FminD => wrd!(fmin64(a64(), b64())),
+            FmaxD => wrd!(fmax64(a64(), b64())),
+            FminS => wrs!(fmin32(a32(), b32())),
+            FmaxS => wrs!(fmax32(a32(), b32())),
+            FeqD => wrx!((a64() == b64()) as u64),
+            FltD => wrx!((a64() < b64()) as u64),
+            FleD => wrx!((a64() <= b64()) as u64),
+            FeqS => wrx!((a32() == b32()) as u64),
+            FltS => wrx!((a32() < b32()) as u64),
+            FleS => wrx!((a32() <= b32()) as u64),
+            FclassD => wrx!(fclass64(a64())),
+            FclassS => wrx!(fclass32(a32())),
+            FcvtWD => wrx!(f2i(a64(), rm, i32::MIN as i64, i32::MAX as i64) as i32 as i64 as u64),
+            FcvtWuD => wrx!(f2u(a64(), rm, u32::MAX as u64) as u32 as i32 as i64 as u64),
+            FcvtLD => wrx!(f2i(a64(), rm, i64::MIN, i64::MAX) as u64),
+            FcvtLuD => wrx!(f2u(a64(), rm, u64::MAX)),
+            FcvtWS => {
+                wrx!(f2i(a32() as f64, rm, i32::MIN as i64, i32::MAX as i64) as i32 as i64 as u64)
+            }
+            FcvtWuS => wrx!(f2u(a32() as f64, rm, u32::MAX as u64) as u32 as i32 as i64 as u64),
+            FcvtLS => wrx!(f2i(a32() as f64, rm, i64::MIN, i64::MAX) as u64),
+            FcvtLuS => wrx!(f2u(a32() as f64, rm, u64::MAX)),
+            FcvtDW => wrd!(self.get(i.rs1.unwrap()) as i32 as f64),
+            FcvtDWu => wrd!(self.get(i.rs1.unwrap()) as u32 as f64),
+            FcvtDL => wrd!(self.get(i.rs1.unwrap()) as i64 as f64),
+            FcvtDLu => wrd!(self.get(i.rs1.unwrap()) as f64),
+            FcvtSW => wrs!(self.get(i.rs1.unwrap()) as i32 as f32),
+            FcvtSWu => wrs!(self.get(i.rs1.unwrap()) as u32 as f32),
+            FcvtSL => wrs!(self.get(i.rs1.unwrap()) as i64 as f32),
+            FcvtSLu => wrs!(self.get(i.rs1.unwrap()) as f32),
+            FcvtSD => wrs!(a64() as f32),
+            FcvtDS => wrd!(a32() as f64),
+            FmvXD => wrx!(self.get(i.rs1.unwrap())),
+            FmvDX => wrx!(self.get(i.rs1.unwrap())),
+            FmvXW => {
+                // Low 32 bits of the FPR, sign-extended.
+                wrx!(self.get(i.rs1.unwrap()) as u32 as i32 as i64 as u64)
+            }
+            FmvWX => wrx!(nan_box(self.get(i.rs1.unwrap()) as u32)),
+            _ => {
+                // Every op is covered above; reaching here is a bug.
+                unreachable!("unhandled op {:?}", i.op)
+            }
+        }
+    }
+
+    // ---- CSRs ----
+
+    fn read_csr(&self, csr: u16) -> u64 {
+        match csr {
+            0x001 => self.fcsr & 0x1F,       // fflags
+            0x002 => (self.fcsr >> 5) & 0x7, // frm
+            0x003 => self.fcsr,              // fcsr
+            0xC00 => self.cycles,            // cycle
+            0xC01 => self.now_ns() / 10,     // time (10ns ticks)
+            0xC02 => self.icount,            // instret
+            _ => 0,
+        }
+    }
+
+    fn write_csr(&mut self, csr: u16, v: u64) {
+        match csr {
+            0x001 => self.fcsr = (self.fcsr & !0x1F) | (v & 0x1F),
+            0x002 => self.fcsr = (self.fcsr & !0xE0) | ((v & 0x7) << 5),
+            0x003 => self.fcsr = v & 0xFF,
+            _ => {} // read-only / unimplemented: ignore
+        }
+    }
+
+    // ---- syscalls ----
+
+    fn syscall(&mut self) -> Result<Effect, MemFault> {
+        let nr = self.gpr[17]; // a7
+        let a0 = self.gpr[10];
+        let a1 = self.gpr[11];
+        let a2 = self.gpr[12];
+        match nr {
+            EXIT_SYSCALL => Ok(Effect::Stop(StopReason::Exited(a0 as i64))),
+            SYS_WRITE => {
+                if a0 == 1 || a0 == 2 {
+                    let data = self.mem.read_bytes(a1, a2 as usize)?;
+                    self.stdout.extend_from_slice(&data);
+                    self.gpr[10] = a2;
+                } else {
+                    self.gpr[10] = (-9i64) as u64; // EBADF
+                }
+                Ok(Effect::Next)
+            }
+            SYS_CLOCK_GETTIME => {
+                let ns = self.now_ns();
+                self.mem.store(a1, 8, ns / 1_000_000_000)?;
+                self.mem.store(a1 + 8, 8, ns % 1_000_000_000)?;
+                self.gpr[10] = 0;
+                Ok(Effect::Next)
+            }
+            SYS_BRK => {
+                if a0 != 0 {
+                    if a0 > self.brk {
+                        self.mem.map(self.brk, a0 - self.brk);
+                    }
+                    self.brk = a0;
+                }
+                self.gpr[10] = self.brk;
+                Ok(Effect::Next)
+            }
+            _ => {
+                self.gpr[10] = (-38i64) as u64; // ENOSYS
+                Ok(Effect::Next)
+            }
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn nan_box(v: u32) -> u64 {
+    0xFFFF_FFFF_0000_0000 | v as u64
+}
+
+const CANONICAL_NAN64: f64 = f64::from_bits(0x7FF8_0000_0000_0000);
+const CANONICAL_NAN32: f32 = f32::from_bits(0x7FC0_0000);
+
+/// `fclass` result bits (RISC-V spec table): one-hot classification.
+fn fclass64(v: f64) -> u64 {
+    let bits = v.to_bits();
+    let sign = bits >> 63 != 0;
+    if v.is_nan() {
+        // Signaling NaN has the top mantissa bit clear.
+        if bits & (1 << 51) == 0 {
+            1 << 8
+        } else {
+            1 << 9
+        }
+    } else if v.is_infinite() {
+        if sign {
+            1 << 0
+        } else {
+            1 << 7
+        }
+    } else if v == 0.0 {
+        if sign {
+            1 << 3
+        } else {
+            1 << 4
+        }
+    } else if v.is_subnormal() {
+        if sign {
+            1 << 2
+        } else {
+            1 << 5
+        }
+    } else if sign {
+        1 << 1
+    } else {
+        1 << 6
+    }
+}
+
+fn fclass32(v: f32) -> u64 {
+    let bits = v.to_bits();
+    let sign = bits >> 31 != 0;
+    if v.is_nan() {
+        if bits & (1 << 22) == 0 {
+            1 << 8
+        } else {
+            1 << 9
+        }
+    } else if v.is_infinite() {
+        if sign {
+            1 << 0
+        } else {
+            1 << 7
+        }
+    } else if v == 0.0 {
+        if sign {
+            1 << 3
+        } else {
+            1 << 4
+        }
+    } else if v.is_subnormal() {
+        if sign {
+            1 << 2
+        } else {
+            1 << 5
+        }
+    } else if sign {
+        1 << 1
+    } else {
+        1 << 6
+    }
+}
+
+pub(crate) fn fmin64(a: f64, b: f64) -> f64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => CANONICAL_NAN64,
+        (true, false) => b,
+        (false, true) => a,
+        _ => {
+            if a == 0.0 && b == 0.0 {
+                // fmin(-0, +0) = -0
+                if a.is_sign_negative() {
+                    a
+                } else {
+                    b
+                }
+            } else {
+                a.min(b)
+            }
+        }
+    }
+}
+
+pub(crate) fn fmax64(a: f64, b: f64) -> f64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => CANONICAL_NAN64,
+        (true, false) => b,
+        (false, true) => a,
+        _ => {
+            if a == 0.0 && b == 0.0 {
+                if a.is_sign_positive() {
+                    a
+                } else {
+                    b
+                }
+            } else {
+                a.max(b)
+            }
+        }
+    }
+}
+
+fn fmin32(a: f32, b: f32) -> f32 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => CANONICAL_NAN32,
+        (true, false) => b,
+        (false, true) => a,
+        _ => {
+            if a == 0.0 && b == 0.0 {
+                if a.is_sign_negative() {
+                    a
+                } else {
+                    b
+                }
+            } else {
+                a.min(b)
+            }
+        }
+    }
+}
+
+fn fmax32(a: f32, b: f32) -> f32 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => CANONICAL_NAN32,
+        (true, false) => b,
+        (false, true) => a,
+        _ => {
+            if a == 0.0 && b == 0.0 {
+                if a.is_sign_positive() {
+                    a
+                } else {
+                    b
+                }
+            } else {
+                a.max(b)
+            }
+        }
+    }
+}
+
+/// Round per the RISC-V rounding mode, then convert to a signed integer
+/// with spec saturation (NaN → max).
+fn f2i(v: f64, rm: u8, min: i64, max: i64) -> i64 {
+    if v.is_nan() {
+        return max;
+    }
+    let r = round_rm(v, rm);
+    if r < min as f64 {
+        min
+    } else if r > max as f64 {
+        max
+    } else {
+        r as i64
+    }
+}
+
+/// As [`f2i`] but unsigned.
+fn f2u(v: f64, rm: u8, max: u64) -> u64 {
+    if v.is_nan() {
+        return max;
+    }
+    let r = round_rm(v, rm);
+    if r < 0.0 {
+        0
+    } else if r > max as f64 {
+        max
+    } else {
+        r as u64
+    }
+}
+
+fn round_rm(v: f64, rm: u8) -> f64 {
+    match rm {
+        0 | 4 => {
+            // RNE (and RMM approximated): ties-to-even.
+            let r = v.round();
+            if (v - v.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                r - v.signum()
+            } else {
+                r
+            }
+        }
+        1 => v.trunc(), // RTZ
+        2 => v.floor(), // RDN
+        3 => v.ceil(),  // RUP
+        _ => v.trunc(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmin_fmax_nan_and_zero_rules() {
+        assert_eq!(fmin64(-0.0, 0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(fmax64(-0.0, 0.0).to_bits(), (0.0f64).to_bits());
+        assert_eq!(fmin64(f64::NAN, 3.0), 3.0);
+        assert!(fmin64(f64::NAN, f64::NAN).is_nan());
+    }
+}

@@ -19,13 +19,26 @@
 //!   and deliberately *without* hardware single-step, reproducing the
 //!   RISC-V ptrace limitation the paper reports (§3.2.6) — single-stepping
 //!   must be emulated with breakpoints by ProcControlAPI.
+//!
+//! Execution has **two engines** behind one contract ([`EmuEngine`],
+//! documented in `docs/EMULATOR.md`): the decode-dispatch
+//! [interpreter](machine::Machine::step) and a decoded-basic-block
+//! [translation cache](translate) with direct-branch chaining (the DBT
+//! back end). They are bit-identical in architectural state, retired
+//! counts, modelled cycles and trap pcs; the `RVDYN_EMU` environment
+//! variable selects the default.
+
+#![deny(missing_docs)]
 
 pub mod cost;
+mod exec;
 pub mod loader;
 pub mod machine;
 pub mod memory;
+pub mod translate;
 
 pub use cost::CostModel;
 pub use loader::load_binary;
 pub use machine::{Machine, StopReason, EXIT_SYSCALL};
 pub use memory::Memory;
+pub use translate::{EmuEngine, EmuEvent};

@@ -1,15 +1,25 @@
-//! The emulated RV64GC hart, its syscall layer and debug interface.
+//! The emulated RV64GC hart: architectural state, the fetch/step
+//! interpreter loop, its syscall layer and the debug interface.
+//!
+//! Instruction *semantics* live in `crate::exec` (`Machine::exec`) and
+//! are shared by both execution engines; the translation-cached engine —
+//! decoded basic blocks, direct-branch chaining, generation-based
+//! invalidation — lives in [`crate::translate`]. Which engine
+//! [`Machine::run`] uses is selected by [`Machine::engine`]
+//! ([`EmuEngine`], default from the `RVDYN_EMU` environment variable).
+//! Both engines are bit-identical in architectural state *and* in the
+//! cycle cost model; see `docs/EMULATOR.md` for the written contract.
 
 use crate::cost::CostModel;
 use crate::memory::{MemFault, Memory};
+use crate::translate::{EmuEngine, EmuEvent, TranslationCache};
 use rvdyn_isa::decode::decode;
-use rvdyn_isa::{DecodeError, Instruction, Op, Reg};
+use rvdyn_isa::{DecodeError, Instruction};
+
+pub use rvdyn_isa::Reg;
 
 /// Linux RISC-V syscall number for `exit`.
 pub const EXIT_SYSCALL: u64 = 93;
-const SYS_WRITE: u64 = 64;
-const SYS_BRK: u64 = 214;
-const SYS_CLOCK_GETTIME: u64 = 113;
 
 /// Why execution stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,11 +32,30 @@ pub enum StopReason {
     /// Undecodable instruction bytes at pc.
     IllegalInstruction(u64),
     /// A data access faulted.
-    MemFault { pc: u64, addr: u64, write: bool },
+    MemFault {
+        /// pc of the faulting instruction.
+        pc: u64,
+        /// The faulting data address.
+        addr: u64,
+        /// True for a store, false for a load.
+        write: bool,
+    },
     /// An instruction fetch faulted.
-    FetchFault { pc: u64 },
+    FetchFault {
+        /// The unfetchable pc.
+        pc: u64,
+    },
     /// The configured fuel (max instruction count) ran out.
     FuelExhausted,
+    /// The translation cache's coherence check failed: a cached block's
+    /// source bytes changed without an invalidation (only possible when
+    /// text is mutated behind the debug interface, e.g. by poking
+    /// [`Machine::mem`] directly). Raised only when
+    /// [`Machine::verify_translations`] is armed.
+    CacheIncoherent {
+        /// Entry pc of the stale cached block.
+        pc: u64,
+    },
 }
 
 impl StopReason {
@@ -39,18 +68,24 @@ impl StopReason {
             StopReason::MemFault { .. } => "mem-fault",
             StopReason::FetchFault { .. } => "fetch-fault",
             StopReason::FuelExhausted => "fuel-exhausted",
+            StopReason::CacheIncoherent { .. } => "cache-incoherent",
         }
     }
 }
 
 /// The emulated machine.
 pub struct Machine {
+    /// Program counter.
     pub pc: u64,
+    /// Integer registers; `gpr[0]` (x0) is kept zero by construction.
     pub gpr: [u64; 32],
     /// FP registers as raw bits (f32 values NaN-boxed).
     pub fpr: [u64; 32],
+    /// Floating-point control/status register (fflags + frm).
     pub fcsr: u64,
+    /// The process address space.
     pub mem: Memory,
+    /// The cycle cost model both engines charge identically.
     pub cost: CostModel,
     /// Retired instruction count.
     pub icount: u64,
@@ -63,6 +98,14 @@ pub struct Machine {
     /// Dynamic count of taken control transfers (diagnostics: the number
     /// of basic-block entries is `taken_transfers + fallthroughs`).
     pub taken_transfers: u64,
+    /// Which execution engine [`Machine::run`] uses. Defaults from the
+    /// `RVDYN_EMU` environment variable (see [`EmuEngine::from_env`]);
+    /// [`Machine::step`] is always the interpreter.
+    pub engine: EmuEngine,
+    /// When set, the cached engine re-checks every cached block's source
+    /// bytes on entry and stops with [`StopReason::CacheIncoherent`] on a
+    /// mismatch. Off by default (it re-reads text per block entry).
+    pub verify_translations: bool,
     /// Trap-table redirects: `ebreak` at a key address transfers control
     /// to the value address instead of stopping. This is the runtime half
     /// of PatchAPI's worst-case 2-byte trap springboard (§3.1.2) — on real
@@ -76,20 +119,23 @@ pub struct Machine {
     /// Fault injection: when `Some(n)`, the `n`-th (0-based) trap-redirect
     /// resolution is dropped — the `ebreak` surfaces as if the trap table
     /// had no entry for it, exercising the mutator's `RedirectMiss` path.
-    redirect_drop_nth: Option<u64>,
+    pub(crate) redirect_drop_nth: Option<u64>,
     /// Running count of trap-redirect resolutions attempted.
-    redirect_resolutions: u64,
-    brk: u64,
-    code_base: u64,
-    code_end: u64,
+    pub(crate) redirect_resolutions: u64,
+    pub(crate) brk: u64,
+    pub(crate) code_base: u64,
+    pub(crate) code_end: u64,
     icache: Vec<Option<Instruction>>,
+    /// Decoded-basic-block translation cache (the cached engine's state).
+    pub(crate) tcache: TranslationCache,
 }
 
 /// Stack placement: top just below 2 GiB. The stack region is 8 MiB, but
 /// only the top 64 KiB is mapped eagerly — the rest materialises on
-/// demand (see `grow_stack_on_fault`), keeping machine creation cheap.
-const STACK_TOP: u64 = 0x7FFF_F000;
-const STACK_SIZE: u64 = 8 * 1024 * 1024;
+/// demand (see the fault-retry path in `step`), keeping machine creation
+/// cheap.
+pub(crate) const STACK_TOP: u64 = 0x7FFF_F000;
+pub(crate) const STACK_SIZE: u64 = 8 * 1024 * 1024;
 const STACK_EAGER: u64 = 64 * 1024;
 
 impl Machine {
@@ -107,6 +153,8 @@ impl Machine {
             stdout: Vec::new(),
             fuel: None,
             taken_transfers: 0,
+            engine: EmuEngine::from_env(),
+            verify_translations: false,
             trap_redirects: std::collections::BTreeMap::new(),
             redirect_faults_injected: 0,
             redirect_drop_nth: None,
@@ -115,12 +163,14 @@ impl Machine {
             code_base: 0,
             code_end: 0,
             icache: Vec::new(),
+            tcache: TranslationCache::default(),
         };
         m.mem.map(STACK_TOP - STACK_EAGER, STACK_EAGER);
         m.gpr[2] = STACK_TOP - 64; // sp, with a little headroom
         m
     }
 
+    /// Read a register (x0 reads as zero).
     #[inline]
     pub fn get(&self, r: Reg) -> u64 {
         match r.class() {
@@ -135,6 +185,7 @@ impl Machine {
         }
     }
 
+    /// Write a register (writes to x0 are dropped).
     #[inline]
     pub fn set(&mut self, r: Reg, v: u64) {
         match r.class() {
@@ -154,6 +205,7 @@ impl Machine {
         self.code_base = base;
         self.code_end = base + len;
         self.icache = vec![None; (len / 2 + 2) as usize];
+        self.tcache.flush();
     }
 
     /// Extend the code region if `addr..addr+len` lies outside it.
@@ -168,12 +220,15 @@ impl Machine {
             self.code_base = nb;
             self.code_end = ne;
             self.icache = vec![None; ((ne - nb) / 2 + 2) as usize];
+            self.tcache.flush();
         }
     }
 
     /// Write memory through the debug interface: updates bytes *and*
-    /// invalidates any cached decodes covering them (required for
-    /// breakpoint insertion, §3.2.6).
+    /// invalidates any cached decodes covering them — the per-address
+    /// interpreter cache entries and every overlapping translated block
+    /// (required for breakpoint insertion, §3.2.6, and for dynamic
+    /// springboard writes into already-hot text).
     pub fn write_mem(&mut self, addr: u64, bytes: &[u8]) {
         self.mem.write_bytes(addr, bytes);
         self.invalidate(addr, bytes.len() as u64);
@@ -193,7 +248,30 @@ impl Machine {
         self.redirect_drop_nth = Some(nth);
     }
 
-    fn invalidate(&mut self, addr: u64, len: u64) {
+    /// Translated blocks populated by the cached engine so far.
+    pub fn emu_blocks_translated(&self) -> u64 {
+        self.tcache.blocks_translated
+    }
+
+    /// Translated blocks invalidated by writes into executable text.
+    pub fn emu_invalidations(&self) -> u64 {
+        self.tcache.invalidations
+    }
+
+    /// Direct-branch chain links installed between cached blocks.
+    pub fn emu_chain_links(&self) -> u64 {
+        self.tcache.chain_links
+    }
+
+    /// Drain the engine's buffered [`EmuEvent`]s (block translations and
+    /// invalidations) for a telemetry sink. The buffer is bounded; the
+    /// counters above are always exact.
+    pub fn take_emu_events(&mut self) -> Vec<EmuEvent> {
+        std::mem::take(&mut self.tcache.events)
+    }
+
+    #[inline]
+    pub(crate) fn invalidate(&mut self, addr: u64, len: u64) {
         if addr + len <= self.code_base || addr >= self.code_end {
             return;
         }
@@ -208,10 +286,11 @@ impl Machine {
             }
             a += 2;
         }
+        self.tcache.kill_range(addr, len);
     }
 
     #[inline]
-    fn fetch(&mut self, pc: u64) -> Result<Instruction, StopReason> {
+    pub(crate) fn fetch(&mut self, pc: u64) -> Result<Instruction, StopReason> {
         if pc >= self.code_base && pc < self.code_end && pc & 1 == 0 {
             let idx = ((pc - self.code_base) / 2) as usize;
             if let Some(i) = self.icache[idx] {
@@ -234,16 +313,23 @@ impl Machine {
         Ok(inst)
     }
 
-    /// Execute instructions until something stops the machine.
+    /// Execute instructions until something stops the machine, on the
+    /// engine selected by [`Machine::engine`].
     pub fn run(&mut self) -> StopReason {
-        loop {
-            if let Some(r) = self.step() {
-                return r;
-            }
+        match self.engine {
+            EmuEngine::Interpreter => loop {
+                if let Some(r) = self.step() {
+                    return r;
+                }
+            },
+            EmuEngine::Cached => self.run_cached(),
         }
     }
 
-    /// Execute one instruction. `None` means "keep going".
+    /// Execute one instruction through the interpreter. `None` means
+    /// "keep going". Single-stepping is always interpreted — the cached
+    /// engine in [`Machine::run`] produces identical architectural state
+    /// and cycle counts, block by block.
     #[inline]
     pub fn step(&mut self) -> Option<StopReason> {
         if let Some(fuel) = self.fuel {
@@ -257,36 +343,21 @@ impl Machine {
             Err(r) => return Some(r),
         };
         match self.exec(&inst) {
-            Ok(Effect::Next) => {
+            Ok(crate::exec::Effect::Next) => {
                 self.pc = pc.wrapping_add(inst.size as u64);
                 self.retire(&inst, false);
                 None
             }
-            Ok(Effect::Jump(t)) => {
+            Ok(crate::exec::Effect::Jump(t)) => {
                 self.pc = t;
                 self.taken_transfers += 1;
                 self.retire(&inst, true);
                 None
             }
-            Ok(Effect::Stop(r)) => {
+            Ok(crate::exec::Effect::Stop(r)) => {
                 if let StopReason::Break(at) = r {
-                    if let Some(&t) = self.trap_redirects.get(&at) {
-                        let n = self.redirect_resolutions;
-                        self.redirect_resolutions += 1;
-                        if self.redirect_drop_nth == Some(n) {
-                            // Injected fault: drop this resolution so the
-                            // Break surfaces exactly as a missing redirect
-                            // would (the mutator's RedirectMiss path).
-                            self.redirect_drop_nth = None;
-                            self.redirect_faults_injected += 1;
-                        } else {
-                            // Trap-table springboard: redirect, keep going.
-                            self.pc = t;
-                            self.taken_transfers += 1;
-                            self.icount += 1;
-                            self.cycles += self.cost.trap_redirect;
-                            return None;
-                        }
+                    if self.trap_redirects.contains_key(&at) && self.resolve_redirect(at) {
+                        return None;
                     }
                 }
                 if let StopReason::Exited(_) = r {
@@ -311,6 +382,35 @@ impl Machine {
         }
     }
 
+    /// Attempt the trap-table redirect for an `ebreak` at `at`. Returns
+    /// true when control was transferred (charging the modelled trap
+    /// round trip), false when the resolution was dropped by an armed
+    /// fault and the Break must surface. Both engines funnel through
+    /// here, so redirect accounting is engine-invariant.
+    #[inline]
+    pub(crate) fn resolve_redirect(&mut self, at: u64) -> bool {
+        let Some(&t) = self.trap_redirects.get(&at) else {
+            return false;
+        };
+        let n = self.redirect_resolutions;
+        self.redirect_resolutions += 1;
+        if self.redirect_drop_nth == Some(n) {
+            // Injected fault: drop this resolution so the Break surfaces
+            // exactly as a missing redirect would (the mutator's
+            // RedirectMiss path).
+            self.redirect_drop_nth = None;
+            self.redirect_faults_injected += 1;
+            false
+        } else {
+            // Trap-table springboard: redirect, keep going.
+            self.pc = t;
+            self.taken_transfers += 1;
+            self.icount += 1;
+            self.cycles += self.cost.trap_redirect;
+            true
+        }
+    }
+
     #[inline]
     fn retire(&mut self, inst: &Instruction, taken: bool) {
         self.icount += 1;
@@ -326,511 +426,6 @@ impl Machine {
     pub fn now_seconds(&self) -> f64 {
         self.cost.seconds(self.cycles)
     }
-
-    // ---- execution ----
-
-    #[inline]
-    #[allow(clippy::manual_checked_ops)] // spec-mandated div-by-zero results
-    fn exec(&mut self, i: &Instruction) -> Result<Effect, MemFault> {
-        use Op::*;
-        let rd = i.rd.unwrap_or(Reg::X0);
-        let rs1 = || self.get(i.rs1.unwrap_or(Reg::X0));
-        let rs2 = || self.get(i.rs2.unwrap_or(Reg::X0));
-        let imm = i.imm;
-        macro_rules! wr {
-            ($v:expr) => {{
-                let v = $v;
-                self.set(rd, v);
-                Ok(Effect::Next)
-            }};
-        }
-        let sw = |v: u64| v as i32 as i64 as u64;
-
-        match i.op {
-            Lui => wr!(imm as u64),
-            Auipc => wr!(i.address.wrapping_add(imm as u64)),
-            Addi => wr!(rs1().wrapping_add(imm as u64)),
-            Slti => wr!(((rs1() as i64) < imm) as u64),
-            Sltiu => wr!((rs1() < imm as u64) as u64),
-            Xori => wr!(rs1() ^ imm as u64),
-            Ori => wr!(rs1() | imm as u64),
-            Andi => wr!(rs1() & imm as u64),
-            Slli => wr!(rs1().wrapping_shl(imm as u32)),
-            Srli => wr!(rs1().wrapping_shr(imm as u32)),
-            Srai => wr!(((rs1() as i64) >> (imm as u32)) as u64),
-            Addiw => wr!(sw(rs1().wrapping_add(imm as u64))),
-            Slliw => wr!(sw((rs1() as u32).wrapping_shl(imm as u32) as u64)),
-            Srliw => wr!(sw(((rs1() as u32) >> (imm as u32)) as u64)),
-            Sraiw => wr!(sw((((rs1() as i32) >> (imm as u32)) as u32) as u64)),
-            Add => wr!(rs1().wrapping_add(rs2())),
-            Sub => wr!(rs1().wrapping_sub(rs2())),
-            Sll => wr!(rs1().wrapping_shl((rs2() & 63) as u32)),
-            Slt => wr!(((rs1() as i64) < (rs2() as i64)) as u64),
-            Sltu => wr!((rs1() < rs2()) as u64),
-            Xor => wr!(rs1() ^ rs2()),
-            Srl => wr!(rs1().wrapping_shr((rs2() & 63) as u32)),
-            Sra => wr!(((rs1() as i64) >> ((rs2() & 63) as u32)) as u64),
-            Or => wr!(rs1() | rs2()),
-            And => wr!(rs1() & rs2()),
-            Addw => wr!(sw(rs1().wrapping_add(rs2()))),
-            Subw => wr!(sw(rs1().wrapping_sub(rs2()))),
-            Sllw => wr!(sw(((rs1() as u32) << (rs2() & 31)) as u64)),
-            Srlw => wr!(sw(((rs1() as u32) >> (rs2() & 31)) as u64)),
-            Sraw => wr!(sw((((rs1() as i32) >> (rs2() & 31)) as u32) as u64)),
-            Mul => wr!(rs1().wrapping_mul(rs2())),
-            Mulh => {
-                wr!((((rs1() as i64 as i128) * (rs2() as i64 as i128)) >> 64) as u64)
-            }
-            Mulhsu => {
-                wr!((((rs1() as i64 as i128) * (rs2() as u128 as i128)) >> 64) as u64)
-            }
-            Mulhu => wr!((((rs1() as u128) * (rs2() as u128)) >> 64) as u64),
-            Div => {
-                let (a, b) = (rs1() as i64, rs2() as i64);
-                wr!(if b == 0 {
-                    u64::MAX
-                } else if a == i64::MIN && b == -1 {
-                    a as u64
-                } else {
-                    (a / b) as u64
-                })
-            }
-            Divu => {
-                let (a, b) = (rs1(), rs2());
-                wr!(if b == 0 { u64::MAX } else { a / b })
-            }
-            Rem => {
-                let (a, b) = (rs1() as i64, rs2() as i64);
-                wr!(if b == 0 {
-                    a as u64
-                } else if a == i64::MIN && b == -1 {
-                    0
-                } else {
-                    (a % b) as u64
-                })
-            }
-            Remu => {
-                let (a, b) = (rs1(), rs2());
-                wr!(if b == 0 { a } else { a % b })
-            }
-            Mulw => wr!(sw(rs1().wrapping_mul(rs2()))),
-            Divw => {
-                let (a, b) = (rs1() as i32, rs2() as i32);
-                wr!(if b == 0 {
-                    u64::MAX
-                } else if a == i32::MIN && b == -1 {
-                    a as i64 as u64
-                } else {
-                    (a / b) as i64 as u64
-                })
-            }
-            Divuw => {
-                let (a, b) = (rs1() as u32, rs2() as u32);
-                wr!(if b == 0 { u64::MAX } else { sw((a / b) as u64) })
-            }
-            Remw => {
-                let (a, b) = (rs1() as i32, rs2() as i32);
-                wr!(if b == 0 {
-                    a as i64 as u64
-                } else if a == i32::MIN && b == -1 {
-                    0
-                } else {
-                    (a % b) as i64 as u64
-                })
-            }
-            Remuw => {
-                let (a, b) = (rs1() as u32, rs2() as u32);
-                wr!(if b == 0 {
-                    a as i64 as u64
-                } else {
-                    sw((a % b) as u64)
-                })
-            }
-            Jal => {
-                let target = i.address.wrapping_add(imm as u64);
-                self.set(rd, i.next_pc());
-                Ok(Effect::Jump(target))
-            }
-            Jalr => {
-                let target = rs1().wrapping_add(imm as u64) & !1;
-                self.set(rd, i.next_pc());
-                Ok(Effect::Jump(target))
-            }
-            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
-                let (a, b) = (rs1(), rs2());
-                let take = match i.op {
-                    Beq => a == b,
-                    Bne => a != b,
-                    Blt => (a as i64) < (b as i64),
-                    Bge => (a as i64) >= (b as i64),
-                    Bltu => a < b,
-                    _ => a >= b,
-                };
-                if take {
-                    Ok(Effect::Jump(i.address.wrapping_add(imm as u64)))
-                } else {
-                    Ok(Effect::Next)
-                }
-            }
-            Lb | Lh | Lw | Ld | Lbu | Lhu | Lwu => {
-                let addr = rs1().wrapping_add(imm as u64);
-                let (size, sx) = match i.op {
-                    Lb => (1, true),
-                    Lh => (2, true),
-                    Lw => (4, true),
-                    Ld => (8, false),
-                    Lbu => (1, false),
-                    Lhu => (2, false),
-                    _ => (4, false),
-                };
-                let raw = self.mem.load(addr, size)?;
-                let v = if sx {
-                    let shift = 64 - size as u32 * 8;
-                    (((raw << shift) as i64) >> shift) as u64
-                } else {
-                    raw
-                };
-                wr!(v)
-            }
-            Sb | Sh | Sw | Sd => {
-                let addr = rs1().wrapping_add(imm as u64);
-                let size = match i.op {
-                    Sb => 1,
-                    Sh => 2,
-                    Sw => 4,
-                    _ => 8,
-                };
-                let val = rs2();
-                self.mem.store(addr, size, val)?;
-                self.invalidate(addr, size as u64);
-                Ok(Effect::Next)
-            }
-            Flw => {
-                let addr = rs1().wrapping_add(imm as u64);
-                let raw = self.mem.load(addr, 4)?;
-                self.set(rd, nan_box(raw as u32));
-                Ok(Effect::Next)
-            }
-            Fld => {
-                let addr = rs1().wrapping_add(imm as u64);
-                let raw = self.mem.load(addr, 8)?;
-                self.set(rd, raw);
-                Ok(Effect::Next)
-            }
-            Fsw => {
-                let addr = rs1().wrapping_add(imm as u64);
-                let v = self.get(i.rs2.unwrap()) as u32;
-                self.mem.store(addr, 4, v as u64)?;
-                Ok(Effect::Next)
-            }
-            Fsd => {
-                let addr = rs1().wrapping_add(imm as u64);
-                let v = self.get(i.rs2.unwrap());
-                self.mem.store(addr, 8, v)?;
-                Ok(Effect::Next)
-            }
-            Fence | FenceI => Ok(Effect::Next),
-            Ecall => self.syscall(),
-            Ebreak => Ok(Effect::Stop(StopReason::Break(i.address))),
-            Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => {
-                let csr = i.csr.unwrap_or(0);
-                let old = self.read_csr(csr);
-                let src = match i.op {
-                    Csrrw | Csrrs | Csrrc => rs1(),
-                    _ => imm as u64,
-                };
-                let new = match i.op {
-                    Csrrw | Csrrwi => src,
-                    Csrrs | Csrrsi => old | src,
-                    _ => old & !src,
-                };
-                // Writes only apply when the source is live per spec
-                // subtleties; we apply unconditionally except to RO CSRs.
-                self.write_csr(csr, new);
-                wr!(old)
-            }
-            op if op.is_atomic() => self.exec_amo(i),
-            _ => self.exec_fp(i),
-        }
-    }
-
-    fn exec_amo(&mut self, i: &Instruction) -> Result<Effect, MemFault> {
-        use Op::*;
-        let addr = self.get(i.rs1.unwrap());
-        let rd = i.rd.unwrap_or(Reg::X0);
-        let size: u8 = if i.op.mnemonic().ends_with(".w") {
-            4
-        } else {
-            8
-        };
-        match i.op {
-            LrW | LrD => {
-                let raw = self.mem.load(addr, size)?;
-                let v = if size == 4 {
-                    raw as u32 as i32 as i64 as u64
-                } else {
-                    raw
-                };
-                self.set(rd, v);
-            }
-            ScW | ScD => {
-                // Single-threaded: always succeeds.
-                let v = self.get(i.rs2.unwrap());
-                self.mem.store(addr, size, v)?;
-                self.set(rd, 0);
-            }
-            _ => {
-                let raw = self.mem.load(addr, size)?;
-                let old = if size == 4 {
-                    raw as u32 as i32 as i64 as u64
-                } else {
-                    raw
-                };
-                let src = self.get(i.rs2.unwrap());
-                let new = match i.op {
-                    AmoSwapW | AmoSwapD => src,
-                    AmoAddW | AmoAddD => old.wrapping_add(src),
-                    AmoXorW | AmoXorD => old ^ src,
-                    AmoAndW | AmoAndD => old & src,
-                    AmoOrW | AmoOrD => old | src,
-                    AmoMinW => ((old as i32).min(src as i32)) as u64,
-                    AmoMaxW => ((old as i32).max(src as i32)) as u64,
-                    AmoMinuW => ((old as u32).min(src as u32)) as u64,
-                    AmoMaxuW => ((old as u32).max(src as u32)) as u64,
-                    AmoMinD => ((old as i64).min(src as i64)) as u64,
-                    AmoMaxD => ((old as i64).max(src as i64)) as u64,
-                    AmoMinuD => old.min(src),
-                    AmoMaxuD => old.max(src),
-                    _ => unreachable!(),
-                };
-                self.mem.store(addr, size, new)?;
-                self.set(rd, old);
-            }
-        }
-        Ok(Effect::Next)
-    }
-
-    // ---- floating point ----
-
-    #[inline]
-    fn f64v(&self, r: Reg) -> f64 {
-        f64::from_bits(self.get(r))
-    }
-
-    #[inline]
-    fn f32v(&self, r: Reg) -> f32 {
-        let bits = self.get(r);
-        // NaN-boxing check: a valid f32 has all upper 32 bits set.
-        if bits >> 32 == 0xFFFF_FFFF {
-            f32::from_bits(bits as u32)
-        } else {
-            f32::NAN
-        }
-    }
-
-    #[inline]
-    fn set_f64(&mut self, r: Reg, v: f64) {
-        self.set(r, v.to_bits());
-    }
-
-    #[inline]
-    fn set_f32(&mut self, r: Reg, v: f32) {
-        self.set(r, nan_box(v.to_bits()));
-    }
-
-    fn exec_fp(&mut self, i: &Instruction) -> Result<Effect, MemFault> {
-        use Op::*;
-        let rd = i.rd.unwrap_or(Reg::X0);
-        let a64 = || self.f64v(i.rs1.unwrap());
-        let b64 = || self.f64v(i.rs2.unwrap());
-        let a32 = || self.f32v(i.rs1.unwrap());
-        let b32 = || self.f32v(i.rs2.unwrap());
-        macro_rules! wrd {
-            ($v:expr) => {{
-                let v = $v;
-                self.set_f64(rd, v);
-                Ok(Effect::Next)
-            }};
-        }
-        macro_rules! wrs {
-            ($v:expr) => {{
-                let v = $v;
-                self.set_f32(rd, v);
-                Ok(Effect::Next)
-            }};
-        }
-        macro_rules! wrx {
-            ($v:expr) => {{
-                let v = $v;
-                self.set(rd, v);
-                Ok(Effect::Next)
-            }};
-        }
-        let rm = if i.rm == 7 {
-            ((self.fcsr >> 5) & 7) as u8
-        } else {
-            i.rm
-        };
-
-        match i.op {
-            FaddD => wrd!(a64() + b64()),
-            FsubD => wrd!(a64() - b64()),
-            FmulD => wrd!(a64() * b64()),
-            FdivD => wrd!(a64() / b64()),
-            FsqrtD => wrd!(a64().sqrt()),
-            FaddS => wrs!(a32() + b32()),
-            FsubS => wrs!(a32() - b32()),
-            FmulS => wrs!(a32() * b32()),
-            FdivS => wrs!(a32() / b32()),
-            FsqrtS => wrs!(a32().sqrt()),
-            FmaddD | FmsubD | FnmsubD | FnmaddD => {
-                let (a, b, c) = (a64(), b64(), self.f64v(i.rs3.unwrap()));
-                wrd!(match i.op {
-                    FmaddD => a.mul_add(b, c),
-                    FmsubD => a.mul_add(b, -c),
-                    FnmsubD => (-a).mul_add(b, c),
-                    _ => (-a).mul_add(b, -c),
-                })
-            }
-            FmaddS | FmsubS | FnmsubS | FnmaddS => {
-                let (a, b, c) = (a32(), b32(), self.f32v(i.rs3.unwrap()));
-                wrs!(match i.op {
-                    FmaddS => a.mul_add(b, c),
-                    FmsubS => a.mul_add(b, -c),
-                    FnmsubS => (-a).mul_add(b, c),
-                    _ => (-a).mul_add(b, -c),
-                })
-            }
-            FsgnjD | FsgnjnD | FsgnjxD => {
-                let (a, b) = (self.get(i.rs1.unwrap()), self.get(i.rs2.unwrap()));
-                let sign = match i.op {
-                    FsgnjD => b & (1 << 63),
-                    FsgnjnD => !b & (1 << 63),
-                    _ => (a ^ b) & (1 << 63),
-                };
-                wrx!((a & !(1u64 << 63)) | sign)
-            }
-            FsgnjS | FsgnjnS | FsgnjxS => {
-                let a = self.f32v(i.rs1.unwrap()).to_bits();
-                let b = self.f32v(i.rs2.unwrap()).to_bits();
-                let sign = match i.op {
-                    FsgnjS => b & (1 << 31),
-                    FsgnjnS => !b & (1 << 31),
-                    _ => (a ^ b) & (1 << 31),
-                };
-                wrx!(nan_box((a & !(1u32 << 31)) | sign))
-            }
-            FminD => wrd!(fmin64(a64(), b64())),
-            FmaxD => wrd!(fmax64(a64(), b64())),
-            FminS => wrs!(fmin32(a32(), b32())),
-            FmaxS => wrs!(fmax32(a32(), b32())),
-            FeqD => wrx!((a64() == b64()) as u64),
-            FltD => wrx!((a64() < b64()) as u64),
-            FleD => wrx!((a64() <= b64()) as u64),
-            FeqS => wrx!((a32() == b32()) as u64),
-            FltS => wrx!((a32() < b32()) as u64),
-            FleS => wrx!((a32() <= b32()) as u64),
-            FclassD => wrx!(fclass64(a64())),
-            FclassS => wrx!(fclass32(a32())),
-            FcvtWD => wrx!(f2i(a64(), rm, i32::MIN as i64, i32::MAX as i64) as i32 as i64 as u64),
-            FcvtWuD => wrx!(f2u(a64(), rm, u32::MAX as u64) as u32 as i32 as i64 as u64),
-            FcvtLD => wrx!(f2i(a64(), rm, i64::MIN, i64::MAX) as u64),
-            FcvtLuD => wrx!(f2u(a64(), rm, u64::MAX)),
-            FcvtWS => {
-                wrx!(f2i(a32() as f64, rm, i32::MIN as i64, i32::MAX as i64) as i32 as i64 as u64)
-            }
-            FcvtWuS => wrx!(f2u(a32() as f64, rm, u32::MAX as u64) as u32 as i32 as i64 as u64),
-            FcvtLS => wrx!(f2i(a32() as f64, rm, i64::MIN, i64::MAX) as u64),
-            FcvtLuS => wrx!(f2u(a32() as f64, rm, u64::MAX)),
-            FcvtDW => wrd!(self.get(i.rs1.unwrap()) as i32 as f64),
-            FcvtDWu => wrd!(self.get(i.rs1.unwrap()) as u32 as f64),
-            FcvtDL => wrd!(self.get(i.rs1.unwrap()) as i64 as f64),
-            FcvtDLu => wrd!(self.get(i.rs1.unwrap()) as f64),
-            FcvtSW => wrs!(self.get(i.rs1.unwrap()) as i32 as f32),
-            FcvtSWu => wrs!(self.get(i.rs1.unwrap()) as u32 as f32),
-            FcvtSL => wrs!(self.get(i.rs1.unwrap()) as i64 as f32),
-            FcvtSLu => wrs!(self.get(i.rs1.unwrap()) as f32),
-            FcvtSD => wrs!(a64() as f32),
-            FcvtDS => wrd!(a32() as f64),
-            FmvXD => wrx!(self.get(i.rs1.unwrap())),
-            FmvDX => wrx!(self.get(i.rs1.unwrap())),
-            FmvXW => {
-                // Low 32 bits of the FPR, sign-extended.
-                wrx!(self.get(i.rs1.unwrap()) as u32 as i32 as i64 as u64)
-            }
-            FmvWX => wrx!(nan_box(self.get(i.rs1.unwrap()) as u32)),
-            _ => {
-                // Every op is covered above; reaching here is a bug.
-                unreachable!("unhandled op {:?}", i.op)
-            }
-        }
-    }
-
-    // ---- CSRs ----
-
-    fn read_csr(&self, csr: u16) -> u64 {
-        match csr {
-            0x001 => self.fcsr & 0x1F,       // fflags
-            0x002 => (self.fcsr >> 5) & 0x7, // frm
-            0x003 => self.fcsr,              // fcsr
-            0xC00 => self.cycles,            // cycle
-            0xC01 => self.now_ns() / 10,     // time (10ns ticks)
-            0xC02 => self.icount,            // instret
-            _ => 0,
-        }
-    }
-
-    fn write_csr(&mut self, csr: u16, v: u64) {
-        match csr {
-            0x001 => self.fcsr = (self.fcsr & !0x1F) | (v & 0x1F),
-            0x002 => self.fcsr = (self.fcsr & !0xE0) | ((v & 0x7) << 5),
-            0x003 => self.fcsr = v & 0xFF,
-            _ => {} // read-only / unimplemented: ignore
-        }
-    }
-
-    // ---- syscalls ----
-
-    fn syscall(&mut self) -> Result<Effect, MemFault> {
-        let nr = self.gpr[17]; // a7
-        let a0 = self.gpr[10];
-        let a1 = self.gpr[11];
-        let a2 = self.gpr[12];
-        match nr {
-            EXIT_SYSCALL => Ok(Effect::Stop(StopReason::Exited(a0 as i64))),
-            SYS_WRITE => {
-                if a0 == 1 || a0 == 2 {
-                    let data = self.mem.read_bytes(a1, a2 as usize)?;
-                    self.stdout.extend_from_slice(&data);
-                    self.gpr[10] = a2;
-                } else {
-                    self.gpr[10] = (-9i64) as u64; // EBADF
-                }
-                Ok(Effect::Next)
-            }
-            SYS_CLOCK_GETTIME => {
-                let ns = self.now_ns();
-                self.mem.store(a1, 8, ns / 1_000_000_000)?;
-                self.mem.store(a1 + 8, 8, ns % 1_000_000_000)?;
-                self.gpr[10] = 0;
-                Ok(Effect::Next)
-            }
-            SYS_BRK => {
-                if a0 != 0 {
-                    if a0 > self.brk {
-                        self.mem.map(self.brk, a0 - self.brk);
-                    }
-                    self.brk = a0;
-                }
-                self.gpr[10] = self.brk;
-                Ok(Effect::Next)
-            }
-            _ => {
-                self.gpr[10] = (-38i64) as u64; // ENOSYS
-                Ok(Effect::Next)
-            }
-        }
-    }
 }
 
 impl Default for Machine {
@@ -839,221 +434,12 @@ impl Default for Machine {
     }
 }
 
-enum Effect {
-    Next,
-    Jump(u64),
-    Stop(StopReason),
-}
-
-#[inline]
-fn nan_box(v: u32) -> u64 {
-    0xFFFF_FFFF_0000_0000 | v as u64
-}
-
-const CANONICAL_NAN64: f64 = f64::from_bits(0x7FF8_0000_0000_0000);
-const CANONICAL_NAN32: f32 = f32::from_bits(0x7FC0_0000);
-
-/// `fclass` result bits (RISC-V spec table): one-hot classification.
-fn fclass64(v: f64) -> u64 {
-    let bits = v.to_bits();
-    let sign = bits >> 63 != 0;
-    if v.is_nan() {
-        // Signaling NaN has the top mantissa bit clear.
-        if bits & (1 << 51) == 0 {
-            1 << 8
-        } else {
-            1 << 9
-        }
-    } else if v.is_infinite() {
-        if sign {
-            1 << 0
-        } else {
-            1 << 7
-        }
-    } else if v == 0.0 {
-        if sign {
-            1 << 3
-        } else {
-            1 << 4
-        }
-    } else if v.is_subnormal() {
-        if sign {
-            1 << 2
-        } else {
-            1 << 5
-        }
-    } else if sign {
-        1 << 1
-    } else {
-        1 << 6
-    }
-}
-
-fn fclass32(v: f32) -> u64 {
-    let bits = v.to_bits();
-    let sign = bits >> 31 != 0;
-    if v.is_nan() {
-        if bits & (1 << 22) == 0 {
-            1 << 8
-        } else {
-            1 << 9
-        }
-    } else if v.is_infinite() {
-        if sign {
-            1 << 0
-        } else {
-            1 << 7
-        }
-    } else if v == 0.0 {
-        if sign {
-            1 << 3
-        } else {
-            1 << 4
-        }
-    } else if v.is_subnormal() {
-        if sign {
-            1 << 2
-        } else {
-            1 << 5
-        }
-    } else if sign {
-        1 << 1
-    } else {
-        1 << 6
-    }
-}
-
-fn fmin64(a: f64, b: f64) -> f64 {
-    match (a.is_nan(), b.is_nan()) {
-        (true, true) => CANONICAL_NAN64,
-        (true, false) => b,
-        (false, true) => a,
-        _ => {
-            if a == 0.0 && b == 0.0 {
-                // fmin(-0, +0) = -0
-                if a.is_sign_negative() {
-                    a
-                } else {
-                    b
-                }
-            } else {
-                a.min(b)
-            }
-        }
-    }
-}
-
-fn fmax64(a: f64, b: f64) -> f64 {
-    match (a.is_nan(), b.is_nan()) {
-        (true, true) => CANONICAL_NAN64,
-        (true, false) => b,
-        (false, true) => a,
-        _ => {
-            if a == 0.0 && b == 0.0 {
-                if a.is_sign_positive() {
-                    a
-                } else {
-                    b
-                }
-            } else {
-                a.max(b)
-            }
-        }
-    }
-}
-
-fn fmin32(a: f32, b: f32) -> f32 {
-    match (a.is_nan(), b.is_nan()) {
-        (true, true) => CANONICAL_NAN32,
-        (true, false) => b,
-        (false, true) => a,
-        _ => {
-            if a == 0.0 && b == 0.0 {
-                if a.is_sign_negative() {
-                    a
-                } else {
-                    b
-                }
-            } else {
-                a.min(b)
-            }
-        }
-    }
-}
-
-fn fmax32(a: f32, b: f32) -> f32 {
-    match (a.is_nan(), b.is_nan()) {
-        (true, true) => CANONICAL_NAN32,
-        (true, false) => b,
-        (false, true) => a,
-        _ => {
-            if a == 0.0 && b == 0.0 {
-                if a.is_sign_positive() {
-                    a
-                } else {
-                    b
-                }
-            } else {
-                a.max(b)
-            }
-        }
-    }
-}
-
-/// Round per the RISC-V rounding mode, then convert to a signed integer
-/// with spec saturation (NaN → max).
-fn f2i(v: f64, rm: u8, min: i64, max: i64) -> i64 {
-    if v.is_nan() {
-        return max;
-    }
-    let r = round_rm(v, rm);
-    if r < min as f64 {
-        min
-    } else if r > max as f64 {
-        max
-    } else {
-        r as i64
-    }
-}
-
-/// As [`f2i`] but unsigned.
-fn f2u(v: f64, rm: u8, max: u64) -> u64 {
-    if v.is_nan() {
-        return max;
-    }
-    let r = round_rm(v, rm);
-    if r < 0.0 {
-        0
-    } else if r > max as f64 {
-        max
-    } else {
-        r as u64
-    }
-}
-
-fn round_rm(v: f64, rm: u8) -> f64 {
-    match rm {
-        0 | 4 => {
-            // RNE (and RMM approximated): ties-to-even.
-            let r = v.round();
-            if (v - v.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
-                r - v.signum()
-            } else {
-                r
-            }
-        }
-        1 => v.trunc(), // RTZ
-        2 => v.floor(), // RDN
-        3 => v.ceil(),  // RUP
-        _ => v.trunc(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use rvdyn_isa::build;
     use rvdyn_isa::encode::encode32;
+    use rvdyn_isa::Op;
 
     fn machine_with(code: &[u8], base: u64) -> Machine {
         let mut m = Machine::new();
@@ -1173,14 +559,6 @@ mod tests {
         m.pc = 0x1000;
         m.step();
         assert_eq!(m.gpr[10] as i64, i32::MAX as i64);
-    }
-
-    #[test]
-    fn fmin_fmax_nan_and_zero_rules() {
-        assert_eq!(fmin64(-0.0, 0.0).to_bits(), (-0.0f64).to_bits());
-        assert_eq!(fmax64(-0.0, 0.0).to_bits(), (0.0f64).to_bits());
-        assert_eq!(fmin64(f64::NAN, 3.0), 3.0);
-        assert!(fmin64(f64::NAN, f64::NAN).is_nan());
     }
 
     #[test]

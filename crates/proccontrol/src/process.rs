@@ -55,6 +55,10 @@ pub enum ProcError {
     NoBreakpoint(u64),
     /// The current instruction could not be decoded.
     Undecodable(u64),
+    /// The emulator's translation-cache coherence check failed at this
+    /// pc: cached text changed without an invalidation (only reachable
+    /// when the machine's `verify_translations` assertion is armed).
+    CacheIncoherent(u64),
 }
 
 impl fmt::Display for ProcError {
@@ -67,6 +71,9 @@ impl fmt::Display for ProcError {
             }
             ProcError::NoBreakpoint(a) => write!(f, "no breakpoint at {a:#x}"),
             ProcError::Undecodable(a) => write!(f, "undecodable instruction at {a:#x}"),
+            ProcError::CacheIncoherent(a) => {
+                write!(f, "translation cache incoherent at {a:#x}")
+            }
         }
     }
 }
@@ -423,6 +430,7 @@ impl Process {
             StopReason::FetchFault { pc } => Ok(Event::Fault { pc, addr: pc }),
             StopReason::IllegalInstruction(pc) => Ok(Event::Fault { pc, addr: pc }),
             StopReason::FuelExhausted => Err(ProcError::NotRunning),
+            StopReason::CacheIncoherent { pc } => Err(ProcError::CacheIncoherent(pc)),
         }
     }
 
@@ -450,6 +458,7 @@ impl Process {
             StopReason::FetchFault { pc } => Ok(Event::Fault { pc, addr: pc }),
             StopReason::IllegalInstruction(pc) => Ok(Event::Fault { pc, addr: pc }),
             StopReason::FuelExhausted => Err(ProcError::NotRunning),
+            StopReason::CacheIncoherent { pc } => Err(ProcError::CacheIncoherent(pc)),
         }
     }
 }

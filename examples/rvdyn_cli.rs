@@ -14,15 +14,17 @@
 //! Global flags: `--json` switches the diagnostics output of `info`,
 //! `count`, `run` and `profile` to the machine-readable
 //! `rvdyn-diagnostics-v1` schema; `--trace` streams telemetry events to
-//! stderr as the pipeline runs.
+//! stderr as the pipeline runs; `--engine <interpreter|cached>` selects
+//! the execution engine for `run`/`profile` (defaults to the `RVDYN_EMU`
+//! environment knob, see docs/EMULATOR.md).
 
-use rvdyn::{BinaryEditor, CounterPlacement, PointKind, SessionOptions, Snippet};
+use rvdyn::{BinaryEditor, CounterPlacement, EmuEngine, PointKind, SessionOptions, Snippet};
 use std::process::exit;
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rvdyn_cli [--json] [--trace] [--threads N] <command> ...\n\
+        "usage: rvdyn_cli [--json] [--trace] [--threads N] [--engine E] <command> ...\n\
          \n\
          gen <matmul|fib|switch|memcpy|atomics|indirect|tiny|many> <out.elf> [args…]\n\
          info <elf>\n\
@@ -46,7 +48,11 @@ fn usage() -> ! {
          --json        emit diagnostics as one rvdyn-diagnostics-v1 JSON line\n\
          --trace       stream telemetry events to stderr\n\
          --threads N   fan the parse and instrument plan phases over N\n\
-                       workers (the output bytes are identical for any N)"
+                       workers (the output bytes are identical for any N)\n\
+         --engine E    execution engine for run/profile: interpreter (the\n\
+                       reference) or cached (the block-translating DBT\n\
+                       back end — same counts/cycles, much faster);\n\
+                       defaults to the RVDYN_EMU environment knob"
     );
     exit(2);
 }
@@ -55,6 +61,7 @@ fn main() {
     let mut json = false;
     let mut trace = false;
     let mut threads = 1usize;
+    let mut engine = EmuEngine::from_env();
     let mut args = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
@@ -67,11 +74,21 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--engine" => {
+                engine = match raw.next().as_deref() {
+                    Some("interpreter") => EmuEngine::Interpreter,
+                    Some("cached") => EmuEngine::Cached,
+                    other => {
+                        eprintln!("unknown engine {other:?}");
+                        usage()
+                    }
+                }
+            }
             _ => args.push(a),
         }
     }
     let opts = || {
-        let o = SessionOptions::new().threads(threads);
+        let o = SessionOptions::new().threads(threads).engine(engine);
         if trace {
             o.telemetry(Arc::new(rvdyn::StderrSink))
         } else {
@@ -225,7 +242,7 @@ fn main() {
         }
         "run" => {
             let elf = std::fs::read(arg(&args, 1)).expect("read");
-            let r = rvdyn::run_elf(&elf, 10_000_000_000).unwrap_or_else(die);
+            let r = rvdyn::run_elf_with(&elf, 10_000_000_000, engine).unwrap_or_else(die);
             if json {
                 let mut d = rvdyn::Diagnostics::default();
                 d.record_run(r.icount, r.cycles);

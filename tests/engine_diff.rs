@@ -1,0 +1,228 @@
+//! Differential tests pinning the cached (DBT) engine to the reference
+//! interpreter: for any program — random reducible CFGs, the whole
+//! mutatee suite, instrumented or not, at any fuel — the two engines
+//! must agree on *every* architectural observable: registers, memory,
+//! instruction count, the modelled cycle count, stdout, and the stop
+//! reason (including the trap pc). This is the bit-identity contract of
+//! `docs/EMULATOR.md` §"Cost-model bit-identity".
+
+mod common;
+
+use common::ProgramStrategy;
+use proptest::prelude::*;
+use rvdyn::{BinaryEditor, EmuEngine, PointKind, SessionOptions, Snippet};
+use rvdyn_emu::{load_binary, StopReason};
+use rvdyn_symtab::Binary;
+
+/// Every observable the two engines must agree on, collected after a
+/// run. Memory is the full final page image, so a single divergent byte
+/// anywhere in the address space fails the comparison.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    stop: StopReason,
+    pc: u64,
+    gpr: [u64; 32],
+    fpr: [u64; 32],
+    fcsr: u64,
+    icount: u64,
+    cycles: u64,
+    taken_transfers: u64,
+    stdout: Vec<u8>,
+    memory: Vec<(u64, Vec<u8>)>,
+}
+
+fn run_raw(bin: &Binary, engine: EmuEngine, fuel: u64) -> Observables {
+    let mut m = load_binary(bin);
+    m.engine = engine;
+    m.fuel = Some(fuel);
+    let stop = m.run();
+    Observables {
+        stop,
+        pc: m.pc,
+        gpr: m.gpr,
+        fpr: m.fpr,
+        fcsr: m.fcsr,
+        icount: m.icount,
+        cycles: m.cycles,
+        taken_transfers: m.taken_transfers,
+        stdout: m.stdout.clone(),
+        memory: m.mem.pages().map(|(a, b)| (a, b.to_vec())).collect(),
+    }
+}
+
+fn assert_engines_agree(bin: &Binary, fuel: u64, what: &str) {
+    let i = run_raw(bin, EmuEngine::Interpreter, fuel);
+    let c = run_raw(bin, EmuEngine::Cached, fuel);
+    assert_eq!(i, c, "engines diverge on {what} (fuel {fuel})");
+}
+
+#[test]
+fn mutatee_suite_is_engine_invariant() {
+    let suite: Vec<(&str, Binary)> = vec![
+        ("matmul", rvdyn_asm::matmul_program(8, 2)),
+        ("fib", rvdyn_asm::fib_program(12)),
+        ("switch", rvdyn_asm::switch_program(64)),
+        ("switch_rel", rvdyn_asm::switch_rel_program(64)),
+        ("deep", rvdyn_asm::deep_call_program(16)),
+        ("memcpy", rvdyn_asm::memcpy_program()),
+        ("atomics", rvdyn_asm::atomics_program(100)),
+        ("indirect", rvdyn_asm::indirect_entry_program(32)),
+        ("tiny", rvdyn_asm::tiny_function_program(32)),
+        ("many", rvdyn_asm::many_functions_program(64)),
+    ];
+    for (name, bin) in suite {
+        assert_engines_agree(&bin, 1_000_000_000, name);
+    }
+}
+
+#[test]
+fn partial_fuel_stops_at_the_same_state() {
+    // FuelExhausted must land on the exact same pc / registers / cycle
+    // count: the cached engine may not overrun a block boundary.
+    let bin = rvdyn_asm::matmul_program(6, 1);
+    for fuel in [1u64, 2, 3, 17, 100, 999, 5_000] {
+        let i = run_raw(&bin, EmuEngine::Interpreter, fuel);
+        assert_eq!(i.stop, StopReason::FuelExhausted, "fuel {fuel} too large");
+        assert_engines_agree(&bin, fuel, "matmul mid-run");
+    }
+}
+
+#[test]
+fn trap_pcs_are_engine_invariant() {
+    // A mutatee that faults mid-block must fault at the same pc with the
+    // same machine state under both engines: a load from an unmapped
+    // address buried between ordinary ALU instructions.
+    use rvdyn_isa::{build, Op, Reg};
+    use rvdyn_symtab::{Section, SHF_ALLOC, SHF_EXECINSTR};
+    let base = 0x1_0000u64;
+    let mut a = rvdyn_asm::Assembler::new(base);
+    a.li(Reg::x(10), 5);
+    a.addi(Reg::x(10), Reg::x(10), 1);
+    a.li(Reg::x(6), 0x1999_0000);
+    a.inst(build::i_type(Op::Ld, Reg::x(7), Reg::x(6), 0));
+    a.li(Reg::x(17), 93);
+    a.ecall();
+    let code = a.finish().unwrap();
+    let mut bin = rvdyn_asm::fib_program(1); // donor for entry/attrs shape
+    bin.entry = base;
+    bin.sections = vec![Section::progbits(
+        ".text",
+        base,
+        SHF_ALLOC | SHF_EXECINSTR,
+        code,
+    )];
+    bin.symbols.clear();
+    let i = run_raw(&bin, EmuEngine::Interpreter, 1_000);
+    assert!(
+        matches!(i.stop, StopReason::MemFault { .. }),
+        "expected a memory fault, got {:?}",
+        i.stop
+    );
+    assert_engines_agree(&bin, 1_000, "faulting load");
+}
+
+#[test]
+fn instrumented_runs_agree_across_engines_and_threads() {
+    // The acceptance bar: instrumented binaries produce identical
+    // (registers, memory, cycles, counts) on both engines at plan-phase
+    // thread counts 1 and 4.
+    let elf = rvdyn_asm::matmul_program(6, 2).to_bytes().unwrap();
+    let mut baseline = None;
+    for engine in [EmuEngine::Interpreter, EmuEngine::Cached] {
+        for threads in [1usize, 4] {
+            let mut ed = BinaryEditor::open_with(
+                &elf,
+                SessionOptions::new().threads(threads).engine(engine),
+            )
+            .unwrap();
+            let bc = ed.count_blocks("matmul").unwrap();
+            let r = ed.instrument_and_run(1_000_000_000).unwrap();
+            let counts = ed.block_counts(&bc, &r).unwrap();
+            let m = r.machine();
+            let state = (
+                r.exit_code,
+                m.gpr,
+                m.fpr,
+                m.icount,
+                m.cycles,
+                m.stdout.clone(),
+                m.mem
+                    .pages()
+                    .map(|(a, b)| (a, b.to_vec()))
+                    .collect::<Vec<_>>(),
+                counts,
+            );
+            match &baseline {
+                None => baseline = Some(state),
+                Some(b) => assert_eq!(
+                    &state, b,
+                    "instrumented run diverges at engine {engine:?} threads {threads}"
+                ),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random reducible CFGs: full-state agreement at full fuel and at
+    /// a seed-derived partial fuel (stopping mid-program at an arbitrary
+    /// instruction boundary).
+    #[test]
+    fn random_cfgs_are_engine_invariant(
+        stmts in ProgramStrategy,
+        seed in any::<u64>(),
+    ) {
+        let bin = common::stmt_program(&stmts, seed);
+        let full = run_raw(&bin, EmuEngine::Interpreter, 1_000_000_000);
+        prop_assert_eq!(full.stop, StopReason::Exited(0));
+        let cached = run_raw(&bin, EmuEngine::Cached, 1_000_000_000);
+        prop_assert_eq!(&full, &cached, "divergence at full fuel");
+
+        // Stop somewhere strictly inside the run.
+        if full.icount > 1 {
+            let fuel = 1 + seed % (full.icount - 1);
+            let i = run_raw(&bin, EmuEngine::Interpreter, fuel);
+            let c = run_raw(&bin, EmuEngine::Cached, fuel);
+            prop_assert_eq!(&i, &c, "divergence at fuel {}", fuel);
+        }
+    }
+
+    /// Random CFGs, instrumented: block counts, counters, and the final
+    /// machine state agree across engines (threads 1 and 4).
+    #[test]
+    fn random_instrumented_cfgs_are_engine_invariant(
+        stmts in ProgramStrategy,
+        seed in any::<u64>(),
+    ) {
+        let bin = common::stmt_program(&stmts, seed);
+        let result_addr = bin.symbol_by_name("result").unwrap().value;
+        let elf = bin.to_bytes().unwrap();
+        let mut baseline = None;
+        for engine in [EmuEngine::Interpreter, EmuEngine::Cached] {
+            for threads in [1usize, 4] {
+                let mut ed = BinaryEditor::open_with(
+                    &elf,
+                    SessionOptions::new().threads(threads).engine(engine),
+                ).unwrap();
+                let c = ed.alloc_var(8);
+                let pts = ed.find_points("work", PointKind::BlockEntry).unwrap();
+                ed.insert(&pts, Snippet::increment(c));
+                let r = ed.instrument_and_run(1_000_000_000).unwrap();
+                let state = (
+                    r.exit_code,
+                    r.read_u64(result_addr),
+                    r.read_u64(c.addr),
+                    r.icount,
+                    r.cycles,
+                );
+                match &baseline {
+                    None => baseline = Some(state),
+                    Some(b) => prop_assert_eq!(&state, b,
+                        "instrumented divergence at {:?} threads {}", engine, threads),
+                }
+            }
+        }
+    }
+}
