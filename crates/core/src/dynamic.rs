@@ -334,8 +334,9 @@ impl DynamicInstrumenter {
 /// address, then merge any write that starts at or before the end of the
 /// previous region. Overlapping bytes are resolved in original write
 /// order (later writes win), matching the semantics of issuing the
-/// writes one by one.
-fn coalesce_writes(writes: &[(u64, Vec<u8>)]) -> Vec<(u64, Vec<u8>)> {
+/// writes one by one. Shared with the fleet controller, which computes
+/// the regions once and delivers the same bytes into every process.
+pub(crate) fn coalesce_writes(writes: &[(u64, Vec<u8>)]) -> Vec<(u64, Vec<u8>)> {
     let mut sorted: Vec<&(u64, Vec<u8>)> = writes.iter().collect();
     sorted.sort_by_key(|(addr, _)| *addr); // stable: preserves write order at equal addresses
     let mut out: Vec<(u64, Vec<u8>)> = Vec::new();

@@ -96,6 +96,13 @@ pub enum Error {
     /// and executable text is mutated behind the debug interface — a
     /// mutator bug, never a mutatee condition. See `docs/EMULATOR.md`.
     CacheIncoherent { pc: u64 },
+    /// A fleet operation targeted the process under controller-assigned
+    /// pid `pid`, but that process is gone — it exited before (or while)
+    /// the operation could be delivered, or the pid was never part of
+    /// the fleet. The per-process analogue of a `waitpid` race: the
+    /// failure is attributed to exactly one mutatee, and the rest of the
+    /// fleet is unaffected (see `docs/FLEET.md` fault isolation).
+    FleetProcessLost { pid: u32 },
     /// Per-block count recovery failed for the function at `func`: a
     /// counter variable could not be read back, or the placed counter
     /// values violate the CFG flow equations (a negative reconstructed
@@ -122,6 +129,7 @@ impl Error {
             | Error::UncleanExit { .. }
             | Error::RedirectMiss { .. }
             | Error::CacheIncoherent { .. }
+            | Error::FleetProcessLost { .. }
             | Error::CounterReconstruct { .. } => Stage::Run,
         }
     }
@@ -199,6 +207,11 @@ impl fmt::Display for Error {
                 f,
                 "[run] translation cache incoherent at {pc:#x}: cached text \
                  changed without invalidation"
+            ),
+            Error::FleetProcessLost { pid } => write!(
+                f,
+                "[run] fleet process {pid} is gone: it exited before the \
+                 operation could be delivered (or was never in the fleet)"
             ),
             Error::CounterReconstruct { func, addr } => write!(
                 f,

@@ -79,6 +79,7 @@ pub mod diag;
 pub mod dynamic;
 pub mod editor;
 pub mod error;
+pub mod fleet;
 pub mod session;
 pub mod telemetry;
 
@@ -91,6 +92,7 @@ pub use editor::{
     run_binary, run_binary_observed, run_elf, run_elf_with, BinaryEditor, EditorError, RunOutput,
 };
 pub use error::{Error, Stage};
+pub use fleet::{FleetController, FleetSummary, ProcessReport};
 pub use session::{BlockCounter, Session, SessionOptions};
 pub use telemetry::{
     CollectSink, SharedSink, StageTimings, StderrSink, TelemetryEvent, TelemetrySink, TimedStage,
@@ -107,6 +109,9 @@ pub use rvdyn_patch::{
     audit_redirect_coverage, clobbered_addresses, find_points, plan_block_counters, BlockCountPlan,
     CounterPlacement, CounterSite, InstrumentError, PatchEvent, PatchLayout, Point, PointKind,
 };
-pub use rvdyn_proccontrol::{Event, FaultPlan, ProcEvent, Process, WriteFault, WriteFaultMode};
+pub use rvdyn_proccontrol::{
+    Completion, Event, EventQueue, FaultPlan, ProcEvent, Process, ProcessSet, WriteFault,
+    WriteFaultMode,
+};
 pub use rvdyn_stackwalker::{Frame, StackWalker};
 pub use rvdyn_symtab::Binary;

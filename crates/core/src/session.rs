@@ -667,6 +667,12 @@ impl Session {
         self.engine
     }
 
+    /// The configured worker-thread count, for the fleet controller to
+    /// size its process-set pool to match the plan phase.
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Fold the machine's drained engine events and counters into the
     /// telemetry stream and diagnostics (both delivery shells call this
     /// once per completed run).
@@ -740,10 +746,11 @@ fn adapt_patch(ev: PatchEvent) -> TelemetryEvent {
 }
 
 /// Translate an execution-engine event into the telemetry vocabulary.
-/// Engine events are buffered on the machine during the run (the
-/// machine must stay `Send`; a live sink callback would not) and
-/// drained here afterwards by [`Session::record_emu`].
-fn adapt_emu(ev: EmuEvent) -> TelemetryEvent {
+/// Engine events are buffered on the machine during the run (keeping
+/// the hot loop sink-free) and drained afterwards by
+/// [`Session::record_emu`] — or, on the fleet path, by the controller
+/// thread as each process's completion is consumed.
+pub(crate) fn adapt_emu(ev: EmuEvent) -> TelemetryEvent {
     match ev {
         EmuEvent::BlockTranslated { pc, insts } => TelemetryEvent::BlockTranslated { pc, insts },
         EmuEvent::BlockInvalidated { pc } => TelemetryEvent::BlockInvalidated { pc },

@@ -250,6 +250,22 @@ pub enum TelemetryEvent {
     /// front half was computed fresh (and inserted, evicting `evicted`
     /// least-recently-used entries to stay within capacity).
     AnalysisCacheMiss { key: u64, evicted: u64 },
+    /// A [`FleetController`](crate::FleetController) launched a mutatee
+    /// under controller-assigned pid `pid` (stopped at entry, sharing
+    /// the fleet's `Arc<Analysis>`).
+    FleetProcessSpawned { pid: u32 },
+    /// The fleet event loop consumed one completion — a stop, trap,
+    /// exit, or commit outcome — from the process under `pid` and
+    /// dispatched it to that process's handler. Arrival order varies
+    /// with the worker count; the per-pid event sequence does not.
+    FleetEventDispatched { pid: u32 },
+    /// The fleet process under `pid` exited cleanly with `code`.
+    FleetProcessExited { pid: u32, code: i64 },
+    /// The fleet process under `pid` reached a terminal per-process
+    /// error (patch verification failure, fault, lost process, …); the
+    /// typed error is recorded in the controller's per-process results,
+    /// and the rest of the fleet is unaffected.
+    FleetProcessFailed { pid: u32 },
 }
 
 impl fmt::Display for TelemetryEvent {
@@ -328,13 +344,25 @@ impl fmt::Display for TelemetryEvent {
             AnalysisCacheMiss { key, evicted } => {
                 write!(f, "analysis cache miss ({key:016x}, {evicted} evicted)")
             }
+            FleetProcessSpawned { pid } => write!(f, "fleet: process {pid} spawned"),
+            FleetEventDispatched { pid } => {
+                write!(f, "fleet: event from process {pid} dispatched")
+            }
+            FleetProcessExited { pid, code } => {
+                write!(f, "fleet: process {pid} exited ({code})")
+            }
+            FleetProcessFailed { pid } => write!(f, "fleet: process {pid} failed"),
         }
     }
 }
 
 /// Receiver for pipeline events. `event` takes `&self` so one sink can
 /// be shared (via `Arc`) between a session and the tool observing it.
-pub trait TelemetrySink {
+/// `Send + Sync` is a supertrait bound: a sink can be observed from
+/// concurrent sessions and travels with processes that migrate onto
+/// fleet worker threads, so every sink must be shareable by contract
+/// (both built-in sinks already are).
+pub trait TelemetrySink: Send + Sync {
     fn event(&self, ev: &TelemetryEvent);
 }
 

@@ -125,7 +125,16 @@ pub struct Machine {
     pub(crate) brk: u64,
     pub(crate) code_base: u64,
     pub(crate) code_end: u64,
-    icache: Vec<Option<Instruction>>,
+    /// Decoded-instruction cache over `[code_base, code_end)`, one slot
+    /// per half-word, split into lazily-allocated chunks: the top-level
+    /// vector holds one entry per [`ICACHE_CHUNK`]-slot chunk and a
+    /// chunk's backing store materialises only when a pc inside it is
+    /// first cached. The code region routinely spans the gap between
+    /// the original text and a high patch area (dynamic instrumentation
+    /// extends it across both), so a flat array would cost megabytes
+    /// per machine for the never-executed middle — ruinous for fleets
+    /// of processes held live concurrently.
+    icache: Vec<Option<Box<[Option<Instruction>]>>>,
     /// Decoded-basic-block translation cache (the cached engine's state).
     pub(crate) tcache: TranslationCache,
 }
@@ -137,6 +146,17 @@ pub struct Machine {
 pub(crate) const STACK_TOP: u64 = 0x7FFF_F000;
 pub(crate) const STACK_SIZE: u64 = 8 * 1024 * 1024;
 const STACK_EAGER: u64 = 64 * 1024;
+
+/// Half-word slots per decoded-instruction-cache chunk: 1024 slots =
+/// 2 KiB of code text per chunk. Small enough that sparse code regions
+/// stay cheap, large enough that a hot loop lives in one chunk.
+const ICACHE_CHUNK: usize = 1024;
+
+/// An empty chunk table covering a code region of `len` bytes.
+fn icache_chunks(len: u64) -> Vec<Option<Box<[Option<Instruction>]>>> {
+    let slots = (len / 2 + 2) as usize;
+    vec![None; slots.div_ceil(ICACHE_CHUNK)]
+}
 
 impl Machine {
     /// A bare machine: empty memory, stack mapped, sp initialised.
@@ -204,7 +224,7 @@ impl Machine {
     pub fn set_code_region(&mut self, base: u64, len: u64) {
         self.code_base = base;
         self.code_end = base + len;
-        self.icache = vec![None; (len / 2 + 2) as usize];
+        self.icache = icache_chunks(len);
         self.tcache.flush();
     }
 
@@ -219,7 +239,7 @@ impl Machine {
         if nb != self.code_base || ne != self.code_end {
             self.code_base = nb;
             self.code_end = ne;
-            self.icache = vec![None; ((ne - nb) / 2 + 2) as usize];
+            self.icache = icache_chunks(ne - nb);
             self.tcache.flush();
         }
     }
@@ -281,10 +301,18 @@ impl Machine {
         let mut a = start;
         while a < end {
             let idx = ((a - self.code_base) / 2) as usize;
-            if idx < self.icache.len() {
-                self.icache[idx] = None;
+            match self.icache.get_mut(idx / ICACHE_CHUNK) {
+                Some(Some(chunk)) => {
+                    chunk[idx % ICACHE_CHUNK] = None;
+                    a += 2;
+                }
+                // Chunk never materialised: nothing cached to clear —
+                // hop straight to the next chunk boundary.
+                Some(None) => {
+                    a = self.code_base + ((idx / ICACHE_CHUNK + 1) * ICACHE_CHUNK * 2) as u64;
+                }
+                None => break,
             }
-            a += 2;
         }
         self.tcache.kill_range(addr, len);
     }
@@ -293,8 +321,10 @@ impl Machine {
     pub(crate) fn fetch(&mut self, pc: u64) -> Result<Instruction, StopReason> {
         if pc >= self.code_base && pc < self.code_end && pc & 1 == 0 {
             let idx = ((pc - self.code_base) / 2) as usize;
-            if let Some(i) = self.icache[idx] {
-                return Ok(i);
+            if let Some(Some(chunk)) = self.icache.get(idx / ICACHE_CHUNK) {
+                if let Some(i) = chunk[idx % ICACHE_CHUNK] {
+                    return Ok(i);
+                }
             }
         }
         let bytes = self
@@ -308,7 +338,10 @@ impl Machine {
         })?;
         if pc >= self.code_base && pc < self.code_end && pc & 1 == 0 {
             let idx = ((pc - self.code_base) / 2) as usize;
-            self.icache[idx] = Some(inst);
+            if let Some(slot) = self.icache.get_mut(idx / ICACHE_CHUNK) {
+                let chunk = slot.get_or_insert_with(|| vec![None; ICACHE_CHUNK].into_boxed_slice());
+                chunk[idx % ICACHE_CHUNK] = Some(inst);
+            }
         }
         Ok(inst)
     }

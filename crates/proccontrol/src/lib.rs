@@ -29,9 +29,22 @@
 //! `ptrace` transport can take — and the typed errors the facade maps
 //! them to — are reachable from tests without any test-only code in the
 //! mutatee-facing paths.
+//!
+//! ## Fleets
+//!
+//! Controlling one mutatee is a blocking conversation; controlling N is
+//! an event loop. The [`event`] module supplies the multiplexing layer —
+//! [`EventQueue`] (park/unpark) and [`ProcessSet`] (N processes over a
+//! worker pool, jobs dispatched per pid, completions consumed in arrival
+//! order) — that `rvdyn`'s `FleetController` builds its poll/park loop
+//! on. See `docs/FLEET.md` for the controller contract.
 
+#![deny(missing_docs)]
+
+pub mod event;
 pub mod fault;
 pub mod process;
 
+pub use event::{Completion, EventQueue, ProcessSet};
 pub use fault::{FaultPlan, WriteFault, WriteFaultMode};
 pub use process::{Event, ProcError, ProcEvent, Process};

@@ -20,7 +20,12 @@ pub enum Event {
     /// Process exited with this code.
     Exited(i64),
     /// The mutatee faulted.
-    Fault { pc: u64, addr: u64 },
+    Fault {
+        /// Faulting program counter.
+        pc: u64,
+        /// The address the faulting access touched.
+        addr: u64,
+    },
 }
 
 /// Observable debug-interface operations, for a caller-supplied observer
@@ -31,15 +36,30 @@ pub enum Event {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcEvent {
     /// A user breakpoint was installed at `addr`.
-    BreakpointSet { addr: u64 },
+    BreakpointSet {
+        /// Breakpoint address.
+        addr: u64,
+    },
     /// The user breakpoint at `addr` was removed.
-    BreakpointRemoved { addr: u64 },
+    BreakpointRemoved {
+        /// Breakpoint address.
+        addr: u64,
+    },
     /// `len` bytes were written into mutatee memory at `addr`.
-    MemWritten { addr: u64, len: usize },
+    MemWritten {
+        /// Write target address.
+        addr: u64,
+        /// Bytes actually delivered (shorter than requested under an
+        /// armed short-write fault).
+        len: usize,
+    },
     /// An armed [`FaultPlan`] fault fired on the
     /// operation touching `addr` (the write target, or the pc for a
     /// delayed stop event).
-    FaultInjected { addr: u64 },
+    FaultInjected {
+        /// The address the faulted operation touched.
+        addr: u64,
+    },
 }
 
 /// Process-control errors.
@@ -110,7 +130,7 @@ pub struct Process {
     machine: Machine,
     breakpoints: BTreeMap<u64, Breakpoint>,
     exited: Option<i64>,
-    observer: Option<Box<dyn FnMut(ProcEvent)>>,
+    observer: Option<Box<dyn FnMut(ProcEvent) + Send>>,
     fault_plan: FaultPlan,
     /// Count of controller-initiated `write_mem` calls (fault targeting).
     writes_seen: u64,
@@ -164,8 +184,10 @@ impl Process {
 
     /// Subscribe to debug-interface operations ([`ProcEvent`]); replaces
     /// any previous observer. Pass-through cost is one `Option` check per
-    /// operation when unset.
-    pub fn set_observer(&mut self, observer: Box<dyn FnMut(ProcEvent)>) {
+    /// operation when unset. The observer must be `Send`: a process can
+    /// migrate onto a fleet worker thread mid-conversation (see
+    /// [`crate::ProcessSet`]), and the observer travels with it.
+    pub fn set_observer(&mut self, observer: Box<dyn FnMut(ProcEvent) + Send>) {
         self.observer = Some(observer);
     }
 
@@ -184,18 +206,22 @@ impl Process {
         self.machine
     }
 
+    /// The mutatee's current program counter.
     pub fn pc(&self) -> u64 {
         self.machine.pc
     }
 
+    /// Redirect the mutatee to continue from `pc`.
     pub fn set_pc(&mut self, pc: u64) {
         self.machine.pc = pc;
     }
 
+    /// Read a mutatee register.
     pub fn get_reg(&self, r: Reg) -> u64 {
         self.machine.get(r)
     }
 
+    /// Write a mutatee register.
     pub fn set_reg(&mut self, r: Reg, v: u64) {
         self.machine.set(r, v);
     }
@@ -254,6 +280,8 @@ impl Process {
         &self.machine
     }
 
+    /// The machine, mutably (for trap-redirect installs, engine
+    /// selection, and other controller-side configuration).
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
     }
@@ -290,6 +318,7 @@ impl Process {
         Ok(())
     }
 
+    /// Whether a user breakpoint is currently installed at `addr`.
     pub fn has_breakpoint(&self, addr: u64) -> bool {
         self.breakpoints.contains_key(&addr)
     }

@@ -18,6 +18,16 @@
 //!
 //! Steppers are tried in order; the first that produces a caller frame
 //! wins — exactly Dyninst's plugin protocol.
+//!
+//! ## Consumers
+//!
+//! `examples/stack_sampler.rs` is the STAT-style consumer: it stops a
+//! running mutatee at a planted breakpoint and, on each hit, walks the
+//! stack with the stepper chain to profile recursion depth. The walker
+//! operates on any stopped [`rvdyn_proccontrol::Process`], which
+//! includes every member of a `FleetController` fleet — `with_process`
+//! hands a tool the raw process, so a whole-workload sampler walks all
+//! N mutatees from one event loop (see `docs/FLEET.md`).
 
 use rvdyn_dataflow::{stackheight::Height, StackHeight};
 use rvdyn_isa::Reg;

@@ -44,6 +44,14 @@ fn usage() -> ! {
                       cache: prints each file's content key and whether\n\
                       the front half was recomputed or reused — files\n\
                       with identical code/data/symbols share one entry)\n\
+         fleet <elf> <function> [N]\n\
+                     (instrument a fleet of N mutatees — default 8 —\n\
+                      from one controller: the function-entry counter is\n\
+                      planned once, delivered into every process with\n\
+                      read-back verification, and all processes run to\n\
+                      exit through the event loop; --threads sizes the\n\
+                      worker pool, --json prints the fleet rollup —\n\
+                      see docs/FLEET.md for the controller contract)\n\
          \n\
          --json        emit diagnostics as one rvdyn-diagnostics-v1 JSON line\n\
          --trace       stream telemetry events to stderr\n\
@@ -313,6 +321,46 @@ fn main() {
             println!("counter:    {:?}", r.read_u64(counter.addr));
             println!("--- pipeline diagnostics ---");
             println!("{}", ed.diagnostics());
+        }
+        "fleet" => {
+            // Fleet-scale dynamic instrumentation (docs/FLEET.md): one
+            // controller, one shared plan, N verified deliveries, one
+            // event loop running every mutatee to exit.
+            let elf = std::fs::read(arg(&args, 1)).expect("read");
+            let func = arg(&args, 2);
+            let n = num(&args, 3).unwrap_or(8) as usize;
+            let mut fleet = rvdyn::FleetController::open(&elf, opts()).unwrap_or_else(die);
+            let pids = fleet.spawn(n);
+            let counter = fleet.alloc_var(8);
+            let pts = fleet
+                .find_points(&func, PointKind::FuncEntry)
+                .unwrap_or_else(die);
+            fleet.insert(&pts, Snippet::increment(counter));
+            fleet.commit_all().unwrap_or_else(die);
+            fleet.run_all();
+            let summary = fleet.summary();
+            if json {
+                println!("{}", summary.to_json());
+                return;
+            }
+            println!(
+                "fleet of {} over {func} ({} point(s), {} worker thread(s))",
+                pids.len(),
+                pts.len(),
+                threads
+            );
+            for pid in &pids {
+                if let Some(v) = fleet.read_var(*pid, counter) {
+                    println!("  pid {pid:>4}: counter {v}");
+                }
+            }
+            println!("--- fleet rollup ---");
+            print!("{summary}");
+            println!("--- controller diagnostics ---");
+            println!("{}", fleet.diagnostics());
+            if summary.processes_failed > 0 {
+                exit(1);
+            }
         }
         "cache" => {
             // Two passes over the file list through one shared cache:

@@ -1,0 +1,202 @@
+//! Fleet-scale dynamic instrumentation, end to end through the public
+//! API: one [`FleetController`] must instrument N mutatees with the
+//! exact bytes a sequential [`DynamicInstrumenter`] session delivers,
+//! isolate injected faults to the targeted process, produce identical
+//! results at every worker count, and survive a process dying in the
+//! middle of a fleet-wide patch commit. The contract under test is
+//! written down in `docs/FLEET.md`.
+
+use rvdyn::telemetry::CollectSink;
+use rvdyn::{
+    DynamicInstrumenter, Error, FaultPlan, FleetController, PointKind, SessionOptions, Snippet,
+    TelemetryEvent,
+};
+use rvdyn_asm::matmul_program;
+
+/// Drive one sequential single-process session over the same binary and
+/// snippet the fleet uses; returns (exit_code, counter, process) so
+/// callers can compare memory against fleet processes.
+fn sequential_reference() -> (i64, u64, DynamicInstrumenter) {
+    let mut di = DynamicInstrumenter::create(matmul_program(8, 2));
+    let c = di.alloc_var(8);
+    let pts = di.find_points("matmul", PointKind::FuncEntry).unwrap();
+    di.insert(&pts, Snippet::increment(c));
+    di.commit().unwrap();
+    let code = di.run_to_exit().unwrap();
+    let counter = di.read_var(c).unwrap();
+    (code, counter, di)
+}
+
+fn instrumented_fleet(n: usize, opts: SessionOptions) -> (FleetController, Vec<u32>, rvdyn::Var) {
+    let mut fleet = FleetController::from_binary(matmul_program(8, 2), opts);
+    let pids = fleet.spawn(n);
+    let c = fleet.alloc_var(8);
+    let pts = fleet.find_points("matmul", PointKind::FuncEntry).unwrap();
+    fleet.insert(&pts, Snippet::increment(c));
+    (fleet, pids, c)
+}
+
+/// The tentpole parity claim: a fleet of 100 processes ends up with
+/// patch regions *bit-identical* to a sequential session's, in every
+/// process, and every process computes the same result.
+#[test]
+fn fleet_of_100_matches_sequential_sessions_bit_for_bit() {
+    let (seq_code, seq_counter, seq) = sequential_reference();
+    assert_eq!(seq_code, 0);
+
+    let (mut fleet, pids, c) = instrumented_fleet(100, SessionOptions::new());
+    fleet.commit_all().unwrap();
+    fleet.run_all();
+
+    let regions = fleet.commit_regions().to_vec();
+    assert!(!regions.is_empty(), "commit must deliver patch regions");
+    for pid in &pids {
+        assert!(
+            matches!(fleet.result(*pid), Some(Ok(code)) if *code == seq_code),
+            "pid {pid}: {:?}",
+            fleet.result(*pid)
+        );
+        assert_eq!(fleet.read_var(*pid, c), Some(seq_counter), "pid {pid}");
+        // Every delivered region must read back byte-identical to the
+        // sequential process's memory at the same addresses.
+        for (addr, bytes) in &regions {
+            let fleet_bytes = fleet
+                .with_process(*pid, |p| p.read_mem(*addr, bytes.len()).unwrap())
+                .unwrap();
+            let seq_bytes = seq.process().read_mem(*addr, bytes.len()).unwrap();
+            assert_eq!(fleet_bytes, *bytes, "pid {pid} region {addr:#x} vs plan");
+            assert_eq!(
+                fleet_bytes, seq_bytes,
+                "pid {pid} region {addr:#x} vs sequential"
+            );
+        }
+    }
+
+    let s = fleet.summary();
+    assert_eq!(s.processes, 100);
+    assert_eq!(s.processes_failed, 0);
+    // One commit completion and at least one run completion per process.
+    assert!(s.events_dispatched >= 200, "got {}", s.events_dispatched);
+}
+
+/// Fault isolation: a write-corruption fault plan targeted at exactly
+/// one pid mid-fleet must surface as that pid's typed
+/// `PatchVerifyFailed` — and the other N−1 processes commit, run, and
+/// count as if nothing happened.
+#[test]
+fn targeted_fault_hits_one_process_and_spares_the_rest() {
+    let (_, seq_counter, _) = sequential_reference();
+    let (mut fleet, pids, c) = instrumented_fleet(8, SessionOptions::new());
+    let victim = pids[3];
+    // Write 0 is the data-area zero-fill; write 1 the first region.
+    fleet
+        .set_fault_plan(victim, FaultPlan::new().corrupt_write(1, 0))
+        .unwrap();
+    fleet.commit_all().unwrap();
+    fleet.run_all();
+
+    match fleet.result(victim) {
+        Some(Err(Error::PatchVerifyFailed { addr })) => assert!(*addr > 0),
+        other => panic!("victim must fail patch verification, got {other:?}"),
+    }
+    let s = fleet.summary();
+    assert_eq!(s.processes_failed, 1);
+    assert_eq!(s.faults_injected, 1);
+    for pid in pids {
+        if pid == victim {
+            continue;
+        }
+        assert!(matches!(fleet.result(pid), Some(Ok(0))), "pid {pid}");
+        assert_eq!(fleet.read_var(pid, c), Some(seq_counter), "pid {pid}");
+        assert_eq!(
+            fleet.process_diagnostics(pid).unwrap().faults_injected,
+            0,
+            "pid {pid} must see no injected faults"
+        );
+    }
+    // The victim's per-process diagnostics carry the injection.
+    assert_eq!(
+        fleet.process_diagnostics(victim).unwrap().faults_injected,
+        1
+    );
+}
+
+/// Event-loop determinism: per-process results, counters, and the
+/// dispatched-event total must be identical whether the fleet's back
+/// half runs inline (threads=1, strictly deterministic dispatch order)
+/// or over a 4-worker pool (arrival order may differ; outcomes may not).
+#[test]
+fn worker_count_does_not_change_any_observable_outcome() {
+    let run = |threads: usize| {
+        let (mut fleet, pids, c) = instrumented_fleet(12, SessionOptions::new().threads(threads));
+        fleet.commit_all().unwrap();
+        fleet.run_all();
+        let s = fleet.summary();
+        let per_pid: Vec<(u32, i64, u64, u64)> = pids
+            .iter()
+            .map(|pid| {
+                let code = match fleet.result(*pid) {
+                    Some(Ok(code)) => *code,
+                    other => panic!("pid {pid}: {other:?}"),
+                };
+                let d = fleet.process_diagnostics(*pid).unwrap();
+                (*pid, code, fleet.read_var(*pid, c).unwrap(), d.instret)
+            })
+            .collect();
+        (per_pid, s.events_dispatched, s.processes_failed)
+    };
+    let (seq1, events1, failed1) = run(1);
+    let (seq4, events4, failed4) = run(4);
+    assert_eq!(seq1, seq4, "per-process outcomes must be thread-invariant");
+    assert_eq!(events1, events4, "event totals must be thread-invariant");
+    assert_eq!((failed1, failed4), (0, 0));
+}
+
+/// A process that exits *before* the fleet-wide commit reaches it is a
+/// per-process `FleetProcessLost`, not a fleet failure: the commit job
+/// detects the dead process, skips delivery, and the rest of the fleet
+/// commits and runs normally.
+#[test]
+fn process_exit_during_patch_is_recovered_per_process() {
+    let sink = CollectSink::new();
+    let (mut fleet, pids, c) = instrumented_fleet(6, SessionOptions::new().telemetry(sink.clone()));
+    let dead = pids[1];
+    // Run the victim to exit through the debugger escape hatch while
+    // the rest of the fleet is still stopped at entry.
+    let code = fleet
+        .with_process(dead, |p| loop {
+            match p.cont().unwrap() {
+                rvdyn::Event::Exited(code) => break code,
+                _ => continue,
+            }
+        })
+        .unwrap();
+    assert_eq!(code, 0);
+
+    fleet.commit_all().unwrap();
+    fleet.run_all();
+
+    match fleet.result(dead) {
+        Some(Err(Error::FleetProcessLost { pid })) => assert_eq!(*pid, dead),
+        other => panic!("expected FleetProcessLost, got {other:?}"),
+    }
+    for pid in pids {
+        if pid == dead {
+            continue;
+        }
+        assert!(matches!(fleet.result(pid), Some(Ok(0))), "pid {pid}");
+        assert!(fleet.read_var(pid, c).unwrap() > 0, "pid {pid}");
+    }
+    let s = fleet.summary();
+    assert_eq!(s.processes_failed, 1);
+    // The failure is typed in telemetry too: exactly one FleetProcessFailed.
+    let failed: Vec<u32> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::FleetProcessFailed { pid } => Some(*pid),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(failed, vec![dead]);
+}
