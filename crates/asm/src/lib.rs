@@ -20,6 +20,6 @@ pub mod programs;
 pub use assembler::{AsmError, Assembler, Label};
 pub use programs::{
     atomics_program, deep_call_program, fib_program, indirect_entry_program,
-    many_functions_program, matmul_program, memcpy_program, switch_program, switch_rel_program,
-    tailcall_program, tiny_function_program, Layout,
+    many_functions_program, matmul_program, memcpy_program, nested_call_program, switch_program,
+    switch_rel_program, tailcall_program, tiny_function_program, Layout,
 };

@@ -1456,6 +1456,129 @@ pub fn many_functions_program(n: usize) -> Binary {
         .expect("many-functions program assembles")
 }
 
+/// Nested-call mutatee for stackwalker ground truth: a chain of
+/// `frames.len()` functions `g_0 → g_1 → … → g_{n-1}`, called from
+/// `main`, whose leaf executes `ebreak` with every frame live — the
+/// walker must recover the exact chain `g_{n-1}, …, g_0, main, _start`.
+///
+/// * `frames[i]` varies `g_i`'s frame size: the frame is
+///   `32 + (frames[i] % 101) * 16` bytes, so random inputs exercise the
+///   stack-height analysis across 32..=1632-byte frames (within `addi`'s
+///   ±2048 immediate).
+/// * `frame_pointers` selects the prologue style. `false` builds
+///   sp-only frames (the common RISC-V compiler output the paper
+///   highlights — only the stackwalker's `SpHeightStepper` can walk
+///   them); `true` maintains the gcc `s0` chain (`[fp-8]=ra,
+///   [fp-16]=caller s0`), so `FpStepper` alone recovers the same
+///   frames. `main` uses the same style; its saved `s0` is `_start`'s
+///   0, terminating the fp chain.
+///
+/// Every function also stores and reloads its argument through a stack
+/// slot, giving the memory tracer deterministic per-frame traffic.
+pub fn nested_call_program(frames: &[u16], frame_pointers: bool) -> Binary {
+    assert!(!frames.is_empty(), "need at least one nested function");
+    let n = frames.len();
+    // ~64 bytes per function; scale .text like many_functions_program.
+    let mut layout = Layout::default();
+    let text_cap = 80 * n as u64 + 0x1000;
+    if layout.text + text_cap > layout.rodata {
+        let base = (layout.text + text_cap + 0xFFF) & !0xFFF;
+        layout.rodata = base;
+        layout.data = base + 0x8000;
+        layout.bss = base + 0x1_8000;
+    }
+    let mut a = Assembler::new(layout.text);
+    let l_main = a.label();
+    let l_g: Vec<_> = (0..n).map(|_| a.label()).collect();
+
+    let start_addr = a.here();
+    emit_start(&mut a, l_main);
+    let start_size = a.here() - start_addr;
+
+    // 32-byte minimum: the body spills through `sp+0`, which must not
+    // alias the saved-s0 slot at `size-16` when frame pointers are on.
+    let frame_size = |v: u16| 32 + (v as i64 % 101) * 16;
+    let prologue = |a: &mut Assembler, size: i64| {
+        a.addi(SP, SP, -size);
+        a.sd(RA, SP, size - 8);
+        if frame_pointers {
+            a.sd(S0, SP, size - 16);
+            a.addi(S0, SP, size);
+        }
+    };
+    let epilogue = |a: &mut Assembler, size: i64| {
+        a.ld(RA, SP, size - 8);
+        if frame_pointers {
+            a.ld(S0, SP, size - 16);
+        }
+        a.addi(SP, SP, size);
+        a.ret();
+    };
+
+    a.bind(l_main);
+    let main_addr = a.here();
+    // main gets a fixed 32-byte frame in the selected style, so the fp
+    // chain (when enabled) extends through main and ends at _start's
+    // zero s0.
+    prologue(&mut a, 32);
+    a.li(A0, 0);
+    a.call(l_g[0]);
+    a.mv(A0, Reg::X0);
+    epilogue(&mut a, 32);
+    let main_size = a.here() - main_addr;
+
+    let mut g_syms = Vec::with_capacity(n);
+    for (i, v) in frames.iter().enumerate() {
+        a.bind(l_g[i]);
+        let g_addr = a.here();
+        let size = frame_size(*v);
+        prologue(&mut a, size);
+        // Deterministic per-frame memory traffic: spill the depth
+        // argument, reload it, pass depth+1 down the chain.
+        a.sd(A0, SP, 0);
+        a.ld(T0, SP, 0);
+        if i + 1 < n {
+            a.addi(A0, T0, 1);
+            a.call(l_g[i + 1]);
+        } else {
+            a.ebreak(); // the debugger stop, with all n frames live
+        }
+        epilogue(&mut a, size);
+        g_syms.push(Sym {
+            name: format!("g_{i}"),
+            addr: g_addr,
+            size: a.here() - g_addr,
+            kind: SymbolKind::Function,
+        });
+    }
+
+    let mut syms = vec![
+        Sym {
+            name: "_start".into(),
+            addr: start_addr,
+            size: start_size,
+            kind: SymbolKind::Function,
+        },
+        Sym {
+            name: "main".into(),
+            addr: main_addr,
+            size: main_size,
+            kind: SymbolKind::Function,
+        },
+    ];
+    syms.extend(g_syms);
+    finish_binary(
+        a,
+        layout,
+        syms,
+        Vec::new(),
+        Vec::new(),
+        0,
+        IsaProfile::rv64gc(),
+    )
+    .expect("nested call program assembles")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -103,6 +103,18 @@ pub struct Diagnostics {
     /// Direct-branch chain links installed between cached blocks.
     pub emu_chain_links: u64,
 
+    // -- tools (memory tracer / sampling profiler; see docs/TOOLS.md) --
+    /// Load/store sites the memory tracer instrumented.
+    pub trace_points_planned: u64,
+    /// Trace records recovered from the mutatee's ring buffer.
+    pub trace_records: u64,
+    /// Trace records lost because the in-mutatee ring filled up.
+    pub trace_dropped: u64,
+    /// Stack samples the profiler took (one per cycle-limit interrupt).
+    pub profile_samples: u64,
+    /// Deepest stack (in frames) any profiler sample walked.
+    pub profile_max_depth: u64,
+
     /// Per-stage wall-clock attribution for the whole pipeline.
     pub timings: StageTimings,
 }
@@ -185,6 +197,9 @@ impl Diagnostics {
                 "\"analysis_cache_evictions\":{}}},",
                 "\"emu\":{{\"blocks_translated\":{},",
                 "\"invalidations\":{},\"chain_links\":{}}},",
+                "\"tools\":{{\"trace_points_planned\":{},",
+                "\"trace_records\":{},\"trace_dropped\":{},",
+                "\"profile_samples\":{},\"profile_max_depth\":{}}},",
                 "\"timings_ns\":{{\"open\":{},\"parse\":{},\"instrument\":{},",
                 "\"relocate\":{},\"commit\":{},\"run\":{}}}}}"
             ),
@@ -218,6 +233,11 @@ impl Diagnostics {
             self.emu_blocks_translated,
             self.emu_invalidations,
             self.emu_chain_links,
+            self.trace_points_planned,
+            self.trace_records,
+            self.trace_dropped,
+            self.profile_samples,
+            self.profile_max_depth,
             t.open_ns,
             t.parse_ns,
             t.instrument_ns,
@@ -308,6 +328,20 @@ impl fmt::Display for Diagnostics {
                 f,
                 "engine:     {} blocks translated, {} chain links, {} invalidations",
                 self.emu_blocks_translated, self.emu_chain_links, self.emu_invalidations
+            )?;
+        }
+        if self.trace_points_planned > 0 {
+            writeln!(
+                f,
+                "trace:      {} points, {} records recovered, {} dropped",
+                self.trace_points_planned, self.trace_records, self.trace_dropped
+            )?;
+        }
+        if self.profile_samples > 0 {
+            writeln!(
+                f,
+                "profile:    {} samples, deepest stack {} frames",
+                self.profile_samples, self.profile_max_depth
             )?;
         }
         write!(f, "timings:    {}", self.timings)
@@ -426,6 +460,11 @@ mod tests {
             emu_blocks_translated: 42,
             emu_invalidations: 3,
             emu_chain_links: 40,
+            trace_points_planned: 12,
+            trace_records: 900,
+            trace_dropped: 5,
+            profile_samples: 64,
+            profile_max_depth: 9,
             ..Default::default()
         };
         d.timings.record(TimedStage::Parse, 1_000);
@@ -474,6 +513,12 @@ mod tests {
             "\"blocks_translated\":42",
             "\"invalidations\":3",
             "\"chain_links\":40",
+            "\"tools\":{",
+            "\"trace_points_planned\":12",
+            "\"trace_records\":900",
+            "\"trace_dropped\":5",
+            "\"profile_samples\":64",
+            "\"profile_max_depth\":9",
             "\"timings_ns\":{",
             "\"open\":0",
             "\"parse\":1000",

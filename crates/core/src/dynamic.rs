@@ -106,6 +106,24 @@ impl DynamicInstrumenter {
         }
     }
 
+    /// Crate-internal: the session core and the live process, split so
+    /// tools (the tracer's drain, the profiler's sampling loop) can
+    /// drive the process while folding results into the session's
+    /// diagnostics/telemetry.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Session, &mut Process) {
+        (&mut self.session, &mut self.process)
+    }
+
+    /// Crate-internal: mutable session core (tool counter/telemetry hook).
+    pub(crate) fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// The shared front-half analysis this instrumenter runs against.
+    pub fn analysis(&self) -> &Arc<Analysis> {
+        self.session.analysis()
+    }
+
     pub fn code(&self) -> &CodeObject {
         self.session.code()
     }
@@ -275,6 +293,13 @@ impl DynamicInstrumenter {
                 Ok(rvdyn_proccontrol::Event::Exited(c)) => break Ok(c),
                 Ok(rvdyn_proccontrol::Event::Breakpoint(_))
                 | Ok(rvdyn_proccontrol::Event::Stepped(_)) => continue,
+                Ok(rvdyn_proccontrol::Event::CycleLimit(_)) => {
+                    // A leftover sampling interrupt from a profiler that
+                    // detached without disarming. run_to_exit has no
+                    // sampling policy: disarm and keep running.
+                    self.process.machine_mut().stop_at_cycles = None;
+                    continue;
+                }
                 Ok(rvdyn_proccontrol::Event::Trap(pc)) => {
                     // The emulator resolves springboard traps via the
                     // redirect table in-loop; one that *surfaces* here is

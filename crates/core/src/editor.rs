@@ -102,6 +102,11 @@ impl BinaryEditor {
         self.session.binary()
     }
 
+    /// Crate-internal: mutable session core (tool counter/telemetry hook).
+    pub(crate) fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
     /// The parsed CFG.
     pub fn code(&self) -> &CodeObject {
         self.session.code()
@@ -337,6 +342,16 @@ pub(crate) fn run_binary_engine(
         rvdyn_emu::StopReason::IllegalInstruction(pc) => {
             return Err(Error::UncleanExit {
                 reason: format!("illegal instruction at {pc:#x}"),
+                pc: m.pc,
+                icount: m.icount,
+            });
+        }
+        rvdyn_emu::StopReason::CycleLimit { pc } => {
+            // Free runs never arm the cycle-count interrupt; the
+            // sampling profiler drives its own resumable loop through
+            // ProcControl instead of this path.
+            return Err(Error::UncleanExit {
+                reason: format!("cycle limit reached at {pc:#x}"),
                 pc: m.pc,
                 icount: m.icount,
             });

@@ -103,6 +103,13 @@ pub enum Error {
     /// failure is attributed to exactly one mutatee, and the rest of the
     /// fleet is unaffected (see `docs/FLEET.md` fault isolation).
     FleetProcessLost { pid: u32 },
+    /// A serialized memory-trace stream (`rvdyn-trace-v1`, produced by
+    /// [`crate::tools::TraceSink`]) failed validation while being read
+    /// back: bad magic, a truncated record, a count mismatch, or a
+    /// checksum failure. `offset` is the byte offset at which decoding
+    /// stopped making sense. Corrupt trace files are *data* for the
+    /// reader to reject, never a panic — see `docs/FAILURE-MODES.md`.
+    TraceCorrupt { offset: u64, reason: String },
     /// Per-block count recovery failed for the function at `func`: a
     /// counter variable could not be read back, or the placed counter
     /// values violate the CFG flow equations (a negative reconstructed
@@ -130,6 +137,7 @@ impl Error {
             | Error::RedirectMiss { .. }
             | Error::CacheIncoherent { .. }
             | Error::FleetProcessLost { .. }
+            | Error::TraceCorrupt { .. }
             | Error::CounterReconstruct { .. } => Stage::Run,
         }
     }
@@ -213,6 +221,9 @@ impl fmt::Display for Error {
                 "[run] fleet process {pid} is gone: it exited before the \
                  operation could be delivered (or was never in the fleet)"
             ),
+            Error::TraceCorrupt { offset, reason } => {
+                write!(f, "[run] trace stream corrupt at byte {offset}: {reason}")
+            }
             Error::CounterReconstruct { func, addr } => write!(
                 f,
                 "[run] per-block count reconstruction failed for function \

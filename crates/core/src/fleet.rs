@@ -313,6 +313,31 @@ impl FleetController {
         self.session.alloc_var(size)
     }
 
+    /// Allocate a bulk data region fleet-wide (see
+    /// [`Session::alloc_region`]): every process gets its own copy of
+    /// the region at the same address, zero-filled by the next
+    /// [`FleetController::commit_all`].
+    pub fn alloc_region(&mut self, len: u64) -> u64 {
+        self.session.alloc_region(len)
+    }
+
+    /// The shared parsed code object (template session's analysis).
+    pub fn code(&self) -> &rvdyn_parse::CodeObject {
+        self.session.code()
+    }
+
+    /// Mutable access to the per-process diagnostics for `pid` — the
+    /// hook tools use to fold their own counters (trace records drained,
+    /// samples taken) into the per-process report.
+    pub(crate) fn process_diag_mut(&mut self, pid: u32) -> Option<&mut Diagnostics> {
+        self.states.get_mut(&pid).map(|s| &mut s.diag)
+    }
+
+    /// Crate-internal: mutable session core (tool counter/telemetry hook).
+    pub(crate) fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
     /// Points of `kind` in the named function (template session).
     pub fn find_points(&self, func: &str, kind: PointKind) -> Result<Vec<Point>, Error> {
         self.session.find_points(func, kind)
@@ -483,6 +508,16 @@ impl FleetController {
                 JobOutcome::Stopped(Ok(Event::Exited(code))) => Some(Ok(code)),
                 JobOutcome::Stopped(Ok(Event::Breakpoint(_)))
                 | JobOutcome::Stopped(Ok(Event::Stepped(_))) => None,
+                JobOutcome::Stopped(Ok(Event::CycleLimit(_))) => {
+                    // run_all has no sampling policy — the profiler owns
+                    // its own resumable loop via `with_process`. A cycle
+                    // interrupt arriving here is a leftover armed
+                    // interval: disarm it and let the process run on.
+                    if let Some(p) = self.set.get_mut(c.pid) {
+                        p.machine_mut().stop_at_cycles = None;
+                    }
+                    None
+                }
                 JobOutcome::Stopped(Ok(Event::Trap(pc))) => {
                     // Same contract as the single-process run loop: a
                     // surfaced trap with redirects installed is a

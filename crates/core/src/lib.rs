@@ -82,6 +82,7 @@ pub mod error;
 pub mod fleet;
 pub mod session;
 pub mod telemetry;
+pub mod tools;
 
 pub use analysis::{
     Analysis, AnalysisCache, AnalysisKey, AnalysisTimings, CacheOutcome, CacheStats,
@@ -96,6 +97,10 @@ pub use fleet::{FleetController, FleetSummary, ProcessReport};
 pub use session::{BlockCounter, Session, SessionOptions};
 pub use telemetry::{
     CollectSink, SharedSink, StageTimings, StderrSink, TelemetryEvent, TelemetrySink, TimedStage,
+};
+pub use tools::{
+    Drained, FleetProfile, MemTracer, Profile, ProfileOptions, ProfiledRun, Profiler, TraceOptions,
+    TraceReader, TraceRecord, TraceSink,
 };
 
 // Re-export the component APIs under their Dyninst-flavoured names.

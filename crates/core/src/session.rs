@@ -448,6 +448,19 @@ impl Session {
         Var { addr, size }
     }
 
+    /// Allocate a bulk region of `len` bytes in the patch data area
+    /// (rounded up to 8-byte granularity) and return its base address.
+    /// The region participates in the same zero-initialised data
+    /// delivery as [`Session::alloc_var`] slots — the static rewriter
+    /// sizes `.rvdyn.data` to cover it and the dynamic commit zero-fills
+    /// it — so tools can stake out in-mutatee buffers (e.g. the memory
+    /// tracer's record ring) without their own delivery path.
+    pub fn alloc_region(&mut self, len: u64) -> u64 {
+        let addr = self.layout.patch_data + self.var_bytes;
+        self.var_bytes += (len + 7) & !7;
+        addr
+    }
+
     /// Queue `snippet` at each point.
     pub fn insert(&mut self, points: &[Point], snippet: Snippet) {
         for p in points {

@@ -266,6 +266,16 @@ pub enum TelemetryEvent {
     /// typed error is recorded in the controller's per-process results,
     /// and the rest of the fleet is unaffected.
     FleetProcessFailed { pid: u32 },
+    /// The memory-access tracer finished planning: `points` load/store
+    /// sites were instrumented, draining into an in-mutatee ring of
+    /// `capacity` records (see `docs/TOOLS.md`).
+    TraceStarted { points: usize, capacity: u64 },
+    /// A trace buffer was drained from the mutatee: `records` records
+    /// recovered, `dropped` lost to ring exhaustion.
+    TraceDrained { records: u64, dropped: u64 },
+    /// The sampling profiler took one sample: the mutatee stopped at
+    /// `pc` and the stackwalk recovered `depth` frames.
+    SampleTaken { pc: u64, depth: usize },
 }
 
 impl fmt::Display for TelemetryEvent {
@@ -352,6 +362,15 @@ impl fmt::Display for TelemetryEvent {
                 write!(f, "fleet: process {pid} exited ({code})")
             }
             FleetProcessFailed { pid } => write!(f, "fleet: process {pid} failed"),
+            TraceStarted { points, capacity } => {
+                write!(f, "trace started: {points} point(s), ring of {capacity}")
+            }
+            TraceDrained { records, dropped } => {
+                write!(f, "trace drained: {records} record(s), {dropped} dropped")
+            }
+            SampleTaken { pc, depth } => {
+                write!(f, "sample at {pc:#x}: {depth} frame(s)")
+            }
         }
     }
 }

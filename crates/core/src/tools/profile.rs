@@ -1,0 +1,361 @@
+//! The sampling profiler: §2's "performance tool" built on the
+//! cycle-count interrupt and StackwalkerAPI.
+//!
+//! [`Profiler::sample_process`] arms the machine's cycle-count interrupt
+//! ([`stop_at_cycles`](rvdyn_emu::Machine::stop_at_cycles)) one sampling
+//! interval ahead, resumes the mutatee, and on each
+//! [`rvdyn_proccontrol::Event::CycleLimit`] stop
+//! walks the stack with the [`StackWalker`] stepper pipeline, folds the
+//! frames into a flame-style profile, re-arms, and resumes — until the
+//! mutatee exits. Because the interrupt fires on an instruction
+//! boundary and modelled cycles are a deterministic function of the
+//! executed stream, the sample sequence is **reproducible**: the same
+//! binary and interval produce the same interrupt pcs on both execution
+//! engines (pinned by `tests/tools_profile.rs`).
+//!
+//! The fleet variant ([`Profiler::sample_fleet`]) round-robins one
+//! sampling leg per live process per turn through
+//! [`FleetController::with_process`], aggregating an overall profile
+//! plus per-pid profiles; a process that faults records its typed error
+//! without disturbing the other N−1 (fault isolation, `docs/FLEET.md`).
+//!
+//! Sampling skew caveat (documented in `docs/TOOLS.md`): the interrupt
+//! stops *before* the instruction at the sampled pc executes, so a
+//! sample attributes the cycles of the preceding instructions to the pc
+//! about to run — standard sampling semantics, ±1 instruction.
+
+use crate::error::Error;
+use crate::fleet::FleetController;
+use crate::telemetry::TelemetryEvent;
+use crate::DynamicInstrumenter;
+use rvdyn_parse::CodeObject;
+use rvdyn_proccontrol::{Event, Process};
+use rvdyn_stackwalker::{Frame, StackWalker};
+use std::collections::BTreeMap;
+
+/// Sampling knobs for [`Profiler`].
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// Modelled cycles between samples.
+    pub interval_cycles: u64,
+    /// Stop sampling (but keep running) after this many samples — the
+    /// runaway guard for unexpectedly long mutatees.
+    pub max_samples: u64,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> ProfileOptions {
+        ProfileOptions {
+            interval_cycles: 10_000,
+            max_samples: 1 << 20,
+        }
+    }
+}
+
+/// Per-function tallies: `self_samples` counts samples whose innermost
+/// frame was in the function; `total_samples` counts samples with the
+/// function anywhere on the stack (each function counted once per
+/// sample, so recursion does not double-count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuncCounts {
+    pub self_samples: u64,
+    pub total_samples: u64,
+}
+
+/// An aggregated sampling profile.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Samples taken.
+    pub samples: u64,
+    /// Deepest walked stack, in frames.
+    pub max_depth: u64,
+    /// Folded stacks (`outermost;…;innermost` → sample count) — the
+    /// flamegraph input format.
+    pub folded: BTreeMap<String, u64>,
+    /// Per-function self/total tallies, keyed by name (or `0x…` entry
+    /// address for nameless frames).
+    pub funcs: BTreeMap<String, FuncCounts>,
+    /// The interrupt pc of every sample, in order — the reproducibility
+    /// witness the engine-identity tests compare.
+    pub sample_pcs: Vec<u64>,
+}
+
+fn frame_label(f: &Frame) -> String {
+    match (&f.func_name, f.func_entry) {
+        (Some(n), _) => n.clone(),
+        (None, Some(e)) => format!("{e:#x}"),
+        (None, None) => format!("{:#x}", f.pc),
+    }
+}
+
+impl Profile {
+    /// Fold one walked stack (innermost frame first, as
+    /// [`StackWalker::walk`] returns it) into the profile.
+    pub fn add_sample(&mut self, pc: u64, frames: &[Frame]) {
+        self.samples += 1;
+        self.max_depth = self.max_depth.max(frames.len() as u64);
+        self.sample_pcs.push(pc);
+        if frames.is_empty() {
+            return;
+        }
+        let labels: Vec<String> = frames.iter().rev().map(frame_label).collect();
+        *self.folded.entry(labels.join(";")).or_insert(0) += 1;
+        self.funcs
+            .entry(labels[labels.len() - 1].clone())
+            .or_default()
+            .self_samples += 1;
+        let mut seen: Vec<&str> = Vec::with_capacity(labels.len());
+        for l in &labels {
+            if !seen.contains(&l.as_str()) {
+                seen.push(l);
+                self.funcs.entry(l.clone()).or_default().total_samples += 1;
+            }
+        }
+    }
+
+    /// Merge `other` into `self` (fleet aggregation). The merged
+    /// `sample_pcs` concatenates in call order.
+    pub fn merge(&mut self, other: &Profile) {
+        self.samples += other.samples;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.sample_pcs.extend_from_slice(&other.sample_pcs);
+        for (k, v) in &other.folded {
+            *self.folded.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.funcs {
+            let e = self.funcs.entry(k.clone()).or_default();
+            e.self_samples += v.self_samples;
+            e.total_samples += v.total_samples;
+        }
+    }
+
+    /// The folded-stack lines (`stack count`), one per line — feedable
+    /// straight into flamegraph tooling.
+    pub fn folded_lines(&self) -> String {
+        let mut out = String::new();
+        for (stack, n) in &self.folded {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable per-function report, heaviest self time first.
+    pub fn report(&self) -> String {
+        let mut rows: Vec<(&String, &FuncCounts)> = self.funcs.iter().collect();
+        rows.sort_by(|a, b| b.1.self_samples.cmp(&a.1.self_samples).then(a.0.cmp(b.0)));
+        let mut out = format!(
+            "{} samples, deepest stack {} frames\n{:>8} {:>8}  {:>6}  function\n",
+            self.samples, self.max_depth, "self", "total", "self%"
+        );
+        for (name, c) in rows {
+            let pct = if self.samples > 0 {
+                100.0 * c.self_samples as f64 / self.samples as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:>8} {:>8}  {:>5.1}%  {}\n",
+                c.self_samples, c.total_samples, pct, name
+            ));
+        }
+        out
+    }
+}
+
+/// The outcome of one profiled single-process run.
+#[derive(Debug)]
+pub struct ProfiledRun {
+    /// The aggregated profile.
+    pub profile: Profile,
+    /// The mutatee's clean exit code.
+    pub exit_code: i64,
+}
+
+/// A profiled fleet run: the aggregate, the per-pid profiles, and each
+/// pid's terminal outcome.
+#[derive(Debug)]
+pub struct FleetProfile {
+    /// All processes' samples merged, pid-ascending.
+    pub profile: Profile,
+    /// Each pid's own profile.
+    pub per_process: BTreeMap<u32, Profile>,
+    /// Each pid's terminal outcome (exit code or typed error).
+    pub outcomes: BTreeMap<u32, Result<i64, Error>>,
+}
+
+/// The sampling profiler. Holds only options and the stackwalker; all
+/// mutatee state lives in the host.
+pub struct Profiler {
+    opts: ProfileOptions,
+    walker: StackWalker,
+}
+
+impl Profiler {
+    /// A profiler with the default stepper pipeline.
+    pub fn new(opts: ProfileOptions) -> Profiler {
+        Profiler {
+            opts,
+            walker: StackWalker::new(),
+        }
+    }
+
+    /// Replace the stackwalker (e.g. to install a relocation-index pc
+    /// translation for instrumented mutatees, or a custom stepper
+    /// pipeline).
+    pub fn with_walker(mut self, walker: StackWalker) -> Profiler {
+        self.walker = walker;
+        self
+    }
+
+    /// One sampling leg: arm the next interval, resume, classify the
+    /// stop. Returns `Ok(Some(event))` to keep sampling, `Ok(None)` on
+    /// clean exit (stored in `exit`).
+    fn leg(
+        &self,
+        p: &mut Process,
+        co: &CodeObject,
+        profile: &mut Profile,
+        sampling_done: bool,
+    ) -> Result<Option<(u64, usize)>, Error> {
+        if sampling_done {
+            p.machine_mut().stop_at_cycles = None;
+        } else {
+            let now = p.machine().cycles;
+            p.machine_mut().stop_at_cycles = Some(now + self.opts.interval_cycles.max(1));
+        }
+        match p.cont() {
+            Ok(Event::CycleLimit(pc)) => {
+                let frames = self.walker.walk_process(p, co);
+                let depth = frames.len();
+                profile.add_sample(pc, &frames);
+                Ok(Some((pc, depth)))
+            }
+            Ok(Event::Exited(_)) => Ok(None),
+            Ok(Event::Breakpoint(pc)) | Ok(Event::Stepped(pc)) => Ok(Some((pc, 0))),
+            Ok(Event::Trap(pc)) => Err(Error::UncleanExit {
+                reason: format!("unexpected breakpoint trap at {pc:#x}"),
+                pc,
+                icount: p.machine().icount,
+            }),
+            Ok(Event::Fault { pc, addr }) => Err(Error::MutateeFault { pc, addr }),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Sample a raw stopped [`Process`] to completion against `co`.
+    /// Breakpoint/step stops pass through untallied; traps and faults
+    /// surface as typed errors (with the sampling interrupt disarmed).
+    pub fn sample_process(&self, p: &mut Process, co: &CodeObject) -> Result<ProfiledRun, Error> {
+        let mut profile = Profile::default();
+        loop {
+            let done = profile.samples >= self.opts.max_samples;
+            match self.leg(p, co, &mut profile, done) {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    p.machine_mut().stop_at_cycles = None;
+                    return Err(e);
+                }
+            }
+        }
+        p.machine_mut().stop_at_cycles = None;
+        let exit_code = p.exit_code().unwrap_or(0);
+        Ok(ProfiledRun { profile, exit_code })
+    }
+
+    /// Sample a [`DynamicInstrumenter`]'s process to completion — the
+    /// `rvdyn_cli sample` single-process path. Sample counts land in the
+    /// session diagnostics (`profile_samples`, `profile_max_depth`) and
+    /// every sample emits [`TelemetryEvent::SampleTaken`].
+    pub fn sample_dynamic(&self, dy: &mut DynamicInstrumenter) -> Result<ProfiledRun, Error> {
+        let analysis = dy.analysis().clone();
+        let co = analysis.code();
+        let mut profile = Profile::default();
+        let result = loop {
+            let done = profile.samples >= self.opts.max_samples;
+            let (session, process) = dy.parts_mut();
+            match self.leg(process, co, &mut profile, done) {
+                Ok(Some((pc, depth))) if depth > 0 => {
+                    session.emit(TelemetryEvent::SampleTaken { pc, depth });
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        let (session, process) = dy.parts_mut();
+        process.machine_mut().stop_at_cycles = None;
+        session.diag_mut().profile_samples += profile.samples;
+        let depth = session.diag_mut().profile_max_depth.max(profile.max_depth);
+        session.diag_mut().profile_max_depth = depth;
+        result?;
+        let exit_code = dy.process().exit_code().unwrap_or(0);
+        Ok(ProfiledRun { profile, exit_code })
+    }
+
+    /// Sample every committed fleet process to its terminal event,
+    /// round-robin: one sampling leg per live pid per turn, so all N
+    /// mutatees make progress together and the aggregate profile
+    /// interleaves them fairly. Per-pid errors (a `FaultPlan` firing, a
+    /// lost process) terminate only that pid's sampling.
+    pub fn sample_fleet(&self, fc: &mut FleetController) -> Result<FleetProfile, Error> {
+        let analysis = fc.session_mut().analysis().clone();
+        let co = analysis.code();
+        let mut per: BTreeMap<u32, Profile> = BTreeMap::new();
+        let mut outcomes: BTreeMap<u32, Result<i64, Error>> = BTreeMap::new();
+        let mut live: Vec<u32> = fc.pids();
+        while !live.is_empty() {
+            let mut next_live = Vec::with_capacity(live.len());
+            for pid in live {
+                let profile = per.entry(pid).or_default();
+                let done = profile.samples >= self.opts.max_samples;
+                let leg = fc.with_process(pid, |p| {
+                    let r = self.leg(p, co, profile, done);
+                    if r.is_err() || matches!(r, Ok(None)) {
+                        p.machine_mut().stop_at_cycles = None;
+                    }
+                    (r, p.exit_code())
+                });
+                match leg {
+                    Ok((Ok(Some((pc, depth))), _)) => {
+                        if depth > 0 {
+                            fc.session_mut()
+                                .emit(TelemetryEvent::SampleTaken { pc, depth });
+                        }
+                        next_live.push(pid);
+                    }
+                    Ok((Ok(None), exit)) => {
+                        outcomes.insert(pid, Ok(exit.unwrap_or(0)));
+                    }
+                    Ok((Err(e), _)) => {
+                        outcomes.insert(pid, Err(e));
+                    }
+                    Err(e) => {
+                        // The pid vanished from the set mid-run.
+                        outcomes.insert(pid, Err(e));
+                    }
+                }
+            }
+            live = next_live;
+        }
+        let mut total = Profile::default();
+        for (pid, p) in &per {
+            total.merge(p);
+            if let Some(diag) = fc.process_diag_mut(*pid) {
+                diag.profile_samples += p.samples;
+                diag.profile_max_depth = diag.profile_max_depth.max(p.max_depth);
+            }
+        }
+        let diag = fc.session_mut().diag_mut();
+        diag.profile_samples += total.samples;
+        diag.profile_max_depth = diag.profile_max_depth.max(total.max_depth);
+        Ok(FleetProfile {
+            profile: total,
+            per_process: per,
+            outcomes,
+        })
+    }
+}

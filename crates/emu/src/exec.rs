@@ -148,11 +148,13 @@ impl Machine {
             Jal => {
                 let target = i.address.wrapping_add(imm as u64);
                 self.set(rd, i.next_pc());
+                self.oracle_call(rd, None, i.next_pc());
                 Ok(Effect::Jump(target))
             }
             Jalr => {
                 let target = rs1().wrapping_add(imm as u64) & !1;
                 self.set(rd, i.next_pc());
+                self.oracle_call(rd, i.rs1, i.next_pc());
                 Ok(Effect::Jump(target))
             }
             Beq | Bne | Blt | Bge | Bltu | Bgeu => {
@@ -183,6 +185,7 @@ impl Machine {
                     _ => (4, false),
                 };
                 let raw = self.mem.load(addr, size)?;
+                self.oracle_mem(i.address, addr, size, false);
                 let v = if sx {
                     let shift = 64 - size as u32 * 8;
                     (((raw << shift) as i64) >> shift) as u64
@@ -201,18 +204,21 @@ impl Machine {
                 };
                 let val = rs2();
                 self.mem.store(addr, size, val)?;
+                self.oracle_mem(i.address, addr, size, true);
                 self.invalidate(addr, size as u64);
                 Ok(Effect::Next)
             }
             Flw => {
                 let addr = rs1().wrapping_add(imm as u64);
                 let raw = self.mem.load(addr, 4)?;
+                self.oracle_mem(i.address, addr, 4, false);
                 self.set(rd, nan_box(raw as u32));
                 Ok(Effect::Next)
             }
             Fld => {
                 let addr = rs1().wrapping_add(imm as u64);
                 let raw = self.mem.load(addr, 8)?;
+                self.oracle_mem(i.address, addr, 8, false);
                 self.set(rd, raw);
                 Ok(Effect::Next)
             }
@@ -220,12 +226,14 @@ impl Machine {
                 let addr = rs1().wrapping_add(imm as u64);
                 let v = self.get(i.rs2.unwrap()) as u32;
                 self.mem.store(addr, 4, v as u64)?;
+                self.oracle_mem(i.address, addr, 4, true);
                 Ok(Effect::Next)
             }
             Fsd => {
                 let addr = rs1().wrapping_add(imm as u64);
                 let v = self.get(i.rs2.unwrap());
                 self.mem.store(addr, 8, v)?;
+                self.oracle_mem(i.address, addr, 8, true);
                 Ok(Effect::Next)
             }
             Fence | FenceI => Ok(Effect::Next),

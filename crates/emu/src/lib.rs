@@ -39,6 +39,6 @@ pub mod translate;
 
 pub use cost::CostModel;
 pub use loader::load_binary;
-pub use machine::{Machine, StopReason, EXIT_SYSCALL};
+pub use machine::{Machine, MemOp, StopReason, EXIT_SYSCALL};
 pub use memory::Memory;
 pub use translate::{EmuEngine, EmuEvent};

@@ -56,6 +56,14 @@ pub enum StopReason {
         /// Entry pc of the stale cached block.
         pc: u64,
     },
+    /// The modelled cycle counter reached [`Machine::stop_at_cycles`].
+    /// The stop lands on an instruction boundary *before* executing the
+    /// instruction at `pc`, on either engine at exactly the same pc —
+    /// the sampling-profiler interrupt (see `rvdyn::tools::profile`).
+    CycleLimit {
+        /// pc of the next (unexecuted) instruction.
+        pc: u64,
+    },
 }
 
 impl StopReason {
@@ -69,8 +77,24 @@ impl StopReason {
             StopReason::FetchFault { .. } => "fetch-fault",
             StopReason::FuelExhausted => "fuel-exhausted",
             StopReason::CacheIncoherent { .. } => "cache-incoherent",
+            StopReason::CycleLimit { .. } => "cycle-limit",
         }
     }
+}
+
+/// One memory access recorded by the interpreter-side oracle
+/// ([`Machine::arm_mem_oracle`]): the ground truth a memory-access
+/// tracer's instrumentation output is differenced against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOp {
+    /// pc of the load/store instruction.
+    pub pc: u64,
+    /// Effective data address.
+    pub addr: u64,
+    /// Access width in bytes (1, 2, 4 or 8).
+    pub len: u8,
+    /// True for a store, false for a load.
+    pub is_store: bool,
 }
 
 /// The emulated machine.
@@ -95,6 +119,22 @@ pub struct Machine {
     pub stdout: Vec<u8>,
     /// Optional execution budget (instructions).
     pub fuel: Option<u64>,
+    /// Optional cycle-count interrupt: once [`Machine::cycles`] reaches
+    /// this value, execution stops with [`StopReason::CycleLimit`]
+    /// *before* the next instruction executes. Both engines stop at the
+    /// exact same pc and cycle count (the cached engine falls back to
+    /// single-stepping near the edge, mirroring its fuel-edge rule).
+    /// Re-arm with a larger value to keep sampling; the controller owns
+    /// the cadence.
+    pub stop_at_cycles: Option<u64>,
+    /// Interpreter-side memory-op oracle: when armed, every load/store
+    /// the *program* performs (excluding atomics and syscall-internal
+    /// traffic) is appended here. See [`Machine::arm_mem_oracle`].
+    pub(crate) mem_oracle: Option<Vec<MemOp>>,
+    /// Interpreter-side shadow call stack: return addresses pushed by
+    /// `jal`/`jalr` linking x1/x5 and popped by `jalr x0` through
+    /// x1/x5. See [`Machine::arm_call_oracle`].
+    pub(crate) call_oracle: Option<Vec<u64>>,
     /// Dynamic count of taken control transfers (diagnostics: the number
     /// of basic-block entries is `taken_transfers + fallthroughs`).
     pub taken_transfers: u64,
@@ -172,6 +212,9 @@ impl Machine {
             cycles: 0,
             stdout: Vec::new(),
             fuel: None,
+            stop_at_cycles: None,
+            mem_oracle: None,
+            call_oracle: None,
             taken_transfers: 0,
             engine: EmuEngine::from_env(),
             verify_translations: false,
@@ -268,6 +311,83 @@ impl Machine {
         self.redirect_drop_nth = Some(nth);
     }
 
+    /// Arm the memory-op oracle: from now on every load/store the
+    /// program itself performs is recorded as a [`MemOp`], in retirement
+    /// order. Ground truth for differential tracer tests.
+    ///
+    /// Scope (deliberately matching what `rvdyn::tools::memtrace`
+    /// instruments): plain integer and FP loads/stores only — atomics
+    /// (LR/SC/AMO) and memory traffic internal to emulated syscalls
+    /// (`write` reading its buffer, `clock_gettime` storing its result)
+    /// are *not* recorded. While any oracle is armed, [`Machine::run`]
+    /// always interprets, whatever [`Machine::engine`] says: the oracle
+    /// observes the semantic core directly, and both engines are
+    /// bit-identical anyway (`tests/engine_diff.rs`).
+    pub fn arm_mem_oracle(&mut self) {
+        self.mem_oracle = Some(Vec::new());
+    }
+
+    /// Take the memory ops recorded since [`Machine::arm_mem_oracle`],
+    /// leaving the oracle armed with an empty buffer.
+    pub fn take_mem_oracle(&mut self) -> Vec<MemOp> {
+        match self.mem_oracle.as_mut() {
+            Some(v) => std::mem::take(v),
+            None => Vec::new(),
+        }
+    }
+
+    /// Arm the shadow call stack: `jal`/`jalr` writing a link register
+    /// (x1/x5) push their return address; `jalr x0` through a link
+    /// register (a `ret`) pops. The resulting stack is the emulator's
+    /// ground-truth call chain, which a sampling profiler's walked
+    /// frames are differenced against. Forces interpretation like
+    /// [`Machine::arm_mem_oracle`].
+    pub fn arm_call_oracle(&mut self) {
+        self.call_oracle = Some(Vec::new());
+    }
+
+    /// The shadow call stack (innermost return address last). Empty when
+    /// the oracle is not armed or execution is back at top level.
+    pub fn call_stack(&self) -> &[u64] {
+        self.call_oracle.as_deref().unwrap_or(&[])
+    }
+
+    #[inline]
+    fn oracle_armed(&self) -> bool {
+        self.mem_oracle.is_some() || self.call_oracle.is_some()
+    }
+
+    /// Record one program-level memory access when the oracle is armed.
+    #[inline]
+    pub(crate) fn oracle_mem(&mut self, pc: u64, addr: u64, len: u8, is_store: bool) {
+        if let Some(ops) = self.mem_oracle.as_mut() {
+            ops.push(MemOp {
+                pc,
+                addr,
+                len,
+                is_store,
+            });
+        }
+    }
+
+    /// Maintain the shadow call stack across a `jal`/`jalr` when the
+    /// oracle is armed (standard RISC-V link-register convention: rd in
+    /// {x1, x5} is a call; `jalr x0` via {x1, x5} is a return).
+    #[inline]
+    pub(crate) fn oracle_call(&mut self, rd: Reg, rs1: Option<Reg>, ret: u64) {
+        let Some(stack) = self.call_oracle.as_mut() else {
+            return;
+        };
+        let is_link = |r: Reg| {
+            matches!(r.class(), rvdyn_isa::RegClass::Gpr) && (r.num() == 1 || r.num() == 5)
+        };
+        if is_link(rd) {
+            stack.push(ret);
+        } else if rd.is_zero() && rs1.is_some_and(is_link) {
+            stack.pop();
+        }
+    }
+
     /// Translated blocks populated by the cached engine so far.
     pub fn emu_blocks_translated(&self) -> u64 {
         self.tcache.blocks_translated
@@ -347,8 +467,18 @@ impl Machine {
     }
 
     /// Execute instructions until something stops the machine, on the
-    /// engine selected by [`Machine::engine`].
+    /// engine selected by [`Machine::engine`]. An armed oracle
+    /// ([`Machine::arm_mem_oracle`] / [`Machine::arm_call_oracle`])
+    /// forces interpretation — the oracles observe the semantic core
+    /// directly, and the engines are bit-identical regardless.
     pub fn run(&mut self) -> StopReason {
+        if self.oracle_armed() {
+            loop {
+                if let Some(r) = self.step() {
+                    return r;
+                }
+            }
+        }
         match self.engine {
             EmuEngine::Interpreter => loop {
                 if let Some(r) = self.step() {
@@ -368,6 +498,11 @@ impl Machine {
         if let Some(fuel) = self.fuel {
             if self.icount >= fuel {
                 return Some(StopReason::FuelExhausted);
+            }
+        }
+        if let Some(limit) = self.stop_at_cycles {
+            if self.cycles >= limit {
+                return Some(StopReason::CycleLimit { pc: self.pc });
             }
         }
         let pc = self.pc;

@@ -149,6 +149,13 @@ pub(crate) struct DecodedBlock {
     pre_cyc: u64,
     /// Taken-transfer total over `steps[..len-1]` (followed jumps).
     pre_taken: u64,
+    /// Conservative upper bound on the cycles one full pass of this
+    /// block can charge (each step's worst-case cost, plus the trap
+    /// round trip for fallback steps that may resolve a redirect). The
+    /// [`Machine::stop_at_cycles`] pre-check uses it: a block is only
+    /// entered when even its worst case cannot cross the limit, so the
+    /// stop always lands on the interpreter's exact pc.
+    cyc_ub: u64,
     /// Direct successors: `[0]` = taken edge, `[1]` = fallthrough.
     chain: [Option<ChainLink>; 2],
     /// Source bytes at translation time (the coherence witness checked
@@ -677,6 +684,11 @@ impl Machine {
                     return StopReason::FuelExhausted;
                 }
             }
+            if let Some(limit) = self.stop_at_cycles {
+                if self.cycles >= limit {
+                    return StopReason::CycleLimit { pc: self.pc };
+                }
+            }
             let pc = self.pc;
             // Out-of-region pcs are never cached — exactly the rule the
             // interpreter's per-address decode cache uses — so they are
@@ -706,6 +718,21 @@ impl Machine {
                     if (left as usize) < nsteps {
                         // Near the fuel edge: interpret one instruction
                         // so exhaustion lands on the exact same pc.
+                        if let Some(r) = self.step() {
+                            return r;
+                        }
+                        break;
+                    }
+                }
+                if let Some(limit) = self.stop_at_cycles {
+                    if self.cycles >= limit {
+                        return StopReason::CycleLimit { pc: self.pc };
+                    }
+                    let ub = self.tcache.blocks[slot as usize].cyc_ub;
+                    if self.cycles.saturating_add(ub) >= limit {
+                        // Near the cycle edge: interpret one instruction
+                        // so the sample stop lands on the exact same pc
+                        // (the same rule as the fuel edge above).
                         if let Some(r) = self.step() {
                             return r;
                         }
@@ -813,6 +840,14 @@ impl Machine {
                 pre_taken += 1;
             }
         }
+        let mut cyc_ub = 0u64;
+        for st in &steps {
+            let mut ub = st.cost.max(st.cost_taken) as u64;
+            if st.kind == UopK::Fallback {
+                ub = ub.max(self.cost.trap_redirect);
+            }
+            cyc_ub += ub;
+        }
         let block = DecodedBlock {
             pc: entry,
             lo,
@@ -823,6 +858,7 @@ impl Machine {
             pre_icnt,
             pre_cyc,
             pre_taken,
+            cyc_ub,
             chain: [None, None],
             bytes,
             dead: false,
@@ -865,7 +901,7 @@ impl Machine {
                 return BlockExit::Stop(StopReason::CacheIncoherent { pc: entry });
             }
         }
-        let (steps, bend, pre, entry, insts) = {
+        let (steps, bend, pre, entry, insts, cyc_ub) = {
             let b = &mut self.tcache.blocks[slot as usize];
             (
                 std::mem::take(&mut b.steps),
@@ -873,6 +909,7 @@ impl Machine {
                 (b.pre_icnt, b.pre_cyc, b.pre_taken),
                 b.pc,
                 b.insts,
+                b.cyc_ub,
             )
         };
         // Tight-loop fast path: a block whose taken or fallthrough edge
@@ -891,6 +928,9 @@ impl Machine {
                     && self
                         .fuel
                         .is_none_or(|f| f.saturating_sub(self.icount) >= insts)
+                    && self
+                        .stop_at_cycles
+                        .is_none_or(|limit| self.cycles.saturating_add(cyc_ub) < limit)
                 {
                     // Record the self-edge as a chain link (once), so
                     // the emu.chain_links diagnostic still counts it.

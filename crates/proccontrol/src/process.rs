@@ -26,6 +26,11 @@ pub enum Event {
         /// The address the faulting access touched.
         addr: u64,
     },
+    /// The machine's cycle-count interrupt fired ([`Machine::stop_at_cycles`]):
+    /// stopped on an instruction boundary *before* executing the
+    /// instruction at this pc. Non-terminal — the process can be resumed
+    /// (typically after re-arming the next sample interval).
+    CycleLimit(u64),
 }
 
 /// Observable debug-interface operations, for a caller-supplied observer
@@ -458,6 +463,7 @@ impl Process {
             StopReason::MemFault { pc, addr, .. } => Ok(Event::Fault { pc, addr }),
             StopReason::FetchFault { pc } => Ok(Event::Fault { pc, addr: pc }),
             StopReason::IllegalInstruction(pc) => Ok(Event::Fault { pc, addr: pc }),
+            StopReason::CycleLimit { pc } => Ok(Event::CycleLimit(pc)),
             StopReason::FuelExhausted => Err(ProcError::NotRunning),
             StopReason::CacheIncoherent { pc } => Err(ProcError::CacheIncoherent(pc)),
         }
@@ -486,6 +492,7 @@ impl Process {
             StopReason::MemFault { pc, addr, .. } => Ok(Event::Fault { pc, addr }),
             StopReason::FetchFault { pc } => Ok(Event::Fault { pc, addr: pc }),
             StopReason::IllegalInstruction(pc) => Ok(Event::Fault { pc, addr: pc }),
+            StopReason::CycleLimit { pc } => Ok(Event::CycleLimit(pc)),
             StopReason::FuelExhausted => Err(ProcError::NotRunning),
             StopReason::CacheIncoherent { pc } => Err(ProcError::CacheIncoherent(pc)),
         }

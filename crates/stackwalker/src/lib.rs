@@ -45,6 +45,12 @@ pub struct Frame {
     pub func_entry: Option<u64>,
     /// Function name, when known.
     pub func_name: Option<String>,
+    /// This frame's frame pointer (`s0` on entry), when recovered by a
+    /// stepper. The innermost frame leaves it `None` (the live register
+    /// is the source of truth there); [`FpStepper`] fills it for outer
+    /// frames so the saved-fp chain can be followed past the first
+    /// caller instead of re-reading the live register at every depth.
+    pub fp: Option<u64>,
 }
 
 /// The source of truth a stepper consults: registers + memory of the
@@ -132,7 +138,10 @@ impl FrameStepper for FpStepper {
         frame: &Frame,
         _ra_live: bool,
     ) -> Option<Frame> {
-        let fp = target.reg(Reg::X8);
+        // Innermost frame: the live register holds this frame's fp.
+        // Outer frames: the chain value recovered from `[fp-16]` below —
+        // the live register belongs to the innermost function only.
+        let fp = frame.fp.unwrap_or_else(|| target.reg(Reg::X8));
         if fp <= frame.sp || fp - frame.sp > 1 << 20 {
             return None; // s0 is clearly not a frame pointer here
         }
@@ -140,7 +149,10 @@ impl FrameStepper for FpStepper {
         if ra == 0 {
             return None;
         }
-        Some(mk_frame(co, ra, fp))
+        let caller_fp = target.read_u64(fp.wrapping_sub(16))?;
+        let mut fr = mk_frame(co, ra, fp);
+        fr.fp = Some(caller_fp);
+        Some(fr)
     }
 }
 
@@ -151,6 +163,7 @@ fn mk_frame(co: &CodeObject, pc: u64, sp: u64) -> Frame {
         sp,
         func_entry: f.map(|f| f.entry),
         func_name: f.and_then(|f| f.name.clone()),
+        fp: None,
     }
 }
 
@@ -222,7 +235,9 @@ impl StackWalker {
                 Some(mut fr) => {
                     let t = self.xlate(fr.pc);
                     if t != fr.pc {
+                        let fp = fr.fp;
                         fr = mk_frame(co, t, fr.sp);
+                        fr.fp = fp;
                     }
                     // A frame that doesn't resolve to a known function ends
                     // the walk (returned into runtime scaffolding).

@@ -39,6 +39,20 @@ fn usage() -> ! {
                       blocks classes also print exact per-block counts —\n\
                       blocks-optimal places counters only on the Knuth-\n\
                       minimal site set and reconstructs the rest)\n\
+         memtrace <elf> <out.trace> [function] [capacity]\n\
+         \x20            (attach the memory-access tracer to a fresh process:\n\
+         \x20             every load/store — optionally only in <function> —\n\
+         \x20             is recorded (pc, address, width, direction) into an\n\
+         \x20             in-mutatee ring of [capacity] records, drained after\n\
+         \x20             exit and written to <out.trace> as the validated\n\
+         \x20             rvdyn-trace-v1 stream — see docs/TOOLS.md)\n\
+         sample <elf> [interval] [N]\n\
+         \x20            (cycle-interval sampling profiler: interrupt every\n\
+         \x20             [interval] modelled cycles — default 10000 — walk\n\
+         \x20             the stack with the RISC-V frame steppers, and print\n\
+         \x20             the folded flame-style profile with per-function\n\
+         \x20             self/total counts; N>1 samples a fleet of N\n\
+         \x20             processes round-robin — see docs/TOOLS.md)\n\
          cache <elf> [elf…]\n\
                      (open every file twice through one shared analysis\n\
                       cache: prints each file's content key and whether\n\
@@ -362,6 +376,96 @@ fn main() {
                 exit(1);
             }
         }
+        "memtrace" => {
+            // Memory-access tracing (docs/TOOLS.md): plan record-emitting
+            // snippets at every load/store, run the mutatee, drain the
+            // ring, and persist the validated rvdyn-trace-v1 stream.
+            let elf = std::fs::read(arg(&args, 1)).expect("read");
+            let out_path = arg(&args, 2);
+            let funcs = args.get(3).map(|f| vec![f.clone()]);
+            let capacity = num(&args, 4).unwrap_or(1 << 16);
+            let bin = rvdyn::Binary::parse(&elf).unwrap_or_else(die);
+            let mut dy = rvdyn::DynamicInstrumenter::create_with(bin, opts());
+            let tracer =
+                rvdyn::MemTracer::plan_dynamic(&mut dy, &rvdyn::TraceOptions { capacity, funcs })
+                    .unwrap_or_else(die);
+            dy.commit().unwrap_or_else(die);
+            let code = dy.run_to_exit().unwrap_or_else(die);
+            let drained = tracer.drain_dynamic(&mut dy).unwrap_or_else(die);
+            let file = std::fs::File::create(&out_path).expect("create");
+            let mut sink = rvdyn::TraceSink::new(std::io::BufWriter::new(file));
+            for r in &drained.records {
+                sink.push(*r).expect("write record");
+            }
+            sink.finish().expect("seal trace");
+            // Close the loop: the file we just wrote must validate.
+            let reader = rvdyn::TraceReader::parse(&std::fs::read(&out_path).expect("re-read"))
+                .unwrap_or_else(die);
+            if json {
+                println!("{}", dy.diagnostics().to_json());
+                return;
+            }
+            let (lb, sb) = reader.bytes_moved();
+            println!("exit code: {code}");
+            println!(
+                "sites:     {} instrumented load/store site(s)",
+                tracer.sites()
+            );
+            println!("records:   {} ({} dropped)", reader.len(), drained.dropped);
+            println!("loads:     {} ({lb} bytes)", reader.loads().count());
+            println!("stores:    {} ({sb} bytes)", reader.stores().count());
+            println!("wrote {out_path}");
+            println!("--- pipeline diagnostics ---");
+            println!("{}", dy.diagnostics());
+        }
+        "sample" => {
+            // Sampling profiler (docs/TOOLS.md): cycle-interval
+            // interrupts, stackwalker frames, folded flame-style output.
+            let elf = std::fs::read(arg(&args, 1)).expect("read");
+            let interval = num(&args, 2).unwrap_or(10_000);
+            let n = num(&args, 3).unwrap_or(1) as usize;
+            let profiler = rvdyn::Profiler::new(rvdyn::ProfileOptions {
+                interval_cycles: interval,
+                max_samples: 1 << 20,
+            });
+            if n > 1 {
+                let mut fleet = rvdyn::FleetController::open(&elf, opts()).unwrap_or_else(die);
+                fleet.spawn(n);
+                let out = profiler.sample_fleet(&mut fleet).unwrap_or_else(die);
+                if json {
+                    println!("{}", fleet.diagnostics().to_json());
+                    return;
+                }
+                println!(
+                    "fleet of {n}: {} sample(s), max depth {}",
+                    out.profile.samples, out.profile.max_depth
+                );
+                for (pid, p) in &out.per_process {
+                    println!("  pid {pid:>4}: {} sample(s)", p.samples);
+                }
+                print!("{}", out.profile.report());
+                println!("--- controller diagnostics ---");
+                println!("{}", fleet.diagnostics());
+                return;
+            }
+            let bin = rvdyn::Binary::parse(&elf).unwrap_or_else(die);
+            let mut dy = rvdyn::DynamicInstrumenter::create_with(bin, opts());
+            let r = profiler.sample_dynamic(&mut dy).unwrap_or_else(die);
+            if json {
+                println!("{}", dy.diagnostics().to_json());
+                return;
+            }
+            println!("exit code: {}", r.exit_code);
+            println!(
+                "samples:   {} every {interval} cycle(s), max depth {}",
+                r.profile.samples, r.profile.max_depth
+            );
+            print!("{}", r.profile.report());
+            println!("--- folded stacks (flamegraph input) ---");
+            print!("{}", r.profile.folded_lines());
+            println!("--- pipeline diagnostics ---");
+            println!("{}", dy.diagnostics());
+        }
         "cache" => {
             // Two passes over the file list through one shared cache:
             // the first pass computes (or shares) each analysis, the
@@ -444,7 +548,12 @@ fn arg(args: &[String], i: usize) -> String {
 }
 
 fn num(args: &[String], i: usize) -> Option<u64> {
-    args.get(i).and_then(|s| s.parse().ok())
+    args.get(i).map(|s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("bad numeric argument: {s:?}");
+            exit(2)
+        })
+    })
 }
 
 fn open(path: &str, opts: SessionOptions) -> BinaryEditor {

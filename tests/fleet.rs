@@ -7,9 +7,10 @@
 //! written down in `docs/FLEET.md`.
 
 use rvdyn::telemetry::CollectSink;
+use rvdyn::tools::{MemTracer, TraceOptions};
 use rvdyn::{
-    DynamicInstrumenter, Error, FaultPlan, FleetController, PointKind, SessionOptions, Snippet,
-    TelemetryEvent,
+    DynamicInstrumenter, Error, FaultPlan, FleetController, PointKind, ProfileOptions, Profiler,
+    SessionOptions, Snippet, TelemetryEvent,
 };
 use rvdyn_asm::matmul_program;
 
@@ -199,4 +200,108 @@ fn process_exit_during_patch_is_recovered_per_process() {
         })
         .collect();
     assert_eq!(failed, vec![dead]);
+}
+
+/// Tool/fault interaction: a `FaultPlan` corrupting one process's patch
+/// delivery must not perturb a single record of the other N−1 memory
+/// traces. The victim surfaces its typed commit failure; every survivor
+/// drains a trace identical to the uninstrumented interpreter oracle.
+#[test]
+fn fault_in_one_process_leaves_other_traces_intact() {
+    let bin = matmul_program(5, 1);
+    let mut fleet = FleetController::from_binary(bin.clone(), SessionOptions::new().threads(4));
+    let pids = fleet.spawn(6);
+    let tracer = MemTracer::plan_fleet(&mut fleet, &TraceOptions::default()).unwrap();
+    let victim = pids[2];
+    fleet
+        .set_fault_plan(victim, FaultPlan::new().corrupt_write(1, 0))
+        .unwrap();
+    fleet.commit_all().unwrap();
+    fleet.run_all();
+
+    // The clean-run ground truth, from an uninstrumented machine.
+    let site_set: std::collections::BTreeSet<u64> = tracer.pcs().into_iter().collect();
+    let mut m = rvdyn_emu::load_binary(&bin);
+    m.arm_mem_oracle();
+    m.fuel = Some(50_000_000);
+    assert!(matches!(m.run(), rvdyn::StopReason::Exited(0)));
+    let expected: Vec<rvdyn::TraceRecord> = m
+        .take_mem_oracle()
+        .into_iter()
+        .filter(|op| site_set.contains(&op.pc))
+        .map(|op| rvdyn::TraceRecord {
+            pc: op.pc,
+            addr: op.addr,
+            len: op.len,
+            is_store: op.is_store,
+        })
+        .collect();
+    assert!(!expected.is_empty());
+
+    match fleet.result(victim) {
+        Some(Err(Error::PatchVerifyFailed { .. })) => {}
+        other => panic!("victim must fail its commit, got {other:?}"),
+    }
+    for pid in pids {
+        if pid == victim {
+            continue;
+        }
+        assert!(matches!(fleet.result(pid), Some(Ok(0))), "pid {pid}");
+        let d = tracer.drain_fleet(&mut fleet, pid).unwrap();
+        assert_eq!(d.dropped, 0, "pid {pid}");
+        assert_eq!(d.records, expected, "pid {pid}: trace perturbed by fault");
+    }
+    assert_eq!(fleet.summary().processes_failed, 1);
+}
+
+/// Tool/fault interaction, profiler side: one process dying before the
+/// fleet is sampled yields a typed per-pid error — and the other N−1
+/// profiles are exactly the profiles an undisturbed fleet produces.
+#[test]
+fn dead_process_does_not_perturb_other_fleet_profiles() {
+    let bin = matmul_program(5, 1);
+    let profiler = Profiler::new(ProfileOptions {
+        interval_cycles: 2_000,
+        max_samples: 1 << 20,
+    });
+
+    // Reference: an undisturbed 1-process fleet's sample pcs.
+    let mut ref_fleet = FleetController::from_binary(bin.clone(), SessionOptions::new());
+    let ref_pid = ref_fleet.spawn(1)[0];
+    let reference = profiler.sample_fleet(&mut ref_fleet).unwrap();
+    let ref_pcs = &reference.per_process[&ref_pid].sample_pcs;
+    assert!(!ref_pcs.is_empty());
+
+    let mut fleet = FleetController::from_binary(bin, SessionOptions::new());
+    let pids = fleet.spawn(4);
+    let dead = pids[1];
+    let code = fleet
+        .with_process(dead, |p| loop {
+            match p.cont().unwrap() {
+                rvdyn::Event::Exited(code) => break code,
+                _ => continue,
+            }
+        })
+        .unwrap();
+    assert_eq!(code, 0);
+
+    let out = profiler.sample_fleet(&mut fleet).unwrap();
+    assert!(
+        matches!(out.outcomes.get(&dead), Some(Err(_))),
+        "dead pid must surface a typed error, got {:?}",
+        out.outcomes.get(&dead)
+    );
+    let mut live_samples = 0;
+    for pid in pids {
+        if pid == dead {
+            continue;
+        }
+        assert!(matches!(out.outcomes.get(&pid), Some(Ok(0))), "pid {pid}");
+        assert_eq!(
+            &out.per_process[&pid].sample_pcs, ref_pcs,
+            "pid {pid}: profile perturbed by the dead neighbour"
+        );
+        live_samples += out.per_process[&pid].samples;
+    }
+    assert_eq!(out.profile.samples, live_samples);
 }

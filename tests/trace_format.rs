@@ -1,0 +1,213 @@
+//! The `rvdyn-trace-v1` serialization contract: every well-formed
+//! stream round-trips exactly, and every malformation — truncation in
+//! any region, garbled magic or meta, a lying count, a flipped
+//! checksum, trailing garbage — surfaces as a typed
+//! [`rvdyn::Error::TraceCorrupt`] with a useful offset, never a panic
+//! and never a silently-wrong record. See `docs/FAILURE-MODES.md`.
+
+use proptest::prelude::*;
+use rvdyn::tools::{serialize_trace, TraceReader, TraceRecord, TraceSink, TRACE_MAGIC};
+use rvdyn::Error;
+
+fn rec(pc: u64, addr: u64, len: u8, is_store: bool) -> TraceRecord {
+    TraceRecord {
+        pc,
+        addr,
+        len,
+        is_store,
+    }
+}
+
+fn sample() -> Vec<TraceRecord> {
+    vec![
+        rec(0x1_0000, 0xC_0000, 8, true),
+        rec(0x1_0004, 0xC_0008, 4, false),
+        rec(0x1_0004, 0xC_0010, 4, false),
+        rec(0xFFFF_FFFF_0000, 0, 1, true),
+        rec(0, u64::MAX, 2, false),
+    ]
+}
+
+/// Every parse failure must be the typed error — panics and wrong data
+/// are both format-contract violations.
+fn expect_corrupt(bytes: &[u8], what: &str) -> (u64, String) {
+    match TraceReader::parse(bytes) {
+        Err(Error::TraceCorrupt { offset, reason }) => (offset, reason),
+        Err(other) => panic!("{what}: wrong error type: {other}"),
+        Ok(r) => panic!("{what}: accepted {} bogus record(s)", r.len()),
+    }
+}
+
+#[test]
+fn round_trip_identity() {
+    for records in [vec![], sample()] {
+        let bytes = serialize_trace(&records);
+        let reader = TraceReader::parse(&bytes).expect("well-formed stream");
+        assert_eq!(reader.records(), &records[..]);
+        assert_eq!(reader.len(), records.len());
+        assert_eq!(reader.is_empty(), records.is_empty());
+    }
+}
+
+#[test]
+fn sink_streams_through_any_writer() {
+    // The sink's chunked path (cross the 64KiB flush threshold) must
+    // produce the same image as the one-shot helper.
+    let records: Vec<TraceRecord> = (0..40_000)
+        .map(|i| rec(0x1_0000 + i * 4, 0xC_0000 + i * 8, 8, i % 3 == 0))
+        .collect();
+    let mut sink = TraceSink::new(Vec::new());
+    for r in &records {
+        sink.push(*r).unwrap();
+    }
+    assert_eq!(sink.count(), records.len() as u64);
+    let bytes = sink.finish().unwrap();
+    assert_eq!(bytes, serialize_trace(&records));
+    assert_eq!(TraceReader::parse(&bytes).unwrap().records(), &records[..]);
+}
+
+#[test]
+fn delta_encoding_is_compact() {
+    // A loop-like trace (small pc/addr strides) must cost a few bytes
+    // per record, not the flat 17 — the format's reason to exist.
+    let records: Vec<TraceRecord> = (0..10_000)
+        .map(|i| rec(0x1_0000 + (i % 7) * 4, 0xC_0000 + i * 8, 8, false))
+        .collect();
+    let bytes = serialize_trace(&records);
+    let per_record = (bytes.len() - 25) as f64 / records.len() as f64;
+    assert!(per_record < 6.0, "{per_record:.1} bytes/record");
+}
+
+#[test]
+fn accessors_slice_the_trace() {
+    let reader = TraceReader::parse(&serialize_trace(&sample())).unwrap();
+    assert_eq!(reader.stores().count(), 2);
+    assert_eq!(reader.loads().count(), 3);
+    assert_eq!(reader.at_pc(0x1_0004).count(), 2);
+    assert_eq!(reader.bytes_moved(), (4 + 4 + 2, 8 + 1));
+}
+
+#[test]
+fn truncation_anywhere_is_typed_corruption() {
+    let bytes = serialize_trace(&sample());
+    // Every proper prefix — through the magic, mid-record, mid-varint,
+    // mid-count, mid-checksum — must fail with the typed error.
+    for cut in 0..bytes.len() {
+        let (_, reason) = expect_corrupt(&bytes[..cut], &format!("prefix of {cut} bytes"));
+        assert!(!reason.is_empty());
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected_at_offset_zero() {
+    let mut bytes = serialize_trace(&sample());
+    bytes[0] ^= 0x20;
+    let (offset, reason) = expect_corrupt(&bytes, "bad magic");
+    assert_eq!(offset, 0);
+    assert!(reason.contains("magic"), "{reason}");
+    // Entirely foreign bytes too.
+    expect_corrupt(b"GIF89a_definitely_not_a_trace", "foreign bytes");
+}
+
+#[test]
+fn invalid_access_width_is_rejected() {
+    // Corrupt the first record's meta byte into an undefined width.
+    let mut bytes = serialize_trace(&sample());
+    bytes[8] = 3; // len 3 is not in {1,2,4,8}
+    let (offset, reason) = expect_corrupt(&bytes, "bad width");
+    assert_eq!(offset, 8);
+    assert!(reason.contains("width"), "{reason}");
+}
+
+#[test]
+fn unterminated_varint_is_rejected() {
+    // magic + valid meta + a varint that never clears its
+    // continuation bit before the buffer ends.
+    let mut bytes = TRACE_MAGIC.to_vec();
+    bytes.push(1); // len 1, load
+    bytes.extend_from_slice(&[0x80; 12]);
+    let (_, reason) = expect_corrupt(&bytes, "runaway varint");
+    assert!(
+        reason.contains("varint"),
+        "truncated or overflowing varint, got: {reason}"
+    );
+}
+
+#[test]
+fn lying_count_is_rejected() {
+    let records = sample();
+    let bytes = serialize_trace(&records);
+    let count_off = bytes.len() - 16;
+    let mut lied = bytes.clone();
+    lied[count_off..count_off + 8].copy_from_slice(&(records.len() as u64 + 1).to_le_bytes());
+    let (offset, reason) = expect_corrupt(&lied, "count+1");
+    assert_eq!(offset as usize, count_off);
+    assert!(reason.contains("count"), "{reason}");
+}
+
+#[test]
+fn flipped_bit_anywhere_fails_the_checksum() {
+    let bytes = serialize_trace(&sample());
+    // Flip one bit in each checksummed byte; whatever the mutation
+    // breaks first (width, varint shape, count, checksum), the answer
+    // is the typed error — never an Ok with different records.
+    for i in 8..bytes.len() - 8 {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 0x40;
+        expect_corrupt(&mutated, &format!("bit flip at {i}"));
+    }
+    // And the checksum field itself.
+    let mut mutated = bytes.clone();
+    let n = mutated.len();
+    mutated[n - 1] ^= 1;
+    let (offset, reason) = expect_corrupt(&mutated, "flipped checksum");
+    assert_eq!(offset as usize, n - 8);
+    assert!(reason.contains("checksum"), "{reason}");
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bytes = serialize_trace(&sample());
+    let n = bytes.len();
+    bytes.push(0);
+    let (offset, reason) = expect_corrupt(&bytes, "trailing byte");
+    assert_eq!(offset as usize, n);
+    assert!(reason.contains("trailing"), "{reason}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary record sequences round-trip exactly — including
+    /// pathological pc/addr jumps that stress the zigzag deltas.
+    #[test]
+    fn random_records_round_trip(
+        raw in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), 0usize..4, any::<bool>()),
+            0..200,
+        )
+    ) {
+        let records: Vec<TraceRecord> = raw
+            .into_iter()
+            .map(|(pc, addr, li, st)| rec(pc, addr, [1u8, 2, 4, 8][li], st))
+            .collect();
+        let bytes = serialize_trace(&records);
+        let reader = TraceReader::parse(&bytes).expect("round trip");
+        prop_assert_eq!(reader.records(), &records[..]);
+    }
+
+    /// No byte soup panics the reader: arbitrary inputs (with a valid
+    /// magic prepended so decoding gets past offset 0) either parse or
+    /// fail with the typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        body in proptest::collection::vec(any::<u8>(), 0..400)
+    ) {
+        let mut bytes = TRACE_MAGIC.to_vec();
+        bytes.extend_from_slice(&body);
+        match TraceReader::parse(&bytes) {
+            Ok(_) | Err(Error::TraceCorrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "wrong error type: {}", other),
+        }
+    }
+}
